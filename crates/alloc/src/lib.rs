@@ -1,0 +1,28 @@
+//! Processor allocation for concurrent sibling nests (§3.2, Algorithm 1).
+//!
+//! Given the predicted relative execution times `R₁ … R_k` of `k` sibling
+//! nests and a `Px × Py` virtual processor grid, the allocator carves the
+//! grid into `k` disjoint rectangles whose areas are proportional to the
+//! `Rᵢ` and which are as square-like as possible (to balance x- and
+//! y-communication volumes):
+//!
+//! 1. build a [`huffman::HuffmanTree`] over the ratios — every internal node
+//!    then splits its subtree weights near-evenly;
+//! 2. traverse the internal nodes breadth-first, splitting the current
+//!    rectangle **along its longer dimension** in the ratio of the left and
+//!    right subtree weights (Fig. 4 shows why the longer dimension).
+//!
+//! Baselines for §4.6 and the ablation benches: [`naive::proportional_strips`]
+//! (contiguous vertical strips by point share) and [`naive::equal_split`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod huffman;
+pub mod metrics;
+pub mod naive;
+pub mod partition;
+
+pub use huffman::HuffmanTree;
+pub use metrics::{allocation_imbalance, mean_squareness};
+pub use partition::{partition_grid, AllocError, Partition};

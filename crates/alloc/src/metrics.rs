@@ -1,0 +1,75 @@
+//! Quality metrics of a processor allocation.
+
+use crate::partition::Partition;
+
+/// Load imbalance of an allocation under the given execution-time ratios:
+/// the slowest nest's (ratio / processors) share relative to the ideal
+/// uniform share. `1.0` is perfect balance; `2.0` means the critical nest
+/// runs twice as slow as the ideal apportionment would allow.
+///
+/// This is the quantity the allocator minimises: when all nests finish the
+/// `r` integration steps together, none idles at the parent
+/// synchronisation point (§3.2).
+pub fn allocation_imbalance(parts: &[Partition], ratios: &[f64]) -> f64 {
+    assert_eq!(parts.len(), ratios.len());
+    let total_area: f64 = parts.iter().map(|p| p.rect.area() as f64).sum();
+    let total_ratio: f64 = ratios.iter().sum();
+    parts
+        .iter()
+        .map(|p| {
+            let r = ratios[p.domain] / total_ratio;
+            let a = p.rect.area() as f64 / total_area;
+            r / a
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Mean squareness (min/max side ratio) over the partitions — the shape
+/// objective of Fig. 4.
+pub fn mean_squareness(parts: &[Partition]) -> f64 {
+    if parts.is_empty() {
+        return 0.0;
+    }
+    parts.iter().map(|p| p.rect.squareness()).sum::<f64>() / parts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_grid;
+    use nestwx_grid::ProcGrid;
+
+    #[test]
+    fn perfect_balance_is_one() {
+        let g = ProcGrid::new(16, 16);
+        let parts = partition_grid(&g, &[1.0, 1.0]).unwrap();
+        let imb = allocation_imbalance(&parts, &[1.0, 1.0]);
+        assert!((imb - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_detects_misallocation() {
+        // Allocate evenly but pretend ratios are 3:1 — the first nest is
+        // 1.5× over-subscribed.
+        let g = ProcGrid::new(16, 16);
+        let parts = partition_grid(&g, &[1.0, 1.0]).unwrap();
+        let imb = allocation_imbalance(&parts, &[3.0, 1.0]);
+        assert!((imb - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_tree_balances_better_than_equal_for_skewed_ratios() {
+        let g = ProcGrid::new(32, 32);
+        let ratios = [0.5, 0.3, 0.15, 0.05];
+        let tree = partition_grid(&g, &ratios).unwrap();
+        let equal = crate::naive::equal_split(&g, 4).unwrap();
+        assert!(allocation_imbalance(&tree, &ratios) < allocation_imbalance(&equal, &ratios));
+    }
+
+    #[test]
+    fn squareness_of_square_tiles() {
+        let g = ProcGrid::new(16, 16);
+        let parts = partition_grid(&g, &[1.0; 4]).unwrap();
+        assert!((mean_squareness(&parts) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Baseline allocators for §4.6 and the ablation benches.
+
+use crate::partition::{AllocError, Partition};
+use nestwx_grid::{ProcGrid, Rect};
+
+/// The naïve strategy of §4.6: subdivide the processor space into
+/// consecutive vertical strips with widths proportional to `shares`
+/// (typically the nests' point-count shares).
+pub fn proportional_strips(grid: &ProcGrid, shares: &[f64]) -> Result<Vec<Partition>, AllocError> {
+    if shares.is_empty() || shares.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+        return Err(AllocError::BadRatios);
+    }
+    let k = shares.len();
+    if (grid.px as usize) < k {
+        return Err(AllocError::TooFewProcessors { procs: grid.len(), nests: k });
+    }
+    let total: f64 = shares.iter().sum();
+    // Largest-remainder apportionment of columns, each strip ≥ 1 column.
+    let ideal: Vec<f64> = shares.iter().map(|s| s / total * grid.px as f64).collect();
+    let mut widths: Vec<u32> = ideal.iter().map(|w| (w.floor() as u32).max(1)).collect();
+    let assigned: u32 = widths.iter().sum();
+    let mut rem = grid.px as i64 - assigned as i64;
+    // Distribute leftover columns by largest fractional part, or withdraw
+    // from the widest strips if over-assigned.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideal[a] - ideal[a].floor();
+        let fb = ideal[b] - ideal[b].floor();
+        fb.partial_cmp(&fa).unwrap()
+    });
+    let mut i = 0;
+    while rem > 0 {
+        widths[order[i % k]] += 1;
+        rem -= 1;
+        i += 1;
+    }
+    while rem < 0 {
+        let widest = (0..k).max_by_key(|&j| widths[j]).unwrap();
+        if widths[widest] > 1 {
+            widths[widest] -= 1;
+            rem += 1;
+        } else {
+            return Err(AllocError::TooFewProcessors { procs: grid.len(), nests: k });
+        }
+    }
+    let mut x0 = 0;
+    let mut out = Vec::with_capacity(k);
+    for (domain, w) in widths.into_iter().enumerate() {
+        out.push(Partition { domain, rect: Rect::new(x0, 0, w, grid.py) });
+        x0 += w;
+    }
+    Ok(out)
+}
+
+/// Equal split: each nest gets the same number of processor columns
+/// (up to rounding). The "simple processor allocation strategy" the paper
+/// dismisses for load imbalance (§3.2).
+pub fn equal_split(grid: &ProcGrid, k: usize) -> Result<Vec<Partition>, AllocError> {
+    proportional_strips(grid, &vec![1.0; k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestwx_grid::rect::tiles_exactly;
+
+    #[test]
+    fn strips_tile_grid() {
+        let g = ProcGrid::new(32, 32);
+        let parts = proportional_strips(&g, &[0.25, 0.5, 0.25]).unwrap();
+        let rects: Vec<Rect> = parts.iter().map(|p| p.rect).collect();
+        assert!(tiles_exactly(&g.rect(), &rects));
+        assert_eq!(parts[0].rect.w, 8);
+        assert_eq!(parts[1].rect.w, 16);
+        assert_eq!(parts[2].rect.w, 8);
+    }
+
+    #[test]
+    fn strips_are_full_height() {
+        let g = ProcGrid::new(32, 32);
+        let parts = proportional_strips(&g, &[0.6, 0.4]).unwrap();
+        assert!(parts.iter().all(|p| p.rect.h == 32));
+    }
+
+    #[test]
+    fn rounding_preserves_total() {
+        let g = ProcGrid::new(32, 32);
+        let parts = proportional_strips(&g, &[1.0, 1.0, 1.0]).unwrap();
+        let total: u32 = parts.iter().map(|p| p.rect.w).sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn tiny_share_still_gets_a_column() {
+        let g = ProcGrid::new(16, 16);
+        let parts = proportional_strips(&g, &[0.97, 0.01, 0.01, 0.01]).unwrap();
+        assert!(parts.iter().all(|p| p.rect.w >= 1));
+        let rects: Vec<Rect> = parts.iter().map(|p| p.rect).collect();
+        assert!(tiles_exactly(&g.rect(), &rects));
+    }
+
+    #[test]
+    fn equal_split_even() {
+        let g = ProcGrid::new(32, 32);
+        let parts = equal_split(&g, 4).unwrap();
+        assert!(parts.iter().all(|p| p.rect.w == 8));
+    }
+
+    #[test]
+    fn rejects_too_many_nests() {
+        let g = ProcGrid::new(4, 4);
+        assert!(matches!(
+            proportional_strips(&g, &[1.0; 5]).unwrap_err(),
+            AllocError::TooFewProcessors { .. }
+        ));
+    }
+
+    #[test]
+    fn strips_are_tall_and_thin_vs_split_tree() {
+        // Why the naïve strategy loses (§4.6): strips have poor squareness.
+        let g = ProcGrid::new(32, 32);
+        let shares = [432.0, 144.0, 168.0, 280.0];
+        let strips = proportional_strips(&g, &shares).unwrap();
+        let tree = crate::partition::partition_grid(&g, &shares).unwrap();
+        let mean_sq = |ps: &[Partition]| -> f64 {
+            ps.iter().map(|p| p.rect.squareness()).sum::<f64>() / ps.len() as f64
+        };
+        assert!(mean_sq(&tree) > mean_sq(&strips));
+    }
+}

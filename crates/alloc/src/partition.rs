@@ -1,0 +1,300 @@
+//! Algorithm 1: the balanced split-tree partitioner.
+//!
+//! Divides the `Px × Py` virtual processor grid into `k` rectangles, one per
+//! nested simulation, with areas proportional to the execution-time ratios
+//! and shapes as square-like as possible (always splitting along the longer
+//! dimension — Fig. 4).
+
+use crate::huffman::{HuffmanTree, NodeKind};
+use nestwx_grid::{ProcGrid, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The processor rectangle assigned to one nested domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Index of the nested domain (position in the ratio list).
+    pub domain: usize,
+    /// Assigned sub-rectangle of the processor grid.
+    pub rect: Rect,
+}
+
+/// Errors from the partitioner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// More nests than processors, or a split became infeasible.
+    TooFewProcessors {
+        /// Processors available.
+        procs: u32,
+        /// Nests requested.
+        nests: usize,
+    },
+    /// Ratios empty or non-positive.
+    BadRatios,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::TooFewProcessors { procs, nests } => {
+                write!(f, "cannot partition {procs} processors among {nests} nests")
+            }
+            AllocError::BadRatios => write!(f, "execution-time ratios must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Which dimension the partitioner bisects first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitDim {
+    /// The paper's choice: split along the longer dimension so rectangles
+    /// stay square-like (Fig. 4a).
+    Longer,
+    /// The ablation baseline: split along the shorter dimension (Fig. 4b).
+    Shorter,
+}
+
+/// Partitions `grid` among nests with execution-time ratios `ratios`
+/// (Algorithm 1). Returns one [`Partition`] per nest, ordered by domain
+/// index.
+pub fn partition_grid(grid: &ProcGrid, ratios: &[f64]) -> Result<Vec<Partition>, AllocError> {
+    partition_grid_with(grid, ratios, SplitDim::Longer)
+}
+
+/// [`partition_grid`] with an explicit first-split policy (for the Fig. 4
+/// ablation).
+pub fn partition_grid_with(
+    grid: &ProcGrid,
+    ratios: &[f64],
+    split: SplitDim,
+) -> Result<Vec<Partition>, AllocError> {
+    if ratios.is_empty() || ratios.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+        return Err(AllocError::BadRatios);
+    }
+    let k = ratios.len();
+    if (grid.len() as usize) < k {
+        return Err(AllocError::TooFewProcessors { procs: grid.len(), nests: k });
+    }
+    if k == 1 {
+        return Ok(vec![Partition { domain: 0, rect: grid.rect() }]);
+    }
+
+    let tree = HuffmanTree::build(ratios);
+    let mut rect_of: Vec<Option<Rect>> = vec![None; tree_len(&tree)];
+    rect_of[tree.root()] = Some(grid.rect());
+
+    // Lines 2–18: BFS over internal nodes; split the node's rectangle along
+    // the chosen dimension in the ratio of the subtree weights.
+    for u in tree.internal_bfs() {
+        let rect = rect_of[u].expect("BFS parent before child");
+        let NodeKind::Internal { left, right } = tree.node(u).kind else { unreachable!() };
+        let (wl, wr) = (tree.node(left).weight, tree.node(right).weight);
+        let (ll, lr) = (leaves_below(&tree, left), leaves_below(&tree, right));
+
+        let split_x = match split {
+            // Tie (square rect): split x, matching "if Px ≤ Py … divide
+            // PLongDim = Py" reading of Algorithm 1 lines 5–9 (splitting
+            // the longer of the two; on equality the y extent is treated
+            // as the long dimension, i.e. a horizontal cut).
+            SplitDim::Longer => rect.w > rect.h,
+            SplitDim::Shorter => rect.w <= rect.h,
+        };
+        let extent = if split_x { rect.w } else { rect.h };
+        let other = if split_x { rect.h } else { rect.w };
+
+        let (el, er) = split_extent(extent, other, wl, wr, ll as u32, lr as u32)
+            .ok_or(AllocError::TooFewProcessors { procs: grid.len(), nests: k })?;
+        debug_assert_eq!(el + er, extent);
+        let (ra, rb) = if split_x { rect.split_x(el) } else { rect.split_y(el) };
+        let _ = er;
+        rect_of[left] = Some(ra);
+        rect_of[right] = Some(rb);
+    }
+
+    let mut out: Vec<Partition> = Vec::with_capacity(k);
+    collect_leaves(&tree, tree.root(), &rect_of, &mut out);
+    out.sort_by_key(|p| p.domain);
+    debug_assert!(nestwx_grid::rect::tiles_exactly(
+        &grid.rect(),
+        &out.iter().map(|p| p.rect).collect::<Vec<_>>()
+    ));
+    Ok(out)
+}
+
+/// Splits `extent` into `(el, er)` proportional to `wl : wr`, keeping both
+/// sides large enough that each subtree (with `ll` / `lr` leaves) can still
+/// receive non-empty rectangles: side area (`e · other`) ≥ leaf count and
+/// `e ≥ 1`.
+fn split_extent(extent: u32, other: u32, wl: f64, wr: f64, ll: u32, lr: u32) -> Option<(u32, u32)> {
+    if extent < 2 {
+        return None;
+    }
+    let ideal = extent as f64 * wl / (wl + wr);
+    let mut el = ideal.round().clamp(1.0, (extent - 1) as f64) as u32;
+    // Ensure minimum areas for both subtrees.
+    let min_l = ll.div_ceil(other);
+    let min_r = lr.div_ceil(other);
+    if min_l + min_r > extent {
+        return None;
+    }
+    el = el.clamp(min_l.max(1), extent - min_r.max(1));
+    Some((el, extent - el))
+}
+
+fn tree_len(tree: &HuffmanTree) -> usize {
+    // Arena size: k leaves + (k-1) internal nodes.
+    2 * tree.num_leaves() - 1
+}
+
+fn leaves_below(tree: &HuffmanTree, idx: usize) -> usize {
+    match tree.node(idx).kind {
+        NodeKind::Leaf { .. } => 1,
+        NodeKind::Internal { left, right } => leaves_below(tree, left) + leaves_below(tree, right),
+    }
+}
+
+fn collect_leaves(
+    tree: &HuffmanTree,
+    idx: usize,
+    rect_of: &[Option<Rect>],
+    out: &mut Vec<Partition>,
+) {
+    match tree.node(idx).kind {
+        NodeKind::Leaf { domain } => {
+            out.push(Partition { domain, rect: rect_of[idx].expect("leaf rect assigned") });
+        }
+        NodeKind::Internal { left, right } => {
+            collect_leaves(tree, left, rect_of, out);
+            collect_leaves(tree, right, rect_of, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestwx_grid::rect::tiles_exactly;
+
+    #[test]
+    fn single_nest_gets_everything() {
+        let g = ProcGrid::new(32, 32);
+        let p = partition_grid(&g, &[1.0]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rect, g.rect());
+    }
+
+    #[test]
+    fn fig3b_ratios_tile_and_are_proportional() {
+        // Fig. 3(b): 4 nests with ratios 0.15 : 0.3 : 0.35 : 0.2.
+        let g = ProcGrid::new(32, 32);
+        let ratios = [0.15, 0.3, 0.35, 0.2];
+        let parts = partition_grid(&g, &ratios).unwrap();
+        assert_eq!(parts.len(), 4);
+        let rects: Vec<Rect> = parts.iter().map(|p| p.rect).collect();
+        assert!(tiles_exactly(&g.rect(), &rects));
+        let total = g.len() as f64;
+        for (p, &r) in parts.iter().zip(&ratios) {
+            let share = p.rect.area() as f64 / total;
+            assert!(
+                (share - r).abs() < 0.05,
+                "domain {} got share {share:.3}, wanted ≈{r}",
+                p.domain
+            );
+        }
+    }
+
+    #[test]
+    fn equal_ratios_equal_areas() {
+        let g = ProcGrid::new(16, 16);
+        let parts = partition_grid(&g, &[1.0; 4]).unwrap();
+        for p in &parts {
+            assert_eq!(p.rect.area(), 64);
+        }
+    }
+
+    #[test]
+    fn table2_configuration_areas() {
+        // Table 2: 1024 processors among 4 siblings got 432, 144, 168, 280
+        // processors (18×24, 18×8, 14×12, 14×20). Feed the implied ratios
+        // and check we allocate areas within a couple of percent.
+        let g = ProcGrid::new(32, 32);
+        let ratios = [432.0, 144.0, 168.0, 280.0];
+        let parts = partition_grid(&g, &ratios).unwrap();
+        for (p, &r) in parts.iter().zip(&ratios) {
+            let got = p.rect.area() as f64;
+            assert!(
+                (got - r).abs() / r < 0.15,
+                "domain {}: {} procs vs paper {}",
+                p.domain,
+                got,
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn longer_split_more_square_than_shorter() {
+        // Fig. 4: first split along the longer dimension keeps rectangles
+        // more square-like than splitting along the shorter one.
+        let g = ProcGrid::new(48, 24);
+        let ratios = [0.4, 0.35, 0.25];
+        let longer = partition_grid_with(&g, &ratios, SplitDim::Longer).unwrap();
+        let shorter = partition_grid_with(&g, &ratios, SplitDim::Shorter).unwrap();
+        let mean_sq = |ps: &[Partition]| -> f64 {
+            ps.iter().map(|p| p.rect.squareness()).sum::<f64>() / ps.len() as f64
+        };
+        assert!(
+            mean_sq(&longer) > mean_sq(&shorter),
+            "longer {:.3} vs shorter {:.3}",
+            mean_sq(&longer),
+            mean_sq(&shorter)
+        );
+    }
+
+    #[test]
+    fn skewed_ratios_still_tile() {
+        let g = ProcGrid::new(32, 32);
+        let ratios = [0.9, 0.04, 0.03, 0.03];
+        let parts = partition_grid(&g, &ratios).unwrap();
+        let rects: Vec<Rect> = parts.iter().map(|p| p.rect).collect();
+        assert!(tiles_exactly(&g.rect(), &rects));
+        // Every nest got at least one processor.
+        assert!(parts.iter().all(|p| p.rect.area() >= 1));
+    }
+
+    #[test]
+    fn many_nests_on_small_grid() {
+        let g = ProcGrid::new(4, 2);
+        let parts = partition_grid(&g, &[1.0; 8]).unwrap();
+        let rects: Vec<Rect> = parts.iter().map(|p| p.rect).collect();
+        assert!(tiles_exactly(&g.rect(), &rects));
+        assert!(parts.iter().all(|p| p.rect.area() == 1));
+    }
+
+    #[test]
+    fn rejects_more_nests_than_procs() {
+        let g = ProcGrid::new(2, 2);
+        assert_eq!(
+            partition_grid(&g, &[1.0; 5]).unwrap_err(),
+            AllocError::TooFewProcessors { procs: 4, nests: 5 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_ratios() {
+        let g = ProcGrid::new(4, 4);
+        assert_eq!(partition_grid(&g, &[]).unwrap_err(), AllocError::BadRatios);
+        assert_eq!(partition_grid(&g, &[1.0, -0.5]).unwrap_err(), AllocError::BadRatios);
+        assert_eq!(partition_grid(&g, &[1.0, f64::NAN]).unwrap_err(), AllocError::BadRatios);
+    }
+
+    #[test]
+    fn partitions_ordered_by_domain() {
+        let g = ProcGrid::new(16, 16);
+        let parts = partition_grid(&g, &[0.3, 0.5, 0.2]).unwrap();
+        let order: Vec<usize> = parts.iter().map(|p| p.domain).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

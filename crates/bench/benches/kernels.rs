@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the core algorithmic kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nestwx_alloc::{huffman::HuffmanTree, partition_grid};
+use nestwx_grid::{DomainFeatures, ProcGrid, Rect};
+use nestwx_miniwrf::solver::{Boundary, ShallowWater};
+use nestwx_predict::{ExecTimePredictor, NaivePointsModel};
+use nestwx_topo::metrics::{halo_edges, CommStats};
+use nestwx_topo::{MachineShape, Mapping};
+
+fn basis() -> Vec<(DomainFeatures, f64)> {
+    let dims: [(u32, u32); 13] = [
+        (94, 124),
+        (415, 445),
+        (100, 200),
+        (300, 200),
+        (200, 300),
+        (250, 250),
+        (150, 300),
+        (375, 250),
+        (160, 140),
+        (360, 390),
+        (120, 240),
+        (420, 280),
+        (240, 160),
+    ];
+    dims.iter()
+        .map(|&(nx, ny)| {
+            (DomainFeatures::from_dims(nx, ny), 1e-6 * (nx * ny) as f64 + 4e-4 * (nx + ny) as f64)
+        })
+        .collect()
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let b = basis();
+    c.bench_function("predict/fit_13_points", |bch| {
+        bch.iter(|| ExecTimePredictor::fit(black_box(&b)).unwrap())
+    });
+    let model = ExecTimePredictor::fit(&b).unwrap();
+    let q = DomainFeatures::from_dims(287, 311);
+    c.bench_function("predict/query_in_hull", |bch| {
+        bch.iter(|| model.predict(black_box(&q)).unwrap())
+    });
+    let big = DomainFeatures::from_dims(925, 850);
+    c.bench_function("predict/query_out_of_hull", |bch| {
+        bch.iter(|| model.predict(black_box(&big)).unwrap())
+    });
+    let naive = NaivePointsModel::fit(&b);
+    c.bench_function("predict/naive_query", |bch| bch.iter(|| naive.predict(black_box(&q))));
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let ratios = [0.15, 0.3, 0.35, 0.2];
+    c.bench_function("alloc/huffman_4", |bch| {
+        bch.iter(|| HuffmanTree::build(black_box(&ratios)))
+    });
+    let grid = ProcGrid::new(32, 32);
+    c.bench_function("alloc/partition_grid_4_nests", |bch| {
+        bch.iter(|| partition_grid(black_box(&grid), black_box(&ratios)).unwrap())
+    });
+    let many: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+    let big = ProcGrid::new(64, 128);
+    c.bench_function("alloc/partition_grid_16_nests_8192", |bch| {
+        bch.iter(|| partition_grid(black_box(&big), black_box(&many)).unwrap())
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let shape = MachineShape::bgl_rack_vn();
+    let grid = ProcGrid::new(32, 32);
+    let parts = [
+        Rect::new(0, 0, 18, 24),
+        Rect::new(0, 24, 18, 8),
+        Rect::new(18, 0, 14, 12),
+        Rect::new(18, 12, 14, 20),
+    ];
+    c.bench_function("mapping/oblivious_1024", |bch| {
+        bch.iter(|| Mapping::oblivious(black_box(shape), 1024).unwrap())
+    });
+    c.bench_function("mapping/partition_1024", |bch| {
+        bch.iter(|| Mapping::partition(black_box(shape), &grid, &parts).unwrap())
+    });
+    c.bench_function("mapping/multilevel_1024", |bch| {
+        bch.iter(|| Mapping::multilevel(black_box(shape), &grid, &parts).unwrap())
+    });
+    let m = Mapping::partition(shape, &grid, &parts).unwrap();
+    let mut edges = Vec::new();
+    for p in &parts {
+        edges.extend(halo_edges(&grid, p, 1.0));
+    }
+    c.bench_function("mapping/comm_stats_4_partitions", |bch| {
+        bch.iter(|| CommStats::compute(black_box(&m), black_box(&edges)))
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut sw = ShallowWater::quiescent(128, 128, 1000.0, 100.0, Boundary::Periodic);
+    sw.add_gaussian(64.0, 64.0, -5.0, 8.0);
+    c.bench_function("miniwrf/step_128x128", |bch| bch.iter(|| black_box(&mut sw).step()));
+}
+
+criterion_group!(kernels, bench_predictor, bench_allocation, bench_mapping, bench_solver);
+criterion_main!(kernels);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of end-to-end planning and simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nestwx_core::{MappingKind, Planner, Strategy};
+use nestwx_grid::{Domain, NestSpec};
+use nestwx_netsim::Machine;
+
+fn config() -> (Domain, Vec<NestSpec>) {
+    (
+        Domain::parent(286, 307, 24.0),
+        vec![
+            NestSpec::new(259, 229, 3, (10, 12)),
+            NestSpec::new(232, 256, 3, (150, 40)),
+        ],
+    )
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let (parent, nests) = config();
+    let machine = Machine::bgl(256);
+    // Fit once — planning reuses the predictor, as a real deployment would.
+    let predictor = nestwx_core::profile::fit_predictor(&machine, 1);
+    let planner = Planner::new(machine).with_predictor(predictor);
+    c.bench_function("planner/plan_2_nests_256", |b| {
+        b.iter(|| planner.plan(black_box(&parent), black_box(&nests)).unwrap())
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let (parent, nests) = config();
+    let machine = Machine::bgl(256);
+    let predictor = nestwx_core::profile::fit_predictor(&machine, 1);
+    let planner = Planner::new(machine).with_predictor(predictor);
+    let concurrent = planner.plan(&parent, &nests).unwrap();
+    let sequential = planner
+        .clone()
+        .strategy(Strategy::Sequential)
+        .mapping(MappingKind::Oblivious)
+        .plan(&parent, &nests)
+        .unwrap();
+    c.bench_function("netsim/iteration_concurrent_256", |b| {
+        b.iter(|| concurrent.simulate(1).unwrap())
+    });
+    c.bench_function("netsim/iteration_sequential_256", |b| {
+        b.iter(|| sequential.simulate(1).unwrap())
+    });
+}
+
+criterion_group!(planner, bench_planning, bench_simulation);
+criterion_main!(planner);

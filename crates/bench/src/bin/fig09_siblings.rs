@@ -1,0 +1,85 @@
+//! Table 2 + Fig. 9 — The 4-sibling configuration on 1024 BG/L cores:
+//! processor allocation per sibling and the stacked sibling execution
+//! times.
+//!
+//! Paper: nests 394×418, 232×202, 232×256, 313×337 allocated 18×24, 18×8,
+//! 14×12, 14×20 processors; sequential sibling times 0.4+0.2+0.2+0.3 =
+//! 1.1 s vs concurrent max ≈ 0.7 s → 36 % nest-phase gain.
+
+use nestwx_bench::{banner, pacific_parent, row, MEASURE_ITERS};
+use nestwx_core::{compare_strategies, Planner};
+use nestwx_grid::NestSpec;
+use nestwx_netsim::Machine;
+
+fn main() {
+    banner("fig09", "4-sibling allocation and sibling times on BG/L(1024)");
+    let parent = pacific_parent();
+    let nests = vec![
+        NestSpec::new(394, 418, 3, (10, 10)),
+        NestSpec::new(232, 202, 3, (150, 10)),
+        NestSpec::new(232, 256, 3, (10, 160)),
+        NestSpec::new(313, 337, 3, (150, 160)),
+    ];
+    let planner = Planner::new(Machine::bgl_rack());
+    let plan = planner.plan(&parent, &nests).unwrap();
+
+    println!("\nTable 2 — sibling configurations:");
+    let widths = [10, 12, 12, 14, 14];
+    println!(
+        "{}",
+        row(
+            &["sibling".into(), "nest size".into(), "procs".into(), "ours".into(), "paper".into()],
+            &widths
+        )
+    );
+    let paper_procs = ["18x24", "18x8", "14x12", "14x20"];
+    for (i, p) in plan.partitions.iter().enumerate() {
+        println!(
+            "{}",
+            row(
+                &[
+                    (i + 1).to_string(),
+                    format!("{}x{}", nests[i].nx, nests[i].ny),
+                    p.rect.area().to_string(),
+                    format!("{}x{}", p.rect.w, p.rect.h),
+                    paper_procs[i].into(),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let cmp = compare_strategies(&planner, &parent, &nests, MEASURE_ITERS).unwrap();
+    println!("\nFig. 9 — sibling execution times per iteration (s):");
+    let widths = [10, 14, 14, 16];
+    println!(
+        "{}",
+        row(&["sibling".into(), "sequential".into(), "concurrent".into(), "paper seq|conc".into()], &widths)
+    );
+    let paper = [(0.4, 0.7), (0.2, 0.6), (0.2, 0.6), (0.3, 0.7)];
+    let mut seq_sum = 0.0;
+    let mut conc_max: f64 = 0.0;
+    for (i, paper_row) in paper.iter().enumerate() {
+        let s = cmp.default_run.sibling_per_iter(i);
+        let c = cmp.planned_run.sibling_per_iter(i);
+        seq_sum += s;
+        conc_max = conc_max.max(c);
+        println!(
+            "{}",
+            row(
+                &[
+                    (i + 1).to_string(),
+                    format!("{s:.3}"),
+                    format!("{c:.3}"),
+                    format!("{:.1} | {:.1}", paper_row.0, paper_row.1),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\nnest phase: sequential stack {seq_sum:.3} s vs concurrent max {conc_max:.3} s → {:.1} % gain (paper: 1.1 vs 0.7 s → 36 %)",
+        (1.0 - conc_max / seq_sum) * 100.0
+    );
+    println!("overall per-iteration improvement: {:.2} %", cmp.improvement_pct());
+}

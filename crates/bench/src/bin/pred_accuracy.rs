@@ -1,0 +1,79 @@
+//! §3.1 — Performance-prediction accuracy: Delaunay interpolation vs the
+//! naïve points-proportional model.
+//!
+//! Paper claims: interpolation error < 6 % on test domains (55 900–94 990
+//! points, aspect 0.5–1.5); naïve model errs > 19 %.
+
+use nestwx_bench::{banner, mean, row};
+use nestwx_core::profile::{measure_domain_time, profile_basis, PROFILE_RANKS};
+use nestwx_grid::DomainFeatures;
+use nestwx_netsim::Machine;
+use nestwx_predict::{ExecTimePredictor, NaivePointsModel};
+
+fn main() {
+    banner("pred", "execution-time prediction accuracy (§3.1)");
+    let machine = Machine::bgl(64);
+    let basis = profile_basis(&machine, 42);
+    let model = ExecTimePredictor::fit(&basis).unwrap();
+    let naive = NaivePointsModel::fit(&basis);
+
+    // Test domains in the paper's stated range: 55 900–94 990 points,
+    // aspect ratios 0.5–1.5, plus scaled-up versions (out-of-hull).
+    let tests: [(u32, u32); 10] = [
+        (215, 260),
+        (230, 243),
+        (310, 215),
+        (188, 300),
+        (260, 360),
+        (205, 410),
+        (172, 344),
+        (365, 244),
+        (240, 240),
+        (298, 301),
+    ];
+
+    let widths = [11, 10, 12, 12, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["domain".into(), "points".into(), "true s".into(), "interp s".into(), "err%".into(), "naive err%".into()],
+            &widths
+        )
+    );
+    let mut interp_errs = Vec::new();
+    let mut naive_errs = Vec::new();
+    for (nx, ny) in tests {
+        let truth = measure_domain_time(&machine, nx, ny, PROFILE_RANKS);
+        let f = DomainFeatures::from_dims(nx, ny);
+        let pred = model.predict(&f).unwrap();
+        let npred = naive.predict(&f);
+        let e = (pred - truth).abs() / truth * 100.0;
+        let ne = (npred - truth).abs() / truth * 100.0;
+        interp_errs.push(e);
+        naive_errs.push(ne);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{nx}x{ny}"),
+                    (nx as u64 * ny as u64).to_string(),
+                    format!("{truth:.4}"),
+                    format!("{pred:.4}"),
+                    format!("{e:.2}"),
+                    format!("{ne:.2}"),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\ninterpolation: mean {:.2}%  max {:.2}%   (paper: <6% for most configurations)",
+        mean(&interp_errs),
+        nestwx_bench::max(&interp_errs)
+    );
+    println!(
+        "naive points : mean {:.2}%  max {:.2}%   (paper: >19%)",
+        mean(&naive_errs),
+        nestwx_bench::max(&naive_errs)
+    );
+}

@@ -1,0 +1,57 @@
+//! §4.3.1 — Improvement in per-iteration time over 85 random configurations
+//! on 1024 BG/L cores.
+//!
+//! Paper: nest sizes 178×202 … 394×418, 2–4 siblings; average improvement
+//! 21.14 %, maximum 33.04 %.
+//!
+//! Also reports the §4.3.4 split by sibling count (paper: 19.43 % for
+//! 2 siblings vs 24.22 % for 4).
+
+use nestwx_bench::{banner, max, mean, pacific_parent, random_nests, rng_for, MEASURE_ITERS};
+use nestwx_core::{compare_strategies, Planner};
+use nestwx_netsim::Machine;
+
+fn main() {
+    let configs: usize =
+        std::env::var("NESTWX_CONFIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(85);
+    banner("sec431", &format!("improvement over {configs} random configs on BG/L(1024)"));
+    let parent = pacific_parent();
+    let planner = Planner::new(Machine::bgl_rack());
+    let mut rng = rng_for("sec431");
+
+    let mut by_siblings: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut all = Vec::new();
+    for i in 0..configs {
+        let k = 2 + (i % 3); // 2, 3 or 4 siblings
+        let nests = random_nests(&mut rng, k, 178 * 202, 394 * 418, &parent);
+        let cmp = compare_strategies(&planner, &parent, &nests, MEASURE_ITERS).unwrap();
+        let imp = cmp.improvement_pct();
+        all.push(imp);
+        by_siblings[k - 2].push(imp);
+        if (i + 1) % 10 == 0 {
+            eprintln!("  … {}/{configs}", i + 1);
+        }
+    }
+
+    println!("configurations : {}", all.len());
+    println!("average improvement: {:>6.2} %   (paper: 21.14 %)", mean(&all));
+    println!("maximum improvement: {:>6.2} %   (paper: 33.04 %)", max(&all));
+    println!(
+        "minimum improvement: {:>6.2} %",
+        all.iter().copied().fold(f64::INFINITY, f64::min)
+    );
+    println!("\nby sibling count (§4.3.4):");
+    for (k, imps) in by_siblings.iter().enumerate() {
+        println!(
+            "  {} siblings: avg {:>6.2} %  over {} configs{}",
+            k + 2,
+            mean(imps),
+            imps.len(),
+            match k {
+                0 => "   (paper: 19.43 %)",
+                2 => "   (paper: 24.22 %)",
+                _ => "",
+            }
+        );
+    }
+}

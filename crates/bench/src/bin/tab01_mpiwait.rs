@@ -1,0 +1,51 @@
+//! Table 1 — Average and maximum improvement in MPI_Wait times on BG/L and
+//! BG/P.
+//!
+//! Paper values: 1024 BG/L 38.42 % / 66.30 %; 512 BG/P 30.70 / 60.92;
+//! 1024 BG/P 36.01 / 60.11; 2048 BG/P 27.02 / 55.54; 4096 BG/P
+//! 28.68 / 43.86.
+
+use nestwx_bench::{banner, max, mean, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS};
+use nestwx_core::{compare_strategies, Planner};
+use nestwx_netsim::Machine;
+
+fn main() {
+    let configs: usize =
+        std::env::var("NESTWX_CONFIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
+    banner("tab01", &format!("MPI_Wait improvement, {configs} configs per machine"));
+    let parent = pacific_parent();
+    let widths = [16, 12, 12, 22];
+    println!(
+        "{}",
+        row(
+            &["machine".into(), "avg (%)".into(), "max (%)".into(), "paper avg/max (%)".into()],
+            &widths
+        )
+    );
+    let machines: [(Machine, &str); 5] = [
+        (Machine::bgl_rack(), "38.42 / 66.30"),
+        (Machine::bgp(512), "30.70 / 60.92"),
+        (Machine::bgp(1024), "36.01 / 60.11"),
+        (Machine::bgp(2048), "27.02 / 55.54"),
+        (Machine::bgp(4096), "28.68 / 43.86"),
+    ];
+    for (machine, paper) in machines {
+        let name = machine.name.clone();
+        let planner = Planner::new(machine);
+        let mut rng = rng_for("tab01");
+        let mut imps = Vec::new();
+        for i in 0..configs {
+            let k = 2 + (i % 3);
+            let nests = random_nests(&mut rng, k, 178 * 202, 394 * 418, &parent);
+            let cmp = compare_strategies(&planner, &parent, &nests, MEASURE_ITERS).unwrap();
+            imps.push(cmp.mpi_wait_improvement_pct());
+        }
+        println!(
+            "{}",
+            row(
+                &[name, format!("{:.2}", mean(&imps)), format!("{:.2}", max(&imps)), paper.into()],
+                &widths
+            )
+        );
+    }
+}

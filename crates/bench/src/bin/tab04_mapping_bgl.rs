@@ -1,0 +1,99 @@
+//! Table 4 + Fig. 11 — Execution times per iteration for the default
+//! strategy and the four mappings on 1024 BG/L cores, plus percentage
+//! improvements in execution and MPI_Wait times.
+//!
+//! Paper (Table 4, seconds/iteration):
+//! default | oblivious | partition | multi-level | TXYZ
+//!   2.77  |   2.25    |   2.10    |    2.07     | 2.12
+//!   3.69  |   3.08    |   2.95    |    2.92     | 2.95
+//!   3.43  |   2.89    |   2.72    |    2.72     | 2.83
+//!   4.98  |   3.92    |   3.72    |    3.72     | 3.99
+//!   4.75  |   3.53    |   3.39    |    3.33     | 3.44
+//! (rows 1–3: 2 siblings, row 4: 3 siblings, row 5: 4 siblings)
+
+use nestwx_bench::{banner, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS};
+use nestwx_core::{MappingKind, Planner, Strategy};
+use nestwx_grid::NestSpec;
+use nestwx_netsim::{Machine, SimReport};
+
+fn run(planner: &Planner, nests: &[NestSpec]) -> SimReport {
+    planner.plan(&pacific_parent(), nests).unwrap().simulate(MEASURE_ITERS).unwrap()
+}
+
+fn main() {
+    banner("tab04", "mapping comparison on BG/L(1024): Table 4 and Fig. 11");
+    let parent = pacific_parent();
+    let mut rng = rng_for("tab04");
+    // Five configurations: three 2-sibling, one 3-sibling, one 4-sibling.
+    let configs: Vec<Vec<NestSpec>> = [2usize, 2, 2, 3, 4]
+        .iter()
+        .map(|&k| random_nests(&mut rng, k, 250 * 250, 394 * 418, &parent))
+        .collect();
+
+    let base = Planner::new(Machine::bgl_rack());
+    let widths = [5, 9, 11, 11, 11, 9];
+    println!(
+        "{}",
+        row(
+            &["cfg".into(), "default".into(), "oblivious".into(), "partition".into(), "multilevel".into(), "TXYZ".into()],
+            &widths
+        )
+    );
+    for (i, nests) in configs.iter().enumerate() {
+        let default =
+            run(&base.clone().strategy(Strategy::Sequential).mapping(MappingKind::Oblivious), nests);
+        let runs: Vec<SimReport> = MappingKind::ALL
+            .iter()
+            .map(|&m| run(&base.clone().mapping(m), nests))
+            .collect();
+        // Order: oblivious, txyz, partition, multilevel → print paper order.
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{} ({}s)", i + 1, nests.len()),
+                    format!("{:.2}", default.per_iteration()),
+                    format!("{:.2}", runs[0].per_iteration()),
+                    format!("{:.2}", runs[2].per_iteration()),
+                    format!("{:.2}", runs[3].per_iteration()),
+                    format!("{:.2}", runs[1].per_iteration()),
+                ],
+                &widths
+            )
+        );
+        // Fig. 11 rows: improvement over default.
+        let imp = |r: &SimReport| r.improvement_over(&default);
+        let wimp =
+            |r: &SimReport| (1.0 - r.mpi_wait_total / default.mpi_wait_total) * 100.0;
+        println!(
+            "{}",
+            row(
+                &[
+                    "".into(),
+                    "exec +%".into(),
+                    format!("{:.1}", imp(&runs[0])),
+                    format!("{:.1}", imp(&runs[2])),
+                    format!("{:.1}", imp(&runs[3])),
+                    format!("{:.1}", imp(&runs[1])),
+                ],
+                &widths
+            )
+        );
+        println!(
+            "{}",
+            row(
+                &[
+                    "".into(),
+                    "wait +%".into(),
+                    format!("{:.1}", wimp(&runs[0])),
+                    format!("{:.1}", wimp(&runs[2])),
+                    format!("{:.1}", wimp(&runs[3])),
+                    format!("{:.1}", wimp(&runs[1])),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nPaper shape: topology-aware (partition/multi-level) beat oblivious by a few %,");
+    println!("multi-level ⩾ partition, and both beat the Blue Gene TXYZ mapfile ordering.");
+}

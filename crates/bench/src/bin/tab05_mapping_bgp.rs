@@ -1,0 +1,85 @@
+//! Table 5 + Fig. 12 — Mapping comparison on 4096 BG/P cores: per-iteration
+//! times, MPI_Wait improvement, and the reduction in average hops.
+//!
+//! Paper (Table 5, s/iteration): default 5.43/5.65/5.61; oblivious
+//! 3.94/4.20/4.39; partition 3.92/4.1/4.28; multi-level 3.93/4.1/4.39.
+//! Fig. 12(b): topology-aware mappings cut average hops by ≈ 50 %.
+
+use nestwx_bench::{banner, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS};
+use nestwx_core::{MappingKind, Planner, Strategy};
+use nestwx_grid::NestSpec;
+use nestwx_netsim::{Machine, SimReport};
+
+fn main() {
+    banner("tab05", "mapping comparison on BG/P(4096): Table 5 and Fig. 12");
+    let parent = pacific_parent();
+    let mut rng = rng_for("tab05");
+    // Three configurations: two 4-sibling, one 3-sibling (paper's rows).
+    let configs: Vec<Vec<NestSpec>> = [4usize, 4, 3]
+        .iter()
+        .map(|&k| random_nests(&mut rng, k, 250 * 250, 415 * 445, &parent))
+        .collect();
+
+    let base = Planner::new(Machine::bgp(4096));
+    let widths = [5, 9, 11, 11, 11];
+    println!(
+        "{}",
+        row(
+            &["cfg".into(), "default".into(), "oblivious".into(), "partition".into(), "multilevel".into()],
+            &widths
+        )
+    );
+    for (i, nests) in configs.iter().enumerate() {
+        let run = |p: Planner| -> SimReport {
+            p.plan(&parent, nests).unwrap().simulate(MEASURE_ITERS).unwrap()
+        };
+        let default =
+            run(base.clone().strategy(Strategy::Sequential).mapping(MappingKind::Oblivious));
+        let obl = run(base.clone().mapping(MappingKind::Oblivious));
+        let par = run(base.clone().mapping(MappingKind::Partition));
+        let mul = run(base.clone().mapping(MappingKind::MultiLevel));
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{} ({}s)", i + 1, nests.len()),
+                    format!("{:.2}", default.per_iteration()),
+                    format!("{:.2}", obl.per_iteration()),
+                    format!("{:.2}", par.per_iteration()),
+                    format!("{:.2}", mul.per_iteration()),
+                ],
+                &widths
+            )
+        );
+        let wimp = |r: &SimReport| (1.0 - r.mpi_wait_total / default.mpi_wait_total) * 100.0;
+        println!(
+            "{}",
+            row(
+                &[
+                    "".into(),
+                    "wait +%".into(),
+                    format!("{:.1}", wimp(&obl)),
+                    format!("{:.1}", wimp(&par)),
+                    format!("{:.1}", wimp(&mul)),
+                ],
+                &widths
+            )
+        );
+        let hops = |r: &SimReport| (1.0 - r.avg_hops / default.avg_hops) * 100.0;
+        println!(
+            "{}",
+            row(
+                &[
+                    "".into(),
+                    "hops -%".into(),
+                    format!("{:.1}", hops(&obl)),
+                    format!("{:.1}", hops(&par)),
+                    format!("{:.1}", hops(&mul)),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nPaper shape: MPI_Wait falls > 50 % on average for the mapped runs;");
+    println!("topology-aware mappings cut average hops ≈ 50 % vs default/oblivious.");
+}

@@ -1,0 +1,541 @@
+//! Argument parsing and command logic for the `nestwx` command-line tool.
+//!
+//! Kept as a library so the parsing and output formatting are unit-testable;
+//! `main.rs` is a thin shell.
+//!
+//! ```text
+//! nestwx machines
+//! nestwx plan    --machine bgl:1024 --parent 286x307@24 \
+//!                --nest 259x229r3@10,12 --nest 232x256r3@150,40 [--json]
+//! nestwx compare --machine bgp:4096 --parent 286x307@24 \
+//!                --nest 394x418r3@10,10 --nest 313x337r3@150,160 \
+//!                [--iterations 5] [--mapping multilevel] [--alloc huffman]
+//!                [--io pnetcdf:1] [--json]
+//! ```
+//!
+//! Nest syntax: `NXxNYrR@OX,OY` (level 1) or `NXxNYrR@OX,OY:in=K` for a
+//! second-level nest inside nest `K` (0-based).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nestwx_core::{compare_strategies, AllocPolicy, MappingKind, Planner, Strategy};
+use nestwx_grid::{Domain, NestSpec};
+use nestwx_netsim::{IoMode, Machine};
+use serde::Serialize;
+use std::fmt;
+
+/// A parsed command-line invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List machine presets.
+    Machines,
+    /// Produce and print an execution plan.
+    Plan(RunArgs),
+    /// Compare default vs divide-and-conquer strategies.
+    Compare(RunArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Common arguments for `plan` and `compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Target machine.
+    pub machine: MachineSpec,
+    /// Parent domain.
+    pub parent: Domain,
+    /// Nest list.
+    pub nests: Vec<NestSpec>,
+    /// Iterations (compare only).
+    pub iterations: u32,
+    /// Mapping kind.
+    pub mapping: MappingKind,
+    /// Allocation policy.
+    pub alloc: AllocPolicy,
+    /// Output mode and interval.
+    pub io: Option<(IoMode, u32)>,
+    /// Emit machine-readable JSON.
+    pub json: bool,
+    /// Include the per-iteration timeline in compare output.
+    pub trace: bool,
+}
+
+/// Machine family and core count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// `bgl` or `bgp`.
+    pub family: Family,
+    /// Total cores.
+    pub cores: u32,
+}
+
+/// Blue Gene family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Blue Gene/L (VN mode).
+    BgL,
+    /// Blue Gene/P (VN mode).
+    BgP,
+}
+
+impl MachineSpec {
+    /// Instantiates the machine model.
+    pub fn build(&self) -> Machine {
+        match self.family {
+            Family::BgL => Machine::bgl(self.cores),
+            Family::BgP => Machine::bgp(self.cores),
+        }
+    }
+}
+
+/// A user-facing parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parses `bgl:1024` / `bgp:4096`.
+pub fn parse_machine(s: &str) -> Result<MachineSpec, ParseError> {
+    let (fam, cores) = s.split_once(':').ok_or_else(|| err(format!("machine '{s}': expected FAMILY:CORES")))?;
+    let family = match fam {
+        "bgl" => Family::BgL,
+        "bgp" => Family::BgP,
+        other => return Err(err(format!("unknown machine family '{other}' (bgl|bgp)"))),
+    };
+    let cores: u32 = cores.parse().map_err(|_| err(format!("bad core count '{cores}'")))?;
+    if !cores.is_power_of_two() {
+        return Err(err(format!("core count {cores} must be a power of two")));
+    }
+    let min = match family {
+        Family::BgL => 16,
+        Family::BgP => 64,
+    };
+    if cores < min {
+        return Err(err(format!("{fam} needs at least {min} cores")));
+    }
+    Ok(MachineSpec { family, cores })
+}
+
+/// Parses `286x307@24` (nx × ny at dx km).
+pub fn parse_parent(s: &str) -> Result<Domain, ParseError> {
+    let (dims, dx) = s.split_once('@').ok_or_else(|| err(format!("parent '{s}': expected NXxNY@DX")))?;
+    let (nx, ny) = parse_dims(dims)?;
+    let dx: f64 = dx.parse().map_err(|_| err(format!("bad resolution '{dx}'")))?;
+    if dx <= 0.0 {
+        return Err(err("resolution must be positive"));
+    }
+    Ok(Domain::parent(nx, ny, dx))
+}
+
+/// Parses `259x229r3@10,12` or `90x90r3@5,5:in=0`.
+pub fn parse_nest(s: &str) -> Result<NestSpec, ParseError> {
+    let (body, parent_nest) = match s.split_once(":in=") {
+        Some((b, k)) => {
+            let k: usize = k.parse().map_err(|_| err(format!("bad parent nest index '{k}'")))?;
+            (b, Some(k))
+        }
+        None => (s, None),
+    };
+    let (dims_r, offs) = body.split_once('@').ok_or_else(|| err(format!("nest '{s}': expected NXxNYrR@OX,OY")))?;
+    let (dims, r) = dims_r.split_once('r').ok_or_else(|| err(format!("nest '{s}': missing refinement 'rR'")))?;
+    let (nx, ny) = parse_dims(dims)?;
+    let r: u32 = r.parse().map_err(|_| err(format!("bad refinement '{r}'")))?;
+    let (ox, oy) = offs.split_once(',').ok_or_else(|| err(format!("nest '{s}': offset must be OX,OY")))?;
+    let ox: u32 = ox.parse().map_err(|_| err(format!("bad offset '{ox}'")))?;
+    let oy: u32 = oy.parse().map_err(|_| err(format!("bad offset '{oy}'")))?;
+    Ok(NestSpec { nx, ny, refine_ratio: r, offset: (ox, oy), parent_nest })
+}
+
+fn parse_dims(s: &str) -> Result<(u32, u32), ParseError> {
+    let (nx, ny) = s.split_once('x').ok_or_else(|| err(format!("dims '{s}': expected NXxNY")))?;
+    Ok((
+        nx.parse().map_err(|_| err(format!("bad dimension '{nx}'")))?,
+        ny.parse().map_err(|_| err(format!("bad dimension '{ny}'")))?,
+    ))
+}
+
+/// Parses `oblivious|txyz|partition|multilevel`.
+pub fn parse_mapping(s: &str) -> Result<MappingKind, ParseError> {
+    match s {
+        "oblivious" => Ok(MappingKind::Oblivious),
+        "txyz" => Ok(MappingKind::Txyz),
+        "partition" => Ok(MappingKind::Partition),
+        "multilevel" => Ok(MappingKind::MultiLevel),
+        other => Err(err(format!("unknown mapping '{other}'"))),
+    }
+}
+
+/// Parses `equal|naive|huffman`.
+pub fn parse_alloc(s: &str) -> Result<AllocPolicy, ParseError> {
+    match s {
+        "equal" => Ok(AllocPolicy::Equal),
+        "naive" => Ok(AllocPolicy::NaiveProportional),
+        "huffman" => Ok(AllocPolicy::HuffmanSplitTree),
+        other => Err(err(format!("unknown allocation policy '{other}'"))),
+    }
+}
+
+/// Parses `pnetcdf:N` / `split:N`.
+pub fn parse_io(s: &str) -> Result<(IoMode, u32), ParseError> {
+    let (mode, every) = s.split_once(':').ok_or_else(|| err(format!("io '{s}': expected MODE:INTERVAL")))?;
+    let mode = match mode {
+        "pnetcdf" => IoMode::PnetCdf,
+        "split" => IoMode::SplitFiles,
+        other => return Err(err(format!("unknown io mode '{other}'"))),
+    };
+    let every: u32 = every.parse().map_err(|_| err(format!("bad interval '{every}'")))?;
+    if every == 0 {
+        return Err(err("io interval must be ≥ 1"));
+    }
+    Ok((mode, every))
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "machines" => Ok(Command::Machines),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "plan" | "compare" => {
+            let mut machine = None;
+            let mut parent = None;
+            let mut nests = Vec::new();
+            let mut iterations = 5u32;
+            let mut mapping = MappingKind::Partition;
+            let mut alloc = AllocPolicy::HuffmanSplitTree;
+            let mut io = None;
+            let mut json = false;
+            let mut trace = false;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().cloned().ok_or_else(|| err(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--machine" => machine = Some(parse_machine(&value("--machine")?)?),
+                    "--parent" => parent = Some(parse_parent(&value("--parent")?)?),
+                    "--nest" => nests.push(parse_nest(&value("--nest")?)?),
+                    "--iterations" => {
+                        iterations = value("--iterations")?
+                            .parse()
+                            .map_err(|_| err("bad --iterations"))?;
+                    }
+                    "--mapping" => mapping = parse_mapping(&value("--mapping")?)?,
+                    "--alloc" => alloc = parse_alloc(&value("--alloc")?)?,
+                    "--io" => io = Some(parse_io(&value("--io")?)?),
+                    "--json" => json = true,
+                    "--trace" => trace = true,
+                    other => return Err(err(format!("unknown flag '{other}'"))),
+                }
+            }
+            let run = RunArgs {
+                machine: machine.ok_or_else(|| err("--machine is required"))?,
+                parent: parent.ok_or_else(|| err("--parent is required"))?,
+                nests,
+                iterations,
+                mapping,
+                alloc,
+                io,
+                json,
+                trace,
+            };
+            if run.nests.is_empty() {
+                return Err(err("at least one --nest is required"));
+            }
+            if run.iterations == 0 {
+                return Err(err("--iterations must be ≥ 1"));
+            }
+            Ok(match cmd.as_str() {
+                "plan" => Command::Plan(run),
+                _ => Command::Compare(run),
+            })
+        }
+        other => Err(err(format!("unknown command '{other}' (machines|plan|compare|help)"))),
+    }
+}
+
+#[derive(Serialize)]
+struct PlanOut {
+    machine: String,
+    ranks: u32,
+    grid: (u32, u32),
+    predicted_ratios: Vec<f64>,
+    partitions: Vec<PartitionOut>,
+}
+
+#[derive(Serialize)]
+struct PartitionOut {
+    nest: usize,
+    x: u32,
+    y: u32,
+    w: u32,
+    h: u32,
+    ranks: u64,
+}
+
+#[derive(Serialize)]
+struct CompareOut {
+    machine: String,
+    iterations: u32,
+    default_s_per_iter: f64,
+    parallel_s_per_iter: f64,
+    improvement_pct: f64,
+    mpi_wait_improvement_pct: f64,
+    hops_reduction_pct: f64,
+    io_improvement_pct: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    trace: Option<Vec<nestwx_netsim::IterationTrace>>,
+}
+
+/// Runs a parsed command, writing human or JSON output to `out`.
+pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{}", usage())?;
+        }
+        Command::Machines => {
+            writeln!(out, "machine presets (FAMILY:CORES):")?;
+            for (spec, desc) in [
+                ("bgl:16..1024", "IBM Blue Gene/L, virtual-node mode, 8x8x8-midplane torus"),
+                ("bgp:64..8192", "IBM Blue Gene/P, virtual-node mode, rack-stacked torus"),
+            ] {
+                writeln!(out, "  {spec:<14} {desc}")?;
+            }
+        }
+        Command::Plan(a) => {
+            let planner = planner_for(&a);
+            let plan = planner.plan(&a.parent, &a.nests)?;
+            if a.json {
+                let o = PlanOut {
+                    machine: plan.machine.name.clone(),
+                    ranks: plan.machine.ranks(),
+                    grid: (plan.grid.px, plan.grid.py),
+                    predicted_ratios: plan.predicted_ratios.clone(),
+                    partitions: plan
+                        .partitions
+                        .iter()
+                        .map(|p| PartitionOut {
+                            nest: p.domain,
+                            x: p.rect.x0,
+                            y: p.rect.y0,
+                            w: p.rect.w,
+                            h: p.rect.h,
+                            ranks: p.rect.area(),
+                        })
+                        .collect(),
+                };
+                writeln!(out, "{}", serde_json::to_string_pretty(&o)?)?;
+            } else {
+                writeln!(out, "machine: {} ({} ranks as {}x{})", plan.machine.name, plan.machine.ranks(), plan.grid.px, plan.grid.py)?;
+                writeln!(out, "predicted time shares: {:?}", plan.predicted_ratios)?;
+                for p in &plan.partitions {
+                    writeln!(
+                        out,
+                        "  nest {}: {}x{} ranks at ({},{})  [{} ranks]",
+                        p.domain, p.rect.w, p.rect.h, p.rect.x0, p.rect.y0, p.rect.area()
+                    )?;
+                }
+            }
+        }
+        Command::Compare(a) => {
+            let planner = planner_for(&a);
+            let cmp = compare_strategies(&planner, &a.parent, &a.nests, a.iterations)?;
+            if a.json {
+                let trace = if a.trace {
+                    let plan = planner.plan(&a.parent, &a.nests)?;
+                    Some(plan.simulate_traced(a.iterations)?.1)
+                } else {
+                    None
+                };
+                let o = CompareOut {
+                    machine: cmp.default_run.machine.clone(),
+                    iterations: a.iterations,
+                    default_s_per_iter: cmp.default_run.per_iteration(),
+                    parallel_s_per_iter: cmp.planned_run.per_iteration(),
+                    improvement_pct: cmp.improvement_pct(),
+                    mpi_wait_improvement_pct: cmp.mpi_wait_improvement_pct(),
+                    hops_reduction_pct: cmp.hops_reduction_pct(),
+                    io_improvement_pct: cmp.io_improvement_pct(),
+                    trace,
+                };
+                writeln!(out, "{}", serde_json::to_string_pretty(&o)?)?;
+            } else {
+                writeln!(out, "default (sequential) : {:.3} s/iteration", cmp.default_run.per_iteration())?;
+                writeln!(out, "divide-and-conquer   : {:.3} s/iteration", cmp.planned_run.per_iteration())?;
+                writeln!(out, "improvement          : {:+.2} %", cmp.improvement_pct())?;
+                writeln!(out, "MPI_Wait improvement : {:+.2} %", cmp.mpi_wait_improvement_pct())?;
+                writeln!(out, "avg hops reduction   : {:+.2} %", cmp.hops_reduction_pct())?;
+                if cmp.default_run.io_time > 0.0 {
+                    writeln!(out, "I/O improvement      : {:+.2} %", cmp.io_improvement_pct())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn planner_for(a: &RunArgs) -> Planner {
+    let mut planner = Planner::new(a.machine.build())
+        .strategy(Strategy::Concurrent)
+        .alloc_policy(a.alloc)
+        .mapping(a.mapping);
+    if let Some((mode, every)) = a.io {
+        planner = planner.output(mode, every);
+    }
+    planner
+}
+
+/// The usage string.
+pub fn usage() -> &'static str {
+    "nestwx — divide-and-conquer scheduling for multi-nest weather simulations
+
+USAGE:
+  nestwx machines
+  nestwx plan    --machine bgl:1024 --parent 286x307@24 --nest 259x229r3@10,12 [...]
+  nestwx compare --machine bgp:4096 --parent 286x307@24 --nest 394x418r3@10,10 [...]
+
+FLAGS:
+  --machine FAMILY:CORES   bgl:16..1024 | bgp:64..8192 (power of two)
+  --parent  NXxNY@DXKM     e.g. 286x307@24
+  --nest    NXxNYrR@OX,OY[:in=K]
+                           repeatable; ':in=K' makes it a second-level nest
+                           inside nest K (0-based)
+  --iterations N           compare only (default 5)
+  --mapping  oblivious|txyz|partition|multilevel   (default partition)
+  --alloc    equal|naive|huffman                   (default huffman)
+  --io       pnetcdf:N|split:N                     history output every N iters
+  --json                   machine-readable output
+  --trace                  include the per-iteration timeline (with --json)"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_machine_specs() {
+        assert_eq!(parse_machine("bgl:1024").unwrap(), MachineSpec { family: Family::BgL, cores: 1024 });
+        assert_eq!(parse_machine("bgp:4096").unwrap().cores, 4096);
+        assert!(parse_machine("bgq:1024").is_err());
+        assert!(parse_machine("bgl:1000").is_err()); // not a power of two
+        assert!(parse_machine("bgl:8").is_err()); // too small
+        assert!(parse_machine("bgl").is_err());
+    }
+
+    #[test]
+    fn parse_parent_spec() {
+        let d = parse_parent("286x307@24").unwrap();
+        assert_eq!((d.nx, d.ny), (286, 307));
+        assert!((d.dx_km - 24.0).abs() < 1e-12);
+        assert!(parse_parent("286x307").is_err());
+        assert!(parse_parent("286x307@-2").is_err());
+    }
+
+    #[test]
+    fn parse_nest_specs() {
+        let n = parse_nest("259x229r3@10,12").unwrap();
+        assert_eq!((n.nx, n.ny, n.refine_ratio, n.offset), (259, 229, 3, (10, 12)));
+        assert_eq!(n.parent_nest, None);
+        let c = parse_nest("90x90r3@5,6:in=0").unwrap();
+        assert_eq!(c.parent_nest, Some(0));
+        assert!(parse_nest("259x229@10,12").is_err()); // missing rR
+        assert!(parse_nest("259x229r3@10").is_err()); // bad offset
+    }
+
+    #[test]
+    fn parse_full_compare_command() {
+        let args: Vec<String> = [
+            "compare",
+            "--machine",
+            "bgl:64",
+            "--parent",
+            "286x307@24",
+            "--nest",
+            "200x200r3@10,12",
+            "--iterations",
+            "2",
+            "--mapping",
+            "multilevel",
+            "--alloc",
+            "naive",
+            "--io",
+            "split:2",
+            "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let Command::Compare(a) = parse_args(&args).unwrap() else { panic!("wrong command") };
+        assert_eq!(a.iterations, 2);
+        assert_eq!(a.mapping, MappingKind::MultiLevel);
+        assert_eq!(a.alloc, AllocPolicy::NaiveProportional);
+        assert_eq!(a.io, Some((IoMode::SplitFiles, 2)));
+        assert!(a.json);
+    }
+
+    #[test]
+    fn parse_rejects_missing_required() {
+        let args: Vec<String> =
+            ["plan", "--parent", "100x100@24"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&args).is_err());
+        let args: Vec<String> = ["plan", "--machine", "bgl:64", "--parent", "100x100@24"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err()); // no nests
+    }
+
+    #[test]
+    fn run_plan_produces_output() {
+        let args: Vec<String> = [
+            "plan", "--machine", "bgl:64", "--parent", "286x307@24", "--nest", "200x200r3@10,12",
+            "--nest", "150x160r3@80,80", "--alloc", "naive",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cmd = parse_args(&args).unwrap();
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("nest 0"));
+        assert!(text.contains("nest 1"));
+    }
+
+    #[test]
+    fn run_compare_json_is_valid() {
+        let args: Vec<String> = [
+            "compare", "--machine", "bgl:32", "--parent", "150x150@24", "--nest",
+            "100x100r3@5,5", "--iterations", "1", "--alloc", "naive", "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cmd = parse_args(&args).unwrap();
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        assert!(v["default_s_per_iter"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn machines_and_help() {
+        let mut buf = Vec::new();
+        run(Command::Machines, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("bgl"));
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+}

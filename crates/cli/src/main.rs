@@ -1,0 +1,16 @@
+//! `nestwx` — the command-line entry point (logic in [`nestwx_cli`]).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match nestwx_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", nestwx_cli::usage());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = nestwx_cli::run(cmd, &mut std::io::stdout()) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Convenience comparison of the default and divide-and-conquer strategies.
+
+use crate::planner::{PlanError, Planner};
+use crate::strategy::{MappingKind, Strategy};
+use nestwx_grid::{Domain, NestSpec};
+use nestwx_netsim::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// Side-by-side result of the default sequential strategy and a
+/// divide-and-conquer plan on the same configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyComparison {
+    /// Default: sequential nests, topology-oblivious mapping.
+    pub default_run: SimReport,
+    /// The planner's configured strategy.
+    pub planned_run: SimReport,
+}
+
+impl StrategyComparison {
+    /// Percentage improvement in per-iteration time (positive = planned
+    /// faster), the headline metric of §4.3.
+    pub fn improvement_pct(&self) -> f64 {
+        self.planned_run.improvement_over(&self.default_run)
+    }
+
+    /// Percentage improvement in total MPI_Wait (Table 1).
+    pub fn mpi_wait_improvement_pct(&self) -> f64 {
+        (1.0 - self.planned_run.mpi_wait_total / self.default_run.mpi_wait_total) * 100.0
+    }
+
+    /// Percentage improvement in I/O time (Fig. 8's included-I/O delta).
+    pub fn io_improvement_pct(&self) -> f64 {
+        if self.default_run.io_time == 0.0 {
+            0.0
+        } else {
+            (1.0 - self.planned_run.io_time / self.default_run.io_time) * 100.0
+        }
+    }
+
+    /// Reduction in average hops per message (Fig. 12b).
+    pub fn hops_reduction_pct(&self) -> f64 {
+        (1.0 - self.planned_run.avg_hops / self.default_run.avg_hops) * 100.0
+    }
+}
+
+/// Runs `planner`'s configuration and the paper's default baseline
+/// (sequential + oblivious mapping, same machine/output settings) on the
+/// given domains for `iterations` parent iterations.
+pub fn compare_strategies(
+    planner: &Planner,
+    parent: &Domain,
+    nests: &[NestSpec],
+    iterations: u32,
+) -> Result<StrategyComparison, PlanError> {
+    let baseline = planner
+        .clone()
+        .strategy(Strategy::Sequential)
+        .mapping(MappingKind::Oblivious)
+        .plan(parent, nests)?;
+    let planned = planner.plan(parent, nests)?;
+    Ok(StrategyComparison {
+        default_run: baseline.simulate(iterations)?,
+        planned_run: planned.simulate(iterations)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestwx_netsim::Machine;
+
+    #[test]
+    fn comparison_shows_improvement_for_saturating_nests() {
+        // Two medium nests on a BG/L partition they saturate.
+        let parent = Domain::parent(286, 307, 24.0);
+        let nests = vec![
+            NestSpec::new(259, 229, 3, (10, 12)),
+            NestSpec::new(259, 229, 3, (150, 40)),
+        ];
+        let planner = Planner::new(Machine::bgl(512));
+        let cmp = compare_strategies(&planner, &parent, &nests, 3).unwrap();
+        let imp = cmp.improvement_pct();
+        assert!(imp > 5.0, "improvement only {imp:.1}%");
+        assert!(imp < 60.0, "improvement implausibly high: {imp:.1}%");
+        assert!(
+            cmp.mpi_wait_improvement_pct() > 0.0,
+            "halo MPI_Wait should drop: {:.1}%",
+            cmp.mpi_wait_improvement_pct()
+        );
+    }
+
+    #[test]
+    fn comparison_fields_consistent() {
+        let parent = Domain::parent(286, 307, 24.0);
+        let nests = vec![NestSpec::new(200, 200, 3, (10, 12))];
+        let planner = Planner::new(Machine::bgl(64));
+        let cmp = compare_strategies(&planner, &parent, &nests, 2).unwrap();
+        assert_eq!(cmp.default_run.iterations, 2);
+        assert_eq!(cmp.planned_run.iterations, 2);
+        // One nest: concurrent == "whole grid", improvement ≈ 0.
+        assert!(cmp.improvement_pct().abs() < 5.0);
+    }
+}

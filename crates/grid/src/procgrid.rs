@@ -1,0 +1,164 @@
+//! The virtual processor grid.
+//!
+//! WRF arranges the `P` MPI ranks as a 2-D `Px × Py` grid and gives each rank
+//! a rectangular patch of the domain (§3.2). The paper's partitioner then
+//! carves *this* grid into per-sibling sub-rectangles.
+
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A `Px × Py` virtual processor grid. Ranks are numbered row-major:
+/// rank = `y * px + x`, matching Fig. 5(a) of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcGrid {
+    /// Columns of processors.
+    pub px: u32,
+    /// Rows of processors.
+    pub py: u32,
+}
+
+impl ProcGrid {
+    /// Creates a grid with explicit dimensions.
+    pub const fn new(px: u32, py: u32) -> Self {
+        ProcGrid { px, py }
+    }
+
+    /// Picks the most square-like factorisation of `p` processors,
+    /// preferring `px ≤ py` on ties — the choice WRF's
+    /// `MODULE_DM` makes for its default decomposition.
+    ///
+    /// Panics if `p == 0`.
+    pub fn near_square(p: u32) -> Self {
+        assert!(p > 0, "cannot build a processor grid over 0 processors");
+        let mut best = (1u32, p);
+        let mut x = 1u32;
+        while x * x <= p {
+            if p.is_multiple_of(x) {
+                best = (x, p / x);
+            }
+            x += 1;
+        }
+        // best.0 <= best.1 by construction; px <= py.
+        ProcGrid { px: best.0, py: best.1 }
+    }
+
+    /// Total number of ranks.
+    pub const fn len(&self) -> u32 {
+        self.px * self.py
+    }
+
+    /// `true` when the grid is empty.
+    pub const fn is_empty(&self) -> bool {
+        self.px == 0 || self.py == 0
+    }
+
+    /// Row-major rank of grid position `(x, y)`.
+    pub const fn rank_of(&self, x: u32, y: u32) -> u32 {
+        y * self.px + x
+    }
+
+    /// Grid position of `rank`.
+    pub const fn coords_of(&self, rank: u32) -> (u32, u32) {
+        (rank % self.px, rank / self.px)
+    }
+
+    /// The grid as a [`Rect`] (for the partitioner).
+    pub const fn rect(&self) -> Rect {
+        Rect { x0: 0, y0: 0, w: self.px, h: self.py }
+    }
+
+    /// Ranks covered by a sub-rectangle of the grid, row-major within the
+    /// rectangle. This is the ordering used to build per-sibling
+    /// sub-communicators.
+    pub fn ranks_in(&self, r: &Rect) -> Vec<u32> {
+        debug_assert!(self.rect().contains_rect(r));
+        r.cells().map(|(x, y)| self.rank_of(x, y)).collect()
+    }
+
+    /// The four-neighbour (west, east, north, south) ranks of `rank`
+    /// *within* sub-rectangle `within`, or `None` per direction at the
+    /// sub-rectangle boundary. WRF halo exchange is non-periodic.
+    pub fn neighbors_within(&self, rank: u32, within: &Rect) -> [Option<u32>; 4] {
+        let (x, y) = self.coords_of(rank);
+        debug_assert!(within.contains(x, y));
+        let west = (x > within.x0).then(|| self.rank_of(x - 1, y));
+        let east = (x + 1 < within.x1()).then(|| self.rank_of(x + 1, y));
+        let north = (y > within.y0).then(|| self.rank_of(x, y - 1));
+        let south = (y + 1 < within.y1()).then(|| self.rank_of(x, y + 1));
+        [west, east, north, south]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_perfect_square() {
+        assert_eq!(ProcGrid::near_square(1024), ProcGrid::new(32, 32));
+        assert_eq!(ProcGrid::near_square(4096), ProcGrid::new(64, 64));
+    }
+
+    #[test]
+    fn near_square_non_square() {
+        assert_eq!(ProcGrid::near_square(512), ProcGrid::new(16, 32));
+        assert_eq!(ProcGrid::near_square(2048), ProcGrid::new(32, 64));
+        assert_eq!(ProcGrid::near_square(12), ProcGrid::new(3, 4));
+    }
+
+    #[test]
+    fn near_square_prime() {
+        assert_eq!(ProcGrid::near_square(13), ProcGrid::new(1, 13));
+    }
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = ProcGrid::new(8, 4);
+        for rank in 0..g.len() {
+            let (x, y) = g.coords_of(rank);
+            assert_eq!(g.rank_of(x, y), rank);
+        }
+    }
+
+    #[test]
+    fn fig5a_rank_numbering() {
+        // Fig. 5(a): 8×4 virtual grid; ranks 0–3 and 8–11 etc. belong to the
+        // left 4-wide partition; rank 8 sits directly below rank 0.
+        let g = ProcGrid::new(8, 4);
+        assert_eq!(g.coords_of(0), (0, 0));
+        assert_eq!(g.coords_of(8), (0, 1));
+        assert_eq!(g.coords_of(3), (3, 0));
+        assert_eq!(g.coords_of(4), (4, 0));
+    }
+
+    #[test]
+    fn ranks_in_subrect() {
+        let g = ProcGrid::new(8, 4);
+        let left = Rect::new(0, 0, 4, 4);
+        let ranks = g.ranks_in(&left);
+        assert_eq!(ranks.len(), 16);
+        assert_eq!(&ranks[..4], &[0, 1, 2, 3]);
+        assert_eq!(&ranks[4..8], &[8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn neighbors_respect_partition_boundary() {
+        let g = ProcGrid::new(8, 4);
+        let left = Rect::new(0, 0, 4, 4);
+        // Rank 3 is at the right edge of the left partition: no east
+        // neighbour within the partition even though rank 4 exists globally.
+        let n = g.neighbors_within(3, &left);
+        assert_eq!(n, [Some(2), None, None, Some(11)]);
+        // Interior rank.
+        let n = g.neighbors_within(9, &left);
+        assert_eq!(n, [Some(8), Some(10), Some(1), Some(17)]);
+    }
+
+    #[test]
+    fn neighbors_in_full_grid() {
+        let g = ProcGrid::new(8, 4);
+        let all = g.rect();
+        let n = g.neighbors_within(3, &all);
+        assert_eq!(n, [Some(2), Some(4), None, Some(11)]);
+    }
+}

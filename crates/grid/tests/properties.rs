@@ -1,0 +1,114 @@
+//! Property-based tests of the geometry layer.
+
+use nestwx_grid::rect::tiles_exactly;
+use nestwx_grid::{Decomposition, DomainFeatures, HaloSpec, ProcGrid, Rect};
+use proptest::prelude::*;
+
+proptest! {
+    /// Splitting a rectangle always tiles it exactly, for every legal cut.
+    #[test]
+    fn split_x_tiles(x0 in 0u32..100, y0 in 0u32..100, w in 2u32..200, h in 1u32..200, cut in 1u32..199) {
+        prop_assume!(cut < w);
+        let r = Rect::new(x0, y0, w, h);
+        let (a, b) = r.split_x(cut);
+        prop_assert!(tiles_exactly(&r, &[a, b]));
+        prop_assert_eq!(a.area() + b.area(), r.area());
+    }
+
+    #[test]
+    fn split_y_tiles(x0 in 0u32..100, y0 in 0u32..100, w in 1u32..200, h in 2u32..200, cut in 1u32..199) {
+        prop_assume!(cut < h);
+        let r = Rect::new(x0, y0, w, h);
+        let (a, b) = r.split_y(cut);
+        prop_assert!(tiles_exactly(&r, &[a, b]));
+    }
+
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn intersection_laws(
+        ax in 0u32..50, ay in 0u32..50, aw in 1u32..50, ah in 1u32..50,
+        bx in 0u32..50, by in 0u32..50, bw in 1u32..50, bh in 1u32..50,
+    ) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(!i.is_empty());
+        }
+    }
+
+    /// Decomposition patches tile the domain for any feasible grid.
+    #[test]
+    fn decomposition_tiles(nx in 1u32..300, ny in 1u32..300, px in 1u32..16, py in 1u32..16) {
+        prop_assume!(px <= nx && py <= ny);
+        let d = Decomposition::new(nx, ny, ProcGrid::new(px, py));
+        let regions: Vec<Rect> = d.patches().iter().map(|p| p.region).collect();
+        prop_assert!(tiles_exactly(&Rect::of_size(nx, ny), &regions));
+    }
+
+    /// Patch sizes are near-uniform: widths and heights differ by ≤ 1.
+    #[test]
+    fn decomposition_balanced(nx in 1u32..300, ny in 1u32..300, px in 1u32..16, py in 1u32..16) {
+        prop_assume!(px <= nx && py <= ny);
+        let d = Decomposition::new(nx, ny, ProcGrid::new(px, py));
+        let ws: Vec<u32> = d.patches().iter().map(|p| p.region.w).collect();
+        let hs: Vec<u32> = d.patches().iter().map(|p| p.region.h).collect();
+        prop_assert!(ws.iter().max().unwrap() - ws.iter().min().unwrap() <= 1);
+        prop_assert!(hs.iter().max().unwrap() - hs.iter().min().unwrap() <= 1);
+    }
+
+    /// Rank ↔ coordinate conversion round-trips.
+    #[test]
+    fn rank_coord_roundtrip(px in 1u32..64, py in 1u32..64, r in 0u32..4096) {
+        let g = ProcGrid::new(px, py);
+        prop_assume!(r < g.len());
+        let (x, y) = g.coords_of(r);
+        prop_assert_eq!(g.rank_of(x, y), r);
+        prop_assert!(x < px && y < py);
+    }
+
+    /// Neighbour relations are symmetric within any sub-rectangle.
+    #[test]
+    fn neighbors_symmetric(px in 2u32..20, py in 2u32..20, rx in 0u32..10, ry in 0u32..10, rw in 1u32..10, rh in 1u32..10) {
+        prop_assume!(rx + rw <= px && ry + rh <= py);
+        let g = ProcGrid::new(px, py);
+        let region = Rect::new(rx, ry, rw, rh);
+        for rank in g.ranks_in(&region) {
+            for nb in g.neighbors_within(rank, &region).into_iter().flatten() {
+                let back = g.neighbors_within(nb, &region);
+                prop_assert!(back.into_iter().flatten().any(|r| r == rank),
+                    "asymmetric neighbours {rank} / {nb}");
+            }
+        }
+    }
+
+    /// Near-square factorisation is exact and as square as claimed.
+    #[test]
+    fn near_square_factorises(p in 1u32..5000) {
+        let g = ProcGrid::near_square(p);
+        prop_assert_eq!(g.len(), p);
+        prop_assert!(g.px <= g.py);
+        // No better factorisation exists.
+        for x in (g.px + 1)..=((p as f64).sqrt() as u32) {
+            prop_assert!(p % x != 0 || x <= g.px);
+        }
+    }
+
+    /// Feature extraction: dims() inverts from_dims() to within rounding.
+    #[test]
+    fn features_roundtrip(nx in 2u32..2000, ny in 2u32..2000) {
+        let f = DomainFeatures::from_dims(nx, ny);
+        let (rx, ry) = f.dims();
+        prop_assert!((rx - nx as f64).abs() < 1e-6);
+        prop_assert!((ry - ny as f64).abs() < 1e-6);
+    }
+
+    /// Halo bytes scale linearly in the edge length.
+    #[test]
+    fn halo_bytes_linear(edge in 1u32..1000, k in 2u32..5) {
+        let halo = HaloSpec::wrf_arw();
+        prop_assert_eq!(halo.edge_bytes(edge) * k as u64, halo.edge_bytes(edge * k));
+    }
+}

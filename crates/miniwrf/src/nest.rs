@@ -1,0 +1,243 @@
+//! Parent ↔ nest coupling: boundary interpolation and feedback.
+//!
+//! Exactly WRF's two-way nesting data flow (§1 of the paper): "At the
+//! beginning of each nested simulation, data for each finer resolution
+//! smaller region is interpolated from the overlapping parent region. At the
+//! end of r integration steps, data from the finer region is communicated to
+//! the parent region."
+
+use crate::field::Field2D;
+use crate::solver::ShallowWater;
+use serde::{Deserialize, Serialize};
+
+/// Geometric placement of a nest inside its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NestGeometry {
+    /// Refinement ratio `r`.
+    pub ratio: usize,
+    /// Parent cell (i, j) of the nest's lower-left interior cell.
+    pub offset: (usize, usize),
+    /// Nest interior width (fine cells).
+    pub nx: usize,
+    /// Nest interior height (fine cells).
+    pub ny: usize,
+}
+
+impl NestGeometry {
+    /// Parent-grid coordinates (continuous) of fine cell `(i, j)`.
+    /// Fine cell centres subdivide each parent cell into `r × r`.
+    fn parent_coords(&self, i: isize, j: isize) -> (f64, f64) {
+        let r = self.ratio as f64;
+        (
+            self.offset.0 as f64 + (i as f64 + 0.5) / r - 0.5,
+            self.offset.1 as f64 + (j as f64 + 0.5) / r - 0.5,
+        )
+    }
+
+    /// Footprint of the nest in whole parent cells `(i0, j0, w, h)`.
+    pub fn parent_footprint(&self) -> (usize, usize, usize, usize) {
+        (self.offset.0, self.offset.1, self.nx.div_ceil(self.ratio), self.ny.div_ceil(self.ratio))
+    }
+}
+
+/// Bilinearly samples `f` at continuous interior coordinates, clamped to the
+/// valid range (the parent halo is one cell, enough for clamped sampling).
+fn bilinear(f: &Field2D, x: f64, y: f64) -> f64 {
+    let xc = x.clamp(0.0, (f.nx - 1) as f64);
+    let yc = y.clamp(0.0, (f.ny - 1) as f64);
+    let (i0, j0) = (xc.floor() as isize, yc.floor() as isize);
+    let (fx, fy) = (xc - i0 as f64, yc - j0 as f64);
+    let i1 = (i0 + 1).min(f.nx as isize - 1);
+    let j1 = (j0 + 1).min(f.ny as isize - 1);
+    let v00 = f.get(i0, j0);
+    let v10 = f.get(i1, j0);
+    let v01 = f.get(i0, j1);
+    let v11 = f.get(i1, j1);
+    v00 * (1.0 - fx) * (1.0 - fy) + v10 * fx * (1.0 - fy) + v01 * (1.0 - fx) * fy + v11 * fx * fy
+}
+
+/// Precomputed Dirichlet boundary data for one nest step: the halo-ring
+/// values of each prognostic field, interpolated from the parent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryData {
+    /// Halo values keyed `(i, j)` over the halo ring.
+    ring: Vec<(isize, isize, f64, f64, f64)>,
+}
+
+/// Interpolates the nest's halo-ring boundary conditions from the parent
+/// state (call after the parent's step, before the nest's sub-steps).
+pub fn interpolate_boundary(parent: &ShallowWater, geo: &NestGeometry) -> BoundaryData {
+    let (nx, ny) = (geo.nx as isize, geo.ny as isize);
+    let mut ring = Vec::with_capacity(2 * (nx + ny) as usize + 4);
+    let push = |i: isize, j: isize, p: &ShallowWater, ring: &mut Vec<_>| {
+        let (x, y) = geo.parent_coords(i, j);
+        ring.push((i, j, bilinear(&p.h, x, y), bilinear(&p.hu, x, y), bilinear(&p.hv, x, y)));
+    };
+    for i in -1..=nx {
+        push(i, -1, parent, &mut ring);
+        push(i, ny, parent, &mut ring);
+    }
+    for j in 0..ny {
+        push(-1, j, parent, &mut ring);
+        push(nx, j, parent, &mut ring);
+    }
+    BoundaryData { ring }
+}
+
+/// Writes precomputed boundary data into the nest's halo cells.
+pub fn apply_boundary(nest: &mut ShallowWater, bc: &BoundaryData) {
+    for &(i, j, h, hu, hv) in &bc.ring {
+        nest.h.set(i, j, h);
+        nest.hu.set(i, j, hu);
+        nest.hv.set(i, j, hv);
+    }
+}
+
+/// Initialises the whole nest interior from the parent by bilinear
+/// interpolation (nest spawn).
+pub fn initialize_from_parent(parent: &ShallowWater, nest: &mut ShallowWater, geo: &NestGeometry) {
+    debug_assert_eq!(nest.nx, geo.nx);
+    debug_assert_eq!(nest.ny, geo.ny);
+    for j in 0..geo.ny as isize {
+        for i in 0..geo.nx as isize {
+            let (x, y) = geo.parent_coords(i, j);
+            nest.h.set(i, j, bilinear(&parent.h, x, y));
+            nest.hu.set(i, j, bilinear(&parent.hu, x, y));
+            nest.hv.set(i, j, bilinear(&parent.hv, x, y));
+        }
+    }
+}
+
+/// Two-way feedback: each parent cell covered by the nest receives the mean
+/// of its `r × r` fine cells.
+pub fn feedback_to_parent(nest: &ShallowWater, parent: &mut ShallowWater, geo: &NestGeometry) {
+    let r = geo.ratio;
+    let (pi0, pj0, pw, ph) = geo.parent_footprint();
+    for pj in 0..ph {
+        for pi in 0..pw {
+            let mut sums = [0.0f64; 3];
+            let mut n = 0u32;
+            for fj in 0..r {
+                for fi in 0..r {
+                    let i = pi * r + fi;
+                    let j = pj * r + fj;
+                    if i < geo.nx && j < geo.ny {
+                        sums[0] += nest.h.get(i as isize, j as isize);
+                        sums[1] += nest.hu.get(i as isize, j as isize);
+                        sums[2] += nest.hv.get(i as isize, j as isize);
+                        n += 1;
+                    }
+                }
+            }
+            if n > 0 {
+                let (gi, gj) = ((pi0 + pi) as isize, (pj0 + pj) as isize);
+                parent.h.set(gi, gj, sums[0] / n as f64);
+                parent.hu.set(gi, gj, sums[1] / n as f64);
+                parent.hv.set(gi, gj, sums[2] / n as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Boundary;
+
+    fn parent_with_gradient() -> ShallowWater {
+        let mut p = ShallowWater::quiescent(20, 20, 3000.0, 100.0, Boundary::ZeroGradient);
+        for j in 0..20 {
+            for i in 0..20 {
+                p.h.set(i, j, 100.0 + i as f64 + 0.5 * j as f64);
+            }
+        }
+        p
+    }
+
+    fn geo() -> NestGeometry {
+        NestGeometry { ratio: 3, offset: (5, 5), nx: 18, ny: 18 }
+    }
+
+    #[test]
+    fn bilinear_exact_on_linear_fields() {
+        // Bilinear interpolation reproduces linear functions exactly, so a
+        // nest initialised from a linear parent is itself linear.
+        let p = parent_with_gradient();
+        let g = geo();
+        let mut nest = ShallowWater::quiescent(18, 18, 1000.0, 100.0, Boundary::External);
+        initialize_from_parent(&p, &mut nest, &g);
+        // Fine cell (0,0) sits at parent coords (5 + 1/6 - 1/2, …).
+        let (x, y) = (5.0 + 0.5 / 3.0 - 0.5, 5.0 + 0.5 / 3.0 - 0.5);
+        let expect = 100.0 + x + 0.5 * y;
+        assert!((nest.h.get(0, 0) - expect).abs() < 1e-10);
+        // And a mid-nest cell.
+        let (x, y) = (5.0 + 9.5 / 3.0 - 0.5, 5.0 + 4.5 / 3.0 - 0.5);
+        let expect = 100.0 + x + 0.5 * y;
+        assert!((nest.h.get(9, 4) - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn boundary_ring_covers_halo() {
+        let p = parent_with_gradient();
+        let g = geo();
+        let bc = interpolate_boundary(&p, &g);
+        // Ring size: 2(nx+2) + 2·ny cells.
+        assert_eq!(bc.ring.len(), 2 * (18 + 2) + 2 * 18);
+        let mut nest = ShallowWater::quiescent(18, 18, 1000.0, 100.0, Boundary::External);
+        apply_boundary(&mut nest, &bc);
+        // A halo cell now carries interpolated (not initial) data.
+        assert!((nest.h.get(-1, 0) - 100.0).abs() > 0.1);
+    }
+
+    #[test]
+    fn feedback_restores_constant_field() {
+        // Nest initialised from a *constant* parent feeds back the same
+        // constant: round-trip identity.
+        let mut p = ShallowWater::quiescent(20, 20, 3000.0, 100.0, Boundary::ZeroGradient);
+        let g = geo();
+        let mut nest = ShallowWater::quiescent(18, 18, 1000.0, 100.0, Boundary::External);
+        initialize_from_parent(&p, &mut nest, &g);
+        feedback_to_parent(&nest, &mut p, &g);
+        for j in 0..20 {
+            for i in 0..20 {
+                assert!((p.h.get(i, j) - 100.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_averages_fine_cells() {
+        let mut p = ShallowWater::quiescent(20, 20, 3000.0, 100.0, Boundary::ZeroGradient);
+        let g = NestGeometry { ratio: 2, offset: (3, 3), nx: 4, ny: 4 };
+        let mut nest = ShallowWater::quiescent(4, 4, 1500.0, 1.0, Boundary::External);
+        // Fine cells of parent cell (3,3): values 1,2,3,4 → mean 2.5.
+        nest.h.set(0, 0, 1.0);
+        nest.h.set(1, 0, 2.0);
+        nest.h.set(0, 1, 3.0);
+        nest.h.set(1, 1, 4.0);
+        feedback_to_parent(&nest, &mut p, &g);
+        assert!((p.h.get(3, 3) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_step_remains_stable() {
+        // Full coupling cycle: parent step, interp boundary, r nest steps,
+        // feedback — values stay finite and near the rest depth.
+        let mut p = ShallowWater::quiescent(30, 30, 3000.0, 100.0, Boundary::ZeroGradient);
+        p.add_gaussian(15.0, 15.0, -5.0, 3.0);
+        let g = NestGeometry { ratio: 3, offset: (10, 10), nx: 30, ny: 30 };
+        let mut nest = ShallowWater::quiescent(30, 30, 1000.0, 100.0, Boundary::External);
+        initialize_from_parent(&p, &mut nest, &g);
+        for _ in 0..10 {
+            p.step();
+            let bc = interpolate_boundary(&p, &g);
+            for _ in 0..3 {
+                apply_boundary(&mut nest, &bc);
+                nest.step();
+            }
+            feedback_to_parent(&nest, &mut p, &g);
+        }
+        assert!(p.h.max_abs().is_finite());
+        assert!(nest.h.max_abs() < 120.0 && nest.h.max_abs() > 80.0);
+    }
+}

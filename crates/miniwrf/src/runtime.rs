@@ -1,0 +1,288 @@
+//! Threaded execution of the coupled model under both strategies.
+//!
+//! The thread analogue of the paper's processor partitioning: a domain step
+//! is data-parallel over row bands ([`step_parallel`]), and the sibling
+//! phase either runs each nest **sequentially on all threads** (WRF's
+//! default) or **concurrently, each nest on its allocated thread group**
+//! (the paper's strategy). Because the sibling solves are independent given
+//! precomputed boundary data, the two strategies produce *bitwise identical*
+//! states — only wall-clock time differs.
+
+use crate::model::{NestState, NestedModel};
+use crate::solver::{RowBand, ShallowWater};
+use crate::field::Field2D;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Sibling-phase execution strategy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadStrategy {
+    /// Each nest solved one after another using all `total_threads`.
+    Sequential,
+    /// Nest `i` solved on `allocation[i]` dedicated threads, all nests at
+    /// once. The allocation is the thread analogue of Algorithm 1's
+    /// processor rectangles.
+    Concurrent {
+        /// Threads per sibling, in nest order.
+        allocation: Vec<usize>,
+    },
+}
+
+/// Wall-clock breakdown of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Time in parent steps.
+    pub parent: Duration,
+    /// Time in the sibling phase (interpolation + nest solves + feedback).
+    pub siblings: Duration,
+    /// Per-sibling solve time (sum over iterations). Under the concurrent
+    /// strategy these overlap, so their sum exceeds `siblings`.
+    pub per_sibling: Vec<Duration>,
+    /// Total wall-clock.
+    pub total: Duration,
+}
+
+impl PhaseTimings {
+    /// Seconds per iteration.
+    pub fn per_iteration(&self) -> f64 {
+        self.total.as_secs_f64() / self.iterations as f64
+    }
+}
+
+/// One multi-threaded solver step over `threads` row bands.
+///
+/// Fills halos, computes bands in parallel scoped threads, commits. With
+/// `threads == 1` no threads are spawned. The result is bitwise identical
+/// to [`ShallowWater::step`] because band decomposition does not change
+/// the arithmetic.
+pub fn step_parallel(sw: &mut ShallowWater, threads: usize) {
+    assert!(threads > 0);
+    if threads == 1 || sw.ny < 2 * threads {
+        sw.step();
+        return;
+    }
+    sw.fill_halos();
+    let bands = Field2D::row_bands(sw.ny, threads);
+    let mut results: Vec<(usize, usize, RowBand)> = bands
+        .iter()
+        .map(|&(j0, j1)| (j0, j1, RowBand::new(sw.nx, j1 - j0)))
+        .collect();
+    std::thread::scope(|scope| {
+        for (j0, j1, band) in results.iter_mut() {
+            let sw_ref = &*sw;
+            let (j0, j1) = (*j0, *j1);
+            scope.spawn(move || sw_ref.compute_rows(j0, j1, band));
+        }
+    });
+    sw.commit_step(results);
+}
+
+/// Runs `iterations` coupled iterations under the given strategy with
+/// `total_threads` workers, returning timings. The model is advanced in
+/// place.
+pub fn run_iterations(
+    model: &mut NestedModel,
+    iterations: u32,
+    total_threads: usize,
+    strategy: &ThreadStrategy,
+) -> PhaseTimings {
+    assert!(iterations > 0 && total_threads > 0);
+    if let ThreadStrategy::Concurrent { allocation } = strategy {
+        assert_eq!(allocation.len(), model.nests.len(), "one thread count per sibling");
+        assert!(allocation.iter().all(|&t| t > 0));
+    }
+    let mut parent_t = Duration::ZERO;
+    let mut sibling_t = Duration::ZERO;
+    let mut per_sibling = vec![Duration::ZERO; model.nests.len()];
+    let t_start = Instant::now();
+
+    for _ in 0..iterations {
+        let t0 = Instant::now();
+        step_parallel(&mut model.parent, total_threads);
+        parent_t += t0.elapsed();
+
+        let t1 = Instant::now();
+        let bcs = model.boundaries();
+        match strategy {
+            ThreadStrategy::Sequential => {
+                for (i, (nest, bc)) in model.nests.iter_mut().zip(&bcs).enumerate() {
+                    let ts = Instant::now();
+                    solve_nest_threaded(nest, bc, total_threads);
+                    per_sibling[i] += ts.elapsed();
+                }
+            }
+            ThreadStrategy::Concurrent { allocation } => {
+                let timings: Vec<Duration> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = model
+                        .nests
+                        .iter_mut()
+                        .zip(&bcs)
+                        .zip(allocation)
+                        .map(|((nest, bc), &threads)| {
+                            scope.spawn(move || {
+                                let ts = Instant::now();
+                                solve_nest_threaded(nest, bc, threads);
+                                ts.elapsed()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("sibling thread panicked")).collect()
+                });
+                for (acc, t) in per_sibling.iter_mut().zip(timings) {
+                    *acc += t;
+                }
+            }
+        }
+        model.apply_feedbacks();
+        sibling_t += t1.elapsed();
+    }
+
+    PhaseTimings {
+        iterations,
+        parent: parent_t,
+        siblings: sibling_t,
+        per_sibling,
+        total: t_start.elapsed(),
+    }
+}
+
+/// Solves one nest's `r` sub-steps with its own thread group, recursing
+/// into second-level children after each sub-step (children share their
+/// parent nest's thread group, mirroring how they sub-divide their parent's
+/// processors in the planner).
+fn solve_nest_threaded(nest: &mut NestState, bc: &crate::nest::BoundaryData, threads: usize) {
+    for _ in 0..nest.geo.ratio {
+        crate::nest::apply_boundary(&mut nest.solver, bc);
+        step_parallel(&mut nest.solver, threads);
+        let NestState { solver, children, .. } = nest;
+        for child in children.iter_mut() {
+            let cbc = crate::nest::interpolate_boundary(solver, &child.geo);
+            for _ in 0..child.geo.ratio {
+                crate::nest::apply_boundary(&mut child.solver, &cbc);
+                step_parallel(&mut child.solver, threads);
+            }
+            crate::nest::feedback_to_parent(&child.solver, solver, &child.geo);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::NestGeometry;
+
+    fn model() -> NestedModel {
+        let geos = [
+            NestGeometry { ratio: 3, offset: (4, 4), nx: 30, ny: 30 },
+            NestGeometry { ratio: 3, offset: (24, 24), nx: 30, ny: 30 },
+        ];
+        let mut m = NestedModel::new(44, 44, 3000.0, 100.0, &geos);
+        m.add_depression(9.0, 9.0, -4.0, 2.5);
+        m.add_depression(29.0, 29.0, -6.0, 3.0);
+        m
+    }
+
+    #[test]
+    fn parallel_step_matches_serial_bitwise() {
+        let mut a = model();
+        let mut b = model();
+        for _ in 0..4 {
+            a.parent.step();
+            step_parallel(&mut b.parent, 4);
+        }
+        assert_eq!(a.parent.h, b.parent.h);
+        assert_eq!(a.parent.hu, b.parent.hu);
+    }
+
+    #[test]
+    fn strategies_bitwise_identical() {
+        // The paper's strategies reorder independent work; results must not
+        // change. (WRF itself guarantees this: sibling nests share no
+        // state between synchronisation points.)
+        let mut seq = model();
+        let mut conc = model();
+        run_iterations(&mut seq, 5, 4, &ThreadStrategy::Sequential);
+        run_iterations(
+            &mut conc,
+            5,
+            4,
+            &ThreadStrategy::Concurrent { allocation: vec![2, 2] },
+        );
+        assert_eq!(seq.parent.h, conc.parent.h);
+        for (a, b) in seq.nests.iter().zip(&conc.nests) {
+            assert_eq!(a.solver.h, b.solver.h);
+            assert_eq!(a.solver.hu, b.solver.hu);
+            assert_eq!(a.solver.hv, b.solver.hv);
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_reference_coupled() {
+        let mut reference = model();
+        for _ in 0..3 {
+            reference.step_coupled();
+        }
+        let mut threaded = model();
+        run_iterations(&mut threaded, 3, 3, &ThreadStrategy::Sequential);
+        assert_eq!(reference.parent.h, threaded.parent.h);
+        assert_eq!(reference.nests[0].solver.h, threaded.nests[0].solver.h);
+    }
+
+    #[test]
+    fn timings_populated() {
+        let mut m = model();
+        let t = run_iterations(&mut m, 2, 2, &ThreadStrategy::Sequential);
+        assert_eq!(t.iterations, 2);
+        assert!(t.total >= t.parent);
+        assert_eq!(t.per_sibling.len(), 2);
+        assert!(t.per_sibling.iter().all(|d| !d.is_zero()));
+        assert!(t.per_iteration() > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn concurrent_requires_allocation_per_sibling() {
+        let mut m = model();
+        run_iterations(&mut m, 1, 2, &ThreadStrategy::Concurrent { allocation: vec![2] });
+    }
+
+    #[test]
+    fn second_level_nests_bitwise_stable_across_strategies() {
+        let build = || {
+            let mut m = model();
+            m.add_child_nest(0, NestGeometry { ratio: 3, offset: (4, 4), nx: 24, ny: 21 });
+            m.add_child_nest(1, NestGeometry { ratio: 3, offset: (6, 6), nx: 18, ny: 18 });
+            m
+        };
+        let mut reference = build();
+        for _ in 0..3 {
+            reference.step_coupled();
+        }
+        let mut seq = build();
+        run_iterations(&mut seq, 3, 3, &ThreadStrategy::Sequential);
+        let mut conc = build();
+        run_iterations(&mut conc, 3, 3, &ThreadStrategy::Concurrent { allocation: vec![2, 1] });
+        assert_eq!(reference.parent.h, seq.parent.h);
+        assert_eq!(seq.parent.h, conc.parent.h);
+        for (a, b) in seq.nests.iter().zip(&conc.nests) {
+            assert_eq!(a.solver.h, b.solver.h);
+            for (ca, cb) in a.children.iter().zip(&b.children) {
+                assert_eq!(ca.solver.h, cb.solver.h);
+                assert!(ca.solver.cfl() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_domain_falls_back_to_serial() {
+        // ny < 2×threads: no banding, still correct.
+        let mut sw = ShallowWater::quiescent(8, 3, 1000.0, 50.0, crate::solver::Boundary::Periodic);
+        sw.add_gaussian(4.0, 1.0, -1.0, 1.0);
+        let mut reference = sw.clone();
+        reference.step();
+        step_parallel(&mut sw, 8);
+        assert_eq!(sw.h, reference.h);
+    }
+}

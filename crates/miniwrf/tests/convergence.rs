@@ -1,0 +1,105 @@
+//! Numerical order verification by self-convergence.
+//!
+//! A smooth low-amplitude gravity-wave initial condition is evolved to a
+//! fixed physical time on grids of 32², 64² and 128² cells covering the same
+//! physical domain. The error against the finest grid (restricted to the
+//! coarse points) should shrink ≈ 2× per refinement for the first-order
+//! Lax–Friedrichs scheme and ≈ 4× for the second-order Lax–Wendroff scheme.
+
+use nestwx_miniwrf::solver::{Boundary, Scheme, ShallowWater};
+
+const DOMAIN_M: f64 = 64_000.0;
+const DEPTH: f64 = 100.0;
+
+/// Builds an `n × n` grid over the fixed physical domain with a smooth
+/// standing-wave depth perturbation, runs to (near) `t_end`, returns state.
+fn run(n: usize, scheme: Scheme, t_end: f64) -> ShallowWater {
+    let dx = DOMAIN_M / n as f64;
+    let mut sw = ShallowWater::quiescent(n, n, dx, DEPTH, Boundary::Periodic).with_scheme(scheme);
+    // Smooth initial condition: product of sines (periodic, C∞).
+    for j in 0..n {
+        for i in 0..n {
+            let x = (i as f64 + 0.5) / n as f64;
+            let y = (j as f64 + 0.5) / n as f64;
+            let bump = 0.2
+                * (2.0 * std::f64::consts::PI * x).sin()
+                * (2.0 * std::f64::consts::PI * y).sin();
+            sw.h.set(i as isize, j as isize, DEPTH + bump);
+        }
+    }
+    // Use a dt that divides t_end exactly and scales with dx, so every
+    // resolution reaches precisely t_end (dt ∝ dx keeps CFL constant).
+    let steps = (t_end / sw.dt).ceil() as u64;
+    sw.dt = t_end / steps as f64;
+    for _ in 0..steps {
+        sw.step();
+    }
+    sw
+}
+
+/// RMS difference between a coarse solution and the fine reference sampled
+/// at the coarse cell centres (block means of the fine field).
+fn rms_error(coarse: &ShallowWater, fine: &ShallowWater) -> f64 {
+    let ratio = fine.nx / coarse.nx;
+    assert!(ratio >= 2 && coarse.nx * ratio == fine.nx);
+    let mut sum = 0.0;
+    for j in 0..coarse.ny {
+        for i in 0..coarse.nx {
+            let mut mean = 0.0;
+            for fj in 0..ratio {
+                for fi in 0..ratio {
+                    mean += fine.h.get((i * ratio + fi) as isize, (j * ratio + fj) as isize);
+                }
+            }
+            mean /= (ratio * ratio) as f64;
+            let d = coarse.h.get(i as isize, j as isize) - mean;
+            sum += d * d;
+        }
+    }
+    (sum / (coarse.nx * coarse.ny) as f64).sqrt()
+}
+
+fn convergence_rate(scheme: Scheme) -> f64 {
+    // Short horizon: a fraction of a wave period, well-resolved everywhere.
+    let t_end = 120.0;
+    let fine = run(256, scheme, t_end);
+    let e32 = rms_error(&run(32, scheme, t_end), &fine);
+    let e64 = rms_error(&run(64, scheme, t_end), &fine);
+    let e128 = rms_error(&run(128, scheme, t_end), &fine);
+    // Geometric mean of the two observed refinement ratios.
+    ((e32 / e64) * (e64 / e128)).sqrt()
+}
+
+#[test]
+fn lax_friedrichs_is_first_order() {
+    let rate = convergence_rate(Scheme::LaxFriedrichs);
+    // First order: error halves per refinement (rate ≈ 2).
+    assert!(rate > 1.6 && rate < 2.9, "LF convergence ratio {rate:.2} not ≈ 2");
+}
+
+#[test]
+fn lax_wendroff_is_second_order() {
+    let rate = convergence_rate(Scheme::LaxWendroff);
+    // Second order: error quarters per refinement (rate ≈ 4).
+    assert!(rate > 3.0, "LW convergence ratio {rate:.2} not ≈ 4");
+}
+
+#[test]
+fn schemes_agree_in_the_refinement_limit() {
+    // Both schemes converge to the same solution: their mutual RMS distance
+    // at 128² is far below either one's coarse-grid error.
+    let t_end = 120.0;
+    let lf = run(128, Scheme::LaxFriedrichs, t_end);
+    let lw = run(128, Scheme::LaxWendroff, t_end);
+    let mut sum = 0.0;
+    for j in 0..128 {
+        for i in 0..128 {
+            let d = lf.h.get(i, j) - lw.h.get(i, j);
+            sum += d * d;
+        }
+    }
+    let dist = (sum / (128.0 * 128.0)).sqrt();
+    let fine = run(256, Scheme::LaxFriedrichs, t_end);
+    let coarse_err = rms_error(&run(32, Scheme::LaxFriedrichs, t_end), &fine);
+    assert!(dist < coarse_err, "schemes diverge: {dist:.2e} vs coarse error {coarse_err:.2e}");
+}

@@ -1,0 +1,178 @@
+//! Torus network with per-link occupancy.
+//!
+//! Messages traverse their dimension-ordered route hop by hop: each link on
+//! the route is held for the message's serialisation time and a busy link
+//! delays the message head locally (cut-through per hop). Contention
+//! therefore emerges from the traffic pattern and the mapping — exactly the
+//! effect the paper's topology-aware mappings exploit ("the average number
+//! of hops decreases resulting in lesser load on the network … lesser
+//! congestion and smaller delay", §4.3.2).
+
+use crate::machine::NetworkParams;
+use nestwx_topo::torus::{NodeCoord, Torus};
+
+/// Mutable network state: one busy-until time per directed link.
+#[derive(Debug, Clone)]
+pub struct Network {
+    torus: Torus,
+    params: NetworkParams,
+    busy_until: Vec<f64>,
+    /// Total messages transferred.
+    pub messages: u64,
+    /// Aggregate transfers (a transfer batches many messages).
+    pub transfers: u64,
+    /// Total payload bytes transferred.
+    pub bytes: f64,
+    /// Total hops traversed.
+    pub hops: u64,
+}
+
+impl Network {
+    /// A quiet network.
+    pub fn new(torus: Torus, params: NetworkParams) -> Network {
+        Network {
+            torus,
+            params,
+            busy_until: vec![0.0; torus.num_links() as usize],
+            messages: 0,
+            transfers: 0,
+            bytes: 0.0,
+            hops: 0,
+        }
+    }
+
+    /// Resets link occupancy and counters.
+    pub fn reset(&mut self) {
+        self.busy_until.fill(0.0);
+        self.messages = 0;
+        self.transfers = 0;
+        self.bytes = 0.0;
+        self.hops = 0;
+    }
+
+    /// The modelled parameters.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Transfers an aggregate of `msgs` messages totalling `bytes` from
+    /// node `from` to node `to`, with injection starting at `inject`
+    /// (sender-side software overhead already paid by the caller).
+    /// Returns the time the payload is available at the receiver
+    /// (receiver-side overhead included).
+    pub fn transfer(&mut self, from: NodeCoord, to: NodeCoord, bytes: f64, msgs: u32, inject: f64) -> f64 {
+        self.messages += msgs as u64;
+        self.transfers += 1;
+        self.bytes += bytes;
+        if from == to {
+            // Intra-node: memory copy.
+            return inject + bytes / self.params.mem_bw + self.params.recv_overhead * msgs as f64;
+        }
+        let route = self.torus.route(from, to);
+        let nhops = route.len();
+        self.hops += nhops as u64;
+        // Per-hop queuing: the head of the message advances link by link,
+        // waiting out each link's current occupancy; each link is then held
+        // for the serialisation time. (Cut-through per hop: downstream
+        // links are not re-reserved when an upstream link stalls, so
+        // convoys stay local.)
+        let ser = bytes / self.params.link_bw;
+        let mut head = inject;
+        for &l in &route {
+            let start = head.max(self.busy_until[l as usize]);
+            self.busy_until[l as usize] = start + ser;
+            head = start + self.params.hop_latency;
+        }
+        head + ser + self.params.recv_overhead * msgs as f64
+    }
+
+    /// Average hops per point-to-point transfer so far — the paper's
+    /// "average number of hops" metric (Fig. 12b).
+    pub fn avg_hops(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.transfers as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> NetworkParams {
+        NetworkParams {
+            link_bw: 100e6,
+            hop_latency: 1e-6,
+            send_overhead: 2e-6,
+            recv_overhead: 2e-6,
+            mem_bw: 1e9,
+        }
+    }
+
+    #[test]
+    fn uncontended_transfer_time() {
+        let mut net = Network::new(Torus::new(4, 4, 4), params());
+        let a = NodeCoord::new(0, 0, 0);
+        let b = NodeCoord::new(2, 0, 0); // 2 hops
+        let t = net.transfer(a, b, 1e6, 1, 0.0);
+        // ser = 1e6/100e6 = 10 ms; + 2 hops × 1 µs + recv 2 µs.
+        assert!((t - (0.01 + 2e-6 + 2e-6)).abs() < 1e-9);
+        assert_eq!(net.hops, 2);
+    }
+
+    #[test]
+    fn intra_node_transfer_uses_memory() {
+        let mut net = Network::new(Torus::new(4, 4, 4), params());
+        let a = NodeCoord::new(1, 1, 1);
+        let t = net.transfer(a, a, 1e6, 1, 0.0);
+        assert!((t - (1e6 / 1e9 + 2e-6)).abs() < 1e-12);
+        assert_eq!(net.hops, 0);
+    }
+
+    #[test]
+    fn contention_serialises_messages() {
+        let mut net = Network::new(Torus::new(4, 4, 4), params());
+        let a = NodeCoord::new(0, 0, 0);
+        let b = NodeCoord::new(1, 0, 0);
+        let t1 = net.transfer(a, b, 1e6, 1, 0.0);
+        // Second message on the same link at the same time must queue.
+        let t2 = net.transfer(a, b, 1e6, 1, 0.0);
+        assert!(t2 > t1 + 0.009, "second transfer not delayed: {t2} vs {t1}");
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interfere() {
+        let mut net = Network::new(Torus::new(4, 4, 4), params());
+        let t1 = net.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(1, 0, 0), 1e6, 1, 0.0);
+        let t2 = net.transfer(NodeCoord::new(0, 2, 2), NodeCoord::new(1, 2, 2), 1e6, 1, 0.0);
+        assert!((t1 - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_routes_risk_more_contention() {
+        // A far pair crossing a loaded region is delayed; a near pair not.
+        let mut net = Network::new(Torus::new(8, 1, 1), params());
+        // Load the link 2→3.
+        net.transfer(NodeCoord::new(2, 0, 0), NodeCoord::new(3, 0, 0), 8e6, 1, 0.0);
+        let far = net.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(4, 0, 0), 1e6, 1, 0.0);
+        let mut quiet = Network::new(Torus::new(8, 1, 1), params());
+        let far_quiet = quiet.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(4, 0, 0), 1e6, 1, 0.0);
+        assert!(far > far_quiet);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut net = Network::new(Torus::new(4, 4, 4), params());
+        net.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(2, 2, 2), 1e6, 3, 0.0);
+        assert_eq!(net.transfers, 1);
+        assert_eq!(net.messages, 3);
+        net.reset();
+        assert_eq!(net.messages, 0);
+        assert_eq!(net.transfers, 0);
+        assert_eq!(net.avg_hops(), 0.0);
+        let t = net.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(1, 0, 0), 1e6, 1, 0.0);
+        assert!(t < 0.011);
+    }
+}

@@ -1,0 +1,961 @@
+//! The iteration-schedule simulator.
+//!
+//! Executes the WRF nested-simulation schedule on a modelled machine:
+//!
+//! ```text
+//! per parent iteration:
+//!     parent halo step (all ranks)
+//!     for each sibling nest:           (sequentially on all ranks, or
+//!         boundary interpolation        concurrently on its partition)
+//!         r nested halo steps
+//!         feedback to parent
+//!     history output every `output_interval` iterations
+//! ```
+//!
+//! Per-rank readiness times advance through the phases; halo exchanges go
+//! through the contended [`Network`]; waits (receive waits plus
+//! synchronisation waits) accumulate into the MPI_Wait statistic the paper
+//! reports in Table 1 and Figs. 11–12.
+
+use crate::io::IoMode;
+use crate::machine::Machine;
+use crate::network::Network;
+use nestwx_grid::{Decomposition, NestedConfig, ProcGrid, Rect};
+use nestwx_topo::Mapping;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the sibling nests are executed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecStrategy {
+    /// WRF's default: each nest solved one after another on **all** ranks.
+    Sequential,
+    /// The paper's strategy: nest `i` solved on `partitions[i]` only, all
+    /// nests concurrently.
+    Concurrent {
+        /// One processor-grid rectangle per nest, in nest order.
+        partitions: Vec<Rect>,
+    },
+}
+
+/// Errors constructing a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Virtual grid rank count differs from the mapping's.
+    GridMappingMismatch {
+        /// Ranks in the virtual grid.
+        grid: u32,
+        /// Ranks in the mapping.
+        mapping: u32,
+    },
+    /// Wrong number of partitions for the nest count.
+    PartitionCount {
+        /// Partitions supplied.
+        got: usize,
+        /// Nests configured.
+        want: usize,
+    },
+    /// A partition rectangle is empty or out of the grid.
+    BadPartition {
+        /// Index of the offending partition.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::GridMappingMismatch { grid, mapping } => {
+                write!(f, "virtual grid has {grid} ranks but mapping has {mapping}")
+            }
+            SimError::PartitionCount { got, want } => {
+                write!(f, "{got} partitions for {want} nests")
+            }
+            SimError::BadPartition { index } => write!(f, "partition {index} invalid"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Results of a simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Machine name.
+    pub machine: String,
+    /// Parent iterations simulated.
+    pub iterations: u32,
+    /// Ranks used.
+    pub ranks: u32,
+    /// Wall-clock seconds (integration + I/O).
+    pub total_time: f64,
+    /// Integration wall-clock seconds.
+    pub integration_time: f64,
+    /// Output wall-clock seconds.
+    pub io_time: f64,
+    /// Σ over ranks of halo-exchange MPI_Wait seconds (waiting for
+    /// neighbour halos after posting sends — the RSL exchange waits the
+    /// paper's HPCT profiles report).
+    pub mpi_wait_total: f64,
+    /// Per-sibling nest-solve wall-clock totals (interpolation + `r` steps +
+    /// feedback), seconds.
+    pub sibling_solve: Vec<f64>,
+    /// Wall-clock spent in parent-domain integration steps.
+    pub parent_phase: f64,
+    /// Wall-clock spent in the sibling nest phase (interpolation, nested
+    /// steps, feedback).
+    pub nest_phase: f64,
+    /// Mean hops per message.
+    pub avg_hops: f64,
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Payload bytes moved.
+    pub bytes: f64,
+}
+
+impl SimReport {
+    /// Total seconds per parent iteration.
+    pub fn per_iteration(&self) -> f64 {
+        self.total_time / self.iterations as f64
+    }
+
+    /// Integration seconds per parent iteration.
+    pub fn integration_per_iter(&self) -> f64 {
+        self.integration_time / self.iterations as f64
+    }
+
+    /// I/O seconds per parent iteration.
+    pub fn io_per_iter(&self) -> f64 {
+        self.io_time / self.iterations as f64
+    }
+
+    /// Mean MPI wait per rank per iteration.
+    pub fn mpi_wait_per_rank_iter(&self) -> f64 {
+        self.mpi_wait_total / self.ranks as f64 / self.iterations as f64
+    }
+
+    /// Sibling `i`'s nest-solve seconds per iteration.
+    pub fn sibling_per_iter(&self, i: usize) -> f64 {
+        self.sibling_solve[i] / self.iterations as f64
+    }
+
+    /// Percentage improvement of `self` over `baseline` in per-iteration
+    /// time: positive means `self` is faster.
+    pub fn improvement_over(&self, baseline: &SimReport) -> f64 {
+        (1.0 - self.per_iteration() / baseline.per_iteration()) * 100.0
+    }
+}
+
+/// Per-iteration timeline record produced by [`Simulation::run_traced`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationTrace {
+    /// Iteration index (0-based).
+    pub iteration: u32,
+    /// Wall-clock when the iteration started.
+    pub start: f64,
+    /// Duration of the parent integration step.
+    pub parent: f64,
+    /// Duration of the sibling nest phase.
+    pub nests: f64,
+    /// Duration of the output phase (0 when no frame was written).
+    pub io: f64,
+    /// Halo MPI_Wait accumulated during this iteration (summed over ranks).
+    pub mpi_wait: f64,
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation<'a> {
+    machine: &'a Machine,
+    grid: ProcGrid,
+    config: &'a NestedConfig,
+    strategy: ExecStrategy,
+    mapping: Mapping,
+    io_mode: IoMode,
+    /// Output every this many parent iterations (None = no output).
+    output_interval: Option<u32>,
+    // Run state.
+    net: Network,
+    ready: Vec<f64>,
+    mpi_wait: Vec<f64>,
+    /// Monotone step counter (for the deterministic compute jitter).
+    step_counter: u64,
+    /// Parent-domain patch of each rank (parent grid coordinates).
+    parent_patch: Vec<Rect>,
+}
+
+/// One aggregated halo transfer waiting to enter the network.
+struct PendingMsg {
+    inject: f64,
+    from: u32,
+    to: u32,
+    bytes: f64,
+    msgs: u32,
+}
+
+impl<'a> Simulation<'a> {
+    /// Builds a simulation.
+    ///
+    /// `grid` is the virtual processor grid (its rank count must equal the
+    /// mapping's); `config` the parent-with-nests setup; `strategy` and
+    /// `mapping` per the planner.
+    pub fn new(
+        machine: &'a Machine,
+        grid: ProcGrid,
+        config: &'a NestedConfig,
+        strategy: ExecStrategy,
+        mapping: Mapping,
+        io_mode: IoMode,
+        output_interval: Option<u32>,
+    ) -> Result<Self, SimError> {
+        if grid.len() != mapping.len() {
+            return Err(SimError::GridMappingMismatch { grid: grid.len(), mapping: mapping.len() });
+        }
+        if let ExecStrategy::Concurrent { partitions } = &strategy {
+            if partitions.len() != config.nests.len() {
+                return Err(SimError::PartitionCount {
+                    got: partitions.len(),
+                    want: config.nests.len(),
+                });
+            }
+            for (i, p) in partitions.iter().enumerate() {
+                if p.is_empty() || !grid.rect().contains_rect(p) {
+                    return Err(SimError::BadPartition { index: i });
+                }
+                // A second-level nest must run inside its parent nest's
+                // partition (it sub-divides those processors).
+                if let Some(pi) = config.nests[i].parent_nest {
+                    if !partitions[pi].contains_rect(p) {
+                        return Err(SimError::BadPartition { index: i });
+                    }
+                }
+            }
+        }
+        let n = grid.len() as usize;
+        // Parent decomposition (over the leading sub-grid if the parent is
+        // smaller than the grid), for footprint-dependent synchronisation.
+        let px = grid.px.min(config.parent.nx);
+        let py = grid.py.min(config.parent.ny);
+        let pd = Decomposition::new(config.parent.nx, config.parent.ny, ProcGrid::new(px, py));
+        let mut parent_patch = vec![Rect::new(0, 0, 0, 0); n];
+        for (local, g) in grid.ranks_in(&Rect::new(0, 0, px, py)).into_iter().enumerate() {
+            parent_patch[g as usize] = pd.patch(local as u32).region;
+        }
+        Ok(Simulation {
+            net: Network::new(mapping.shape.torus, machine.net),
+            machine,
+            grid,
+            config,
+            strategy,
+            mapping,
+            io_mode,
+            output_interval,
+            ready: vec![0.0; n],
+            mpi_wait: vec![0.0; n],
+            step_counter: 0,
+            parent_patch,
+        })
+    }
+
+    /// Runs `iterations` parent iterations and reports.
+    pub fn run(self, iterations: u32) -> SimReport {
+        self.run_traced(iterations).0
+    }
+
+    /// Like [`Simulation::run`], additionally returning a per-iteration
+    /// timeline (for analysis tools and the JSON trace output).
+    pub fn run_traced(mut self, iterations: u32) -> (SimReport, Vec<IterationTrace>) {
+        assert!(iterations > 0);
+        let nranks = self.grid.len();
+        let mut io_total = 0.0;
+        let mut parent_phase = 0.0;
+        let mut nest_phase = 0.0;
+        let mut sibling_solve = vec![0.0; self.config.nests.len()];
+        let mut traces = Vec::with_capacity(iterations as usize);
+
+        for iter in 0..iterations {
+            let wait0: f64 = self.mpi_wait.iter().sum();
+            // ---- parent step on the full grid ----
+            let t_iter0 = self.ready.iter().copied().fold(0.0, f64::max);
+            self.halo_step(self.config.parent.nx, self.config.parent.ny, &self.grid.rect());
+            let t_parent1 = self.ready.iter().copied().fold(0.0, f64::max);
+            parent_phase += t_parent1 - t_iter0;
+
+            // ---- sibling nests ----
+            match self.strategy.clone() {
+                ExecStrategy::Sequential => {
+                    // Level-1 nests one after another on all ranks; each of
+                    // their sub-steps is followed by their second-level
+                    // children's sub-steps (WRF's recursive integration).
+                    let mut t = self.barrier_all();
+                    let nests = self.config.nests.clone();
+                    for i in self.config.level1() {
+                        let nest = &nests[i];
+                        let t0 = t;
+                        self.set_all_ready(t + self.interp_cost(i));
+                        let children = self.config.children_of(i);
+                        for _ in 0..nest.refine_ratio {
+                            self.halo_step(nest.nx, nest.ny, &self.grid.rect());
+                            for &c in &children {
+                                let child = &nests[c];
+                                let tc = self.barrier_all();
+                                self.set_all_ready(tc + self.interp_cost(c));
+                                for _ in 0..child.refine_ratio {
+                                    self.halo_step(child.nx, child.ny, &self.grid.rect());
+                                }
+                                let td = self.barrier_all() + self.feedback_cost(c);
+                                self.set_all_ready(td);
+                                sibling_solve[c] += td - tc;
+                            }
+                        }
+                        t = self.barrier_all() + self.feedback_cost(i);
+                        self.set_all_ready(t);
+                        sibling_solve[i] += t - t0;
+                    }
+                }
+                ExecStrategy::Concurrent { partitions } => {
+                    let nests = self.config.nests.clone();
+                    // Boundary interpolation: a level-1 nest can start once
+                    // its own ranks finished the parent step and the parent
+                    // ranks overlapping its footprint have data to send.
+                    let mut starts = vec![0.0f64; nests.len()];
+                    for i in self.config.level1() {
+                        let (nest, part) = (&nests[i], &partitions[i]);
+                        let donors = self.ranks_overlapping(&nest.footprint_in_parent());
+                        let t_donor = donors
+                            .iter()
+                            .map(|&g| self.ready[g as usize])
+                            .fold(0.0, f64::max);
+                        let t_mine = self.barrier_in(part);
+                        let start = t_donor.max(t_mine);
+                        starts[i] = start;
+                        let t0 = start + self.interp_cost(i);
+                        self.set_ready_in(part, t0);
+                    }
+                    // All level-1 nests advance their sub-steps in lockstep
+                    // so that truly concurrent traffic shares the network
+                    // without an artificial ordering bias between siblings;
+                    // after each sub-step, their second-level children run
+                    // (also in lockstep) on sub-partitions of their parent's
+                    // processors.
+                    let level1 = self.config.level1();
+                    let max_r =
+                        level1.iter().map(|&i| nests[i].refine_ratio).max().unwrap_or(0);
+                    for s in 0..max_r {
+                        let active: Vec<usize> = level1
+                            .iter()
+                            .copied()
+                            .filter(|&i| s < nests[i].refine_ratio)
+                            .collect();
+                        let domains: Vec<(u32, u32, Rect)> = active
+                            .iter()
+                            .map(|&i| (nests[i].nx, nests[i].ny, partitions[i]))
+                            .collect();
+                        self.halo_step_multi(&domains);
+                        // Second-level children of the nests that just
+                        // stepped.
+                        let children: Vec<usize> = active
+                            .iter()
+                            .flat_map(|&i| self.config.children_of(i))
+                            .collect();
+                        if !children.is_empty() {
+                            let mut child_start = vec![0.0f64; nests.len()];
+                            for &c in &children {
+                                let t = self.barrier_in(&partitions[c]);
+                                child_start[c] = t;
+                                self.set_ready_in(&partitions[c], t + self.interp_cost(c));
+                            }
+                            let max_rc =
+                                children.iter().map(|&c| nests[c].refine_ratio).max().unwrap_or(0);
+                            for cs in 0..max_rc {
+                                let sub: Vec<(u32, u32, Rect)> = children
+                                    .iter()
+                                    .copied()
+                                    .filter(|&c| cs < nests[c].refine_ratio)
+                                    .map(|c| (nests[c].nx, nests[c].ny, partitions[c]))
+                                    .collect();
+                                self.halo_step_multi(&sub);
+                            }
+                            for &c in &children {
+                                let done = self.barrier_in(&partitions[c]) + self.feedback_cost(c);
+                                self.set_ready_in(&partitions[c], done);
+                                sibling_solve[c] += done - child_start[c];
+                            }
+                            // The parent nest's next sub-step needs its
+                            // children's feedback.
+                            for &i in &active {
+                                if !self.config.children_of(i).is_empty() {
+                                    let t = self.barrier_in(&partitions[i]);
+                                    self.set_ready_in(&partitions[i], t);
+                                }
+                            }
+                        }
+                    }
+                    let mut dones = vec![0.0f64; nests.len()];
+                    for &i in &level1 {
+                        let done = self.barrier_in(&partitions[i]) + self.feedback_cost(i);
+                        self.set_ready_in(&partitions[i], done);
+                        dones[i] = done;
+                        sibling_solve[i] += done - starts[i];
+                    }
+                    // Feedback release: a rank may enter the next parent
+                    // step once every nest overlapping its halo-extended
+                    // parent patch has fed back — not a global barrier.
+                    let halo_w = self.machine.halo.width;
+                    for g in 0..self.grid.len() {
+                        let patch = self.parent_patch[g as usize];
+                        if patch.is_empty() {
+                            continue;
+                        }
+                        let expanded = Rect::new(
+                            patch.x0.saturating_sub(halo_w),
+                            patch.y0.saturating_sub(halo_w),
+                            patch.w + 2 * halo_w,
+                            patch.h + 2 * halo_w,
+                        );
+                        let mut t = self.ready[g as usize];
+                        for i in self.config.level1() {
+                            if !expanded.is_disjoint(&nests[i].footprint_in_parent()) {
+                                t = t.max(dones[i]);
+                            }
+                        }
+                        self.ready[g as usize] = t;
+                    }
+                }
+            }
+
+            let t_nests1 = self.ready.iter().copied().fold(0.0, f64::max);
+            nest_phase += t_nests1 - t_parent1;
+
+            // ---- history output ----
+            let mut iter_io = 0.0;
+            if let Some(every) = self.output_interval {
+                if (iter + 1) % every == 0 && self.io_mode != IoMode::None {
+                    let t_io = self.io_phase();
+                    io_total += t_io;
+                    iter_io = t_io;
+                    let t = self.barrier_all() + t_io;
+                    self.set_all_ready(t);
+                }
+            }
+            traces.push(IterationTrace {
+                iteration: iter,
+                start: t_iter0,
+                parent: t_parent1 - t_iter0,
+                nests: t_nests1 - t_parent1,
+                io: iter_io,
+                mpi_wait: self.mpi_wait.iter().sum::<f64>() - wait0,
+            });
+        }
+
+        let total_time = self.barrier_all();
+        let report = SimReport {
+            machine: self.machine.name.clone(),
+            iterations,
+            ranks: nranks,
+            total_time,
+            integration_time: total_time - io_total,
+            io_time: io_total,
+            mpi_wait_total: self.mpi_wait.iter().sum(),
+            sibling_solve,
+            parent_phase,
+            nest_phase,
+            avg_hops: self.net.avg_hops(),
+            messages: self.net.messages,
+            bytes: self.net.bytes,
+        };
+        (report, traces)
+    }
+
+    /// One integration step of an `nx × ny` domain decomposed over the
+    /// processor-grid rectangle `region`.
+    fn halo_step(&mut self, nx: u32, ny: u32, region: &Rect) {
+        self.halo_step_multi(&[(nx, ny, *region)]);
+    }
+
+    /// One integration step of several domains *simultaneously*, each
+    /// decomposed over its own processor-grid rectangle: per-rank compute,
+    /// then halo exchange with the four neighbours through the contended
+    /// network. All domains' messages are routed in global injection order,
+    /// so concurrent siblings share links without ordering bias.
+    fn halo_step_multi(&mut self, domains: &[(u32, u32, Rect)]) {
+        let halo = self.machine.halo;
+        let mpn = halo.messages_per_neighbor();
+        let send_ovh = mpn as f64 * self.machine.net.send_overhead;
+
+        let mut pending: Vec<PendingMsg> = Vec::new();
+        // (global rank, send_done) per domain, for the completion pass.
+        let mut senders: Vec<(u32, f64)> = Vec::new();
+        self.step_counter += 1;
+        let step = self.step_counter;
+
+        for &(nx, ny, region) in domains {
+            // Domains smaller than the region use only the leading ranks.
+            let px = region.w.min(nx);
+            let py = region.h.min(ny);
+            let active = Rect::new(region.x0, region.y0, px, py);
+            let sub = ProcGrid::new(px, py);
+            let decomp = Decomposition::new(nx, ny, sub);
+            let global_ranks = self.grid.ranks_in(&active);
+
+            for (local, &g) in global_ranks.iter().enumerate() {
+                let patch = decomp.patch(local as u32);
+                let t_comp = self.ready[g as usize]
+                    + self.machine.compute.step_time_jittered(patch.region.w, patch.region.h, g, step);
+                // Post sends to each existing neighbour (within the active
+                // region), paying per-message software overhead serially.
+                let local_coords = sub.coords_of(local as u32);
+                let neighbors = sub.neighbors_within(
+                    sub.rank_of(local_coords.0, local_coords.1),
+                    &sub.rect(),
+                );
+                let mut t_send = t_comp;
+                for nb_local in neighbors.into_iter().flatten() {
+                    let (nx_l, ny_l) = sub.coords_of(nb_local);
+                    let to_g = self.grid.rank_of(active.x0 + nx_l, active.y0 + ny_l);
+                    // Edge length: vertical neighbours exchange rows (patch
+                    // width), horizontal ones exchange columns (patch
+                    // height).
+                    let same_row = ny_l == local_coords.1;
+                    let edge = if same_row { patch.region.h } else { patch.region.w };
+                    let bytes = halo.edge_bytes(edge) as f64;
+                    t_send += send_ovh;
+                    pending.push(PendingMsg { inject: t_send, from: g, to: to_g, bytes, msgs: mpn });
+                }
+                senders.push((g, t_send));
+            }
+        }
+
+        // Route messages in injection order for deterministic, unbiased
+        // contention.
+        pending.sort_by(|a, b| {
+            a.inject
+                .partial_cmp(&b.inject)
+                .unwrap()
+                .then(a.from.cmp(&b.from))
+                .then(a.to.cmp(&b.to))
+        });
+        let mut recv_latest: Vec<f64> = vec![0.0; self.grid.len() as usize];
+        for m in pending {
+            let arrive = self.net.transfer(
+                self.mapping.node_coord(m.from),
+                self.mapping.node_coord(m.to),
+                m.bytes,
+                m.msgs,
+                m.inject,
+            );
+            let slot = m.to as usize;
+            if arrive > recv_latest[slot] {
+                recv_latest[slot] = arrive;
+            }
+        }
+
+        for (g, send_done) in senders {
+            let done = send_done.max(recv_latest[g as usize]);
+            self.mpi_wait[g as usize] += done - send_done;
+            self.ready[g as usize] = done;
+        }
+    }
+
+    /// Boundary-interpolation cost for nest `i` (parent → nest transfer of
+    /// the lateral boundary zone).
+    fn interp_cost(&self, i: usize) -> f64 {
+        let nest = &self.config.nests[i];
+        let halo = &self.machine.halo;
+        let boundary_points = 2 * (nest.nx + nest.ny) * halo.width;
+        let bytes =
+            boundary_points as f64 * halo.fields as f64 * halo.levels as f64 * halo.bytes_per_value as f64;
+        0.5e-3 + bytes / self.machine.net.link_bw / 4.0
+    }
+
+    /// Feedback cost for nest `i` (nest → parent transfer of the averaged
+    /// interior, 1/r² of the nest's points).
+    fn feedback_cost(&self, i: usize) -> f64 {
+        let nest = &self.config.nests[i];
+        let halo = &self.machine.halo;
+        let r2 = (nest.refine_ratio * nest.refine_ratio) as f64;
+        let bytes = nest.points() as f64 / r2
+            * halo.fields as f64
+            * halo.levels as f64
+            * halo.bytes_per_value as f64;
+        0.5e-3 + bytes / self.machine.net.link_bw / 8.0
+    }
+
+    /// History-output phase; returns its wall-clock duration.
+    fn io_phase(&self) -> f64 {
+        let m = self.machine;
+        let parent_bytes = crate::io::frame_bytes(
+            self.config.parent.nx,
+            self.config.parent.ny,
+            m.fields_out,
+            m.levels_out,
+        );
+        let nranks = self.grid.len();
+        let mut t = m.io.write_time(self.io_mode, nranks, parent_bytes);
+        match &self.strategy {
+            ExecStrategy::Sequential => {
+                for nest in &self.config.nests {
+                    let b = crate::io::frame_bytes(nest.nx, nest.ny, m.fields_out, m.levels_out);
+                    t += m.io.write_time(self.io_mode, nranks, b);
+                }
+            }
+            ExecStrategy::Concurrent { partitions } => {
+                // Each partition writes its own nest's file; they proceed in
+                // parallel, bounded by the slowest writer group.
+                let mut slowest: f64 = 0.0;
+                for (nest, part) in self.config.nests.iter().zip(partitions) {
+                    let b = crate::io::frame_bytes(nest.nx, nest.ny, m.fields_out, m.levels_out);
+                    let writers = part.area() as u32;
+                    slowest = slowest.max(m.io.write_time(self.io_mode, writers, b));
+                }
+                t += slowest;
+            }
+        }
+        t
+    }
+
+    /// Ranks whose parent patch intersects `fp` (parent coordinates).
+    fn ranks_overlapping(&self, fp: &Rect) -> Vec<u32> {
+        (0..self.grid.len())
+            .filter(|&g| {
+                let p = self.parent_patch[g as usize];
+                !p.is_empty() && !p.is_disjoint(fp)
+            })
+            .collect()
+    }
+
+    /// Global synchronisation (inter-domain: feedback broadcast, output
+    /// collectives). Not charged to MPI_Wait — HPCT attributes these to
+    /// other MPI calls; the paper's MPI_Wait metric covers the RSL halo
+    /// exchanges, which [`Simulation::halo_step_multi`] accounts for.
+    fn barrier_all(&mut self) -> f64 {
+        let t = self.ready.iter().copied().fold(0.0, f64::max);
+        for r in self.ready.iter_mut() {
+            *r = t;
+        }
+        t
+    }
+
+    /// Synchronisation over the ranks of a grid rectangle (see
+    /// [`Simulation::barrier_all`] for the accounting rationale).
+    fn barrier_in(&mut self, region: &Rect) -> f64 {
+        let ranks = self.grid.ranks_in(region);
+        let t = ranks.iter().map(|&g| self.ready[g as usize]).fold(0.0, f64::max);
+        for g in ranks {
+            self.ready[g as usize] = t;
+        }
+        t
+    }
+
+    fn set_all_ready(&mut self, t: f64) {
+        for r in &mut self.ready {
+            *r = t;
+        }
+    }
+
+    fn set_ready_in(&mut self, region: &Rect, t: f64) {
+        for g in self.grid.ranks_in(region) {
+            self.ready[g as usize] = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestwx_grid::{Domain, NestSpec};
+
+    fn small_machine() -> Machine {
+        let mut m = Machine::bgl(32);
+        m.name = "test".into();
+        m
+    }
+
+    fn two_nest_config() -> NestedConfig {
+        NestedConfig::new(
+            Domain::parent(120, 120, 24.0),
+            vec![NestSpec::new(90, 90, 3, (2, 2)), NestSpec::new(90, 90, 3, (60, 60))],
+        )
+        .unwrap()
+    }
+
+    fn grid_and_mapping(m: &Machine) -> (ProcGrid, Mapping) {
+        let grid = ProcGrid::near_square(m.ranks());
+        let map = Mapping::oblivious(m.shape, m.ranks()).unwrap();
+        (grid, map)
+    }
+
+    #[test]
+    fn sequential_run_produces_positive_times() {
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let sim =
+            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map, IoMode::None, None)
+                .unwrap();
+        let rep = sim.run(3);
+        assert!(rep.total_time > 0.0);
+        assert_eq!(rep.io_time, 0.0);
+        assert_eq!(rep.iterations, 3);
+        assert_eq!(rep.sibling_solve.len(), 2);
+        assert!(rep.sibling_solve.iter().all(|&t| t > 0.0));
+        assert!(rep.messages > 0);
+    }
+
+    #[test]
+    fn concurrent_beats_sequential_on_saturated_nests() {
+        // Two equal nests on a machine they saturate: concurrent execution
+        // on half the ranks each must be faster (the paper's core claim).
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let seq = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map.clone(),
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .run(3);
+        let half = grid.px / 2;
+        let parts = vec![
+            Rect::new(0, 0, half, grid.py),
+            Rect::new(half, 0, grid.px - half, grid.py),
+        ];
+        let conc = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Concurrent { partitions: parts },
+            map,
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .run(3);
+        assert!(
+            conc.total_time < seq.total_time,
+            "concurrent {} !< sequential {}",
+            conc.total_time,
+            seq.total_time
+        );
+        let imp = conc.improvement_over(&seq);
+        assert!(imp > 5.0 && imp < 60.0, "improvement {imp:.1}% out of plausible range");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let run = || {
+            Simulation::new(
+                &m,
+                grid,
+                &cfg,
+                ExecStrategy::Sequential,
+                map.clone(),
+                IoMode::None,
+                None,
+            )
+            .unwrap()
+            .run(2)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.mpi_wait_total, b.mpi_wait_total);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn io_phase_adds_time_and_splits_accounting() {
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let no_io = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map.clone(),
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .run(4);
+        let with_io = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map,
+            IoMode::SplitFiles,
+            Some(2),
+        )
+        .unwrap()
+        .run(4);
+        assert!(with_io.io_time > 0.0);
+        assert!(with_io.total_time > no_io.total_time);
+        assert!(
+            (with_io.integration_time - no_io.integration_time).abs()
+                < 0.05 * no_io.integration_time
+        );
+    }
+
+    #[test]
+    fn concurrent_io_cheaper_than_sequential_io() {
+        // §4.5: fewer writers per file → better I/O for the parallel
+        // strategy under PnetCDF.
+        let mut m = small_machine();
+        m.io = crate::io::IoParams::bgp_pnetcdf();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let seq = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map.clone(),
+            IoMode::PnetCdf,
+            Some(1),
+        )
+        .unwrap()
+        .run(3);
+        let half = grid.px / 2;
+        let parts = vec![
+            Rect::new(0, 0, half, grid.py),
+            Rect::new(half, 0, grid.px - half, grid.py),
+        ];
+        let conc = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Concurrent { partitions: parts },
+            map,
+            IoMode::PnetCdf,
+            Some(1),
+        )
+        .unwrap()
+        .run(3);
+        assert!(conc.io_time < seq.io_time, "conc io {} !< seq io {}", conc.io_time, seq.io_time);
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        // Wrong partition count.
+        let err = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Concurrent { partitions: vec![grid.rect()] },
+            map.clone(),
+            IoMode::None,
+            None,
+        )
+        .err()
+        .unwrap();
+        assert_eq!(err, SimError::PartitionCount { got: 1, want: 2 });
+        // Mapping/grid mismatch.
+        let small_map = Mapping::oblivious(m.shape, 16).unwrap();
+        let err = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            small_map,
+            IoMode::None,
+            None,
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, SimError::GridMappingMismatch { .. }));
+    }
+
+    #[test]
+    fn trace_records_cover_the_run() {
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let (rep, traces) = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map,
+            IoMode::SplitFiles,
+            Some(2),
+        )
+        .unwrap()
+        .run_traced(4);
+        assert_eq!(traces.len(), 4);
+        // Starts are monotone; io appears only on output iterations.
+        for w in traces.windows(2) {
+            assert!(w[1].start > w[0].start);
+        }
+        assert_eq!(traces[0].io, 0.0);
+        assert!(traces[1].io > 0.0);
+        // Trace sums match the aggregate report.
+        let t_parent: f64 = traces.iter().map(|t| t.parent).sum();
+        let t_io: f64 = traces.iter().map(|t| t.io).sum();
+        let t_wait: f64 = traces.iter().map(|t| t.mpi_wait).sum();
+        assert!((t_parent - rep.parent_phase).abs() < 1e-9);
+        assert!((t_io - rep.io_time).abs() < 1e-9);
+        assert!((t_wait - rep.mpi_wait_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase_breakdown_covers_integration_time() {
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let rep =
+            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map, IoMode::None, None)
+                .unwrap()
+                .run(3);
+        assert!(rep.parent_phase > 0.0);
+        assert!(rep.nest_phase > rep.parent_phase, "nests dominate (r=3, two nests)");
+        let sum = rep.parent_phase + rep.nest_phase;
+        assert!(
+            (sum - rep.integration_time).abs() < 0.05 * rep.integration_time,
+            "phases {sum} vs integration {}",
+            rep.integration_time
+        );
+    }
+
+    #[test]
+    fn mpi_wait_positive_and_bounded() {
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let rep =
+            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map, IoMode::None, None)
+                .unwrap()
+                .run(2);
+        assert!(rep.mpi_wait_total > 0.0);
+        // Wait cannot exceed ranks × wall-clock.
+        assert!(rep.mpi_wait_total < rep.ranks as f64 * rep.total_time);
+    }
+
+    #[test]
+    fn nest_smaller_than_grid_handled() {
+        // A 10×10 nest on a 32-rank machine: only 10×… ranks can be active;
+        // must not panic and must still progress.
+        let m = small_machine();
+        let cfg = NestedConfig::new(
+            Domain::parent(120, 120, 24.0),
+            vec![NestSpec::new(10, 10, 3, (5, 5))],
+        )
+        .unwrap();
+        let (grid, map) = grid_and_mapping(&m);
+        let rep =
+            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map, IoMode::None, None)
+                .unwrap()
+                .run(2);
+        assert!(rep.total_time > 0.0);
+    }
+}

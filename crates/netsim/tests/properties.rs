@@ -1,0 +1,157 @@
+//! Property-based tests of the machine simulator.
+
+use nestwx_grid::{Domain, NestSpec, NestedConfig, ProcGrid, Rect};
+use nestwx_netsim::{ExecStrategy, IoMode, Machine, Simulation};
+use nestwx_topo::Mapping;
+use proptest::prelude::*;
+
+fn small_machine() -> Machine {
+    Machine::bgl(32)
+}
+
+fn arb_config() -> impl Strategy<Value = NestedConfig> {
+    (40u32..120, 40u32..120, 20u32..90, 20u32..90).prop_map(|(pnx, pny, nx, ny)| {
+        let parent = Domain::parent(pnx.max(60), pny.max(60), 24.0);
+        let nest = NestSpec::new(nx, ny, 3, (0, 0));
+        NestedConfig::new(parent, vec![nest]).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Simulated time is positive, finite, and monotone in iteration count.
+    #[test]
+    fn time_monotone_in_iterations(cfg in arb_config(), iters in 1u32..5) {
+        let m = small_machine();
+        let grid = ProcGrid::near_square(m.ranks());
+        let map = Mapping::oblivious(m.shape, m.ranks()).unwrap();
+        let run = |n: u32| {
+            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map.clone(), IoMode::None, None)
+                .unwrap()
+                .run(n)
+        };
+        let a = run(iters);
+        let b = run(iters + 1);
+        prop_assert!(a.total_time.is_finite() && a.total_time > 0.0);
+        prop_assert!(b.total_time > a.total_time);
+        // Per-iteration time is stable (steady state): within 25 %.
+        prop_assert!((b.per_iteration() / a.per_iteration() - 1.0).abs() < 0.25);
+    }
+
+    /// The same simulation is bit-for-bit deterministic.
+    #[test]
+    fn simulation_deterministic(cfg in arb_config()) {
+        let m = small_machine();
+        let grid = ProcGrid::near_square(m.ranks());
+        let map = Mapping::oblivious(m.shape, m.ranks()).unwrap();
+        let run = || {
+            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map.clone(), IoMode::None, None)
+                .unwrap()
+                .run(2)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// MPI_Wait, message and byte counters are consistent and bounded.
+    #[test]
+    fn counters_bounded(cfg in arb_config()) {
+        let m = small_machine();
+        let grid = ProcGrid::near_square(m.ranks());
+        let map = Mapping::oblivious(m.shape, m.ranks()).unwrap();
+        let rep = Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map, IoMode::None, None)
+            .unwrap()
+            .run(2);
+        prop_assert!(rep.mpi_wait_total >= 0.0);
+        prop_assert!(rep.mpi_wait_total <= rep.ranks as f64 * rep.total_time);
+        prop_assert!(rep.messages > 0);
+        prop_assert!(rep.bytes > 0.0);
+        prop_assert!(rep.avg_hops >= 0.0);
+        prop_assert!(rep.integration_time <= rep.total_time + 1e-12);
+    }
+
+    /// Splitting one nest across strategies: a single nest on the full grid
+    /// (concurrent with one full partition) equals the sequential strategy
+    /// up to coupling-cost bookkeeping.
+    #[test]
+    fn one_full_partition_close_to_sequential(cfg in arb_config()) {
+        let m = small_machine();
+        let grid = ProcGrid::near_square(m.ranks());
+        let map = Mapping::oblivious(m.shape, m.ranks()).unwrap();
+        let seq = Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map.clone(), IoMode::None, None)
+            .unwrap()
+            .run(2);
+        let conc = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Concurrent { partitions: vec![grid.rect()] },
+            map,
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .run(2);
+        let ratio = conc.total_time / seq.total_time;
+        prop_assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    /// Adding output never reduces total time, and io_time + integration =
+    /// total.
+    #[test]
+    fn io_accounting_consistent(cfg in arb_config(), every in 1u32..3) {
+        let m = small_machine();
+        let grid = ProcGrid::near_square(m.ranks());
+        let map = Mapping::oblivious(m.shape, m.ranks()).unwrap();
+        let quiet = Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map.clone(), IoMode::None, None)
+            .unwrap()
+            .run(4);
+        let noisy = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map,
+            IoMode::SplitFiles,
+            Some(every),
+        )
+        .unwrap()
+        .run(4);
+        prop_assert!(noisy.total_time >= quiet.total_time);
+        prop_assert!((noisy.integration_time + noisy.io_time - noisy.total_time).abs() < 1e-9);
+        prop_assert!(noisy.io_time > 0.0);
+    }
+
+    /// Any 2-way split of the grid yields a valid concurrent simulation
+    /// with positive sibling times.
+    #[test]
+    fn arbitrary_two_way_splits_simulate(cut_pct in 20u32..80) {
+        let parent = Domain::parent(120, 120, 24.0);
+        let nests = vec![
+            NestSpec::new(80, 80, 3, (0, 0)),
+            NestSpec::new(80, 80, 3, (40, 40)),
+        ];
+        let cfg = NestedConfig::new(parent, nests).unwrap();
+        let m = small_machine();
+        let grid = ProcGrid::near_square(m.ranks());
+        let cut = (grid.px * cut_pct / 100).clamp(1, grid.px - 1);
+        let parts = vec![
+            Rect::new(0, 0, cut, grid.py),
+            Rect::new(cut, 0, grid.px - cut, grid.py),
+        ];
+        let map = Mapping::partition(m.shape, &grid, &parts).unwrap();
+        let rep = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Concurrent { partitions: parts },
+            map,
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .run(2);
+        prop_assert!(rep.sibling_solve.iter().all(|&t| t > 0.0));
+        prop_assert!(rep.total_time.is_finite());
+    }
+}

@@ -1,0 +1,303 @@
+//! The execution-time predictor of §3.1.
+//!
+//! Fitted from a small set of `(domain features, measured time)` pairs. The
+//! feature plane is normalised to the unit square (aspect ratios are O(1)
+//! while point counts are O(10⁵)), triangulated, and queries answered by
+//! barycentric interpolation. Queries outside the convex hull of the basis
+//! are scaled down along the ray to the hull centroid and the result scaled
+//! back by the point-count ratio — this "captures the relative execution
+//! times of those larger domains … and hence suffices as a first order
+//! estimate" (paper, §3.1).
+
+use crate::barycentric::interpolate;
+use crate::delaunay::Delaunay;
+use crate::geometry::{convex_hull, point_in_hull, Point};
+use nestwx_grid::DomainFeatures;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors fitting or querying the predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// Fewer than three basis measurements, or a degenerate basis.
+    DegenerateBasis,
+    /// A query could not be answered (numerical failure).
+    QueryFailed,
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::DegenerateBasis => {
+                write!(f, "basis set is too small or degenerate to triangulate")
+            }
+            PredictError::QueryFailed => write!(f, "interpolation query failed"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// Piecewise-linear execution-time model over the (aspect ratio, points)
+/// feature plane.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecTimePredictor {
+    basis: Vec<(DomainFeatures, f64)>,
+    tri: Delaunay,
+    hull: Vec<Point>,
+    centroid: Point,
+    x_min: f64,
+    x_range: f64,
+    y_min: f64,
+    y_range: f64,
+}
+
+impl ExecTimePredictor {
+    /// Fits the model from `(features, measured seconds)` pairs — the 13
+    /// profiling runs of the paper.
+    pub fn fit(basis: &[(DomainFeatures, f64)]) -> Result<Self, PredictError> {
+        if basis.len() < 3 {
+            return Err(PredictError::DegenerateBasis);
+        }
+        let xs: Vec<f64> = basis.iter().map(|(f, _)| f.aspect_ratio).collect();
+        let ys: Vec<f64> = basis.iter().map(|(f, _)| f.points).collect();
+        let (x_min, x_max) = min_max(&xs);
+        let (y_min, y_max) = min_max(&ys);
+        let x_range = (x_max - x_min).max(1e-9);
+        let y_range = (y_max - y_min).max(1e-9);
+        let norm: Vec<Point> = basis
+            .iter()
+            .map(|(f, _)| Point::new((f.aspect_ratio - x_min) / x_range, (f.points - y_min) / y_range))
+            .collect();
+        let tri = Delaunay::new(&norm).ok_or(PredictError::DegenerateBasis)?;
+        let hull = convex_hull(&norm);
+        if hull.len() < 3 {
+            return Err(PredictError::DegenerateBasis);
+        }
+        let centroid = Point::new(
+            hull.iter().map(|p| p.x).sum::<f64>() / hull.len() as f64,
+            hull.iter().map(|p| p.y).sum::<f64>() / hull.len() as f64,
+        );
+        Ok(ExecTimePredictor {
+            basis: basis.to_vec(),
+            tri,
+            hull,
+            centroid,
+            x_min,
+            x_range,
+            y_min,
+            y_range,
+        })
+    }
+
+    /// The basis measurements the model was fitted from.
+    pub fn basis(&self) -> &[(DomainFeatures, f64)] {
+        &self.basis
+    }
+
+    fn normalize(&self, f: &DomainFeatures) -> Point {
+        Point::new(
+            (f.aspect_ratio - self.x_min) / self.x_range,
+            (f.points - self.y_min) / self.y_range,
+        )
+    }
+
+    fn denorm_points(&self, p: Point) -> f64 {
+        p.y * self.y_range + self.y_min
+    }
+
+    /// Interpolated execution time at a point inside the hull.
+    fn interp_at(&self, p: Point) -> Result<f64, PredictError> {
+        let t = self.tri.locate(p).ok_or(PredictError::QueryFailed)?;
+        let tri = self.tri.triangles()[t];
+        let pts = self.tri.points();
+        interpolate(
+            pts[tri.v[0]],
+            pts[tri.v[1]],
+            pts[tri.v[2]],
+            p,
+            self.basis[tri.v[0]].1,
+            self.basis[tri.v[1]].1,
+            self.basis[tri.v[2]].1,
+        )
+        .ok_or(PredictError::QueryFailed)
+    }
+
+    /// Predicts the execution time of a domain with the given features.
+    ///
+    /// Inside the basis hull this is exact piecewise-linear interpolation;
+    /// outside, the query is pulled back along the ray to the hull centroid
+    /// and the result scaled by the point-count ratio (first-order
+    /// compute ∝ points), preserving relative times for larger domains.
+    pub fn predict(&self, f: &DomainFeatures) -> Result<f64, PredictError> {
+        let p = self.normalize(f);
+        let eps = 1e-9;
+        if point_in_hull(&self.hull, p, eps) {
+            return self.interp_at(p);
+        }
+        // Binary search the largest t with centroid + t (p - centroid)
+        // inside the hull.
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            let q = Point::new(
+                self.centroid.x + mid * (p.x - self.centroid.x),
+                self.centroid.y + mid * (p.y - self.centroid.y),
+            );
+            if point_in_hull(&self.hull, q, eps) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Pull strictly inside; retreat further toward the centroid if the
+        // point-location is numerically unlucky at the hull boundary.
+        for shrink in [0.999, 0.99, 0.95, 0.9, 0.75, 0.5] {
+            let t = lo * shrink;
+            let q = Point::new(
+                self.centroid.x + t * (p.x - self.centroid.x),
+                self.centroid.y + t * (p.y - self.centroid.y),
+            );
+            if let Ok(base) = self.interp_at(q) {
+                let scale = (f.points / self.denorm_points(q).max(1.0)).max(1e-9);
+                return Ok(base * scale);
+            }
+        }
+        Err(PredictError::QueryFailed)
+    }
+
+    /// Relative execution times of several domains, normalised to sum to 1 —
+    /// the ratios `R` handed to the processor allocator (Algorithm 1).
+    pub fn relative_times(&self, domains: &[DomainFeatures]) -> Result<Vec<f64>, PredictError> {
+        let times: Vec<f64> = domains
+            .iter()
+            .map(|f| self.predict(f))
+            .collect::<Result<_, _>>()?;
+        let total: f64 = times.iter().sum();
+        if total <= 0.0 {
+            return Err(PredictError::QueryFailed);
+        }
+        Ok(times.iter().map(|t| t / total).collect())
+    }
+}
+
+fn min_max(v: &[f64]) -> (f64, f64) {
+    v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic "true" cost with an aspect-ratio-dependent communication
+    /// term, like the simulator's: T = a·points + b·(nx + ny).
+    fn true_time(nx: f64, ny: f64) -> f64 {
+        1e-6 * nx * ny + 4e-4 * (nx + ny)
+    }
+
+    fn basis_13() -> Vec<(DomainFeatures, f64)> {
+        // Sizes spanning the paper's range 94×124 .. 415×445 with aspect
+        // ratios 0.5–1.5, picked to triangulate well (cf. §3.1).
+        let dims: [(u32, u32); 13] = [
+            (94, 124),
+            (415, 445),
+            (100, 200),
+            (300, 200),
+            (200, 300),
+            (250, 250),
+            (150, 300),
+            (375, 250),
+            (160, 140),
+            (360, 390),
+            (120, 240),
+            (420, 280),
+            (240, 160),
+        ];
+        dims.iter()
+            .map(|&(nx, ny)| {
+                (DomainFeatures::from_dims(nx, ny), true_time(nx as f64, ny as f64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_at_basis_points() {
+        let m = ExecTimePredictor::fit(&basis_13()).unwrap();
+        for (f, t) in m.basis().iter() {
+            let p = m.predict(f).unwrap();
+            assert!((p - t).abs() / t < 1e-6, "basis point reproduced: {p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn interpolation_error_below_paper_bound() {
+        // Paper: < 6 % error on test domains with 55 900–94 990 points and
+        // aspect ratios 0.5–1.5.
+        let m = ExecTimePredictor::fit(&basis_13()).unwrap();
+        let tests: [(u32, u32); 6] =
+            [(215, 260), (230, 243), (310, 215), (205, 410), (260, 360), (188, 300)];
+        for (nx, ny) in tests {
+            let f = DomainFeatures::from_dims(nx, ny);
+            let t_true = true_time(nx as f64, ny as f64);
+            let t_pred = m.predict(&f).unwrap();
+            let err = (t_pred - t_true).abs() / t_true;
+            assert!(err < 0.06, "{nx}x{ny}: error {:.1}% ≥ 6%", err * 100.0);
+        }
+    }
+
+    #[test]
+    fn out_of_hull_preserves_relative_order() {
+        // Larger domains outside the basis hull (paper: "we scale down to
+        // the region of coverage"): relative ordering must be preserved.
+        let m = ExecTimePredictor::fit(&basis_13()).unwrap();
+        let big1 = DomainFeatures::from_dims(586, 643);
+        let big2 = DomainFeatures::from_dims(925, 850);
+        let (t1, t2) = (m.predict(&big1).unwrap(), m.predict(&big2).unwrap());
+        assert!(t2 > t1, "larger domain must predict larger: {t2} vs {t1}");
+        // Ratio within 25 % of the true ratio — first-order estimate.
+        let true_ratio = true_time(925.0, 850.0) / true_time(586.0, 643.0);
+        let pred_ratio = t2 / t1;
+        assert!(
+            (pred_ratio - true_ratio).abs() / true_ratio < 0.25,
+            "ratio {pred_ratio:.2} vs true {true_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn relative_times_sum_to_one() {
+        let m = ExecTimePredictor::fit(&basis_13()).unwrap();
+        let ds = [
+            DomainFeatures::from_dims(394, 418),
+            DomainFeatures::from_dims(232, 202),
+            DomainFeatures::from_dims(232, 256),
+            DomainFeatures::from_dims(313, 337),
+        ];
+        let r = m.relative_times(&ds).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // The largest nest gets the largest share (Table 2's sibling 1).
+        let max_idx = r
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 0);
+    }
+
+    #[test]
+    fn fit_rejects_tiny_basis() {
+        let b: Vec<(DomainFeatures, f64)> =
+            vec![(DomainFeatures::from_dims(100, 100), 1.0), (DomainFeatures::from_dims(200, 200), 2.0)];
+        assert_eq!(ExecTimePredictor::fit(&b).unwrap_err(), PredictError::DegenerateBasis);
+    }
+
+    #[test]
+    fn fit_rejects_collinear_basis() {
+        // All same aspect ratio: feature points are collinear in x.
+        let b: Vec<(DomainFeatures, f64)> = (1..=5)
+            .map(|k| (DomainFeatures::from_dims(100 * k, 100 * k), k as f64))
+            .collect();
+        assert_eq!(ExecTimePredictor::fit(&b).unwrap_err(), PredictError::DegenerateBasis);
+    }
+}

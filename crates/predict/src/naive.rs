@@ -1,0 +1,93 @@
+//! The naïve baseline: execution time proportional to point count.
+//!
+//! §3.1: "A naïve approach is to assume that execution times are
+//! proportional to the number of points in the domain. However … a simple
+//! univariate linear model based on this feature results in more than 19 %
+//! prediction errors", because equal-area domains with different aspect
+//! ratios have different x/y communication volumes.
+
+use nestwx_grid::DomainFeatures;
+use serde::{Deserialize, Serialize};
+
+/// `time = coeff × points`, least-squares fitted through the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaivePointsModel {
+    /// Seconds per grid point.
+    pub coeff: f64,
+}
+
+impl NaivePointsModel {
+    /// Fits the proportionality coefficient from measurements.
+    pub fn fit(basis: &[(DomainFeatures, f64)]) -> NaivePointsModel {
+        let num: f64 = basis.iter().map(|(f, t)| f.points * t).sum();
+        let den: f64 = basis.iter().map(|(f, _)| f.points * f.points).sum();
+        NaivePointsModel { coeff: if den > 0.0 { num / den } else { 0.0 } }
+    }
+
+    /// Predicted time.
+    pub fn predict(&self, f: &DomainFeatures) -> f64 {
+        self.coeff * f.points
+    }
+
+    /// Relative times normalised to sum to 1 — under this model simply the
+    /// point-count shares, which is exactly the naïve allocation of §4.6.
+    pub fn relative_times(&self, domains: &[DomainFeatures]) -> Vec<f64> {
+        let total: f64 = domains.iter().map(|f| f.points).sum();
+        domains.iter().map(|f| f.points / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_proportionality() {
+        let basis: Vec<(DomainFeatures, f64)> = [(100u32, 100u32), (200, 150), (300, 310)]
+            .iter()
+            .map(|&(nx, ny)| (DomainFeatures::from_dims(nx, ny), 2e-6 * (nx * ny) as f64))
+            .collect();
+        let m = NaivePointsModel::fit(&basis);
+        assert!((m.coeff - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cannot_distinguish_aspect_ratios() {
+        // The model's fundamental blindness (paper's motivation for the
+        // second feature): equal-area domains predict identically.
+        let m = NaivePointsModel { coeff: 1e-6 };
+        let a = DomainFeatures::from_dims(200, 300);
+        let b = DomainFeatures::from_dims(300, 200);
+        assert_eq!(m.predict(&a), m.predict(&b));
+    }
+
+    #[test]
+    fn relative_times_are_point_shares() {
+        let m = NaivePointsModel { coeff: 1e-6 };
+        let ds = [DomainFeatures::from_dims(100, 100), DomainFeatures::from_dims(100, 300)];
+        let r = m.relative_times(&ds);
+        assert!((r[0] - 0.25).abs() < 1e-12);
+        assert!((r[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_errs_on_aspect_dependent_cost() {
+        // With a true cost containing a perimeter term, the naïve model's
+        // error exceeds the interpolator's (>19 % vs <6 % in the paper —
+        // here we just check it is materially worse on a skewed domain).
+        let true_time = |nx: f64, ny: f64| 1e-6 * nx * ny + 4e-4 * (nx + ny);
+        let basis: Vec<(DomainFeatures, f64)> =
+            [(94u32, 124u32), (415, 445), (250, 250), (160, 140), (360, 390)]
+                .iter()
+                .map(|&(nx, ny)| {
+                    (DomainFeatures::from_dims(nx, ny), true_time(nx as f64, ny as f64))
+                })
+                .collect();
+        let m = NaivePointsModel::fit(&basis);
+        // Small skewed domain: perimeter share is large → underprediction.
+        let f = DomainFeatures::from_dims(120, 240);
+        let t_true = true_time(120.0, 240.0);
+        let err = (m.predict(&f) - t_true).abs() / t_true;
+        assert!(err > 0.06, "naïve error unexpectedly small: {:.1}%", err * 100.0);
+    }
+}

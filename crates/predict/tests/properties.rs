@@ -1,0 +1,127 @@
+//! Property-based tests of the geometric predicates, the Delaunay
+//! triangulation and the interpolator.
+
+use nestwx_grid::DomainFeatures;
+use nestwx_predict::geometry::{convex_hull, orient2d, point_in_hull};
+use nestwx_predict::{Delaunay, ExecTimePredictor, Point};
+use proptest::prelude::*;
+
+fn arb_points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..10.0, 0.0f64..10.0).prop_map(|(x, y)| Point::new(x, y)), n)
+}
+
+proptest! {
+    /// orient2d is antisymmetric under swapping two vertices.
+    #[test]
+    fn orientation_antisymmetric(ax in -5.0f64..5.0, ay in -5.0..5.0,
+                                 bx in -5.0f64..5.0, by in -5.0..5.0,
+                                 cx in -5.0f64..5.0, cy in -5.0..5.0) {
+        let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+        prop_assert!((orient2d(a, b, c) + orient2d(a, c, b)).abs() < 1e-9);
+        // Cyclic invariance.
+        prop_assert!((orient2d(a, b, c) - orient2d(b, c, a)).abs() < 1e-9);
+    }
+
+    /// The convex hull contains every input point.
+    #[test]
+    fn hull_contains_inputs(pts in arb_points(3..40)) {
+        let hull = convex_hull(&pts);
+        prop_assume!(hull.len() >= 3);
+        for p in &pts {
+            prop_assert!(point_in_hull(&hull, *p, 1e-9), "input point outside its hull");
+        }
+    }
+
+    /// Hull vertices are in strictly counter-clockwise order.
+    #[test]
+    fn hull_is_convex_ccw(pts in arb_points(3..40)) {
+        let hull = convex_hull(&pts);
+        prop_assume!(hull.len() >= 3);
+        let n = hull.len();
+        for i in 0..n {
+            prop_assert!(orient2d(hull[i], hull[(i + 1) % n], hull[(i + 2) % n]) > 0.0);
+        }
+    }
+
+    /// Bowyer–Watson output satisfies the empty-circumcircle invariant and
+    /// covers the hull area, for random well-separated point sets.
+    #[test]
+    fn delaunay_invariants(raw in arb_points(4..20)) {
+        // Separate points to avoid duplicates (builder rejects them).
+        let mut pts: Vec<Point> = Vec::new();
+        for p in raw {
+            if pts.iter().all(|q| q.dist(&p) > 1e-3) {
+                pts.push(p);
+            }
+        }
+        prop_assume!(pts.len() >= 4);
+        let hull = convex_hull(&pts);
+        prop_assume!(hull.len() >= 3);
+        if let Some(d) = Delaunay::new(&pts) {
+            prop_assert!(d.is_delaunay(), "empty-circumcircle violated");
+            let hull_area: f64 = (1..hull.len() - 1)
+                .map(|i| orient2d(hull[0], hull[i], hull[i + 1]) / 2.0)
+                .sum();
+            prop_assert!((d.area() - hull_area).abs() < 1e-6 * hull_area.max(1.0));
+            // Euler relation for triangulations of point sets.
+            let interior_ok = d.triangles().len() <= 2 * pts.len();
+            prop_assert!(interior_ok);
+        }
+    }
+
+    /// Interpolating a globally linear time surface is exact everywhere
+    /// inside the hull (piecewise-linear reproduces linear functions).
+    #[test]
+    fn interpolator_reproduces_linear_surfaces(
+        c0 in 0.1f64..5.0, cx in -0.5f64..0.5, cy in 1e-6f64..1e-4,
+        qx in 120u32..380, qy in 130u32..390,
+    ) {
+        let f = |a: f64, p: f64| c0 + cx * a + cy * p;
+        let dims: [(u32, u32); 9] = [
+            (100, 200), (300, 150), (415, 445), (94, 124), (250, 250),
+            (150, 300), (375, 250), (200, 120), (300, 380),
+        ];
+        let basis: Vec<(DomainFeatures, f64)> = dims
+            .iter()
+            .map(|&(nx, ny)| {
+                let feat = DomainFeatures::from_dims(nx, ny);
+                (feat, f(feat.aspect_ratio, feat.points))
+            })
+            .collect();
+        let model = ExecTimePredictor::fit(&basis).unwrap();
+        let q = DomainFeatures::from_dims(qx, qy);
+        // Piecewise-linear interpolation is only exact *inside* the basis
+        // hull; keep the query within the basis aspect range (the
+        // out-of-hull fallback is a first-order heuristic tested
+        // separately).
+        prop_assume!(q.aspect_ratio > 0.6 && q.aspect_ratio < 1.4);
+        let truth = f(q.aspect_ratio, q.points);
+        prop_assume!(truth > 1e-9);
+        let pred = model.predict(&q).unwrap();
+        let err = (pred - truth).abs() / truth;
+        prop_assert!(err < 0.15, "error {:.3} at {qx}x{qy}", err);
+    }
+
+    /// Relative times are a probability vector and order-preserving in
+    /// domain size for fixed aspect ratio.
+    #[test]
+    fn relative_times_normalised(k in 2usize..6, base in 100u32..200) {
+        let dims: [(u32, u32); 9] = [
+            (100, 200), (300, 150), (415, 445), (94, 124), (250, 250),
+            (150, 300), (375, 250), (200, 120), (300, 380),
+        ];
+        let basis: Vec<(DomainFeatures, f64)> = dims
+            .iter()
+            .map(|&(nx, ny)| (DomainFeatures::from_dims(nx, ny), 1e-6 * (nx as f64) * (ny as f64) + 0.01))
+            .collect();
+        let model = ExecTimePredictor::fit(&basis).unwrap();
+        let features: Vec<DomainFeatures> =
+            (0..k).map(|i| DomainFeatures::from_dims(base + 40 * i as u32, base + 40 * i as u32)).collect();
+        let r = model.relative_times(&features).unwrap();
+        prop_assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(r.iter().all(|&x| x > 0.0));
+        for w in r.windows(2) {
+            prop_assert!(w[1] > w[0], "bigger equal-aspect domain must cost more");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Mapping explorer: visualises the 2-D → 3-D mappings of §3.3 on the
+//! Fig. 5/6 example (32 ranks, 4×4×2 torus, two sibling partitions) and
+//! reports hop metrics for a full Blue Gene/L rack.
+//!
+//! ```text
+//! cargo run --release --example mapping_explorer
+//! ```
+
+use nestwx::grid::{ProcGrid, Rect};
+use nestwx::topo::metrics::{halo_edges, CommStats};
+use nestwx::topo::torus::{MachineShape, Torus};
+use nestwx::topo::Mapping;
+
+fn show_torus(label: &str, m: &Mapping, torus: &Torus) {
+    println!("\n{label}:");
+    for z in 0..torus.dims[2] {
+        println!("  plane z={z}:");
+        for y in 0..torus.dims[1] {
+            let mut line = String::from("    ");
+            for x in 0..torus.dims[0] {
+                // Find the rank mapped to this node (cores_per_node = 1).
+                let rank = (0..m.len()).find(|&r| {
+                    let c = m.node_coord(r);
+                    (c.x, c.y, c.z) == (x, y, z)
+                });
+                match rank {
+                    Some(r) => line.push_str(&format!("{r:>3} ")),
+                    None => line.push_str("  . "),
+                }
+            }
+            println!("{line}");
+        }
+    }
+}
+
+fn main() {
+    // ---- the paper's illustration: 8×4 virtual grid on a 4×4×2 torus ----
+    let shape = MachineShape::new(Torus::new(4, 4, 2), 1);
+    let grid = ProcGrid::new(8, 4);
+    let parts = [Rect::new(0, 0, 4, 4), Rect::new(4, 0, 4, 4)];
+
+    let oblivious = Mapping::oblivious(shape, 32).unwrap();
+    let partition = Mapping::partition(shape, &grid, &parts).unwrap();
+    let multilevel = Mapping::multilevel(shape, &grid, &parts).unwrap();
+
+    println!("Fig. 5/6 example: 32 ranks, two 4x4 sibling partitions, 4x4x2 torus");
+    show_torus("topology-oblivious (Fig. 5b)", &oblivious, &shape.torus);
+    show_torus("partition mapping (Fig. 6a)", &partition, &shape.torus);
+    show_torus("multi-level mapping (Fig. 6b)", &multilevel, &shape.torus);
+
+    // Hop statistics over the nest halo edges.
+    let mut edges = Vec::new();
+    for p in &parts {
+        edges.extend(halo_edges(&grid, p, 1.0));
+    }
+    println!("\nnest-halo hop statistics (32-rank example):");
+    for (name, m) in [("oblivious", &oblivious), ("partition", &partition), ("multilevel", &multilevel)] {
+        let s = CommStats::compute(m, &edges);
+        println!("  {name:<11} avg {:.2} hops, max {}", s.avg_hops, s.max_hops);
+    }
+
+    // ---- full BG/L rack with the Table 2 partitions ----
+    let shape = MachineShape::bgl_rack_vn();
+    let grid = ProcGrid::new(32, 32);
+    let parts = [
+        Rect::new(0, 0, 18, 24),
+        Rect::new(0, 24, 18, 8),
+        Rect::new(18, 0, 14, 12),
+        Rect::new(18, 12, 14, 20),
+    ];
+    let mut edges = Vec::new();
+    for p in &parts {
+        edges.extend(halo_edges(&grid, p, 1.0));
+    }
+    println!("\nBG/L rack (1024 ranks), Table 2 partitions — nest-halo hops:");
+    let oblivious = Mapping::oblivious(shape, 1024).unwrap();
+    let txyz = Mapping::txyz(shape, 1024).unwrap();
+    let partition = Mapping::partition(shape, &grid, &parts).unwrap();
+    let multilevel = Mapping::multilevel(shape, &grid, &parts).unwrap();
+    for (name, m) in [
+        ("oblivious", &oblivious),
+        ("TXYZ", &txyz),
+        ("partition", &partition),
+        ("multilevel", &multilevel),
+    ] {
+        let s = CommStats::compute(m, &edges);
+        println!(
+            "  {name:<11} avg {:.2} hops, max {:>2}, hop-bytes {:>7.0}, max link load {:>5.0}",
+            s.avg_hops, s.max_hops, s.hop_bytes, s.max_link_bytes
+        );
+    }
+    println!("\nTopology-aware mappings roughly halve the average hop count (Fig. 12b).");
+}

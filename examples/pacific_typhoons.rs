@@ -1,0 +1,72 @@
+//! Pacific typhoon season scenario (§4.1.2 of the paper).
+//!
+//! The western Pacific (100°E–180°E, 10°S–50°N) is simulated at 24 km with a
+//! 286×307 parent domain. During the July 2010 typhoon season several
+//! depressions form simultaneously; each triggers a high-resolution (8 km)
+//! nest. This example walks the full divide-and-conquer pipeline:
+//!
+//! 1. profile 13 basis domains on the machine simulator and fit the
+//!    Delaunay execution-time predictor;
+//! 2. plan processor allocation for four tracked depressions;
+//! 3. compare the default sequential strategy against the concurrent
+//!    strategy under each mapping.
+//!
+//! ```text
+//! cargo run --release --example pacific_typhoons
+//! ```
+
+use nestwx::core::profile::fit_predictor;
+use nestwx::core::{compare_strategies, MappingKind, Planner};
+use nestwx::grid::{Domain, DomainFeatures, NestSpec};
+use nestwx::netsim::Machine;
+
+fn main() {
+    let machine = Machine::bgl_rack();
+    let parent = Domain::parent(286, 307, 24.0);
+
+    // Four depressions tracked over the Pacific, different sizes.
+    let depressions = [
+        ("TD Omais", NestSpec::new(394, 418, 3, (10, 10))),
+        ("TS Conson", NestSpec::new(232, 202, 3, (160, 20))),
+        ("TD 06W", NestSpec::new(232, 256, 3, (20, 170))),
+        ("TY Chanthu", NestSpec::new(313, 337, 3, (160, 170))),
+    ];
+    let nests: Vec<NestSpec> = depressions.iter().map(|(_, n)| n.clone()).collect();
+
+    // Step 1: profiling runs + predictor fit.
+    println!("fitting execution-time predictor from 13 profiling runs …");
+    let predictor = fit_predictor(&machine, 2010);
+    for (name, nest) in &depressions {
+        let t = predictor.predict(&DomainFeatures::from(nest)).unwrap();
+        println!("  {name:<12} {:>3}x{:<3} → predicted {:.3} s/step on 64 ranks", nest.nx, nest.ny, t);
+    }
+
+    // Step 2: plan.
+    let planner = Planner::new(machine).with_predictor(predictor);
+    let plan = planner.plan(&parent, &nests).unwrap();
+    println!("\nprocessor allocation over the 32x32 grid:");
+    for ((name, _), p) in depressions.iter().zip(&plan.partitions) {
+        println!(
+            "  {name:<12} {:>2}x{:<2} = {:>3} ranks ({:.1} % — predicted share {:.1} %)",
+            p.rect.w,
+            p.rect.h,
+            p.rect.area(),
+            p.rect.area() as f64 / 10.24,
+            plan.predicted_ratios[p.domain] * 100.0
+        );
+    }
+
+    // Step 3: strategy × mapping comparison.
+    println!("\nstrategy comparison (5 iterations):");
+    for kind in MappingKind::ALL {
+        let cmp = compare_strategies(&planner.clone().mapping(kind), &parent, &nests, 5).unwrap();
+        println!(
+            "  {:<11?} {:.3} s/iter  (+{:.1} % vs default {:.3} s; hops −{:.0} %)",
+            kind,
+            cmp.planned_run.per_iteration(),
+            cmp.improvement_pct(),
+            cmp.default_run.per_iteration(),
+            cmp.hops_reduction_pct(),
+        );
+    }
+}

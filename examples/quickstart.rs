@@ -1,0 +1,51 @@
+//! Quickstart: plan and simulate a two-nest weather run on a Blue Gene/L
+//! rack, comparing WRF's default sequential strategy with the paper's
+//! divide-and-conquer strategy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nestwx::core::{compare_strategies, AllocPolicy, MappingKind, Planner, Strategy};
+use nestwx::grid::{Domain, NestSpec};
+use nestwx::netsim::Machine;
+
+fn main() {
+    // A rack of Blue Gene/L: 512 nodes, 1024 ranks in virtual-node mode.
+    let machine = Machine::bgl_rack();
+
+    // The Pacific parent domain at 24 km with two tropical depressions
+    // tracked by 8 km nests (refinement ratio 3).
+    let parent = Domain::parent(286, 307, 24.0);
+    let nests = vec![
+        NestSpec::new(259, 229, 3, (10, 12)),
+        NestSpec::new(259, 229, 3, (150, 40)),
+    ];
+
+    let planner = Planner::new(machine)
+        .strategy(Strategy::Concurrent)
+        .alloc_policy(AllocPolicy::HuffmanSplitTree)
+        .mapping(MappingKind::MultiLevel);
+
+    // Inspect the plan: predicted ratios and processor rectangles.
+    let plan = planner.plan(&parent, &nests).expect("valid configuration");
+    println!("predicted time shares: {:?}", plan.predicted_ratios);
+    for p in &plan.partitions {
+        println!(
+            "nest {} runs on a {}x{} processor rectangle ({} ranks)",
+            p.domain + 1,
+            p.rect.w,
+            p.rect.h,
+            p.rect.area()
+        );
+    }
+
+    // Head-to-head against the default strategy.
+    let cmp = compare_strategies(&planner, &parent, &nests, 5).expect("simulation runs");
+    println!();
+    println!("default (sequential) : {:.3} s/iteration", cmp.default_run.per_iteration());
+    println!("divide-and-conquer   : {:.3} s/iteration", cmp.planned_run.per_iteration());
+    println!("improvement          : {:.1} %", cmp.improvement_pct());
+    println!("MPI_Wait improvement : {:.1} %", cmp.mpi_wait_improvement_pct());
+    println!("avg hops reduction   : {:.1} %", cmp.hops_reduction_pct());
+}

@@ -1,0 +1,59 @@
+//! # nestwx — divide-and-conquer scheduling for multi-nest weather simulations
+//!
+//! This is the façade crate of the `nestwx` workspace, a reproduction of
+//! *"A divide and conquer strategy for scaling weather simulations with
+//! multiple regions of interest"* (Malakar et al., SC 2012 / Scientific
+//! Programming 21 (2013) 93–107).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * [`grid`] — simulation domains, nests, rectangles and 2-D domain
+//!   decomposition over a virtual processor grid;
+//! * [`topo`] — 3-D torus interconnect model, routing, and the paper's
+//!   2-D → 3-D mapping heuristics (topology-oblivious, TXYZ, partition and
+//!   multi-level folded mappings);
+//! * [`predict`] — the Delaunay-triangulation / barycentric-interpolation
+//!   performance-prediction model of §3.1;
+//! * [`alloc`] — the Huffman-tree + balanced-split-tree processor-allocation
+//!   algorithm of §3.2 (Algorithm 1) and its baselines;
+//! * [`netsim`] — a discrete-event simulator of Blue Gene-class machines
+//!   (torus network with link contention, WRF-like iteration schedule,
+//!   MPI_Wait accounting, PnetCDF-style parallel I/O model) standing in for
+//!   the paper's BG/L and BG/P testbeds;
+//! * [`miniwrf`] — a real, multi-threaded nested shallow-water solver that
+//!   executes both the default sequential-nest strategy and the paper's
+//!   concurrent-sibling strategy on actual threads;
+//! * [`core`] — the planner that glues prediction, allocation and mapping
+//!   into an execution plan and runs it on either substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nestwx::core::{Planner, Strategy, MappingKind, AllocPolicy};
+//! use nestwx::grid::{Domain, NestSpec};
+//! use nestwx::netsim::Machine;
+//!
+//! // A Blue Gene/L rack (1024 cores in virtual-node mode).
+//! let machine = Machine::bgl_rack();
+//! // Parent domain at 24 km with two sibling nests at 8 km.
+//! let parent = Domain::parent(286, 307, 24.0);
+//! let nests = vec![
+//!     NestSpec::new(259, 229, 3, (10, 12)),
+//!     NestSpec::new(259, 229, 3, (150, 40)),
+//! ];
+//! let planner = Planner::new(machine)
+//!     .strategy(Strategy::Concurrent)
+//!     .alloc_policy(AllocPolicy::HuffmanSplitTree)
+//!     .mapping(MappingKind::MultiLevel);
+//! let plan = planner.plan(&parent, &nests).unwrap();
+//! let report = plan.simulate(3).unwrap();
+//! assert!(report.total_time > 0.0);
+//! ```
+
+pub use nestwx_alloc as alloc;
+pub use nestwx_core as core;
+pub use nestwx_grid as grid;
+pub use nestwx_miniwrf as miniwrf;
+pub use nestwx_netsim as netsim;
+pub use nestwx_predict as predict;
+pub use nestwx_topo as topo;

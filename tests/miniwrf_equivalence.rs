@@ -1,0 +1,103 @@
+//! Integration tests of the threaded mini-app: strategy equivalence,
+//! physics invariants, and the core-crate thread allocation driving it.
+
+use nestwx::core::threads::thread_allocation;
+use nestwx::miniwrf::nest::NestGeometry;
+use nestwx::miniwrf::solver::Boundary;
+use nestwx::miniwrf::{run_iterations, NestedModel, ShallowWater, ThreadStrategy};
+
+fn storm_model() -> NestedModel {
+    let geos = [
+        NestGeometry { ratio: 3, offset: (6, 6), nx: 45, ny: 39 },
+        NestGeometry { ratio: 3, offset: (32, 30), nx: 36, ny: 30 },
+    ];
+    let mut m = NestedModel::new(60, 54, 24_000.0, 1000.0, &geos);
+    m.add_depression(13.0, 12.0, -18.0, 3.0);
+    m.add_depression(38.0, 35.0, -12.0, 2.5);
+    m
+}
+
+#[test]
+fn sequential_and_concurrent_agree_bitwise() {
+    let mut seq = storm_model();
+    let mut conc = storm_model();
+    let alloc = thread_allocation(&[45.0 * 39.0, 36.0 * 30.0], 3);
+    run_iterations(&mut seq, 6, 3, &ThreadStrategy::Sequential);
+    run_iterations(&mut conc, 6, 3, &ThreadStrategy::Concurrent { allocation: alloc });
+    assert_eq!(seq.parent.h, conc.parent.h);
+    assert_eq!(seq.parent.hu, conc.parent.hu);
+    assert_eq!(seq.parent.hv, conc.parent.hv);
+    for (a, b) in seq.nests.iter().zip(&conc.nests) {
+        assert_eq!(a.solver.h, b.solver.h);
+        assert_eq!(a.solver.hu, b.solver.hu);
+        assert_eq!(a.solver.hv, b.solver.hv);
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let mut one = storm_model();
+    let mut four = storm_model();
+    run_iterations(&mut one, 5, 1, &ThreadStrategy::Sequential);
+    run_iterations(&mut four, 5, 4, &ThreadStrategy::Sequential);
+    assert_eq!(one.parent.h, four.parent.h);
+    assert_eq!(one.nests[0].solver.h, four.nests[0].solver.h);
+}
+
+#[test]
+fn coupled_run_stays_stable_and_bounded() {
+    let mut m = storm_model();
+    run_iterations(&mut m, 15, 2, &ThreadStrategy::Sequential);
+    assert!(m.parent.cfl() < 1.0, "parent CFL {:.2}", m.parent.cfl());
+    for n in &m.nests {
+        assert!(n.solver.cfl() < 1.0);
+        let h = &n.solver.h;
+        assert!(h.max_abs() < 1100.0 && h.max_abs() > 900.0, "depth out of range");
+    }
+}
+
+#[test]
+fn standalone_solver_conserves_mass_under_threading() {
+    let mut sw = ShallowWater::quiescent(48, 48, 1000.0, 100.0, Boundary::Periodic);
+    sw.add_gaussian(24.0, 24.0, -5.0, 4.0);
+    let m0 = sw.mass();
+    for _ in 0..30 {
+        nestwx::miniwrf::runtime::step_parallel(&mut sw, 4);
+    }
+    assert!((sw.mass() - m0).abs() / m0 < 1e-10);
+}
+
+#[test]
+fn depression_fills_in_over_time() {
+    // Physical sanity: an isolated depression radiates gravity waves and
+    // its centre relaxes back toward the rest depth.
+    let mut m = storm_model();
+    let centre0 = m.nests[0].solver.h.get(19, 18);
+    run_iterations(&mut m, 12, 2, &ThreadStrategy::Sequential);
+    let centre1 = m.nests[0].solver.h.get(19, 18);
+    assert!(centre0 < 1000.0, "initial depression missing");
+    assert!(centre1 > centre0, "depression should relax: {centre0} → {centre1}");
+}
+
+#[test]
+fn feedback_keeps_parent_and_nest_consistent() {
+    let mut m = storm_model();
+    run_iterations(&mut m, 4, 2, &ThreadStrategy::Sequential);
+    // After feedback, a parent cell equals the mean of its 3×3 fine cells.
+    let nest = &m.nests[0];
+    let (oi, oj) = nest.geo.offset;
+    for (pi, pj) in [(2usize, 3usize), (7, 5), (10, 9)] {
+        let parent_val = m.parent.h.get((oi + pi) as isize, (oj + pj) as isize);
+        let mut mean = 0.0;
+        for fj in 0..3 {
+            for fi in 0..3 {
+                mean += nest.solver.h.get((pi * 3 + fi) as isize, (pj * 3 + fj) as isize);
+            }
+        }
+        mean /= 9.0;
+        assert!(
+            (parent_val - mean).abs() < 1e-9,
+            "feedback mismatch at parent ({pi},{pj}): {parent_val} vs {mean}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end pipeline tests: predict → allocate → map → simulate, spanning
+//! every crate through the `nestwx` façade.
+
+use nestwx::core::{compare_strategies, AllocPolicy, MappingKind, Planner, Strategy};
+use nestwx::grid::{Domain, NestSpec, ProcGrid};
+use nestwx::netsim::{IoMode, Machine};
+use nestwx::topo::Mapping;
+
+fn pacific() -> (Domain, Vec<NestSpec>) {
+    (
+        Domain::parent(286, 307, 24.0),
+        vec![
+            NestSpec::new(259, 229, 3, (10, 12)),
+            NestSpec::new(232, 256, 3, (150, 40)),
+        ],
+    )
+}
+
+#[test]
+fn concurrent_beats_default_on_saturating_machine() {
+    let (parent, nests) = pacific();
+    let planner = Planner::new(Machine::bgl(512));
+    let cmp = compare_strategies(&planner, &parent, &nests, 3).unwrap();
+    assert!(
+        cmp.improvement_pct() > 10.0,
+        "expected a double-digit improvement, got {:.1}%",
+        cmp.improvement_pct()
+    );
+}
+
+#[test]
+fn partition_areas_track_predicted_ratios() {
+    let (parent, nests) = pacific();
+    let plan = Planner::new(Machine::bgl(256)).plan(&parent, &nests).unwrap();
+    let total: f64 = plan.partitions.iter().map(|p| p.rect.area() as f64).sum();
+    for p in &plan.partitions {
+        let share = p.rect.area() as f64 / total;
+        let target = plan.predicted_ratios[p.domain];
+        assert!(
+            (share - target).abs() < 0.08,
+            "nest {} got {share:.3}, predicted {target:.3}",
+            p.domain
+        );
+    }
+}
+
+#[test]
+fn partitions_tile_grid_exactly() {
+    let (parent, nests) = pacific();
+    for policy in [AllocPolicy::Equal, AllocPolicy::NaiveProportional, AllocPolicy::HuffmanSplitTree] {
+        let plan = Planner::new(Machine::bgl(256)).alloc_policy(policy).plan(&parent, &nests).unwrap();
+        let rects: Vec<_> = plan.partitions.iter().map(|p| p.rect).collect();
+        assert!(
+            nestwx::grid::rect::tiles_exactly(&plan.grid.rect(), &rects),
+            "{policy:?} does not tile"
+        );
+    }
+}
+
+#[test]
+fn topology_aware_mappings_cut_hops() {
+    let (parent, nests) = pacific();
+    let base = Planner::new(Machine::bgl(512));
+    let run = |kind| {
+        base.clone().mapping(kind).plan(&parent, &nests).unwrap().simulate(2).unwrap()
+    };
+    let oblivious = run(MappingKind::Oblivious);
+    let partition = run(MappingKind::Partition);
+    let multilevel = run(MappingKind::MultiLevel);
+    assert!(
+        partition.avg_hops < 0.8 * oblivious.avg_hops,
+        "partition {:.2} !≪ oblivious {:.2}",
+        partition.avg_hops,
+        oblivious.avg_hops
+    );
+    assert!(multilevel.avg_hops < 0.8 * oblivious.avg_hops);
+}
+
+#[test]
+fn sequential_strategy_is_mapping_stable() {
+    // The default strategy's result is identical across planner mapping
+    // kinds when no partitions exist — the mapping only changes node
+    // placement, and oblivious is used for empty partition lists.
+    let (parent, nests) = pacific();
+    let a = Planner::new(Machine::bgl(64))
+        .strategy(Strategy::Sequential)
+        .mapping(MappingKind::Partition)
+        .plan(&parent, &nests)
+        .unwrap()
+        .simulate(2)
+        .unwrap();
+    let b = Planner::new(Machine::bgl(64))
+        .strategy(Strategy::Sequential)
+        .mapping(MappingKind::MultiLevel)
+        .plan(&parent, &nests)
+        .unwrap()
+        .simulate(2)
+        .unwrap();
+    assert_eq!(a.total_time, b.total_time);
+}
+
+#[test]
+fn io_shifts_favor_concurrent() {
+    let (parent, nests) = pacific();
+    let quiet = Planner::new(Machine::bgp(512));
+    let noisy = Planner::new(Machine::bgp(512)).output(IoMode::PnetCdf, 1);
+    let cmp_quiet = compare_strategies(&quiet, &parent, &nests, 3).unwrap();
+    let cmp_noisy = compare_strategies(&noisy, &parent, &nests, 3).unwrap();
+    // Fig. 8's claim: improvement including I/O exceeds improvement
+    // excluding I/O.
+    assert!(
+        cmp_noisy.improvement_pct() > cmp_quiet.improvement_pct(),
+        "incl. I/O {:.1}% !> excl. I/O {:.1}%",
+        cmp_noisy.improvement_pct(),
+        cmp_quiet.improvement_pct()
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let (parent, nests) = pacific();
+    let run = || {
+        let planner = Planner::new(Machine::bgl(256));
+        let cmp = compare_strategies(&planner, &parent, &nests, 2).unwrap();
+        (cmp.default_run.total_time, cmp.planned_run.total_time, cmp.planned_run.mpi_wait_total)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn grid_smaller_machines_still_plan() {
+    // Small partitions (e.g. 16 ranks) with several nests must still
+    // produce valid, simulable plans.
+    let parent = Domain::parent(120, 130, 24.0);
+    let nests = vec![
+        NestSpec::new(90, 80, 3, (2, 2)),
+        NestSpec::new(60, 70, 3, (70, 70)),
+        NestSpec::new(50, 50, 3, (20, 80)),
+    ];
+    let plan = Planner::new(Machine::bgl(16)).plan(&parent, &nests).unwrap();
+    assert_eq!(plan.partitions.len(), 3);
+    let rep = plan.simulate(2).unwrap();
+    assert!(rep.total_time.is_finite() && rep.total_time > 0.0);
+}
+
+#[test]
+fn manual_mapping_roundtrip_through_simulation() {
+    // A hand-built mapping drives the simulator identically to the planner
+    // path — exercises the public Mapping API end to end.
+    let (parent, nests) = pacific();
+    let machine = Machine::bgl(64);
+    let planner = Planner::new(machine.clone()).mapping(MappingKind::Oblivious);
+    let plan = planner.plan(&parent, &nests).unwrap();
+    let manual = Mapping::oblivious(machine.shape, 64).unwrap();
+    assert_eq!(plan.mapping, manual);
+    let grid = ProcGrid::near_square(64);
+    assert_eq!(plan.grid, grid);
+}

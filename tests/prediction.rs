@@ -1,0 +1,96 @@
+//! Integration tests of the §3.1 prediction pipeline against the machine
+//! simulator as ground truth.
+
+use nestwx::core::profile::{fit_predictor, measure_domain_time, profile_basis, PROFILE_RANKS};
+use nestwx::grid::DomainFeatures;
+use nestwx::netsim::Machine;
+use nestwx::predict::{ExecTimePredictor, NaivePointsModel};
+
+#[test]
+fn interpolation_beats_six_percent_on_holdout() {
+    let machine = Machine::bgl(64);
+    let model = fit_predictor(&machine, 7);
+    // Hold-out domains across the paper's stated test ranges.
+    let tests = [
+        (215u32, 260u32),
+        (230, 243),
+        (310, 215),
+        (188, 300),
+        (260, 360),
+        (205, 410),
+        (172, 344),
+        (365, 244),
+    ];
+    for (nx, ny) in tests {
+        let truth = measure_domain_time(&machine, nx, ny, PROFILE_RANKS);
+        let pred = model.predict(&DomainFeatures::from_dims(nx, ny)).unwrap();
+        let err = (pred - truth).abs() / truth;
+        assert!(err < 0.06, "{nx}x{ny}: {:.2}% ≥ 6%", err * 100.0);
+    }
+}
+
+#[test]
+fn naive_model_clearly_worse_than_interpolation() {
+    let machine = Machine::bgl(64);
+    let basis = profile_basis(&machine, 7);
+    let interp = ExecTimePredictor::fit(&basis).unwrap();
+    let naive = NaivePointsModel::fit(&basis);
+    // Skewed aspect ratios are where the points-only model is blind
+    // (§3.1's x- vs y-communication argument).
+    let tests = [(205u32, 410u32), (410, 205), (172, 344), (365, 244), (188, 300)];
+    let mut e_interp = 0.0;
+    let mut e_naive = 0.0;
+    for (nx, ny) in tests {
+        let truth = measure_domain_time(&machine, nx, ny, PROFILE_RANKS);
+        let f = DomainFeatures::from_dims(nx, ny);
+        e_interp += (interp.predict(&f).unwrap() - truth).abs() / truth;
+        e_naive += (naive.predict(&f) - truth).abs() / truth;
+    }
+    assert!(
+        e_naive > 2.0 * e_interp,
+        "naive ({:.3}) should err ≫ interpolation ({:.3})",
+        e_naive,
+        e_interp
+    );
+}
+
+#[test]
+fn out_of_hull_scaling_preserves_ordering() {
+    // Fig. 10's large nests lie outside the basis hull; their *relative*
+    // predicted times must still order correctly (§3.1's first-order
+    // estimate claim).
+    let machine = Machine::bgl(64);
+    let model = fit_predictor(&machine, 7);
+    let sizes = [(586u32, 643u32), (856, 919), (925, 850)];
+    let times: Vec<f64> = sizes
+        .iter()
+        .map(|&(nx, ny)| model.predict(&DomainFeatures::from_dims(nx, ny)).unwrap())
+        .collect();
+    assert!(times[0] < times[1], "586x643 must predict below 856x919");
+    assert!(times[0] < times[2]);
+    // The two near-equal-area nests must predict within 15 % of each other.
+    assert!((times[1] - times[2]).abs() / times[1] < 0.15);
+}
+
+#[test]
+fn relative_times_feed_allocation_consistently() {
+    // Integration across predict + alloc: Huffman/split-tree over the
+    // predictor's ratios allocates the biggest nest the most processors.
+    let machine = Machine::bgl(64);
+    let model = fit_predictor(&machine, 7);
+    let features = [
+        DomainFeatures::from_dims(394, 418),
+        DomainFeatures::from_dims(232, 202),
+        DomainFeatures::from_dims(313, 337),
+    ];
+    let ratios = model.relative_times(&features).unwrap();
+    let grid = nestwx::grid::ProcGrid::new(8, 8);
+    let parts = nestwx::alloc::partition_grid(&grid, &ratios).unwrap();
+    let areas: Vec<u64> = {
+        let mut v = parts.clone();
+        v.sort_by_key(|p| p.domain);
+        v.iter().map(|p| p.rect.area()).collect()
+    };
+    assert!(areas[0] > areas[1], "394x418 must out-rank 232x202: {areas:?}");
+    assert!(areas[2] > areas[1]);
+}

@@ -1,0 +1,121 @@
+//! Integration tests of second-level nesting — §4.1.1's "Three
+//! configurations had sibling domains at the second level".
+
+use nestwx::core::{compare_strategies, Planner, Strategy};
+use nestwx::grid::{Domain, DomainError, NestSpec, NestedConfig};
+use nestwx::netsim::Machine;
+
+/// A SE-Asia-like setup: 4.5 km parent, two 1.5 km level-1 nests, and two
+/// 500 m level-2 nests inside the first.
+fn sea_config() -> (Domain, Vec<NestSpec>) {
+    let parent = Domain::parent(300, 260, 4.5);
+    let nests = vec![
+        NestSpec::new(240, 210, 3, (20, 20)),          // level 1, big
+        NestSpec::new(150, 150, 3, (170, 150)),        // level 1
+        NestSpec::child_of(0, 90, 90, 3, (10, 10)),    // level 2 in nest 0
+        NestSpec::child_of(0, 75, 60, 3, (140, 120)),  // level 2 in nest 0
+    ];
+    (parent, nests)
+}
+
+#[test]
+fn config_validates_hierarchy() {
+    let (parent, nests) = sea_config();
+    let cfg = NestedConfig::new(parent, nests).unwrap();
+    assert_eq!(cfg.level1(), vec![0, 1]);
+    assert_eq!(cfg.children_of(0), vec![2, 3]);
+    assert!(cfg.children_of(1).is_empty());
+    assert!(cfg.has_second_level());
+}
+
+#[test]
+fn rejects_forward_and_deep_references() {
+    let parent = Domain::parent(300, 260, 4.5);
+    // Forward reference.
+    let err = NestedConfig::new(
+        parent.clone(),
+        vec![NestSpec::child_of(1, 30, 30, 3, (0, 0)), NestSpec::new(100, 100, 3, (0, 0))],
+    )
+    .err()
+    .unwrap();
+    assert!(matches!(err, DomainError::BadNestParent { nest: 0, parent: 1 }));
+    // Third level (child of a child) is rejected.
+    let err = NestedConfig::new(
+        parent,
+        vec![
+            NestSpec::new(200, 200, 3, (0, 0)),
+            NestSpec::child_of(0, 90, 90, 3, (0, 0)),
+            NestSpec::child_of(1, 30, 30, 3, (0, 0)),
+        ],
+    )
+    .err()
+    .unwrap();
+    assert!(matches!(err, DomainError::BadNestParent { nest: 2, parent: 1 }));
+}
+
+#[test]
+fn rejects_child_outside_its_nest() {
+    let parent = Domain::parent(300, 260, 4.5);
+    let err = NestedConfig::new(
+        parent,
+        vec![
+            NestSpec::new(120, 120, 3, (0, 0)),
+            // Footprint 40×40 at (100,100) exceeds the 120-point nest.
+            NestSpec::child_of(0, 120, 120, 3, (100, 100)),
+        ],
+    )
+    .err()
+    .unwrap();
+    assert!(matches!(err, DomainError::NestOutsideParent { nest: 1 }));
+}
+
+#[test]
+fn planner_subdivides_children_inside_parent_partition() {
+    let (parent, nests) = sea_config();
+    let plan = Planner::new(Machine::bgl(256)).plan(&parent, &nests).unwrap();
+    assert_eq!(plan.partitions.len(), 4);
+    let r0 = plan.partitions[0].rect;
+    let r2 = plan.partitions[2].rect;
+    let r3 = plan.partitions[3].rect;
+    assert!(r0.contains_rect(&r2), "child 2 must sit inside nest 0's partition");
+    assert!(r0.contains_rect(&r3), "child 3 must sit inside nest 0's partition");
+    assert!(r2.is_disjoint(&r3), "sibling children must not overlap");
+    // The level-1 rectangles still tile the grid.
+    let l1: Vec<_> = [0usize, 1].iter().map(|&i| plan.partitions[i].rect).collect();
+    assert!(nestwx::grid::rect::tiles_exactly(&plan.grid.rect(), &l1));
+    // Nest 0 carries its children's load → more processors than nest 1.
+    assert!(plan.partitions[0].rect.area() > plan.partitions[1].rect.area());
+}
+
+#[test]
+fn hierarchical_simulation_runs_both_strategies() {
+    let (parent, nests) = sea_config();
+    let planner = Planner::new(Machine::bgl(256));
+    let seq = planner
+        .clone()
+        .strategy(Strategy::Sequential)
+        .plan(&parent, &nests)
+        .unwrap()
+        .simulate(2)
+        .unwrap();
+    let conc = planner.plan(&parent, &nests).unwrap().simulate(2).unwrap();
+    assert!(seq.total_time.is_finite() && conc.total_time.is_finite());
+    // All four nests accumulated solve time in both strategies.
+    assert!(seq.sibling_solve.iter().all(|&t| t > 0.0), "{:?}", seq.sibling_solve);
+    assert!(conc.sibling_solve.iter().all(|&t| t > 0.0), "{:?}", conc.sibling_solve);
+    // Children run 3× per level-1 sub-step: their cumulative solve time
+    // must be substantial relative to their parent's.
+    assert!(seq.sibling_solve[2] > 0.3 * seq.sibling_solve[0]);
+}
+
+#[test]
+fn concurrent_still_wins_with_second_level() {
+    let (parent, nests) = sea_config();
+    let planner = Planner::new(Machine::bgl(512));
+    let cmp = compare_strategies(&planner, &parent, &nests, 3).unwrap();
+    assert!(
+        cmp.improvement_pct() > 5.0,
+        "hierarchical improvement only {:.1}%",
+        cmp.improvement_pct()
+    );
+}
