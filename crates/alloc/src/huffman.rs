@@ -81,10 +81,20 @@ impl HuffmanTree {
             weights.iter().all(|w| w.is_finite() && *w > 0.0),
             "Huffman weights must be positive and finite"
         );
-        let mut nodes: Vec<Node> =
-            weights.iter().enumerate().map(|(i, &w)| Node { weight: w, kind: NodeKind::Leaf { domain: i } }).collect();
+        let mut nodes: Vec<Node> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Node {
+                weight: w,
+                kind: NodeKind::Leaf { domain: i },
+            })
+            .collect();
         let mut heap: BinaryHeap<HeapItem> = (0..nodes.len())
-            .map(|i| HeapItem { weight: nodes[i].weight, seq: i, node: i })
+            .map(|i| HeapItem {
+                weight: nodes[i].weight,
+                seq: i,
+                node: i,
+            })
             .collect();
         let mut seq = nodes.len();
         while heap.len() > 1 {
@@ -92,10 +102,17 @@ impl HuffmanTree {
             let b = heap.pop().unwrap();
             let merged = Node {
                 weight: a.weight + b.weight,
-                kind: NodeKind::Internal { left: a.node, right: b.node },
+                kind: NodeKind::Internal {
+                    left: a.node,
+                    right: b.node,
+                },
             };
             nodes.push(merged);
-            heap.push(HeapItem { weight: merged.weight, seq, node: nodes.len() - 1 });
+            heap.push(HeapItem {
+                weight: merged.weight,
+                seq,
+                node: nodes.len() - 1,
+            });
             seq += 1;
         }
         let root = heap.pop().unwrap().node;
@@ -114,7 +131,10 @@ impl HuffmanTree {
 
     /// Number of leaves.
     pub fn num_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Leaf { .. }))
+            .count()
     }
 
     /// Internal-node arena indices in breadth-first order from the root —
@@ -151,7 +171,11 @@ impl HuffmanTree {
     /// Weighted external path length `Σ wᵢ · depthᵢ` — minimal over all
     /// binary trees for Huffman construction.
     pub fn weighted_path_length(&self, weights: &[f64]) -> f64 {
-        self.depths().iter().zip(weights).map(|(&d, &w)| d as f64 * w).sum()
+        self.depths()
+            .iter()
+            .zip(weights)
+            .map(|(&d, &w)| d as f64 * w)
+            .sum()
     }
 }
 
@@ -172,7 +196,10 @@ mod tests {
         // Weights 1,1,2,4: optimal code lengths 3,3,2,1.
         let t = HuffmanTree::build(&[1.0, 1.0, 2.0, 4.0]);
         assert_eq!(t.depths(), vec![3, 3, 2, 1]);
-        assert_eq!(t.weighted_path_length(&[1.0, 1.0, 2.0, 4.0]), 3.0 + 3.0 + 4.0 + 4.0);
+        assert_eq!(
+            t.weighted_path_length(&[1.0, 1.0, 2.0, 4.0]),
+            3.0 + 3.0 + 4.0 + 4.0
+        );
     }
 
     #[test]
@@ -197,7 +224,10 @@ mod tests {
         let t = HuffmanTree::build(&w);
         if let NodeKind::Internal { left, right } = t.node(t.root()).kind {
             let (wl, wr) = (t.node(left).weight, t.node(right).weight);
-            assert!((wl - wr).abs() <= 0.5, "root split {wl} vs {wr} too lopsided");
+            assert!(
+                (wl - wr).abs() <= 0.5,
+                "root split {wl} vs {wr} too lopsided"
+            );
         } else {
             panic!("root must be internal");
         }
@@ -238,7 +268,10 @@ mod tests {
             let b = w[p[0]] + 2.0 * w[p[1]] + 3.0 * w[p[2]] + 3.0 * w[p[3]];
             best = best.min(a).min(b);
         }
-        assert!(wpl <= best + 1e-12, "Huffman WPL {wpl} worse than exhaustive {best}");
+        assert!(
+            wpl <= best + 1e-12,
+            "Huffman WPL {wpl} worse than exhaustive {best}"
+        );
     }
 
     fn permute(rest: &[usize], acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {

@@ -12,7 +12,10 @@ pub fn proportional_strips(grid: &ProcGrid, shares: &[f64]) -> Result<Vec<Partit
     }
     let k = shares.len();
     if (grid.px as usize) < k {
-        return Err(AllocError::TooFewProcessors { procs: grid.len(), nests: k });
+        return Err(AllocError::TooFewProcessors {
+            procs: grid.len(),
+            nests: k,
+        });
     }
     let total: f64 = shares.iter().sum();
     // Largest-remainder apportionment of columns, each strip ≥ 1 column.
@@ -40,13 +43,19 @@ pub fn proportional_strips(grid: &ProcGrid, shares: &[f64]) -> Result<Vec<Partit
             widths[widest] -= 1;
             rem += 1;
         } else {
-            return Err(AllocError::TooFewProcessors { procs: grid.len(), nests: k });
+            return Err(AllocError::TooFewProcessors {
+                procs: grid.len(),
+                nests: k,
+            });
         }
     }
     let mut x0 = 0;
     let mut out = Vec::with_capacity(k);
     for (domain, w) in widths.into_iter().enumerate() {
-        out.push(Partition { domain, rect: Rect::new(x0, 0, w, grid.py) });
+        out.push(Partition {
+            domain,
+            rect: Rect::new(x0, 0, w, grid.py),
+        });
         x0 += w;
     }
     Ok(out)

@@ -75,10 +75,16 @@ pub fn partition_grid_with(
     }
     let k = ratios.len();
     if (grid.len() as usize) < k {
-        return Err(AllocError::TooFewProcessors { procs: grid.len(), nests: k });
+        return Err(AllocError::TooFewProcessors {
+            procs: grid.len(),
+            nests: k,
+        });
     }
     if k == 1 {
-        return Ok(vec![Partition { domain: 0, rect: grid.rect() }]);
+        return Ok(vec![Partition {
+            domain: 0,
+            rect: grid.rect(),
+        }]);
     }
 
     let tree = HuffmanTree::build(ratios);
@@ -89,7 +95,9 @@ pub fn partition_grid_with(
     // the chosen dimension in the ratio of the subtree weights.
     for u in tree.internal_bfs() {
         let rect = rect_of[u].expect("BFS parent before child");
-        let NodeKind::Internal { left, right } = tree.node(u).kind else { unreachable!() };
+        let NodeKind::Internal { left, right } = tree.node(u).kind else {
+            unreachable!()
+        };
         let (wl, wr) = (tree.node(left).weight, tree.node(right).weight);
         let (ll, lr) = (leaves_below(&tree, left), leaves_below(&tree, right));
 
@@ -104,10 +112,18 @@ pub fn partition_grid_with(
         let extent = if split_x { rect.w } else { rect.h };
         let other = if split_x { rect.h } else { rect.w };
 
-        let (el, er) = split_extent(extent, other, wl, wr, ll as u32, lr as u32)
-            .ok_or(AllocError::TooFewProcessors { procs: grid.len(), nests: k })?;
+        let (el, er) = split_extent(extent, other, wl, wr, ll as u32, lr as u32).ok_or(
+            AllocError::TooFewProcessors {
+                procs: grid.len(),
+                nests: k,
+            },
+        )?;
         debug_assert_eq!(el + er, extent);
-        let (ra, rb) = if split_x { rect.split_x(el) } else { rect.split_y(el) };
+        let (ra, rb) = if split_x {
+            rect.split_x(el)
+        } else {
+            rect.split_y(el)
+        };
         let _ = er;
         rect_of[left] = Some(ra);
         rect_of[right] = Some(rb);
@@ -163,7 +179,10 @@ fn collect_leaves(
 ) {
     match tree.node(idx).kind {
         NodeKind::Leaf { domain } => {
-            out.push(Partition { domain, rect: rect_of[idx].expect("leaf rect assigned") });
+            out.push(Partition {
+                domain,
+                rect: rect_of[idx].expect("leaf rect assigned"),
+            });
         }
         NodeKind::Internal { left, right } => {
             collect_leaves(tree, left, rect_of, out);
@@ -286,8 +305,14 @@ mod tests {
     fn rejects_bad_ratios() {
         let g = ProcGrid::new(4, 4);
         assert_eq!(partition_grid(&g, &[]).unwrap_err(), AllocError::BadRatios);
-        assert_eq!(partition_grid(&g, &[1.0, -0.5]).unwrap_err(), AllocError::BadRatios);
-        assert_eq!(partition_grid(&g, &[1.0, f64::NAN]).unwrap_err(), AllocError::BadRatios);
+        assert_eq!(
+            partition_grid(&g, &[1.0, -0.5]).unwrap_err(),
+            AllocError::BadRatios
+        );
+        assert_eq!(
+            partition_grid(&g, &[1.0, f64::NAN]).unwrap_err(),
+            AllocError::BadRatios
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ fn basis() -> Vec<(DomainFeatures, f64)> {
     ];
     dims.iter()
         .map(|&(nx, ny)| {
-            (DomainFeatures::from_dims(nx, ny), 1e-6 * (nx * ny) as f64 + 4e-4 * (nx + ny) as f64)
+            (
+                DomainFeatures::from_dims(nx, ny),
+                1e-6 * (nx * ny) as f64 + 4e-4 * (nx + ny) as f64,
+            )
         })
         .collect()
 }
@@ -46,7 +49,9 @@ fn bench_predictor(c: &mut Criterion) {
         bch.iter(|| model.predict(black_box(&big)).unwrap())
     });
     let naive = NaivePointsModel::fit(&b);
-    c.bench_function("predict/naive_query", |bch| bch.iter(|| naive.predict(black_box(&q))));
+    c.bench_function("predict/naive_query", |bch| {
+        bch.iter(|| naive.predict(black_box(&q)))
+    });
 }
 
 fn bench_allocation(c: &mut Criterion) {
@@ -96,8 +101,16 @@ fn bench_mapping(c: &mut Criterion) {
 fn bench_solver(c: &mut Criterion) {
     let mut sw = ShallowWater::quiescent(128, 128, 1000.0, 100.0, Boundary::Periodic);
     sw.add_gaussian(64.0, 64.0, -5.0, 8.0);
-    c.bench_function("miniwrf/step_128x128", |bch| bch.iter(|| black_box(&mut sw).step()));
+    c.bench_function("miniwrf/step_128x128", |bch| {
+        bch.iter(|| black_box(&mut sw).step())
+    });
 }
 
-criterion_group!(kernels, bench_predictor, bench_allocation, bench_mapping, bench_solver);
+criterion_group!(
+    kernels,
+    bench_predictor,
+    bench_allocation,
+    bench_mapping,
+    bench_solver
+);
 criterion_main!(kernels);

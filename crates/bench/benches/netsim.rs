@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the network-simulator hot path: one parent
+//! iteration of a two-nest concurrent configuration at 512 and 1024 BG/L
+//! ranks, for both halo-step engines.
+//!
+//! `netsim/compiled/*` exercises the compile-once tables replayed by
+//! `run_mut`; `netsim/reference/*` the original rebuild-everything path
+//! (`HaloEngine::Reference`), kept as the before/after baseline. The
+//! `bench_netsim` binary records the same comparison machine-readably in
+//! `BENCH_netsim.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nestwx_grid::{Domain, NestSpec, NestedConfig, ProcGrid, Rect};
+use nestwx_netsim::{ExecStrategy, HaloEngine, IoMode, Machine, Simulation};
+use nestwx_topo::Mapping;
+
+fn pacific_two_nests() -> NestedConfig {
+    NestedConfig::new(
+        Domain::parent(286, 307, 24.0),
+        vec![
+            NestSpec::new(415, 445, 3, (10, 10)),
+            NestSpec::new(415, 445, 3, (140, 150)),
+        ],
+    )
+    .unwrap()
+}
+
+fn build<'a>(machine: &'a Machine, config: &'a NestedConfig, engine: HaloEngine) -> Simulation<'a> {
+    let grid = ProcGrid::near_square(machine.ranks());
+    let half = grid.px / 2;
+    let strategy = ExecStrategy::Concurrent {
+        partitions: vec![
+            Rect::new(0, 0, half, grid.py),
+            Rect::new(half, 0, grid.px - half, grid.py),
+        ],
+    };
+    let mapping = Mapping::oblivious(machine.shape, machine.ranks()).unwrap();
+    Simulation::new(machine, grid, config, strategy, mapping, IoMode::None, None)
+        .unwrap()
+        .with_engine(engine)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let config = pacific_two_nests();
+    for ranks in [512u32, 1024] {
+        let machine = Machine::bgl(ranks);
+        for (name, engine) in [
+            ("compiled", HaloEngine::Compiled),
+            ("reference", HaloEngine::Reference),
+        ] {
+            let mut sim = build(&machine, &config, engine);
+            c.bench_function(&format!("netsim/{name}/{ranks}_ranks"), |b| {
+                b.iter(|| black_box(sim.run_mut(1).total_time))
+            });
+        }
+    }
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let config = pacific_two_nests();
+    let machine = Machine::bgl(1024);
+    c.bench_function("netsim/compile/1024_ranks", |b| {
+        b.iter(|| black_box(build(&machine, &config, HaloEngine::Compiled)).steps_taken())
+    });
+}
+
+criterion_group!(benches, bench_engines, bench_compile);
+criterion_main!(benches);

@@ -27,7 +27,13 @@ fn main() {
     let machine = Machine::bgl(64);
     let model2d = fit_predictor(&machine, 42);
     let naive = NaivePointsModel::fit(&profile_basis(&machine, 42));
-    let tests = [(205u32, 410u32), (310, 215), (188, 300), (365, 244), (240, 240)];
+    let tests = [
+        (205u32, 410u32),
+        (310, 215),
+        (188, 300),
+        (365, 244),
+        (240, 240),
+    ];
     let mut e2 = Vec::new();
     let mut e1 = Vec::new();
     for (nx, ny) in tests {
@@ -36,8 +42,14 @@ fn main() {
         e2.push((model2d.predict(&f).unwrap() - truth).abs() / truth * 100.0);
         e1.push((naive.predict(&f) - truth).abs() / truth * 100.0);
     }
-    println!("  (aspect, points) interpolation: mean error {:.2} %", mean(&e2));
-    println!("  points-only linear model      : mean error {:.2} %", mean(&e1));
+    println!(
+        "  (aspect, points) interpolation: mean error {:.2} %",
+        mean(&e2)
+    );
+    println!(
+        "  points-only linear model      : mean error {:.2} %",
+        mean(&e1)
+    );
 
     // ---- 2. split dimension, end to end ----
     println!("\n[2] Algorithm 1 split dimension (BG/L 1024, 4 siblings, 5 configs):");
@@ -51,7 +63,10 @@ fn main() {
         let cfg = nestwx_grid::NestedConfig::new(parent.clone(), nests.clone()).unwrap();
         let ratios: Vec<f64> = nests.iter().map(|n| n.points() as f64).collect();
         let grid = ProcGrid::new(32, 32);
-        for (dim, acc) in [(SplitDim::Longer, &mut t_long), (SplitDim::Shorter, &mut t_short)] {
+        for (dim, acc) in [
+            (SplitDim::Longer, &mut t_long),
+            (SplitDim::Shorter, &mut t_short),
+        ] {
             let parts: Vec<Rect> = partition_grid_with(&grid, &ratios, dim)
                 .unwrap()
                 .iter()
@@ -72,8 +87,14 @@ fn main() {
             acc.push(rep.per_iteration());
         }
     }
-    println!("  split along longer dimension : {:.3} s/iter (mean)", mean(&t_long));
-    println!("  split along shorter dimension: {:.3} s/iter (mean)", mean(&t_short));
+    println!(
+        "  split along longer dimension : {:.3} s/iter (mean)",
+        mean(&t_long)
+    );
+    println!(
+        "  split along shorter dimension: {:.3} s/iter (mean)",
+        mean(&t_short)
+    );
     println!(
         "  → longer-dimension split is {:.1} % faster",
         (1.0 - mean(&t_long) / mean(&t_short)) * 100.0
@@ -89,12 +110,21 @@ fn main() {
         Rect::new(18, 0, 14, 12),
         Rect::new(18, 12, 14, 20),
     ];
-    let nest_edges: Vec<_> = parts.iter().flat_map(|p| halo_edges(&grid, p, 1.0)).collect();
+    let nest_edges: Vec<_> = parts
+        .iter()
+        .flat_map(|p| halo_edges(&grid, p, 1.0))
+        .collect();
     let all_edges = nested_iteration_edges(&grid, &parts, 1.0, 1.0, 3);
     for (name, m) in [
         ("oblivious      ", Mapping::oblivious(shape, 1024).unwrap()),
-        ("partition fold ", Mapping::partition(shape, &grid, &parts).unwrap()),
-        ("multilevel fold", Mapping::multilevel(shape, &grid, &parts).unwrap()),
+        (
+            "partition fold ",
+            Mapping::partition(shape, &grid, &parts).unwrap(),
+        ),
+        (
+            "multilevel fold",
+            Mapping::multilevel(shape, &grid, &parts).unwrap(),
+        ),
     ] {
         let sn = CommStats::compute(&m, &nest_edges);
         let sa = CommStats::compute(&m, &all_edges);
@@ -107,8 +137,9 @@ fn main() {
     // ---- 4. physics jitter ----
     println!("\n[4] physics load-imbalance jitter (BG/L 1024, 4 configs):");
     let mut rng = rng_for("ablation-jitter");
-    let configs: Vec<Vec<nestwx_grid::NestSpec>> =
-        (0..4).map(|_| random_nests(&mut rng, 3, 178 * 202, 394 * 418, &parent)).collect();
+    let configs: Vec<Vec<nestwx_grid::NestSpec>> = (0..4)
+        .map(|_| random_nests(&mut rng, 3, 178 * 202, 394 * 418, &parent))
+        .collect();
     for jitter in [0.0, 0.08, 0.16] {
         let mut m = Machine::bgl_rack();
         m.compute.jitter = jitter;

@@ -11,7 +11,10 @@ use nestwx_grid::NestSpec;
 use nestwx_netsim::Machine;
 
 fn main() {
-    banner("adaptive", "adaptive re-partitioning (steering) on BG/L(1024)");
+    banner(
+        "adaptive",
+        "adaptive re-partitioning (steering) on BG/L(1024)",
+    );
     let parent = pacific_parent();
     // Strongly skewed nests: equal allocation is clearly wrong.
     let nests = vec![
@@ -24,27 +27,47 @@ fn main() {
     let static_pred = Planner::new(machine.clone());
     let static_equal = Planner::new(machine.clone()).alloc_policy(AllocPolicy::Equal);
 
-    let oracle = static_pred.plan(&parent, &nests).unwrap().simulate(12).unwrap();
-    let equal = static_equal.plan(&parent, &nests).unwrap().simulate(12).unwrap();
+    let oracle = static_pred
+        .plan(&parent, &nests)
+        .unwrap()
+        .simulate(12)
+        .unwrap();
+    let equal = static_equal
+        .plan(&parent, &nests)
+        .unwrap()
+        .simulate(12)
+        .unwrap();
     let adaptive = run_adaptive(&static_equal, &parent, &nests, 12, 3).unwrap();
 
     let widths = [34, 12];
     println!("{}", row(&["strategy".into(), "s/iter".into()], &widths));
     println!(
         "{}",
-        row(&["static equal split".into(), format!("{:.3}", equal.per_iteration())], &widths)
-    );
-    println!(
-        "{}",
         row(
-            &["adaptive (equal start, replan/3 it)".into(), format!("{:.3}", adaptive.per_iteration())],
+            &[
+                "static equal split".into(),
+                format!("{:.3}", equal.per_iteration())
+            ],
             &widths
         )
     );
     println!(
         "{}",
         row(
-            &["static predicted (paper)".into(), format!("{:.3}", oracle.per_iteration())],
+            &[
+                "adaptive (equal start, replan/3 it)".into(),
+                format!("{:.3}", adaptive.per_iteration())
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "static predicted (paper)".into(),
+                format!("{:.3}", oracle.per_iteration())
+            ],
             &widths
         )
     );
@@ -52,12 +75,18 @@ fn main() {
     for (k, c) in adaptive.chunks.iter().enumerate() {
         println!("  chunk {}: {:.3} s/iter", k + 1, c.per_iteration());
     }
-    println!("redistribution charged: {:.3} s total", adaptive.redistribution_time);
-    println!("final measured ratios: {:?}", adaptive
-        .final_ratios
-        .iter()
-        .map(|r| (r * 1000.0).round() / 1000.0)
-        .collect::<Vec<_>>());
+    println!(
+        "redistribution charged: {:.3} s total",
+        adaptive.redistribution_time
+    );
+    println!(
+        "final measured ratios: {:?}",
+        adaptive
+            .final_ratios
+            .iter()
+            .map(|r| (r * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     println!("\nThe measured-ratio re-plan recovers most of the gap between a bad initial");
     println!("allocation and the paper's prediction-driven plan.");
 }

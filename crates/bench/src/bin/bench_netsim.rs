@@ -1,0 +1,140 @@
+//! Before/after benchmark of the compiled halo-step schedules.
+//!
+//! Runs the same two-nest concurrent configuration at 512 and 1024 BG/L
+//! ranks through both engines — `HaloEngine::Reference` (the original
+//! rebuild-every-step implementation, "before") and `HaloEngine::Compiled`
+//! (the precompiled tables, "after") — asserts their reports are
+//! bitwise identical, and writes steps/second plus the speedup to
+//! `BENCH_netsim.json` in the current directory.
+//!
+//! Knobs: `NESTWX_BENCH_ITERS` (parent iterations per timed run, default 4)
+//! and `NESTWX_BENCH_REPS` (timed repetitions, best-of, default 3).
+
+use nestwx_bench::banner;
+use nestwx_grid::{Domain, NestSpec, NestedConfig, ProcGrid, Rect};
+use nestwx_netsim::{ExecStrategy, HaloEngine, IoMode, Machine, Simulation};
+use nestwx_topo::Mapping;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct EngineResult {
+    steps_per_sec: f64,
+    seconds_per_run: f64,
+}
+
+#[derive(Serialize)]
+struct SizeResult {
+    ranks: u32,
+    halo_steps_per_run: u64,
+    reference: EngineResult,
+    compiled: EngineResult,
+    speedup: f64,
+    reports_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchOutput {
+    benchmark: String,
+    iterations_per_run: u32,
+    repetitions: u32,
+    results: Vec<SizeResult>,
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn build<'a>(machine: &'a Machine, config: &'a NestedConfig, engine: HaloEngine) -> Simulation<'a> {
+    let grid = ProcGrid::near_square(machine.ranks());
+    let half = grid.px / 2;
+    let strategy = ExecStrategy::Concurrent {
+        partitions: vec![
+            Rect::new(0, 0, half, grid.py),
+            Rect::new(half, 0, grid.px - half, grid.py),
+        ],
+    };
+    let mapping = Mapping::oblivious(machine.shape, machine.ranks()).unwrap();
+    Simulation::new(machine, grid, config, strategy, mapping, IoMode::None, None)
+        .unwrap()
+        .with_engine(engine)
+}
+
+/// Best-of-`reps` wall-clock seconds for `reps + 1` runs of `iters`
+/// iterations (first run is a warm-up).
+fn time_runs(sim: &mut Simulation<'_>, iters: u32, reps: u32) -> f64 {
+    sim.run_mut(iters);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let rep = sim.run_mut(iters);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(rep.total_time > 0.0);
+        best = best.min(dt);
+    }
+    best
+}
+
+fn main() {
+    banner(
+        "bench_netsim",
+        "compiled vs reference halo-step engine throughput",
+    );
+    let iters = env_u32("NESTWX_BENCH_ITERS", 4);
+    let reps = env_u32("NESTWX_BENCH_REPS", 3);
+    let config = NestedConfig::new(
+        Domain::parent(286, 307, 24.0),
+        vec![
+            NestSpec::new(415, 445, 3, (10, 10)),
+            NestSpec::new(415, 445, 3, (140, 150)),
+        ],
+    )
+    .unwrap();
+
+    let mut results = Vec::new();
+    for ranks in [512u32, 1024] {
+        let machine = Machine::bgl(ranks);
+        let mut reference = build(&machine, &config, HaloEngine::Reference);
+        let mut compiled = build(&machine, &config, HaloEngine::Compiled);
+        let identical = reference.run_mut(iters) == compiled.run_mut(iters);
+        let steps = compiled.steps_taken();
+        assert_eq!(steps, reference.steps_taken());
+
+        let t_ref = time_runs(&mut reference, iters, reps);
+        let t_cmp = time_runs(&mut compiled, iters, reps);
+        let speedup = t_ref / t_cmp;
+        println!(
+            "{ranks:>5} ranks: reference {:>9.0} steps/s, compiled {:>9.0} steps/s, speedup {speedup:.1}x, identical: {identical}",
+            steps as f64 / t_ref,
+            steps as f64 / t_cmp,
+        );
+        results.push(SizeResult {
+            ranks,
+            halo_steps_per_run: steps,
+            reference: EngineResult {
+                steps_per_sec: steps as f64 / t_ref,
+                seconds_per_run: t_ref,
+            },
+            compiled: EngineResult {
+                steps_per_sec: steps as f64 / t_cmp,
+                seconds_per_run: t_cmp,
+            },
+            speedup,
+            reports_identical: identical,
+        });
+    }
+
+    let out = BenchOutput {
+        benchmark: "netsim halo-step engine, two 415x445 nests, concurrent, BG/L".into(),
+        iterations_per_run: iters,
+        repetitions: reps,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&out).unwrap();
+    std::fs::write("BENCH_netsim.json", &json).unwrap();
+    println!("\nwrote BENCH_netsim.json");
+}

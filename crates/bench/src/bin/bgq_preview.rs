@@ -26,8 +26,15 @@ fn main() {
     // Parent edges: all neighbour pairs of the full grid.
     let parent_edges = partition_halo_pairs(&grid, &[grid.rect()]);
 
-    println!("torus: {:?} = {} nodes; virtual grid 32x32", torus.dims, torus.nodes());
-    println!("{:<28} {:>12} {:>14}", "mapping", "nest hops", "parent hops");
+    println!(
+        "torus: {:?} = {} nodes; virtual grid 32x32",
+        torus.dims,
+        torus.nodes()
+    );
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "mapping", "nest hops", "parent hops"
+    );
     let ob = Mapping5::oblivious(torus, 1024).unwrap();
     let ps = Mapping5::partition_serpentine(torus, &grid, &parts).unwrap();
     let pf = Mapping5::universal_folded(torus, &grid).expect("32x32 factors over 4·4·4·8·2");

@@ -26,8 +26,14 @@ fn main() {
     let planner = Planner::new(Machine::bgl_rack());
     let cmp = compare_strategies(&planner, &parent, &nests, MEASURE_ITERS).unwrap();
     println!("\n[fig9 anchor] BG/L(1024), Table 2 nests");
-    println!("  default per-iteration : {:.3} s (paper ≈ 1.1 s nests + parent)", cmp.default_run.per_iteration());
-    println!("  parallel per-iteration: {:.3} s", cmp.planned_run.per_iteration());
+    println!(
+        "  default per-iteration : {:.3} s (paper ≈ 1.1 s nests + parent)",
+        cmp.default_run.per_iteration()
+    );
+    println!(
+        "  parallel per-iteration: {:.3} s",
+        cmp.planned_run.per_iteration()
+    );
     for i in 0..4 {
         println!(
             "  sibling {}: seq {:.3} s | conc {:.3} s   (paper: {} | {})",
@@ -38,8 +44,14 @@ fn main() {
             [0.7, 0.6, 0.6, 0.7][i],
         );
     }
-    println!("  improvement: {:.2}% (paper nest-phase ≈ 36%)", cmp.improvement_pct());
-    println!("  MPI_Wait improvement: {:.2}%", cmp.mpi_wait_improvement_pct());
+    println!(
+        "  improvement: {:.2}% (paper nest-phase ≈ 36%)",
+        cmp.improvement_pct()
+    );
+    println!(
+        "  MPI_Wait improvement: {:.2}%",
+        cmp.mpi_wait_improvement_pct()
+    );
 
     // ---- §4.3.1 anchor: sample of random configs on BG/L(1024) ----
     let mut rng = rng_for("calibrate-85");

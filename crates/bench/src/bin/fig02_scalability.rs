@@ -4,25 +4,46 @@
 //! Paper setup: parent domain 286×307 (24 km) with a 415×445 subdomain;
 //! execution time per iteration saturates as core count grows.
 
-use nestwx_bench::{banner, pacific_parent, row, MEASURE_ITERS};
+use nestwx_bench::{banner, pacific_parent, row, run_parallel, MEASURE_ITERS};
 use nestwx_core::{MappingKind, Planner, Strategy};
 use nestwx_grid::NestSpec;
 use nestwx_netsim::Machine;
 
 fn main() {
-    banner("fig02", "WRF scalability with one 415×445 subdomain on BG/L");
+    banner(
+        "fig02",
+        "WRF scalability with one 415×445 subdomain on BG/L",
+    );
     let parent = pacific_parent();
     let nests = vec![NestSpec::new(415, 445, 3, (70, 80))];
     let widths = [8, 14, 16, 14];
-    println!("{}", row(&["cores".into(), "s/iter".into(), "speedup".into(), "efficiency".into()], &widths));
-    let mut base: Option<(u32, f64)> = None;
-    for cores in [32u32, 64, 128, 256, 512, 1024] {
+    println!(
+        "{}",
+        row(
+            &[
+                "cores".into(),
+                "s/iter".into(),
+                "speedup".into(),
+                "efficiency".into()
+            ],
+            &widths
+        )
+    );
+    // Each core count is an independent simulation — run them in parallel.
+    let cores_list = [32u32, 64, 128, 256, 512, 1024];
+    let times = run_parallel(&cores_list, |&cores| {
         let planner = Planner::new(Machine::bgl(cores))
             .strategy(Strategy::Sequential)
             .mapping(MappingKind::Oblivious);
-        let rep = planner.plan(&parent, &nests).unwrap().simulate(MEASURE_ITERS).unwrap();
-        let t = rep.per_iteration();
-        let (c0, t0) = *base.get_or_insert((cores, t));
+        let rep = planner
+            .plan(&parent, &nests)
+            .unwrap()
+            .simulate(MEASURE_ITERS)
+            .unwrap();
+        rep.per_iteration()
+    });
+    let (c0, t0) = (cores_list[0], times[0]);
+    for (&cores, &t) in cores_list.iter().zip(&times) {
         let speedup = t0 / t;
         let eff = speedup / (cores as f64 / c0 as f64);
         println!(

@@ -6,7 +6,10 @@ use nestwx_bench::banner;
 use nestwx_grid::ProcGrid;
 
 fn main() {
-    banner("fig03", "processor-space partitioning for ratios 0.15:0.3:0.35:0.2");
+    banner(
+        "fig03",
+        "processor-space partitioning for ratios 0.15:0.3:0.35:0.2",
+    );
     let grid = ProcGrid::new(32, 32);
     let ratios = [0.15, 0.3, 0.35, 0.2];
     let parts = partition_grid(&grid, &ratios).unwrap();

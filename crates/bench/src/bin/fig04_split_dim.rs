@@ -8,10 +8,16 @@ use nestwx_bench::banner;
 use nestwx_grid::ProcGrid;
 
 fn main() {
-    banner("fig04", "first split along longer vs shorter dimension (k = 3)");
+    banner(
+        "fig04",
+        "first split along longer vs shorter dimension (k = 3)",
+    );
     let grid = ProcGrid::new(48, 24);
     let ratios = [0.4, 0.35, 0.25];
-    for (label, dim) in [("longer (paper, Fig. 4a)", SplitDim::Longer), ("shorter (Fig. 4b)", SplitDim::Shorter)] {
+    for (label, dim) in [
+        ("longer (paper, Fig. 4a)", SplitDim::Longer),
+        ("shorter (Fig. 4b)", SplitDim::Shorter),
+    ] {
         let parts = partition_grid_with(&grid, &ratios, dim).unwrap();
         println!("\nfirst split along the {label}:");
         for p in &parts {

@@ -10,14 +10,26 @@ use nestwx_core::{compare_strategies, Planner};
 use nestwx_netsim::{IoMode, Machine};
 
 fn main() {
-    let configs: usize =
-        std::env::var("NESTWX_CONFIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
-    banner("fig08", &format!("improvement incl./excl. I/O on BG/P ({configs} configs per point)"));
+    let configs: usize = std::env::var("NESTWX_CONFIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    banner(
+        "fig08",
+        &format!("improvement incl./excl. I/O on BG/P ({configs} configs per point)"),
+    );
     let parent = pacific_parent();
     let widths = [7, 16, 16];
     println!(
         "{}",
-        row(&["cores".into(), "excl. I/O (%)".into(), "incl. I/O (%)".into()], &widths)
+        row(
+            &[
+                "cores".into(),
+                "excl. I/O (%)".into(),
+                "incl. I/O (%)".into()
+            ],
+            &widths
+        )
     );
     for cores in [512u32, 1024, 2048, 4096] {
         let mut rng = rng_for("fig08");
@@ -39,7 +51,11 @@ fn main() {
         println!(
             "{}",
             row(
-                &[cores.to_string(), format!("{:.2}", mean(&excl)), format!("{:.2}", mean(&incl))],
+                &[
+                    cores.to_string(),
+                    format!("{:.2}", mean(&excl)),
+                    format!("{:.2}", mean(&incl))
+                ],
                 &widths
             )
         );

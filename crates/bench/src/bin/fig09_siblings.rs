@@ -12,7 +12,10 @@ use nestwx_grid::NestSpec;
 use nestwx_netsim::Machine;
 
 fn main() {
-    banner("fig09", "4-sibling allocation and sibling times on BG/L(1024)");
+    banner(
+        "fig09",
+        "4-sibling allocation and sibling times on BG/L(1024)",
+    );
     let parent = pacific_parent();
     let nests = vec![
         NestSpec::new(394, 418, 3, (10, 10)),
@@ -28,7 +31,13 @@ fn main() {
     println!(
         "{}",
         row(
-            &["sibling".into(), "nest size".into(), "procs".into(), "ours".into(), "paper".into()],
+            &[
+                "sibling".into(),
+                "nest size".into(),
+                "procs".into(),
+                "ours".into(),
+                "paper".into()
+            ],
             &widths
         )
     );
@@ -54,7 +63,15 @@ fn main() {
     let widths = [10, 14, 14, 16];
     println!(
         "{}",
-        row(&["sibling".into(), "sequential".into(), "concurrent".into(), "paper seq|conc".into()], &widths)
+        row(
+            &[
+                "sibling".into(),
+                "sequential".into(),
+                "concurrent".into(),
+                "paper seq|conc".into()
+            ],
+            &widths
+        )
     );
     let paper = [(0.4, 0.7), (0.2, 0.6), (0.2, 0.6), (0.3, 0.7)];
     let mut seq_sum = 0.0;
@@ -81,5 +98,8 @@ fn main() {
         "\nnest phase: sequential stack {seq_sum:.3} s vs concurrent max {conc_max:.3} s → {:.1} % gain (paper: 1.1 vs 0.7 s → 36 %)",
         (1.0 - conc_max / seq_sum) * 100.0
     );
-    println!("overall per-iteration improvement: {:.2} %", cmp.improvement_pct());
+    println!(
+        "overall per-iteration improvement: {:.2} %",
+        cmp.improvement_pct()
+    );
 }

@@ -11,7 +11,10 @@ use nestwx_grid::{Domain, NestSpec};
 use nestwx_netsim::Machine;
 
 fn main() {
-    banner("fig10", "large siblings (586×643, 856×919, 925×850) on BG/P");
+    banner(
+        "fig10",
+        "large siblings (586×643, 856×919, 925×850) on BG/P",
+    );
     let parent = Domain::parent(572, 614, 24.0);
     let nests = vec![
         NestSpec::new(586, 643, 3, (10, 10)),
@@ -22,7 +25,13 @@ fn main() {
     println!(
         "{}",
         row(
-            &["cores".into(), "default s".into(), "parallel s".into(), "improve (%)".into(), "paper".into()],
+            &[
+                "cores".into(),
+                "default s".into(),
+                "parallel s".into(),
+                "improve (%)".into(),
+                "paper".into()
+            ],
             &widths
         )
     );

@@ -12,7 +12,10 @@ use nestwx_core::{compare_strategies, Planner};
 use nestwx_netsim::{IoMode, Machine};
 
 fn main() {
-    banner("fig13", "high-frequency output scaling on BG/P (PnetCDF every iteration)");
+    banner(
+        "fig13",
+        "high-frequency output scaling on BG/P (PnetCDF every iteration)",
+    );
     let parent = pacific_parent();
     let mut rng = rng_for("fig13");
     let nests = random_nests(&mut rng, 3, 250 * 250, 394 * 418, &parent);
@@ -62,11 +65,20 @@ fn main() {
 
     println!("\nFig. 14 — I/O fraction of total per-iteration time:");
     let widths = [7, 14, 14];
-    println!("{}", row(&["cores".into(), "seq I/O %".into(), "par I/O %".into()], &widths));
+    println!(
+        "{}",
+        row(
+            &["cores".into(), "seq I/O %".into(), "par I/O %".into()],
+            &widths
+        )
+    );
     for (cores, seq, par) in fractions {
         println!(
             "{}",
-            row(&[cores.to_string(), format!("{seq:.1}"), format!("{par:.1}")], &widths)
+            row(
+                &[cores.to_string(), format!("{seq:.1}"), format!("{par:.1}")],
+                &widths
+            )
         );
     }
     println!("\nPaper shape: sequential I/O time and fraction grow with core count");

@@ -11,7 +11,10 @@ use nestwx_grid::NestSpec;
 use nestwx_netsim::Machine;
 
 fn main() {
-    banner("fig15", "scalability & speedup, two 259×229 siblings on BG/L");
+    banner(
+        "fig15",
+        "scalability & speedup, two 259×229 siblings on BG/L",
+    );
     let parent = pacific_parent();
     let nests = vec![
         NestSpec::new(259, 229, 3, (10, 12)),
@@ -37,7 +40,10 @@ fn main() {
     for cores in [32u32, 64, 128, 256, 512, 1024] {
         let planner = Planner::new(Machine::bgl(cores));
         let cmp = compare_strategies(&planner, &parent, &nests, MEASURE_ITERS).unwrap();
-        let (s, c) = (cmp.default_run.per_iteration(), cmp.planned_run.per_iteration());
+        let (s, c) = (
+            cmp.default_run.per_iteration(),
+            cmp.planned_run.per_iteration(),
+        );
         let s0 = *seq0.get_or_insert(s);
         let c0 = *conc0.get_or_insert(c);
         println!(

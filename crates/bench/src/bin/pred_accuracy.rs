@@ -36,7 +36,14 @@ fn main() {
     println!(
         "{}",
         row(
-            &["domain".into(), "points".into(), "true s".into(), "interp s".into(), "err%".into(), "naive err%".into()],
+            &[
+                "domain".into(),
+                "points".into(),
+                "true s".into(),
+                "interp s".into(),
+                "err%".into(),
+                "naive err%".into()
+            ],
             &widths
         )
     );

@@ -16,63 +16,96 @@ use nestwx_netsim::Machine;
 fn configs() -> Vec<(&'static str, Vec<NestSpec>)> {
     vec![
         // Five first-level-only configurations.
-        ("2 siblings L1", vec![
-            NestSpec::new(240, 210, 3, (20, 20)),
-            NestSpec::new(200, 220, 3, (160, 120)),
-        ]),
-        ("3 siblings L1", vec![
-            NestSpec::new(240, 210, 3, (20, 20)),
-            NestSpec::new(180, 160, 3, (220, 30)),
-            NestSpec::new(200, 220, 3, (160, 150)),
-        ]),
-        ("4 siblings L1", vec![
-            NestSpec::new(220, 200, 3, (10, 10)),
-            NestSpec::new(180, 160, 3, (240, 20)),
-            NestSpec::new(160, 180, 3, (20, 170)),
-            NestSpec::new(210, 190, 3, (220, 170)),
-        ]),
-        ("2 siblings L1 (small)", vec![
-            NestSpec::new(180, 170, 3, (40, 40)),
-            NestSpec::new(170, 180, 3, (200, 140)),
-        ]),
-        ("3 siblings L1 (mixed)", vec![
-            NestSpec::new(260, 230, 3, (10, 20)),
-            NestSpec::new(150, 140, 3, (260, 40)),
-            NestSpec::new(180, 200, 3, (200, 160)),
-        ]),
+        (
+            "2 siblings L1",
+            vec![
+                NestSpec::new(240, 210, 3, (20, 20)),
+                NestSpec::new(200, 220, 3, (160, 120)),
+            ],
+        ),
+        (
+            "3 siblings L1",
+            vec![
+                NestSpec::new(240, 210, 3, (20, 20)),
+                NestSpec::new(180, 160, 3, (220, 30)),
+                NestSpec::new(200, 220, 3, (160, 150)),
+            ],
+        ),
+        (
+            "4 siblings L1",
+            vec![
+                NestSpec::new(220, 200, 3, (10, 10)),
+                NestSpec::new(180, 160, 3, (240, 20)),
+                NestSpec::new(160, 180, 3, (20, 170)),
+                NestSpec::new(210, 190, 3, (220, 170)),
+            ],
+        ),
+        (
+            "2 siblings L1 (small)",
+            vec![
+                NestSpec::new(180, 170, 3, (40, 40)),
+                NestSpec::new(170, 180, 3, (200, 140)),
+            ],
+        ),
+        (
+            "3 siblings L1 (mixed)",
+            vec![
+                NestSpec::new(260, 230, 3, (10, 20)),
+                NestSpec::new(150, 140, 3, (260, 40)),
+                NestSpec::new(180, 200, 3, (200, 160)),
+            ],
+        ),
         // Three configurations with second-level siblings.
-        ("2 L1 + 2 L2 in first", vec![
-            NestSpec::new(240, 210, 3, (20, 20)),
-            NestSpec::new(180, 190, 3, (200, 150)),
-            NestSpec::child_of(0, 90, 90, 3, (12, 12)),
-            NestSpec::child_of(0, 81, 60, 3, (140, 130)),
-        ]),
-        ("2 L1 + 2 L2 split", vec![
-            NestSpec::new(230, 210, 3, (20, 20)),
-            NestSpec::new(210, 200, 3, (190, 140)),
-            NestSpec::child_of(0, 90, 84, 3, (20, 30)),
-            NestSpec::child_of(1, 84, 90, 3, (30, 20)),
-        ]),
-        ("3 L1 + 3 L2", vec![
-            NestSpec::new(220, 200, 3, (10, 10)),
-            NestSpec::new(190, 180, 3, (230, 20)),
-            NestSpec::new(180, 190, 3, (40, 160)),
-            NestSpec::child_of(0, 84, 81, 3, (20, 20)),
-            NestSpec::child_of(1, 75, 72, 3, (30, 30)),
-            NestSpec::child_of(2, 72, 75, 3, (25, 25)),
-        ]),
+        (
+            "2 L1 + 2 L2 in first",
+            vec![
+                NestSpec::new(240, 210, 3, (20, 20)),
+                NestSpec::new(180, 190, 3, (200, 150)),
+                NestSpec::child_of(0, 90, 90, 3, (12, 12)),
+                NestSpec::child_of(0, 81, 60, 3, (140, 130)),
+            ],
+        ),
+        (
+            "2 L1 + 2 L2 split",
+            vec![
+                NestSpec::new(230, 210, 3, (20, 20)),
+                NestSpec::new(210, 200, 3, (190, 140)),
+                NestSpec::child_of(0, 90, 84, 3, (20, 30)),
+                NestSpec::child_of(1, 84, 90, 3, (30, 20)),
+            ],
+        ),
+        (
+            "3 L1 + 3 L2",
+            vec![
+                NestSpec::new(220, 200, 3, (10, 10)),
+                NestSpec::new(190, 180, 3, (230, 20)),
+                NestSpec::new(180, 190, 3, (40, 160)),
+                NestSpec::child_of(0, 84, 81, 3, (20, 20)),
+                NestSpec::child_of(1, 75, 72, 3, (30, 30)),
+                NestSpec::child_of(2, 72, 75, 3, (25, 25)),
+            ],
+        ),
     ]
 }
 
 fn main() {
-    banner("sea", "South East Asia: eight configurations, two nesting levels (§4.1.1)");
+    banner(
+        "sea",
+        "South East Asia: eight configurations, two nesting levels (§4.1.1)",
+    );
     let parent = Domain::parent(400, 340, 4.5);
     let planner = Planner::new(Machine::bgl_rack());
     let widths = [24, 8, 11, 11, 11];
     println!(
         "{}",
         row(
-            &["configuration".into(), "nests".into(), "default s".into(), "parallel s".into(), "improve %".into()],
+            &[
+                "configuration".into(),
+                "nests".into(),
+                "default s".into(),
+                "parallel s".into(),
+                "improve %".into()
+            ],
             &widths
         )
     );
@@ -100,8 +133,14 @@ fn main() {
             )
         );
     }
-    println!("\nfirst-level-only configs : avg improvement {:.2} %", mean(&l1_only));
-    println!("second-level configs     : avg improvement {:.2} %", mean(&with_l2));
+    println!(
+        "\nfirst-level-only configs : avg improvement {:.2} %",
+        mean(&l1_only)
+    );
+    println!(
+        "second-level configs     : avg improvement {:.2} %",
+        mean(&with_l2)
+    );
     println!("\nSecond-level siblings sub-partition their parent nest's processors; the");
     println!("divide-and-conquer gain persists across both nesting depths.");
 }

@@ -12,9 +12,14 @@ use nestwx_core::{compare_strategies, Planner};
 use nestwx_netsim::Machine;
 
 fn main() {
-    let configs: usize =
-        std::env::var("NESTWX_CONFIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(85);
-    banner("sec431", &format!("improvement over {configs} random configs on BG/L(1024)"));
+    let configs: usize = std::env::var("NESTWX_CONFIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(85);
+    banner(
+        "sec431",
+        &format!("improvement over {configs} random configs on BG/L(1024)"),
+    );
     let parent = pacific_parent();
     let planner = Planner::new(Machine::bgl_rack());
     let mut rng = rng_for("sec431");
@@ -34,8 +39,14 @@ fn main() {
     }
 
     println!("configurations : {}", all.len());
-    println!("average improvement: {:>6.2} %   (paper: 21.14 %)", mean(&all));
-    println!("maximum improvement: {:>6.2} %   (paper: 33.04 %)", max(&all));
+    println!(
+        "average improvement: {:>6.2} %   (paper: 21.14 %)",
+        mean(&all)
+    );
+    println!(
+        "maximum improvement: {:>6.2} %   (paper: 33.04 %)",
+        max(&all)
+    );
     println!(
         "minimum improvement: {:>6.2} %",
         all.iter().copied().fold(f64::INFINITY, f64::min)

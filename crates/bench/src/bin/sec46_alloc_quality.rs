@@ -10,7 +10,10 @@ use nestwx_core::{AllocPolicy, MappingKind, Planner, Strategy};
 use nestwx_netsim::Machine;
 
 fn main() {
-    banner("sec46", "allocation quality: Huffman/split-tree vs naïve strips vs equal");
+    banner(
+        "sec46",
+        "allocation quality: Huffman/split-tree vs naïve strips vs equal",
+    );
     let parent = pacific_parent();
     let mut rng = rng_for("sec46");
     let base = Planner::new(Machine::bgl_rack());
@@ -35,9 +38,16 @@ fn main() {
     let n_cfg = 5;
     for i in 0..n_cfg {
         let nests = random_nests(&mut rng, 4, 178 * 202, 415 * 445, &parent);
-        let run = |p: Planner| p.plan(&parent, &nests).unwrap().simulate(MEASURE_ITERS).unwrap();
-        let default =
-            run(base.clone().strategy(Strategy::Sequential).mapping(MappingKind::Oblivious));
+        let run = |p: Planner| {
+            p.plan(&parent, &nests)
+                .unwrap()
+                .simulate(MEASURE_ITERS)
+                .unwrap()
+        };
+        let default = run(base
+            .clone()
+            .strategy(Strategy::Sequential)
+            .mapping(MappingKind::Oblivious));
         let equal = run(base.clone().alloc_policy(AllocPolicy::Equal));
         let naive = run(base.clone().alloc_policy(AllocPolicy::NaiveProportional));
         let huff = run(base.clone().alloc_policy(AllocPolicy::HuffmanSplitTree));

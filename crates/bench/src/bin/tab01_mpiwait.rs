@@ -10,15 +10,25 @@ use nestwx_core::{compare_strategies, Planner};
 use nestwx_netsim::Machine;
 
 fn main() {
-    let configs: usize =
-        std::env::var("NESTWX_CONFIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
-    banner("tab01", &format!("MPI_Wait improvement, {configs} configs per machine"));
+    let configs: usize = std::env::var("NESTWX_CONFIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    banner(
+        "tab01",
+        &format!("MPI_Wait improvement, {configs} configs per machine"),
+    );
     let parent = pacific_parent();
     let widths = [16, 12, 12, 22];
     println!(
         "{}",
         row(
-            &["machine".into(), "avg (%)".into(), "max (%)".into(), "paper avg/max (%)".into()],
+            &[
+                "machine".into(),
+                "avg (%)".into(),
+                "max (%)".into(),
+                "paper avg/max (%)".into()
+            ],
             &widths
         )
     );
@@ -43,7 +53,12 @@ fn main() {
         println!(
             "{}",
             row(
-                &[name, format!("{:.2}", mean(&imps)), format!("{:.2}", max(&imps)), paper.into()],
+                &[
+                    name,
+                    format!("{:.2}", mean(&imps)),
+                    format!("{:.2}", max(&imps)),
+                    paper.into()
+                ],
                 &widths
             )
         );

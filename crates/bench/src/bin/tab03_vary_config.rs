@@ -11,8 +11,10 @@ use nestwx_grid::{Domain, NestSpec};
 use nestwx_netsim::Machine;
 
 fn main() {
-    let configs: usize =
-        std::env::var("NESTWX_CONFIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let configs: usize = std::env::var("NESTWX_CONFIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
     banner("tab03", "improvement vs sibling count and nest size");
 
     // ---- varying number of siblings (BG/L 1024) ----
@@ -38,7 +40,13 @@ fn main() {
     // ---- varying maximum nest size (BG/P 8192) ----
     println!("\nTable 3 — varying maximum nest size, BG/P(8192), 3 siblings:");
     let widths = [16, 14, 10];
-    println!("{}", row(&["max nest".into(), "improve (%)".into(), "paper".into()], &widths));
+    println!(
+        "{}",
+        row(
+            &["max nest".into(), "improve (%)".into(), "paper".into()],
+            &widths
+        )
+    );
     let planner = Planner::new(Machine::bgp(8192));
     let cases: [((u32, u32), &str, Domain); 3] = [
         ((205, 223), "25.62", pacific_parent()),
@@ -56,7 +64,11 @@ fn main() {
         println!(
             "{}",
             row(
-                &[format!("{nx}x{ny}"), format!("{:.2}", cmp.improvement_pct()), paper.into()],
+                &[
+                    format!("{nx}x{ny}"),
+                    format!("{:.2}", cmp.improvement_pct()),
+                    paper.into()
+                ],
                 &widths
             )
         );

@@ -11,17 +11,26 @@
 //!   4.75  |   3.53    |   3.39    |    3.33     | 3.44
 //! (rows 1–3: 2 siblings, row 4: 3 siblings, row 5: 4 siblings)
 
-use nestwx_bench::{banner, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS};
+use nestwx_bench::{
+    banner, pacific_parent, random_nests, rng_for, row, run_parallel, MEASURE_ITERS,
+};
 use nestwx_core::{MappingKind, Planner, Strategy};
 use nestwx_grid::NestSpec;
 use nestwx_netsim::{Machine, SimReport};
 
 fn run(planner: &Planner, nests: &[NestSpec]) -> SimReport {
-    planner.plan(&pacific_parent(), nests).unwrap().simulate(MEASURE_ITERS).unwrap()
+    planner
+        .plan(&pacific_parent(), nests)
+        .unwrap()
+        .simulate(MEASURE_ITERS)
+        .unwrap()
 }
 
 fn main() {
-    banner("tab04", "mapping comparison on BG/L(1024): Table 4 and Fig. 11");
+    banner(
+        "tab04",
+        "mapping comparison on BG/L(1024): Table 4 and Fig. 11",
+    );
     let parent = pacific_parent();
     let mut rng = rng_for("tab04");
     // Five configurations: three 2-sibling, one 3-sibling, one 4-sibling.
@@ -35,17 +44,40 @@ fn main() {
     println!(
         "{}",
         row(
-            &["cfg".into(), "default".into(), "oblivious".into(), "partition".into(), "multilevel".into(), "TXYZ".into()],
+            &[
+                "cfg".into(),
+                "default".into(),
+                "oblivious".into(),
+                "partition".into(),
+                "multilevel".into(),
+                "TXYZ".into()
+            ],
             &widths
         )
     );
+    // All (config, variant) measurements are independent: flatten into one
+    // job list and fan out across cores. `None` is the default
+    // (sequential-strategy) baseline; `Some(m)` a concurrent run mapped
+    // with `m`.
+    let jobs: Vec<(usize, Option<MappingKind>)> = (0..configs.len())
+        .flat_map(|i| {
+            std::iter::once((i, None)).chain(MappingKind::ALL.iter().map(move |&m| (i, Some(m))))
+        })
+        .collect();
+    let reports = run_parallel(&jobs, |&(i, variant)| match variant {
+        None => run(
+            &base
+                .clone()
+                .strategy(Strategy::Sequential)
+                .mapping(MappingKind::Oblivious),
+            &configs[i],
+        ),
+        Some(m) => run(&base.clone().mapping(m), &configs[i]),
+    });
+    let per_cfg = 1 + MappingKind::ALL.len();
     for (i, nests) in configs.iter().enumerate() {
-        let default =
-            run(&base.clone().strategy(Strategy::Sequential).mapping(MappingKind::Oblivious), nests);
-        let runs: Vec<SimReport> = MappingKind::ALL
-            .iter()
-            .map(|&m| run(&base.clone().mapping(m), nests))
-            .collect();
+        let default = &reports[i * per_cfg];
+        let runs = &reports[i * per_cfg + 1..(i + 1) * per_cfg];
         // Order: oblivious, txyz, partition, multilevel → print paper order.
         println!(
             "{}",
@@ -62,9 +94,8 @@ fn main() {
             )
         );
         // Fig. 11 rows: improvement over default.
-        let imp = |r: &SimReport| r.improvement_over(&default);
-        let wimp =
-            |r: &SimReport| (1.0 - r.mpi_wait_total / default.mpi_wait_total) * 100.0;
+        let imp = |r: &SimReport| r.improvement_over(default);
+        let wimp = |r: &SimReport| (1.0 - r.mpi_wait_total / default.mpi_wait_total) * 100.0;
         println!(
             "{}",
             row(

@@ -5,13 +5,18 @@
 //! 3.94/4.20/4.39; partition 3.92/4.1/4.28; multi-level 3.93/4.1/4.39.
 //! Fig. 12(b): topology-aware mappings cut average hops by ≈ 50 %.
 
-use nestwx_bench::{banner, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS};
+use nestwx_bench::{
+    banner, pacific_parent, random_nests, rng_for, row, run_parallel, MEASURE_ITERS,
+};
 use nestwx_core::{MappingKind, Planner, Strategy};
 use nestwx_grid::NestSpec;
 use nestwx_netsim::{Machine, SimReport};
 
 fn main() {
-    banner("tab05", "mapping comparison on BG/P(4096): Table 5 and Fig. 12");
+    banner(
+        "tab05",
+        "mapping comparison on BG/P(4096): Table 5 and Fig. 12",
+    );
     let parent = pacific_parent();
     let mut rng = rng_for("tab05");
     // Three configurations: two 4-sibling, one 3-sibling (paper's rows).
@@ -25,19 +30,46 @@ fn main() {
     println!(
         "{}",
         row(
-            &["cfg".into(), "default".into(), "oblivious".into(), "partition".into(), "multilevel".into()],
+            &[
+                "cfg".into(),
+                "default".into(),
+                "oblivious".into(),
+                "partition".into(),
+                "multilevel".into()
+            ],
             &widths
         )
     );
-    for (i, nests) in configs.iter().enumerate() {
-        let run = |p: Planner| -> SimReport {
-            p.plan(&parent, nests).unwrap().simulate(MEASURE_ITERS).unwrap()
+    // Flatten the independent (config, variant) measurements into one job
+    // list and fan out across cores; variant 0 is the default
+    // (sequential-strategy) baseline.
+    const VARIANTS: [Option<MappingKind>; 4] = [
+        None,
+        Some(MappingKind::Oblivious),
+        Some(MappingKind::Partition),
+        Some(MappingKind::MultiLevel),
+    ];
+    let jobs: Vec<(usize, Option<MappingKind>)> = (0..configs.len())
+        .flat_map(|i| VARIANTS.iter().map(move |&v| (i, v)))
+        .collect();
+    let reports = run_parallel(&jobs, |&(i, variant)| -> SimReport {
+        let p = match variant {
+            None => base
+                .clone()
+                .strategy(Strategy::Sequential)
+                .mapping(MappingKind::Oblivious),
+            Some(m) => base.clone().mapping(m),
         };
-        let default =
-            run(base.clone().strategy(Strategy::Sequential).mapping(MappingKind::Oblivious));
-        let obl = run(base.clone().mapping(MappingKind::Oblivious));
-        let par = run(base.clone().mapping(MappingKind::Partition));
-        let mul = run(base.clone().mapping(MappingKind::MultiLevel));
+        p.plan(&parent, &configs[i])
+            .unwrap()
+            .simulate(MEASURE_ITERS)
+            .unwrap()
+    });
+    for (i, nests) in configs.iter().enumerate() {
+        let [default, obl, par, mul] = &reports[i * VARIANTS.len()..(i + 1) * VARIANTS.len()]
+        else {
+            unreachable!("four variants per config");
+        };
         println!(
             "{}",
             row(
@@ -58,9 +90,9 @@ fn main() {
                 &[
                     "".into(),
                     "wait +%".into(),
-                    format!("{:.1}", wimp(&obl)),
-                    format!("{:.1}", wimp(&par)),
-                    format!("{:.1}", wimp(&mul)),
+                    format!("{:.1}", wimp(obl)),
+                    format!("{:.1}", wimp(par)),
+                    format!("{:.1}", wimp(mul)),
                 ],
                 &widths
             )
@@ -72,9 +104,9 @@ fn main() {
                 &[
                     "".into(),
                     "hops -%".into(),
-                    format!("{:.1}", hops(&obl)),
-                    format!("{:.1}", hops(&par)),
-                    format!("{:.1}", hops(&mul)),
+                    format!("{:.1}", hops(obl)),
+                    format!("{:.1}", hops(par)),
+                    format!("{:.1}", hops(mul)),
                 ],
                 &widths
             )

@@ -8,6 +8,8 @@
 use nestwx_grid::NestSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of simulated parent iterations per measurement. Three is enough:
 /// the simulator is deterministic and steady from the first iteration.
@@ -50,6 +52,65 @@ pub fn rng_for(experiment: &str) -> StdRng {
         seed[i % 32] ^= b;
     }
     StdRng::from_seed(seed)
+}
+
+/// Worker count for [`run_parallel`]: the `NESTWX_JOBS` environment
+/// variable when set to a positive integer, else the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn parallel_jobs() -> usize {
+    if let Ok(v) = std::env::var("NESTWX_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid NESTWX_JOBS={v:?}");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`parallel_jobs`] scoped threads, preserving
+/// input order in the returned vector.
+///
+/// Each experiment point is an independent simulation, so the driver
+/// parallelises across points (work-stealing via an atomic index — run
+/// times vary widely with rank count, so static chunking would straggle).
+/// Falls back to a plain serial map when only one job is configured or
+/// there is at most one item.
+pub fn run_parallel<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = parallel_jobs().min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
 }
 
 /// Mean of a slice.
@@ -105,6 +166,16 @@ mod tests {
         let c: u64 = rng_for("y").gen();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = run_parallel(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        // Degenerate inputs.
+        assert_eq!(run_parallel(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(run_parallel(&[7u64], |&x| x + 1), vec![8]);
     }
 
     #[test]

@@ -107,13 +107,17 @@ fn err(msg: impl Into<String>) -> ParseError {
 
 /// Parses `bgl:1024` / `bgp:4096`.
 pub fn parse_machine(s: &str) -> Result<MachineSpec, ParseError> {
-    let (fam, cores) = s.split_once(':').ok_or_else(|| err(format!("machine '{s}': expected FAMILY:CORES")))?;
+    let (fam, cores) = s
+        .split_once(':')
+        .ok_or_else(|| err(format!("machine '{s}': expected FAMILY:CORES")))?;
     let family = match fam {
         "bgl" => Family::BgL,
         "bgp" => Family::BgP,
         other => return Err(err(format!("unknown machine family '{other}' (bgl|bgp)"))),
     };
-    let cores: u32 = cores.parse().map_err(|_| err(format!("bad core count '{cores}'")))?;
+    let cores: u32 = cores
+        .parse()
+        .map_err(|_| err(format!("bad core count '{cores}'")))?;
     if !cores.is_power_of_two() {
         return Err(err(format!("core count {cores} must be a power of two")));
     }
@@ -129,9 +133,13 @@ pub fn parse_machine(s: &str) -> Result<MachineSpec, ParseError> {
 
 /// Parses `286x307@24` (nx × ny at dx km).
 pub fn parse_parent(s: &str) -> Result<Domain, ParseError> {
-    let (dims, dx) = s.split_once('@').ok_or_else(|| err(format!("parent '{s}': expected NXxNY@DX")))?;
+    let (dims, dx) = s
+        .split_once('@')
+        .ok_or_else(|| err(format!("parent '{s}': expected NXxNY@DX")))?;
     let (nx, ny) = parse_dims(dims)?;
-    let dx: f64 = dx.parse().map_err(|_| err(format!("bad resolution '{dx}'")))?;
+    let dx: f64 = dx
+        .parse()
+        .map_err(|_| err(format!("bad resolution '{dx}'")))?;
     if dx <= 0.0 {
         return Err(err("resolution must be positive"));
     }
@@ -142,26 +150,46 @@ pub fn parse_parent(s: &str) -> Result<Domain, ParseError> {
 pub fn parse_nest(s: &str) -> Result<NestSpec, ParseError> {
     let (body, parent_nest) = match s.split_once(":in=") {
         Some((b, k)) => {
-            let k: usize = k.parse().map_err(|_| err(format!("bad parent nest index '{k}'")))?;
+            let k: usize = k
+                .parse()
+                .map_err(|_| err(format!("bad parent nest index '{k}'")))?;
             (b, Some(k))
         }
         None => (s, None),
     };
-    let (dims_r, offs) = body.split_once('@').ok_or_else(|| err(format!("nest '{s}': expected NXxNYrR@OX,OY")))?;
-    let (dims, r) = dims_r.split_once('r').ok_or_else(|| err(format!("nest '{s}': missing refinement 'rR'")))?;
+    let (dims_r, offs) = body
+        .split_once('@')
+        .ok_or_else(|| err(format!("nest '{s}': expected NXxNYrR@OX,OY")))?;
+    let (dims, r) = dims_r
+        .split_once('r')
+        .ok_or_else(|| err(format!("nest '{s}': missing refinement 'rR'")))?;
     let (nx, ny) = parse_dims(dims)?;
-    let r: u32 = r.parse().map_err(|_| err(format!("bad refinement '{r}'")))?;
-    let (ox, oy) = offs.split_once(',').ok_or_else(|| err(format!("nest '{s}': offset must be OX,OY")))?;
+    let r: u32 = r
+        .parse()
+        .map_err(|_| err(format!("bad refinement '{r}'")))?;
+    let (ox, oy) = offs
+        .split_once(',')
+        .ok_or_else(|| err(format!("nest '{s}': offset must be OX,OY")))?;
     let ox: u32 = ox.parse().map_err(|_| err(format!("bad offset '{ox}'")))?;
     let oy: u32 = oy.parse().map_err(|_| err(format!("bad offset '{oy}'")))?;
-    Ok(NestSpec { nx, ny, refine_ratio: r, offset: (ox, oy), parent_nest })
+    Ok(NestSpec {
+        nx,
+        ny,
+        refine_ratio: r,
+        offset: (ox, oy),
+        parent_nest,
+    })
 }
 
 fn parse_dims(s: &str) -> Result<(u32, u32), ParseError> {
-    let (nx, ny) = s.split_once('x').ok_or_else(|| err(format!("dims '{s}': expected NXxNY")))?;
+    let (nx, ny) = s
+        .split_once('x')
+        .ok_or_else(|| err(format!("dims '{s}': expected NXxNY")))?;
     Ok((
-        nx.parse().map_err(|_| err(format!("bad dimension '{nx}'")))?,
-        ny.parse().map_err(|_| err(format!("bad dimension '{ny}'")))?,
+        nx.parse()
+            .map_err(|_| err(format!("bad dimension '{nx}'")))?,
+        ny.parse()
+            .map_err(|_| err(format!("bad dimension '{ny}'")))?,
     ))
 }
 
@@ -188,13 +216,17 @@ pub fn parse_alloc(s: &str) -> Result<AllocPolicy, ParseError> {
 
 /// Parses `pnetcdf:N` / `split:N`.
 pub fn parse_io(s: &str) -> Result<(IoMode, u32), ParseError> {
-    let (mode, every) = s.split_once(':').ok_or_else(|| err(format!("io '{s}': expected MODE:INTERVAL")))?;
+    let (mode, every) = s
+        .split_once(':')
+        .ok_or_else(|| err(format!("io '{s}': expected MODE:INTERVAL")))?;
     let mode = match mode {
         "pnetcdf" => IoMode::PnetCdf,
         "split" => IoMode::SplitFiles,
         other => return Err(err(format!("unknown io mode '{other}'"))),
     };
-    let every: u32 = every.parse().map_err(|_| err(format!("bad interval '{every}'")))?;
+    let every: u32 = every
+        .parse()
+        .map_err(|_| err(format!("bad interval '{every}'")))?;
     if every == 0 {
         return Err(err("io interval must be ≥ 1"));
     }
@@ -222,7 +254,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
-                    it.next().cloned().ok_or_else(|| err(format!("{name} needs a value")))
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err(format!("{name} needs a value")))
                 };
                 match flag.as_str() {
                     "--machine" => machine = Some(parse_machine(&value("--machine")?)?),
@@ -263,7 +297,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 _ => Command::Compare(run),
             })
         }
-        other => Err(err(format!("unknown command '{other}' (machines|plan|compare|help)"))),
+        other => Err(err(format!(
+            "unknown command '{other}' (machines|plan|compare|help)"
+        ))),
     }
 }
 
@@ -309,8 +345,14 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
         Command::Machines => {
             writeln!(out, "machine presets (FAMILY:CORES):")?;
             for (spec, desc) in [
-                ("bgl:16..1024", "IBM Blue Gene/L, virtual-node mode, 8x8x8-midplane torus"),
-                ("bgp:64..8192", "IBM Blue Gene/P, virtual-node mode, rack-stacked torus"),
+                (
+                    "bgl:16..1024",
+                    "IBM Blue Gene/L, virtual-node mode, 8x8x8-midplane torus",
+                ),
+                (
+                    "bgp:64..8192",
+                    "IBM Blue Gene/P, virtual-node mode, rack-stacked torus",
+                ),
             ] {
                 writeln!(out, "  {spec:<14} {desc}")?;
             }
@@ -339,13 +381,25 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
                 };
                 writeln!(out, "{}", serde_json::to_string_pretty(&o)?)?;
             } else {
-                writeln!(out, "machine: {} ({} ranks as {}x{})", plan.machine.name, plan.machine.ranks(), plan.grid.px, plan.grid.py)?;
+                writeln!(
+                    out,
+                    "machine: {} ({} ranks as {}x{})",
+                    plan.machine.name,
+                    plan.machine.ranks(),
+                    plan.grid.px,
+                    plan.grid.py
+                )?;
                 writeln!(out, "predicted time shares: {:?}", plan.predicted_ratios)?;
                 for p in &plan.partitions {
                     writeln!(
                         out,
                         "  nest {}: {}x{} ranks at ({},{})  [{} ranks]",
-                        p.domain, p.rect.w, p.rect.h, p.rect.x0, p.rect.y0, p.rect.area()
+                        p.domain,
+                        p.rect.w,
+                        p.rect.h,
+                        p.rect.x0,
+                        p.rect.y0,
+                        p.rect.area()
                     )?;
                 }
             }
@@ -373,13 +427,37 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
                 };
                 writeln!(out, "{}", serde_json::to_string_pretty(&o)?)?;
             } else {
-                writeln!(out, "default (sequential) : {:.3} s/iteration", cmp.default_run.per_iteration())?;
-                writeln!(out, "divide-and-conquer   : {:.3} s/iteration", cmp.planned_run.per_iteration())?;
-                writeln!(out, "improvement          : {:+.2} %", cmp.improvement_pct())?;
-                writeln!(out, "MPI_Wait improvement : {:+.2} %", cmp.mpi_wait_improvement_pct())?;
-                writeln!(out, "avg hops reduction   : {:+.2} %", cmp.hops_reduction_pct())?;
+                writeln!(
+                    out,
+                    "default (sequential) : {:.3} s/iteration",
+                    cmp.default_run.per_iteration()
+                )?;
+                writeln!(
+                    out,
+                    "divide-and-conquer   : {:.3} s/iteration",
+                    cmp.planned_run.per_iteration()
+                )?;
+                writeln!(
+                    out,
+                    "improvement          : {:+.2} %",
+                    cmp.improvement_pct()
+                )?;
+                writeln!(
+                    out,
+                    "MPI_Wait improvement : {:+.2} %",
+                    cmp.mpi_wait_improvement_pct()
+                )?;
+                writeln!(
+                    out,
+                    "avg hops reduction   : {:+.2} %",
+                    cmp.hops_reduction_pct()
+                )?;
                 if cmp.default_run.io_time > 0.0 {
-                    writeln!(out, "I/O improvement      : {:+.2} %", cmp.io_improvement_pct())?;
+                    writeln!(
+                        out,
+                        "I/O improvement      : {:+.2} %",
+                        cmp.io_improvement_pct()
+                    )?;
                 }
             }
         }
@@ -427,7 +505,13 @@ mod tests {
 
     #[test]
     fn parse_machine_specs() {
-        assert_eq!(parse_machine("bgl:1024").unwrap(), MachineSpec { family: Family::BgL, cores: 1024 });
+        assert_eq!(
+            parse_machine("bgl:1024").unwrap(),
+            MachineSpec {
+                family: Family::BgL,
+                cores: 1024
+            }
+        );
         assert_eq!(parse_machine("bgp:4096").unwrap().cores, 4096);
         assert!(parse_machine("bgq:1024").is_err());
         assert!(parse_machine("bgl:1000").is_err()); // not a power of two
@@ -447,7 +531,10 @@ mod tests {
     #[test]
     fn parse_nest_specs() {
         let n = parse_nest("259x229r3@10,12").unwrap();
-        assert_eq!((n.nx, n.ny, n.refine_ratio, n.offset), (259, 229, 3, (10, 12)));
+        assert_eq!(
+            (n.nx, n.ny, n.refine_ratio, n.offset),
+            (259, 229, 3, (10, 12))
+        );
         assert_eq!(n.parent_nest, None);
         let c = parse_nest("90x90r3@5,6:in=0").unwrap();
         assert_eq!(c.parent_nest, Some(0));
@@ -478,7 +565,9 @@ mod tests {
         .iter()
         .map(|s| s.to_string())
         .collect();
-        let Command::Compare(a) = parse_args(&args).unwrap() else { panic!("wrong command") };
+        let Command::Compare(a) = parse_args(&args).unwrap() else {
+            panic!("wrong command")
+        };
         assert_eq!(a.iterations, 2);
         assert_eq!(a.mapping, MappingKind::MultiLevel);
         assert_eq!(a.alloc, AllocPolicy::NaiveProportional);
@@ -488,8 +577,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_missing_required() {
-        let args: Vec<String> =
-            ["plan", "--parent", "100x100@24"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["plan", "--parent", "100x100@24"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(parse_args(&args).is_err());
         let args: Vec<String> = ["plan", "--machine", "bgl:64", "--parent", "100x100@24"]
             .iter()
@@ -501,8 +592,17 @@ mod tests {
     #[test]
     fn run_plan_produces_output() {
         let args: Vec<String> = [
-            "plan", "--machine", "bgl:64", "--parent", "286x307@24", "--nest", "200x200r3@10,12",
-            "--nest", "150x160r3@80,80", "--alloc", "naive",
+            "plan",
+            "--machine",
+            "bgl:64",
+            "--parent",
+            "286x307@24",
+            "--nest",
+            "200x200r3@10,12",
+            "--nest",
+            "150x160r3@80,80",
+            "--alloc",
+            "naive",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -518,8 +618,18 @@ mod tests {
     #[test]
     fn run_compare_json_is_valid() {
         let args: Vec<String> = [
-            "compare", "--machine", "bgl:32", "--parent", "150x150@24", "--nest",
-            "100x100r3@5,5", "--iterations", "1", "--alloc", "naive", "--json",
+            "compare",
+            "--machine",
+            "bgl:32",
+            "--parent",
+            "150x150@24",
+            "--nest",
+            "100x100r3@5,5",
+            "--iterations",
+            "1",
+            "--alloc",
+            "naive",
+            "--json",
         ]
         .iter()
         .map(|s| s.to_string())

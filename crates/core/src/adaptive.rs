@@ -11,10 +11,10 @@
 //! movement before continuing.
 
 use crate::planner::{ExecutionPlan, PlanError, Planner};
+use nestwx_grid::DomainFeatures;
 use nestwx_grid::{Domain, NestSpec};
 use nestwx_netsim::SimReport;
 use nestwx_predict::ExecTimePredictor;
-use nestwx_grid::DomainFeatures;
 use serde::{Deserialize, Serialize};
 
 /// Result of an adaptive run.
@@ -88,7 +88,11 @@ pub fn run_adaptive(
         }
         chunks.push(report);
     }
-    Ok(AdaptiveReport { chunks, redistribution_time: redistribution, final_ratios: ratios })
+    Ok(AdaptiveReport {
+        chunks,
+        redistribution_time: redistribution,
+        final_ratios: ratios,
+    })
 }
 
 /// Builds a plan whose allocation follows the given ratios exactly, keeping
@@ -117,9 +121,27 @@ fn plan_with_ratios(
     // dominated by the nearby exact measurements.
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     let max_pts = basis.iter().map(|(f, _)| f.points).fold(0.0, f64::max);
-    basis.push((DomainFeatures { aspect_ratio: 0.05, points: 1.0 }, mean));
-    basis.push((DomainFeatures { aspect_ratio: 20.0, points: 1.0 }, mean));
-    basis.push((DomainFeatures { aspect_ratio: 1.0, points: max_pts * 40.0 }, mean));
+    basis.push((
+        DomainFeatures {
+            aspect_ratio: 0.05,
+            points: 1.0,
+        },
+        mean,
+    ));
+    basis.push((
+        DomainFeatures {
+            aspect_ratio: 20.0,
+            points: 1.0,
+        },
+        mean,
+    ));
+    basis.push((
+        DomainFeatures {
+            aspect_ratio: 1.0,
+            points: max_pts * 40.0,
+        },
+        mean,
+    ));
     let surrogate = ExecTimePredictor::fit(&basis).map_err(PlanError::Predict)?;
     // Whatever the initial policy was (possibly Equal or NaiveProportional),
     // the measured-ratio re-plan always uses the split-tree allocator —

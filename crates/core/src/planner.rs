@@ -221,7 +221,10 @@ impl Planner {
                     rect_of
                         .into_iter()
                         .enumerate()
-                        .map(|(i, r)| Partition { domain: i, rect: r.expect("every nest assigned") })
+                        .map(|(i, r)| Partition {
+                            domain: i,
+                            rect: r.expect("every nest assigned"),
+                        })
                         .collect()
                 }
             }
@@ -323,6 +326,21 @@ impl ExecutionPlan {
         Ok(sim.run_traced(iterations))
     }
 
+    /// Builds the simulation once (compiling its halo-step schedules) so it
+    /// can be run repeatedly via [`Simulation::run_mut`] — the
+    /// compile-once, simulate-many entry point for sweeps and benchmarks.
+    pub fn compile(&self) -> Result<Simulation<'_>, PlanError> {
+        Ok(Simulation::new(
+            &self.machine,
+            self.grid,
+            &self.config,
+            self.strategy.clone(),
+            self.mapping.clone(),
+            self.io_mode,
+            self.output_interval,
+        )?)
+    }
+
     /// Processors allocated to nest `i` (the whole grid for sequential
     /// plans).
     pub fn procs_for_nest(&self, i: usize) -> u32 {
@@ -403,14 +421,20 @@ mod tests {
             .alloc_policy(AllocPolicy::Equal)
             .plan(&p, &n)
             .unwrap();
-        assert_eq!(plan.partitions[0].rect.area(), plan.partitions[1].rect.area());
+        assert_eq!(
+            plan.partitions[0].rect.area(),
+            plan.partitions[1].rect.area()
+        );
     }
 
     #[test]
     fn mapping_kinds_all_plan() {
         let (p, n) = pacific();
         for kind in MappingKind::ALL {
-            let plan = Planner::new(Machine::bgl(64)).mapping(kind).plan(&p, &n).unwrap();
+            let plan = Planner::new(Machine::bgl(64))
+                .mapping(kind)
+                .plan(&p, &n)
+                .unwrap();
             assert_eq!(plan.mapping.len(), 64);
         }
     }

@@ -26,8 +26,16 @@ pub fn measure_domain_time(machine: &Machine, nx: u32, ny: u32, ranks: u32) -> f
     let grid = ProcGrid::near_square(ranks);
     let cfg = NestedConfig::new(Domain::parent(nx, ny, 8.0), vec![]).expect("valid domain");
     let mapping = Mapping::oblivious(shape, ranks).expect("ranks fit");
-    let sim = Simulation::new(machine, grid, &cfg, ExecStrategy::Sequential, mapping, IoMode::None, None)
-        .expect("valid simulation");
+    let sim = Simulation::new(
+        machine,
+        grid,
+        &cfg,
+        ExecStrategy::Sequential,
+        mapping,
+        IoMode::None,
+        None,
+    )
+    .expect("valid simulation");
     sim.run(3).per_iteration()
 }
 

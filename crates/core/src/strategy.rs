@@ -41,8 +41,12 @@ pub enum MappingKind {
 
 impl MappingKind {
     /// All mapping kinds, in the order the paper's tables list them.
-    pub const ALL: [MappingKind; 4] =
-        [MappingKind::Oblivious, MappingKind::Txyz, MappingKind::Partition, MappingKind::MultiLevel];
+    pub const ALL: [MappingKind; 4] = [
+        MappingKind::Oblivious,
+        MappingKind::Txyz,
+        MappingKind::Partition,
+        MappingKind::MultiLevel,
+    ];
 
     /// `true` for the topology-aware schemes.
     pub fn is_topology_aware(&self) -> bool {

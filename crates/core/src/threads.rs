@@ -12,9 +12,15 @@ use nestwx_predict::ExecTimePredictor;
 /// remainders for the leftover threads.
 pub fn thread_allocation(ratios: &[f64], total_threads: usize) -> Vec<usize> {
     assert!(!ratios.is_empty());
-    assert!(total_threads >= ratios.len(), "at least one thread per nest");
+    assert!(
+        total_threads >= ratios.len(),
+        "at least one thread per nest"
+    );
     let total: f64 = ratios.iter().sum();
-    let ideal: Vec<f64> = ratios.iter().map(|r| r / total * total_threads as f64).collect();
+    let ideal: Vec<f64> = ratios
+        .iter()
+        .map(|r| r / total * total_threads as f64)
+        .collect();
     let mut alloc: Vec<usize> = ideal.iter().map(|t| (t.floor() as usize).max(1)).collect();
     let mut assigned: usize = alloc.iter().sum();
     let mut order: Vec<usize> = (0..ratios.len()).collect();
@@ -44,9 +50,13 @@ pub fn thread_allocation_for(
     nests: &[(u32, u32)],
     total_threads: usize,
 ) -> Vec<usize> {
-    let features: Vec<DomainFeatures> =
-        nests.iter().map(|&(nx, ny)| DomainFeatures::from_dims(nx, ny)).collect();
-    let ratios = predictor.relative_times(&features).expect("predictor covers nests");
+    let features: Vec<DomainFeatures> = nests
+        .iter()
+        .map(|&(nx, ny)| DomainFeatures::from_dims(nx, ny))
+        .collect();
+    let ratios = predictor
+        .relative_times(&features)
+        .expect("predictor covers nests");
     thread_allocation(&ratios, total_threads)
 }
 
@@ -57,7 +67,10 @@ mod tests {
     #[test]
     fn equal_ratios_equal_threads() {
         assert_eq!(thread_allocation(&[1.0, 1.0], 8), vec![4, 4]);
-        assert_eq!(thread_allocation(&[1.0, 1.0, 1.0, 1.0], 8), vec![2, 2, 2, 2]);
+        assert_eq!(
+            thread_allocation(&[1.0, 1.0, 1.0, 1.0], 8),
+            vec![2, 2, 2, 2]
+        );
     }
 
     #[test]

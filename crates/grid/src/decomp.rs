@@ -26,7 +26,12 @@ pub enum Neighbor {
 
 impl Neighbor {
     /// All four directions, in the order used throughout the workspace.
-    pub const ALL: [Neighbor; 4] = [Neighbor::West, Neighbor::East, Neighbor::North, Neighbor::South];
+    pub const ALL: [Neighbor; 4] = [
+        Neighbor::West,
+        Neighbor::East,
+        Neighbor::North,
+        Neighbor::South,
+    ];
 }
 
 /// Halo-exchange parameters of the numerical scheme.
@@ -53,7 +58,13 @@ impl HaloSpec {
     /// several diagnostic arrays once per stage — hence the 144 messages and
     /// the ≈ 40 % communication share the paper reports in §3.3).
     pub fn wrf_arw() -> Self {
-        HaloSpec { width: 5, fields: 16, levels: 28, bytes_per_value: 4, messages_per_step: 144 }
+        HaloSpec {
+            width: 5,
+            fields: 16,
+            levels: 28,
+            bytes_per_value: 4,
+            messages_per_step: 144,
+        }
     }
 
     /// Bytes moved across one patch edge of `edge_points` points.
@@ -151,7 +162,10 @@ impl Decomposition {
     pub fn patch_at(&self, px: u32, py: u32) -> Patch {
         let (x0, w) = self.cols[px as usize];
         let (y0, h) = self.rows[py as usize];
-        Patch { local_rank: self.grid.rank_of(px, py), region: Rect::new(x0, y0, w, h) }
+        Patch {
+            local_rank: self.grid.rank_of(px, py),
+            region: Rect::new(x0, y0, w, h),
+        }
     }
 
     /// The patch of local rank `rank` (row-major in the grid).
@@ -243,14 +257,20 @@ mod tests {
         assert!(hb[1].1.is_some()); // east
         assert!(hb[2].1.is_none()); // north
         assert!(hb[3].1.is_some()); // south
-        // Interior rank 5 has all four.
+                                    // Interior rank 5 has all four.
         let hb = d.halo_bytes(5, &halo);
         assert!(hb.iter().all(|(_, b)| b.is_some()));
     }
 
     #[test]
     fn halo_edge_bytes_formula() {
-        let halo = HaloSpec { width: 5, fields: 12, levels: 28, bytes_per_value: 4, messages_per_step: 144 };
+        let halo = HaloSpec {
+            width: 5,
+            fields: 12,
+            levels: 28,
+            bytes_per_value: 4,
+            messages_per_step: 144,
+        };
         // 25-point edge: 5 * 25 * 12 * 28 * 4 bytes.
         assert_eq!(halo.edge_bytes(25), 5 * 25 * 12 * 28 * 4);
         assert_eq!(halo.messages_per_neighbor(), 36);

@@ -126,13 +126,31 @@ impl NestSpec {
     /// Creates a first-level nest spec. `offset` is in parent grid
     /// coordinates.
     pub fn new(nx: u32, ny: u32, refine_ratio: u32, offset: (u32, u32)) -> Self {
-        NestSpec { nx, ny, refine_ratio, offset, parent_nest: None }
+        NestSpec {
+            nx,
+            ny,
+            refine_ratio,
+            offset,
+            parent_nest: None,
+        }
     }
 
     /// Creates a second-level nest inside nest `parent_idx` (offset in that
     /// nest's grid coordinates; `refine_ratio` is relative to that nest).
-    pub fn child_of(parent_idx: usize, nx: u32, ny: u32, refine_ratio: u32, offset: (u32, u32)) -> Self {
-        NestSpec { nx, ny, refine_ratio, offset, parent_nest: Some(parent_idx) }
+    pub fn child_of(
+        parent_idx: usize,
+        nx: u32,
+        ny: u32,
+        refine_ratio: u32,
+        offset: (u32, u32),
+    ) -> Self {
+        NestSpec {
+            nx,
+            ny,
+            refine_ratio,
+            offset,
+            parent_nest: Some(parent_idx),
+        }
     }
 
     /// Number of nest grid points.
@@ -155,7 +173,11 @@ impl NestSpec {
 
     /// The nest as a standalone [`Domain`] given the parent's resolution.
     pub fn as_domain(&self, parent_dx_km: f64) -> Domain {
-        Domain { nx: self.nx, ny: self.ny, dx_km: parent_dx_km / self.refine_ratio as f64 }
+        Domain {
+            nx: self.nx,
+            ny: self.ny,
+            dx_km: parent_dx_km / self.refine_ratio as f64,
+        }
     }
 }
 
@@ -188,7 +210,10 @@ impl NestedConfig {
                 return Err(DomainError::EmptyDomain);
             }
             if n.refine_ratio == 0 {
-                return Err(DomainError::BadRefinement { nest: i, ratio: n.refine_ratio });
+                return Err(DomainError::BadRefinement {
+                    nest: i,
+                    ratio: n.refine_ratio,
+                });
             }
             match n.parent_nest {
                 None => {
@@ -213,12 +238,16 @@ impl NestedConfig {
 
     /// Indices of the first-level nests, in order.
     pub fn level1(&self) -> Vec<usize> {
-        (0..self.nests.len()).filter(|&i| self.nests[i].parent_nest.is_none()).collect()
+        (0..self.nests.len())
+            .filter(|&i| self.nests[i].parent_nest.is_none())
+            .collect()
     }
 
     /// Indices of the second-level nests inside nest `i`, in order.
     pub fn children_of(&self, i: usize) -> Vec<usize> {
-        (0..self.nests.len()).filter(|&j| self.nests[j].parent_nest == Some(i)).collect()
+        (0..self.nests.len())
+            .filter(|&j| self.nests[j].parent_nest == Some(i))
+            .collect()
     }
 
     /// `true` if any nest is at the second level.
@@ -278,11 +307,8 @@ mod tests {
     #[test]
     fn config_accepts_paper_setup() {
         // Fig. 2's configuration: 286×307 parent, 415×445 nest at r = 3.
-        let cfg = NestedConfig::new(
-            pacific_parent(),
-            vec![NestSpec::new(415, 445, 3, (50, 60))],
-        )
-        .unwrap();
+        let cfg = NestedConfig::new(pacific_parent(), vec![NestSpec::new(415, 445, 3, (50, 60))])
+            .unwrap();
         assert_eq!(cfg.num_siblings(), 1);
         assert_eq!(cfg.max_nest_points(), 415 * 445);
     }
@@ -299,12 +325,12 @@ mod tests {
 
     #[test]
     fn config_rejects_zero_refinement() {
-        let err = NestedConfig::new(
-            pacific_parent(),
-            vec![NestSpec::new(50, 50, 0, (0, 0))],
-        )
-        .unwrap_err();
-        assert!(matches!(err, DomainError::BadRefinement { nest: 0, ratio: 0 }));
+        let err = NestedConfig::new(pacific_parent(), vec![NestSpec::new(50, 50, 0, (0, 0))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DomainError::BadRefinement { nest: 0, ratio: 0 }
+        ));
     }
 
     #[test]
@@ -314,8 +340,7 @@ mod tests {
             DomainError::EmptyDomain
         );
         assert_eq!(
-            NestedConfig::new(pacific_parent(), vec![NestSpec::new(0, 5, 3, (0, 0))])
-                .unwrap_err(),
+            NestedConfig::new(pacific_parent(), vec![NestSpec::new(0, 5, 3, (0, 0))]).unwrap_err(),
             DomainError::EmptyDomain
         );
     }

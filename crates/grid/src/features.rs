@@ -21,7 +21,10 @@ impl DomainFeatures {
     /// Features from raw dimensions.
     pub fn from_dims(nx: u32, ny: u32) -> Self {
         assert!(nx > 0 && ny > 0, "features of an empty domain");
-        DomainFeatures { aspect_ratio: nx as f64 / ny as f64, points: nx as f64 * ny as f64 }
+        DomainFeatures {
+            aspect_ratio: nx as f64 / ny as f64,
+            points: nx as f64 * ny as f64,
+        }
     }
 
     /// The feature-plane coordinates `(x, y) = (aspect, points)` used by the
@@ -34,7 +37,10 @@ impl DomainFeatures {
     /// [`DomainFeatures::from_dims`] up to rounding: `nx = sqrt(a·p)`,
     /// `ny = sqrt(p/a)`.
     pub fn dims(&self) -> (f64, f64) {
-        ((self.aspect_ratio * self.points).sqrt(), (self.points / self.aspect_ratio).sqrt())
+        (
+            (self.aspect_ratio * self.points).sqrt(),
+            (self.points / self.aspect_ratio).sqrt(),
+        )
     }
 }
 

@@ -39,7 +39,10 @@ impl ProcGrid {
             x += 1;
         }
         // best.0 <= best.1 by construction; px <= py.
-        ProcGrid { px: best.0, py: best.1 }
+        ProcGrid {
+            px: best.0,
+            py: best.1,
+        }
     }
 
     /// Total number of ranks.
@@ -64,7 +67,12 @@ impl ProcGrid {
 
     /// The grid as a [`Rect`] (for the partitioner).
     pub const fn rect(&self) -> Rect {
-        Rect { x0: 0, y0: 0, w: self.px, h: self.py }
+        Rect {
+            x0: 0,
+            y0: 0,
+            w: self.px,
+            h: self.py,
+        }
     }
 
     /// Ranks covered by a sub-rectangle of the grid, row-major within the

@@ -63,7 +63,11 @@ impl Rect {
     /// this metric high (Fig. 4), which balances x- and y-communication.
     pub fn squareness(&self) -> f64 {
         assert!(!self.is_empty(), "squareness of an empty rectangle");
-        let (lo, hi) = if self.w < self.h { (self.w, self.h) } else { (self.h, self.w) };
+        let (lo, hi) = if self.w < self.h {
+            (self.w, self.h)
+        } else {
+            (self.h, self.w)
+        };
         lo as f64 / hi as f64
     }
 
@@ -102,7 +106,11 @@ impl Rect {
     ///
     /// Panics if `w_left` is not strictly between 0 and `w`.
     pub fn split_x(&self, w_left: u32) -> (Rect, Rect) {
-        assert!(w_left > 0 && w_left < self.w, "split_x({w_left}) of width-{} rect", self.w);
+        assert!(
+            w_left > 0 && w_left < self.w,
+            "split_x({w_left}) of width-{} rect",
+            self.w
+        );
         (
             Rect::new(self.x0, self.y0, w_left, self.h),
             Rect::new(self.x0 + w_left, self.y0, self.w - w_left, self.h),
@@ -113,7 +121,11 @@ impl Rect {
     ///
     /// Panics if `h_top` is not strictly between 0 and `h`.
     pub fn split_y(&self, h_top: u32) -> (Rect, Rect) {
-        assert!(h_top > 0 && h_top < self.h, "split_y({h_top}) of height-{} rect", self.h);
+        assert!(
+            h_top > 0 && h_top < self.h,
+            "split_y({h_top}) of height-{} rect",
+            self.h
+        );
         (
             Rect::new(self.x0, self.y0, self.w, h_top),
             Rect::new(self.x0, self.y0 + h_top, self.w, self.h - h_top),
@@ -244,7 +256,11 @@ mod tests {
         assert!(!tiles_exactly(&whole, &overlap));
         let gap = [Rect::new(0, 0, 1, 4), Rect::new(2, 0, 2, 4)];
         assert!(!tiles_exactly(&whole, &gap));
-        let outside = [Rect::new(0, 0, 2, 4), Rect::new(2, 0, 2, 3), Rect::new(2, 3, 2, 2)];
+        let outside = [
+            Rect::new(0, 0, 2, 4),
+            Rect::new(2, 0, 2, 3),
+            Rect::new(2, 3, 2, 2),
+        ];
         assert!(!tiles_exactly(&whole, &outside));
     }
 }

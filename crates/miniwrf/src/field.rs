@@ -18,7 +18,11 @@ impl Field2D {
     /// A field filled with `value`.
     pub fn filled(nx: usize, ny: usize, value: f64) -> Self {
         assert!(nx > 0 && ny > 0, "empty field");
-        Field2D { nx, ny, data: vec![value; (nx + 2) * (ny + 2)] }
+        Field2D {
+            nx,
+            ny,
+            data: vec![value; (nx + 2) * (ny + 2)],
+        }
     }
 
     /// A zero field.

@@ -31,7 +31,7 @@ pub mod runtime;
 pub mod solver;
 
 pub use field::Field2D;
-pub use output::{HistoryWriter, OutputStats};
 pub use model::{NestState, NestedModel};
+pub use output::{HistoryWriter, OutputStats};
 pub use runtime::{run_iterations, PhaseTimings, ThreadStrategy};
 pub use solver::{Scheme, ShallowWater};

@@ -1,8 +1,8 @@
 //! The coupled parent-with-siblings model.
 
 use crate::nest::{
-    apply_boundary, feedback_to_parent, initialize_from_parent, interpolate_boundary,
-    BoundaryData, NestGeometry,
+    apply_boundary, feedback_to_parent, initialize_from_parent, interpolate_boundary, BoundaryData,
+    NestGeometry,
 };
 use crate::solver::{Boundary, ShallowWater};
 use serde::{Deserialize, Serialize};
@@ -37,7 +37,11 @@ impl NestedModel {
     /// from the parent and time-stepped at `dt_parent / r`.
     pub fn new(nx: usize, ny: usize, dx: f64, depth: f64, nest_geos: &[NestGeometry]) -> Self {
         let parent = ShallowWater::quiescent(nx, ny, dx, depth, Boundary::ZeroGradient);
-        let mut model = NestedModel { parent, nests: Vec::with_capacity(nest_geos.len()), iterations: 0 };
+        let mut model = NestedModel {
+            parent,
+            nests: Vec::with_capacity(nest_geos.len()),
+            iterations: 0,
+        };
         for geo in nest_geos {
             assert!(
                 geo.offset.0 + geo.nx.div_ceil(geo.ratio) <= nx
@@ -53,7 +57,11 @@ impl NestedModel {
             );
             solver.dt = model.parent.dt / geo.ratio as f64;
             initialize_from_parent(&model.parent, &mut solver, geo);
-            model.nests.push(NestState { geo: *geo, solver, children: Vec::new() });
+            model.nests.push(NestState {
+                geo: *geo,
+                solver,
+                children: Vec::new(),
+            });
         }
         model
     }
@@ -71,7 +79,10 @@ impl NestedModel {
     /// (after the parent step, before the nest solves — the
     /// "interpolated from the overlapping parent region" phase).
     pub fn boundaries(&self) -> Vec<BoundaryData> {
-        self.nests.iter().map(|n| interpolate_boundary(&self.parent, &n.geo)).collect()
+        self.nests
+            .iter()
+            .map(|n| interpolate_boundary(&self.parent, &n.geo))
+            .collect()
     }
 
     /// Spawns a second-level nest inside first-level nest `parent_idx`.
@@ -93,7 +104,11 @@ impl NestedModel {
         );
         solver.dt = host.solver.dt / geo.ratio as f64;
         initialize_from_parent(&host.solver, &mut solver, &geo);
-        host.children.push(NestState { geo, solver, children: Vec::new() });
+        host.children.push(NestState {
+            geo,
+            solver,
+            children: Vec::new(),
+        });
     }
 
     /// Solves one nest's `r` sub-steps given its boundary data, recursing
@@ -103,7 +118,9 @@ impl NestedModel {
         for _ in 0..nest.geo.ratio {
             apply_boundary(&mut nest.solver, bc);
             nest.solver.step();
-            let NestState { solver, children, .. } = nest;
+            let NestState {
+                solver, children, ..
+            } = nest;
             for child in children.iter_mut() {
                 let cbc = interpolate_boundary(solver, &child.geo);
                 for _ in 0..child.geo.ratio {
@@ -142,8 +159,18 @@ mod tests {
 
     fn two_sibling_model() -> NestedModel {
         let geos = [
-            NestGeometry { ratio: 3, offset: (4, 4), nx: 24, ny: 24 },
-            NestGeometry { ratio: 3, offset: (22, 22), nx: 24, ny: 24 },
+            NestGeometry {
+                ratio: 3,
+                offset: (4, 4),
+                nx: 24,
+                ny: 24,
+            },
+            NestGeometry {
+                ratio: 3,
+                offset: (22, 22),
+                nx: 24,
+                ny: 24,
+            },
         ];
         let mut m = NestedModel::new(40, 40, 3000.0, 100.0, &geos);
         m.add_depression(8.0, 8.0, -4.0, 2.5);
@@ -188,7 +215,10 @@ mod tests {
         let mut mean = 0.0;
         for fj in 0..3 {
             for fi in 0..3 {
-                mean += nest.solver.h.get((4 * 3 + fi) as isize, (4 * 3 + fj) as isize);
+                mean += nest
+                    .solver
+                    .h
+                    .get((4 * 3 + fi) as isize, (4 * 3 + fj) as isize);
             }
         }
         mean /= 9.0;
@@ -198,7 +228,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_oversized_nest() {
-        let geos = [NestGeometry { ratio: 3, offset: (35, 35), nx: 30, ny: 30 }];
+        let geos = [NestGeometry {
+            ratio: 3,
+            offset: (35, 35),
+            nx: 30,
+            ny: 30,
+        }];
         NestedModel::new(40, 40, 3000.0, 100.0, &geos);
     }
 }

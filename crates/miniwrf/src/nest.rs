@@ -36,7 +36,12 @@ impl NestGeometry {
 
     /// Footprint of the nest in whole parent cells `(i0, j0, w, h)`.
     pub fn parent_footprint(&self) -> (usize, usize, usize, usize) {
-        (self.offset.0, self.offset.1, self.nx.div_ceil(self.ratio), self.ny.div_ceil(self.ratio))
+        (
+            self.offset.0,
+            self.offset.1,
+            self.nx.div_ceil(self.ratio),
+            self.ny.div_ceil(self.ratio),
+        )
     }
 }
 
@@ -71,7 +76,13 @@ pub fn interpolate_boundary(parent: &ShallowWater, geo: &NestGeometry) -> Bounda
     let mut ring = Vec::with_capacity(2 * (nx + ny) as usize + 4);
     let push = |i: isize, j: isize, p: &ShallowWater, ring: &mut Vec<_>| {
         let (x, y) = geo.parent_coords(i, j);
-        ring.push((i, j, bilinear(&p.h, x, y), bilinear(&p.hu, x, y), bilinear(&p.hv, x, y)));
+        ring.push((
+            i,
+            j,
+            bilinear(&p.h, x, y),
+            bilinear(&p.hu, x, y),
+            bilinear(&p.hv, x, y),
+        ));
     };
     for i in -1..=nx {
         push(i, -1, parent, &mut ring);
@@ -155,7 +166,12 @@ mod tests {
     }
 
     fn geo() -> NestGeometry {
-        NestGeometry { ratio: 3, offset: (5, 5), nx: 18, ny: 18 }
+        NestGeometry {
+            ratio: 3,
+            offset: (5, 5),
+            nx: 18,
+            ny: 18,
+        }
     }
 
     #[test]
@@ -208,7 +224,12 @@ mod tests {
     #[test]
     fn feedback_averages_fine_cells() {
         let mut p = ShallowWater::quiescent(20, 20, 3000.0, 100.0, Boundary::ZeroGradient);
-        let g = NestGeometry { ratio: 2, offset: (3, 3), nx: 4, ny: 4 };
+        let g = NestGeometry {
+            ratio: 2,
+            offset: (3, 3),
+            nx: 4,
+            ny: 4,
+        };
         let mut nest = ShallowWater::quiescent(4, 4, 1500.0, 1.0, Boundary::External);
         // Fine cells of parent cell (3,3): values 1,2,3,4 → mean 2.5.
         nest.h.set(0, 0, 1.0);
@@ -225,7 +246,12 @@ mod tests {
         // feedback — values stay finite and near the rest depth.
         let mut p = ShallowWater::quiescent(30, 30, 3000.0, 100.0, Boundary::ZeroGradient);
         p.add_gaussian(15.0, 15.0, -5.0, 3.0);
-        let g = NestGeometry { ratio: 3, offset: (10, 10), nx: 30, ny: 30 };
+        let g = NestGeometry {
+            ratio: 3,
+            offset: (10, 10),
+            nx: 30,
+            ny: 30,
+        };
         let mut nest = ShallowWater::quiescent(30, 30, 1000.0, 100.0, Boundary::External);
         initialize_from_parent(&p, &mut nest, &g);
         for _ in 0..10 {

@@ -41,7 +41,11 @@ impl HistoryWriter {
     pub fn new(dir: impl AsRef<Path>, interval: u64) -> std::io::Result<Self> {
         assert!(interval >= 1);
         std::fs::create_dir_all(dir.as_ref())?;
-        Ok(HistoryWriter { dir: dir.as_ref().to_path_buf(), interval, stats: OutputStats::default() })
+        Ok(HistoryWriter {
+            dir: dir.as_ref().to_path_buf(),
+            interval,
+            stats: OutputStats::default(),
+        })
     }
 
     /// Writes a frame if the model's iteration count hits the interval.
@@ -73,7 +77,11 @@ impl HistoryWriter {
         let path = self.dir.join(format!("{name}.csv"));
         let file = std::fs::File::create(path)?;
         let mut w = std::io::BufWriter::new(file);
-        writeln!(w, "# nx={} ny={} dx={} dt={} steps={}", sw.nx, sw.ny, sw.dx, sw.dt, sw.steps)?;
+        writeln!(
+            w,
+            "# nx={} ny={} dx={} dt={} steps={}",
+            sw.nx, sw.ny, sw.dx, sw.dt, sw.steps
+        )?;
         writeln!(w, "i,j,h,hu,hv")?;
         let mut bytes = 0u64;
         for j in 0..sw.ny {
@@ -129,13 +137,19 @@ mod tests {
     use crate::nest::NestGeometry;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("nestwx_miniwrf_out_{tag}_{}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("nestwx_miniwrf_out_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
 
     fn small_model() -> NestedModel {
-        let geos = [NestGeometry { ratio: 3, offset: (3, 3), nx: 18, ny: 15 }];
+        let geos = [NestGeometry {
+            ratio: 3,
+            offset: (3, 3),
+            nx: 18,
+            ny: 15,
+        }];
         let mut m = NestedModel::new(24, 20, 3000.0, 100.0, &geos);
         m.add_depression(8.0, 8.0, -4.0, 2.0);
         m
@@ -184,7 +198,15 @@ mod tests {
         let dir = tmpdir("children");
         let mut w = HistoryWriter::new(&dir, 1).unwrap();
         let mut m = small_model();
-        m.add_child_nest(0, NestGeometry { ratio: 3, offset: (1, 1), nx: 9, ny: 9 });
+        m.add_child_nest(
+            0,
+            NestGeometry {
+                ratio: 3,
+                offset: (1, 1),
+                nx: 9,
+                ny: 9,
+            },
+        );
         m.step_coupled();
         w.maybe_write(&m).unwrap();
         assert!(dir.join("nest0_00001_c0.csv").exists());

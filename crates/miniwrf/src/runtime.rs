@@ -8,9 +8,9 @@
 //! precomputed boundary data, the two strategies produce *bitwise identical*
 //! states — only wall-clock time differs.
 
+use crate::field::Field2D;
 use crate::model::{NestState, NestedModel};
 use crate::solver::{RowBand, ShallowWater};
-use crate::field::Field2D;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -90,7 +90,11 @@ pub fn run_iterations(
 ) -> PhaseTimings {
     assert!(iterations > 0 && total_threads > 0);
     if let ThreadStrategy::Concurrent { allocation } = strategy {
-        assert_eq!(allocation.len(), model.nests.len(), "one thread count per sibling");
+        assert_eq!(
+            allocation.len(),
+            model.nests.len(),
+            "one thread count per sibling"
+        );
         assert!(allocation.iter().all(|&t| t > 0));
     }
     let mut parent_t = Duration::ZERO;
@@ -128,7 +132,10 @@ pub fn run_iterations(
                             })
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("sibling thread panicked")).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("sibling thread panicked"))
+                        .collect()
                 });
                 for (acc, t) in per_sibling.iter_mut().zip(timings) {
                     *acc += t;
@@ -156,7 +163,9 @@ fn solve_nest_threaded(nest: &mut NestState, bc: &crate::nest::BoundaryData, thr
     for _ in 0..nest.geo.ratio {
         crate::nest::apply_boundary(&mut nest.solver, bc);
         step_parallel(&mut nest.solver, threads);
-        let NestState { solver, children, .. } = nest;
+        let NestState {
+            solver, children, ..
+        } = nest;
         for child in children.iter_mut() {
             let cbc = crate::nest::interpolate_boundary(solver, &child.geo);
             for _ in 0..child.geo.ratio {
@@ -175,8 +184,18 @@ mod tests {
 
     fn model() -> NestedModel {
         let geos = [
-            NestGeometry { ratio: 3, offset: (4, 4), nx: 30, ny: 30 },
-            NestGeometry { ratio: 3, offset: (24, 24), nx: 30, ny: 30 },
+            NestGeometry {
+                ratio: 3,
+                offset: (4, 4),
+                nx: 30,
+                ny: 30,
+            },
+            NestGeometry {
+                ratio: 3,
+                offset: (24, 24),
+                nx: 30,
+                ny: 30,
+            },
         ];
         let mut m = NestedModel::new(44, 44, 3000.0, 100.0, &geos);
         m.add_depression(9.0, 9.0, -4.0, 2.5);
@@ -208,7 +227,9 @@ mod tests {
             &mut conc,
             5,
             4,
-            &ThreadStrategy::Concurrent { allocation: vec![2, 2] },
+            &ThreadStrategy::Concurrent {
+                allocation: vec![2, 2],
+            },
         );
         assert_eq!(seq.parent.h, conc.parent.h);
         for (a, b) in seq.nests.iter().zip(&conc.nests) {
@@ -245,15 +266,38 @@ mod tests {
     #[should_panic]
     fn concurrent_requires_allocation_per_sibling() {
         let mut m = model();
-        run_iterations(&mut m, 1, 2, &ThreadStrategy::Concurrent { allocation: vec![2] });
+        run_iterations(
+            &mut m,
+            1,
+            2,
+            &ThreadStrategy::Concurrent {
+                allocation: vec![2],
+            },
+        );
     }
 
     #[test]
     fn second_level_nests_bitwise_stable_across_strategies() {
         let build = || {
             let mut m = model();
-            m.add_child_nest(0, NestGeometry { ratio: 3, offset: (4, 4), nx: 24, ny: 21 });
-            m.add_child_nest(1, NestGeometry { ratio: 3, offset: (6, 6), nx: 18, ny: 18 });
+            m.add_child_nest(
+                0,
+                NestGeometry {
+                    ratio: 3,
+                    offset: (4, 4),
+                    nx: 24,
+                    ny: 21,
+                },
+            );
+            m.add_child_nest(
+                1,
+                NestGeometry {
+                    ratio: 3,
+                    offset: (6, 6),
+                    nx: 18,
+                    ny: 18,
+                },
+            );
             m
         };
         let mut reference = build();
@@ -263,7 +307,14 @@ mod tests {
         let mut seq = build();
         run_iterations(&mut seq, 3, 3, &ThreadStrategy::Sequential);
         let mut conc = build();
-        run_iterations(&mut conc, 3, 3, &ThreadStrategy::Concurrent { allocation: vec![2, 1] });
+        run_iterations(
+            &mut conc,
+            3,
+            3,
+            &ThreadStrategy::Concurrent {
+                allocation: vec![2, 1],
+            },
+        );
         assert_eq!(reference.parent.h, seq.parent.h);
         assert_eq!(seq.parent.h, conc.parent.h);
         for (a, b) in seq.nests.iter().zip(&conc.nests) {

@@ -354,7 +354,12 @@ pub struct RowBand {
 impl RowBand {
     /// A zeroed band of `rows × width`.
     pub fn new(width: usize, rows: usize) -> Self {
-        RowBand { width, h: vec![0.0; width * rows], hu: vec![0.0; width * rows], hv: vec![0.0; width * rows] }
+        RowBand {
+            width,
+            h: vec![0.0; width * rows],
+            hu: vec![0.0; width * rows],
+            hv: vec![0.0; width * rows],
+        }
     }
 }
 
@@ -451,8 +456,8 @@ mod tests {
     fn coriolis_rotation_preserves_momentum_magnitude() {
         // The split rotation is exact: |(hu, hv)| unchanged by the source
         // step (checked on a uniform-flow state where fluxes are constant).
-        let mut sw = ShallowWater::quiescent(16, 16, 1000.0, 100.0, Boundary::Periodic)
-            .with_coriolis(2e-4);
+        let mut sw =
+            ShallowWater::quiescent(16, 16, 1000.0, 100.0, Boundary::Periodic).with_coriolis(2e-4);
         for j in 0..16 {
             for i in 0..16 {
                 sw.hu.set(i, j, 300.0);
@@ -463,7 +468,10 @@ mod tests {
         sw.step();
         let (hu, hv) = (sw.hu.get(8, 8), sw.hv.get(8, 8));
         let mag1 = (hu * hu + hv * hv).sqrt();
-        assert!((mag1 - mag0).abs() / mag0 < 1e-9, "momentum magnitude drifted: {mag0} → {mag1}");
+        assert!(
+            (mag1 - mag0).abs() / mag0 < 1e-9,
+            "momentum magnitude drifted: {mag0} → {mag1}"
+        );
         // And the vector actually rotated.
         assert!((hu - 300.0).abs() > 1e-6);
     }

@@ -48,7 +48,9 @@ fn rms_error(coarse: &ShallowWater, fine: &ShallowWater) -> f64 {
             let mut mean = 0.0;
             for fj in 0..ratio {
                 for fi in 0..ratio {
-                    mean += fine.h.get((i * ratio + fi) as isize, (j * ratio + fj) as isize);
+                    mean += fine
+                        .h
+                        .get((i * ratio + fi) as isize, (j * ratio + fj) as isize);
                 }
             }
             mean /= (ratio * ratio) as f64;
@@ -74,7 +76,10 @@ fn convergence_rate(scheme: Scheme) -> f64 {
 fn lax_friedrichs_is_first_order() {
     let rate = convergence_rate(Scheme::LaxFriedrichs);
     // First order: error halves per refinement (rate ≈ 2).
-    assert!(rate > 1.6 && rate < 2.9, "LF convergence ratio {rate:.2} not ≈ 2");
+    assert!(
+        rate > 1.6 && rate < 2.9,
+        "LF convergence ratio {rate:.2} not ≈ 2"
+    );
 }
 
 #[test]
@@ -101,5 +106,8 @@ fn schemes_agree_in_the_refinement_limit() {
     let dist = (sum / (128.0 * 128.0)).sqrt();
     let fine = run(256, Scheme::LaxFriedrichs, t_end);
     let coarse_err = rms_error(&run(32, Scheme::LaxFriedrichs, t_end), &fine);
-    assert!(dist < coarse_err, "schemes diverge: {dist:.2e} vs coarse error {coarse_err:.2e}");
+    assert!(
+        dist < coarse_err,
+        "schemes diverge: {dist:.2e} vs coarse error {coarse_err:.2e}"
+    );
 }

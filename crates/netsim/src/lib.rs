@@ -33,9 +33,10 @@
 pub mod io;
 pub mod machine;
 pub mod network;
+mod schedule;
 pub mod sim;
 
 pub use io::{IoMode, IoParams};
 pub use machine::{ComputeParams, Machine, NetworkParams};
 pub use network::Network;
-pub use sim::{ExecStrategy, IterationTrace, SimReport, Simulation};
+pub use sim::{ExecStrategy, HaloEngine, IterationTrace, SimReport, Simulation};

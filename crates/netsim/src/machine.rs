@@ -64,7 +64,8 @@ impl ComputeParams {
 /// Deterministic hash of (rank, step) to a uniform value in `[-1, 1]`
 /// (splitmix64 finaliser).
 pub fn unit_hash(rank: u32, step: u64) -> f64 {
-    let mut z = (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ step.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut z = (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ step.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -134,7 +135,10 @@ impl Machine {
     /// partition of `2 × ranks` cores; messaging overheads drop because the
     /// offload core handles the network stack.
     pub fn bgl_co(ranks: u32) -> Machine {
-        assert!(ranks >= 8 && ranks.is_power_of_two(), "BG/L CO partition of {ranks} nodes");
+        assert!(
+            ranks >= 8 && ranks.is_power_of_two(),
+            "BG/L CO partition of {ranks} nodes"
+        );
         let mut m = Machine::bgl(ranks * 2);
         m.name = format!("BG/L-CO({ranks})");
         m.shape.cores_per_node = 1;
@@ -147,11 +151,17 @@ impl Machine {
 
     /// Blue Gene/L with `cores` ranks (power of two, ≥ 16), VN mode.
     pub fn bgl(cores: u32) -> Machine {
-        assert!(cores >= 16 && cores.is_power_of_two(), "BG/L partition of {cores} cores");
+        assert!(
+            cores >= 16 && cores.is_power_of_two(),
+            "BG/L partition of {cores} cores"
+        );
         let nodes = cores / 2;
         Machine {
             name: format!("BG/L({cores})"),
-            shape: MachineShape { torus: bg_torus(nodes), cores_per_node: 2 },
+            shape: MachineShape {
+                torus: bg_torus(nodes),
+                cores_per_node: 2,
+            },
             compute: ComputeParams {
                 // 700 MHz PPC440: WRF sustains ≈ 40 kflop/point/step at
                 // ≈ 0.13 Gflop/s effective. Calibrated against Fig. 9's
@@ -181,7 +191,10 @@ impl Machine {
     /// "one process per node with up to four threads"); the per-rank patch
     /// is large but all node memory and links serve it.
     pub fn bgp_smp(ranks: u32) -> Machine {
-        assert!(ranks >= 16 && ranks.is_power_of_two(), "BG/P SMP partition of {ranks} nodes");
+        assert!(
+            ranks >= 16 && ranks.is_power_of_two(),
+            "BG/P SMP partition of {ranks} nodes"
+        );
         let mut m = Machine::bgp(ranks * 4);
         m.name = format!("BG/P-SMP({ranks})");
         m.shape.cores_per_node = 1;
@@ -193,7 +206,10 @@ impl Machine {
 
     /// Blue Gene/P in Dual mode: two ranks per node, two threads each.
     pub fn bgp_dual(ranks: u32) -> Machine {
-        assert!(ranks >= 32 && ranks.is_power_of_two(), "BG/P Dual partition of {ranks} ranks");
+        assert!(
+            ranks >= 32 && ranks.is_power_of_two(),
+            "BG/P Dual partition of {ranks} ranks"
+        );
         let mut m = Machine::bgp(ranks * 2);
         m.name = format!("BG/P-Dual({ranks})");
         m.shape.cores_per_node = 2;
@@ -205,11 +221,17 @@ impl Machine {
     /// Blue Gene/P in virtual-node mode with `cores` ranks (power of two,
     /// ≥ 64, up to 8192 in the paper), §4.2.2.
     pub fn bgp(cores: u32) -> Machine {
-        assert!(cores >= 64 && cores.is_power_of_two(), "BG/P partition of {cores} cores");
+        assert!(
+            cores >= 64 && cores.is_power_of_two(),
+            "BG/P partition of {cores} cores"
+        );
         let nodes = cores / 4;
         Machine {
             name: format!("BG/P({cores})"),
-            shape: MachineShape { torus: bg_torus(nodes), cores_per_node: 4 },
+            shape: MachineShape {
+                torus: bg_torus(nodes),
+                cores_per_node: 4,
+            },
             compute: ComputeParams {
                 // 850 MHz PPC450, deeper pipelines: ≈ 1.5× BG/L per core.
                 time_per_point: 200e-6,
@@ -306,7 +328,10 @@ mod tests {
         };
         let t_big = c.step_time(40, 40); // (48)² = 2304
         let t_half = c.step_time(20, 20); // (28)² = 784
-        assert!(t_half > t_big / 4.0 * 1.3, "fringe must make scaling sub-linear");
+        assert!(
+            t_half > t_big / 4.0 * 1.3,
+            "fringe must make scaling sub-linear"
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub struct Network {
     torus: Torus,
     params: NetworkParams,
     busy_until: Vec<f64>,
+    /// Reusable route buffer for [`Network::transfer`].
+    route_scratch: Vec<u32>,
     /// Total messages transferred.
     pub messages: u64,
     /// Aggregate transfers (a transfer batches many messages).
@@ -34,6 +36,7 @@ impl Network {
             torus,
             params,
             busy_until: vec![0.0; torus.num_links() as usize],
+            route_scratch: Vec::new(),
             messages: 0,
             transfers: 0,
             bytes: 0.0,
@@ -60,17 +63,47 @@ impl Network {
     /// (sender-side software overhead already paid by the caller).
     /// Returns the time the payload is available at the receiver
     /// (receiver-side overhead included).
-    pub fn transfer(&mut self, from: NodeCoord, to: NodeCoord, bytes: f64, msgs: u32, inject: f64) -> f64 {
-        self.messages += msgs as u64;
-        self.transfers += 1;
-        self.bytes += bytes;
+    pub fn transfer(
+        &mut self,
+        from: NodeCoord,
+        to: NodeCoord,
+        bytes: f64,
+        msgs: u32,
+        inject: f64,
+    ) -> f64 {
         if from == to {
+            self.messages += msgs as u64;
+            self.transfers += 1;
+            self.bytes += bytes;
             // Intra-node: memory copy.
             return inject + bytes / self.params.mem_bw + self.params.recv_overhead * msgs as f64;
         }
-        let route = self.torus.route(from, to);
-        let nhops = route.len();
-        self.hops += nhops as u64;
+        let mut route = std::mem::take(&mut self.route_scratch);
+        self.torus.route_into(from, to, &mut route);
+        let t = self.transfer_routed(&route, false, bytes, msgs, inject);
+        self.route_scratch = route;
+        t
+    }
+
+    /// [`Network::transfer`] over a route computed ahead of time (e.g. from
+    /// a compiled halo schedule). `intra` marks an intra-node copy, for
+    /// which `route` must be empty.
+    pub fn transfer_routed(
+        &mut self,
+        route: &[u32],
+        intra: bool,
+        bytes: f64,
+        msgs: u32,
+        inject: f64,
+    ) -> f64 {
+        self.messages += msgs as u64;
+        self.transfers += 1;
+        self.bytes += bytes;
+        if intra {
+            debug_assert!(route.is_empty());
+            return inject + bytes / self.params.mem_bw + self.params.recv_overhead * msgs as f64;
+        }
+        self.hops += route.len() as u64;
         // Per-hop queuing: the head of the message advances link by link,
         // waiting out each link's current occupancy; each link is then held
         // for the serialisation time. (Cut-through per hop: downstream
@@ -78,12 +111,45 @@ impl Network {
         // convoys stay local.)
         let ser = bytes / self.params.link_bw;
         let mut head = inject;
-        for &l in &route {
+        for &l in route {
             let start = head.max(self.busy_until[l as usize]);
             self.busy_until[l as usize] = start + ser;
             head = start + self.params.hop_latency;
         }
         head + ser + self.params.recv_overhead * msgs as f64
+    }
+
+    /// [`Network::transfer_routed`] with the per-transfer arithmetic hoisted
+    /// to compile time: `cost` is the serialisation time `bytes / link_bw`
+    /// (or the memory-copy time `bytes / mem_bw` when `intra`), `recv_cost`
+    /// is `recv_overhead * msgs`. Produces bitwise-identical times — the
+    /// precomputed values come from the same expressions.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn transfer_compiled(
+        &mut self,
+        route: &[u32],
+        intra: bool,
+        bytes: f64,
+        cost: f64,
+        msgs: u32,
+        recv_cost: f64,
+        inject: f64,
+    ) -> f64 {
+        self.messages += msgs as u64;
+        self.transfers += 1;
+        self.bytes += bytes;
+        if intra {
+            debug_assert!(route.is_empty());
+            return inject + cost + recv_cost;
+        }
+        self.hops += route.len() as u64;
+        let mut head = inject;
+        for &l in route {
+            let start = head.max(self.busy_until[l as usize]);
+            self.busy_until[l as usize] = start + cost;
+            head = start + self.params.hop_latency;
+        }
+        head + cost + recv_cost
     }
 
     /// Average hops per point-to-point transfer so far — the paper's
@@ -145,8 +211,20 @@ mod tests {
     #[test]
     fn disjoint_routes_do_not_interfere() {
         let mut net = Network::new(Torus::new(4, 4, 4), params());
-        let t1 = net.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(1, 0, 0), 1e6, 1, 0.0);
-        let t2 = net.transfer(NodeCoord::new(0, 2, 2), NodeCoord::new(1, 2, 2), 1e6, 1, 0.0);
+        let t1 = net.transfer(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 0, 0),
+            1e6,
+            1,
+            0.0,
+        );
+        let t2 = net.transfer(
+            NodeCoord::new(0, 2, 2),
+            NodeCoord::new(1, 2, 2),
+            1e6,
+            1,
+            0.0,
+        );
         assert!((t1 - t2).abs() < 1e-12);
     }
 
@@ -155,24 +233,78 @@ mod tests {
         // A far pair crossing a loaded region is delayed; a near pair not.
         let mut net = Network::new(Torus::new(8, 1, 1), params());
         // Load the link 2→3.
-        net.transfer(NodeCoord::new(2, 0, 0), NodeCoord::new(3, 0, 0), 8e6, 1, 0.0);
-        let far = net.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(4, 0, 0), 1e6, 1, 0.0);
+        net.transfer(
+            NodeCoord::new(2, 0, 0),
+            NodeCoord::new(3, 0, 0),
+            8e6,
+            1,
+            0.0,
+        );
+        let far = net.transfer(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(4, 0, 0),
+            1e6,
+            1,
+            0.0,
+        );
         let mut quiet = Network::new(Torus::new(8, 1, 1), params());
-        let far_quiet = quiet.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(4, 0, 0), 1e6, 1, 0.0);
+        let far_quiet = quiet.transfer(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(4, 0, 0),
+            1e6,
+            1,
+            0.0,
+        );
         assert!(far > far_quiet);
+    }
+
+    #[test]
+    fn transfer_routed_matches_transfer() {
+        let torus = Torus::new(4, 4, 4);
+        let mut a = Network::new(torus, params());
+        let mut b = Network::new(torus, params());
+        let pairs = [
+            (NodeCoord::new(0, 0, 0), NodeCoord::new(2, 3, 1)),
+            (NodeCoord::new(0, 0, 0), NodeCoord::new(2, 3, 1)), // contended repeat
+            (NodeCoord::new(1, 1, 1), NodeCoord::new(1, 1, 1)), // intra-node
+            (NodeCoord::new(3, 0, 2), NodeCoord::new(0, 1, 2)),
+        ];
+        for (i, &(from, to)) in pairs.iter().enumerate() {
+            let bytes = 1e5 * (i + 1) as f64;
+            let inject = 1e-4 * i as f64;
+            let t_ref = a.transfer(from, to, bytes, 3, inject);
+            let route = torus.route(from, to);
+            let t_pre = b.transfer_routed(&route, from == to, bytes, 3, inject);
+            assert_eq!(t_ref, t_pre);
+        }
+        assert_eq!(a.hops, b.hops);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
     }
 
     #[test]
     fn reset_clears_state() {
         let mut net = Network::new(Torus::new(4, 4, 4), params());
-        net.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(2, 2, 2), 1e6, 3, 0.0);
+        net.transfer(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(2, 2, 2),
+            1e6,
+            3,
+            0.0,
+        );
         assert_eq!(net.transfers, 1);
         assert_eq!(net.messages, 3);
         net.reset();
         assert_eq!(net.messages, 0);
         assert_eq!(net.transfers, 0);
         assert_eq!(net.avg_hops(), 0.0);
-        let t = net.transfer(NodeCoord::new(0, 0, 0), NodeCoord::new(1, 0, 0), 1e6, 1, 0.0);
+        let t = net.transfer(
+            NodeCoord::new(0, 0, 0),
+            NodeCoord::new(1, 0, 0),
+            1e6,
+            1,
+            0.0,
+        );
         assert!(t < 0.011);
     }
 }

@@ -1,0 +1,369 @@
+//! Compiled halo-step schedules: the compile-once, simulate-many hot path.
+//!
+//! [`crate::sim::Simulation`] used to rebuild the per-domain decomposition,
+//! neighbour lists and torus routes on *every* halo step. All of that is a
+//! pure function of the (machine, grid, mapping, domain list), so it is
+//! hoisted here into flat [`CompiledStep`] tables built once per simulation:
+//! one entry per sending rank (with its precomputed mean compute time) and
+//! one entry per halo message (destination, payload bytes, and a slice into
+//! a shared arena of precomputed torus-route link ids).
+//!
+//! [`run_compiled_step`] then replays a table without allocating: injection
+//! times are packed into integer sort keys (positive finite `f64` bits are
+//! order-isomorphic to `u64`), the pending-message and receive-time buffers
+//! live in a reusable [`StepScratch`], and transfers go through
+//! [`Network::transfer_routed`] with the precomputed routes.
+//!
+//! The replay is **bitwise identical** to the reference implementation
+//! (`Simulation::halo_step_multi` with `HaloEngine::Reference`): the same
+//! float expressions run in the same order, and the sort reproduces the
+//! reference's stable `(inject, from, to)` ordering exactly. The
+//! `(from, to)` tie-break is a pure function of the schedule, so it is
+//! precomputed as a per-message *tie rank* and the hot sort handles only
+//! 16-byte `(inject bits, tie rank)` pairs. The `tests/equivalence.rs`
+//! suite enforces the bitwise guarantee.
+
+use crate::machine::{unit_hash, Machine};
+use crate::network::Network;
+use nestwx_grid::{Decomposition, ProcGrid, Rect};
+use nestwx_topo::Mapping;
+
+/// One halo message of a compiled step: everything the network transfer
+/// needs except the injection time, which depends on run state.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledMsg {
+    /// Destination global rank.
+    pub to: u32,
+    /// Payload bytes.
+    pub bytes: f64,
+    /// Precomputed transfer cost: per-link serialisation time
+    /// (`bytes / link_bw`), or the memory-copy time (`bytes / mem_bw`)
+    /// when intra-node.
+    pub cost: f64,
+    /// `[start, end)` range into the step's link arena (empty when
+    /// intra-node).
+    pub links: (u32, u32),
+    /// Sender and receiver share a node: memory copy, no links.
+    pub intra: bool,
+}
+
+/// One sending rank of a compiled step. Its messages are contiguous in the
+/// step's message table, in the reference neighbour order (W, E, N, S).
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledSender {
+    /// Global rank.
+    pub g: u32,
+    /// Mean compute seconds of this rank's patch (`ComputeParams::step_time`
+    /// of the patch dimensions); the deterministic jitter factor is applied
+    /// at replay time because it depends on the step counter.
+    pub step_time: f64,
+    /// Messages this sender posts.
+    pub n_msgs: u32,
+}
+
+/// A compiled multi-domain halo step, replayable without allocation.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledStep {
+    /// The `(nx, ny, region)` domain list this step was compiled from. Used
+    /// as the interning key and replayed verbatim by the reference engine.
+    pub domains: Vec<(u32, u32, Rect)>,
+    /// Senders in reference order: per domain, per rank row-major within the
+    /// domain's active region.
+    pub senders: Vec<CompiledSender>,
+    /// Messages stored in *tie order* — sorted by `(from, to)` — so the
+    /// post-sort replay loop indexes them directly by tie rank.
+    pub msgs: Vec<CompiledMsg>,
+    /// Push-order message index → its tie rank (its position in `msgs`).
+    /// Breaks injection-time ties exactly as the reference's stable
+    /// `(inject, from, to)` sort (no `(from, to)` pair repeats in a step).
+    pub tie_rank: Vec<u32>,
+    /// Arena of precomputed dimension-ordered route link ids.
+    pub links: Vec<u32>,
+}
+
+impl CompiledStep {
+    /// Compiles the halo step of `domains` — each an `nx × ny` domain
+    /// decomposed over a processor-grid rectangle — mirroring the reference
+    /// implementation's traversal order exactly.
+    pub fn compile(
+        domains: &[(u32, u32, Rect)],
+        machine: &Machine,
+        grid: &ProcGrid,
+        mapping: &Mapping,
+    ) -> CompiledStep {
+        let halo = machine.halo;
+        let torus = mapping.shape.torus;
+        let mut senders = Vec::new();
+        let mut msgs = Vec::new();
+        let mut links: Vec<u32> = Vec::new();
+        // `(from << 32) | to` per message, for the tie-rank ordering.
+        let mut endpoints: Vec<u64> = Vec::new();
+
+        for &(nx, ny, region) in domains {
+            // Domains smaller than the region use only the leading ranks.
+            let px = region.w.min(nx);
+            let py = region.h.min(ny);
+            let active = Rect::new(region.x0, region.y0, px, py);
+            let sub = ProcGrid::new(px, py);
+            let decomp = Decomposition::new(nx, ny, sub);
+            let global_ranks = grid.ranks_in(&active);
+
+            for (local, &g) in global_ranks.iter().enumerate() {
+                let patch = decomp.patch(local as u32);
+                let local_coords = sub.coords_of(local as u32);
+                let neighbors =
+                    sub.neighbors_within(sub.rank_of(local_coords.0, local_coords.1), &sub.rect());
+                let mut n_msgs = 0u32;
+                for nb_local in neighbors.into_iter().flatten() {
+                    let (nx_l, ny_l) = sub.coords_of(nb_local);
+                    let to_g = grid.rank_of(active.x0 + nx_l, active.y0 + ny_l);
+                    // Edge length: vertical neighbours exchange rows (patch
+                    // width), horizontal ones exchange columns (patch
+                    // height).
+                    let same_row = ny_l == local_coords.1;
+                    let edge = if same_row {
+                        patch.region.h
+                    } else {
+                        patch.region.w
+                    };
+                    let bytes = halo.edge_bytes(edge) as f64;
+                    let from_node = mapping.node_coord(g);
+                    let to_node = mapping.node_coord(to_g);
+                    let intra = from_node == to_node;
+                    let start = links.len() as u32;
+                    if !intra {
+                        links.extend(torus.route(from_node, to_node));
+                    }
+                    let cost = if intra {
+                        bytes / machine.net.mem_bw
+                    } else {
+                        bytes / machine.net.link_bw
+                    };
+                    msgs.push(CompiledMsg {
+                        to: to_g,
+                        bytes,
+                        cost,
+                        links: (start, links.len() as u32),
+                        intra,
+                    });
+                    endpoints.push(((g as u64) << 32) | to_g as u64);
+                    n_msgs += 1;
+                }
+                senders.push(CompiledSender {
+                    g,
+                    step_time: machine.compute.step_time(patch.region.w, patch.region.h),
+                    n_msgs,
+                });
+            }
+        }
+        // Tie ranks: the position each message takes among all messages
+        // sorted by `(from, to)`. These pairs are unique within a step
+        // (each neighbour is messaged once), so the ordering is total.
+        let mut by_tie: Vec<u32> = (0..msgs.len() as u32).collect();
+        by_tie.sort_unstable_by_key(|&mi| endpoints[mi as usize]);
+        let mut tie_rank = vec![0u32; msgs.len()];
+        for (rank, &mi) in by_tie.iter().enumerate() {
+            tie_rank[mi as usize] = rank as u32;
+        }
+        let msgs_by_tie = by_tie.iter().map(|&mi| msgs[mi as usize].clone()).collect();
+        CompiledStep {
+            domains: domains.to_vec(),
+            senders,
+            msgs: msgs_by_tie,
+            tie_rank,
+            links,
+        }
+    }
+}
+
+/// Reusable buffers for [`run_compiled_step`].
+#[derive(Debug, Clone)]
+pub(crate) struct StepScratch {
+    /// `(injection-time bits, tie rank)` per pending message; sorting these
+    /// 16-byte pairs reproduces the reference's stable
+    /// `(inject, from, to)` message order (see [`CompiledStep::tie_rank`]).
+    pending: Vec<(u64, u32)>,
+    /// Ping-pong buffer for the radix passes.
+    pending_tmp: Vec<(u64, u32)>,
+    /// Send-completion time per sender, in sender order.
+    send_done: Vec<f64>,
+    /// Latest halo arrival per global rank.
+    recv_latest: Vec<f64>,
+}
+
+impl StepScratch {
+    /// Scratch for a simulation over `nranks` global ranks.
+    pub fn new(nranks: usize) -> StepScratch {
+        StepScratch {
+            pending: Vec::new(),
+            pending_tmp: Vec::new(),
+            send_done: Vec::new(),
+            recv_latest: vec![0.0; nranks],
+        }
+    }
+}
+
+/// Replays a compiled halo step: per-rank compute (with the deterministic
+/// per-(rank, step) jitter), message injection in the reference's stable
+/// `(inject, from, to)` order through the contended network, then the
+/// receive-wait completion pass updating `ready` and `mpi_wait`.
+pub(crate) fn run_compiled_step(
+    cs: &CompiledStep,
+    machine: &Machine,
+    net: &mut Network,
+    ready: &mut [f64],
+    mpi_wait: &mut [f64],
+    scratch: &mut StepScratch,
+    step: u64,
+) {
+    let mpn = machine.halo.messages_per_neighbor();
+    let send_ovh = mpn as f64 * machine.net.send_overhead;
+    let recv_cost = machine.net.recv_overhead * mpn as f64;
+    let jitter = machine.compute.jitter;
+
+    // Injection times in push order, scattered into tie-rank slots so the
+    // buffer starts in (from, to) order — the stable radix sort then
+    // resolves equal times exactly like the reference's stable sort.
+    scratch.pending.resize(cs.msgs.len(), (0, 0));
+    scratch.send_done.clear();
+    let mut mi = 0usize;
+    for s in &cs.senders {
+        let t_comp = ready[s.g as usize] + s.step_time * (1.0 + jitter * unit_hash(s.g, step));
+        let mut t_send = t_comp;
+        for _ in 0..s.n_msgs {
+            t_send += send_ovh;
+            // Injection times are sums of positive terms, so their bit
+            // patterns sort like the values themselves.
+            let tie = cs.tie_rank[mi];
+            scratch.pending[tie as usize] = (t_send.to_bits(), tie);
+            mi += 1;
+        }
+        scratch.send_done.push(t_send);
+    }
+    debug_assert_eq!(mi, cs.msgs.len());
+
+    sort_pending(&mut scratch.pending, &mut scratch.pending_tmp);
+    scratch.recv_latest.fill(0.0);
+    for &(bits, tie) in scratch.pending.iter() {
+        let m = &cs.msgs[tie as usize];
+        let inject = f64::from_bits(bits);
+        let route = &cs.links[m.links.0 as usize..m.links.1 as usize];
+        let arrive = net.transfer_compiled(route, m.intra, m.bytes, m.cost, mpn, recv_cost, inject);
+        let slot = m.to as usize;
+        if arrive > scratch.recv_latest[slot] {
+            scratch.recv_latest[slot] = arrive;
+        }
+    }
+
+    for (s, &send_done) in cs.senders.iter().zip(&scratch.send_done) {
+        let done = send_done.max(scratch.recv_latest[s.g as usize]);
+        mpi_wait[s.g as usize] += done - send_done;
+        ready[s.g as usize] = done;
+    }
+}
+
+/// Sorts pending messages by injection-time bits, preserving the incoming
+/// tie order on equal keys (the buffer enters in `(from, to)` order, so
+/// the result matches the reference's stable `(inject, from, to)` sort).
+///
+/// Stable LSD radix sort over only the key bytes that actually differ —
+/// within one step the injection times share sign, exponent and leading
+/// mantissa bits, so typically fewer than half of the eight passes run.
+fn sort_pending(pending: &mut Vec<(u64, u32)>, tmp: &mut Vec<(u64, u32)>) {
+    let n = pending.len();
+    if n <= 1 {
+        return;
+    }
+    let mut all_or = 0u64;
+    let mut all_and = !0u64;
+    for &(k, _) in pending.iter() {
+        all_or |= k;
+        all_and &= k;
+    }
+    let differing = all_or ^ all_and;
+    if differing == 0 {
+        // All keys equal: the tie order already in the buffer is final.
+        return;
+    }
+    if n < 128 {
+        // Comparison sort wins on small steps. The full (key, tie) order
+        // equals stable-by-key from any initial order because tie ranks
+        // are unique.
+        pending.sort_unstable();
+        return;
+    }
+    tmp.resize(n, (0, 0));
+    let mut hist = [0u32; 256];
+    for byte in 0..8 {
+        let shift = byte * 8;
+        if (differing >> shift) & 0xff == 0 {
+            continue;
+        }
+        hist.fill(0);
+        for &(k, _) in pending.iter() {
+            hist[((k >> shift) & 0xff) as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for h in hist.iter_mut() {
+            let count = *h;
+            *h = sum;
+            sum += count;
+        }
+        for &e in pending.iter() {
+            let b = ((e.0 >> shift) & 0xff) as usize;
+            tmp[hist[b] as usize] = e;
+            hist[b] += 1;
+        }
+        std::mem::swap(pending, tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: full stable sort by (key, original position).
+    fn sorted_by_oracle(input: &[(u64, u32)]) -> Vec<(u64, u32)> {
+        let mut v = input.to_vec();
+        v.sort_by_key(|&(k, t)| (k, t));
+        v
+    }
+
+    #[test]
+    fn sort_pending_matches_stable_sort() {
+        // Deterministic pseudo-random keys with clustered high bytes (the
+        // shape real injection times have) and some exact duplicates.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [0usize, 1, 2, 100, 127, 128, 500, 4096] {
+            let mut input: Vec<(u64, u32)> = (0..n)
+                .map(|tie| {
+                    let base = 0x3fe0_0000_0000_0000u64;
+                    let key = if tie % 7 == 0 {
+                        base
+                    } else {
+                        base | (next() & 0xffff_ffff)
+                    };
+                    (key, tie as u32)
+                })
+                .collect();
+            let expect = sorted_by_oracle(&input);
+            let mut tmp = Vec::new();
+            sort_pending(&mut input, &mut tmp);
+            assert_eq!(input, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sort_pending_keeps_tie_order_on_equal_keys() {
+        let mut input: Vec<(u64, u32)> = (0..300).map(|tie| (42u64, tie)).collect();
+        let mut tmp = Vec::new();
+        sort_pending(&mut input, &mut tmp);
+        assert!(input.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+}

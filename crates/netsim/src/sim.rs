@@ -16,14 +16,24 @@
 //! through the contended [`Network`]; waits (receive waits plus
 //! synchronisation waits) accumulate into the MPI_Wait statistic the paper
 //! reports in Table 1 and Figs. 11–12.
+//!
+//! Everything that is a pure function of the configuration — decompositions,
+//! neighbour tables, torus routes, sub-communicator rank lists, donor and
+//! feedback-release sets, interpolation/feedback costs — is compiled once in
+//! [`Simulation::new`] (see [`crate::schedule`]), so the per-step hot path
+//! allocates nothing. The original rebuild-every-step implementation is kept
+//! as [`HaloEngine::Reference`], the oracle the equivalence tests compare
+//! against: both engines produce bitwise-identical [`SimReport`]s.
 
 use crate::io::IoMode;
 use crate::machine::Machine;
 use crate::network::Network;
+use crate::schedule::{run_compiled_step, CompiledStep, StepScratch};
 use nestwx_grid::{Decomposition, NestedConfig, ProcGrid, Rect};
 use nestwx_topo::Mapping;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// How the sibling nests are executed.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,6 +46,17 @@ pub enum ExecStrategy {
         /// One processor-grid rectangle per nest, in nest order.
         partitions: Vec<Rect>,
     },
+}
+
+/// Which halo-exchange implementation [`Simulation`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HaloEngine {
+    /// Replay the schedules compiled at construction (the default).
+    #[default]
+    Compiled,
+    /// Rebuild decompositions, neighbour lists and routes every step — the
+    /// original implementation, kept as the equivalence-test oracle.
+    Reference,
 }
 
 /// Errors constructing a simulation.
@@ -163,7 +184,162 @@ pub struct IterationTrace {
     pub mpi_wait: f64,
 }
 
-/// A configured simulation, ready to run.
+// ---------------------------------------------------------------------------
+// Compiled iteration plans
+// ---------------------------------------------------------------------------
+
+/// A second-level nest in the sequential plan.
+#[derive(Debug, Clone)]
+struct SeqChild {
+    idx: usize,
+    refine: u32,
+    step_id: usize,
+    interp: f64,
+    feedback: f64,
+}
+
+/// A level-1 nest in the sequential plan.
+#[derive(Debug, Clone)]
+struct SeqNest {
+    idx: usize,
+    refine: u32,
+    step_id: usize,
+    interp: f64,
+    feedback: f64,
+    children: Vec<SeqChild>,
+}
+
+/// Precompiled sequential-strategy iteration schedule.
+#[derive(Debug, Clone)]
+struct SeqPlan {
+    items: Vec<SeqNest>,
+}
+
+/// A level-1 nest in the concurrent plan.
+#[derive(Debug, Clone)]
+struct ConcNest {
+    idx: usize,
+    /// Ranks whose parent patch overlaps this nest's footprint (the
+    /// boundary-interpolation donors) — precomputed in place of the former
+    /// per-iteration O(P) `ranks_overlapping` scan.
+    donors: Vec<u32>,
+    /// Ranks of this nest's partition, row-major.
+    ranks: Vec<u32>,
+    interp: f64,
+    feedback: f64,
+}
+
+/// A second-level nest in the concurrent plan.
+#[derive(Debug, Clone)]
+struct ConcChild {
+    idx: usize,
+    ranks: Vec<u32>,
+    interp: f64,
+    feedback: f64,
+}
+
+/// One lockstep sub-step of the concurrent schedule.
+#[derive(Debug, Clone)]
+struct ConcSubstep {
+    /// Compiled multi-domain step of the active level-1 nests.
+    step_id: usize,
+    /// Second-level children stepping after this sub-step (empty for most
+    /// configurations).
+    children: Vec<ConcChild>,
+    /// Compiled multi-domain steps of the children's lockstep sub-steps.
+    child_step_ids: Vec<usize>,
+    /// Positions (into [`ConcPlan::level1`]) of active nests with children,
+    /// which re-synchronise after their children's feedback.
+    resync: Vec<usize>,
+}
+
+/// Precompiled concurrent-strategy iteration schedule.
+#[derive(Debug, Clone)]
+struct ConcPlan {
+    level1: Vec<ConcNest>,
+    substeps: Vec<ConcSubstep>,
+    /// Flattened per-rank feedback-release lists: rank `g` may enter the
+    /// next parent step once every nest in
+    /// `release_nests[release_offsets[g]..release_offsets[g + 1]]` has fed
+    /// back (the nests overlapping its halo-extended parent patch).
+    release_offsets: Vec<u32>,
+    release_nests: Vec<u32>,
+}
+
+/// Everything compiled once per simulation: interned halo-step tables plus
+/// the strategy's iteration plan.
+#[derive(Debug)]
+struct Compiled {
+    steps: Vec<CompiledStep>,
+    parent_step: usize,
+    seq: Option<SeqPlan>,
+    conc: Option<ConcPlan>,
+}
+
+/// Reusable per-run buffers (hoisted out of the iteration loop).
+#[derive(Debug)]
+struct Scratch {
+    step: StepScratch,
+    starts: Vec<f64>,
+    dones: Vec<f64>,
+    child_start: Vec<f64>,
+}
+
+/// Interns the compiled step for `domains`, deduplicating identical domain
+/// lists (e.g. every parent step, or repeated lockstep sub-steps).
+fn intern_step(
+    steps: &mut Vec<CompiledStep>,
+    domains: Vec<(u32, u32, Rect)>,
+    machine: &Machine,
+    grid: &ProcGrid,
+    mapping: &Mapping,
+) -> usize {
+    if let Some(i) = steps.iter().position(|s| s.domains == domains) {
+        return i;
+    }
+    steps.push(CompiledStep::compile(&domains, machine, grid, mapping));
+    steps.len() - 1
+}
+
+/// Boundary-interpolation cost for nest `i` (parent → nest transfer of the
+/// lateral boundary zone).
+fn interp_cost(config: &NestedConfig, machine: &Machine, i: usize) -> f64 {
+    let nest = &config.nests[i];
+    let halo = &machine.halo;
+    let boundary_points = 2 * (nest.nx + nest.ny) * halo.width;
+    let bytes = boundary_points as f64
+        * halo.fields as f64
+        * halo.levels as f64
+        * halo.bytes_per_value as f64;
+    0.5e-3 + bytes / machine.net.link_bw / 4.0
+}
+
+/// Feedback cost for nest `i` (nest → parent transfer of the averaged
+/// interior, 1/r² of the nest's points).
+fn feedback_cost(config: &NestedConfig, machine: &Machine, i: usize) -> f64 {
+    let nest = &config.nests[i];
+    let halo = &machine.halo;
+    let r2 = (nest.refine_ratio * nest.refine_ratio) as f64;
+    let bytes = nest.points() as f64 / r2
+        * halo.fields as f64
+        * halo.levels as f64
+        * halo.bytes_per_value as f64;
+    0.5e-3 + bytes / machine.net.link_bw / 8.0
+}
+
+/// Ranks whose parent patch intersects `fp` (parent coordinates).
+fn ranks_overlapping(parent_patch: &[Rect], fp: &Rect) -> Vec<u32> {
+    (0..parent_patch.len() as u32)
+        .filter(|&g| {
+            let p = parent_patch[g as usize];
+            !p.is_empty() && !p.is_disjoint(fp)
+        })
+        .collect()
+}
+
+/// A configured simulation, ready to run (and re-run: the compiled
+/// schedules are built once here, [`Simulation::reset`] +
+/// [`Simulation::run_mut`] replay them from a clean state).
 pub struct Simulation<'a> {
     machine: &'a Machine,
     grid: ProcGrid,
@@ -173,17 +349,19 @@ pub struct Simulation<'a> {
     io_mode: IoMode,
     /// Output every this many parent iterations (None = no output).
     output_interval: Option<u32>,
+    engine: HaloEngine,
+    compiled: Arc<Compiled>,
+    scratch: Scratch,
     // Run state.
     net: Network,
     ready: Vec<f64>,
     mpi_wait: Vec<f64>,
     /// Monotone step counter (for the deterministic compute jitter).
     step_counter: u64,
-    /// Parent-domain patch of each rank (parent grid coordinates).
-    parent_patch: Vec<Rect>,
 }
 
-/// One aggregated halo transfer waiting to enter the network.
+/// One aggregated halo transfer waiting to enter the network (reference
+/// engine only).
 struct PendingMsg {
     inject: f64,
     from: u32,
@@ -193,7 +371,8 @@ struct PendingMsg {
 }
 
 impl<'a> Simulation<'a> {
-    /// Builds a simulation.
+    /// Builds a simulation, compiling the halo-step schedules and the
+    /// iteration plan for the chosen strategy.
     ///
     /// `grid` is the virtual processor grid (its rank count must equal the
     /// mapping's); `config` the parent-with-nests setup; `strategy` and
@@ -208,7 +387,10 @@ impl<'a> Simulation<'a> {
         output_interval: Option<u32>,
     ) -> Result<Self, SimError> {
         if grid.len() != mapping.len() {
-            return Err(SimError::GridMappingMismatch { grid: grid.len(), mapping: mapping.len() });
+            return Err(SimError::GridMappingMismatch {
+                grid: grid.len(),
+                mapping: mapping.len(),
+            });
         }
         if let ExecStrategy::Concurrent { partitions } = &strategy {
             if partitions.len() != config.nests.len() {
@@ -237,9 +419,16 @@ impl<'a> Simulation<'a> {
         let py = grid.py.min(config.parent.ny);
         let pd = Decomposition::new(config.parent.nx, config.parent.ny, ProcGrid::new(px, py));
         let mut parent_patch = vec![Rect::new(0, 0, 0, 0); n];
-        for (local, g) in grid.ranks_in(&Rect::new(0, 0, px, py)).into_iter().enumerate() {
+        for (local, g) in grid
+            .ranks_in(&Rect::new(0, 0, px, py))
+            .into_iter()
+            .enumerate()
+        {
             parent_patch[g as usize] = pd.patch(local as u32).region;
         }
+
+        let compiled = compile_plans(machine, &grid, config, &strategy, &mapping, &parent_patch);
+        let nests = config.nests.len();
         Ok(Simulation {
             net: Network::new(mapping.shape.torus, machine.net),
             machine,
@@ -249,22 +438,71 @@ impl<'a> Simulation<'a> {
             mapping,
             io_mode,
             output_interval,
+            engine: HaloEngine::Compiled,
+            compiled: Arc::new(compiled),
+            scratch: Scratch {
+                step: StepScratch::new(n),
+                starts: vec![0.0; nests],
+                dones: vec![0.0; nests],
+                child_start: vec![0.0; nests],
+            },
             ready: vec![0.0; n],
             mpi_wait: vec![0.0; n],
             step_counter: 0,
-            parent_patch,
         })
     }
 
+    /// Selects the halo-exchange engine (builder style). The default is
+    /// [`HaloEngine::Compiled`]; [`HaloEngine::Reference`] re-derives
+    /// everything per step and exists for equivalence testing and as the
+    /// baseline of the compiled-schedule benchmarks.
+    pub fn with_engine(mut self, engine: HaloEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The active halo-exchange engine.
+    pub fn engine(&self) -> HaloEngine {
+        self.engine
+    }
+
+    /// Halo steps executed so far (all domains of a multi-domain lockstep
+    /// sub-step count as one).
+    pub fn steps_taken(&self) -> u64 {
+        self.step_counter
+    }
+
+    /// Clears all run state (network occupancy, readiness, waits, step
+    /// counter) so the compiled schedules can be replayed from scratch.
+    pub fn reset(&mut self) {
+        self.net.reset();
+        self.ready.fill(0.0);
+        self.mpi_wait.fill(0.0);
+        self.step_counter = 0;
+    }
+
     /// Runs `iterations` parent iterations and reports.
-    pub fn run(self, iterations: u32) -> SimReport {
-        self.run_traced(iterations).0
+    pub fn run(mut self, iterations: u32) -> SimReport {
+        self.run_mut(iterations)
     }
 
     /// Like [`Simulation::run`], additionally returning a per-iteration
     /// timeline (for analysis tools and the JSON trace output).
     pub fn run_traced(mut self, iterations: u32) -> (SimReport, Vec<IterationTrace>) {
+        self.run_traced_mut(iterations)
+    }
+
+    /// [`Simulation::run`] without consuming the simulation: resets the run
+    /// state and replays the compiled schedules. Build once, run many.
+    pub fn run_mut(&mut self, iterations: u32) -> SimReport {
+        self.run_traced_mut(iterations).0
+    }
+
+    /// [`Simulation::run_traced`] without consuming the simulation.
+    pub fn run_traced_mut(&mut self, iterations: u32) -> (SimReport, Vec<IterationTrace>) {
         assert!(iterations > 0);
+        self.reset();
+        let compiled = Arc::clone(&self.compiled);
         let nranks = self.grid.len();
         let mut io_total = 0.0;
         let mut parent_phase = 0.0;
@@ -276,151 +514,15 @@ impl<'a> Simulation<'a> {
             let wait0: f64 = self.mpi_wait.iter().sum();
             // ---- parent step on the full grid ----
             let t_iter0 = self.ready.iter().copied().fold(0.0, f64::max);
-            self.halo_step(self.config.parent.nx, self.config.parent.ny, &self.grid.rect());
+            self.exec_step(&compiled.steps[compiled.parent_step]);
             let t_parent1 = self.ready.iter().copied().fold(0.0, f64::max);
             parent_phase += t_parent1 - t_iter0;
 
             // ---- sibling nests ----
-            match self.strategy.clone() {
-                ExecStrategy::Sequential => {
-                    // Level-1 nests one after another on all ranks; each of
-                    // their sub-steps is followed by their second-level
-                    // children's sub-steps (WRF's recursive integration).
-                    let mut t = self.barrier_all();
-                    let nests = self.config.nests.clone();
-                    for i in self.config.level1() {
-                        let nest = &nests[i];
-                        let t0 = t;
-                        self.set_all_ready(t + self.interp_cost(i));
-                        let children = self.config.children_of(i);
-                        for _ in 0..nest.refine_ratio {
-                            self.halo_step(nest.nx, nest.ny, &self.grid.rect());
-                            for &c in &children {
-                                let child = &nests[c];
-                                let tc = self.barrier_all();
-                                self.set_all_ready(tc + self.interp_cost(c));
-                                for _ in 0..child.refine_ratio {
-                                    self.halo_step(child.nx, child.ny, &self.grid.rect());
-                                }
-                                let td = self.barrier_all() + self.feedback_cost(c);
-                                self.set_all_ready(td);
-                                sibling_solve[c] += td - tc;
-                            }
-                        }
-                        t = self.barrier_all() + self.feedback_cost(i);
-                        self.set_all_ready(t);
-                        sibling_solve[i] += t - t0;
-                    }
-                }
-                ExecStrategy::Concurrent { partitions } => {
-                    let nests = self.config.nests.clone();
-                    // Boundary interpolation: a level-1 nest can start once
-                    // its own ranks finished the parent step and the parent
-                    // ranks overlapping its footprint have data to send.
-                    let mut starts = vec![0.0f64; nests.len()];
-                    for i in self.config.level1() {
-                        let (nest, part) = (&nests[i], &partitions[i]);
-                        let donors = self.ranks_overlapping(&nest.footprint_in_parent());
-                        let t_donor = donors
-                            .iter()
-                            .map(|&g| self.ready[g as usize])
-                            .fold(0.0, f64::max);
-                        let t_mine = self.barrier_in(part);
-                        let start = t_donor.max(t_mine);
-                        starts[i] = start;
-                        let t0 = start + self.interp_cost(i);
-                        self.set_ready_in(part, t0);
-                    }
-                    // All level-1 nests advance their sub-steps in lockstep
-                    // so that truly concurrent traffic shares the network
-                    // without an artificial ordering bias between siblings;
-                    // after each sub-step, their second-level children run
-                    // (also in lockstep) on sub-partitions of their parent's
-                    // processors.
-                    let level1 = self.config.level1();
-                    let max_r =
-                        level1.iter().map(|&i| nests[i].refine_ratio).max().unwrap_or(0);
-                    for s in 0..max_r {
-                        let active: Vec<usize> = level1
-                            .iter()
-                            .copied()
-                            .filter(|&i| s < nests[i].refine_ratio)
-                            .collect();
-                        let domains: Vec<(u32, u32, Rect)> = active
-                            .iter()
-                            .map(|&i| (nests[i].nx, nests[i].ny, partitions[i]))
-                            .collect();
-                        self.halo_step_multi(&domains);
-                        // Second-level children of the nests that just
-                        // stepped.
-                        let children: Vec<usize> = active
-                            .iter()
-                            .flat_map(|&i| self.config.children_of(i))
-                            .collect();
-                        if !children.is_empty() {
-                            let mut child_start = vec![0.0f64; nests.len()];
-                            for &c in &children {
-                                let t = self.barrier_in(&partitions[c]);
-                                child_start[c] = t;
-                                self.set_ready_in(&partitions[c], t + self.interp_cost(c));
-                            }
-                            let max_rc =
-                                children.iter().map(|&c| nests[c].refine_ratio).max().unwrap_or(0);
-                            for cs in 0..max_rc {
-                                let sub: Vec<(u32, u32, Rect)> = children
-                                    .iter()
-                                    .copied()
-                                    .filter(|&c| cs < nests[c].refine_ratio)
-                                    .map(|c| (nests[c].nx, nests[c].ny, partitions[c]))
-                                    .collect();
-                                self.halo_step_multi(&sub);
-                            }
-                            for &c in &children {
-                                let done = self.barrier_in(&partitions[c]) + self.feedback_cost(c);
-                                self.set_ready_in(&partitions[c], done);
-                                sibling_solve[c] += done - child_start[c];
-                            }
-                            // The parent nest's next sub-step needs its
-                            // children's feedback.
-                            for &i in &active {
-                                if !self.config.children_of(i).is_empty() {
-                                    let t = self.barrier_in(&partitions[i]);
-                                    self.set_ready_in(&partitions[i], t);
-                                }
-                            }
-                        }
-                    }
-                    let mut dones = vec![0.0f64; nests.len()];
-                    for &i in &level1 {
-                        let done = self.barrier_in(&partitions[i]) + self.feedback_cost(i);
-                        self.set_ready_in(&partitions[i], done);
-                        dones[i] = done;
-                        sibling_solve[i] += done - starts[i];
-                    }
-                    // Feedback release: a rank may enter the next parent
-                    // step once every nest overlapping its halo-extended
-                    // parent patch has fed back — not a global barrier.
-                    let halo_w = self.machine.halo.width;
-                    for g in 0..self.grid.len() {
-                        let patch = self.parent_patch[g as usize];
-                        if patch.is_empty() {
-                            continue;
-                        }
-                        let expanded = Rect::new(
-                            patch.x0.saturating_sub(halo_w),
-                            patch.y0.saturating_sub(halo_w),
-                            patch.w + 2 * halo_w,
-                            patch.h + 2 * halo_w,
-                        );
-                        let mut t = self.ready[g as usize];
-                        for i in self.config.level1() {
-                            if !expanded.is_disjoint(&nests[i].footprint_in_parent()) {
-                                t = t.max(dones[i]);
-                            }
-                        }
-                        self.ready[g as usize] = t;
-                    }
-                }
+            if let Some(seq) = &compiled.seq {
+                self.run_sequential_phase(seq, &compiled.steps, &mut sibling_solve);
+            } else if let Some(conc) = &compiled.conc {
+                self.run_concurrent_phase(conc, &compiled.steps, &mut sibling_solve);
             }
 
             let t_nests1 = self.ready.iter().copied().fold(0.0, f64::max);
@@ -466,10 +568,141 @@ impl<'a> Simulation<'a> {
         (report, traces)
     }
 
-    /// One integration step of an `nx × ny` domain decomposed over the
-    /// processor-grid rectangle `region`.
-    fn halo_step(&mut self, nx: u32, ny: u32, region: &Rect) {
-        self.halo_step_multi(&[(nx, ny, *region)]);
+    /// Level-1 nests one after another on all ranks; each of their sub-steps
+    /// is followed by their second-level children's sub-steps (WRF's
+    /// recursive integration).
+    fn run_sequential_phase(
+        &mut self,
+        seq: &SeqPlan,
+        steps: &[CompiledStep],
+        sibling_solve: &mut [f64],
+    ) {
+        let mut t = self.barrier_all();
+        for item in &seq.items {
+            let t0 = t;
+            self.set_all_ready(t + item.interp);
+            for _ in 0..item.refine {
+                self.exec_step(&steps[item.step_id]);
+                for child in &item.children {
+                    let tc = self.barrier_all();
+                    self.set_all_ready(tc + child.interp);
+                    for _ in 0..child.refine {
+                        self.exec_step(&steps[child.step_id]);
+                    }
+                    let td = self.barrier_all() + child.feedback;
+                    self.set_all_ready(td);
+                    sibling_solve[child.idx] += td - tc;
+                }
+            }
+            t = self.barrier_all() + item.feedback;
+            self.set_all_ready(t);
+            sibling_solve[item.idx] += t - t0;
+        }
+    }
+
+    /// All level-1 nests advance their sub-steps in lockstep so that truly
+    /// concurrent traffic shares the network without an artificial ordering
+    /// bias between siblings; after each sub-step, their second-level
+    /// children run (also in lockstep) on sub-partitions of their parent's
+    /// processors.
+    fn run_concurrent_phase(
+        &mut self,
+        conc: &ConcPlan,
+        steps: &[CompiledStep],
+        sibling_solve: &mut [f64],
+    ) {
+        // Boundary interpolation: a level-1 nest can start once its own
+        // ranks finished the parent step and the parent ranks overlapping
+        // its footprint (the donors) have data to send.
+        let mut starts = std::mem::take(&mut self.scratch.starts);
+        starts.fill(0.0);
+        for cn in &conc.level1 {
+            let t_donor = cn
+                .donors
+                .iter()
+                .map(|&g| self.ready[g as usize])
+                .fold(0.0, f64::max);
+            let t_mine = self.barrier_ranks(&cn.ranks);
+            let start = t_donor.max(t_mine);
+            starts[cn.idx] = start;
+            let t0 = start + cn.interp;
+            self.set_ready_ranks(&cn.ranks, t0);
+        }
+        for sub in &conc.substeps {
+            self.exec_step(&steps[sub.step_id]);
+            if !sub.children.is_empty() {
+                let mut child_start = std::mem::take(&mut self.scratch.child_start);
+                child_start.fill(0.0);
+                for ch in &sub.children {
+                    let t = self.barrier_ranks(&ch.ranks);
+                    child_start[ch.idx] = t;
+                    self.set_ready_ranks(&ch.ranks, t + ch.interp);
+                }
+                for &sid in &sub.child_step_ids {
+                    self.exec_step(&steps[sid]);
+                }
+                for ch in &sub.children {
+                    let done = self.barrier_ranks(&ch.ranks) + ch.feedback;
+                    self.set_ready_ranks(&ch.ranks, done);
+                    sibling_solve[ch.idx] += done - child_start[ch.idx];
+                }
+                // The parent nest's next sub-step needs its children's
+                // feedback.
+                for &pos in &sub.resync {
+                    let t = self.barrier_ranks(&conc.level1[pos].ranks);
+                    self.set_ready_ranks(&conc.level1[pos].ranks, t);
+                }
+                self.scratch.child_start = child_start;
+            }
+        }
+        let mut dones = std::mem::take(&mut self.scratch.dones);
+        dones.fill(0.0);
+        for cn in &conc.level1 {
+            let done = self.barrier_ranks(&cn.ranks) + cn.feedback;
+            self.set_ready_ranks(&cn.ranks, done);
+            dones[cn.idx] = done;
+            sibling_solve[cn.idx] += done - starts[cn.idx];
+        }
+        // Feedback release: a rank may enter the next parent step once
+        // every nest overlapping its halo-extended parent patch has fed
+        // back — not a global barrier. The per-rank nest lists are
+        // precompiled.
+        for g in 0..self.ready.len() {
+            let lo = conc.release_offsets[g] as usize;
+            let hi = conc.release_offsets[g + 1] as usize;
+            if lo == hi {
+                continue;
+            }
+            let mut t = self.ready[g];
+            for &i in &conc.release_nests[lo..hi] {
+                t = t.max(dones[i as usize]);
+            }
+            self.ready[g] = t;
+        }
+        self.scratch.starts = starts;
+        self.scratch.dones = dones;
+    }
+
+    /// One halo step through the active engine.
+    fn exec_step(&mut self, cs: &CompiledStep) {
+        match self.engine {
+            HaloEngine::Compiled => {
+                self.step_counter += 1;
+                run_compiled_step(
+                    cs,
+                    self.machine,
+                    &mut self.net,
+                    &mut self.ready,
+                    &mut self.mpi_wait,
+                    &mut self.scratch.step,
+                    self.step_counter,
+                );
+            }
+            HaloEngine::Reference => {
+                let domains = cs.domains.clone();
+                self.halo_step_multi(&domains);
+            }
+        }
     }
 
     /// One integration step of several domains *simultaneously*, each
@@ -477,6 +710,10 @@ impl<'a> Simulation<'a> {
     /// then halo exchange with the four neighbours through the contended
     /// network. All domains' messages are routed in global injection order,
     /// so concurrent siblings share links without ordering bias.
+    ///
+    /// This is the reference engine: it re-derives decompositions and
+    /// routes on every call. [`crate::schedule::run_compiled_step`] is the
+    /// bitwise-equivalent replay of the precompiled tables.
     fn halo_step_multi(&mut self, domains: &[(u32, u32, Rect)]) {
         let halo = self.machine.halo;
         let mpn = halo.messages_per_neighbor();
@@ -500,14 +737,17 @@ impl<'a> Simulation<'a> {
             for (local, &g) in global_ranks.iter().enumerate() {
                 let patch = decomp.patch(local as u32);
                 let t_comp = self.ready[g as usize]
-                    + self.machine.compute.step_time_jittered(patch.region.w, patch.region.h, g, step);
+                    + self.machine.compute.step_time_jittered(
+                        patch.region.w,
+                        patch.region.h,
+                        g,
+                        step,
+                    );
                 // Post sends to each existing neighbour (within the active
                 // region), paying per-message software overhead serially.
                 let local_coords = sub.coords_of(local as u32);
-                let neighbors = sub.neighbors_within(
-                    sub.rank_of(local_coords.0, local_coords.1),
-                    &sub.rect(),
-                );
+                let neighbors =
+                    sub.neighbors_within(sub.rank_of(local_coords.0, local_coords.1), &sub.rect());
                 let mut t_send = t_comp;
                 for nb_local in neighbors.into_iter().flatten() {
                     let (nx_l, ny_l) = sub.coords_of(nb_local);
@@ -516,21 +756,31 @@ impl<'a> Simulation<'a> {
                     // width), horizontal ones exchange columns (patch
                     // height).
                     let same_row = ny_l == local_coords.1;
-                    let edge = if same_row { patch.region.h } else { patch.region.w };
+                    let edge = if same_row {
+                        patch.region.h
+                    } else {
+                        patch.region.w
+                    };
                     let bytes = halo.edge_bytes(edge) as f64;
                     t_send += send_ovh;
-                    pending.push(PendingMsg { inject: t_send, from: g, to: to_g, bytes, msgs: mpn });
+                    pending.push(PendingMsg {
+                        inject: t_send,
+                        from: g,
+                        to: to_g,
+                        bytes,
+                        msgs: mpn,
+                    });
                 }
                 senders.push((g, t_send));
             }
         }
 
         // Route messages in injection order for deterministic, unbiased
-        // contention.
+        // contention. `total_cmp` keeps the sort well-defined even if a
+        // pathological parameter set ever produced a NaN injection time.
         pending.sort_by(|a, b| {
             a.inject
-                .partial_cmp(&b.inject)
-                .unwrap()
+                .total_cmp(&b.inject)
                 .then(a.from.cmp(&b.from))
                 .then(a.to.cmp(&b.to))
         });
@@ -554,30 +804,6 @@ impl<'a> Simulation<'a> {
             self.mpi_wait[g as usize] += done - send_done;
             self.ready[g as usize] = done;
         }
-    }
-
-    /// Boundary-interpolation cost for nest `i` (parent → nest transfer of
-    /// the lateral boundary zone).
-    fn interp_cost(&self, i: usize) -> f64 {
-        let nest = &self.config.nests[i];
-        let halo = &self.machine.halo;
-        let boundary_points = 2 * (nest.nx + nest.ny) * halo.width;
-        let bytes =
-            boundary_points as f64 * halo.fields as f64 * halo.levels as f64 * halo.bytes_per_value as f64;
-        0.5e-3 + bytes / self.machine.net.link_bw / 4.0
-    }
-
-    /// Feedback cost for nest `i` (nest → parent transfer of the averaged
-    /// interior, 1/r² of the nest's points).
-    fn feedback_cost(&self, i: usize) -> f64 {
-        let nest = &self.config.nests[i];
-        let halo = &self.machine.halo;
-        let r2 = (nest.refine_ratio * nest.refine_ratio) as f64;
-        let bytes = nest.points() as f64 / r2
-            * halo.fields as f64
-            * halo.levels as f64
-            * halo.bytes_per_value as f64;
-        0.5e-3 + bytes / self.machine.net.link_bw / 8.0
     }
 
     /// History-output phase; returns its wall-clock duration.
@@ -613,20 +839,10 @@ impl<'a> Simulation<'a> {
         t
     }
 
-    /// Ranks whose parent patch intersects `fp` (parent coordinates).
-    fn ranks_overlapping(&self, fp: &Rect) -> Vec<u32> {
-        (0..self.grid.len())
-            .filter(|&g| {
-                let p = self.parent_patch[g as usize];
-                !p.is_empty() && !p.is_disjoint(fp)
-            })
-            .collect()
-    }
-
     /// Global synchronisation (inter-domain: feedback broadcast, output
     /// collectives). Not charged to MPI_Wait — HPCT attributes these to
     /// other MPI calls; the paper's MPI_Wait metric covers the RSL halo
-    /// exchanges, which [`Simulation::halo_step_multi`] accounts for.
+    /// exchanges, which the halo-step engines account for.
     fn barrier_all(&mut self) -> f64 {
         let t = self.ready.iter().copied().fold(0.0, f64::max);
         for r in self.ready.iter_mut() {
@@ -635,12 +851,14 @@ impl<'a> Simulation<'a> {
         t
     }
 
-    /// Synchronisation over the ranks of a grid rectangle (see
+    /// Synchronisation over a precompiled rank list (see
     /// [`Simulation::barrier_all`] for the accounting rationale).
-    fn barrier_in(&mut self, region: &Rect) -> f64 {
-        let ranks = self.grid.ranks_in(region);
-        let t = ranks.iter().map(|&g| self.ready[g as usize]).fold(0.0, f64::max);
-        for g in ranks {
+    fn barrier_ranks(&mut self, ranks: &[u32]) -> f64 {
+        let t = ranks
+            .iter()
+            .map(|&g| self.ready[g as usize])
+            .fold(0.0, f64::max);
+        for &g in ranks {
             self.ready[g as usize] = t;
         }
         t
@@ -652,10 +870,187 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    fn set_ready_in(&mut self, region: &Rect, t: f64) {
-        for g in self.grid.ranks_in(region) {
+    fn set_ready_ranks(&mut self, ranks: &[u32], t: f64) {
+        for &g in ranks {
             self.ready[g as usize] = t;
         }
+    }
+}
+
+/// Builds the interned step tables and the iteration plan for `strategy`.
+fn compile_plans(
+    machine: &Machine,
+    grid: &ProcGrid,
+    config: &NestedConfig,
+    strategy: &ExecStrategy,
+    mapping: &Mapping,
+    parent_patch: &[Rect],
+) -> Compiled {
+    let nests = &config.nests;
+    let level1 = config.level1();
+    let mut steps: Vec<CompiledStep> = Vec::new();
+    let parent_step = intern_step(
+        &mut steps,
+        vec![(config.parent.nx, config.parent.ny, grid.rect())],
+        machine,
+        grid,
+        mapping,
+    );
+
+    let (seq, conc) = match strategy {
+        ExecStrategy::Sequential => {
+            let items = level1
+                .iter()
+                .map(|&i| {
+                    let children = config
+                        .children_of(i)
+                        .into_iter()
+                        .map(|c| SeqChild {
+                            idx: c,
+                            refine: nests[c].refine_ratio,
+                            step_id: intern_step(
+                                &mut steps,
+                                vec![(nests[c].nx, nests[c].ny, grid.rect())],
+                                machine,
+                                grid,
+                                mapping,
+                            ),
+                            interp: interp_cost(config, machine, c),
+                            feedback: feedback_cost(config, machine, c),
+                        })
+                        .collect();
+                    SeqNest {
+                        idx: i,
+                        refine: nests[i].refine_ratio,
+                        step_id: intern_step(
+                            &mut steps,
+                            vec![(nests[i].nx, nests[i].ny, grid.rect())],
+                            machine,
+                            grid,
+                            mapping,
+                        ),
+                        interp: interp_cost(config, machine, i),
+                        feedback: feedback_cost(config, machine, i),
+                        children,
+                    }
+                })
+                .collect();
+            (Some(SeqPlan { items }), None)
+        }
+        ExecStrategy::Concurrent { partitions } => {
+            let conc_level1: Vec<ConcNest> = level1
+                .iter()
+                .map(|&i| ConcNest {
+                    idx: i,
+                    donors: ranks_overlapping(parent_patch, &nests[i].footprint_in_parent()),
+                    ranks: grid.ranks_in(&partitions[i]),
+                    interp: interp_cost(config, machine, i),
+                    feedback: feedback_cost(config, machine, i),
+                })
+                .collect();
+
+            let max_r = level1
+                .iter()
+                .map(|&i| nests[i].refine_ratio)
+                .max()
+                .unwrap_or(0);
+            let mut substeps = Vec::with_capacity(max_r as usize);
+            for s in 0..max_r {
+                let active: Vec<usize> = level1
+                    .iter()
+                    .copied()
+                    .filter(|&i| s < nests[i].refine_ratio)
+                    .collect();
+                let domains: Vec<(u32, u32, Rect)> = active
+                    .iter()
+                    .map(|&i| (nests[i].nx, nests[i].ny, partitions[i]))
+                    .collect();
+                let step_id = intern_step(&mut steps, domains, machine, grid, mapping);
+                // Second-level children of the nests stepping at `s`.
+                let child_idx: Vec<usize> =
+                    active.iter().flat_map(|&i| config.children_of(i)).collect();
+                let mut children = Vec::with_capacity(child_idx.len());
+                let mut child_step_ids = Vec::new();
+                let mut resync = Vec::new();
+                if !child_idx.is_empty() {
+                    for &c in &child_idx {
+                        children.push(ConcChild {
+                            idx: c,
+                            ranks: grid.ranks_in(&partitions[c]),
+                            interp: interp_cost(config, machine, c),
+                            feedback: feedback_cost(config, machine, c),
+                        });
+                    }
+                    let max_rc = child_idx
+                        .iter()
+                        .map(|&c| nests[c].refine_ratio)
+                        .max()
+                        .unwrap_or(0);
+                    for cs in 0..max_rc {
+                        let sub: Vec<(u32, u32, Rect)> = child_idx
+                            .iter()
+                            .copied()
+                            .filter(|&c| cs < nests[c].refine_ratio)
+                            .map(|c| (nests[c].nx, nests[c].ny, partitions[c]))
+                            .collect();
+                        child_step_ids.push(intern_step(&mut steps, sub, machine, grid, mapping));
+                    }
+                    for &i in &active {
+                        if !config.children_of(i).is_empty() {
+                            let pos = level1
+                                .iter()
+                                .position(|&j| j == i)
+                                .expect("active nest is level-1");
+                            resync.push(pos);
+                        }
+                    }
+                }
+                substeps.push(ConcSubstep {
+                    step_id,
+                    children,
+                    child_step_ids,
+                    resync,
+                });
+            }
+
+            // Per-rank feedback-release lists.
+            let halo_w = machine.halo.width;
+            let n = grid.len() as usize;
+            let mut release_offsets = Vec::with_capacity(n + 1);
+            let mut release_nests = Vec::new();
+            release_offsets.push(0u32);
+            for patch in parent_patch.iter().take(n) {
+                if !patch.is_empty() {
+                    let expanded = Rect::new(
+                        patch.x0.saturating_sub(halo_w),
+                        patch.y0.saturating_sub(halo_w),
+                        patch.w + 2 * halo_w,
+                        patch.h + 2 * halo_w,
+                    );
+                    for &i in &level1 {
+                        if !expanded.is_disjoint(&nests[i].footprint_in_parent()) {
+                            release_nests.push(i as u32);
+                        }
+                    }
+                }
+                release_offsets.push(release_nests.len() as u32);
+            }
+            (
+                None,
+                Some(ConcPlan {
+                    level1: conc_level1,
+                    substeps,
+                    release_offsets,
+                    release_nests,
+                }),
+            )
+        }
+    };
+    Compiled {
+        steps,
+        parent_step,
+        seq,
+        conc,
     }
 }
 
@@ -673,7 +1068,10 @@ mod tests {
     fn two_nest_config() -> NestedConfig {
         NestedConfig::new(
             Domain::parent(120, 120, 24.0),
-            vec![NestSpec::new(90, 90, 3, (2, 2)), NestSpec::new(90, 90, 3, (60, 60))],
+            vec![
+                NestSpec::new(90, 90, 3, (2, 2)),
+                NestSpec::new(90, 90, 3, (60, 60)),
+            ],
         )
         .unwrap()
     }
@@ -689,9 +1087,16 @@ mod tests {
         let m = small_machine();
         let cfg = two_nest_config();
         let (grid, map) = grid_and_mapping(&m);
-        let sim =
-            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map, IoMode::None, None)
-                .unwrap();
+        let sim = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map,
+            IoMode::None,
+            None,
+        )
+        .unwrap();
         let rep = sim.run(3);
         assert!(rep.total_time > 0.0);
         assert_eq!(rep.io_time, 0.0);
@@ -742,7 +1147,10 @@ mod tests {
             seq.total_time
         );
         let imp = conc.improvement_over(&seq);
-        assert!(imp > 5.0 && imp < 60.0, "improvement {imp:.1}% out of plausible range");
+        assert!(
+            imp > 5.0 && imp < 60.0,
+            "improvement {imp:.1}% out of plausible range"
+        );
     }
 
     #[test]
@@ -767,6 +1175,64 @@ mod tests {
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.mpi_wait_total, b.mpi_wait_total);
         assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn run_mut_replays_identically_after_reset() {
+        // Build once, run many: every replay must reproduce the
+        // single-shot result exactly.
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let mut sim = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map.clone(),
+            IoMode::None,
+            None,
+        )
+        .unwrap();
+        let a = sim.run_mut(2);
+        let b = sim.run_mut(2);
+        assert_eq!(a, b);
+        assert_eq!(sim.steps_taken(), 2 * (1 + 2 * 3));
+        let fresh = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map,
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .run(2);
+        assert_eq!(a, fresh);
+    }
+
+    #[test]
+    fn reference_engine_matches_compiled_sequential() {
+        let m = small_machine();
+        let cfg = two_nest_config();
+        let (grid, map) = grid_and_mapping(&m);
+        let build = |engine: HaloEngine| {
+            Simulation::new(
+                &m,
+                grid,
+                &cfg,
+                ExecStrategy::Sequential,
+                map.clone(),
+                IoMode::None,
+                None,
+            )
+            .unwrap()
+            .with_engine(engine)
+        };
+        let compiled = build(HaloEngine::Compiled).run(2);
+        let reference = build(HaloEngine::Reference).run(2);
+        assert_eq!(compiled, reference);
     }
 
     #[test]
@@ -839,7 +1305,12 @@ mod tests {
         )
         .unwrap()
         .run(3);
-        assert!(conc.io_time < seq.io_time, "conc io {} !< seq io {}", conc.io_time, seq.io_time);
+        assert!(
+            conc.io_time < seq.io_time,
+            "conc io {} !< seq io {}",
+            conc.io_time,
+            seq.io_time
+        );
     }
 
     #[test]
@@ -852,7 +1323,9 @@ mod tests {
             &m,
             grid,
             &cfg,
-            ExecStrategy::Concurrent { partitions: vec![grid.rect()] },
+            ExecStrategy::Concurrent {
+                partitions: vec![grid.rect()],
+            },
             map.clone(),
             IoMode::None,
             None,
@@ -913,12 +1386,22 @@ mod tests {
         let m = small_machine();
         let cfg = two_nest_config();
         let (grid, map) = grid_and_mapping(&m);
-        let rep =
-            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map, IoMode::None, None)
-                .unwrap()
-                .run(3);
+        let rep = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map,
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .run(3);
         assert!(rep.parent_phase > 0.0);
-        assert!(rep.nest_phase > rep.parent_phase, "nests dominate (r=3, two nests)");
+        assert!(
+            rep.nest_phase > rep.parent_phase,
+            "nests dominate (r=3, two nests)"
+        );
         let sum = rep.parent_phase + rep.nest_phase;
         assert!(
             (sum - rep.integration_time).abs() < 0.05 * rep.integration_time,
@@ -932,10 +1415,17 @@ mod tests {
         let m = small_machine();
         let cfg = two_nest_config();
         let (grid, map) = grid_and_mapping(&m);
-        let rep =
-            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map, IoMode::None, None)
-                .unwrap()
-                .run(2);
+        let rep = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map,
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .run(2);
         assert!(rep.mpi_wait_total > 0.0);
         // Wait cannot exceed ranks × wall-clock.
         assert!(rep.mpi_wait_total < rep.ranks as f64 * rep.total_time);
@@ -952,10 +1442,17 @@ mod tests {
         )
         .unwrap();
         let (grid, map) = grid_and_mapping(&m);
-        let rep =
-            Simulation::new(&m, grid, &cfg, ExecStrategy::Sequential, map, IoMode::None, None)
-                .unwrap()
-                .run(2);
+        let rep = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            map,
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .run(2);
         assert!(rep.total_time > 0.0);
     }
 }

@@ -1,0 +1,192 @@
+//! Bitwise equivalence of the compiled halo-step engine against the
+//! reference implementation.
+//!
+//! The compiled engine (precomputed decompositions, neighbour tables, torus
+//! routes, donor/release sets — see `crates/netsim/src/schedule.rs`) must
+//! produce a [`SimReport`] **identical** to the reference engine that
+//! re-derives everything per step: same float expressions in the same
+//! order, so every field matches under exact `==`, not a tolerance.
+
+use nestwx_grid::{Domain, NestSpec, NestedConfig, ProcGrid, Rect};
+use nestwx_netsim::{ExecStrategy, HaloEngine, IoMode, Machine, SimReport, Simulation};
+use nestwx_topo::Mapping;
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    machine: &Machine,
+    grid: ProcGrid,
+    config: &NestedConfig,
+    strategy: &ExecStrategy,
+    io_mode: IoMode,
+    output_interval: Option<u32>,
+    engine: HaloEngine,
+    iterations: u32,
+) -> SimReport {
+    let mapping = Mapping::oblivious(machine.shape, machine.ranks()).unwrap();
+    Simulation::new(
+        machine,
+        grid,
+        config,
+        strategy.clone(),
+        mapping,
+        io_mode,
+        output_interval,
+    )
+    .unwrap()
+    .with_engine(engine)
+    .run(iterations)
+}
+
+fn assert_engines_agree(
+    machine: &Machine,
+    grid: ProcGrid,
+    config: &NestedConfig,
+    strategy: &ExecStrategy,
+    io_mode: IoMode,
+    output_interval: Option<u32>,
+    iterations: u32,
+) {
+    let compiled = run(
+        machine,
+        grid,
+        config,
+        strategy,
+        io_mode,
+        output_interval,
+        HaloEngine::Compiled,
+        iterations,
+    );
+    let reference = run(
+        machine,
+        grid,
+        config,
+        strategy,
+        io_mode,
+        output_interval,
+        HaloEngine::Reference,
+        iterations,
+    );
+    // `SimReport` derives `PartialEq`, so this compares every f64 field
+    // (total_time, mpi_wait_total, phases, per-sibling times, bytes) for
+    // exact bit-level equality, plus the integer message/rank counters.
+    assert_eq!(compiled, reference);
+    assert_eq!(compiled.avg_hops, reference.avg_hops);
+    assert_eq!(compiled.messages, reference.messages);
+}
+
+fn two_nest_config() -> NestedConfig {
+    NestedConfig::new(
+        Domain::parent(120, 120, 24.0),
+        vec![
+            NestSpec::new(90, 90, 3, (2, 2)),
+            NestSpec::new(90, 90, 3, (60, 60)),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn sequential_two_nests_bitwise_identical() {
+    let m = Machine::bgl(32);
+    let grid = ProcGrid::near_square(m.ranks());
+    let cfg = two_nest_config();
+    assert_engines_agree(
+        &m,
+        grid,
+        &cfg,
+        &ExecStrategy::Sequential,
+        IoMode::None,
+        None,
+        4,
+    );
+}
+
+#[test]
+fn concurrent_two_nests_bitwise_identical() {
+    let m = Machine::bgl(32);
+    let grid = ProcGrid::near_square(m.ranks());
+    let cfg = two_nest_config();
+    let half = grid.px / 2;
+    let strategy = ExecStrategy::Concurrent {
+        partitions: vec![
+            Rect::new(0, 0, half, grid.py),
+            Rect::new(half, 0, grid.px - half, grid.py),
+        ],
+    };
+    assert_engines_agree(&m, grid, &cfg, &strategy, IoMode::None, None, 4);
+}
+
+#[test]
+fn concurrent_with_second_level_nest_and_io_bitwise_identical() {
+    // The hardest schedule: uneven refine ratios, a second-level nest on a
+    // sub-partition (donor sets, lockstep child sub-steps, resync barriers,
+    // per-rank feedback release), plus periodic output.
+    let m = Machine::bgl(64);
+    let grid = ProcGrid::near_square(m.ranks()); // 8×8
+    let cfg = NestedConfig::new(
+        Domain::parent(120, 120, 24.0),
+        vec![
+            NestSpec::new(90, 90, 3, (2, 2)),
+            NestSpec::new(60, 60, 3, (60, 60)),
+            NestSpec::child_of(0, 40, 40, 2, (5, 5)),
+        ],
+    )
+    .unwrap();
+    let strategy = ExecStrategy::Concurrent {
+        partitions: vec![
+            Rect::new(0, 0, 4, 8),
+            Rect::new(4, 0, 4, 8),
+            Rect::new(0, 0, 4, 4),
+        ],
+    };
+    assert_engines_agree(&m, grid, &cfg, &strategy, IoMode::SplitFiles, Some(2), 4);
+}
+
+#[test]
+fn sequential_with_second_level_nest_bitwise_identical() {
+    let m = Machine::bgl(64);
+    let grid = ProcGrid::near_square(m.ranks());
+    let cfg = NestedConfig::new(
+        Domain::parent(120, 120, 24.0),
+        vec![
+            NestSpec::new(90, 90, 3, (2, 2)),
+            NestSpec::new(60, 60, 3, (60, 60)),
+            NestSpec::child_of(0, 40, 40, 2, (5, 5)),
+        ],
+    )
+    .unwrap();
+    assert_engines_agree(
+        &m,
+        grid,
+        &cfg,
+        &ExecStrategy::Sequential,
+        IoMode::PnetCdf,
+        Some(3),
+        3,
+    );
+}
+
+#[test]
+fn traces_also_bitwise_identical() {
+    let m = Machine::bgl(32);
+    let grid = ProcGrid::near_square(m.ranks());
+    let cfg = two_nest_config();
+    let mapping = Mapping::oblivious(m.shape, m.ranks()).unwrap();
+    let build = |engine| {
+        Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            ExecStrategy::Sequential,
+            mapping.clone(),
+            IoMode::SplitFiles,
+            Some(2),
+        )
+        .unwrap()
+        .with_engine(engine)
+    };
+    let (rep_c, tr_c) = build(HaloEngine::Compiled).run_traced(4);
+    let (rep_r, tr_r) = build(HaloEngine::Reference).run_traced(4);
+    assert_eq!(rep_c, rep_r);
+    assert_eq!(tr_c, tr_r);
+}

@@ -24,7 +24,15 @@ pub fn barycentric(a: Point, b: Point, c: Point, p: Point) -> Option<(f64, f64, 
 
 /// Eq. (4): interpolates the value at `p` from the vertex values
 /// `(ta, tb, tc)` of triangle `(a, b, c)`.
-pub fn interpolate(a: Point, b: Point, c: Point, p: Point, ta: f64, tb: f64, tc: f64) -> Option<f64> {
+pub fn interpolate(
+    a: Point,
+    b: Point,
+    c: Point,
+    p: Point,
+    ta: f64,
+    tb: f64,
+    tc: f64,
+) -> Option<f64> {
     let (l1, l2, l3) = barycentric(a, b, c, p)?;
     Some(l1 * ta + l2 * tb + l3 * tc)
 }

@@ -118,7 +118,10 @@ pub fn select_basis(candidates: &[BasisDomain], k: usize) -> Vec<BasisDomain> {
         let best = (0..norm.len())
             .filter(|i| !selected.contains(i))
             .min_by(|&a, &b| {
-                norm[a].dist(&corner).partial_cmp(&norm[b].dist(&corner)).unwrap()
+                norm[a]
+                    .dist(&corner)
+                    .partial_cmp(&norm[b].dist(&corner))
+                    .unwrap()
             })
             .expect("candidates available");
         selected.push(best);
@@ -131,8 +134,14 @@ pub fn select_basis(candidates: &[BasisDomain], k: usize) -> Vec<BasisDomain> {
         let best = (0..norm.len())
             .filter(|i| !selected.contains(i))
             .max_by(|&a, &b| {
-                let da = selected.iter().map(|&s| norm[a].dist(&norm[s])).fold(f64::INFINITY, f64::min);
-                let db = selected.iter().map(|&s| norm[b].dist(&norm[s])).fold(f64::INFINITY, f64::min);
+                let da = selected
+                    .iter()
+                    .map(|&s| norm[a].dist(&norm[s]))
+                    .fold(f64::INFINITY, f64::min);
+                let db = selected
+                    .iter()
+                    .map(|&s| norm[b].dist(&norm[s]))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).unwrap()
             })
             .expect("candidates available");
@@ -142,7 +151,9 @@ pub fn select_basis(candidates: &[BasisDomain], k: usize) -> Vec<BasisDomain> {
 }
 
 fn min_max(v: impl Iterator<Item = f64>) -> (f64, f64) {
-    v.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| (lo.min(x), hi.max(x)))
+    v.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| {
+        (lo.min(x), hi.max(x))
+    })
 }
 
 #[cfg(test)]

@@ -68,7 +68,10 @@ impl Delaunay {
                             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                             (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
                         };
-                        Point::new(p.x + scale * magnitude * j(1), p.y + scale * magnitude * j(2))
+                        Point::new(
+                            p.x + scale * magnitude * j(1),
+                            p.y + scale * magnitude * j(2),
+                        )
                     })
                     .collect()
             };
@@ -104,8 +107,12 @@ impl Delaunay {
         }
 
         // Super-triangle comfortably containing all points.
-        let (mut min_x, mut min_y, mut max_x, mut max_y) =
-            (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
         for p in points {
             min_x = min_x.min(p.x);
             min_y = min_y.min(p.y);
@@ -127,7 +134,9 @@ impl Delaunay {
         pts.push(s0);
         pts.push(s1);
         pts.push(s2);
-        let mut tris: Vec<Triangle> = vec![Triangle { v: ccw(&pts, [n, n + 1, n + 2]) }];
+        let mut tris: Vec<Triangle> = vec![Triangle {
+            v: ccw(&pts, [n, n + 1, n + 2]),
+        }];
 
         for (i, &p) in points.iter().enumerate() {
             // Find all triangles whose circumcircle contains p.
@@ -163,7 +172,9 @@ impl Delaunay {
                 // area is vanishing relative to the edge length.
                 let len2 = pts[a].dist(&pts[b]).powi(2);
                 if orient2d(pts[a], pts[b], p).abs() > 1e-12 * len2.max(f64::MIN_POSITIVE) {
-                    tris.push(Triangle { v: ccw(&pts, [a, b, i]) });
+                    tris.push(Triangle {
+                        v: ccw(&pts, [a, b, i]),
+                    });
                 }
             }
         }
@@ -177,7 +188,10 @@ impl Delaunay {
         // Lawson flip post-pass: repair any locally non-Delaunay edges the
         // incremental cavities missed on near-degenerate input.
         lawson_flips(&pts, &mut tris);
-        Some(Delaunay { points: pts, triangles: tris })
+        Some(Delaunay {
+            points: pts,
+            triangles: tris,
+        })
     }
 
     /// The triangulated points.
@@ -195,7 +209,11 @@ impl Delaunay {
     pub fn locate(&self, p: Point) -> Option<usize> {
         let eps = 1e-9;
         self.triangles.iter().position(|t| {
-            let [a, b, c] = [self.points[t.v[0]], self.points[t.v[1]], self.points[t.v[2]]];
+            let [a, b, c] = [
+                self.points[t.v[0]],
+                self.points[t.v[1]],
+                self.points[t.v[2]],
+            ];
             orient2d(a, b, p) >= -eps && orient2d(b, c, p) >= -eps && orient2d(c, a, p) >= -eps
         })
     }
@@ -207,7 +225,11 @@ impl Delaunay {
     /// Delaunay-up-to-epsilon).
     pub fn is_delaunay(&self) -> bool {
         for t in &self.triangles {
-            let [a, b, c] = [self.points[t.v[0]], self.points[t.v[1]], self.points[t.v[2]]];
+            let [a, b, c] = [
+                self.points[t.v[0]],
+                self.points[t.v[1]],
+                self.points[t.v[2]],
+            ];
             for (i, &p) in self.points.iter().enumerate() {
                 if t.v.contains(&i) {
                     continue;
@@ -225,7 +247,11 @@ impl Delaunay {
         self.triangles
             .iter()
             .map(|t| {
-                orient2d(self.points[t.v[0]], self.points[t.v[1]], self.points[t.v[2]]) / 2.0
+                orient2d(
+                    self.points[t.v[0]],
+                    self.points[t.v[1]],
+                    self.points[t.v[2]],
+                ) / 2.0
             })
             .sum()
     }
@@ -250,8 +276,12 @@ fn lawson_flips(pts: &[Point], tris: &mut [Triangle]) {
                     let sa = orient2d(pc, pd, pa);
                     let sb = orient2d(pc, pd, pb);
                     if in_circumcircle(pa, pb, pc, pd) && sa * sb < 0.0 {
-                        tris[i] = Triangle { v: ccw(pts, [a, d, c]) };
-                        tris[j] = Triangle { v: ccw(pts, [d, b, c]) };
+                        tris[i] = Triangle {
+                            v: ccw(pts, [a, d, c]),
+                        };
+                        tris[j] = Triangle {
+                            v: ccw(pts, [d, b, c]),
+                        };
                         flipped = true;
                         break 'outer;
                     }

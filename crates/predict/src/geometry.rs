@@ -37,7 +37,10 @@ pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
 /// `true` when `d` lies strictly inside the circumcircle of the
 /// counter-clockwise triangle `abc` — the Delaunay empty-circle predicate.
 pub fn in_circumcircle(a: Point, b: Point, c: Point, d: Point) -> bool {
-    debug_assert!(orient2d(a, b, c) > 0.0, "in_circumcircle requires CCW triangle");
+    debug_assert!(
+        orient2d(a, b, c) > 0.0,
+        "in_circumcircle requires CCW triangle"
+    );
     let (adx, ady) = (a.x - d.x, a.y - d.y);
     let (bdx, bdy) = (b.x - d.x, b.y - d.y);
     let (cdx, cdy) = (c.x - d.x, c.y - d.y);
@@ -79,7 +82,11 @@ pub fn circumcircle(a: Point, b: Point, c: Point) -> Option<(Point, f64)> {
 /// boundary points are dropped.
 pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
     pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
     let n = pts.len();
     if n < 3 {

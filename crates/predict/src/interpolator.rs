@@ -67,7 +67,12 @@ impl ExecTimePredictor {
         let y_range = (y_max - y_min).max(1e-9);
         let norm: Vec<Point> = basis
             .iter()
-            .map(|(f, _)| Point::new((f.aspect_ratio - x_min) / x_range, (f.points - y_min) / y_range))
+            .map(|(f, _)| {
+                Point::new(
+                    (f.aspect_ratio - x_min) / x_range,
+                    (f.points - y_min) / y_range,
+                )
+            })
             .collect();
         let tri = Delaunay::new(&norm).ok_or(PredictError::DegenerateBasis)?;
         let hull = convex_hull(&norm);
@@ -182,7 +187,10 @@ impl ExecTimePredictor {
 }
 
 fn min_max(v: &[f64]) -> (f64, f64) {
-    v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)))
+    v.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 #[cfg(test)]
@@ -215,7 +223,10 @@ mod tests {
         ];
         dims.iter()
             .map(|&(nx, ny)| {
-                (DomainFeatures::from_dims(nx, ny), true_time(nx as f64, ny as f64))
+                (
+                    DomainFeatures::from_dims(nx, ny),
+                    true_time(nx as f64, ny as f64),
+                )
             })
             .collect()
     }
@@ -225,7 +236,10 @@ mod tests {
         let m = ExecTimePredictor::fit(&basis_13()).unwrap();
         for (f, t) in m.basis().iter() {
             let p = m.predict(f).unwrap();
-            assert!((p - t).abs() / t < 1e-6, "basis point reproduced: {p} vs {t}");
+            assert!(
+                (p - t).abs() / t < 1e-6,
+                "basis point reproduced: {p} vs {t}"
+            );
         }
     }
 
@@ -234,8 +248,14 @@ mod tests {
         // Paper: < 6 % error on test domains with 55 900–94 990 points and
         // aspect ratios 0.5–1.5.
         let m = ExecTimePredictor::fit(&basis_13()).unwrap();
-        let tests: [(u32, u32); 6] =
-            [(215, 260), (230, 243), (310, 215), (205, 410), (260, 360), (188, 300)];
+        let tests: [(u32, u32); 6] = [
+            (215, 260),
+            (230, 243),
+            (310, 215),
+            (205, 410),
+            (260, 360),
+            (188, 300),
+        ];
         for (nx, ny) in tests {
             let f = DomainFeatures::from_dims(nx, ny);
             let t_true = true_time(nx as f64, ny as f64);
@@ -287,9 +307,14 @@ mod tests {
 
     #[test]
     fn fit_rejects_tiny_basis() {
-        let b: Vec<(DomainFeatures, f64)> =
-            vec![(DomainFeatures::from_dims(100, 100), 1.0), (DomainFeatures::from_dims(200, 200), 2.0)];
-        assert_eq!(ExecTimePredictor::fit(&b).unwrap_err(), PredictError::DegenerateBasis);
+        let b: Vec<(DomainFeatures, f64)> = vec![
+            (DomainFeatures::from_dims(100, 100), 1.0),
+            (DomainFeatures::from_dims(200, 200), 2.0),
+        ];
+        assert_eq!(
+            ExecTimePredictor::fit(&b).unwrap_err(),
+            PredictError::DegenerateBasis
+        );
     }
 
     #[test]
@@ -298,6 +323,9 @@ mod tests {
         let b: Vec<(DomainFeatures, f64)> = (1..=5)
             .map(|k| (DomainFeatures::from_dims(100 * k, 100 * k), k as f64))
             .collect();
-        assert_eq!(ExecTimePredictor::fit(&b).unwrap_err(), PredictError::DegenerateBasis);
+        assert_eq!(
+            ExecTimePredictor::fit(&b).unwrap_err(),
+            PredictError::DegenerateBasis
+        );
     }
 }

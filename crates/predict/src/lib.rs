@@ -27,7 +27,9 @@ pub mod interpolator;
 pub mod naive;
 pub mod validate;
 
-pub use basis::{domain_with, generate_candidates, select_basis, select_basis_covering, BasisDomain};
+pub use basis::{
+    domain_with, generate_candidates, select_basis, select_basis_covering, BasisDomain,
+};
 pub use delaunay::{Delaunay, Triangle};
 pub use geometry::{convex_hull, Point};
 pub use interpolator::{ExecTimePredictor, PredictError};

@@ -21,7 +21,9 @@ impl NaivePointsModel {
     pub fn fit(basis: &[(DomainFeatures, f64)]) -> NaivePointsModel {
         let num: f64 = basis.iter().map(|(f, t)| f.points * t).sum();
         let den: f64 = basis.iter().map(|(f, _)| f.points * f.points).sum();
-        NaivePointsModel { coeff: if den > 0.0 { num / den } else { 0.0 } }
+        NaivePointsModel {
+            coeff: if den > 0.0 { num / den } else { 0.0 },
+        }
     }
 
     /// Predicted time.
@@ -64,7 +66,10 @@ mod tests {
     #[test]
     fn relative_times_are_point_shares() {
         let m = NaivePointsModel { coeff: 1e-6 };
-        let ds = [DomainFeatures::from_dims(100, 100), DomainFeatures::from_dims(100, 300)];
+        let ds = [
+            DomainFeatures::from_dims(100, 100),
+            DomainFeatures::from_dims(100, 300),
+        ];
         let r = m.relative_times(&ds);
         assert!((r[0] - 0.25).abs() < 1e-12);
         assert!((r[1] - 0.75).abs() < 1e-12);
@@ -76,18 +81,30 @@ mod tests {
         // error exceeds the interpolator's (>19 % vs <6 % in the paper —
         // here we just check it is materially worse on a skewed domain).
         let true_time = |nx: f64, ny: f64| 1e-6 * nx * ny + 4e-4 * (nx + ny);
-        let basis: Vec<(DomainFeatures, f64)> =
-            [(94u32, 124u32), (415, 445), (250, 250), (160, 140), (360, 390)]
-                .iter()
-                .map(|&(nx, ny)| {
-                    (DomainFeatures::from_dims(nx, ny), true_time(nx as f64, ny as f64))
-                })
-                .collect();
+        let basis: Vec<(DomainFeatures, f64)> = [
+            (94u32, 124u32),
+            (415, 445),
+            (250, 250),
+            (160, 140),
+            (360, 390),
+        ]
+        .iter()
+        .map(|&(nx, ny)| {
+            (
+                DomainFeatures::from_dims(nx, ny),
+                true_time(nx as f64, ny as f64),
+            )
+        })
+        .collect();
         let m = NaivePointsModel::fit(&basis);
         // Small skewed domain: perimeter share is large → underprediction.
         let f = DomainFeatures::from_dims(120, 240);
         let t_true = true_time(120.0, 240.0);
         let err = (m.predict(&f) - t_true).abs() / t_true;
-        assert!(err > 0.06, "naïve error unexpectedly small: {:.1}%", err * 100.0);
+        assert!(
+            err > 0.06,
+            "naïve error unexpectedly small: {:.1}%",
+            err * 100.0
+        );
     }
 }

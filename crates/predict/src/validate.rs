@@ -128,7 +128,11 @@ mod tests {
     fn loo_error_is_small_on_smooth_surface() {
         let r = leave_one_out(&basis());
         assert!(!r.errors.is_empty());
-        assert!(r.mean_error() < 0.10, "LOO mean error {:.3}", r.mean_error());
+        assert!(
+            r.mean_error() < 0.10,
+            "LOO mean error {:.3}",
+            r.mean_error()
+        );
     }
 
     #[test]

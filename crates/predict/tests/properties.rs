@@ -7,7 +7,10 @@ use nestwx_predict::{Delaunay, ExecTimePredictor, Point};
 use proptest::prelude::*;
 
 fn arb_points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0f64..10.0, 0.0f64..10.0).prop_map(|(x, y)| Point::new(x, y)), n)
+    prop::collection::vec(
+        (0.0f64..10.0, 0.0f64..10.0).prop_map(|(x, y)| Point::new(x, y)),
+        n,
+    )
 }
 
 proptest! {

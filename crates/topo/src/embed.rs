@@ -35,7 +35,11 @@ pub struct ExtCoord {
 
 /// The extended extents of a machine shape.
 pub fn ext_dims(shape: &MachineShape) -> (u32, u32, u32) {
-    (shape.torus.dims[0], shape.torus.dims[1], shape.torus.dims[2] * shape.cores_per_node)
+    (
+        shape.torus.dims[0],
+        shape.torus.dims[1],
+        shape.torus.dims[2] * shape.cores_per_node,
+    )
 }
 
 /// Slot id of an extended coordinate (node-major: all cores of a node are
@@ -52,7 +56,11 @@ pub fn coord_of(shape: &MachineShape, slot: u32) -> ExtCoord {
     let node = slot / shape.cores_per_node;
     let core = slot % shape.cores_per_node;
     let nc = shape.torus.coord(node);
-    ExtCoord { x: nc.x, y: nc.y, ez: nc.z * shape.cores_per_node + core }
+    ExtCoord {
+        x: nc.x,
+        y: nc.y,
+        ez: nc.z * shape.cores_per_node + core,
+    }
 }
 
 /// Fold geometry of a `w × h` rectangle on an `(ex, ey, _)` extended torus.
@@ -131,10 +139,22 @@ pub struct Orientation {
 impl Orientation {
     /// All four orientations.
     pub const ALL: [Orientation; 4] = [
-        Orientation { mirror_x: false, mirror_y: false },
-        Orientation { mirror_x: true, mirror_y: false },
-        Orientation { mirror_x: false, mirror_y: true },
-        Orientation { mirror_x: true, mirror_y: true },
+        Orientation {
+            mirror_x: false,
+            mirror_y: false,
+        },
+        Orientation {
+            mirror_x: true,
+            mirror_y: false,
+        },
+        Orientation {
+            mirror_x: false,
+            mirror_y: true,
+        },
+        Orientation {
+            mirror_x: true,
+            mirror_y: true,
+        },
     ];
 }
 
@@ -162,7 +182,10 @@ pub struct SlotSpace {
 impl SlotSpace {
     /// All slots free.
     pub fn new(shape: MachineShape) -> Self {
-        SlotSpace { shape, free: vec![true; shape.slots() as usize] }
+        SlotSpace {
+            shape,
+            free: vec![true; shape.slots() as usize],
+        }
     }
 
     /// The machine shape.
@@ -217,7 +240,11 @@ impl SlotSpace {
         offsets
             .iter()
             .map(|&(ox, oy, oz)| {
-                let c = ExtCoord { x: anchor.0 + ox, y: anchor.1 + oy, ez: anchor.2 + oz };
+                let c = ExtCoord {
+                    x: anchor.0 + ox,
+                    y: anchor.1 + oy,
+                    ez: anchor.2 + oz,
+                };
                 let s = slot_of(&self.shape, c);
                 assert!(self.free[s as usize], "claiming an occupied slot");
                 self.free[s as usize] = false;

@@ -66,7 +66,10 @@ impl Mapping {
             },
             "mapping is not injective"
         );
-        Ok(Mapping { shape, rank_to_slot })
+        Ok(Mapping {
+            shape,
+            rank_to_slot,
+        })
     }
 
     /// Number of mapped ranks.
@@ -82,7 +85,10 @@ impl Mapping {
     /// The slot of `rank`.
     pub fn slot(&self, rank: u32) -> Slot {
         let s = self.rank_to_slot[rank as usize];
-        Slot { node: s / self.shape.cores_per_node, core: s % self.shape.cores_per_node }
+        Slot {
+            node: s / self.shape.cores_per_node,
+            core: s % self.shape.cores_per_node,
+        }
     }
 
     /// Torus coordinate of `rank`'s node.
@@ -92,16 +98,25 @@ impl Mapping {
 
     /// Hop distance between two ranks (0 when they share a node).
     pub fn hops(&self, a: u32, b: u32) -> u32 {
-        self.shape.torus.hops(self.node_coord(a), self.node_coord(b))
+        self.shape
+            .torus
+            .hops(self.node_coord(a), self.node_coord(b))
     }
 
     /// Generic Blue Gene mapfile ordering: `order` lists the axes from the
     /// fastest-varying to the slowest. `[X, Y, Z, T]` is the default
     /// topology-oblivious mapping of Fig. 5(b); `[T, X, Y, Z]` is the TXYZ
     /// mapping compared against in Table 4.
-    pub fn ordered(shape: MachineShape, nranks: u32, order: [Axis; 4]) -> Result<Self, MappingError> {
+    pub fn ordered(
+        shape: MachineShape,
+        nranks: u32,
+        order: [Axis; 4],
+    ) -> Result<Self, MappingError> {
         if nranks > shape.slots() {
-            return Err(MappingError::TooManyRanks { ranks: nranks, slots: shape.slots() });
+            return Err(MappingError::TooManyRanks {
+                ranks: nranks,
+                slots: shape.slots(),
+            });
         }
         let extent = |a: Axis| -> u32 {
             match a {
@@ -184,18 +199,28 @@ impl Mapping {
     ) -> Result<Self, MappingError> {
         let nranks = grid.len();
         if nranks > shape.slots() {
-            return Err(MappingError::TooManyRanks { ranks: nranks, slots: shape.slots() });
+            return Err(MappingError::TooManyRanks {
+                ranks: nranks,
+                slots: shape.slots(),
+            });
         }
         let (ex, ey, _) = crate::embed::ext_dims(&shape);
         let mut space = SlotSpace::new(shape);
         let mut placed: HashMap<u32, u32> = HashMap::new(); // rank -> slot id
 
-        let cross_edges = if orient_aware { cross_partition_edges(grid, partitions) } else { Vec::new() };
+        let cross_edges = if orient_aware {
+            cross_partition_edges(grid, partitions)
+        } else {
+            Vec::new()
+        };
 
         for rect in partitions {
             let ranks = grid.ranks_in(rect);
-            let orientations: &[Orientation] =
-                if orient_aware { &Orientation::ALL } else { std::slice::from_ref(&Orientation::ALL[0]) };
+            let orientations: &[Orientation] = if orient_aware {
+                &Orientation::ALL
+            } else {
+                std::slice::from_ref(&Orientation::ALL[0])
+            };
 
             // Try the requested fold depth first; if its cuboid cannot be
             // placed (too deep or fragmented), retreat to the minimal fold
@@ -258,9 +283,8 @@ impl Mapping {
 /// partitions — the parent-domain halo edges the multi-level mapping
 /// optimises across partition boundaries.
 pub fn cross_partition_edges(grid: &ProcGrid, partitions: &[Rect]) -> Vec<(u32, u32)> {
-    let part_of = |x: u32, y: u32| -> Option<usize> {
-        partitions.iter().position(|p| p.contains(x, y))
-    };
+    let part_of =
+        |x: u32, y: u32| -> Option<usize> { partitions.iter().position(|p| p.contains(x, y)) };
     let mut edges = Vec::new();
     for y in 0..grid.py {
         for x in 0..grid.px {
@@ -298,9 +322,7 @@ fn orientation_score(
     let mut score = 0u64;
     for &(a, b) in cross_edges {
         let (ca, cb) = (candidate.get(&a), candidate.get(&b));
-        let node_of_placed = |r: u32| {
-            placed.get(&r).map(|&s| shape.torus.coord(s / cpn))
-        };
+        let node_of_placed = |r: u32| placed.get(&r).map(|&s| shape.torus.coord(s / cpn));
         match (ca, cb) {
             (Some(&na), None) => {
                 if let Some(nb) = node_of_placed(b) {
@@ -357,7 +379,13 @@ mod tests {
     #[test]
     fn mapping_rejects_too_many_ranks() {
         let err = Mapping::oblivious(shape_4x4x2(), 33).unwrap_err();
-        assert_eq!(err, MappingError::TooManyRanks { ranks: 33, slots: 32 });
+        assert_eq!(
+            err,
+            MappingError::TooManyRanks {
+                ranks: 33,
+                slots: 32
+            }
+        );
     }
 
     #[test]
@@ -418,7 +446,12 @@ mod tests {
         let mp = Mapping::partition(shape_4x4x2(), &grid, &parts).unwrap();
         let mm = Mapping::multilevel(shape_4x4x2(), &grid, &parts).unwrap();
         let total = |m: &Mapping| -> u32 { edges.iter().map(|&(a, b)| m.hops(a, b)).sum() };
-        assert!(total(&mm) <= total(&mp), "multilevel {} > partition {}", total(&mm), total(&mp));
+        assert!(
+            total(&mm) <= total(&mp),
+            "multilevel {} > partition {}",
+            total(&mm),
+            total(&mp)
+        );
     }
 
     #[test]

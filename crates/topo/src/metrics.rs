@@ -61,7 +61,11 @@ impl CommStats {
         }
         let loaded: Vec<f64> = link_load.iter().copied().filter(|&b| b > 0.0).collect();
         CommStats {
-            avg_hops: if edges.is_empty() { 0.0 } else { total_hops as f64 / edges.len() as f64 },
+            avg_hops: if edges.is_empty() {
+                0.0
+            } else {
+                total_hops as f64 / edges.len() as f64
+            },
             max_hops,
             hop_bytes,
             max_link_bytes: link_load.iter().copied().fold(0.0, f64::max),
@@ -82,7 +86,11 @@ pub fn halo_edges(grid: &ProcGrid, region: &Rect, bytes: f64) -> Vec<CommEdge> {
     let mut edges = Vec::new();
     for rank in grid.ranks_in(region) {
         for nb in grid.neighbors_within(rank, region).into_iter().flatten() {
-            edges.push(CommEdge { from: rank, to: nb, bytes });
+            edges.push(CommEdge {
+                from: rank,
+                to: nb,
+                bytes,
+            });
         }
     }
     edges
@@ -145,7 +153,12 @@ mod tests {
         let s_ob = CommStats::compute(&ob, &edges);
         let s_pm = CommStats::compute(&pm, &edges);
         assert!(s_pm.avg_hops <= 1.0 + 1e-9);
-        assert!(s_pm.avg_hops < 0.7 * s_ob.avg_hops, "{} vs {}", s_pm.avg_hops, s_ob.avg_hops);
+        assert!(
+            s_pm.avg_hops < 0.7 * s_ob.avg_hops,
+            "{} vs {}",
+            s_pm.avg_hops,
+            s_ob.avg_hops
+        );
         assert!(s_pm.hop_bytes < s_ob.hop_bytes);
     }
 

@@ -111,7 +111,13 @@ impl Torus {
     /// The neighbour of `c` one hop along `dim` in direction `positive`.
     pub fn step(&self, c: NodeCoord, dim: usize, positive: bool) -> NodeCoord {
         let n = self.dims[dim];
-        let adv = |v: u32| if positive { (v + 1) % n } else { (v + n - 1) % n };
+        let adv = |v: u32| {
+            if positive {
+                (v + 1) % n
+            } else {
+                (v + n - 1) % n
+            }
+        };
         match dim {
             0 => NodeCoord { x: adv(c.x), ..c },
             1 => NodeCoord { y: adv(c.y), ..c },
@@ -125,6 +131,14 @@ impl Torus {
     /// dimension-ordered routing is the standard modelling simplification.
     pub fn route(&self, a: NodeCoord, b: NodeCoord) -> Vec<u32> {
         let mut links = Vec::with_capacity(self.hops(a, b) as usize);
+        self.route_into(a, b, &mut links);
+        links
+    }
+
+    /// [`Torus::route`] writing into a caller-supplied buffer (cleared
+    /// first), so hot paths can route without allocating.
+    pub fn route_into(&self, a: NodeCoord, b: NodeCoord, links: &mut Vec<u32>) {
+        links.clear();
         let mut cur = a;
         for dim in 0..3 {
             let (cc, bc) = match dim {
@@ -140,7 +154,6 @@ impl Torus {
             }
         }
         debug_assert_eq!(cur, b);
-        links
     }
 }
 
@@ -159,7 +172,10 @@ impl MachineShape {
     /// Creates a shape.
     pub fn new(torus: Torus, cores_per_node: u32) -> Self {
         assert!(cores_per_node > 0);
-        MachineShape { torus, cores_per_node }
+        MachineShape {
+            torus,
+            cores_per_node,
+        }
     }
 
     /// Total rank slots.
@@ -170,14 +186,20 @@ impl MachineShape {
     /// One rack of Blue Gene/L in virtual-node mode: 512 nodes as an
     /// 8 × 8 × 8 torus, 2 ranks per node = 1024 ranks (§4.2.1).
     pub fn bgl_rack_vn() -> Self {
-        MachineShape { torus: Torus::new(8, 8, 8), cores_per_node: 2 }
+        MachineShape {
+            torus: Torus::new(8, 8, 8),
+            cores_per_node: 2,
+        }
     }
 
     /// Blue Gene/P in virtual-node mode with `nodes` nodes (power of two,
     /// ≥ 64): 4 ranks per node (§4.2.2). Torus dimensions follow the usual
     /// partition shapes (e.g. 512 nodes = 8×8×8, 2048 nodes = 8×16×16).
     pub fn bgp_vn(nodes: u32) -> Self {
-        MachineShape { torus: balanced_torus(nodes), cores_per_node: 4 }
+        MachineShape {
+            torus: balanced_torus(nodes),
+            cores_per_node: 4,
+        }
     }
 }
 
@@ -276,7 +298,24 @@ mod tests {
     #[test]
     fn route_empty_for_same_node() {
         let t = Torus::new(4, 4, 4);
-        assert!(t.route(NodeCoord::new(2, 2, 2), NodeCoord::new(2, 2, 2)).is_empty());
+        assert!(t
+            .route(NodeCoord::new(2, 2, 2), NodeCoord::new(2, 2, 2))
+            .is_empty());
+    }
+
+    #[test]
+    fn route_into_matches_route_and_reuses_buffer() {
+        let t = Torus::new(8, 4, 4);
+        let mut buf = Vec::new();
+        let pairs = [
+            (NodeCoord::new(1, 3, 0), NodeCoord::new(6, 0, 2)),
+            (NodeCoord::new(0, 0, 0), NodeCoord::new(0, 0, 0)),
+            (NodeCoord::new(7, 3, 3), NodeCoord::new(0, 0, 0)),
+        ];
+        for (a, b) in pairs {
+            t.route_into(a, b, &mut buf);
+            assert_eq!(buf, t.route(a, b));
+        }
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct Torus5 {
 impl Torus5 {
     /// Creates a torus; all dimensions must be positive.
     pub fn new(dims: [u32; 5]) -> Self {
-        assert!(dims.iter().all(|&d| d > 0), "5-D torus dimensions must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "5-D torus dimensions must be positive"
+        );
         Torus5 { dims }
     }
 
@@ -86,10 +89,17 @@ impl Torus5 {
             for dd_i in 0..dd {
                 let d = if e % 2 == 1 { dd - 1 - dd_i } else { dd_i };
                 for dc_i in 0..dc {
-                    let c = if (e * dd + dd_i) % 2 == 1 { dc - 1 - dc_i } else { dc_i };
+                    let c = if (e * dd + dd_i) % 2 == 1 {
+                        dc - 1 - dc_i
+                    } else {
+                        dc_i
+                    };
                     for db_i in 0..db {
-                        let b =
-                            if (e * dd * dc + dd_i * dc + dc_i) % 2 == 1 { db - 1 - db_i } else { db_i };
+                        let b = if (e * dd * dc + dd_i * dc + dc_i) % 2 == 1 {
+                            db - 1 - db_i
+                        } else {
+                            db_i
+                        };
                         for da_i in 0..da {
                             let a = if (e * dd * dc * db + dd_i * dc * db + dc_i * db + db_i) % 2
                                 == 1
@@ -122,9 +132,15 @@ impl Mapping5 {
     /// Ranks in plain increasing ABCDE order.
     pub fn oblivious(torus: Torus5, nranks: u32) -> Result<Self, MappingError> {
         if nranks > torus.nodes() {
-            return Err(MappingError::TooManyRanks { ranks: nranks, slots: torus.nodes() });
+            return Err(MappingError::TooManyRanks {
+                ranks: nranks,
+                slots: torus.nodes(),
+            });
         }
-        Ok(Mapping5 { torus, rank_to_node: (0..nranks).collect() })
+        Ok(Mapping5 {
+            torus,
+            rank_to_node: (0..nranks).collect(),
+        })
     }
 
     /// Partition-aware serpentine: each partition's ranks (row-serpentine
@@ -137,7 +153,10 @@ impl Mapping5 {
     ) -> Result<Self, MappingError> {
         let nranks = grid.len();
         if nranks > torus.nodes() {
-            return Err(MappingError::TooManyRanks { ranks: nranks, slots: torus.nodes() });
+            return Err(MappingError::TooManyRanks {
+                ranks: nranks,
+                slots: torus.nodes(),
+            });
         }
         let walk = torus.serpentine();
         let mut rank_to_node = vec![u32::MAX; nranks as usize];
@@ -169,7 +188,10 @@ impl Mapping5 {
                 cursor += 1;
             }
         }
-        Ok(Mapping5 { torus, rank_to_node })
+        Ok(Mapping5 {
+            torus,
+            rank_to_node,
+        })
     }
 
     /// Universal folded mapping: factor the torus dimensions into two
@@ -189,7 +211,10 @@ impl Mapping5 {
         // complement must then multiply to grid.py).
         let dims = torus.dims;
         let split = (0u32..32).find(|mask| {
-            let px: u32 = (0..5).filter(|d| mask & (1 << d) != 0).map(|d| dims[d]).product();
+            let px: u32 = (0..5)
+                .filter(|d| mask & (1 << d) != 0)
+                .map(|d| dims[d])
+                .product();
             px == grid.px
         })?;
         let x_dims: Vec<usize> = (0..5).filter(|d| split & (1 << d) != 0).collect();
@@ -217,7 +242,10 @@ impl Mapping5 {
                 rank_to_node[grid.rank_of(x, y) as usize] = torus.index(c);
             }
         }
-        Some(Mapping5 { torus, rank_to_node })
+        Some(Mapping5 {
+            torus,
+            rank_to_node,
+        })
     }
 
     /// Node coordinates of a rank.
@@ -235,7 +263,10 @@ impl Mapping5 {
         if edges.is_empty() {
             return 0.0;
         }
-        edges.iter().map(|&(a, b)| self.hops(a, b) as u64).sum::<u64>() as f64
+        edges
+            .iter()
+            .map(|&(a, b)| self.hops(a, b) as u64)
+            .sum::<u64>() as f64
             / edges.len() as f64
     }
 }
@@ -332,7 +363,12 @@ mod tests {
         // Every virtual-grid neighbour is exactly one hop apart.
         let edges = partition_halo_pairs(&grid, &[grid.rect()]);
         for &(a, b) in &edges {
-            assert_eq!(m.hops(a, b), 1, "ranks {a},{b} are {} hops apart", m.hops(a, b));
+            assert_eq!(
+                m.hops(a, b),
+                1,
+                "ranks {a},{b} are {} hops apart",
+                m.hops(a, b)
+            );
         }
         // No valid split → None.
         assert!(Mapping5::universal_folded(Torus5::new([3, 5, 7, 2, 2]), &grid).is_none());

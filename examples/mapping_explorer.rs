@@ -54,9 +54,16 @@ fn main() {
         edges.extend(halo_edges(&grid, p, 1.0));
     }
     println!("\nnest-halo hop statistics (32-rank example):");
-    for (name, m) in [("oblivious", &oblivious), ("partition", &partition), ("multilevel", &multilevel)] {
+    for (name, m) in [
+        ("oblivious", &oblivious),
+        ("partition", &partition),
+        ("multilevel", &multilevel),
+    ] {
         let s = CommStats::compute(m, &edges);
-        println!("  {name:<11} avg {:.2} hops, max {}", s.avg_hops, s.max_hops);
+        println!(
+            "  {name:<11} avg {:.2} hops, max {}",
+            s.avg_hops, s.max_hops
+        );
     }
 
     // ---- full BG/L rack with the Table 2 partitions ----

@@ -19,8 +19,18 @@ fn build_model() -> NestedModel {
     // 24 km parent over the Pacific (downscaled grid), two 8 km nests
     // tracking depressions of different sizes.
     let geos = [
-        NestGeometry { ratio: 3, offset: (20, 20), nx: 240, ny: 210 },
-        NestGeometry { ratio: 3, offset: (130, 110), nx: 150, ny: 132 },
+        NestGeometry {
+            ratio: 3,
+            offset: (20, 20),
+            nx: 240,
+            ny: 210,
+        },
+        NestGeometry {
+            ratio: 3,
+            offset: (130, 110),
+            nx: 150,
+            ny: 132,
+        },
     ];
     let mut m = NestedModel::new(260, 220, 24_000.0, 1000.0, &geos);
     m.add_depression(50.0, 45.0, -28.0, 9.0);
@@ -41,14 +51,22 @@ fn main() {
 
     // Allocate threads proportionally to nest work (the thread analogue of
     // Algorithm 1). Nest cost ∝ points × r; both nests share r = 3.
-    let ratios: Vec<f64> =
-        build_model().nests.iter().map(|n| (n.geo.nx * n.geo.ny) as f64).collect();
+    let ratios: Vec<f64> = build_model()
+        .nests
+        .iter()
+        .map(|n| (n.geo.nx * n.geo.ny) as f64)
+        .collect();
     let allocation = thread_allocation(&ratios, threads);
     println!("thread allocation (proportional to nest points): {allocation:?}");
 
     // Sequential: each nest on all threads, one after the other.
     let mut seq_model = build_model();
-    let seq = run_iterations(&mut seq_model, iterations, threads, &ThreadStrategy::Sequential);
+    let seq = run_iterations(
+        &mut seq_model,
+        iterations,
+        threads,
+        &ThreadStrategy::Sequential,
+    );
 
     // Concurrent: both nests at once on their allocated thread groups.
     let mut conc_model = build_model();
@@ -59,29 +77,37 @@ fn main() {
         &ThreadStrategy::Concurrent { allocation },
     );
 
-    println!("\nsequential:  total {:>8.3} s  ({:.3} s/iter; parent {:.3} s, nests {:.3} s)",
-        seq.total.as_secs_f64(), seq.per_iteration(), seq.parent.as_secs_f64(), seq.siblings.as_secs_f64());
-    println!("concurrent:  total {:>8.3} s  ({:.3} s/iter; parent {:.3} s, nests {:.3} s)",
-        conc.total.as_secs_f64(), conc.per_iteration(), conc.parent.as_secs_f64(), conc.siblings.as_secs_f64());
+    println!(
+        "\nsequential:  total {:>8.3} s  ({:.3} s/iter; parent {:.3} s, nests {:.3} s)",
+        seq.total.as_secs_f64(),
+        seq.per_iteration(),
+        seq.parent.as_secs_f64(),
+        seq.siblings.as_secs_f64()
+    );
+    println!(
+        "concurrent:  total {:>8.3} s  ({:.3} s/iter; parent {:.3} s, nests {:.3} s)",
+        conc.total.as_secs_f64(),
+        conc.per_iteration(),
+        conc.parent.as_secs_f64(),
+        conc.siblings.as_secs_f64()
+    );
     println!(
         "improvement: {:.1} % of total wall-clock",
         (1.0 - conc.total.as_secs_f64() / seq.total.as_secs_f64()) * 100.0
     );
 
     // The two strategies reorder independent work only: identical physics.
-    assert_eq!(seq_model.parent.h, conc_model.parent.h, "strategies must agree bitwise");
+    assert_eq!(
+        seq_model.parent.h, conc_model.parent.h,
+        "strategies must agree bitwise"
+    );
     for (a, b) in seq_model.nests.iter().zip(&conc_model.nests) {
         assert_eq!(a.solver.h, b.solver.h);
     }
     println!("\nverified: sequential and concurrent results are bitwise identical.");
     println!(
         "storm centres deepened to {:.1} m (nest 1) / {:.1} m (nest 2) below rest depth",
-        1000.0
-            - conc_model.nests[0]
-                .solver
-                .h
-                .get(120, 105)
-                .min(1000.0),
+        1000.0 - conc_model.nests[0].solver.h.get(120, 105).min(1000.0),
         1000.0 - conc_model.nests[1].solver.h.get(75, 66).min(1000.0),
     );
 }

@@ -38,7 +38,10 @@ fn main() {
     let predictor = fit_predictor(&machine, 2010);
     for (name, nest) in &depressions {
         let t = predictor.predict(&DomainFeatures::from(nest)).unwrap();
-        println!("  {name:<12} {:>3}x{:<3} → predicted {:.3} s/step on 64 ranks", nest.nx, nest.ny, t);
+        println!(
+            "  {name:<12} {:>3}x{:<3} → predicted {:.3} s/step on 64 ranks",
+            nest.nx, nest.ny, t
+        );
     }
 
     // Step 2: plan.

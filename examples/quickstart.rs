@@ -43,9 +43,18 @@ fn main() {
     // Head-to-head against the default strategy.
     let cmp = compare_strategies(&planner, &parent, &nests, 5).expect("simulation runs");
     println!();
-    println!("default (sequential) : {:.3} s/iteration", cmp.default_run.per_iteration());
-    println!("divide-and-conquer   : {:.3} s/iteration", cmp.planned_run.per_iteration());
+    println!(
+        "default (sequential) : {:.3} s/iteration",
+        cmp.default_run.per_iteration()
+    );
+    println!(
+        "divide-and-conquer   : {:.3} s/iteration",
+        cmp.planned_run.per_iteration()
+    );
     println!("improvement          : {:.1} %", cmp.improvement_pct());
-    println!("MPI_Wait improvement : {:.1} %", cmp.mpi_wait_improvement_pct());
+    println!(
+        "MPI_Wait improvement : {:.1} %",
+        cmp.mpi_wait_improvement_pct()
+    );
     println!("avg hops reduction   : {:.1} %", cmp.hops_reduction_pct());
 }

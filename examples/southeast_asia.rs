@@ -29,7 +29,10 @@ fn main() {
     let nests: Vec<NestSpec> = cities.iter().map(|(_, n)| n.clone()).collect();
 
     println!("South East Asia: 4.5 km parent, four 1.5 km nests\n");
-    println!("{:<7} {:>11} {:>11} {:>9}   {:>11} {:>11} {:>9}", "", "", "", "", "", "(with hourly", "output)");
+    println!(
+        "{:<7} {:>11} {:>11} {:>9}   {:>11} {:>11} {:>9}",
+        "", "", "", "", "", "(with hourly", "output)"
+    );
     println!(
         "{:<7} {:>11} {:>11} {:>9}   {:>11} {:>11} {:>9}",
         "cores", "default", "parallel", "gain", "default", "parallel", "gain"
@@ -52,7 +55,9 @@ fn main() {
     }
 
     // Show the final allocation at 1024 cores.
-    let plan = Planner::new(Machine::bgp(1024)).plan(&parent, &nests).unwrap();
+    let plan = Planner::new(Machine::bgp(1024))
+        .plan(&parent, &nests)
+        .unwrap();
     println!("\nallocation on 1024 cores (32x32 grid):");
     for ((name, nest), p) in cities.iter().zip(&plan.partitions) {
         println!(

@@ -15,10 +15,23 @@ use std::time::Instant;
 fn main() -> std::io::Result<()> {
     // Parent storm basin with one tracked depression; a second-level nest
     // zooms into the storm core.
-    let geos = [NestGeometry { ratio: 3, offset: (12, 10), nx: 90, ny: 84 }];
+    let geos = [NestGeometry {
+        ratio: 3,
+        offset: (12, 10),
+        nx: 90,
+        ny: 84,
+    }];
     let mut model = NestedModel::new(80, 70, 24_000.0, 1000.0, &geos);
     model.add_depression(25.0, 22.0, -25.0, 6.0);
-    model.add_child_nest(0, NestGeometry { ratio: 3, offset: (25, 22), nx: 60, ny: 54 });
+    model.add_child_nest(
+        0,
+        NestGeometry {
+            ratio: 3,
+            offset: (25, 22),
+            nx: 60,
+            ny: 54,
+        },
+    );
 
     let dir = std::env::temp_dir().join(format!("nestwx_storm_archive_{}", std::process::id()));
     let mut writer = HistoryWriter::new(&dir, 2)?;
@@ -33,9 +46,16 @@ fn main() -> std::io::Result<()> {
 
     println!("simulated {iterations} iterations of an 80x70 basin (24 km) with a");
     println!("two-level nest (8 km core, 2.7 km inner core)\n");
-    println!("history frames : {} ({} files, {:.1} MiB)", writer.stats.frames,
-        std::fs::read_dir(&dir)?.count(), writer.stats.bytes as f64 / (1024.0 * 1024.0));
-    println!("integration    : {:.3} s", (wall - writer.stats.elapsed).as_secs_f64());
+    println!(
+        "history frames : {} ({} files, {:.1} MiB)",
+        writer.stats.frames,
+        std::fs::read_dir(&dir)?.count(),
+        writer.stats.bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "integration    : {:.3} s",
+        (wall - writer.stats.elapsed).as_secs_f64()
+    );
     println!(
         "output         : {:.3} s ({:.1} % of wall-clock — the Fig. 14 fraction)",
         writer.stats.elapsed.as_secs_f64(),

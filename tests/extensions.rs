@@ -21,7 +21,9 @@ fn config() -> (Domain, Vec<NestSpec>) {
 #[test]
 fn traces_reconstruct_the_aggregate_report() {
     let (parent, nests) = config();
-    let plan = Planner::new(Machine::bgl(128)).plan(&parent, &nests).unwrap();
+    let plan = Planner::new(Machine::bgl(128))
+        .plan(&parent, &nests)
+        .unwrap();
     let (report, traces) = plan.simulate_traced(4).unwrap();
     assert_eq!(traces.len(), 4);
     let parent_sum: f64 = traces.iter().map(|t| t.parent).sum();
@@ -49,7 +51,11 @@ fn cross_validation_on_simulator_profiles() {
     let machine = Machine::bgl(64);
     let basis = nestwx::core::profile_basis(&machine, 11);
     let loo = leave_one_out(&basis);
-    assert!(loo.mean_error() < 0.10, "LOO mean error {:.3}", loo.mean_error());
+    assert!(
+        loo.mean_error() < 0.10,
+        "LOO mean error {:.3}",
+        loo.mean_error()
+    );
     let (interp, naive) = compare_models(&basis, 4);
     assert!(interp.mean_error() <= naive.mean_error() * 1.05);
 }
@@ -60,15 +66,29 @@ fn five_d_universal_fold_on_bgq() {
     let grid = ProcGrid::new(32, 32);
     let m = Mapping5::universal_folded(torus, &grid).unwrap();
     let edges = partition_halo_pairs(&grid, &[grid.rect()]);
-    assert!((m.avg_hops(&edges) - 1.0).abs() < 1e-12, "universal fold must be 1-hop everywhere");
+    assert!(
+        (m.avg_hops(&edges) - 1.0).abs() < 1e-12,
+        "universal fold must be 1-hop everywhere"
+    );
 }
 
 #[test]
 fn execution_modes_simulate() {
     let (parent, nests) = config();
-    for machine in [Machine::bgl_co(128), Machine::bgp_smp(64), Machine::bgp_dual(128)] {
+    for machine in [
+        Machine::bgl_co(128),
+        Machine::bgp_smp(64),
+        Machine::bgp_dual(128),
+    ] {
         let name = machine.name.clone();
-        let rep = Planner::new(machine).plan(&parent, &nests).unwrap().simulate(2).unwrap();
-        assert!(rep.total_time.is_finite() && rep.total_time > 0.0, "{name} failed");
+        let rep = Planner::new(machine)
+            .plan(&parent, &nests)
+            .unwrap()
+            .simulate(2)
+            .unwrap();
+        assert!(
+            rep.total_time.is_finite() && rep.total_time > 0.0,
+            "{name} failed"
+        );
     }
 }

@@ -8,8 +8,18 @@ use nestwx::miniwrf::{run_iterations, NestedModel, ShallowWater, ThreadStrategy}
 
 fn storm_model() -> NestedModel {
     let geos = [
-        NestGeometry { ratio: 3, offset: (6, 6), nx: 45, ny: 39 },
-        NestGeometry { ratio: 3, offset: (32, 30), nx: 36, ny: 30 },
+        NestGeometry {
+            ratio: 3,
+            offset: (6, 6),
+            nx: 45,
+            ny: 39,
+        },
+        NestGeometry {
+            ratio: 3,
+            offset: (32, 30),
+            nx: 36,
+            ny: 30,
+        },
     ];
     let mut m = NestedModel::new(60, 54, 24_000.0, 1000.0, &geos);
     m.add_depression(13.0, 12.0, -18.0, 3.0);
@@ -23,7 +33,12 @@ fn sequential_and_concurrent_agree_bitwise() {
     let mut conc = storm_model();
     let alloc = thread_allocation(&[45.0 * 39.0, 36.0 * 30.0], 3);
     run_iterations(&mut seq, 6, 3, &ThreadStrategy::Sequential);
-    run_iterations(&mut conc, 6, 3, &ThreadStrategy::Concurrent { allocation: alloc });
+    run_iterations(
+        &mut conc,
+        6,
+        3,
+        &ThreadStrategy::Concurrent { allocation: alloc },
+    );
     assert_eq!(seq.parent.h, conc.parent.h);
     assert_eq!(seq.parent.hu, conc.parent.hu);
     assert_eq!(seq.parent.hv, conc.parent.hv);
@@ -52,7 +67,10 @@ fn coupled_run_stays_stable_and_bounded() {
     for n in &m.nests {
         assert!(n.solver.cfl() < 1.0);
         let h = &n.solver.h;
-        assert!(h.max_abs() < 1100.0 && h.max_abs() > 900.0, "depth out of range");
+        assert!(
+            h.max_abs() < 1100.0 && h.max_abs() > 900.0,
+            "depth out of range"
+        );
     }
 }
 
@@ -76,7 +94,10 @@ fn depression_fills_in_over_time() {
     run_iterations(&mut m, 12, 2, &ThreadStrategy::Sequential);
     let centre1 = m.nests[0].solver.h.get(19, 18);
     assert!(centre0 < 1000.0, "initial depression missing");
-    assert!(centre1 > centre0, "depression should relax: {centre0} → {centre1}");
+    assert!(
+        centre1 > centre0,
+        "depression should relax: {centre0} → {centre1}"
+    );
 }
 
 #[test]
@@ -91,7 +112,10 @@ fn feedback_keeps_parent_and_nest_consistent() {
         let mut mean = 0.0;
         for fj in 0..3 {
             for fi in 0..3 {
-                mean += nest.solver.h.get((pi * 3 + fi) as isize, (pj * 3 + fj) as isize);
+                mean += nest
+                    .solver
+                    .h
+                    .get((pi * 3 + fi) as isize, (pj * 3 + fj) as isize);
             }
         }
         mean /= 9.0;

@@ -31,7 +31,9 @@ fn concurrent_beats_default_on_saturating_machine() {
 #[test]
 fn partition_areas_track_predicted_ratios() {
     let (parent, nests) = pacific();
-    let plan = Planner::new(Machine::bgl(256)).plan(&parent, &nests).unwrap();
+    let plan = Planner::new(Machine::bgl(256))
+        .plan(&parent, &nests)
+        .unwrap();
     let total: f64 = plan.partitions.iter().map(|p| p.rect.area() as f64).sum();
     for p in &plan.partitions {
         let share = p.rect.area() as f64 / total;
@@ -47,8 +49,15 @@ fn partition_areas_track_predicted_ratios() {
 #[test]
 fn partitions_tile_grid_exactly() {
     let (parent, nests) = pacific();
-    for policy in [AllocPolicy::Equal, AllocPolicy::NaiveProportional, AllocPolicy::HuffmanSplitTree] {
-        let plan = Planner::new(Machine::bgl(256)).alloc_policy(policy).plan(&parent, &nests).unwrap();
+    for policy in [
+        AllocPolicy::Equal,
+        AllocPolicy::NaiveProportional,
+        AllocPolicy::HuffmanSplitTree,
+    ] {
+        let plan = Planner::new(Machine::bgl(256))
+            .alloc_policy(policy)
+            .plan(&parent, &nests)
+            .unwrap();
         let rects: Vec<_> = plan.partitions.iter().map(|p| p.rect).collect();
         assert!(
             nestwx::grid::rect::tiles_exactly(&plan.grid.rect(), &rects),
@@ -62,7 +71,12 @@ fn topology_aware_mappings_cut_hops() {
     let (parent, nests) = pacific();
     let base = Planner::new(Machine::bgl(512));
     let run = |kind| {
-        base.clone().mapping(kind).plan(&parent, &nests).unwrap().simulate(2).unwrap()
+        base.clone()
+            .mapping(kind)
+            .plan(&parent, &nests)
+            .unwrap()
+            .simulate(2)
+            .unwrap()
     };
     let oblivious = run(MappingKind::Oblivious);
     let partition = run(MappingKind::Partition);
@@ -122,7 +136,11 @@ fn whole_pipeline_is_deterministic() {
     let run = || {
         let planner = Planner::new(Machine::bgl(256));
         let cmp = compare_strategies(&planner, &parent, &nests, 2).unwrap();
-        (cmp.default_run.total_time, cmp.planned_run.total_time, cmp.planned_run.mpi_wait_total)
+        (
+            cmp.default_run.total_time,
+            cmp.planned_run.total_time,
+            cmp.planned_run.mpi_wait_total,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -137,7 +155,9 @@ fn grid_smaller_machines_still_plan() {
         NestSpec::new(60, 70, 3, (70, 70)),
         NestSpec::new(50, 50, 3, (20, 80)),
     ];
-    let plan = Planner::new(Machine::bgl(16)).plan(&parent, &nests).unwrap();
+    let plan = Planner::new(Machine::bgl(16))
+        .plan(&parent, &nests)
+        .unwrap();
     assert_eq!(plan.partitions.len(), 3);
     let rep = plan.simulate(2).unwrap();
     assert!(rep.total_time.is_finite() && rep.total_time > 0.0);

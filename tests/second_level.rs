@@ -10,10 +10,10 @@ use nestwx::netsim::Machine;
 fn sea_config() -> (Domain, Vec<NestSpec>) {
     let parent = Domain::parent(300, 260, 4.5);
     let nests = vec![
-        NestSpec::new(240, 210, 3, (20, 20)),          // level 1, big
-        NestSpec::new(150, 150, 3, (170, 150)),        // level 1
-        NestSpec::child_of(0, 90, 90, 3, (10, 10)),    // level 2 in nest 0
-        NestSpec::child_of(0, 75, 60, 3, (140, 120)),  // level 2 in nest 0
+        NestSpec::new(240, 210, 3, (20, 20)),         // level 1, big
+        NestSpec::new(150, 150, 3, (170, 150)),       // level 1
+        NestSpec::child_of(0, 90, 90, 3, (10, 10)),   // level 2 in nest 0
+        NestSpec::child_of(0, 75, 60, 3, (140, 120)), // level 2 in nest 0
     ];
     (parent, nests)
 }
@@ -34,11 +34,17 @@ fn rejects_forward_and_deep_references() {
     // Forward reference.
     let err = NestedConfig::new(
         parent.clone(),
-        vec![NestSpec::child_of(1, 30, 30, 3, (0, 0)), NestSpec::new(100, 100, 3, (0, 0))],
+        vec![
+            NestSpec::child_of(1, 30, 30, 3, (0, 0)),
+            NestSpec::new(100, 100, 3, (0, 0)),
+        ],
     )
     .err()
     .unwrap();
-    assert!(matches!(err, DomainError::BadNestParent { nest: 0, parent: 1 }));
+    assert!(matches!(
+        err,
+        DomainError::BadNestParent { nest: 0, parent: 1 }
+    ));
     // Third level (child of a child) is rejected.
     let err = NestedConfig::new(
         parent,
@@ -50,7 +56,10 @@ fn rejects_forward_and_deep_references() {
     )
     .err()
     .unwrap();
-    assert!(matches!(err, DomainError::BadNestParent { nest: 2, parent: 1 }));
+    assert!(matches!(
+        err,
+        DomainError::BadNestParent { nest: 2, parent: 1 }
+    ));
 }
 
 #[test]
@@ -72,16 +81,27 @@ fn rejects_child_outside_its_nest() {
 #[test]
 fn planner_subdivides_children_inside_parent_partition() {
     let (parent, nests) = sea_config();
-    let plan = Planner::new(Machine::bgl(256)).plan(&parent, &nests).unwrap();
+    let plan = Planner::new(Machine::bgl(256))
+        .plan(&parent, &nests)
+        .unwrap();
     assert_eq!(plan.partitions.len(), 4);
     let r0 = plan.partitions[0].rect;
     let r2 = plan.partitions[2].rect;
     let r3 = plan.partitions[3].rect;
-    assert!(r0.contains_rect(&r2), "child 2 must sit inside nest 0's partition");
-    assert!(r0.contains_rect(&r3), "child 3 must sit inside nest 0's partition");
+    assert!(
+        r0.contains_rect(&r2),
+        "child 2 must sit inside nest 0's partition"
+    );
+    assert!(
+        r0.contains_rect(&r3),
+        "child 3 must sit inside nest 0's partition"
+    );
     assert!(r2.is_disjoint(&r3), "sibling children must not overlap");
     // The level-1 rectangles still tile the grid.
-    let l1: Vec<_> = [0usize, 1].iter().map(|&i| plan.partitions[i].rect).collect();
+    let l1: Vec<_> = [0usize, 1]
+        .iter()
+        .map(|&i| plan.partitions[i].rect)
+        .collect();
     assert!(nestwx::grid::rect::tiles_exactly(&plan.grid.rect(), &l1));
     // Nest 0 carries its children's load → more processors than nest 1.
     assert!(plan.partitions[0].rect.area() > plan.partitions[1].rect.area());
@@ -101,8 +121,16 @@ fn hierarchical_simulation_runs_both_strategies() {
     let conc = planner.plan(&parent, &nests).unwrap().simulate(2).unwrap();
     assert!(seq.total_time.is_finite() && conc.total_time.is_finite());
     // All four nests accumulated solve time in both strategies.
-    assert!(seq.sibling_solve.iter().all(|&t| t > 0.0), "{:?}", seq.sibling_solve);
-    assert!(conc.sibling_solve.iter().all(|&t| t > 0.0), "{:?}", conc.sibling_solve);
+    assert!(
+        seq.sibling_solve.iter().all(|&t| t > 0.0),
+        "{:?}",
+        seq.sibling_solve
+    );
+    assert!(
+        conc.sibling_solve.iter().all(|&t| t > 0.0),
+        "{:?}",
+        conc.sibling_solve
+    );
     // Children run 3× per level-1 sub-step: their cumulative solve time
     // must be substantial relative to their parent's.
     assert!(seq.sibling_solve[2] > 0.3 * seq.sibling_solve[0]);

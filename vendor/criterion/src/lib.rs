@@ -1,0 +1,154 @@
+//! Offline replacement for the `criterion` subset the workspace uses.
+//!
+//! Implements `Criterion::bench_function`, `Bencher::iter`, `black_box`,
+//! `criterion_group!` and `criterion_main!` with a simple adaptive timing
+//! loop: warm up, pick an iteration count that makes one sample take
+//! roughly `sample_ms`, then report min/mean/max over the samples.
+//! Wall-clock budgets are configurable through `NESTWX_BENCH_MS` (per
+//! benchmark, default 1500).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    /// Total measurement budget per benchmark.
+    measurement: Duration,
+    /// Number of samples the budget is split into.
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("NESTWX_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1500);
+        Criterion {
+            measurement: Duration::from_millis(ms),
+            samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2) as u32;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: run single iterations until we know the cost.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let calib_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        loop {
+            f(&mut b);
+            if !b.elapsed.is_zero() {
+                per_iter = b.elapsed / b.iters as u32;
+            }
+            if calib_start.elapsed() >= self.measurement / 10 || per_iter >= self.measurement {
+                break;
+            }
+            b.iters = (b.iters * 2).min(1 << 20);
+        }
+
+        let sample_budget = self.measurement / self.samples;
+        let iters_per_sample =
+            (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            b.iters = iters_per_sample;
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        let min = times[0];
+        let max = times[times.len() - 1];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{id:<50} time: [{} {} {}]  ({iters_per_sample} iters/sample, {} samples)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            times.len()
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("NESTWX_BENCH_MS", "30");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline replacement for the real `serde_derive` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serde stack. This proc-macro crate implements just enough of
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the types that
+//! actually appear in this repository:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic tuple/newtype structs,
+//! * non-generic enums with unit, tuple and struct variants,
+//! * the field attributes `#[serde(default)]` (ignored — typed
+//!   deserialization is never exercised) and
+//!   `#[serde(skip_serializing_if = "path")]`.
+//!
+//! `Serialize` expands to a real JSON emitter (used by the CLI's
+//! `serde_json::to_string_pretty` calls); `Deserialize` expands to a marker
+//! impl because nothing in the workspace deserializes into typed values.
+//!
+//! The parser works directly on `proc_macro::TokenStream` — no `syn`/`quote`
+//! — and panics with a clear message on anything outside the supported
+//! subset (e.g. generic types), so silent misbehaviour is impossible.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip_serializing_if: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::NamedStruct { name, .. }
+            | Item::TupleStruct { name, .. }
+            | Item::UnitStruct { name }
+            | Item::Enum { name, .. } => name,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes one `#[...]` attribute (the `#` has already been consumed) and
+/// returns the serde `skip_serializing_if` path if the attribute carries one.
+fn parse_attr(group: &proc_macro::Group) -> Option<String> {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let args = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            let key = id.to_string();
+            if key == "skip_serializing_if" {
+                // expect `= "literal"`
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        let path = raw.trim_matches('"').to_string();
+                        return Some(path);
+                    }
+                }
+                panic!("serde_derive (vendored): malformed skip_serializing_if");
+            } else if key == "default" || key == "rename" || key == "skip" {
+                // `default` is a no-op for the marker Deserialize impl;
+                // rename/skip are unused in this workspace but tolerated
+                // only when they would not change emitted JSON.
+                if key != "default" {
+                    panic!("serde_derive (vendored): unsupported serde attribute `{key}`");
+                }
+            } else {
+                panic!("serde_derive (vendored): unsupported serde attribute `{key}`");
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses the fields of a brace-delimited body: `{ pub a: T, #[attr] b: U }`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut skip_if = None;
+        // attributes
+        loop {
+            match (&toks.get(i), &toks.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if let Some(path) = parse_attr(g) {
+                        skip_if = Some(path);
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // visibility
+        if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive (vendored): expected field name, got {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive (vendored): expected `:` after field, got {other:?}"),
+        }
+        // skip the type: consume until a top-level `,` (commas inside
+        // parenthesised groups are invisible; only `<...>` depth matters)
+        let mut angle = 0i32;
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip_serializing_if: skip_if,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple body: `(pub T, U)`.
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let mut arity = 0usize;
+    let mut angle = 0i32;
+    let mut pending = false;
+    for t in group.stream() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // attributes
+        loop {
+            match (&toks.get(i), &toks.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    parse_attr(g);
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive (vendored): expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(parse_tuple_arity(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip an explicit discriminant `= expr` up to the separating comma
+        while let Some(t) = toks.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // outer attributes + visibility
+    loop {
+        match (&toks.get(i), &toks.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                parse_attr(g);
+                i += 2;
+            }
+            (Some(TokenTree::Ident(id)), _) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: parse_tuple_arity(g),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive (vendored): unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("serde_derive (vendored): unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive (vendored): unsupported item kind `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn emit_named_fields(out: &mut String, fields: &[Field], access: impl Fn(&str) -> String) {
+    out.push_str("__out.push('{');\n");
+    out.push_str("let mut __first = true;\n");
+    for f in fields {
+        let expr = access(&f.name);
+        if let Some(path) = &f.skip_serializing_if {
+            out.push_str(&format!("if !{path}(&{expr}) {{\n"));
+        }
+        out.push_str("if !__first { __out.push(','); }\n__first = false;\n");
+        out.push_str(&format!(
+            "__out.push_str(\"\\\"{}\\\":\");\n::serde::Serialize::serialize_json(&{expr}, __out);\n",
+            f.name
+        ));
+        if f.skip_serializing_if.is_some() {
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("let _ = __first;\n__out.push('}');\n");
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let name = item.name();
+    let mut body = String::new();
+    match item {
+        Item::NamedStruct { fields, .. } => {
+            emit_named_fields(&mut body, fields, |f| format!("self.{f}"));
+        }
+        Item::TupleStruct { arity, .. } => {
+            if *arity == 1 {
+                body.push_str("::serde::Serialize::serialize_json(&self.0, __out);\n");
+            } else {
+                body.push_str("__out.push('[');\n");
+                for k in 0..*arity {
+                    if k > 0 {
+                        body.push_str("__out.push(',');\n");
+                    }
+                    body.push_str(&format!(
+                        "::serde::Serialize::serialize_json(&self.{k}, __out);\n"
+                    ));
+                }
+                body.push_str("__out.push(']');\n");
+            }
+        }
+        Item::UnitStruct { .. } => {
+            body.push_str("__out.push_str(\"null\");\n");
+        }
+        Item::Enum { variants, .. } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        body.push_str(&format!(
+                            "{name}::{vn} => __out.push_str(\"\\\"{vn}\\\"\"),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        body.push_str(&format!("{name}::{vn}({}) => {{\n", binders.join(", ")));
+                        body.push_str(&format!("__out.push_str(\"{{\\\"{vn}\\\":\");\n"));
+                        if *arity == 1 {
+                            body.push_str("::serde::Serialize::serialize_json(__f0, __out);\n");
+                        } else {
+                            body.push_str("__out.push('[');\n");
+                            for (k, b) in binders.iter().enumerate() {
+                                if k > 0 {
+                                    body.push_str("__out.push(',');\n");
+                                }
+                                body.push_str(&format!(
+                                    "::serde::Serialize::serialize_json({b}, __out);\n"
+                                ));
+                            }
+                            body.push_str("__out.push(']');\n");
+                        }
+                        body.push_str("__out.push('}');\n},\n");
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n",
+                            binders.join(", ")
+                        ));
+                        body.push_str(&format!("__out.push_str(\"{{\\\"{vn}\\\":\");\n"));
+                        emit_named_fields(&mut body, fields, |f| f.to_string());
+                        body.push_str("__out.push('}');\n},\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_assignments, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, __out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item)
+        .parse()
+        .expect("serde_derive (vendored): generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "#[automatically_derived]\nimpl<'de> ::serde::Deserialize<'de> for {} {{}}\n",
+        item.name()
+    )
+    .parse()
+    .expect("serde_derive (vendored): generated Deserialize impl failed to parse")
+}
