@@ -3,11 +3,16 @@
 //!
 //! Paper setup: parent domain 286×307 (24 km) with a 415×445 subdomain;
 //! execution time per iteration saturates as core count grows.
+//!
+//! Pass `--trace-out <path>` (or set `NESTWX_TRACE`) to dump a Chrome
+//! trace of the largest (1024-core) run.
 
-use nestwx_bench::{banner, pacific_parent, row, run_parallel, MEASURE_ITERS};
+use nestwx_bench::{
+    banner, pacific_parent, row, run_parallel, trace_out, write_trace, MEASURE_ITERS,
+};
 use nestwx_core::{MappingKind, Planner, Strategy};
 use nestwx_grid::NestSpec;
-use nestwx_netsim::Machine;
+use nestwx_netsim::{Machine, ObsConfig};
 
 fn main() {
     banner(
@@ -58,6 +63,17 @@ fn main() {
                 &widths
             )
         );
+    }
+    if let Some(path) = trace_out() {
+        let planner = Planner::new(Machine::bgl(*cores_list.last().unwrap()))
+            .strategy(Strategy::Sequential)
+            .mapping(MappingKind::Oblivious);
+        let (_, rec) = planner
+            .plan(&parent, &nests)
+            .unwrap()
+            .simulate_observed(MEASURE_ITERS, ObsConfig::counters())
+            .unwrap();
+        write_trace(&rec, &path);
     }
     println!("\nPaper shape: strongly diminishing returns approaching 1024 cores");
     println!("(\"the performance of WRF involving a subdomain saturates at about 512\").");

@@ -1,0 +1,134 @@
+//! CI performance-regression gate over `BENCH_netsim.json`.
+//!
+//! Usage: `perf_gate <baseline.json> <current.json>`
+//!
+//! Compares the compiled engine's steps/second in `current` against the
+//! committed `baseline`, per rank count. Fails (exit 1) when any size
+//! regresses by more than the tolerance — `NESTWX_PERF_TOLERANCE_PCT`,
+//! default 20 % (CI runners are shared and jittery; the gate catches
+//! step-function regressions, not noise). Also fails when `current`
+//! reports `reports_identical: false` (compiled engine diverged from the
+//! reference oracle) or `obs_identical: false` (observation perturbed the
+//! simulation) — those are correctness regressions, tolerance never
+//! applies.
+//!
+//! Faster-than-baseline results pass with a note; refresh the committed
+//! baseline by running `bench_netsim` on a quiet machine.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+fn tolerance_pct() -> f64 {
+    std::env::var("NESTWX_PERF_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .unwrap_or(20.0)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+/// `results` array of a bench file, as `(ranks, compiled steps/s)` pairs in
+/// file order, plus the per-entry flag map for correctness checks.
+fn results<'a>(v: &'a Value, path: &str) -> Result<Vec<(u64, f64, &'a Value)>, String> {
+    let arr = v
+        .get("results")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path}: missing results array"))?;
+    arr.iter()
+        .map(|entry| {
+            let ranks = entry
+                .get("ranks")
+                .and_then(|r| r.as_u64())
+                .ok_or_else(|| format!("{path}: result entry missing ranks"))?;
+            let sps = entry
+                .get("compiled")
+                .and_then(|c| c.get("steps_per_sec"))
+                .and_then(|s| s.as_f64())
+                .ok_or_else(|| {
+                    format!("{path}: entry ranks={ranks} missing compiled.steps_per_sec")
+                })?;
+            Ok((ranks, sps, entry))
+        })
+        .collect()
+}
+
+fn bool_flag(entry: &Value, key: &str) -> Option<bool> {
+    entry.get(key).and_then(|b| b.as_bool())
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        return Err("usage: perf_gate <baseline.json> <current.json>".into());
+    };
+    let tol = tolerance_pct();
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let base = results(&baseline, baseline_path)?;
+    let cur = results(&current, current_path)?;
+
+    println!("perf gate: tolerance {tol:.0}% (NESTWX_PERF_TOLERANCE_PCT)");
+    println!(
+        "{:>7}  {:>14}  {:>14}  {:>8}  verdict",
+        "ranks", "baseline st/s", "current st/s", "delta"
+    );
+    let mut ok = true;
+    for (ranks, base_sps, _) in &base {
+        let Some((_, cur_sps, entry)) = cur.iter().find(|(r, _, _)| r == ranks) else {
+            println!(
+                "{ranks:>7}  {base_sps:>14.0}  {:>14}  {:>8}  FAIL (missing in current)",
+                "-", "-"
+            );
+            ok = false;
+            continue;
+        };
+        // Correctness flags gate unconditionally.
+        for key in ["reports_identical", "obs_identical"] {
+            // obs_identical lives under "obs" in current files; accept both
+            // layouts so older baselines still parse.
+            let flag =
+                bool_flag(entry, key).or_else(|| entry.get("obs").and_then(|o| bool_flag(o, key)));
+            if flag == Some(false) {
+                println!("{ranks:>7}  correctness flag {key} is false  FAIL");
+                ok = false;
+            }
+        }
+        let delta_pct = (cur_sps / base_sps - 1.0) * 100.0;
+        let pass = delta_pct >= -tol;
+        println!(
+            "{ranks:>7}  {base_sps:>14.0}  {cur_sps:>14.0}  {delta_pct:>+7.1}%  {}",
+            if pass {
+                if delta_pct > tol {
+                    "PASS (faster — consider refreshing baseline)"
+                } else {
+                    "PASS"
+                }
+            } else {
+                "FAIL (regression beyond tolerance)"
+            }
+        );
+        ok &= pass;
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("perf gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("perf gate: FAIL");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("perf gate: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

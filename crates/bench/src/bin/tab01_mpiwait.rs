@@ -4,10 +4,20 @@
 //! Paper values: 1024 BG/L 38.42 % / 66.30 %; 512 BG/P 30.70 / 60.92;
 //! 1024 BG/P 36.01 / 60.11; 2048 BG/P 27.02 / 55.54; 4096 BG/P
 //! 28.68 / 43.86.
+//!
+//! The improvements are computed from the observability layer's recorded
+//! [`StepMetrics`](nestwx_netsim::StepMetrics) totals — the per-step
+//! MPI_Wait deltas summed by `nestwx-obs` — and cross-checked against the
+//! simulator's internal `SimReport` accumulator (the two differ only in
+//! float summation order). Pass `--trace-out <path>` (or set
+//! `NESTWX_TRACE`) to also dump a Chrome trace of the first planned run.
 
-use nestwx_bench::{banner, max, mean, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS};
-use nestwx_core::{compare_strategies, Planner};
-use nestwx_netsim::Machine;
+use nestwx_bench::{
+    banner, max, mean, pacific_parent, random_nests, rng_for, row, trace_out, write_trace,
+    MEASURE_ITERS,
+};
+use nestwx_core::{compare_strategies_observed, Planner};
+use nestwx_netsim::{Machine, ObsConfig};
 
 fn main() {
     let configs: usize = std::env::var("NESTWX_CONFIGS")
@@ -19,6 +29,7 @@ fn main() {
         &format!("MPI_Wait improvement, {configs} configs per machine"),
     );
     let parent = pacific_parent();
+    let trace_path = trace_out();
     let widths = [16, 12, 12, 22];
     println!(
         "{}",
@@ -39,6 +50,7 @@ fn main() {
         (Machine::bgp(2048), "27.02 / 55.54"),
         (Machine::bgp(4096), "28.68 / 43.86"),
     ];
+    let mut traced = false;
     for (machine, paper) in machines {
         let name = machine.name.clone();
         let planner = Planner::new(machine);
@@ -47,8 +59,28 @@ fn main() {
         for i in 0..configs {
             let k = 2 + (i % 3);
             let nests = random_nests(&mut rng, k, 178 * 202, 394 * 418, &parent);
-            let cmp = compare_strategies(&planner, &parent, &nests, MEASURE_ITERS).unwrap();
+            let cmp =
+                compare_strategies_observed(&planner, &parent, &nests, MEASURE_ITERS).unwrap();
+            // Recorded metrics must rebuild the simulator's accumulator up
+            // to summation order.
+            let report_wait = cmp.comparison.default_run.mpi_wait_total;
+            let rel = (cmp.default_obs.halo_wait - report_wait).abs() / report_wait;
+            assert!(
+                rel < 1e-6,
+                "recorded MPI_Wait drifted from SimReport: rel {rel:e}"
+            );
             imps.push(cmp.mpi_wait_improvement_pct());
+            if !traced {
+                if let Some(path) = &trace_path {
+                    let (_, rec) = planner
+                        .plan(&parent, &nests)
+                        .unwrap()
+                        .simulate_observed(MEASURE_ITERS, ObsConfig::counters())
+                        .unwrap();
+                    write_trace(&rec, path);
+                    traced = true;
+                }
+            }
         }
         println!(
             "{}",

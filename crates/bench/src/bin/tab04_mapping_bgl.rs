@@ -10,20 +10,27 @@
 //!   4.98  |   3.92    |   3.72    |    3.72     | 3.99
 //!   4.75  |   3.53    |   3.39    |    3.33     | 3.44
 //! (rows 1–3: 2 siblings, row 4: 3 siblings, row 5: 4 siblings)
+//!
+//! The MPI_Wait rows come from the observability layer's recorded step
+//! metrics ([`ObsSummary::halo_wait`]). Pass `--trace-out <path>` (or set
+//! `NESTWX_TRACE`) to dump a Chrome trace of config 1's partition-mapped
+//! run.
 
 use nestwx_bench::{
-    banner, pacific_parent, random_nests, rng_for, row, run_parallel, MEASURE_ITERS,
+    banner, pacific_parent, random_nests, rng_for, row, run_parallel, trace_out, write_trace,
+    MEASURE_ITERS,
 };
 use nestwx_core::{MappingKind, Planner, Strategy};
 use nestwx_grid::NestSpec;
-use nestwx_netsim::{Machine, SimReport};
+use nestwx_netsim::{Machine, ObsConfig, ObsSummary, SimReport};
 
-fn run(planner: &Planner, nests: &[NestSpec]) -> SimReport {
-    planner
+fn run(planner: &Planner, nests: &[NestSpec]) -> (SimReport, ObsSummary) {
+    let (report, rec) = planner
         .plan(&pacific_parent(), nests)
         .unwrap()
-        .simulate(MEASURE_ITERS)
-        .unwrap()
+        .simulate_observed(MEASURE_ITERS, ObsConfig::counters())
+        .unwrap();
+    (report, rec.summary().clone())
 }
 
 fn main() {
@@ -64,7 +71,7 @@ fn main() {
             std::iter::once((i, None)).chain(MappingKind::ALL.iter().map(move |&m| (i, Some(m))))
         })
         .collect();
-    let reports = run_parallel(&jobs, |&(i, variant)| match variant {
+    let results = run_parallel(&jobs, |&(i, variant)| match variant {
         None => run(
             &base
                 .clone()
@@ -76,8 +83,8 @@ fn main() {
     });
     let per_cfg = 1 + MappingKind::ALL.len();
     for (i, nests) in configs.iter().enumerate() {
-        let default = &reports[i * per_cfg];
-        let runs = &reports[i * per_cfg + 1..(i + 1) * per_cfg];
+        let (default, default_obs) = &results[i * per_cfg];
+        let runs = &results[i * per_cfg + 1..(i + 1) * per_cfg];
         // Order: oblivious, txyz, partition, multilevel → print paper order.
         println!(
             "{}",
@@ -85,17 +92,19 @@ fn main() {
                 &[
                     format!("{} ({}s)", i + 1, nests.len()),
                     format!("{:.2}", default.per_iteration()),
-                    format!("{:.2}", runs[0].per_iteration()),
-                    format!("{:.2}", runs[2].per_iteration()),
-                    format!("{:.2}", runs[3].per_iteration()),
-                    format!("{:.2}", runs[1].per_iteration()),
+                    format!("{:.2}", runs[0].0.per_iteration()),
+                    format!("{:.2}", runs[2].0.per_iteration()),
+                    format!("{:.2}", runs[3].0.per_iteration()),
+                    format!("{:.2}", runs[1].0.per_iteration()),
                 ],
                 &widths
             )
         );
-        // Fig. 11 rows: improvement over default.
-        let imp = |r: &SimReport| r.improvement_over(default);
-        let wimp = |r: &SimReport| (1.0 - r.mpi_wait_total / default.mpi_wait_total) * 100.0;
+        // Fig. 11 rows: improvement over default. MPI_Wait comes from the
+        // recorded step metrics, not the simulator's accumulator.
+        let imp = |r: &(SimReport, ObsSummary)| r.0.improvement_over(default);
+        let wimp =
+            |r: &(SimReport, ObsSummary)| (1.0 - r.1.halo_wait / default_obs.halo_wait) * 100.0;
         println!(
             "{}",
             row(
@@ -124,6 +133,16 @@ fn main() {
                 &widths
             )
         );
+    }
+    if let Some(path) = trace_out() {
+        let (_, rec) = base
+            .clone()
+            .mapping(MappingKind::Partition)
+            .plan(&parent, &configs[0])
+            .unwrap()
+            .simulate_observed(MEASURE_ITERS, ObsConfig::counters())
+            .unwrap();
+        write_trace(&rec, &path);
     }
     println!("\nPaper shape: topology-aware (partition/multi-level) beat oblivious by a few %,");
     println!("multi-level ⩾ partition, and both beat the Blue Gene TXYZ mapfile ordering.");

@@ -4,13 +4,19 @@
 //! Paper (Table 5, s/iteration): default 5.43/5.65/5.61; oblivious
 //! 3.94/4.20/4.39; partition 3.92/4.1/4.28; multi-level 3.93/4.1/4.39.
 //! Fig. 12(b): topology-aware mappings cut average hops by ≈ 50 %.
+//!
+//! Both the MPI_Wait and hop rows come from the observability layer's
+//! recorded step metrics ([`ObsSummary`]). Pass `--trace-out <path>` (or
+//! set `NESTWX_TRACE`) to dump a Chrome trace of config 1's
+//! multi-level-mapped run.
 
 use nestwx_bench::{
-    banner, pacific_parent, random_nests, rng_for, row, run_parallel, MEASURE_ITERS,
+    banner, pacific_parent, random_nests, rng_for, row, run_parallel, trace_out, write_trace,
+    MEASURE_ITERS,
 };
 use nestwx_core::{MappingKind, Planner, Strategy};
 use nestwx_grid::NestSpec;
-use nestwx_netsim::{Machine, SimReport};
+use nestwx_netsim::{Machine, ObsConfig, ObsSummary, SimReport};
 
 fn main() {
     banner(
@@ -52,7 +58,7 @@ fn main() {
     let jobs: Vec<(usize, Option<MappingKind>)> = (0..configs.len())
         .flat_map(|i| VARIANTS.iter().map(move |&v| (i, v)))
         .collect();
-    let reports = run_parallel(&jobs, |&(i, variant)| -> SimReport {
+    let results = run_parallel(&jobs, |&(i, variant)| -> (SimReport, ObsSummary) {
         let p = match variant {
             None => base
                 .clone()
@@ -60,13 +66,15 @@ fn main() {
                 .mapping(MappingKind::Oblivious),
             Some(m) => base.clone().mapping(m),
         };
-        p.plan(&parent, &configs[i])
+        let (report, rec) = p
+            .plan(&parent, &configs[i])
             .unwrap()
-            .simulate(MEASURE_ITERS)
-            .unwrap()
+            .simulate_observed(MEASURE_ITERS, ObsConfig::counters())
+            .unwrap();
+        (report, rec.summary().clone())
     });
     for (i, nests) in configs.iter().enumerate() {
-        let [default, obl, par, mul] = &reports[i * VARIANTS.len()..(i + 1) * VARIANTS.len()]
+        let [default, obl, par, mul] = &results[i * VARIANTS.len()..(i + 1) * VARIANTS.len()]
         else {
             unreachable!("four variants per config");
         };
@@ -75,15 +83,17 @@ fn main() {
             row(
                 &[
                     format!("{} ({}s)", i + 1, nests.len()),
-                    format!("{:.2}", default.per_iteration()),
-                    format!("{:.2}", obl.per_iteration()),
-                    format!("{:.2}", par.per_iteration()),
-                    format!("{:.2}", mul.per_iteration()),
+                    format!("{:.2}", default.0.per_iteration()),
+                    format!("{:.2}", obl.0.per_iteration()),
+                    format!("{:.2}", par.0.per_iteration()),
+                    format!("{:.2}", mul.0.per_iteration()),
                 ],
                 &widths
             )
         );
-        let wimp = |r: &SimReport| (1.0 - r.mpi_wait_total / default.mpi_wait_total) * 100.0;
+        // Fig. 12 rows, rebuilt from recorded step metrics.
+        let wimp =
+            |r: &(SimReport, ObsSummary)| (1.0 - r.1.halo_wait / default.1.halo_wait) * 100.0;
         println!(
             "{}",
             row(
@@ -97,7 +107,8 @@ fn main() {
                 &widths
             )
         );
-        let hops = |r: &SimReport| (1.0 - r.avg_hops / default.avg_hops) * 100.0;
+        let hops =
+            |r: &(SimReport, ObsSummary)| (1.0 - r.1.avg_hops() / default.1.avg_hops()) * 100.0;
         println!(
             "{}",
             row(
@@ -111,6 +122,16 @@ fn main() {
                 &widths
             )
         );
+    }
+    if let Some(path) = trace_out() {
+        let (_, rec) = base
+            .clone()
+            .mapping(MappingKind::MultiLevel)
+            .plan(&parent, &configs[0])
+            .unwrap()
+            .simulate_observed(MEASURE_ITERS, ObsConfig::counters())
+            .unwrap();
+        write_trace(&rec, &path);
     }
     println!("\nPaper shape: MPI_Wait falls > 50 % on average for the mapped runs;");
     println!("topology-aware mappings cut average hops ≈ 50 % vs default/oblivious.");

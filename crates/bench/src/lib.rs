@@ -8,6 +8,7 @@
 use nestwx_grid::NestSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -113,6 +114,50 @@ where
         .collect()
 }
 
+/// Chrome-trace output destination for an experiment binary: the
+/// `--trace-out <path>` (or `--trace-out=<path>`) CLI argument when
+/// present, else the `NESTWX_TRACE` environment variable when non-empty.
+/// `None` disables trace export.
+pub fn trace_out() -> Option<PathBuf> {
+    trace_out_from(std::env::args().skip(1), std::env::var_os("NESTWX_TRACE"))
+}
+
+/// [`trace_out`] over explicit inputs (testable without touching the
+/// process environment).
+pub fn trace_out_from(
+    args: impl Iterator<Item = String>,
+    env: Option<std::ffi::OsString>,
+) -> Option<PathBuf> {
+    let mut args = args;
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            match args.next() {
+                Some(p) => return Some(p.into()),
+                None => {
+                    eprintln!("warning: --trace-out requires a path; tracing disabled");
+                    return None;
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(p.into());
+        }
+    }
+    env.filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// Writes `rec`'s Chrome `trace_event` JSON to `path`, printing where it
+/// went (or a warning on I/O failure — traces are best-effort diagnostics,
+/// not experiment results).
+pub fn write_trace(rec: &nestwx_netsim::Recorder, path: &Path) {
+    match rec.write_chrome_trace(path) {
+        Ok(()) => println!(
+            "\nwrote Chrome trace to {} (load in chrome://tracing or Perfetto)",
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: failed to write trace {}: {e}", path.display()),
+    }
+}
+
 /// Mean of a slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -176,6 +221,28 @@ mod tests {
         // Degenerate inputs.
         assert_eq!(run_parallel(&[] as &[u64], |&x| x), Vec::<u64>::new());
         assert_eq!(run_parallel(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn trace_out_resolution_order() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // CLI flag wins, both spellings.
+        let got = trace_out_from(args(&["--trace-out", "a.json"]).into_iter(), None);
+        assert_eq!(got, Some(PathBuf::from("a.json")));
+        let got = trace_out_from(
+            args(&["--trace-out=b.json"]).into_iter(),
+            Some("env.json".into()),
+        );
+        assert_eq!(got, Some(PathBuf::from("b.json")));
+        // Env fallback; empty env disables.
+        let got = trace_out_from(args(&[]).into_iter(), Some("env.json".into()));
+        assert_eq!(got, Some(PathBuf::from("env.json")));
+        assert_eq!(trace_out_from(args(&[]).into_iter(), Some("".into())), None);
+        // Dangling flag disables rather than panicking.
+        assert_eq!(
+            trace_out_from(args(&["--trace-out"]).into_iter(), None),
+            None
+        );
     }
 
     #[test]

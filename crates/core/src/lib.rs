@@ -28,7 +28,9 @@ pub mod strategy;
 pub mod threads;
 
 pub use adaptive::{run_adaptive, AdaptiveReport};
-pub use compare::{compare_strategies, StrategyComparison};
+pub use compare::{
+    compare_strategies, compare_strategies_observed, ObservedComparison, StrategyComparison,
+};
 pub use planner::{ExecutionPlan, PlanError, Planner};
 pub use profile::{fit_predictor, measure_domain_time, profile_basis};
 pub use strategy::{AllocPolicy, MappingKind, Strategy};

@@ -326,6 +326,21 @@ impl ExecutionPlan {
         Ok(sim.run_traced(iterations))
     }
 
+    /// Like [`ExecutionPlan::simulate`] with a step-metrics recorder
+    /// attached, returning the report plus the detached recorder (whole-run
+    /// [`nestwx_netsim::ObsSummary`] totals, recent-steps ring, spans). The
+    /// report is bitwise identical to an unobserved run.
+    pub fn simulate_observed(
+        &self,
+        iterations: u32,
+        obs: nestwx_netsim::ObsConfig,
+    ) -> Result<(SimReport, nestwx_netsim::Recorder), PlanError> {
+        let mut sim = self.compile()?.with_obs(obs);
+        let report = sim.run_mut(iterations);
+        let rec = sim.take_obs().expect("recorder attached above");
+        Ok((report, rec))
+    }
+
     /// Builds the simulation once (compiling its halo-step schedules) so it
     /// can be run repeatedly via [`Simulation::run_mut`] — the
     /// compile-once, simulate-many entry point for sweeps and benchmarks.

@@ -33,5 +33,5 @@ pub mod solver;
 pub use field::Field2D;
 pub use model::{NestState, NestedModel};
 pub use output::{HistoryWriter, OutputStats};
-pub use runtime::{run_iterations, PhaseTimings, ThreadStrategy};
+pub use runtime::{run_iterations, run_iterations_observed, PhaseTimings, ThreadStrategy};
 pub use solver::{Scheme, ShallowWater};

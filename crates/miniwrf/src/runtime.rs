@@ -11,6 +11,7 @@
 use crate::field::Field2D;
 use crate::model::{NestState, NestedModel};
 use crate::solver::{RowBand, ShallowWater};
+use nestwx_obs::{Recorder, StepMetrics, StepPhase};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -88,6 +89,31 @@ pub fn run_iterations(
     total_threads: usize,
     strategy: &ThreadStrategy,
 ) -> PhaseTimings {
+    run_iterations_inner(model, iterations, total_threads, strategy, None)
+}
+
+/// [`run_iterations`] with a [`Recorder`] attached: every parent step and
+/// every sibling solve lands in the step-metrics ring (wall-clock seconds
+/// since the run started, `compute` = the phase's duration), plus span
+/// events when the `obs-spans` feature is on. The model state is bitwise
+/// identical to an unobserved run — observation only reads clocks.
+pub fn run_iterations_observed(
+    model: &mut NestedModel,
+    iterations: u32,
+    total_threads: usize,
+    strategy: &ThreadStrategy,
+    rec: &mut Recorder,
+) -> PhaseTimings {
+    run_iterations_inner(model, iterations, total_threads, strategy, Some(rec))
+}
+
+fn run_iterations_inner(
+    model: &mut NestedModel,
+    iterations: u32,
+    total_threads: usize,
+    strategy: &ThreadStrategy,
+    mut obs: Option<&mut Recorder>,
+) -> PhaseTimings {
     assert!(iterations > 0 && total_threads > 0);
     if let ThreadStrategy::Concurrent { allocation } = strategy {
         assert_eq!(
@@ -100,50 +126,84 @@ pub fn run_iterations(
     let mut parent_t = Duration::ZERO;
     let mut sibling_t = Duration::ZERO;
     let mut per_sibling = vec![Duration::ZERO; model.nests.len()];
+    let mut step_no = 0u64;
     let t_start = Instant::now();
 
     for _ in 0..iterations {
         let t0 = Instant::now();
         step_parallel(&mut model.parent, total_threads);
-        parent_t += t0.elapsed();
+        let parent_dt = t0.elapsed();
+        parent_t += parent_dt;
+        if let Some(rec) = obs.as_deref_mut() {
+            step_no += 1;
+            let start = t0.duration_since(t_start).as_secs_f64();
+            let dur = parent_dt.as_secs_f64();
+            rec.record_step(phase_metrics(step_no, StepPhase::Parent, -1, start, dur));
+            if nestwx_obs::SPANS_ENABLED {
+                rec.span("parent step", 0, start * 1e6, dur * 1e6);
+            }
+        }
 
         let t1 = Instant::now();
         let bcs = model.boundaries();
-        match strategy {
-            ThreadStrategy::Sequential => {
-                for (i, (nest, bc)) in model.nests.iter_mut().zip(&bcs).enumerate() {
+        let iter_sibling: Vec<Duration> = match strategy {
+            ThreadStrategy::Sequential => model
+                .nests
+                .iter_mut()
+                .zip(&bcs)
+                .map(|(nest, bc)| {
                     let ts = Instant::now();
                     solve_nest_threaded(nest, bc, total_threads);
-                    per_sibling[i] += ts.elapsed();
-                }
-            }
-            ThreadStrategy::Concurrent { allocation } => {
-                let timings: Vec<Duration> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = model
-                        .nests
-                        .iter_mut()
-                        .zip(&bcs)
-                        .zip(allocation)
-                        .map(|((nest, bc), &threads)| {
-                            scope.spawn(move || {
-                                let ts = Instant::now();
-                                solve_nest_threaded(nest, bc, threads);
-                                ts.elapsed()
-                            })
+                    ts.elapsed()
+                })
+                .collect(),
+            ThreadStrategy::Concurrent { allocation } => std::thread::scope(|scope| {
+                let handles: Vec<_> = model
+                    .nests
+                    .iter_mut()
+                    .zip(&bcs)
+                    .zip(allocation)
+                    .map(|((nest, bc), &threads)| {
+                        scope.spawn(move || {
+                            let ts = Instant::now();
+                            solve_nest_threaded(nest, bc, threads);
+                            ts.elapsed()
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("sibling thread panicked"))
-                        .collect()
-                });
-                for (acc, t) in per_sibling.iter_mut().zip(timings) {
-                    *acc += t;
-                }
-            }
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sibling thread panicked"))
+                    .collect()
+            }),
+        };
+        for (acc, t) in per_sibling.iter_mut().zip(&iter_sibling) {
+            *acc += *t;
         }
         model.apply_feedbacks();
-        sibling_t += t1.elapsed();
+        let sibling_dt = t1.elapsed();
+        sibling_t += sibling_dt;
+        if let Some(rec) = obs.as_deref_mut() {
+            let start = t1.duration_since(t_start).as_secs_f64();
+            for (i, d) in iter_sibling.iter().enumerate() {
+                step_no += 1;
+                rec.record_step(phase_metrics(
+                    step_no,
+                    StepPhase::Nest,
+                    i as i32,
+                    start,
+                    d.as_secs_f64(),
+                ));
+            }
+            if nestwx_obs::SPANS_ENABLED {
+                rec.span(
+                    "sibling phase",
+                    0,
+                    start * 1e6,
+                    sibling_dt.as_secs_f64() * 1e6,
+                );
+            }
+        }
     }
 
     PhaseTimings {
@@ -152,6 +212,26 @@ pub fn run_iterations(
         siblings: sibling_t,
         per_sibling,
         total: t_start.elapsed(),
+    }
+}
+
+/// A wall-clock phase record: no network in the mini-app, so all message
+/// counters stay zero and the phase duration is charged to `compute`.
+fn phase_metrics(step: u64, phase: StepPhase, nest: i32, start: f64, dur: f64) -> StepMetrics {
+    StepMetrics {
+        step,
+        phase,
+        nest,
+        domains: 1,
+        start,
+        end: start + dur,
+        compute: dur,
+        halo_wait: 0.0,
+        bytes: 0.0,
+        messages: 0,
+        transfers: 0,
+        hops: 0,
+        stall: 0.0,
     }
 }
 
@@ -324,6 +404,30 @@ mod tests {
                 assert!(ca.solver.cfl() < 1.0);
             }
         }
+    }
+
+    #[test]
+    fn observed_run_records_phases_and_matches_unobserved() {
+        let mut plain = model();
+        let mut observed = model();
+        run_iterations(&mut plain, 3, 2, &ThreadStrategy::Sequential);
+        let mut rec = Recorder::new(nestwx_obs::ObsConfig::counters());
+        let t = run_iterations_observed(&mut observed, 3, 2, &ThreadStrategy::Sequential, &mut rec);
+        // Observation only reads clocks; the model state must be identical.
+        assert_eq!(plain.parent.h, observed.parent.h);
+        for (a, b) in plain.nests.iter().zip(&observed.nests) {
+            assert_eq!(a.solver.h, b.solver.h);
+        }
+        // 3 iterations × (1 parent + 2 siblings) records.
+        let s = rec.summary();
+        assert_eq!(s.steps, 9);
+        assert_eq!(s.per_nest.len(), 2);
+        assert_eq!(s.per_nest[0].steps, 3);
+        assert!(s.compute > 0.0);
+        // Recorded compute covers the timed phases (same clock sources).
+        let timed =
+            t.parent.as_secs_f64() + t.per_sibling.iter().map(|d| d.as_secs_f64()).sum::<f64>();
+        assert!((s.compute - timed).abs() < 0.5 * timed + 1e-6);
     }
 
     #[test]

@@ -40,3 +40,7 @@ pub use io::{IoMode, IoParams};
 pub use machine::{ComputeParams, Machine, NetworkParams};
 pub use network::Network;
 pub use sim::{ExecStrategy, HaloEngine, IterationTrace, SimReport, Simulation};
+
+// Observability layer (`nestwx-obs`), re-exported so simulator users can
+// attach a recorder without a separate dependency.
+pub use nestwx_obs::{ObsConfig, ObsSummary, Recorder, StepMetrics, StepPhase};

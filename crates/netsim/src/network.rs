@@ -27,6 +27,10 @@ pub struct Network {
     pub bytes: f64,
     /// Total hops traversed.
     pub hops: u64,
+    /// Total seconds message heads spent queued behind busy links — the
+    /// contention-stall counter of the observability layer. Purely
+    /// additive: it never feeds back into transfer times.
+    pub stall: f64,
 }
 
 impl Network {
@@ -41,6 +45,7 @@ impl Network {
             transfers: 0,
             bytes: 0.0,
             hops: 0,
+            stall: 0.0,
         }
     }
 
@@ -51,6 +56,7 @@ impl Network {
         self.transfers = 0;
         self.bytes = 0.0;
         self.hops = 0;
+        self.stall = 0.0;
     }
 
     /// The modelled parameters.
@@ -111,11 +117,14 @@ impl Network {
         // convoys stay local.)
         let ser = bytes / self.params.link_bw;
         let mut head = inject;
+        let mut stalled = 0.0;
         for &l in route {
             let start = head.max(self.busy_until[l as usize]);
+            stalled += start - head;
             self.busy_until[l as usize] = start + ser;
             head = start + self.params.hop_latency;
         }
+        self.stall += stalled;
         head + ser + self.params.recv_overhead * msgs as f64
     }
 
@@ -144,11 +153,14 @@ impl Network {
         }
         self.hops += route.len() as u64;
         let mut head = inject;
+        let mut stalled = 0.0;
         for &l in route {
             let start = head.max(self.busy_until[l as usize]);
+            stalled += start - head;
             self.busy_until[l as usize] = start + cost;
             head = start + self.params.hop_latency;
         }
+        self.stall += stalled;
         head + cost + recv_cost
     }
 
@@ -280,6 +292,21 @@ mod tests {
         assert_eq!(a.hops, b.hops);
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    fn stall_counts_queuing_only() {
+        let mut net = Network::new(Torus::new(4, 4, 4), params());
+        let a = NodeCoord::new(0, 0, 0);
+        let b = NodeCoord::new(1, 0, 0);
+        net.transfer(a, b, 1e6, 1, 0.0);
+        assert_eq!(net.stall, 0.0, "uncontended transfer must not stall");
+        net.transfer(a, b, 1e6, 1, 0.0);
+        // Second message queues behind the first's serialisation (~10 ms).
+        assert!(net.stall > 0.009, "stall {} too small", net.stall);
+        let before = net.stall;
+        net.transfer(a, a, 1e6, 1, 0.0); // intra-node: no links, no stall
+        assert_eq!(net.stall, before);
     }
 
     #[test]

@@ -176,6 +176,20 @@ impl CompiledStep {
     }
 }
 
+/// Per-step totals of the always-on observability counter core: quantities
+/// the per-rank loops see anyway, accumulated into separate sums (two f64
+/// adds per sender) so the step engines never have to be re-run to answer
+/// "where did this step's time go". Purely additive — nothing here feeds
+/// back into `ready`/`mpi_wait`, so results are bitwise identical whether
+/// or not anyone reads them.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StepTotals {
+    /// Σ over ranks of compute seconds this step (jittered).
+    pub compute: f64,
+    /// Σ over ranks of halo MPI_Wait seconds this step.
+    pub wait: f64,
+}
+
 /// Reusable buffers for [`run_compiled_step`].
 #[derive(Debug, Clone)]
 pub(crate) struct StepScratch {
@@ -189,6 +203,8 @@ pub(crate) struct StepScratch {
     send_done: Vec<f64>,
     /// Latest halo arrival per global rank.
     recv_latest: Vec<f64>,
+    /// Counter-core totals of the most recent step (either engine).
+    pub totals: StepTotals,
 }
 
 impl StepScratch {
@@ -199,6 +215,7 @@ impl StepScratch {
             pending_tmp: Vec::new(),
             send_done: Vec::new(),
             recv_latest: vec![0.0; nranks],
+            totals: StepTotals::default(),
         }
     }
 }
@@ -226,9 +243,12 @@ pub(crate) fn run_compiled_step(
     // resolves equal times exactly like the reference's stable sort.
     scratch.pending.resize(cs.msgs.len(), (0, 0));
     scratch.send_done.clear();
+    let mut compute_total = 0.0;
     let mut mi = 0usize;
     for s in &cs.senders {
-        let t_comp = ready[s.g as usize] + s.step_time * (1.0 + jitter * unit_hash(s.g, step));
+        let comp = s.step_time * (1.0 + jitter * unit_hash(s.g, step));
+        let t_comp = ready[s.g as usize] + comp;
+        compute_total += comp;
         let mut t_send = t_comp;
         for _ in 0..s.n_msgs {
             t_send += send_ovh;
@@ -255,11 +275,18 @@ pub(crate) fn run_compiled_step(
         }
     }
 
+    let mut wait_total = 0.0;
     for (s, &send_done) in cs.senders.iter().zip(&scratch.send_done) {
         let done = send_done.max(scratch.recv_latest[s.g as usize]);
-        mpi_wait[s.g as usize] += done - send_done;
+        let waited = done - send_done;
+        wait_total += waited;
+        mpi_wait[s.g as usize] += waited;
         ready[s.g as usize] = done;
     }
+    scratch.totals = StepTotals {
+        compute: compute_total,
+        wait: wait_total,
+    };
 }
 
 /// Sorts pending messages by injection-time bits, preserving the incoming

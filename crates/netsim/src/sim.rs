@@ -20,7 +20,7 @@
 //! Everything that is a pure function of the configuration — decompositions,
 //! neighbour tables, torus routes, sub-communicator rank lists, donor and
 //! feedback-release sets, interpolation/feedback costs — is compiled once in
-//! [`Simulation::new`] (see [`crate::schedule`]), so the per-step hot path
+//! [`Simulation::new`] (see the `schedule` module), so the per-step hot path
 //! allocates nothing. The original rebuild-every-step implementation is kept
 //! as [`HaloEngine::Reference`], the oracle the equivalence tests compare
 //! against: both engines produce bitwise-identical [`SimReport`]s.
@@ -28,8 +28,9 @@
 use crate::io::IoMode;
 use crate::machine::Machine;
 use crate::network::Network;
-use crate::schedule::{run_compiled_step, CompiledStep, StepScratch};
+use crate::schedule::{run_compiled_step, CompiledStep, StepScratch, StepTotals};
 use nestwx_grid::{Decomposition, NestedConfig, ProcGrid, Rect};
+use nestwx_obs::{ObsConfig, Recorder, StepMetrics, StepPhase};
 use nestwx_topo::Mapping;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -243,11 +244,17 @@ struct ConcChild {
 struct ConcSubstep {
     /// Compiled multi-domain step of the active level-1 nests.
     step_id: usize,
+    /// Nest index for the step-metrics record when exactly one nest is
+    /// active, `-1` for a genuine lockstep step.
+    obs_tag: i32,
     /// Second-level children stepping after this sub-step (empty for most
     /// configurations).
     children: Vec<ConcChild>,
     /// Compiled multi-domain steps of the children's lockstep sub-steps.
     child_step_ids: Vec<usize>,
+    /// Per-child-sub-step observability tags (single active child's index
+    /// or `-1`), parallel to `child_step_ids`.
+    child_obs_tags: Vec<i32>,
     /// Positions (into [`ConcPlan::level1`]) of active nests with children,
     /// which re-synchronise after their children's feedback.
     resync: Vec<usize>,
@@ -352,6 +359,9 @@ pub struct Simulation<'a> {
     engine: HaloEngine,
     compiled: Arc<Compiled>,
     scratch: Scratch,
+    /// Optional step-metrics recorder (`nestwx-obs`). Boxed to keep the
+    /// simulation small; `None` costs one branch per step.
+    obs: Option<Box<Recorder>>,
     // Run state.
     net: Network,
     ready: Vec<f64>,
@@ -439,6 +449,7 @@ impl<'a> Simulation<'a> {
             io_mode,
             output_interval,
             engine: HaloEngine::Compiled,
+            obs: None,
             compiled: Arc::new(compiled),
             scratch: Scratch {
                 step: StepScratch::new(n),
@@ -466,6 +477,29 @@ impl<'a> Simulation<'a> {
         self.engine
     }
 
+    /// Attaches a step-metrics recorder (builder style). Observation is
+    /// passive: [`SimReport`]s are bitwise identical with or without it
+    /// (enforced by `tests/obs_equivalence.rs`).
+    pub fn with_obs(mut self, config: ObsConfig) -> Self {
+        self.enable_obs(config);
+        self
+    }
+
+    /// Attaches (or replaces) the step-metrics recorder.
+    pub fn enable_obs(&mut self, config: ObsConfig) {
+        self.obs = Some(Box::new(Recorder::new(config)));
+    }
+
+    /// The attached recorder, if any.
+    pub fn obs(&self) -> Option<&Recorder> {
+        self.obs.as_deref()
+    }
+
+    /// Detaches and returns the recorder with everything it collected.
+    pub fn take_obs(&mut self) -> Option<Recorder> {
+        self.obs.take().map(|b| *b)
+    }
+
     /// Halo steps executed so far (all domains of a multi-domain lockstep
     /// sub-step count as one).
     pub fn steps_taken(&self) -> u64 {
@@ -473,12 +507,16 @@ impl<'a> Simulation<'a> {
     }
 
     /// Clears all run state (network occupancy, readiness, waits, step
-    /// counter) so the compiled schedules can be replayed from scratch.
+    /// counter, recorded metrics) so the compiled schedules can be
+    /// replayed from scratch.
     pub fn reset(&mut self) {
         self.net.reset();
         self.ready.fill(0.0);
         self.mpi_wait.fill(0.0);
         self.step_counter = 0;
+        if let Some(rec) = self.obs.as_mut() {
+            rec.clear();
+        }
     }
 
     /// Runs `iterations` parent iterations and reports.
@@ -514,7 +552,7 @@ impl<'a> Simulation<'a> {
             let wait0: f64 = self.mpi_wait.iter().sum();
             // ---- parent step on the full grid ----
             let t_iter0 = self.ready.iter().copied().fold(0.0, f64::max);
-            self.exec_step(&compiled.steps[compiled.parent_step]);
+            self.exec_step(&compiled.steps[compiled.parent_step], StepPhase::Parent, -1);
             let t_parent1 = self.ready.iter().copied().fold(0.0, f64::max);
             parent_phase += t_parent1 - t_iter0;
 
@@ -537,6 +575,23 @@ impl<'a> Simulation<'a> {
                     iter_io = t_io;
                     let t = self.barrier_all() + t_io;
                     self.set_all_ready(t);
+                    if let Some(rec) = self.obs.as_mut() {
+                        rec.record_step(StepMetrics {
+                            step: self.step_counter,
+                            phase: StepPhase::Io,
+                            nest: -1,
+                            domains: 0,
+                            start: t - t_io,
+                            end: t,
+                            compute: 0.0,
+                            halo_wait: 0.0,
+                            bytes: 0.0,
+                            messages: 0,
+                            transfers: 0,
+                            hops: 0,
+                            stall: 0.0,
+                        });
+                    }
                 }
             }
             traces.push(IterationTrace {
@@ -547,6 +602,24 @@ impl<'a> Simulation<'a> {
                 io: iter_io,
                 mpi_wait: self.mpi_wait.iter().sum::<f64>() - wait0,
             });
+            if nestwx_obs::SPANS_ENABLED {
+                if let Some(rec) = self.obs.as_mut() {
+                    let t_end = t_nests1 + iter_io;
+                    rec.span("iteration", 0, t_iter0 * 1e6, (t_end - t_iter0) * 1e6);
+                    rec.span(
+                        "parent phase",
+                        1,
+                        t_iter0 * 1e6,
+                        (t_parent1 - t_iter0) * 1e6,
+                    );
+                    rec.span(
+                        "nest phase",
+                        1,
+                        t_parent1 * 1e6,
+                        (t_nests1 - t_parent1) * 1e6,
+                    );
+                }
+            }
         }
 
         let total_time = self.barrier_all();
@@ -582,12 +655,12 @@ impl<'a> Simulation<'a> {
             let t0 = t;
             self.set_all_ready(t + item.interp);
             for _ in 0..item.refine {
-                self.exec_step(&steps[item.step_id]);
+                self.exec_step(&steps[item.step_id], StepPhase::Nest, item.idx as i32);
                 for child in &item.children {
                     let tc = self.barrier_all();
                     self.set_all_ready(tc + child.interp);
                     for _ in 0..child.refine {
-                        self.exec_step(&steps[child.step_id]);
+                        self.exec_step(&steps[child.step_id], StepPhase::Child, child.idx as i32);
                     }
                     let td = self.barrier_all() + child.feedback;
                     self.set_all_ready(td);
@@ -629,7 +702,7 @@ impl<'a> Simulation<'a> {
             self.set_ready_ranks(&cn.ranks, t0);
         }
         for sub in &conc.substeps {
-            self.exec_step(&steps[sub.step_id]);
+            self.exec_step(&steps[sub.step_id], StepPhase::Nest, sub.obs_tag);
             if !sub.children.is_empty() {
                 let mut child_start = std::mem::take(&mut self.scratch.child_start);
                 child_start.fill(0.0);
@@ -638,8 +711,8 @@ impl<'a> Simulation<'a> {
                     child_start[ch.idx] = t;
                     self.set_ready_ranks(&ch.ranks, t + ch.interp);
                 }
-                for &sid in &sub.child_step_ids {
-                    self.exec_step(&steps[sid]);
+                for (&sid, &tag) in sub.child_step_ids.iter().zip(&sub.child_obs_tags) {
+                    self.exec_step(&steps[sid], StepPhase::Child, tag);
                 }
                 for ch in &sub.children {
                     let done = self.barrier_ranks(&ch.ranks) + ch.feedback;
@@ -683,8 +756,28 @@ impl<'a> Simulation<'a> {
         self.scratch.dones = dones;
     }
 
-    /// One halo step through the active engine.
-    fn exec_step(&mut self, cs: &CompiledStep) {
+    /// One halo step through the active engine. When a recorder is
+    /// attached, the step's counter-core totals and network-counter deltas
+    /// are captured into a [`StepMetrics`] record; all reads happen outside
+    /// the engines, so the simulated times are unaffected.
+    fn exec_step(&mut self, cs: &CompiledStep, phase: StepPhase, nest: i32) {
+        let snap = if self.obs.is_some() {
+            let start = cs
+                .senders
+                .iter()
+                .map(|s| self.ready[s.g as usize])
+                .fold(f64::INFINITY, f64::min);
+            Some((
+                if start.is_finite() { start } else { 0.0 },
+                self.net.messages,
+                self.net.transfers,
+                self.net.bytes,
+                self.net.hops,
+                self.net.stall,
+            ))
+        } else {
+            None
+        };
         match self.engine {
             HaloEngine::Compiled => {
                 self.step_counter += 1;
@@ -701,6 +794,32 @@ impl<'a> Simulation<'a> {
             HaloEngine::Reference => {
                 let domains = cs.domains.clone();
                 self.halo_step_multi(&domains);
+            }
+        }
+        if let Some((start, msgs0, xfers0, bytes0, hops0, stall0)) = snap {
+            let end = cs
+                .senders
+                .iter()
+                .map(|s| self.ready[s.g as usize])
+                .fold(start, f64::max);
+            let totals = self.scratch.step.totals;
+            let metrics = StepMetrics {
+                step: self.step_counter,
+                phase,
+                nest,
+                domains: cs.domains.len() as u32,
+                start,
+                end,
+                compute: totals.compute,
+                halo_wait: totals.wait,
+                bytes: self.net.bytes - bytes0,
+                messages: self.net.messages - msgs0,
+                transfers: self.net.transfers - xfers0,
+                hops: self.net.hops - hops0,
+                stall: self.net.stall - stall0,
+            };
+            if let Some(rec) = self.obs.as_mut() {
+                rec.record_step(metrics);
             }
         }
     }
@@ -725,6 +844,7 @@ impl<'a> Simulation<'a> {
         self.step_counter += 1;
         let step = self.step_counter;
 
+        let mut compute_total = 0.0;
         for &(nx, ny, region) in domains {
             // Domains smaller than the region use only the leading ranks.
             let px = region.w.min(nx);
@@ -736,13 +856,14 @@ impl<'a> Simulation<'a> {
 
             for (local, &g) in global_ranks.iter().enumerate() {
                 let patch = decomp.patch(local as u32);
-                let t_comp = self.ready[g as usize]
-                    + self.machine.compute.step_time_jittered(
-                        patch.region.w,
-                        patch.region.h,
-                        g,
-                        step,
-                    );
+                let comp = self.machine.compute.step_time_jittered(
+                    patch.region.w,
+                    patch.region.h,
+                    g,
+                    step,
+                );
+                let t_comp = self.ready[g as usize] + comp;
+                compute_total += comp;
                 // Post sends to each existing neighbour (within the active
                 // region), paying per-message software overhead serially.
                 let local_coords = sub.coords_of(local as u32);
@@ -799,11 +920,18 @@ impl<'a> Simulation<'a> {
             }
         }
 
+        let mut wait_total = 0.0;
         for (g, send_done) in senders {
             let done = send_done.max(recv_latest[g as usize]);
-            self.mpi_wait[g as usize] += done - send_done;
+            let waited = done - send_done;
+            wait_total += waited;
+            self.mpi_wait[g as usize] += waited;
             self.ready[g as usize] = done;
         }
+        self.scratch.step.totals = StepTotals {
+            compute: compute_total,
+            wait: wait_total,
+        };
     }
 
     /// History-output phase; returns its wall-clock duration.
@@ -966,11 +1094,17 @@ fn compile_plans(
                     .map(|&i| (nests[i].nx, nests[i].ny, partitions[i]))
                     .collect();
                 let step_id = intern_step(&mut steps, domains, machine, grid, mapping);
+                let obs_tag = if active.len() == 1 {
+                    active[0] as i32
+                } else {
+                    -1
+                };
                 // Second-level children of the nests stepping at `s`.
                 let child_idx: Vec<usize> =
                     active.iter().flat_map(|&i| config.children_of(i)).collect();
                 let mut children = Vec::with_capacity(child_idx.len());
                 let mut child_step_ids = Vec::new();
+                let mut child_obs_tags = Vec::new();
                 let mut resync = Vec::new();
                 if !child_idx.is_empty() {
                     for &c in &child_idx {
@@ -987,13 +1121,17 @@ fn compile_plans(
                         .max()
                         .unwrap_or(0);
                     for cs in 0..max_rc {
-                        let sub: Vec<(u32, u32, Rect)> = child_idx
+                        let act: Vec<usize> = child_idx
                             .iter()
                             .copied()
                             .filter(|&c| cs < nests[c].refine_ratio)
-                            .map(|c| (nests[c].nx, nests[c].ny, partitions[c]))
+                            .collect();
+                        let sub: Vec<(u32, u32, Rect)> = act
+                            .iter()
+                            .map(|&c| (nests[c].nx, nests[c].ny, partitions[c]))
                             .collect();
                         child_step_ids.push(intern_step(&mut steps, sub, machine, grid, mapping));
+                        child_obs_tags.push(if act.len() == 1 { act[0] as i32 } else { -1 });
                     }
                     for &i in &active {
                         if !config.children_of(i).is_empty() {
@@ -1007,8 +1145,10 @@ fn compile_plans(
                 }
                 substeps.push(ConcSubstep {
                     step_id,
+                    obs_tag,
                     children,
                     child_step_ids,
+                    child_obs_tags,
                     resync,
                 });
             }

@@ -1,0 +1,233 @@
+//! The observability layer must be passive: attaching a [`Recorder`] may
+//! not perturb the simulation (bitwise-identical [`SimReport`]s with
+//! observation on or off, for both engines and strategies), and the
+//! recorded per-step deltas must re-derive the report's own aggregates.
+
+use nestwx_grid::{Domain, NestSpec, NestedConfig, ProcGrid, Rect};
+use nestwx_netsim::{ExecStrategy, HaloEngine, IoMode, Machine, ObsConfig, Simulation, StepPhase};
+use nestwx_topo::Mapping;
+
+fn two_nest_config() -> NestedConfig {
+    NestedConfig::new(
+        Domain::parent(120, 120, 24.0),
+        vec![
+            NestSpec::new(90, 90, 3, (2, 2)),
+            NestSpec::new(90, 90, 3, (60, 60)),
+        ],
+    )
+    .unwrap()
+}
+
+fn build<'a>(
+    machine: &'a Machine,
+    config: &'a NestedConfig,
+    strategy: ExecStrategy,
+    engine: HaloEngine,
+    io_mode: IoMode,
+    output_interval: Option<u32>,
+) -> Simulation<'a> {
+    let grid = ProcGrid::near_square(machine.ranks());
+    let mapping = Mapping::oblivious(machine.shape, machine.ranks()).unwrap();
+    Simulation::new(
+        machine,
+        grid,
+        config,
+        strategy,
+        mapping,
+        io_mode,
+        output_interval,
+    )
+    .unwrap()
+    .with_engine(engine)
+}
+
+fn concurrent(grid: ProcGrid) -> ExecStrategy {
+    let half = grid.px / 2;
+    ExecStrategy::Concurrent {
+        partitions: vec![
+            Rect::new(0, 0, half, grid.py),
+            Rect::new(half, 0, grid.px - half, grid.py),
+        ],
+    }
+}
+
+#[test]
+fn reports_bitwise_identical_with_and_without_obs() {
+    let m = Machine::bgl(32);
+    let cfg = two_nest_config();
+    let grid = ProcGrid::near_square(m.ranks());
+    for engine in [HaloEngine::Compiled, HaloEngine::Reference] {
+        for strategy in [ExecStrategy::Sequential, concurrent(grid)] {
+            let plain = build(
+                &m,
+                &cfg,
+                strategy.clone(),
+                engine,
+                IoMode::SplitFiles,
+                Some(2),
+            )
+            .run(4);
+            let observed = build(&m, &cfg, strategy, engine, IoMode::SplitFiles, Some(2))
+                .with_obs(ObsConfig::counters())
+                .run(4);
+            assert_eq!(plain, observed, "observation perturbed {engine:?}");
+        }
+    }
+}
+
+#[test]
+fn recorded_totals_rederive_report_metrics() {
+    let m = Machine::bgl(32);
+    let cfg = two_nest_config();
+    let grid = ProcGrid::near_square(m.ranks());
+    let mut sim = build(
+        &m,
+        &cfg,
+        concurrent(grid),
+        HaloEngine::Compiled,
+        IoMode::None,
+        None,
+    )
+    .with_obs(ObsConfig::counters());
+    let report = sim.run_mut(4);
+    let steps_taken = sim.steps_taken();
+    let s = sim.obs().unwrap().summary().clone();
+
+    // Integer counters and integer-valued byte counts telescope exactly.
+    assert_eq!(s.steps, steps_taken);
+    assert_eq!(s.messages, report.messages);
+    assert_eq!(s.bytes, report.bytes);
+    assert_eq!(s.avg_hops(), report.avg_hops);
+
+    // Halo-wait totals are the same waits summed in a different order
+    // (per-step deltas vs one whole-run accumulator), so compare with a
+    // tight relative tolerance instead of `==`.
+    let rel = (s.halo_wait - report.mpi_wait_total).abs() / report.mpi_wait_total.max(1e-30);
+    assert!(
+        rel < 1e-9,
+        "recorded halo_wait {} vs report mpi_wait_total {} (rel {rel:e})",
+        s.halo_wait,
+        report.mpi_wait_total
+    );
+
+    // Lockstep multi-nest sub-steps cannot be attributed to one nest, so
+    // the concurrent run records no per-nest rows …
+    assert!(s.per_nest.is_empty());
+
+    // … while the sequential schedule (one nest at a time) attributes
+    // every nest step.
+    let mut seq = build(
+        &m,
+        &cfg,
+        ExecStrategy::Sequential,
+        HaloEngine::Compiled,
+        IoMode::None,
+        None,
+    )
+    .with_obs(ObsConfig::counters());
+    seq.run_mut(4);
+    let s = seq.obs().unwrap().summary().clone();
+    assert_eq!(s.per_nest.len(), 2);
+    assert!(s.per_nest.iter().all(|n| n.steps > 0 && n.compute > 0.0));
+}
+
+#[test]
+fn io_phases_are_recorded_separately() {
+    let m = Machine::bgl(32);
+    let cfg = two_nest_config();
+    let mut sim = build(
+        &m,
+        &cfg,
+        ExecStrategy::Sequential,
+        HaloEngine::Compiled,
+        IoMode::PnetCdf,
+        Some(2),
+    )
+    .with_obs(ObsConfig::counters());
+    let report = sim.run_mut(4);
+    let s = sim.obs().unwrap().summary();
+    assert!(report.io_time > 0.0);
+    assert!(s.io_time > 0.0);
+    let rel = (s.io_time - report.io_time).abs() / report.io_time;
+    assert!(rel < 1e-9, "recorded io_time drifted (rel {rel:e})");
+}
+
+#[test]
+fn ring_capacity_bounds_retention_but_not_totals() {
+    let m = Machine::bgl(16);
+    let cfg = two_nest_config();
+    let mut sim = build(
+        &m,
+        &cfg,
+        ExecStrategy::Sequential,
+        HaloEngine::Compiled,
+        IoMode::None,
+        None,
+    )
+    .with_obs(ObsConfig::counters().with_ring_capacity(4));
+    sim.run_mut(4);
+    let rec = sim.obs().unwrap();
+    assert_eq!(rec.ring().len(), 4);
+    assert!(rec.ring().dropped() > 0);
+    let s = rec.summary();
+    assert_eq!(s.steps, sim.steps_taken(), "totals cover the whole run");
+    assert!(s.steps > 4);
+}
+
+#[test]
+fn replay_after_reset_clears_and_rerecords_identically() {
+    let m = Machine::bgl(16);
+    let cfg = two_nest_config();
+    let mut sim = build(
+        &m,
+        &cfg,
+        ExecStrategy::Sequential,
+        HaloEngine::Compiled,
+        IoMode::None,
+        None,
+    )
+    .with_obs(ObsConfig::counters());
+    let rep1 = sim.run_mut(3);
+    let sum1 = sim.obs().unwrap().summary().clone();
+    let steps1: Vec<_> = sim.obs().unwrap().steps().cloned().collect();
+    let rep2 = sim.run_mut(3);
+    let sum2 = sim.obs().unwrap().summary().clone();
+    let steps2: Vec<_> = sim.obs().unwrap().steps().cloned().collect();
+    assert_eq!(rep1, rep2);
+    assert_eq!(sum1, sum2, "replay must not double-count");
+    assert_eq!(steps1, steps2);
+}
+
+#[test]
+fn chrome_trace_json_parses_and_covers_all_phases() {
+    let m = Machine::bgl(16);
+    let cfg = two_nest_config();
+    let mut sim = build(
+        &m,
+        &cfg,
+        ExecStrategy::Sequential,
+        HaloEngine::Compiled,
+        IoMode::SplitFiles,
+        Some(2),
+    )
+    .with_obs(ObsConfig::counters());
+    sim.run_mut(3);
+    let rec = sim.obs().unwrap();
+    assert!(rec
+        .steps()
+        .any(|s| s.phase == StepPhase::Parent || s.phase == StepPhase::Nest));
+
+    let json = rec.chrome_trace_json();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("trace JSON must parse");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(events.len() as u64 >= rec.summary().steps);
+    for ev in events {
+        assert_eq!(ev.get("ph").unwrap().as_str().unwrap(), "X");
+        assert!(ev.get("name").unwrap().as_str().is_some());
+        assert!(ev.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+    }
+}

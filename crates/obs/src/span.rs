@@ -1,0 +1,25 @@
+//! Span events for the feature-gated detailed-span mode.
+//!
+//! A span is a named duration on a logical thread lane, exported as a
+//! Chrome `trace_event` complete ("X") event. Spans are only *stored* when
+//! the crate's `spans` feature is enabled; without it every
+//! [`crate::Recorder::span`] call is a no-op the optimiser removes, so the
+//! always-on counter core pays nothing for the instrumentation points.
+
+use serde::Serialize;
+
+/// Whether span storage is compiled in (`spans` feature).
+pub const SPANS_ENABLED: bool = cfg!(feature = "spans");
+
+/// One named duration, in microseconds on the trace timeline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanEvent {
+    /// Display name.
+    pub name: String,
+    /// Start, microseconds.
+    pub ts: f64,
+    /// Duration, microseconds.
+    pub dur: f64,
+    /// Logical lane (thread id in the trace viewer).
+    pub tid: u32,
+}
