@@ -5,15 +5,14 @@
 //! collective writes do not scale with writer count and the parallel
 //! strategy writes each sibling's history with fewer ranks.
 
-use nestwx_bench::{banner, mean, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS};
+use nestwx_bench::{
+    banner, env_usize, mean, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS,
+};
 use nestwx_core::{compare_strategies, Planner};
 use nestwx_netsim::{IoMode, Machine};
 
 fn main() {
-    let configs: usize = std::env::var("NESTWX_CONFIGS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10);
+    let configs = env_usize("NESTWX_CONFIGS", 10);
     banner(
         "fig08",
         &format!("improvement incl./excl. I/O on BG/P ({configs} configs per point)"),

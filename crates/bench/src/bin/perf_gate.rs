@@ -15,15 +15,12 @@
 //! Faster-than-baseline results pass with a note; refresh the committed
 //! baseline by running `bench_netsim` on a quiet machine.
 
+use nestwx_bench::env_f64;
 use serde_json::Value;
 use std::process::ExitCode;
 
 fn tolerance_pct() -> f64 {
-    std::env::var("NESTWX_PERF_TOLERANCE_PCT")
-        .ok()
-        .and_then(|v| v.trim().parse::<f64>().ok())
-        .filter(|t| t.is_finite() && *t >= 0.0)
-        .unwrap_or(20.0)
+    env_f64("NESTWX_PERF_TOLERANCE_PCT", 20.0)
 }
 
 fn load(path: &str) -> Result<Value, String> {

@@ -7,15 +7,14 @@
 //! Also reports the §4.3.4 split by sibling count (paper: 19.43 % for
 //! 2 siblings vs 24.22 % for 4).
 
-use nestwx_bench::{banner, max, mean, pacific_parent, random_nests, rng_for, MEASURE_ITERS};
+use nestwx_bench::{
+    banner, env_usize, max, mean, pacific_parent, random_nests, rng_for, MEASURE_ITERS,
+};
 use nestwx_core::{compare_strategies, Planner};
 use nestwx_netsim::Machine;
 
 fn main() {
-    let configs: usize = std::env::var("NESTWX_CONFIGS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(85);
+    let configs = env_usize("NESTWX_CONFIGS", 85);
     banner(
         "sec431",
         &format!("improvement over {configs} random configs on BG/L(1024)"),

@@ -13,24 +13,21 @@
 //! `NESTWX_TRACE`) to also dump a Chrome trace of the first planned run.
 
 use nestwx_bench::{
-    banner, max, mean, pacific_parent, random_nests, rng_for, row, trace_out, write_trace,
-    MEASURE_ITERS,
+    banner, env_usize, max, mean, pacific_parent, random_nests, rng_for, row, trace_out,
+    write_trace, MEASURE_ITERS,
 };
 use nestwx_core::{compare_strategies_observed, Planner};
 use nestwx_netsim::{Machine, ObsConfig};
 
 fn main() {
-    let configs: usize = std::env::var("NESTWX_CONFIGS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10);
+    let configs = env_usize("NESTWX_CONFIGS", 10);
     banner(
         "tab01",
         &format!("MPI_Wait improvement, {configs} configs per machine"),
     );
     let parent = pacific_parent();
     let trace_path = trace_out();
-    let widths = [16, 12, 12, 22];
+    let widths = [16, 12, 12, 10, 10, 22];
     println!(
         "{}",
         row(
@@ -38,6 +35,8 @@ fn main() {
                 "machine".into(),
                 "avg (%)".into(),
                 "max (%)".into(),
+                "imb dflt".into(),
+                "imb d&c".into(),
                 "paper avg/max (%)".into()
             ],
             &widths
@@ -56,6 +55,8 @@ fn main() {
         let planner = Planner::new(machine);
         let mut rng = rng_for("tab01");
         let mut imps = Vec::new();
+        let mut imb_default = Vec::new();
+        let mut imb_planned = Vec::new();
         for i in 0..configs {
             let k = 2 + (i % 3);
             let nests = random_nests(&mut rng, k, 178 * 202, 394 * 418, &parent);
@@ -70,6 +71,10 @@ fn main() {
                 "recorded MPI_Wait drifted from SimReport: rel {rel:e}"
             );
             imps.push(cmp.mpi_wait_improvement_pct());
+            // Per-rank load-imbalance factor (max/mean busy time) of each
+            // strategy, from the recorded timelines.
+            imb_default.push(cmp.default_analysis().overall_imbalance);
+            imb_planned.push(cmp.planned_analysis().overall_imbalance);
             if !traced {
                 if let Some(path) = &trace_path {
                     let (_, rec) = planner
@@ -89,6 +94,8 @@ fn main() {
                     name,
                     format!("{:.2}", mean(&imps)),
                     format!("{:.2}", max(&imps)),
+                    format!("{:.3}", mean(&imb_default)),
+                    format!("{:.3}", mean(&imb_planned)),
                     paper.into()
                 ],
                 &widths

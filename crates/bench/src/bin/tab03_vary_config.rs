@@ -5,16 +5,15 @@
 //! 205×223, 21.87 % for 394×418, 10.11 % for 925×820 on up to 8192 BG/P
 //! cores).
 
-use nestwx_bench::{banner, mean, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS};
+use nestwx_bench::{
+    banner, env_usize, mean, pacific_parent, random_nests, rng_for, row, MEASURE_ITERS,
+};
 use nestwx_core::{compare_strategies, Planner};
 use nestwx_grid::{Domain, NestSpec};
 use nestwx_netsim::Machine;
 
 fn main() {
-    let configs: usize = std::env::var("NESTWX_CONFIGS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
+    let configs = env_usize("NESTWX_CONFIGS", 8);
     banner("tab03", "improvement vs sibling count and nest size");
 
     // ---- varying number of siblings (BG/L 1024) ----

@@ -24,13 +24,16 @@ use nestwx_core::{MappingKind, Planner, Strategy};
 use nestwx_grid::NestSpec;
 use nestwx_netsim::{Machine, ObsConfig, ObsSummary, SimReport};
 
-fn run(planner: &Planner, nests: &[NestSpec]) -> (SimReport, ObsSummary) {
+/// One measured variant: the report, recorded totals, and the per-rank
+/// load-imbalance factor (max/mean busy) from the detailed timeline.
+fn run(planner: &Planner, nests: &[NestSpec]) -> (SimReport, ObsSummary, f64) {
     let (report, rec) = planner
         .plan(&pacific_parent(), nests)
         .unwrap()
-        .simulate_observed(MEASURE_ITERS, ObsConfig::counters())
+        .simulate_observed(MEASURE_ITERS, ObsConfig::detailed())
         .unwrap();
-    (report, rec.summary().clone())
+    let imbalance = rec.analysis().overall_imbalance;
+    (report, rec.summary().clone(), imbalance)
 }
 
 fn main() {
@@ -83,7 +86,7 @@ fn main() {
     });
     let per_cfg = 1 + MappingKind::ALL.len();
     for (i, nests) in configs.iter().enumerate() {
-        let (default, default_obs) = &results[i * per_cfg];
+        let (default, default_obs, default_imb) = &results[i * per_cfg];
         let runs = &results[i * per_cfg + 1..(i + 1) * per_cfg];
         // Order: oblivious, txyz, partition, multilevel → print paper order.
         println!(
@@ -102,9 +105,10 @@ fn main() {
         );
         // Fig. 11 rows: improvement over default. MPI_Wait comes from the
         // recorded step metrics, not the simulator's accumulator.
-        let imp = |r: &(SimReport, ObsSummary)| r.0.improvement_over(default);
-        let wimp =
-            |r: &(SimReport, ObsSummary)| (1.0 - r.1.halo_wait / default_obs.halo_wait) * 100.0;
+        let imp = |r: &(SimReport, ObsSummary, f64)| r.0.improvement_over(default);
+        let wimp = |r: &(SimReport, ObsSummary, f64)| {
+            (1.0 - r.1.halo_wait / default_obs.halo_wait) * 100.0
+        };
         println!(
             "{}",
             row(
@@ -129,6 +133,22 @@ fn main() {
                     format!("{:.1}", wimp(&runs[2])),
                     format!("{:.1}", wimp(&runs[3])),
                     format!("{:.1}", wimp(&runs[1])),
+                ],
+                &widths
+            )
+        );
+        // Load-imbalance factor per variant ("imbal" row; default shown in
+        // the second column) — max/mean rank busy from the timelines.
+        println!(
+            "{}",
+            row(
+                &[
+                    "imbal".into(),
+                    format!("{default_imb:.3}"),
+                    format!("{:.3}", runs[0].2),
+                    format!("{:.3}", runs[2].2),
+                    format!("{:.3}", runs[3].2),
+                    format!("{:.3}", runs[1].2),
                 ],
                 &widths
             )

@@ -58,7 +58,7 @@ fn main() {
     let jobs: Vec<(usize, Option<MappingKind>)> = (0..configs.len())
         .flat_map(|i| VARIANTS.iter().map(move |&v| (i, v)))
         .collect();
-    let results = run_parallel(&jobs, |&(i, variant)| -> (SimReport, ObsSummary) {
+    let results = run_parallel(&jobs, |&(i, variant)| -> (SimReport, ObsSummary, f64) {
         let p = match variant {
             None => base
                 .clone()
@@ -69,9 +69,10 @@ fn main() {
         let (report, rec) = p
             .plan(&parent, &configs[i])
             .unwrap()
-            .simulate_observed(MEASURE_ITERS, ObsConfig::counters())
+            .simulate_observed(MEASURE_ITERS, ObsConfig::detailed())
             .unwrap();
-        (report, rec.summary().clone())
+        let imbalance = rec.analysis().overall_imbalance;
+        (report, rec.summary().clone(), imbalance)
     });
     for (i, nests) in configs.iter().enumerate() {
         let [default, obl, par, mul] = &results[i * VARIANTS.len()..(i + 1) * VARIANTS.len()]
@@ -93,7 +94,7 @@ fn main() {
         );
         // Fig. 12 rows, rebuilt from recorded step metrics.
         let wimp =
-            |r: &(SimReport, ObsSummary)| (1.0 - r.1.halo_wait / default.1.halo_wait) * 100.0;
+            |r: &(SimReport, ObsSummary, f64)| (1.0 - r.1.halo_wait / default.1.halo_wait) * 100.0;
         println!(
             "{}",
             row(
@@ -107,8 +108,9 @@ fn main() {
                 &widths
             )
         );
-        let hops =
-            |r: &(SimReport, ObsSummary)| (1.0 - r.1.avg_hops() / default.1.avg_hops()) * 100.0;
+        let hops = |r: &(SimReport, ObsSummary, f64)| {
+            (1.0 - r.1.avg_hops() / default.1.avg_hops()) * 100.0
+        };
         println!(
             "{}",
             row(
@@ -118,6 +120,21 @@ fn main() {
                     format!("{:.1}", hops(obl)),
                     format!("{:.1}", hops(par)),
                     format!("{:.1}", hops(mul)),
+                ],
+                &widths
+            )
+        );
+        // Per-rank load-imbalance factor (max/mean busy) per variant, from
+        // the recorded timelines; the default goes in the second column.
+        println!(
+            "{}",
+            row(
+                &[
+                    "imbal".into(),
+                    format!("{:.3}", default.2),
+                    format!("{:.3}", obl.2),
+                    format!("{:.3}", par.2),
+                    format!("{:.3}", mul.2),
                 ],
                 &widths
             )

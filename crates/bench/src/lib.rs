@@ -55,21 +55,45 @@ pub fn rng_for(experiment: &str) -> StdRng {
     StdRng::from_seed(seed)
 }
 
+fn env_parsed<T: std::str::FromStr>(name: &str, default: T, valid: impl Fn(&T) -> bool) -> T {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse::<T>() {
+            Ok(n) if valid(&n) => n,
+            _ => {
+                eprintln!("warning: ignoring invalid {name}={v:?}");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// Environment variable `name` as a positive `usize`, else `default`
+/// (warns on an invalid value). Shared by every experiment binary so the
+/// knobs (`NESTWX_CONFIGS`, `NESTWX_JOBS`, ...) parse identically.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    env_parsed(name, default, |&n| n >= 1)
+}
+
+/// Environment variable `name` as a positive `u32`, else `default`.
+pub fn env_u32(name: &str, default: u32) -> u32 {
+    env_parsed(name, default, |&n| n >= 1)
+}
+
+/// Environment variable `name` as a finite non-negative `f64`, else
+/// `default`.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    env_parsed(name, default, |&x: &f64| x.is_finite() && x >= 0.0)
+}
+
 /// Worker count for [`run_parallel`]: the `NESTWX_JOBS` environment
 /// variable when set to a positive integer, else the machine's available
 /// parallelism (1 if that cannot be determined).
 pub fn parallel_jobs() -> usize {
-    if let Ok(v) = std::env::var("NESTWX_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-        eprintln!("warning: ignoring invalid NESTWX_JOBS={v:?}");
-    }
-    std::thread::available_parallelism()
+    let fallback = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    env_usize("NESTWX_JOBS", fallback)
 }
 
 /// Maps `f` over `items` on [`parallel_jobs`] scoped threads, preserving
@@ -116,8 +140,9 @@ where
 
 /// Chrome-trace output destination for an experiment binary: the
 /// `--trace-out <path>` (or `--trace-out=<path>`) CLI argument when
-/// present, else the `NESTWX_TRACE` environment variable when non-empty.
-/// `None` disables trace export.
+/// present — the flag always overrides `NESTWX_TRACE`, and if given more
+/// than once the last occurrence wins — else the `NESTWX_TRACE`
+/// environment variable when non-empty. `None` disables trace export.
 pub fn trace_out() -> Option<PathBuf> {
     trace_out_from(std::env::args().skip(1), std::env::var_os("NESTWX_TRACE"))
 }
@@ -128,21 +153,28 @@ pub fn trace_out_from(
     args: impl Iterator<Item = String>,
     env: Option<std::ffi::OsString>,
 ) -> Option<PathBuf> {
+    // Scan every argument rather than returning at the first match: the
+    // last `--trace-out` wins, and any occurrence of the flag (even a
+    // dangling one) means the environment must not resurrect tracing.
+    let mut from_flag: Option<Option<PathBuf>> = None;
     let mut args = args;
     while let Some(a) = args.next() {
         if a == "--trace-out" {
             match args.next() {
-                Some(p) => return Some(p.into()),
+                Some(p) => from_flag = Some(Some(p.into())),
                 None => {
                     eprintln!("warning: --trace-out requires a path; tracing disabled");
-                    return None;
+                    from_flag = Some(None);
                 }
             }
         } else if let Some(p) = a.strip_prefix("--trace-out=") {
-            return Some(p.into());
+            from_flag = Some(Some(p.into()));
         }
     }
-    env.filter(|v| !v.is_empty()).map(PathBuf::from)
+    match from_flag {
+        Some(resolved) => resolved,
+        None => env.filter(|v| !v.is_empty()).map(PathBuf::from),
+    }
 }
 
 /// Writes `rec`'s Chrome `trace_event` JSON to `path`, printing where it
@@ -238,11 +270,41 @@ mod tests {
         let got = trace_out_from(args(&[]).into_iter(), Some("env.json".into()));
         assert_eq!(got, Some(PathBuf::from("env.json")));
         assert_eq!(trace_out_from(args(&[]).into_iter(), Some("".into())), None);
-        // Dangling flag disables rather than panicking.
+        // Repeated flag: last occurrence wins, still overriding the env.
+        let got = trace_out_from(
+            args(&["--trace-out", "a.json", "--trace-out=b.json"]).into_iter(),
+            Some("env.json".into()),
+        );
+        assert_eq!(got, Some(PathBuf::from("b.json")));
+        // Dangling flag disables rather than panicking — and the env must
+        // not resurrect tracing, because the flag always wins.
         assert_eq!(
             trace_out_from(args(&["--trace-out"]).into_iter(), None),
             None
         );
+        assert_eq!(
+            trace_out_from(args(&["--trace-out"]).into_iter(), Some("env.json".into())),
+            None
+        );
+    }
+
+    #[test]
+    fn env_helpers_parse_and_fall_back() {
+        // Unique variable names: tests run concurrently in one process.
+        std::env::set_var("NESTWX_TEST_EH_A", "7");
+        assert_eq!(env_usize("NESTWX_TEST_EH_A", 3), 7);
+        assert_eq!(env_u32("NESTWX_TEST_EH_A", 3), 7);
+        std::env::set_var("NESTWX_TEST_EH_B", " 12 ");
+        assert_eq!(env_u32("NESTWX_TEST_EH_B", 3), 12);
+        std::env::set_var("NESTWX_TEST_EH_C", "0");
+        assert_eq!(env_usize("NESTWX_TEST_EH_C", 3), 3); // non-positive → default
+        std::env::set_var("NESTWX_TEST_EH_D", "nope");
+        assert_eq!(env_u32("NESTWX_TEST_EH_D", 5), 5);
+        std::env::set_var("NESTWX_TEST_EH_E", "2.5");
+        assert_eq!(env_f64("NESTWX_TEST_EH_E", 1.0), 2.5);
+        std::env::set_var("NESTWX_TEST_EH_F", "-1");
+        assert_eq!(env_f64("NESTWX_TEST_EH_F", 1.0), 1.0);
+        assert_eq!(env_f64("NESTWX_TEST_EH_UNSET", 9.0), 9.0);
     }
 
     #[test]

@@ -19,9 +19,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use nestwx_core::{compare_strategies, AllocPolicy, MappingKind, Planner, Strategy};
+pub mod obs;
+
+use nestwx_core::{
+    compare_strategies, compare_strategies_observed, AllocPolicy, MappingKind, Planner, Strategy,
+};
 use nestwx_grid::{Domain, NestSpec};
 use nestwx_netsim::{IoMode, Machine};
+pub use obs::ObsCmd;
 use serde::Serialize;
 use std::fmt;
 
@@ -34,6 +39,8 @@ pub enum Command {
     Plan(RunArgs),
     /// Compare default vs divide-and-conquer strategies.
     Compare(RunArgs),
+    /// Analyze recorded run summaries (`nestwx obs report|top|diff`).
+    Obs(ObsCmd),
     /// Print usage.
     Help,
 }
@@ -59,6 +66,9 @@ pub struct RunArgs {
     pub json: bool,
     /// Include the per-iteration timeline in compare output.
     pub trace: bool,
+    /// Write run summaries to `PREFIX.default.json` / `PREFIX.planned.json`
+    /// (compare only).
+    pub obs_out: Option<String>,
 }
 
 /// Machine family and core count.
@@ -241,6 +251,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
     match cmd.as_str() {
         "machines" => Ok(Command::Machines),
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "obs" => parse_obs_args(&args[1..]).map(Command::Obs),
         "plan" | "compare" => {
             let mut machine = None;
             let mut parent = None;
@@ -251,6 +262,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             let mut io = None;
             let mut json = false;
             let mut trace = false;
+            let mut obs_out = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
@@ -272,6 +284,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     "--io" => io = Some(parse_io(&value("--io")?)?),
                     "--json" => json = true,
                     "--trace" => trace = true,
+                    "--obs-out" => obs_out = Some(value("--obs-out")?),
                     other => return Err(err(format!("unknown flag '{other}'"))),
                 }
             }
@@ -285,6 +298,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 io,
                 json,
                 trace,
+                obs_out,
             };
             if run.nests.is_empty() {
                 return Err(err("at least one --nest is required"));
@@ -292,13 +306,82 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             if run.iterations == 0 {
                 return Err(err("--iterations must be ≥ 1"));
             }
+            if run.obs_out.is_some() && cmd == "plan" {
+                return Err(err("--obs-out only applies to compare"));
+            }
             Ok(match cmd.as_str() {
                 "plan" => Command::Plan(run),
                 _ => Command::Compare(run),
             })
         }
         other => Err(err(format!(
-            "unknown command '{other}' (machines|plan|compare|help)"
+            "unknown command '{other}' (machines|plan|compare|obs|help)"
+        ))),
+    }
+}
+
+/// Parses the `obs` subcommand family: `report FILE`, `top FILE [--by
+/// METRIC] [-n N]`, `diff A B`.
+fn parse_obs_args(args: &[String]) -> Result<ObsCmd, ParseError> {
+    let Some(sub) = args.first() else {
+        return Err(err("obs needs a subcommand (report|top|diff)"));
+    };
+    match sub.as_str() {
+        "report" => {
+            let [path] = &args[1..] else {
+                return Err(err("usage: obs report FILE"));
+            };
+            Ok(ObsCmd::Report { path: path.clone() })
+        }
+        "top" => {
+            let mut path = None;
+            let mut by = "duration".to_string();
+            let mut n = 10usize;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err(format!("{name} needs a value")))
+                };
+                match a.as_str() {
+                    "--by" => by = value("--by")?,
+                    "-n" | "--count" => {
+                        n = value("-n")?.parse().map_err(|_| err("bad -n"))?;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(err(format!("unknown obs top flag '{flag}'")));
+                    }
+                    p if path.is_none() => path = Some(p.to_string()),
+                    extra => return Err(err(format!("unexpected argument '{extra}'"))),
+                }
+            }
+            if !obs::TOP_METRICS.contains(&by.as_str()) {
+                return Err(err(format!(
+                    "unknown metric '{by}' (one of {})",
+                    obs::TOP_METRICS.join("|")
+                )));
+            }
+            if n == 0 {
+                return Err(err("-n must be ≥ 1"));
+            }
+            Ok(ObsCmd::Top {
+                path: path.ok_or_else(|| err("usage: obs top FILE [--by METRIC] [-n N]"))?,
+                by,
+                n,
+            })
+        }
+        "diff" => {
+            let [a, b] = &args[1..] else {
+                return Err(err("usage: obs diff A B"));
+            };
+            Ok(ObsCmd::Diff {
+                a: a.clone(),
+                b: b.clone(),
+            })
+        }
+        other => Err(err(format!(
+            "unknown obs subcommand '{other}' (report|top|diff)"
         ))),
     }
 }
@@ -404,9 +487,42 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
                 }
             }
         }
+        Command::Obs(c) => match c {
+            ObsCmd::Report { path } => {
+                let v = obs::load_summary(&path)?;
+                obs::report(&v, out)?;
+            }
+            ObsCmd::Top { path, by, n } => {
+                let v = obs::load_summary(&path)?;
+                obs::top(&v, &by, n, out)?;
+            }
+            ObsCmd::Diff { a, b } => {
+                let va = obs::load_summary(&a)?;
+                let vb = obs::load_summary(&b)?;
+                writeln!(out, "diff {a} -> {b}")?;
+                obs::diff(&va, &vb, out)?;
+            }
+        },
         Command::Compare(a) => {
             let planner = planner_for(&a);
-            let cmp = compare_strategies(&planner, &a.parent, &a.nests, a.iterations)?;
+            // With --obs-out, run the observed variant (recording is
+            // passive, so the comparison itself is bitwise identical) and
+            // write each run's summary JSON next to the given prefix.
+            let cmp = if let Some(prefix) = &a.obs_out {
+                let obs_cmp =
+                    compare_strategies_observed(&planner, &a.parent, &a.nests, a.iterations)?;
+                std::fs::write(
+                    format!("{prefix}.default.json"),
+                    obs_cmp.default_rec.summary_json(),
+                )?;
+                std::fs::write(
+                    format!("{prefix}.planned.json"),
+                    obs_cmp.planned_rec.summary_json(),
+                )?;
+                obs_cmp.comparison
+            } else {
+                compare_strategies(&planner, &a.parent, &a.nests, a.iterations)?
+            };
             if a.json {
                 let trace = if a.trace {
                     let plan = planner.plan(&a.parent, &a.nests)?;
@@ -484,6 +600,9 @@ USAGE:
   nestwx machines
   nestwx plan    --machine bgl:1024 --parent 286x307@24 --nest 259x229r3@10,12 [...]
   nestwx compare --machine bgp:4096 --parent 286x307@24 --nest 394x418r3@10,10 [...]
+  nestwx obs report FILE
+  nestwx obs top  FILE [--by duration|compute|halo_wait|bytes|messages|hops|stall] [-n N]
+  nestwx obs diff A B
 
 FLAGS:
   --machine FAMILY:CORES   bgl:16..1024 | bgp:64..8192 (power of two)
@@ -496,7 +615,10 @@ FLAGS:
   --alloc    equal|naive|huffman                   (default huffman)
   --io       pnetcdf:N|split:N                     history output every N iters
   --json                   machine-readable output
-  --trace                  include the per-iteration timeline (with --json)"
+  --trace                  include the per-iteration timeline (with --json)
+  --obs-out PREFIX         compare only: record both runs and write
+                           PREFIX.default.json / PREFIX.planned.json run
+                           summaries for 'nestwx obs'"
 }
 
 #[cfg(test)]
@@ -647,5 +769,157 @@ mod tests {
         run(Command::Machines, &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("bgl"));
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_obs_commands() {
+        assert_eq!(
+            parse_args(&argv(&["obs", "report", "run.json"])).unwrap(),
+            Command::Obs(ObsCmd::Report {
+                path: "run.json".into()
+            })
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "obs",
+                "top",
+                "run.json",
+                "--by",
+                "halo_wait",
+                "-n",
+                "3"
+            ]))
+            .unwrap(),
+            Command::Obs(ObsCmd::Top {
+                path: "run.json".into(),
+                by: "halo_wait".into(),
+                n: 3
+            })
+        );
+        assert_eq!(
+            parse_args(&argv(&["obs", "diff", "a.json", "b.json"])).unwrap(),
+            Command::Obs(ObsCmd::Diff {
+                a: "a.json".into(),
+                b: "b.json".into()
+            })
+        );
+        assert!(parse_args(&argv(&["obs"])).is_err());
+        assert!(parse_args(&argv(&["obs", "report"])).is_err());
+        assert!(parse_args(&argv(&["obs", "top", "run.json", "--by", "bogus"])).is_err());
+        assert!(parse_args(&argv(&["obs", "diff", "a.json"])).is_err());
+        // --obs-out is compare-only.
+        assert!(parse_args(&argv(&[
+            "plan",
+            "--machine",
+            "bgl:64",
+            "--parent",
+            "286x307@24",
+            "--nest",
+            "200x200r3@10,12",
+            "--obs-out",
+            "x"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn obs_out_report_reproduces_allocator_ratios() {
+        // The ISSUE acceptance check: record a compare run, then verify the
+        // written summary's per-nest time ratios match the ratios the
+        // allocator planned with, to within rounding/model noise.
+        let dir = std::env::temp_dir();
+        let prefix = dir.join("nestwx_cli_obs_acceptance");
+        let prefix = prefix.to_str().unwrap();
+        let args = argv(&[
+            "compare",
+            "--machine",
+            "bgl:64",
+            "--parent",
+            "286x307@24",
+            "--nest",
+            "150x150r3@10,12",
+            "--nest",
+            "150x150r3@120,120",
+            "--iterations",
+            "2",
+            "--alloc",
+            "naive",
+            "--obs-out",
+            prefix,
+        ]);
+        let cmd = parse_args(&args).unwrap();
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+
+        // What the allocator was given.
+        let machine = parse_machine("bgl:64").unwrap().build();
+        let parent = parse_parent("286x307@24").unwrap();
+        let nests = vec![
+            parse_nest("150x150r3@10,12").unwrap(),
+            parse_nest("150x150r3@120,120").unwrap(),
+        ];
+        let plan = Planner::new(machine)
+            .strategy(Strategy::Concurrent)
+            .alloc_policy(AllocPolicy::NaiveProportional)
+            .plan(&parent, &nests)
+            .unwrap();
+        assert_eq!(plan.predicted_ratios.len(), 2);
+
+        // The sequential default run steps each nest in turn, so its
+        // recorded per-nest time split is directly comparable to the
+        // ratios the allocator planned from. (The concurrent planned run
+        // executes all siblings in one step; its steps carry no single
+        // nest id.)
+        let default_path = format!("{prefix}.default.json");
+        let v = obs::load_summary(&default_path).unwrap();
+        let per_nest = v["analysis"]["per_nest"].as_array().unwrap();
+        assert_eq!(per_nest.len(), 2);
+        for (n, predicted) in per_nest.iter().zip(&plan.predicted_ratios) {
+            let recorded = n["time_ratio"].as_f64().unwrap();
+            assert!(
+                (recorded - predicted).abs() < 0.03,
+                "nest ratio {recorded:.4} vs planned {predicted:.4}"
+            );
+        }
+
+        // The report renders and carries the analysis blocks.
+        let mut buf = Vec::new();
+        obs::report(&v, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("load imbalance"));
+        assert!(text.contains("ratio"));
+
+        // diff against the planned run goes through `run` end to end.
+        let planned_path = format!("{prefix}.planned.json");
+        let mut buf = Vec::new();
+        run(
+            Command::Obs(ObsCmd::Diff {
+                a: default_path.clone(),
+                b: planned_path.clone(),
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("metrics differ"));
+        // top via `run` as well.
+        let mut buf = Vec::new();
+        run(
+            Command::Obs(ObsCmd::Top {
+                path: planned_path.clone(),
+                by: "halo_wait".into(),
+                n: 5,
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("top 5 steps"));
+
+        let _ = std::fs::remove_file(default_path);
+        let _ = std::fs::remove_file(planned_path);
     }
 }

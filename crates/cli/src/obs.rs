@@ -1,0 +1,509 @@
+//! The `nestwx obs` subcommand family: human-readable analysis of the
+//! versioned summary-JSON files the recorder writes (`report`), the most
+//! expensive recorded steps (`top`), and per-metric deltas between two
+//! runs (`diff`).
+//!
+//! All three consume the `nestwx-obs-run-summary` envelope (see DESIGN.md
+//! "Summary JSON schema"); an unknown schema tag or a parse failure is an
+//! error, so CI can gate on it.
+
+use nestwx_netsim::SUMMARY_SCHEMA;
+use serde_json::Value;
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// The `obs` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsCmd {
+    /// Render one run's summary as tables.
+    Report {
+        /// Path of a summary JSON file.
+        path: String,
+    },
+    /// List the most expensive recorded steps.
+    Top {
+        /// Path of a summary JSON file.
+        path: String,
+        /// Step metric to rank by.
+        by: String,
+        /// Rows to print.
+        n: usize,
+    },
+    /// Per-metric deltas between two runs.
+    Diff {
+        /// Baseline summary JSON.
+        a: String,
+        /// Candidate summary JSON.
+        b: String,
+    },
+}
+
+/// Loads a summary file and validates the envelope (schema tag + version).
+pub fn load_summary(path: &str) -> Result<Value, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let v: Value =
+        serde_json::from_str(&text).map_err(|e| format!("'{path}' is not valid JSON: {e:?}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or_else(|| format!("'{path}' has no 'schema' tag (not a run summary?)"))?;
+    if schema != SUMMARY_SCHEMA {
+        return Err(format!("'{path}' has schema '{schema}', expected '{SUMMARY_SCHEMA}'").into());
+    }
+    v.get("version")
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("'{path}' has no 'version' field"))?;
+    Ok(v)
+}
+
+fn f(v: &Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for k in path {
+        match cur.get(k) {
+            Some(next) => cur = next,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+fn fmt_si(x: f64) -> String {
+    let ax = x.abs();
+    if ax == 0.0 {
+        "0".into()
+    } else if ax >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else if ax >= 1.0 {
+        format!("{x:.3}")
+    } else if ax >= 1e-3 {
+        format!("{:.3}m", x * 1e3)
+    } else if ax >= 1e-6 {
+        format!("{:.3}u", x * 1e6)
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+fn hist_row(name: &str, h: &Value) -> String {
+    format!(
+        "  {name:<14} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        f(h, &["count"]) as u64,
+        fmt_si(f(h, &["mean"])),
+        fmt_si(f(h, &["p50"])),
+        fmt_si(f(h, &["p90"])),
+        fmt_si(f(h, &["p99"])),
+        fmt_si(f(h, &["max"])),
+    )
+}
+
+/// `nestwx obs report FILE` — renders the run's summary, histogram,
+/// per-nest and link tables.
+pub fn report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let s = v.get("summary").ok_or("missing 'summary' block")?;
+    writeln!(out, "run summary (schema v{})", f(v, &["version"]) as u64)?;
+    writeln!(
+        out,
+        "  steps {}  compute {}s  mpi_wait {}s  io {}s",
+        f(s, &["steps"]) as u64,
+        fmt_si(f(s, &["compute"])),
+        fmt_si(f(s, &["halo_wait"])),
+        fmt_si(f(s, &["io_time"])),
+    )?;
+    writeln!(
+        out,
+        "  messages {}  bytes {}  avg hops {:.2}  stall {}s",
+        f(s, &["messages"]) as u64,
+        fmt_si(f(s, &["bytes"])),
+        if f(s, &["transfers"]) > 0.0 {
+            f(s, &["hops"]) / f(s, &["transfers"])
+        } else {
+            0.0
+        },
+        fmt_si(f(s, &["stall"])),
+    )?;
+
+    let ring = v.get("ring").ok_or("missing 'ring' block")?;
+    let dropped = f(ring, &["dropped"]) as u64;
+    writeln!(
+        out,
+        "  ring: {} of {} steps retained, {} dropped{}",
+        f(ring, &["retained"]) as u64,
+        f(ring, &["capacity"]) as u64,
+        dropped,
+        if dropped > 0 {
+            "  (trace truncated!)"
+        } else {
+            ""
+        },
+    )?;
+
+    if let Some(hists) = v.get("hists") {
+        writeln!(out)?;
+        writeln!(
+            out,
+            "  {:<14} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "histogram", "count", "mean", "p50", "p90", "p99", "max"
+        )?;
+        if let Some(h) = hists.get("step_time") {
+            writeln!(out, "{}", hist_row("step_time", h))?;
+        }
+        if let Some(h) = hists.get("rank_mpi_wait") {
+            writeln!(out, "{}", hist_row("rank_mpi_wait", h))?;
+        }
+        if let Some(h) = hists.get("msg_latency") {
+            writeln!(out, "{}", hist_row("msg_latency", h))?;
+        }
+    }
+
+    let analysis = v.get("analysis").ok_or("missing 'analysis' block")?;
+    writeln!(out)?;
+    writeln!(
+        out,
+        "  load imbalance (max/mean rank busy): {:.3}",
+        f(analysis, &["overall_imbalance"])
+    )?;
+    if let Some(nests) = analysis.get("per_nest").and_then(|n| n.as_array()) {
+        if !nests.is_empty() {
+            writeln!(
+                out,
+                "  {:<6} {:>6} {:>9} {:>10} {:>10} {:>7}",
+                "nest", "steps", "time", "ratio", "imbalance", "wait%"
+            )?;
+            for n in nests {
+                let time = f(n, &["time"]);
+                let wait_pct = if time > 0.0 {
+                    100.0 * f(n, &["halo_wait"]) / (f(n, &["compute"]) + f(n, &["halo_wait"]))
+                } else {
+                    0.0
+                };
+                writeln!(
+                    out,
+                    "  {:<6} {:>6} {:>9} {:>10.4} {:>10.3} {:>6.1}%",
+                    f(n, &["nest"]) as u64,
+                    f(n, &["steps"]) as u64,
+                    fmt_si(time),
+                    f(n, &["time_ratio"]),
+                    f(n, &["imbalance"]),
+                    wait_pct,
+                )?;
+            }
+        }
+    }
+    if let Some(ranks) = analysis.get("critical_ranks").and_then(|r| r.as_array()) {
+        if !ranks.is_empty() {
+            let mut line = String::from("  critical-path ranks:");
+            for r in ranks {
+                let _ = write!(
+                    line,
+                    " r{} ({:.0}%)",
+                    f(r, &["rank"]) as u64,
+                    100.0 * f(r, &["share"])
+                );
+            }
+            writeln!(out, "{line}")?;
+        }
+    }
+    if let Some(links) = analysis.get("links") {
+        writeln!(
+            out,
+            "  links: {} of {} active, mean util {:.4}, max {:.4}, p99 {:.4}",
+            f(links, &["active_links"]) as u64,
+            f(links, &["links"]) as u64,
+            f(links, &["mean_util"]),
+            f(links, &["max_util"]),
+            f(links, &["p99_util"]),
+        )?;
+        if let Some(top) = links.get("top").and_then(|t| t.as_array()) {
+            for l in top {
+                writeln!(
+                    out,
+                    "    link {:>5}  node ({},{},{}) {}  busy {}s  util {:.4}",
+                    f(l, &["link"]) as u64,
+                    f(l, &["coord_x"]) as u64,
+                    f(l, &["coord_y"]) as u64,
+                    f(l, &["coord_z"]) as u64,
+                    l.get("dim").and_then(|d| d.as_str()).unwrap_or("?"),
+                    fmt_si(f(l, &["busy"])),
+                    f(l, &["util"]),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Step metrics `top` can rank by.
+pub const TOP_METRICS: &[&str] = &[
+    "duration",
+    "compute",
+    "halo_wait",
+    "bytes",
+    "messages",
+    "hops",
+    "stall",
+];
+
+/// `nestwx obs top FILE --by METRIC -n N` — the N most expensive retained
+/// steps by the given metric.
+pub fn top(
+    v: &Value,
+    by: &str,
+    n: usize,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    if !TOP_METRICS.contains(&by) {
+        return Err(format!("unknown metric '{by}' (one of {})", TOP_METRICS.join("|")).into());
+    }
+    let steps = v
+        .get("ring")
+        .and_then(|r| r.get("steps"))
+        .and_then(|s| s.as_array())
+        .ok_or("missing 'ring.steps' array")?;
+    let metric = |s: &Value| -> f64 {
+        if by == "duration" {
+            f(s, &["end"]) - f(s, &["start"])
+        } else {
+            f(s, &[by])
+        }
+    };
+    let mut order: Vec<&Value> = steps.iter().collect();
+    order.sort_by(|a, b| {
+        metric(b)
+            .partial_cmp(&metric(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    writeln!(
+        out,
+        "top {} steps by {by} ({} retained):",
+        n.min(order.len()),
+        order.len()
+    )?;
+    writeln!(
+        out,
+        "  {:>6} {:<7} {:>5} {:>10} {:>9} {:>9} {:>9}",
+        "step", "phase", "nest", by, "compute", "wait", "bytes"
+    )?;
+    for s in order.iter().take(n) {
+        writeln!(
+            out,
+            "  {:>6} {:<7} {:>5} {:>10} {:>9} {:>9} {:>9}",
+            f(s, &["step"]) as u64,
+            s.get("phase").and_then(|p| p.as_str()).unwrap_or("?"),
+            s.get("nest").and_then(|x| x.as_f64()).unwrap_or(-1.0) as i64,
+            fmt_si(metric(s)),
+            fmt_si(f(s, &["compute"])),
+            fmt_si(f(s, &["halo_wait"])),
+            fmt_si(f(s, &["bytes"])),
+        )?;
+    }
+    Ok(())
+}
+
+/// Flattens every numeric leaf into `prefix.key` → value. Arrays of
+/// objects are indexed; the (potentially huge) `ring.steps` array is
+/// skipped — `diff` compares aggregates, not individual steps.
+fn flatten(v: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Number(x) => out.push((prefix.to_string(), *x)),
+        Value::Object(fields) => {
+            for (k, val) in fields {
+                if prefix.is_empty() && k == "ring" {
+                    // Only retention counters, not the step array.
+                    for stat in ["capacity", "retained", "dropped"] {
+                        if let Some(x) = val.get(stat).and_then(|x| x.as_f64()) {
+                            out.push((format!("ring.{stat}"), x));
+                        }
+                    }
+                    continue;
+                }
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(val, &p, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(item, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `nestwx obs diff A B` — per-metric deltas between two run summaries.
+pub fn diff(a: &Value, b: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let mut fa = Vec::new();
+    let mut fb = Vec::new();
+    flatten(a, "", &mut fa);
+    flatten(b, "", &mut fb);
+    let lookup_b: std::collections::HashMap<&str, f64> =
+        fb.iter().map(|(k, x)| (k.as_str(), *x)).collect();
+    let keys_a: std::collections::HashSet<&str> = fa.iter().map(|(k, _)| k.as_str()).collect();
+
+    writeln!(
+        out,
+        "  {:<44} {:>12} {:>12} {:>12} {:>9}",
+        "metric", "a", "b", "delta", "pct"
+    )?;
+    let mut changed = 0usize;
+    for (k, xa) in &fa {
+        let Some(&xb) = lookup_b.get(k.as_str()) else {
+            writeln!(
+                out,
+                "  {k:<44} {:>12} {:>12}      (only in a)",
+                fmt_si(*xa),
+                "-"
+            )?;
+            continue;
+        };
+        if xa == &xb {
+            continue;
+        }
+        changed += 1;
+        let delta = xb - xa;
+        let pct = if *xa != 0.0 {
+            format!("{:+.2}%", 100.0 * delta / xa)
+        } else {
+            "n/a".into()
+        };
+        writeln!(
+            out,
+            "  {:<44} {:>12} {:>12} {:>12} {:>9}",
+            k,
+            fmt_si(*xa),
+            fmt_si(xb),
+            fmt_si(delta),
+            pct
+        )?;
+    }
+    for (k, xb) in &fb {
+        if !keys_a.contains(k.as_str()) {
+            writeln!(
+                out,
+                "  {k:<44} {:>12} {:>12}      (only in b)",
+                "-",
+                fmt_si(*xb)
+            )?;
+        }
+    }
+    writeln!(out, "  {changed} metrics differ")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestwx_netsim::{ObsConfig, Recorder, StepMetrics, StepPhase};
+
+    fn recorded_summary() -> Value {
+        let mut rec = Recorder::new(ObsConfig::detailed());
+        for i in 1..=4u64 {
+            rec.record_step(StepMetrics {
+                step: i,
+                phase: StepPhase::Nest,
+                nest: (i % 2) as i32,
+                domains: 1,
+                start: i as f64,
+                end: i as f64 + 0.25 * i as f64,
+                compute: 1.0,
+                halo_wait: 0.5,
+                bytes: 100.0 * i as f64,
+                messages: 4,
+                transfers: 4,
+                hops: 8,
+                stall: 0.0,
+            });
+            rec.record_rank_step(
+                4,
+                i,
+                (i % 2) as i32,
+                i as f64,
+                i as f64 + 0.25 * i as f64,
+                0..4u32,
+                |g| 0.25 + 0.05 * g as f64,
+                |_| 0.125,
+            );
+        }
+        serde_json::from_str(&rec.summary_json()).unwrap()
+    }
+
+    #[test]
+    fn report_renders_all_blocks() {
+        let v = recorded_summary();
+        let mut buf = Vec::new();
+        report(&v, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("run summary"));
+        assert!(text.contains("rank_mpi_wait"));
+        assert!(text.contains("load imbalance"));
+        assert!(text.contains("ratio"));
+        assert!(text.contains("critical-path ranks"));
+    }
+
+    #[test]
+    fn top_ranks_steps_by_metric() {
+        let v = recorded_summary();
+        let mut buf = Vec::new();
+        top(&v, "duration", 2, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Step 4 has the longest duration (1.0s), then step 3 (0.75s).
+        let pos4 = text.find("\n       4 ").expect("step 4 listed");
+        let pos3 = text.find("\n       3 ").expect("step 3 listed");
+        assert!(pos4 < pos3, "steps not sorted by duration:\n{text}");
+        assert!(top(&v, "nonsense", 2, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn diff_reports_changed_metrics_only() {
+        let a = recorded_summary();
+        let mut rec = Recorder::new(ObsConfig::counters());
+        rec.record_step(StepMetrics {
+            step: 1,
+            phase: StepPhase::Parent,
+            nest: -1,
+            domains: 1,
+            start: 0.0,
+            end: 2.0,
+            compute: 8.0,
+            halo_wait: 0.25,
+            bytes: 64.0,
+            messages: 2,
+            transfers: 2,
+            hops: 4,
+            stall: 0.0,
+        });
+        let b = serde_json::from_str(&rec.summary_json()).unwrap();
+        let mut buf = Vec::new();
+        diff(&a, &b, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("summary.compute"));
+        assert!(text.contains("metrics differ"));
+        // Identical runs diff to zero changed metrics.
+        let mut buf = Vec::new();
+        diff(&a, &a, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("0 metrics differ"));
+    }
+
+    #[test]
+    fn load_summary_rejects_wrong_schema() {
+        let dir = std::env::temp_dir();
+        let good = dir.join("nestwx_obs_test_good.json");
+        let bad = dir.join("nestwx_obs_test_bad.json");
+        let rec = Recorder::new(ObsConfig::counters());
+        std::fs::write(&good, rec.summary_json()).unwrap();
+        std::fs::write(&bad, "{\"schema\": \"other\", \"version\": 1}").unwrap();
+        assert!(load_summary(good.to_str().unwrap()).is_ok());
+        let e = load_summary(bad.to_str().unwrap()).unwrap_err().to_string();
+        assert!(e.contains("schema"), "{e}");
+        assert!(load_summary("/nonexistent/nestwx.json").is_err());
+        let _ = std::fs::remove_file(good);
+        let _ = std::fs::remove_file(bad);
+    }
+}

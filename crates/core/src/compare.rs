@@ -3,7 +3,7 @@
 use crate::planner::{PlanError, Planner};
 use crate::strategy::{MappingKind, Strategy};
 use nestwx_grid::{Domain, NestSpec};
-use nestwx_netsim::{ObsConfig, ObsSummary, SimReport};
+use nestwx_netsim::{AnalysisReport, ObsConfig, ObsSummary, Recorder, SimReport};
 use serde::{Deserialize, Serialize};
 
 /// Side-by-side result of the default sequential strategy and a
@@ -43,10 +43,11 @@ impl StrategyComparison {
     }
 }
 
-/// [`StrategyComparison`] plus each run's recorded observability totals,
-/// so the paper's MPI_Wait and hop tables can be rebuilt from step-level
-/// metrics instead of the simulator's internal accumulators.
-#[derive(Debug, Clone, PartialEq)]
+/// [`StrategyComparison`] plus each run's full recorder (totals, per-rank
+/// timelines, histograms, link detail), so the paper's MPI_Wait, imbalance
+/// and hop tables can be rebuilt from step-level metrics instead of the
+/// simulator's internal accumulators.
+#[derive(Debug, Clone)]
 pub struct ObservedComparison {
     /// The plain side-by-side reports.
     pub comparison: StrategyComparison,
@@ -54,6 +55,10 @@ pub struct ObservedComparison {
     pub default_obs: ObsSummary,
     /// Recorded totals of the planned run.
     pub planned_obs: ObsSummary,
+    /// Full recorder of the default run (timelines, histograms, links).
+    pub default_rec: Recorder,
+    /// Full recorder of the planned run.
+    pub planned_rec: Recorder,
 }
 
 impl ObservedComparison {
@@ -67,6 +72,16 @@ impl ObservedComparison {
     /// (Fig. 12b, via `nestwx-obs`).
     pub fn hops_reduction_pct(&self) -> f64 {
         (1.0 - self.planned_obs.avg_hops() / self.default_obs.avg_hops()) * 100.0
+    }
+
+    /// Imbalance / link-utilization analysis of the default run.
+    pub fn default_analysis(&self) -> AnalysisReport {
+        self.default_rec.analysis()
+    }
+
+    /// Imbalance / link-utilization analysis of the planned run.
+    pub fn planned_analysis(&self) -> AnalysisReport {
+        self.planned_rec.analysis()
     }
 }
 
@@ -107,9 +122,9 @@ pub fn compare_strategies_observed(
         .plan(parent, nests)?;
     let planned = planner.plan(parent, nests)?;
     let (default_run, default_rec) =
-        baseline.simulate_observed(iterations, ObsConfig::counters())?;
+        baseline.simulate_observed(iterations, ObsConfig::detailed())?;
     let (planned_run, planned_rec) =
-        planned.simulate_observed(iterations, ObsConfig::counters())?;
+        planned.simulate_observed(iterations, ObsConfig::detailed())?;
     Ok(ObservedComparison {
         comparison: StrategyComparison {
             default_run,
@@ -117,6 +132,8 @@ pub fn compare_strategies_observed(
         },
         default_obs: default_rec.summary().clone(),
         planned_obs: planned_rec.summary().clone(),
+        default_rec,
+        planned_rec,
     })
 }
 
@@ -169,6 +186,15 @@ mod tests {
             "avg hops mismatch"
         );
         assert!(obs.mpi_wait_improvement_pct() > 0.0);
+        // The recorders carry the detailed tier: timelines and analyses.
+        assert!(obs.default_rec.timeline().is_some());
+        assert!(obs.planned_rec.timeline().is_some());
+        let analysis = obs.default_analysis();
+        assert!(analysis.overall_imbalance >= 1.0);
+        assert_eq!(analysis.per_nest.len(), 2);
+        let ratio_sum: f64 = analysis.per_nest.iter().map(|n| n.time_ratio).sum();
+        assert!((ratio_sum - 1.0).abs() < 1e-12);
+        assert!(obs.planned_analysis().links.is_some());
     }
 
     #[test]

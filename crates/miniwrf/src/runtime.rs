@@ -195,6 +195,22 @@ fn run_iterations_inner(
                     d.as_secs_f64(),
                 ));
             }
+            // One timeline frame per iteration with the siblings as lanes:
+            // the lane spread is the paper's load-imbalance factor across
+            // nests (what the thread allocation is meant to equalise).
+            if !iter_sibling.is_empty() {
+                let end = start + sibling_dt.as_secs_f64();
+                rec.record_rank_step(
+                    iter_sibling.len() as u32,
+                    step_no,
+                    -1,
+                    start,
+                    end,
+                    0..iter_sibling.len() as u32,
+                    |i| iter_sibling[i as usize].as_secs_f64(),
+                    |_| 0.0,
+                );
+            }
             if nestwx_obs::SPANS_ENABLED {
                 rec.span(
                     "sibling phase",
@@ -428,6 +444,22 @@ mod tests {
         let timed =
             t.parent.as_secs_f64() + t.per_sibling.iter().map(|d| d.as_secs_f64()).sum::<f64>();
         assert!((s.compute - timed).abs() < 0.5 * timed + 1e-6);
+    }
+
+    #[test]
+    fn observed_run_fills_sibling_timeline_lanes() {
+        let mut m = model();
+        let mut rec = Recorder::new(nestwx_obs::ObsConfig::detailed());
+        run_iterations_observed(&mut m, 3, 2, &ThreadStrategy::Sequential, &mut rec);
+        let tl = rec.timeline().expect("detailed config has a timeline");
+        // One frame per iteration, one lane per sibling nest.
+        assert_eq!(tl.recorded_steps(), 3);
+        assert_eq!(tl.lanes(), 2);
+        for f in 0..tl.frames() {
+            assert!(tl.frame_compute(f).iter().all(|&c| c > 0.0));
+        }
+        let analysis = rec.analysis();
+        assert!(analysis.overall_imbalance >= 1.0);
     }
 
     #[test]

@@ -43,4 +43,8 @@ pub use sim::{ExecStrategy, HaloEngine, IterationTrace, SimReport, Simulation};
 
 // Observability layer (`nestwx-obs`), re-exported so simulator users can
 // attach a recorder without a separate dependency.
-pub use nestwx_obs::{ObsConfig, ObsSummary, Recorder, StepMetrics, StepPhase};
+pub use nestwx_obs::{
+    AnalysisReport, HistSummary, LinkUtil, LogHistogram, NestAnalysis, NetDetail, ObsConfig,
+    ObsSummary, RankShare, Recorder, StepMetrics, StepPhase, Timeline, TimelineConfig,
+    SUMMARY_SCHEMA, SUMMARY_VERSION,
+};

@@ -9,6 +9,7 @@
 //! congestion and smaller delay", §4.3.2).
 
 use crate::machine::NetworkParams;
+use nestwx_obs::NetDetail;
 use nestwx_topo::torus::{NodeCoord, Torus};
 
 /// Mutable network state: one busy-until time per directed link.
@@ -19,6 +20,9 @@ pub struct Network {
     busy_until: Vec<f64>,
     /// Reusable route buffer for [`Network::transfer`].
     route_scratch: Vec<u32>,
+    /// Optional per-link / per-message detail recording. Purely additive —
+    /// nothing here feeds back into transfer times.
+    obs: Option<Box<NetDetail>>,
     /// Total messages transferred.
     pub messages: u64,
     /// Aggregate transfers (a transfer batches many messages).
@@ -41,6 +45,7 @@ impl Network {
             params,
             busy_until: vec![0.0; torus.num_links() as usize],
             route_scratch: Vec::new(),
+            obs: None,
             messages: 0,
             transfers: 0,
             bytes: 0.0,
@@ -49,7 +54,8 @@ impl Network {
         }
     }
 
-    /// Resets link occupancy and counters.
+    /// Resets link occupancy and counters (recorded detail included, when
+    /// enabled).
     pub fn reset(&mut self) {
         self.busy_until.fill(0.0);
         self.messages = 0;
@@ -57,6 +63,34 @@ impl Network {
         self.bytes = 0.0;
         self.hops = 0;
         self.stall = 0.0;
+        if let Some(o) = &mut self.obs {
+            o.clear();
+        }
+    }
+
+    /// Turns per-link busy accounting and message-latency recording on.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::new(NetDetail::new(
+                self.torus.dims,
+                self.torus.num_links() as usize,
+            )));
+        }
+    }
+
+    /// Turns detail recording off and discards what was recorded.
+    pub fn disable_obs(&mut self) {
+        self.obs = None;
+    }
+
+    /// The recorded detail, when enabled.
+    pub fn obs_detail(&self) -> Option<&NetDetail> {
+        self.obs.as_deref()
+    }
+
+    /// A snapshot (clone) of the recorded detail, when enabled.
+    pub fn clone_obs_detail(&self) -> Option<NetDetail> {
+        self.obs.as_deref().cloned()
     }
 
     /// The modelled parameters.
@@ -82,7 +116,11 @@ impl Network {
             self.transfers += 1;
             self.bytes += bytes;
             // Intra-node: memory copy.
-            return inject + bytes / self.params.mem_bw + self.params.recv_overhead * msgs as f64;
+            let t = inject + bytes / self.params.mem_bw + self.params.recv_overhead * msgs as f64;
+            if let Some(o) = &mut self.obs {
+                o.msg_latency.record(t - inject);
+            }
+            return t;
         }
         let mut route = std::mem::take(&mut self.route_scratch);
         self.torus.route_into(from, to, &mut route);
@@ -107,7 +145,11 @@ impl Network {
         self.bytes += bytes;
         if intra {
             debug_assert!(route.is_empty());
-            return inject + bytes / self.params.mem_bw + self.params.recv_overhead * msgs as f64;
+            let t = inject + bytes / self.params.mem_bw + self.params.recv_overhead * msgs as f64;
+            if let Some(o) = &mut self.obs {
+                o.msg_latency.record(t - inject);
+            }
+            return t;
         }
         self.hops += route.len() as u64;
         // Per-hop queuing: the head of the message advances link by link,
@@ -118,14 +160,22 @@ impl Network {
         let ser = bytes / self.params.link_bw;
         let mut head = inject;
         let mut stalled = 0.0;
+        let mut obs = self.obs.as_deref_mut();
         for &l in route {
             let start = head.max(self.busy_until[l as usize]);
             stalled += start - head;
             self.busy_until[l as usize] = start + ser;
+            if let Some(o) = obs.as_deref_mut() {
+                o.link_busy[l as usize] += ser;
+            }
             head = start + self.params.hop_latency;
         }
         self.stall += stalled;
-        head + ser + self.params.recv_overhead * msgs as f64
+        let t = head + ser + self.params.recv_overhead * msgs as f64;
+        if let Some(o) = obs {
+            o.msg_latency.record(t - inject);
+        }
+        t
     }
 
     /// [`Network::transfer_routed`] with the per-transfer arithmetic hoisted
@@ -149,19 +199,31 @@ impl Network {
         self.bytes += bytes;
         if intra {
             debug_assert!(route.is_empty());
-            return inject + cost + recv_cost;
+            let t = inject + cost + recv_cost;
+            if let Some(o) = &mut self.obs {
+                o.msg_latency.record(t - inject);
+            }
+            return t;
         }
         self.hops += route.len() as u64;
         let mut head = inject;
         let mut stalled = 0.0;
+        let mut obs = self.obs.as_deref_mut();
         for &l in route {
             let start = head.max(self.busy_until[l as usize]);
             stalled += start - head;
             self.busy_until[l as usize] = start + cost;
+            if let Some(o) = obs.as_deref_mut() {
+                o.link_busy[l as usize] += cost;
+            }
             head = start + self.params.hop_latency;
         }
         self.stall += stalled;
-        head + cost + recv_cost
+        let t = head + cost + recv_cost;
+        if let Some(o) = obs {
+            o.msg_latency.record(t - inject);
+        }
+        t
     }
 
     /// Average hops per point-to-point transfer so far — the paper's
@@ -307,6 +369,34 @@ mod tests {
         let before = net.stall;
         net.transfer(a, a, 1e6, 1, 0.0); // intra-node: no links, no stall
         assert_eq!(net.stall, before);
+    }
+
+    #[test]
+    fn obs_detail_records_links_and_latency_without_changing_times() {
+        let torus = Torus::new(4, 4, 4);
+        let mut plain = Network::new(torus, params());
+        let mut observed = Network::new(torus, params());
+        observed.enable_obs();
+        let pairs = [
+            (NodeCoord::new(0, 0, 0), NodeCoord::new(2, 1, 0)),
+            (NodeCoord::new(0, 0, 0), NodeCoord::new(2, 1, 0)),
+            (NodeCoord::new(1, 1, 1), NodeCoord::new(1, 1, 1)),
+        ];
+        for (i, &(from, to)) in pairs.iter().enumerate() {
+            let t0 = plain.transfer(from, to, 1e5, 2, 1e-4 * i as f64);
+            let t1 = observed.transfer(from, to, 1e5, 2, 1e-4 * i as f64);
+            assert_eq!(t0, t1, "detail recording must not change times");
+        }
+        let d = observed.obs_detail().expect("detail on");
+        assert_eq!(d.msg_latency.count(), 3);
+        assert!(d.msg_latency.min() > 0.0);
+        let busy: f64 = d.link_busy.iter().sum();
+        // Two 3-hop routed transfers at ser = 1e5/100e6 = 1 ms per link.
+        assert!((busy - 6e-3).abs() < 1e-12, "busy {busy}");
+        observed.reset();
+        let d = observed.obs_detail().unwrap();
+        assert_eq!(d.msg_latency.count(), 0);
+        assert_eq!(d.link_busy.iter().sum::<f64>(), 0.0);
     }
 
     #[test]

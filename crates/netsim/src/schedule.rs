@@ -205,6 +205,15 @@ pub(crate) struct StepScratch {
     recv_latest: Vec<f64>,
     /// Counter-core totals of the most recent step (either engine).
     pub totals: StepTotals,
+    /// When set, the step engines also scatter per-rank compute / wait
+    /// seconds into `rank_compute` / `rank_wait` (timeline recording).
+    pub record_ranks: bool,
+    /// Per-rank compute seconds of the most recent step (valid only for
+    /// ranks active in that step, and only when `record_ranks` is set).
+    pub rank_compute: Vec<f64>,
+    /// Per-rank halo MPI_Wait seconds of the most recent step (same
+    /// validity as `rank_compute`).
+    pub rank_wait: Vec<f64>,
 }
 
 impl StepScratch {
@@ -216,6 +225,9 @@ impl StepScratch {
             send_done: Vec::new(),
             recv_latest: vec![0.0; nranks],
             totals: StepTotals::default(),
+            record_ranks: false,
+            rank_compute: vec![0.0; nranks],
+            rank_wait: vec![0.0; nranks],
         }
     }
 }
@@ -249,6 +261,9 @@ pub(crate) fn run_compiled_step(
         let comp = s.step_time * (1.0 + jitter * unit_hash(s.g, step));
         let t_comp = ready[s.g as usize] + comp;
         compute_total += comp;
+        if scratch.record_ranks {
+            scratch.rank_compute[s.g as usize] = comp;
+        }
         let mut t_send = t_comp;
         for _ in 0..s.n_msgs {
             t_send += send_ovh;
@@ -280,6 +295,9 @@ pub(crate) fn run_compiled_step(
         let done = send_done.max(scratch.recv_latest[s.g as usize]);
         let waited = done - send_done;
         wait_total += waited;
+        if scratch.record_ranks {
+            scratch.rank_wait[s.g as usize] = waited;
+        }
         mpi_wait[s.g as usize] += waited;
         ready[s.g as usize] = done;
     }

@@ -485,9 +485,17 @@ impl<'a> Simulation<'a> {
         self
     }
 
-    /// Attaches (or replaces) the step-metrics recorder.
+    /// Attaches (or replaces) the step-metrics recorder. A config with a
+    /// timeline turns on per-rank capture in the step engines; `net_detail`
+    /// turns on per-link busy accounting in the network. Both are passive.
     pub fn enable_obs(&mut self, config: ObsConfig) {
         self.obs = Some(Box::new(Recorder::new(config)));
+        self.scratch.step.record_ranks = config.timeline.is_some();
+        if config.net_detail {
+            self.net.enable_obs();
+        } else {
+            self.net.disable_obs();
+        }
     }
 
     /// The attached recorder, if any.
@@ -495,8 +503,11 @@ impl<'a> Simulation<'a> {
         self.obs.as_deref()
     }
 
-    /// Detaches and returns the recorder with everything it collected.
+    /// Detaches and returns the recorder with everything it collected,
+    /// turning per-rank and per-link capture back off.
     pub fn take_obs(&mut self) -> Option<Recorder> {
+        self.scratch.step.record_ranks = false;
+        self.net.disable_obs();
         self.obs.take().map(|b| *b)
     }
 
@@ -623,6 +634,13 @@ impl<'a> Simulation<'a> {
         }
 
         let total_time = self.barrier_all();
+        // Hand the network's per-link recordings (if enabled) to the
+        // recorder, so its analysis and summary JSON can include them.
+        if let Some(rec) = self.obs.as_deref_mut() {
+            if let Some(detail) = self.net.clone_obs_detail() {
+                rec.set_net_detail(detail);
+            }
+        }
         let report = SimReport {
             machine: self.machine.name.clone(),
             iterations,
@@ -818,7 +836,23 @@ impl<'a> Simulation<'a> {
                 hops: self.net.hops - hops0,
                 stall: self.net.stall - stall0,
             };
-            if let Some(rec) = self.obs.as_mut() {
+            let nranks = self.ready.len() as u32;
+            if let Some(rec) = self.obs.as_deref_mut() {
+                if rec.wants_ranks() {
+                    // Disjoint borrows: the recorder lives in `self.obs`,
+                    // the per-rank scratch in `self.scratch`.
+                    let sc = &self.scratch.step;
+                    rec.record_rank_step(
+                        nranks,
+                        metrics.step,
+                        nest,
+                        start,
+                        end,
+                        cs.senders.iter().map(|s| s.g),
+                        |g| sc.rank_compute[g as usize],
+                        |g| sc.rank_wait[g as usize],
+                    );
+                }
                 rec.record_step(metrics);
             }
         }
@@ -864,6 +898,9 @@ impl<'a> Simulation<'a> {
                 );
                 let t_comp = self.ready[g as usize] + comp;
                 compute_total += comp;
+                if self.scratch.step.record_ranks {
+                    self.scratch.step.rank_compute[g as usize] = comp;
+                }
                 // Post sends to each existing neighbour (within the active
                 // region), paying per-message software overhead serially.
                 let local_coords = sub.coords_of(local as u32);
@@ -925,6 +962,9 @@ impl<'a> Simulation<'a> {
             let done = send_done.max(recv_latest[g as usize]);
             let waited = done - send_done;
             wait_total += waited;
+            if self.scratch.step.record_ranks {
+                self.scratch.step.rank_wait[g as usize] = waited;
+            }
             self.mpi_wait[g as usize] += waited;
             self.ready[g as usize] = done;
         }

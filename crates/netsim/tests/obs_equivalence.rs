@@ -67,12 +67,119 @@ fn reports_bitwise_identical_with_and_without_obs() {
                 Some(2),
             )
             .run(4);
-            let observed = build(&m, &cfg, strategy, engine, IoMode::SplitFiles, Some(2))
-                .with_obs(ObsConfig::counters())
+            for obs_cfg in [ObsConfig::counters(), ObsConfig::detailed()] {
+                let observed = build(
+                    &m,
+                    &cfg,
+                    strategy.clone(),
+                    engine,
+                    IoMode::SplitFiles,
+                    Some(2),
+                )
+                .with_obs(obs_cfg)
                 .run(4);
-            assert_eq!(plain, observed, "observation perturbed {engine:?}");
+                assert_eq!(
+                    plain, observed,
+                    "observation perturbed {engine:?} (cfg {obs_cfg:?})"
+                );
+            }
         }
     }
+}
+
+#[test]
+fn detailed_recording_captures_ranks_and_links() {
+    let m = Machine::bgl(32);
+    let cfg = two_nest_config();
+    let mut sim = build(
+        &m,
+        &cfg,
+        ExecStrategy::Sequential,
+        HaloEngine::Compiled,
+        IoMode::None,
+        None,
+    )
+    .with_obs(ObsConfig::detailed());
+    let report = sim.run_mut(4);
+    let rec = sim.obs().unwrap();
+
+    // Timeline: every halo step recorded, lanes sized to the machine.
+    let tl = rec.timeline().expect("timeline on");
+    assert_eq!(tl.recorded_steps(), sim.steps_taken());
+    assert_eq!(tl.nranks(), m.ranks());
+
+    // Per-rank wait histogram holds one sample per (active rank, step).
+    assert!(rec.hist_rank_wait().count() > 0);
+
+    // Net detail: one latency sample per transfer; link busy where routed.
+    let net = rec.net_detail().expect("net detail on");
+    assert_eq!(net.msg_latency.count(), rec.summary().transfers);
+    assert!(net.link_busy.iter().sum::<f64>() > 0.0);
+
+    // The analysis agrees with the report's broad shape.
+    let analysis = rec.analysis();
+    assert!(analysis.overall_imbalance >= 1.0);
+    assert_eq!(analysis.per_nest.len(), 2);
+    let links = analysis.links.expect("link analysis present");
+    assert!(links.active_links > 0 && links.active_links <= links.links);
+    assert!(links.max_util > 0.0 && links.max_util <= 1.0);
+    assert!(!links.top.is_empty());
+
+    // Step-time histogram covers every non-I/O step.
+    assert_eq!(rec.hist_step_time().count(), rec.summary().steps);
+    assert!(rec.hist_step_time().max() <= report.total_time);
+
+    // Replay keeps detailed recordings idempotent.
+    let frames1 = rec.timeline().unwrap().frames();
+    sim.run_mut(4);
+    assert_eq!(sim.obs().unwrap().timeline().unwrap().frames(), frames1);
+    assert_eq!(
+        sim.obs().unwrap().net_detail().unwrap().msg_latency.count(),
+        sim.obs().unwrap().summary().transfers
+    );
+}
+
+#[test]
+fn per_nest_time_ratios_match_between_engines_and_summary() {
+    // The analysis' time ratios are the allocator's Algorithm-1 input;
+    // they must be identical however the run was executed.
+    let m = Machine::bgl(32);
+    let cfg = two_nest_config();
+    let mut ratios = Vec::new();
+    for engine in [HaloEngine::Compiled, HaloEngine::Reference] {
+        let mut sim = build(
+            &m,
+            &cfg,
+            ExecStrategy::Sequential,
+            engine,
+            IoMode::None,
+            None,
+        )
+        .with_obs(ObsConfig::detailed());
+        sim.run_mut(4);
+        let analysis = sim.obs().unwrap().analysis();
+        assert_eq!(analysis.per_nest.len(), 2);
+        let sum: f64 = analysis.per_nest.iter().map(|n| n.time_ratio).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Both nests are 90×90 at the same refinement: near-even split.
+        for n in &analysis.per_nest {
+            assert!(
+                (n.time_ratio - 0.5).abs() < 0.05,
+                "nest {} ratio {}",
+                n.nest,
+                n.time_ratio
+            );
+            assert!(n.imbalance >= 1.0);
+        }
+        ratios.push(
+            analysis
+                .per_nest
+                .iter()
+                .map(|n| n.time_ratio)
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(ratios[0], ratios[1], "engines disagree on time ratios");
 }
 
 #[test]

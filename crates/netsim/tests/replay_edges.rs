@@ -162,3 +162,82 @@ fn empty_transfer_set_nest_steps_record_zero_messages() {
         assert!(s.compute > 0.0, "the single rank still computes");
     }
 }
+
+#[test]
+fn timelines_on_replay_edge_cases() {
+    // Per-rank timelines must survive the same degenerate plans: a
+    // zero-sibling run, a single-rank nest, and an empty transfer set.
+    let m = Machine::bgl(16);
+    let grid = ProcGrid::near_square(m.ranks());
+    let mapping = || Mapping::oblivious(m.shape, m.ranks()).unwrap();
+
+    // Zero siblings: only parent frames, every one tagged nest -1.
+    let cfg = no_nest_config();
+    let mut sim = Simulation::new(
+        &m,
+        grid,
+        &cfg,
+        ExecStrategy::Sequential,
+        mapping(),
+        IoMode::None,
+        None,
+    )
+    .unwrap()
+    .with_obs(ObsConfig::detailed());
+    sim.run_mut(3);
+    let rec = sim.obs().unwrap();
+    let tl = rec.timeline().expect("timeline on");
+    assert_eq!(tl.recorded_steps(), sim.steps_taken());
+    assert!(tl.meta().iter().all(|f| f.nest == -1));
+    assert!(rec.analysis().per_nest.is_empty());
+
+    // Single-rank nest with an empty transfer set: nest frames exist, the
+    // lone rank computes but never waits, and the analysis still works.
+    let cfg = NestedConfig::new(
+        Domain::parent(96, 96, 24.0),
+        vec![NestSpec::new(30, 30, 3, (2, 2))],
+    )
+    .unwrap();
+    let strategy = ExecStrategy::Concurrent {
+        partitions: vec![Rect::new(0, 0, 1, 1)],
+    };
+    for engine in [HaloEngine::Compiled, HaloEngine::Reference] {
+        let mut sim = Simulation::new(
+            &m,
+            grid,
+            &cfg,
+            strategy.clone(),
+            mapping(),
+            IoMode::None,
+            None,
+        )
+        .unwrap()
+        .with_engine(engine)
+        .with_obs(ObsConfig::detailed());
+        sim.run_mut(3);
+        let rec = sim.obs().unwrap();
+        let tl = rec.timeline().expect("timeline on");
+        assert_eq!(tl.recorded_steps(), sim.steps_taken());
+        let nest_frames: Vec<usize> = tl
+            .meta()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.nest == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!nest_frames.is_empty(), "{engine:?}: no nest frames");
+        for &fi in &nest_frames {
+            // Rank 0 owns the 1×1 partition: it computes, nobody waits.
+            assert!(tl.frame_compute(fi)[0] > 0.0, "{engine:?}");
+            assert_eq!(tl.frame_wait(fi)[0], 0.0, "{engine:?}");
+            assert_eq!(tl.meta()[fi].crit_rank, 0, "{engine:?}");
+            // Only the active rank contributes to the frame.
+            assert!(tl.frame_compute(fi)[1..].iter().all(|&c| c == 0.0));
+        }
+        let analysis = rec.analysis();
+        assert_eq!(analysis.per_nest.len(), 1);
+        assert!((analysis.per_nest[0].time_ratio - 1.0).abs() < 1e-12);
+        // One active lane in nest frames → max == mean → imbalance 1.
+        assert!((analysis.per_nest[0].imbalance - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,288 @@
+//! Fixed-bucket log-scale histograms for latency-like quantities.
+//!
+//! Every [`LogHistogram`] uses the *same* bucket layout — bucket 0 for
+//! values below [`LogHistogram::MIN_EDGE`], then 63 logarithmically spaced
+//! buckets up to [`LogHistogram::MAX_EDGE`] seconds, with everything above
+//! saturating into the top bucket — so merging two histograms is a plain
+//! element-wise add. Merge is therefore associative and the empty histogram
+//! is its identity, which is what makes per-rank histograms reducible
+//! across ranks (MPI_Reduce-style) without any renormalisation step.
+//!
+//! Quantiles come from the cumulative bucket counts and are reported as the
+//! bucket's upper edge (clamped to the exact observed maximum), i.e. they
+//! are conservative to within one bucket width (~5 buckets per decade).
+
+use serde::Serialize;
+
+/// Number of buckets (fixed for all histograms).
+const BUCKETS: usize = 64;
+/// Log-spaced buckets above bucket 0.
+const LOG_BUCKETS: f64 = (BUCKETS - 1) as f64;
+/// Decades spanned by the log-spaced buckets.
+const DECADES: f64 = 13.0;
+
+/// A mergeable histogram over positive seconds with a fixed log-scale
+/// bucket layout. `min`/`max`/`sum` are tracked exactly; quantiles are
+/// bucket-resolution approximations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Lower edge of bucket 1: values below land in bucket 0.
+    pub const MIN_EDGE: f64 = 1e-9;
+    /// Upper edge of the top bucket: values at or above saturate into it.
+    pub const MAX_EDGE: f64 = 1e4;
+
+    /// An empty histogram (the merge identity).
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+
+    /// Bucket index for a value (non-positive and non-finite values count
+    /// as zero seconds, bucket 0).
+    fn bucket(v: f64) -> usize {
+        if !(v.is_finite() && v >= Self::MIN_EDGE) {
+            return 0;
+        }
+        let b = 1.0 + (v / Self::MIN_EDGE).log10() * (LOG_BUCKETS / DECADES);
+        (b as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper edge of a bucket, in seconds.
+    fn upper_edge(i: usize) -> f64 {
+        if i == 0 {
+            Self::MIN_EDGE
+        } else {
+            Self::MIN_EDGE * 10f64.powf(i as f64 * DECADES / LOG_BUCKETS)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        let x = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.counts[Self::bucket(x)] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Element-wise merge of another histogram into this one. Associative;
+    /// merging an empty histogram is a no-op.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) at bucket resolution: the upper edge
+    /// of the bucket holding the `ceil(q·count)`-th smallest value, clamped
+    /// to the exact observed maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return if i == BUCKETS - 1 {
+                    // Saturated top bucket: the edge underestimates, the
+                    // exact max is the best bound we have.
+                    self.max
+                } else {
+                    Self::upper_edge(i).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// The summary row (count, mean, p50/p90/p99, max) for reports.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Clears all recorded values.
+    pub fn clear(&mut self) {
+        *self = LogHistogram::new();
+    }
+}
+
+/// Percentile summary of a [`LogHistogram`] (what the JSON export and the
+/// report tables carry; the bucket array stays in memory).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HistSummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Exact mean in seconds.
+    pub mean: f64,
+    /// Exact minimum in seconds.
+    pub min: f64,
+    /// Median, at bucket resolution.
+    pub p50: f64,
+    /// 90th percentile, at bucket resolution.
+    pub p90: f64,
+    /// 99th percentile, at bucket resolution.
+    pub p99: f64,
+    /// Exact maximum in seconds.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: &[f64]) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        // Power-of-two values keep the float sums exact, so the merged
+        // histograms compare bitwise equal either way around.
+        let a = filled(&[0.5, 2.0, 64.0]);
+        let b = filled(&[1e-6, 0.25]);
+        let c = filled(&[4.0, 4.0, 1e-3]);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.count(), 8);
+    }
+
+    #[test]
+    fn empty_merge_is_identity() {
+        let a = filled(&[1e-4, 3.0, 0.02]);
+        let mut merged = a.clone();
+        merged.merge(&LogHistogram::new());
+        assert_eq!(merged, a);
+        // Identity from the left as well.
+        let mut left = LogHistogram::new();
+        left.merge(&a);
+        assert_eq!(left, a);
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        let mut h = LogHistogram::new();
+        h.record(1e9); // far above MAX_EDGE
+        h.record(7e3); // inside the top bucket (edges ~6.2e3 .. 1e4)
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 1e9, "max stays exact despite saturation");
+        // Both land in the saturated bucket, so every quantile reports the
+        // exact max rather than the (underestimating) bucket edge.
+        assert_eq!(h.quantile(0.5), 1e9);
+        assert_eq!(h.quantile(0.99), 1e9);
+    }
+
+    #[test]
+    fn quantiles_bracket_values() {
+        let mut values = vec![1e-5; 90];
+        values.extend([1e-2; 10]);
+        let h = filled(&values);
+        // p50 must cover the small cluster, p99 the large one; bucket
+        // resolution is ~5 buckets/decade, so allow a factor of 2.
+        assert!(h.quantile(0.5) >= 1e-5 && h.quantile(0.5) < 2e-5);
+        assert!(h.quantile(0.99) >= 1e-2 && h.quantile(0.99) <= h.max());
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn non_positive_and_tiny_values_land_in_bucket_zero() {
+        let h = filled(&[0.0, -3.0, f64::NAN, 1e-12]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0.0);
+        assert!(h.quantile(0.99) <= LogHistogram::MIN_EDGE);
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert!(s.p50 <= LogHistogram::MIN_EDGE);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zeroed() {
+        let s = LogHistogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+}

@@ -25,12 +25,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod hist;
 pub mod ring;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
+pub use analyze::{AnalysisReport, LinkLoad, LinkUtil, NestAnalysis, NetDetail, RankShare};
+pub use hist::{HistSummary, LogHistogram};
 pub use ring::StepRing;
 pub use span::{SpanEvent, SPANS_ENABLED};
+pub use timeline::{FrameMeta, Timeline, TimelineConfig};
 
 use serde::Serialize;
 use std::io::Write;
@@ -153,20 +159,36 @@ pub struct ObsConfig {
     /// Most recent steps kept in the ring buffer (totals always cover the
     /// whole run).
     pub ring_capacity: usize,
+    /// Per-rank timeline recording; `None` keeps the counter-only tier.
+    pub timeline: Option<TimelineConfig>,
+    /// Per-link busy accounting and message-latency histograms in the
+    /// network model.
+    pub net_detail: bool,
 }
 
 impl Default for ObsConfig {
     fn default() -> Self {
         ObsConfig {
             ring_capacity: 65536,
+            timeline: None,
+            net_detail: false,
         }
     }
 }
 
 impl ObsConfig {
-    /// Default configuration (64 Ki most recent steps retained).
+    /// Counter-only configuration (64 Ki most recent steps retained, no
+    /// per-rank or per-link detail).
     pub fn counters() -> Self {
         Self::default()
+    }
+
+    /// Full detail: counters plus per-rank timelines and per-link network
+    /// recording, with default bounds.
+    pub fn detailed() -> Self {
+        Self::default()
+            .with_timeline(TimelineConfig::default())
+            .with_net_detail(true)
     }
 
     /// Retain at most `n` recent steps.
@@ -174,14 +196,32 @@ impl ObsConfig {
         self.ring_capacity = n;
         self
     }
+
+    /// Enables per-rank timeline recording with the given bounds.
+    pub fn with_timeline(mut self, cfg: TimelineConfig) -> Self {
+        self.timeline = Some(cfg);
+        self
+    }
+
+    /// Enables or disables per-link network recording.
+    pub fn with_net_detail(mut self, on: bool) -> Self {
+        self.net_detail = on;
+        self
+    }
 }
 
 /// Collects [`StepMetrics`] into running totals plus a recent-steps ring,
-/// and (with the `spans` feature) span events.
+/// optional per-rank timelines and histograms, and (with the `spans`
+/// feature) span events.
 #[derive(Debug, Clone)]
 pub struct Recorder {
     ring: StepRing,
     summary: ObsSummary,
+    step_hist: LogHistogram,
+    wait_hist: LogHistogram,
+    timeline: Option<Timeline>,
+    net: Option<NetDetail>,
+    last_end: f64,
     #[cfg(feature = "spans")]
     spans: Vec<SpanEvent>,
 }
@@ -192,6 +232,11 @@ impl Recorder {
         Recorder {
             ring: StepRing::new(config.ring_capacity),
             summary: ObsSummary::default(),
+            step_hist: LogHistogram::new(),
+            wait_hist: LogHistogram::new(),
+            timeline: config.timeline.map(Timeline::new),
+            net: None,
+            last_end: 0.0,
             #[cfg(feature = "spans")]
             spans: Vec::new(),
         }
@@ -201,6 +246,13 @@ impl Recorder {
     pub fn clear(&mut self) {
         self.ring.clear();
         self.summary = ObsSummary::default();
+        self.step_hist.clear();
+        self.wait_hist.clear();
+        if let Some(tl) = &mut self.timeline {
+            tl.clear();
+        }
+        self.net = None;
+        self.last_end = 0.0;
         #[cfg(feature = "spans")]
         self.spans.clear();
     }
@@ -208,9 +260,11 @@ impl Recorder {
     /// Records one step's counters.
     pub fn record_step(&mut self, m: StepMetrics) {
         let s = &mut self.summary;
+        self.last_end = self.last_end.max(m.end);
         if m.phase == StepPhase::Io {
             s.io_time += m.end - m.start;
         } else {
+            self.step_hist.record(m.end - m.start);
             s.steps += 1;
             s.compute += m.compute;
             s.halo_wait += m.halo_wait;
@@ -232,6 +286,82 @@ impl Recorder {
             }
         }
         self.ring.push(m);
+    }
+
+    /// True when per-rank timeline recording is enabled (producers use
+    /// this to decide whether to capture per-rank values at all).
+    pub fn wants_ranks(&self) -> bool {
+        self.timeline.is_some()
+    }
+
+    /// Records the per-rank resolution of one step: `active` yields the
+    /// participating global ranks, `compute_of`/`wait_of` their compute and
+    /// halo-wait seconds. No-op unless the timeline was configured.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_rank_step<I, C, W>(
+        &mut self,
+        nranks: u32,
+        step: u64,
+        nest: i32,
+        start: f64,
+        end: f64,
+        active: I,
+        compute_of: C,
+        wait_of: W,
+    ) where
+        I: IntoIterator<Item = u32> + Clone,
+        C: Fn(u32) -> f64,
+        W: Fn(u32) -> f64,
+    {
+        if let Some(tl) = &mut self.timeline {
+            for g in active.clone() {
+                self.wait_hist.record(wait_of(g));
+            }
+            tl.record_step(nranks, step, nest, start, end, active, compute_of, wait_of);
+        }
+    }
+
+    /// Installs the network model's per-link recordings (link busy seconds,
+    /// message-latency histogram, torus dims for decoding link ids).
+    pub fn set_net_detail(&mut self, net: NetDetail) {
+        self.net = Some(net);
+    }
+
+    /// Distribution of per-step wall-clock durations (non-I/O steps).
+    pub fn hist_step_time(&self) -> &LogHistogram {
+        &self.step_hist
+    }
+
+    /// Distribution of per-rank halo MPI_Wait seconds (populated only when
+    /// the timeline is enabled).
+    pub fn hist_rank_wait(&self) -> &LogHistogram {
+        &self.wait_hist
+    }
+
+    /// The per-rank timeline, when configured.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// The network model's per-link recordings, when installed.
+    pub fn net_detail(&self) -> Option<&NetDetail> {
+        self.net.as_ref()
+    }
+
+    /// Latest simulated end time seen across all recorded phases.
+    pub fn last_end(&self) -> f64 {
+        self.last_end
+    }
+
+    /// Runs the imbalance / link-utilization analysis over everything
+    /// recorded so far.
+    pub fn analysis(&self) -> AnalysisReport {
+        analyze::compute(
+            &self.summary,
+            self.timeline.as_ref(),
+            self.net.as_ref(),
+            self.last_end,
+        )
     }
 
     /// Records a span (no-op unless the `spans` feature is enabled).
@@ -279,9 +409,39 @@ impl Recorder {
         &self.summary
     }
 
-    /// Totals as pretty JSON.
+    /// Everything recorded, as pretty JSON in the versioned
+    /// `nestwx-obs-run-summary` envelope (see DESIGN.md "Summary JSON
+    /// schema"): whole-run totals, ring retention (including the dropped
+    /// count, so truncated traces are detectable), histogram summaries,
+    /// timeline shape, and the analysis report.
     pub fn summary_json(&self) -> String {
-        serde_json::to_string_pretty(&self.summary).expect("summary serialization cannot fail")
+        let run = RunSummary {
+            schema: SUMMARY_SCHEMA.to_owned(),
+            version: SUMMARY_VERSION,
+            summary: self.summary.clone(),
+            ring: RingInfo {
+                capacity: self.ring.capacity() as u64,
+                retained: self.ring.len() as u64,
+                dropped: self.ring.dropped(),
+                steps: self.ring.to_vec(),
+            },
+            hists: HistsOut {
+                step_time: self.step_hist.summary(),
+                rank_mpi_wait: self.wait_hist.summary(),
+                msg_latency: self.net.as_ref().map(|n| n.msg_latency.summary()),
+            },
+            timeline: self.timeline.as_ref().map(|tl| TimelineInfo {
+                nranks: tl.nranks(),
+                lanes: tl.lanes(),
+                rank_stride: tl.rank_stride(),
+                step_stride: tl.step_stride(),
+                frames: tl.frames() as u64,
+                recorded_steps: tl.recorded_steps(),
+                decimations: tl.decimations(),
+            }),
+            analysis: self.analysis(),
+        };
+        serde_json::to_string_pretty(&run).expect("summary serialization cannot fail")
     }
 
     /// The retained steps (plus spans, if stored) as Chrome `trace_event`
@@ -295,6 +455,79 @@ impl Recorder {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.chrome_trace_json().as_bytes())
     }
+}
+
+/// `schema` tag of the summary-JSON envelope.
+pub const SUMMARY_SCHEMA: &str = "nestwx-obs-run-summary";
+/// Current version of the summary-JSON envelope. Version 1 was the bare
+/// [`ObsSummary`] object (PR 2); version 2 wraps it in the envelope.
+pub const SUMMARY_VERSION: u64 = 2;
+
+/// The summary-JSON envelope (what [`Recorder::summary_json`] emits).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// Always [`SUMMARY_SCHEMA`].
+    pub schema: String,
+    /// Always [`SUMMARY_VERSION`].
+    pub version: u64,
+    /// Whole-run aggregate counters.
+    pub summary: ObsSummary,
+    /// Ring retention state and the retained steps.
+    pub ring: RingInfo,
+    /// Histogram percentile summaries.
+    pub hists: HistsOut,
+    /// Timeline shape; `null` when timelines were off.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub timeline: Option<TimelineInfo>,
+    /// Imbalance / link-utilization analysis.
+    pub analysis: AnalysisReport,
+}
+
+/// Ring-buffer retention block of the envelope. `dropped > 0` means the
+/// retained steps are a truncated suffix of the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RingInfo {
+    /// Ring capacity.
+    pub capacity: u64,
+    /// Steps currently retained.
+    pub retained: u64,
+    /// Steps overwritten (lost) because the ring was full.
+    pub dropped: u64,
+    /// The retained steps, oldest → newest.
+    pub steps: Vec<StepMetrics>,
+}
+
+/// Histogram block of the envelope.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistsOut {
+    /// Per-step wall-clock durations (non-I/O steps).
+    pub step_time: HistSummary,
+    /// Per-rank halo MPI_Wait seconds (zero-count unless timelines were
+    /// on).
+    pub rank_mpi_wait: HistSummary,
+    /// Message injection-to-delivery latency; `null` without net detail.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub msg_latency: Option<HistSummary>,
+}
+
+/// Timeline-shape block of the envelope (the columns stay in memory; the
+/// JSON carries only the bounds actually reached).
+#[derive(Debug, Clone, Serialize)]
+pub struct TimelineInfo {
+    /// Producer's total rank count.
+    pub nranks: u32,
+    /// Sampled lanes.
+    pub lanes: u32,
+    /// Rank sampling stride.
+    pub rank_stride: u32,
+    /// Recorded steps per frame after decimation.
+    pub step_stride: u64,
+    /// Frames held.
+    pub frames: u64,
+    /// Total steps recorded into the timeline.
+    pub recorded_steps: u64,
+    /// Times the frame buffer was decimated.
+    pub decimations: u32,
 }
 
 #[cfg(test)]
@@ -354,8 +587,48 @@ mod tests {
         let mut rec = Recorder::new(ObsConfig::counters());
         rec.record_step(metrics(1, StepPhase::Nest, 0));
         let v = serde_json::from_str(&rec.summary_json()).unwrap();
-        assert_eq!(v.get("steps").unwrap().as_u64().unwrap(), 1);
-        assert_eq!(v.get("hops").unwrap().as_u64().unwrap(), 6);
+        assert_eq!(v.get("schema").unwrap().as_str().unwrap(), SUMMARY_SCHEMA);
+        assert_eq!(v.get("version").unwrap().as_u64().unwrap(), SUMMARY_VERSION);
+        let s = v.get("summary").unwrap();
+        assert_eq!(s.get("steps").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(s.get("hops").unwrap().as_u64().unwrap(), 6);
+        let ring = v.get("ring").unwrap();
+        assert_eq!(ring.get("dropped").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(ring.get("retained").unwrap().as_u64().unwrap(), 1);
+        // Counter-only config: no timeline block, no msg_latency.
+        assert!(v.get("timeline").is_none());
+        assert!(v.get("hists").unwrap().get("msg_latency").is_none());
+        assert!(v.get("analysis").is_some());
+    }
+
+    #[test]
+    fn summary_json_reports_ring_drops_and_detail_blocks() {
+        let mut rec = Recorder::new(ObsConfig::detailed().with_ring_capacity(2));
+        for i in 1..=5u64 {
+            rec.record_step(metrics(i, StepPhase::Nest, 0));
+            rec.record_rank_step(
+                4,
+                i,
+                0,
+                i as f64,
+                i as f64 + 0.5,
+                0..4u32,
+                |g| 0.1 * (g + 1) as f64,
+                |_| 0.05,
+            );
+        }
+        let v = serde_json::from_str(&rec.summary_json()).unwrap();
+        let ring = v.get("ring").unwrap();
+        assert_eq!(ring.get("dropped").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(ring.get("retained").unwrap().as_u64().unwrap(), 2);
+        let tl = v.get("timeline").unwrap();
+        assert_eq!(tl.get("nranks").unwrap().as_u64().unwrap(), 4);
+        assert_eq!(tl.get("recorded_steps").unwrap().as_u64().unwrap(), 5);
+        let hists = v.get("hists").unwrap();
+        let wait = hists.get("rank_mpi_wait").unwrap();
+        assert_eq!(wait.get("count").unwrap().as_u64().unwrap(), 20);
+        let analysis = v.get("analysis").unwrap();
+        assert!(analysis.get("overall_imbalance").unwrap().as_f64().unwrap() > 1.0);
     }
 
     #[test]
