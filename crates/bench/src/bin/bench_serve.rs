@@ -1,0 +1,542 @@
+//! Load generator for `nestwx-serve` (the concurrent planning service).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_serve [--smoke] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]
+//! ```
+//!
+//! Default (bench) mode spawns an in-process server on an ephemeral port,
+//! warms a 16-scenario working set, then hammers it from N client threads
+//! issuing `plan` requests round-robin. Reports throughput and client-side
+//! latency percentiles (p50/p90/p99 via `nestwx-obs` log histograms) into
+//! `BENCH_serve.json`, together with the server's cache statistics, and
+//! verifies that every repeated response is **byte-identical** to the first
+//! one for that scenario.
+//!
+//! `--smoke` runs a short mixed predict/plan workload instead — the CI
+//! smoke job points it at an external `nestwx serve` process via `--addr`,
+//! asserts zero protocol errors and a non-zero cache hit rate, then issues
+//! `shutdown` so CI can check the server drains and exits 0.
+//!
+//! Knobs (flags win over env): `NESTWX_SERVE_CLIENTS` (default 4),
+//! `NESTWX_SERVE_REQS` (requests per client, default 1500).
+
+use nestwx_bench::{banner, env_u32, pacific_parent};
+use nestwx_core::{AllocPolicy, MappingKind, Strategy};
+use nestwx_grid::NestSpec;
+use nestwx_obs::LogHistogram;
+use nestwx_serve::{
+    spawn, Client, PredictParams, Request, RequestBody, ScenarioParams, ServeConfig,
+};
+use serde::Serialize;
+use serde_json::Value;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one run writes to `BENCH_serve.json`. `perf_gate --serve` reads
+/// `throughput_rps`, `cache_hit_rate`, `byte_identical` and
+/// `protocol_errors` back out of this.
+#[derive(Debug, Serialize)]
+struct ServeBenchOutput {
+    benchmark: String,
+    mode: String,
+    clients: u32,
+    requests_per_client: u32,
+    scenarios: u32,
+    warmup_requests: u64,
+    requests_total: u64,
+    elapsed_seconds: f64,
+    throughput_rps: f64,
+    latency: nestwx_obs::HistSummary,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    cache_hit_rate: f64,
+    protocol_errors: u64,
+    byte_identical: bool,
+}
+
+#[derive(Debug)]
+struct Args {
+    smoke: bool,
+    addr: Option<String>,
+    clients: u32,
+    requests: u32,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        addr: None,
+        clients: env_u32("NESTWX_SERVE_CLIENTS", 4).max(1),
+        requests: env_u32("NESTWX_SERVE_REQS", 1500).max(1),
+        out: "BENCH_serve.json".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} requires a value", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--addr" => args.addr = Some(take(&mut i)?),
+            "--clients" => {
+                args.clients = take(&mut i)?
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("--clients expects a positive integer")?
+            }
+            "--requests" => {
+                args.requests = take(&mut i)?
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("--requests expects a positive integer")?
+            }
+            "--out" => args.out = take(&mut i)?,
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// The working set: `n` distinct two-nest scenarios on one 64-rank BG/L
+/// midplane slice. All share the machine (one predictor fit serves all),
+/// but differ in nest sizes and mapping so each has its own cache entry.
+fn working_set(n: usize) -> Vec<Request> {
+    let mappings = MappingKind::ALL;
+    (0..n)
+        .map(|i| {
+            let params = ScenarioParams {
+                machine: "bgl:64".into(),
+                parent: pacific_parent(),
+                nests: vec![
+                    NestSpec::new(
+                        120 + 9 * (i as u32 % 4),
+                        111 + 6 * (i as u32 / 4),
+                        3,
+                        (10 + i as u32, 12),
+                    ),
+                    NestSpec::new(96, 90, 3, (180, 170)),
+                ],
+                strategy: Strategy::Concurrent,
+                alloc: AllocPolicy::HuffmanSplitTree,
+                mapping: mappings[i % mappings.len()],
+                io: None,
+            };
+            Request {
+                // One id per *scenario*, shared by every repetition, so the
+                // whole response line (not just `result`) must be
+                // byte-identical on a cache hit.
+                id: Some(format!("s{i}")),
+                body: RequestBody::Plan(params),
+            }
+        })
+        .collect()
+}
+
+fn stats_request() -> Request {
+    Request {
+        id: Some("stats".into()),
+        body: RequestBody::Stats,
+    }
+}
+
+fn shutdown_request() -> Request {
+    Request {
+        id: Some("bye".into()),
+        body: RequestBody::Shutdown,
+    }
+}
+
+fn u64_at(v: &Value, path: &[&str]) -> u64 {
+    let mut cur = v;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return 0,
+        }
+    }
+    cur.as_u64()
+        .or_else(|| cur.as_f64().map(|f| f as u64))
+        .unwrap_or(0)
+}
+
+fn f64_at(v: &Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+/// Either an in-process server (we own the handle and verify the drain
+/// report) or an external one reached over `--addr`.
+enum Target {
+    InProcess(nestwx_serve::ServerHandle),
+    External(String),
+}
+
+impl Target {
+    fn addr(&self) -> String {
+        match self {
+            Target::InProcess(h) => h.addr().to_string(),
+            Target::External(a) => a.clone(),
+        }
+    }
+}
+
+fn connect(target: &Target) -> Result<Client, String> {
+    Client::connect(target.addr()).map_err(|e| format!("connect {}: {e}", target.addr()))
+}
+
+fn run_bench(args: &Args) -> Result<bool, String> {
+    banner(
+        "SERVE",
+        "nestwx-serve plan throughput under a hot working set",
+    );
+    let target = match &args.addr {
+        Some(a) => Target::External(a.clone()),
+        None => Target::InProcess(
+            spawn(ServeConfig::new("127.0.0.1:0")).map_err(|e| format!("spawn server: {e}"))?,
+        ),
+    };
+    println!(
+        "server: {} ({})",
+        target.addr(),
+        if args.addr.is_some() {
+            "external"
+        } else {
+            "in-process"
+        }
+    );
+
+    let scenarios = working_set(16);
+
+    // Warmup: populate the cache (and fit the predictor once) and record
+    // the canonical response line per scenario.
+    let mut warm = connect(&target)?;
+    let mut canonical: Vec<String> = Vec::with_capacity(scenarios.len());
+    for req in &scenarios {
+        let resp = warm.call(req).map_err(|e| format!("warmup call: {e}"))?;
+        if !resp.ok() {
+            return Err(format!("warmup request rejected: {}", resp.raw));
+        }
+        canonical.push(resp.raw);
+    }
+    let canonical = Arc::new(canonical);
+    let scenarios = Arc::new(scenarios);
+    println!("warmup: {} scenarios planned and cached", canonical.len());
+
+    // Timed phase: N clients, round-robin over the working set with a
+    // per-thread phase offset so threads hit different keys at any instant.
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..args.clients {
+        let scenarios = Arc::clone(&scenarios);
+        let canonical = Arc::clone(&canonical);
+        let addr = target.addr();
+        let requests = args.requests;
+        handles.push(std::thread::spawn(
+            move || -> Result<LogHistogram, String> {
+                let mut client =
+                    Client::connect(&addr).map_err(|e| format!("client {t} connect: {e}"))?;
+                let mut hist = LogHistogram::new();
+                for k in 0..requests {
+                    let idx = (t as usize + k as usize) % scenarios.len();
+                    let t0 = Instant::now();
+                    let resp = client
+                        .call(&scenarios[idx])
+                        .map_err(|e| format!("client {t} call: {e}"))?;
+                    hist.record_duration(t0.elapsed());
+                    if !resp.ok() {
+                        return Err(format!("client {t} got error: {}", resp.raw));
+                    }
+                    if resp.raw != canonical[idx] {
+                        return Err(format!(
+                            "client {t}: response for scenario {idx} not byte-identical\n\
+                         first: {}\n now: {}",
+                            canonical[idx], resp.raw
+                        ));
+                    }
+                }
+                Ok(hist)
+            },
+        ));
+    }
+    let mut merged = LogHistogram::new();
+    let mut byte_identical = true;
+    for h in handles {
+        match h.join().map_err(|_| "client thread panicked".to_string())? {
+            Ok(hist) => merged.merge(&hist),
+            Err(e) => {
+                eprintln!("bench_serve: {e}");
+                byte_identical = false;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let requests_total = merged.summary().count;
+    let throughput = requests_total as f64 / elapsed.max(1e-9);
+
+    // Final stats + shutdown through the wire protocol.
+    let mut ctl = connect(&target)?;
+    let stats = ctl
+        .call(&stats_request())
+        .map_err(|e| format!("stats: {e}"))?;
+    let result = stats.result().cloned().unwrap_or(Value::Null);
+    let shut = ctl
+        .call(&shutdown_request())
+        .map_err(|e| format!("shutdown: {e}"))?;
+    if !shut.ok() {
+        return Err(format!("shutdown rejected: {}", shut.raw));
+    }
+    if let Target::InProcess(handle) = target {
+        let report = handle.wait();
+        if !report.clean() {
+            return Err(format!("unclean drain: {report:?}"));
+        }
+        println!(
+            "drain: clean ({} requests, {} responses)",
+            report.requests_total, report.responses_total
+        );
+    }
+
+    let summary = merged.summary();
+    let out = ServeBenchOutput {
+        benchmark: "serve".into(),
+        mode: if args.addr.is_some() {
+            "external"
+        } else {
+            "in-process"
+        }
+        .into(),
+        clients: args.clients,
+        requests_per_client: args.requests,
+        scenarios: canonical.len() as u32,
+        warmup_requests: canonical.len() as u64,
+        requests_total,
+        elapsed_seconds: elapsed,
+        throughput_rps: throughput,
+        latency: summary,
+        cache_hits: u64_at(&result, &["cache", "hits"]),
+        cache_misses: u64_at(&result, &["cache", "misses"]),
+        cache_evictions: u64_at(&result, &["cache", "evictions"]),
+        cache_hit_rate: f64_at(&result, &["cache", "hit_rate"]),
+        protocol_errors: u64_at(&result, &["server", "protocol_errors"]),
+        byte_identical,
+    };
+    let json = serde_json::to_string(&out).map_err(|e| format!("serialize: {e:?}"))?;
+    std::fs::write(&args.out, format!("{json}\n"))
+        .map_err(|e| format!("write {}: {e}", args.out))?;
+
+    println!(
+        "throughput: {throughput:.0} plan req/s over {requests_total} requests ({:.2}s, {} clients)",
+        elapsed, args.clients
+    );
+    println!(
+        "latency:    p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
+        out.latency.p50 * 1e6,
+        out.latency.p90 * 1e6,
+        out.latency.p99 * 1e6,
+        out.latency.max * 1e6
+    );
+    println!(
+        "cache:      {} hits / {} misses ({:.1}% hit rate), {} evictions",
+        out.cache_hits,
+        out.cache_misses,
+        out.cache_hit_rate * 100.0,
+        out.cache_evictions
+    );
+    println!("wrote {}", args.out);
+
+    let ok = byte_identical && out.protocol_errors == 0 && out.cache_hit_rate >= 0.90;
+    if !ok {
+        eprintln!(
+            "bench_serve: FAIL (byte_identical={byte_identical}, protocol_errors={}, hit_rate={:.3})",
+            out.protocol_errors, out.cache_hit_rate
+        );
+    }
+    Ok(ok)
+}
+
+/// The CI smoke workload: a short mixed predict/plan session that must
+/// produce zero protocol errors, a non-zero cache hit rate, byte-identical
+/// repeats, working predict micro-batching, and a clean shutdown.
+fn run_smoke(args: &Args) -> Result<bool, String> {
+    banner(
+        "SERVE-SMOKE",
+        "mixed predict/plan workload against a live server",
+    );
+    let target = match &args.addr {
+        Some(a) => Target::External(a.clone()),
+        None => Target::InProcess(
+            spawn(ServeConfig::new("127.0.0.1:0")).map_err(|e| format!("spawn server: {e}"))?,
+        ),
+    };
+    println!("server: {}", target.addr());
+
+    let scenarios = working_set(6);
+    let mut client = connect(&target)?;
+
+    // Two passes over the working set: the second must be all cache hits
+    // and byte-identical to the first.
+    let mut first: Vec<String> = Vec::new();
+    for req in &scenarios {
+        let resp = client.call(req).map_err(|e| format!("plan: {e}"))?;
+        if !resp.ok() {
+            return Err(format!("plan rejected: {}", resp.raw));
+        }
+        first.push(resp.raw);
+    }
+    for (i, req) in scenarios.iter().enumerate() {
+        let resp = client
+            .call(req)
+            .map_err(|e| format!("plan (repeat): {e}"))?;
+        if resp.raw != first[i] {
+            return Err(format!(
+                "cached response not byte-identical for scenario {i}"
+            ));
+        }
+    }
+    println!(
+        "plan: {} scenarios, repeats byte-identical",
+        scenarios.len()
+    );
+
+    // A concurrent predict burst sharing one machine — exercises the
+    // micro-batcher.
+    let addr = target.addr();
+    let burst: Vec<_> = (0..4)
+        .map(|b| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut c = Client::connect(&addr).map_err(|e| format!("burst {b}: {e}"))?;
+                let req = Request {
+                    id: Some(format!("p{b}")),
+                    body: RequestBody::Predict(PredictParams {
+                        machine: "bgl:64".into(),
+                        nests: vec![
+                            NestSpec::new(130, 121, 3, (10, 12)),
+                            NestSpec::new(96, 90, 3, (180, 170)),
+                        ],
+                    }),
+                };
+                for _ in 0..8 {
+                    let resp = c.call(&req).map_err(|e| format!("burst {b} call: {e}"))?;
+                    if !resp.ok() {
+                        return Err(format!("burst {b} predict rejected: {}", resp.raw));
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    for h in burst {
+        h.join()
+            .map_err(|_| "predict burst thread panicked".to_string())??;
+    }
+    println!("predict: 4-client burst completed");
+
+    // A compare round-trip.
+    let compare = Request {
+        id: Some("cmp".into()),
+        body: RequestBody::Compare {
+            params: match &scenarios[0].body {
+                RequestBody::Plan(p) => p.clone(),
+                _ => unreachable!(),
+            },
+            iterations: 2,
+        },
+    };
+    let resp = client.call(&compare).map_err(|e| format!("compare: {e}"))?;
+    if !resp.ok() {
+        return Err(format!("compare rejected: {}", resp.raw));
+    }
+    println!("compare: ok");
+
+    // Stats must show zero protocol errors, hits, and at least one batch.
+    let stats = client
+        .call(&stats_request())
+        .map_err(|e| format!("stats: {e}"))?;
+    let result = stats.result().cloned().unwrap_or(Value::Null);
+    let protocol_errors = u64_at(&result, &["server", "protocol_errors"]);
+    let hit_rate = f64_at(&result, &["cache", "hit_rate"]);
+    let hits = u64_at(&result, &["cache", "hits"]);
+    let batches = u64_at(&result, &["batch", "batches"]);
+    println!(
+        "stats: protocol_errors={protocol_errors} cache_hits={hits} hit_rate={:.3} batches={batches}",
+        hit_rate
+    );
+    let mut ok = true;
+    if protocol_errors != 0 {
+        eprintln!("smoke: FAIL — server counted {protocol_errors} protocol errors");
+        ok = false;
+    }
+    if hits == 0 || hit_rate <= 0.0 {
+        eprintln!("smoke: FAIL — no cache hits on a repeated working set");
+        ok = false;
+    }
+    if batches == 0 {
+        eprintln!("smoke: FAIL — predict burst produced no batches");
+        ok = false;
+    }
+
+    // Graceful shutdown: the server acknowledges, drains, and (for the CI
+    // job) its process exits 0 — checked by the workflow, not here.
+    let shut = client
+        .call(&shutdown_request())
+        .map_err(|e| format!("shutdown: {e}"))?;
+    if !shut.ok() {
+        return Err(format!("shutdown rejected: {}", shut.raw));
+    }
+    if let Target::InProcess(handle) = target {
+        let report = handle.wait();
+        if !report.clean() {
+            return Err(format!("unclean drain: {report:?}"));
+        }
+        println!("drain: clean");
+    }
+    if ok {
+        println!("SERVE-SMOKE: PASS");
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_serve: {e}");
+            eprintln!(
+                "usage: bench_serve [--smoke] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = if args.smoke {
+        run_smoke(&args)
+    } else {
+        run_bench(&args)
+    };
+    match run {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_serve: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,6 +1,12 @@
-//! CI performance-regression gate over `BENCH_netsim.json`.
+//! CI performance-regression gate over `BENCH_netsim.json` and
+//! `BENCH_serve.json`.
 //!
-//! Usage: `perf_gate <baseline.json> <current.json>`
+//! Usage:
+//!
+//! ```text
+//! perf_gate <baseline.json> <current.json>           # netsim steps/s gate
+//! perf_gate --serve <baseline.json> <current.json>   # serve throughput gate
+//! ```
 //!
 //! Compares the compiled engine's steps/second in `current` against the
 //! committed `baseline`, per rank count. Fails (exit 1) when any size
@@ -12,8 +18,16 @@
 //! simulation) — those are correctness regressions, tolerance never
 //! applies.
 //!
+//! The `--serve` mode gates `throughput_rps` from `bench_serve` the same
+//! way, and unconditionally fails on serving-correctness regressions:
+//! `byte_identical: false`, non-zero `protocol_errors`, or a cache hit
+//! rate under 90 % on the hot working set. A *missing baseline file* is
+//! tolerated in `--serve` mode (PASS with a note) so the gate can ship in
+//! the same change that introduces the benchmark.
+//!
 //! Faster-than-baseline results pass with a note; refresh the committed
-//! baseline by running `bench_netsim` on a quiet machine.
+//! baseline by running `bench_netsim` (or `bench_serve`) on a quiet
+//! machine.
 
 use nestwx_bench::env_f64;
 use serde_json::Value;
@@ -57,10 +71,92 @@ fn bool_flag(entry: &Value, key: &str) -> Option<bool> {
     entry.get(key).and_then(|b| b.as_bool())
 }
 
+/// The `--serve` gate: throughput with tolerance, correctness flags
+/// unconditionally, missing baseline tolerated.
+fn run_serve(baseline_path: &str, current_path: &str) -> Result<bool, String> {
+    let tol = tolerance_pct();
+    let current = load(current_path)?;
+    let mut ok = true;
+
+    let hit_rate = current
+        .get("cache_hit_rate")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("{current_path}: missing cache_hit_rate"))?;
+    let throughput = current
+        .get("throughput_rps")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("{current_path}: missing throughput_rps"))?;
+    let protocol_errors = current
+        .get("protocol_errors")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let byte_identical = bool_flag(&current, "byte_identical").unwrap_or(false);
+
+    println!("serve gate: tolerance {tol:.0}% (NESTWX_PERF_TOLERANCE_PCT)");
+    if !byte_identical {
+        println!("serve gate: byte_identical is false  FAIL");
+        ok = false;
+    }
+    if protocol_errors != 0 {
+        println!("serve gate: protocol_errors = {protocol_errors}  FAIL");
+        ok = false;
+    }
+    if hit_rate < 0.90 {
+        println!(
+            "serve gate: cache hit rate {:.1}% < 90%  FAIL",
+            hit_rate * 100.0
+        );
+        ok = false;
+    } else {
+        println!("serve gate: cache hit rate {:.1}%  PASS", hit_rate * 100.0);
+    }
+
+    match load(baseline_path) {
+        Err(_) if !std::path::Path::new(baseline_path).exists() => {
+            println!(
+                "serve gate: no baseline at {baseline_path} — current {throughput:.0} req/s \
+                 PASS (first run; commit {current_path} as the baseline)"
+            );
+        }
+        Err(e) => return Err(e),
+        Ok(baseline) => {
+            let base_rps = baseline
+                .get("throughput_rps")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("{baseline_path}: missing throughput_rps"))?;
+            let delta_pct = (throughput / base_rps - 1.0) * 100.0;
+            let pass = delta_pct >= -tol;
+            println!(
+                "serve gate: baseline {base_rps:.0} req/s, current {throughput:.0} req/s \
+                 ({delta_pct:+.1}%)  {}",
+                if pass {
+                    if delta_pct > tol {
+                        "PASS (faster — consider refreshing baseline)"
+                    } else {
+                        "PASS"
+                    }
+                } else {
+                    "FAIL (regression beyond tolerance)"
+                }
+            );
+            ok &= pass;
+        }
+    }
+    Ok(ok)
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let ["--serve", baseline_path, current_path] = args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        return run_serve(baseline_path, current_path);
+    }
     let [baseline_path, current_path] = args.as_slice() else {
-        return Err("usage: perf_gate <baseline.json> <current.json>".into());
+        return Err("usage: perf_gate [--serve] <baseline.json> <current.json>".into());
     };
     let tol = tolerance_pct();
     let baseline = load(baseline_path)?;

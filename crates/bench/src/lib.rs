@@ -55,36 +55,10 @@ pub fn rng_for(experiment: &str) -> StdRng {
     StdRng::from_seed(seed)
 }
 
-fn env_parsed<T: std::str::FromStr>(name: &str, default: T, valid: impl Fn(&T) -> bool) -> T {
-    match std::env::var(name) {
-        Ok(v) => match v.trim().parse::<T>() {
-            Ok(n) if valid(&n) => n,
-            _ => {
-                eprintln!("warning: ignoring invalid {name}={v:?}");
-                default
-            }
-        },
-        Err(_) => default,
-    }
-}
-
-/// Environment variable `name` as a positive `usize`, else `default`
-/// (warns on an invalid value). Shared by every experiment binary so the
-/// knobs (`NESTWX_CONFIGS`, `NESTWX_JOBS`, ...) parse identically.
-pub fn env_usize(name: &str, default: usize) -> usize {
-    env_parsed(name, default, |&n| n >= 1)
-}
-
-/// Environment variable `name` as a positive `u32`, else `default`.
-pub fn env_u32(name: &str, default: u32) -> u32 {
-    env_parsed(name, default, |&n| n >= 1)
-}
-
-/// Environment variable `name` as a finite non-negative `f64`, else
-/// `default`.
-pub fn env_f64(name: &str, default: f64) -> f64 {
-    env_parsed(name, default, |&x: &f64| x.is_finite() && x >= 0.0)
-}
+// The env knob parsers moved to `nestwx_core::env` so the CLI and the serve
+// daemon share them; re-exported here to keep the experiment binaries'
+// imports unchanged.
+pub use nestwx_core::env::{env_f64, env_u32, env_usize};
 
 /// Worker count for [`run_parallel`]: the `NESTWX_JOBS` environment
 /// variable when set to a positive integer, else the machine's available

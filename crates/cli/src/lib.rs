@@ -41,8 +41,46 @@ pub enum Command {
     Compare(RunArgs),
     /// Analyze recorded run summaries (`nestwx obs report|top|diff`).
     Obs(ObsCmd),
+    /// Run the planning daemon (`nestwx serve`).
+    Serve(ServeArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `nestwx serve`. Flags override the `NESTWX_SERVE_*`
+/// environment knobs, which override the built-in defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Bind address (default `127.0.0.1:7878`; port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads (`--workers`, else `NESTWX_SERVE_WORKERS`).
+    pub workers: Option<usize>,
+    /// Job-queue depth (`--queue`, else `NESTWX_SERVE_QUEUE`).
+    pub queue: Option<usize>,
+    /// Plan-cache capacity (`--cache`, else `NESTWX_SERVE_CACHE`).
+    pub cache: Option<usize>,
+    /// Connection cap (`--max-conns`, else `NESTWX_SERVE_MAX_CONNS`).
+    pub max_conns: Option<usize>,
+}
+
+impl ServeArgs {
+    /// Resolves flags and environment into the server config.
+    pub fn to_config(&self) -> nestwx_serve::ServeConfig {
+        let mut cfg = nestwx_serve::ServeConfig::new(self.addr.clone());
+        if let Some(n) = self.workers {
+            cfg.workers = n;
+        }
+        if let Some(n) = self.queue {
+            cfg.queue_depth = n;
+        }
+        if let Some(n) = self.cache {
+            cfg.cache_capacity = n;
+        }
+        if let Some(n) = self.max_conns {
+            cfg.max_conns = n;
+        }
+        cfg
+    }
 }
 
 /// Common arguments for `plan` and `compare`.
@@ -252,6 +290,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "machines" => Ok(Command::Machines),
         "help" | "--help" | "-h" => Ok(Command::Help),
         "obs" => parse_obs_args(&args[1..]).map(Command::Obs),
+        "serve" => parse_serve_args(&args[1..]).map(Command::Serve),
         "plan" | "compare" => {
             let mut machine = None;
             let mut parent = None;
@@ -315,9 +354,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         other => Err(err(format!(
-            "unknown command '{other}' (machines|plan|compare|obs|help)"
+            "unknown command '{other}' (machines|plan|compare|obs|serve|help)"
         ))),
     }
+}
+
+/// Parses `serve [--addr A] [--workers N] [--queue N] [--cache N]
+/// [--max-conns N]`.
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseError> {
+    let mut serve = ServeArgs {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: None,
+        queue: None,
+        cache: None,
+        max_conns: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        let positive = |name: &str, v: String| -> Result<usize, ParseError> {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(err(format!("{name} must be a positive integer, got '{v}'"))),
+            }
+        };
+        match flag.as_str() {
+            "--addr" => serve.addr = value("--addr")?,
+            "--workers" => serve.workers = Some(positive("--workers", value("--workers")?)?),
+            "--queue" => serve.queue = Some(positive("--queue", value("--queue")?)?),
+            "--cache" => serve.cache = Some(positive("--cache", value("--cache")?)?),
+            "--max-conns" => {
+                serve.max_conns = Some(positive("--max-conns", value("--max-conns")?)?)
+            }
+            other => return Err(err(format!("unknown serve flag '{other}'"))),
+        }
+    }
+    Ok(serve)
 }
 
 /// Parses the `obs` subcommand family: `report FILE`, `top FILE [--by
@@ -503,6 +579,18 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
                 obs::diff(&va, &vb, out)?;
             }
         },
+        Command::Serve(a) => {
+            let handle = nestwx_serve::spawn(a.to_config())?;
+            writeln!(out, "listening on {}", handle.addr())?;
+            out.flush()?;
+            // Blocks until a client sends `shutdown`; then every thread is
+            // joined and the drain report says whether anything leaked.
+            let report = handle.wait();
+            writeln!(out, "{}", serde_json::to_string(&report)?)?;
+            if !report.clean() {
+                return Err(format!("unclean drain: {report:?}").into());
+            }
+        }
         Command::Compare(a) => {
             let planner = planner_for(&a);
             // With --obs-out, run the observed variant (recording is
@@ -603,6 +691,8 @@ USAGE:
   nestwx obs report FILE
   nestwx obs top  FILE [--by duration|compute|halo_wait|bytes|messages|hops|stall] [-n N]
   nestwx obs diff A B
+  nestwx serve   [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
+                 [--max-conns N]
 
 FLAGS:
   --machine FAMILY:CORES   bgl:16..1024 | bgp:64..8192 (power of two)
@@ -618,7 +708,15 @@ FLAGS:
   --trace                  include the per-iteration timeline (with --json)
   --obs-out PREFIX         compare only: record both runs and write
                            PREFIX.default.json / PREFIX.planned.json run
-                           summaries for 'nestwx obs'"
+                           summaries for 'nestwx obs'
+
+SERVE:
+  Runs the planning daemon: newline-delimited JSON requests over TCP
+  (predict|plan|compare|stats|shutdown), with plan caching, predict
+  micro-batching and live latency metrics. Unset flags fall back to the
+  NESTWX_SERVE_WORKERS / NESTWX_SERVE_QUEUE / NESTWX_SERVE_CACHE /
+  NESTWX_SERVE_MAX_CONNS environment knobs. The process exits (code 0)
+  after a clean drain once a client sends 'shutdown'."
 }
 
 #[cfg(test)]
@@ -824,6 +922,120 @@ mod tests {
             "x"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parse_serve_commands() {
+        assert_eq!(
+            parse_args(&argv(&["serve"])).unwrap(),
+            Command::Serve(ServeArgs {
+                addr: "127.0.0.1:7878".into(),
+                workers: None,
+                queue: None,
+                cache: None,
+                max_conns: None,
+            })
+        );
+        let Command::Serve(a) = parse_args(&argv(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9999",
+            "--workers",
+            "8",
+            "--queue",
+            "32",
+            "--cache",
+            "512",
+            "--max-conns",
+            "16",
+        ]))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.addr, "0.0.0.0:9999");
+        assert_eq!(a.workers, Some(8));
+        assert_eq!(a.queue, Some(32));
+        assert_eq!(a.cache, Some(512));
+        assert_eq!(a.max_conns, Some(16));
+        let cfg = a.to_config();
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.queue_depth, 32);
+        assert_eq!(cfg.cache_capacity, 512);
+        assert_eq!(cfg.max_conns, 16);
+        assert!(parse_args(&argv(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--queue"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn serve_command_round_trips_a_session() {
+        // End to end through `run`: spawn on an ephemeral port, drive one
+        // plan request and a shutdown over the wire, then check the drain
+        // report line and a clean exit.
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let mut buf = SignallingBuf {
+                inner: Vec::new(),
+                tx: Some(tx),
+            };
+            let res = run(
+                Command::Serve(ServeArgs {
+                    addr: "127.0.0.1:0".into(),
+                    workers: Some(2),
+                    queue: None,
+                    cache: None,
+                    max_conns: None,
+                }),
+                &mut buf,
+            );
+            (res.is_ok(), String::from_utf8(buf.inner).unwrap())
+        });
+        // First output line carries the bound address.
+        let addr: String = rx.recv().unwrap();
+        let mut client = nestwx_serve::Client::connect(addr).unwrap();
+        let resp = client
+            .send_line(
+                "{\"v\":1,\"id\":\"p\",\"op\":\"plan\",\"params\":{\"machine\":\"bgl:64\",\
+                 \"parent\":{\"nx\":286,\"ny\":307,\"dx_km\":24.0},\
+                 \"nests\":[{\"nx\":150,\"ny\":150,\"r\":3,\"ox\":10,\"oy\":12}],\
+                 \"alloc\":\"naive\"}}",
+            )
+            .unwrap();
+        assert!(resp.ok(), "plan failed: {}", resp.raw);
+        let resp = client.send_line("{\"v\":1,\"op\":\"shutdown\"}").unwrap();
+        assert!(resp.ok());
+        let (clean, output) = server.join().unwrap();
+        assert!(clean, "serve exited uncleanly: {output}");
+        assert!(output.contains("\"queue_residual\":0"), "{output}");
+    }
+
+    /// Test writer that reports the bound address from the first line.
+    struct SignallingBuf {
+        inner: Vec<u8>,
+        tx: Option<std::sync::mpsc::Sender<String>>,
+    }
+
+    impl std::io::Write for SignallingBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.inner.extend_from_slice(buf);
+            if let Some(tx) = self
+                .tx
+                .take_if(|_| std::str::from_utf8(&self.inner).is_ok_and(|s| s.contains('\n')))
+            {
+                let line = String::from_utf8_lossy(&self.inner);
+                let addr = line
+                    .trim()
+                    .strip_prefix("listening on ")
+                    .unwrap_or_default()
+                    .to_string();
+                let _ = tx.send(addr);
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
     }
 
     #[test]

@@ -21,16 +21,20 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod canon;
 pub mod compare;
+pub mod env;
 pub mod planner;
 pub mod profile;
 pub mod strategy;
 pub mod threads;
 
 pub use adaptive::{run_adaptive, AdaptiveReport};
+pub use canon::{fnv1a64, Scenario};
 pub use compare::{
     compare_strategies, compare_strategies_observed, ObservedComparison, StrategyComparison,
 };
+pub use env::{env_f64, env_u32, env_usize};
 pub use planner::{ExecutionPlan, PlanError, Planner};
 pub use profile::{fit_predictor, measure_domain_time, profile_basis};
 pub use strategy::{AllocPolicy, MappingKind, Strategy};

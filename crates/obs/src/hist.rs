@@ -85,6 +85,12 @@ impl LogHistogram {
         self.max = self.max.max(x);
     }
 
+    /// Records a wall-clock duration as seconds — the convenience the
+    /// request-latency call sites use.
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(d.as_secs_f64());
+    }
+
     /// Element-wise merge of another histogram into this one. Associative;
     /// merging an empty histogram is a no-op.
     pub fn merge(&mut self, other: &LogHistogram) {
@@ -275,6 +281,14 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.count, 4);
         assert!(s.p50 <= LogHistogram::MIN_EDGE);
+    }
+
+    #[test]
+    fn durations_record_as_seconds() {
+        let mut h = LogHistogram::new();
+        h.record_duration(std::time::Duration::from_millis(250));
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Micro-batching of `predict` requests.
+//!
+//! Concurrent predict queries for the *same machine* share one fitted
+//! predictor (the expensive part: 13 profiling simulations + basis
+//! triangulation). A connection thread parks its request here and enqueues
+//! a lightweight tick job; whichever worker pops a tick drains *every*
+//! pending request for that machine and answers them all against a single
+//! predictor resolution. Later ticks that find the batch already drained
+//! are no-ops, so a burst of N concurrent queries costs one predictor
+//! lookup instead of N.
+
+use crate::protocol::ProtoError;
+use nestwx_grid::DomainFeatures;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+/// The result a worker sends back to a parked connection thread: the
+/// rendered result JSON, or a typed error.
+pub type Outcome = Result<String, ProtoError>;
+
+/// One parked predict request.
+pub struct Pending {
+    /// Unique token, used to cancel (remove) exactly this entry if its
+    /// tick could not be enqueued.
+    pub token: u64,
+    /// Machine spec string from the request (echoed in the result).
+    pub machine_spec: String,
+    /// Features of the nests to rank.
+    pub features: Vec<DomainFeatures>,
+    /// Where the worker sends the outcome.
+    pub reply: Sender<Outcome>,
+}
+
+/// Parking lot of pending predict requests, grouped by machine identity.
+#[derive(Default)]
+pub struct PredictBatcher {
+    groups: Mutex<HashMap<String, Vec<Pending>>>,
+    next_token: AtomicU64,
+}
+
+impl PredictBatcher {
+    /// An empty batcher.
+    pub fn new() -> PredictBatcher {
+        PredictBatcher::default()
+    }
+
+    /// A fresh cancellation token.
+    pub fn token(&self) -> u64 {
+        self.next_token.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Parks a request under the given machine key.
+    pub fn add(&self, machine_key: &str, pending: Pending) {
+        self.groups
+            .lock()
+            .expect("batcher poisoned")
+            .entry(machine_key.to_string())
+            .or_default()
+            .push(pending);
+    }
+
+    /// Removes one parked request by token. Returns `false` when a worker
+    /// already took it (its reply will arrive; the caller must wait instead
+    /// of reporting an error).
+    pub fn cancel(&self, machine_key: &str, token: u64) -> bool {
+        let mut groups = self.groups.lock().expect("batcher poisoned");
+        if let Some(list) = groups.get_mut(machine_key) {
+            if let Some(i) = list.iter().position(|p| p.token == token) {
+                list.swap_remove(i);
+                if list.is_empty() {
+                    groups.remove(machine_key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Takes every pending request for one machine (the whole batch).
+    pub fn take(&self, machine_key: &str) -> Vec<Pending> {
+        self.groups
+            .lock()
+            .expect("batcher poisoned")
+            .remove(machine_key)
+            .unwrap_or_default()
+    }
+
+    /// Takes everything, across all machines — the final shutdown sweep.
+    pub fn drain_all(&self) -> Vec<Pending> {
+        self.groups
+            .lock()
+            .expect("batcher poisoned")
+            .drain()
+            .flat_map(|(_, list)| list)
+            .collect()
+    }
+
+    /// Parked requests right now (all machines).
+    pub fn len(&self) -> usize {
+        self.groups
+            .lock()
+            .expect("batcher poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// True when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn pending(b: &PredictBatcher) -> (Pending, std::sync::mpsc::Receiver<Outcome>) {
+        let (tx, rx) = channel();
+        (
+            Pending {
+                token: b.token(),
+                machine_spec: "bgl:64".into(),
+                features: vec![DomainFeatures::from_dims(100, 100)],
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn take_drains_whole_group() {
+        let b = PredictBatcher::new();
+        let (p1, _r1) = pending(&b);
+        let (p2, _r2) = pending(&b);
+        b.add("m1", p1);
+        b.add("m1", p2);
+        let (p3, _r3) = pending(&b);
+        b.add("m2", p3);
+        assert_eq!(b.len(), 3);
+        let batch = b.take("m1");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(b.len(), 1, "other machines' groups untouched");
+        assert!(b.take("m1").is_empty(), "second take finds nothing");
+    }
+
+    #[test]
+    fn cancel_races_with_take() {
+        let b = PredictBatcher::new();
+        let (p, _r) = pending(&b);
+        let token = p.token;
+        b.add("m", p);
+        assert!(b.cancel("m", token), "still parked → cancelled");
+        assert!(!b.cancel("m", token), "already removed");
+        let (p2, _r2) = pending(&b);
+        let token2 = p2.token;
+        b.add("m", p2);
+        let _batch = b.take("m");
+        assert!(!b.cancel("m", token2), "worker took it → cannot cancel");
+    }
+
+    #[test]
+    fn drain_all_sweeps_every_group() {
+        let b = PredictBatcher::new();
+        let (p1, _r1) = pending(&b);
+        let (p2, _r2) = pending(&b);
+        b.add("a", p1);
+        b.add("b", p2);
+        assert_eq!(b.drain_all().len(), 2);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! The sharded LRU plan cache.
+//!
+//! Keys are full canonical scenario strings
+//! ([`nestwx_core::Scenario::canonical_string`]); the caller supplies the
+//! FNV digest alongside, which picks the shard. Lookups compare the whole
+//! key, so a digest collision can never alias two scenarios. Values are the
+//! *rendered result JSON* (`Arc<str>`), not the plan object — serving a hit
+//! splices the exact bytes a fresh computation would have produced, which
+//! is how the byte-identity guarantee is enforced structurally rather than
+//! hoped for.
+//!
+//! Each shard is an independently locked map with last-used stamps;
+//! eviction scans the full shard for the oldest stamp. With the default
+//! shard sizes (≤ a few hundred entries) the scan is cheaper than
+//! maintaining an intrusive list, and it only runs when a shard is full.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shards per cache (fixed power of two; the digest's low bits select one).
+const SHARDS: usize = 8;
+
+struct Entry {
+    value: Arc<str>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+    clock: u64,
+}
+
+/// Sharded exact-key LRU cache for rendered plan/compare results.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` entries in total (rounded up to
+    /// a multiple of the shard count; minimum one entry per shard).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * SHARDS
+    }
+
+    fn shard(&self, digest: u64) -> &Mutex<Shard> {
+        &self.shards[(digest as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up the rendered result for an exact key, refreshing its LRU
+    /// stamp and counting the hit or miss.
+    pub fn get(&self, key: &str, digest: u64) -> Option<Arc<str>> {
+        let mut shard = self.shard(digest).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Like [`get`](Self::get) but without touching the hit/miss counters —
+    /// for the worker's post-dequeue re-check, which would otherwise count
+    /// every request twice (once on the connection thread, once here).
+    pub fn peek(&self, key: &str, digest: u64) -> Option<Arc<str>> {
+        let mut shard = self.shard(digest).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        shard.map.get_mut(key).map(|e| {
+            e.last_used = stamp;
+            Arc::clone(&e.value)
+        })
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the shard's least recently
+    /// used entry if it is full.
+    pub fn insert(&self, key: String, digest: u64, value: Arc<str>) {
+        let mut shard = self.shard(digest).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_cap {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: stamp,
+            },
+        );
+    }
+
+    /// Entries currently cached (sums the shards; approximate under
+    /// concurrent writes).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot for the `stats` endpoint.
+    pub fn stats(&self) -> CacheStats {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        CacheStats {
+            capacity: self.capacity() as u64,
+            entries: self.len() as u64,
+            hits,
+            misses,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+        }
+    }
+}
+
+/// Cache counters, as reported by `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Maximum entries.
+    pub capacity: u64,
+    /// Entries currently held.
+    pub entries: u64,
+    /// Exact-key lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Entries evicted by LRU pressure.
+    pub evictions: u64,
+    /// `hits / (hits + misses)`, 0 when no lookups happened.
+    pub hit_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_returns_identical_bytes() {
+        let c = PlanCache::new(16);
+        assert!(c.get("k1", 1).is_none());
+        c.insert("k1".into(), 1, arc("{\"a\":1}"));
+        let hit = c.get("k1", 1).expect("cached");
+        assert_eq!(&*hit, "{\"a\":1}");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_collision_does_not_alias() {
+        // Same digest, different keys: both must coexist and resolve by
+        // exact key match.
+        let c = PlanCache::new(16);
+        c.insert("alpha".into(), 42, arc("A"));
+        c.insert("beta".into(), 42, arc("B"));
+        assert_eq!(&*c.get("alpha", 42).unwrap(), "A");
+        assert_eq!(&*c.get("beta", 42).unwrap(), "B");
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        // Capacity 8 → 1 entry per shard; same digest pins one shard.
+        let c = PlanCache::new(8);
+        c.insert("old".into(), 7, arc("1"));
+        c.insert("new".into(), 7, arc("2"));
+        assert!(c.get("old", 7).is_none(), "oldest entry evicted");
+        assert!(c.get("new", 7).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction() {
+        let c = PlanCache::new(16); // 2 per shard
+        c.insert("a".into(), 3, arc("A"));
+        c.insert("b".into(), 3, arc("B"));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(c.get("a", 3).is_some());
+        c.insert("c".into(), 3, arc("C"));
+        assert!(c.get("a", 3).is_some());
+        assert!(c.get("b", 3).is_none());
+        assert!(c.get("c", 3).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let c = PlanCache::new(8);
+        c.insert("k".into(), 5, arc("v1"));
+        c.insert("k".into(), 5, arc("v2"));
+        assert_eq!(&*c.get("k", 5).unwrap(), "v2");
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.len(), 1);
+    }
+}

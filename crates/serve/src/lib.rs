@@ -1,0 +1,49 @@
+//! `nestwx-serve` — a concurrent planning service.
+//!
+//! Turns the planner into a long-running daemon: a std-only multi-threaded
+//! TCP server speaking a versioned newline-delimited JSON protocol
+//! ([`protocol`]), with
+//!
+//! - a **bounded job queue** and worker pool — overload produces a typed
+//!   `overloaded` error immediately instead of unbounded buffering
+//!   ([`server`]);
+//! - a **sharded LRU plan cache** keyed by the canonical scenario encoding
+//!   from `nestwx-core`, serving byte-identical results on hits
+//!   ([`cache`]);
+//! - **micro-batching** of concurrent `predict` requests that share a
+//!   machine, so a burst amortizes one predictor resolution ([`batch`]);
+//! - per-endpoint latency histograms (`nestwx-obs` [`nestwx_obs::LogHistogram`])
+//!   behind a `stats` endpoint, and graceful drain-then-exit shutdown with
+//!   a [`DrainReport`] that proves nothing leaked ([`metrics`], [`server`]).
+//!
+//! ```no_run
+//! use nestwx_serve::{spawn, Client, Request, RequestBody, ServeConfig};
+//!
+//! let handle = spawn(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let resp = client
+//!     .call(&Request { id: Some("1".into()), body: RequestBody::Stats })
+//!     .unwrap();
+//! assert!(resp.ok());
+//! handle.shutdown();
+//! assert!(handle.wait().clean());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batch::{Outcome, Pending, PredictBatcher};
+pub use cache::{CacheStats, PlanCache};
+pub use client::{Client, Response};
+pub use metrics::{EndpointStats, Metrics, QueueStats, StatsSnapshot};
+pub use protocol::{
+    parse_machine, Endpoint, ErrorKind, Line, LineReader, PredictParams, ProtoError, Request,
+    RequestBody, ScenarioParams, MAX_LINE_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{spawn, DrainReport, ServeConfig, ServerHandle};

@@ -1,0 +1,291 @@
+//! Live server metrics: per-endpoint counters and latency histograms.
+//!
+//! Latency goes into the shared [`LogHistogram`] from `nestwx-obs`, so the
+//! `stats` endpoint reports the same p50/p90/p99/max summary shape as the
+//! simulator's step metrics. Counters are relaxed atomics — `stats` is a
+//! monitoring snapshot, not a transaction.
+
+use crate::cache::CacheStats;
+use crate::protocol::Endpoint;
+use nestwx_obs::{HistSummary, LogHistogram};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Counters plus a latency histogram for one endpoint.
+#[derive(Default)]
+pub struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<LogHistogram>,
+}
+
+impl EndpointMetrics {
+    /// Records one completed request (error responses count too — clients
+    /// wait for them just the same).
+    pub fn record(&self, latency: Duration, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record_duration(latency);
+    }
+
+    fn snapshot(&self) -> EndpointStats {
+        EndpointStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency: self
+                .latency
+                .lock()
+                .expect("latency histogram poisoned")
+                .summary(),
+        }
+    }
+}
+
+/// All server-side counters. One instance per server, shared by every
+/// connection and worker thread.
+#[derive(Default)]
+pub struct Metrics {
+    /// Connections accepted and served.
+    pub accepted_conns: AtomicU64,
+    /// Connections refused because the connection cap was reached.
+    pub rejected_conns: AtomicU64,
+    /// Request lines received (including ones that failed to parse).
+    pub requests_total: AtomicU64,
+    /// Response lines written (every received line gets exactly one).
+    pub responses_total: AtomicU64,
+    /// Lines answered with malformed/oversized/unsupported_version/bad_request.
+    pub protocol_errors: AtomicU64,
+    /// Predict batches executed.
+    pub batches: AtomicU64,
+    /// Predict requests served through batches.
+    pub batched_requests: AtomicU64,
+    /// Largest batch so far.
+    pub max_batch: AtomicU64,
+    predict: EndpointMetrics,
+    plan: EndpointMetrics,
+    compare: EndpointMetrics,
+    stats: EndpointMetrics,
+    shutdown: EndpointMetrics,
+}
+
+impl Metrics {
+    /// The per-endpoint metrics cell.
+    pub fn endpoint(&self, e: Endpoint) -> &EndpointMetrics {
+        match e {
+            Endpoint::Predict => &self.predict,
+            Endpoint::Plan => &self.plan,
+            Endpoint::Compare => &self.compare,
+            Endpoint::Stats => &self.stats,
+            Endpoint::Shutdown => &self.shutdown,
+        }
+    }
+
+    /// Records one executed predict batch of the given size.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Builds the full `stats` result (queue/cache/conn figures are owned
+    /// by other components and passed in).
+    pub fn snapshot(&self, queue: QueueStats, cache: CacheStats, live_conns: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            server: ServerStats {
+                accepted_conns: self.accepted_conns.load(Ordering::Relaxed),
+                rejected_conns: self.rejected_conns.load(Ordering::Relaxed),
+                live_conns,
+                requests_total: self.requests_total.load(Ordering::Relaxed),
+                responses_total: self.responses_total.load(Ordering::Relaxed),
+                protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            },
+            queue,
+            cache,
+            batch: BatchStats {
+                batches: self.batches.load(Ordering::Relaxed),
+                batched_requests: self.batched_requests.load(Ordering::Relaxed),
+                max_batch: self.max_batch.load(Ordering::Relaxed),
+            },
+            endpoints: EndpointsStats {
+                predict: self.predict.snapshot(),
+                plan: self.plan.snapshot(),
+                compare: self.compare.snapshot(),
+                stats: self.stats.snapshot(),
+                shutdown: self.shutdown.snapshot(),
+            },
+        }
+    }
+}
+
+/// One endpoint's row in the `stats` result.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EndpointStats {
+    /// Requests handled (including error responses).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Wall-clock latency summary (seconds), p50/p90/p99 at histogram
+    /// bucket resolution.
+    pub latency: HistSummary,
+}
+
+/// Connection/request totals.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServerStats {
+    /// Connections accepted and served.
+    pub accepted_conns: u64,
+    /// Connections refused at the connection cap.
+    pub rejected_conns: u64,
+    /// Connections currently open.
+    pub live_conns: u64,
+    /// Request lines received.
+    pub requests_total: u64,
+    /// Response lines written.
+    pub responses_total: u64,
+    /// Protocol-level rejections.
+    pub protocol_errors: u64,
+}
+
+/// Bounded-queue figures.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QueueStats {
+    /// Maximum queued jobs.
+    pub capacity: u64,
+    /// Jobs queued right now.
+    pub depth: u64,
+    /// Jobs ever accepted.
+    pub enqueued: u64,
+    /// Jobs ever taken by a worker.
+    pub dequeued: u64,
+    /// Pushes refused with `overloaded`.
+    pub rejected_full: u64,
+}
+
+/// Predict micro-batching figures.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BatchStats {
+    /// Batches executed.
+    pub batches: u64,
+    /// Predict requests served through batches.
+    pub batched_requests: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+}
+
+/// Per-endpoint stats table.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EndpointsStats {
+    /// `predict` row.
+    pub predict: EndpointStats,
+    /// `plan` row.
+    pub plan: EndpointStats,
+    /// `compare` row.
+    pub compare: EndpointStats,
+    /// `stats` row.
+    pub stats: EndpointStats,
+    /// `shutdown` row.
+    pub shutdown: EndpointStats,
+}
+
+/// The complete `stats` result.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct StatsSnapshot {
+    /// Connection/request totals.
+    pub server: ServerStats,
+    /// Request-queue figures.
+    pub queue: QueueStats,
+    /// Plan-cache figures.
+    pub cache: CacheStats,
+    /// Predict-batching figures.
+    pub batch: BatchStats,
+    /// Per-endpoint counters and latency.
+    pub endpoints: EndpointsStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_rows_accumulate() {
+        let m = Metrics::default();
+        m.endpoint(Endpoint::Plan)
+            .record(Duration::from_millis(10), true);
+        m.endpoint(Endpoint::Plan)
+            .record(Duration::from_millis(20), false);
+        m.endpoint(Endpoint::Stats)
+            .record(Duration::from_micros(50), true);
+        let snap = m.snapshot(
+            QueueStats {
+                capacity: 8,
+                depth: 0,
+                enqueued: 0,
+                dequeued: 0,
+                rejected_full: 0,
+            },
+            crate::cache::CacheStats {
+                capacity: 0,
+                entries: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                hit_rate: 0.0,
+            },
+            0,
+        );
+        assert_eq!(snap.endpoints.plan.requests, 2);
+        assert_eq!(snap.endpoints.plan.errors, 1);
+        assert_eq!(snap.endpoints.plan.latency.count, 2);
+        assert!(snap.endpoints.plan.latency.max >= 0.02);
+        assert_eq!(snap.endpoints.stats.requests, 1);
+        assert_eq!(snap.endpoints.predict.requests, 0);
+    }
+
+    #[test]
+    fn batch_counters_track_max() {
+        let m = Metrics::default();
+        m.record_batch(3);
+        m.record_batch(7);
+        m.record_batch(2);
+        assert_eq!(m.batches.load(Ordering::Relaxed), 3);
+        assert_eq!(m.batched_requests.load(Ordering::Relaxed), 12);
+        assert_eq!(m.max_batch.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let m = Metrics::default();
+        let snap = m.snapshot(
+            QueueStats {
+                capacity: 4,
+                depth: 1,
+                enqueued: 9,
+                dequeued: 8,
+                rejected_full: 2,
+            },
+            crate::cache::CacheStats {
+                capacity: 16,
+                entries: 3,
+                hits: 5,
+                misses: 4,
+                evictions: 1,
+                hit_rate: 5.0 / 9.0,
+            },
+            2,
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let v = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["queue"]["rejected_full"].as_u64(), Some(2));
+        assert_eq!(v["cache"]["hits"].as_u64(), Some(5));
+        assert_eq!(v["server"]["live_conns"].as_u64(), Some(2));
+        assert_eq!(v["endpoints"]["plan"]["latency"]["count"].as_u64(), Some(0));
+    }
+}

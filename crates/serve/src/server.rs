@@ -1,0 +1,868 @@
+//! The concurrent planning server.
+//!
+//! Threading model (all std, no async runtime):
+//!
+//! - one **acceptor** thread owns the listener and spawns a thread per
+//!   connection (capped at [`ServeConfig::max_conns`]; over-cap connections
+//!   get one `overloaded` line and are closed);
+//! - each **connection** thread reads newline-delimited requests, answers
+//!   `stats`/`shutdown` inline (the control plane must stay responsive
+//!   while the compute queue is saturated), resolves `plan`/`compare`
+//!   cache hits inline, and otherwise parks the request on a bounded job
+//!   queue and blocks on its private reply channel;
+//! - a fixed pool of **worker** threads pops jobs: planning, comparison,
+//!   and predict batch ticks.
+//!
+//! Backpressure is explicit: the job queue rejects pushes beyond its
+//! capacity and the client receives a typed `overloaded` error immediately
+//! — the server never buffers unboundedly. Shutdown is graceful: the flag
+//! flips, the queue closes, workers drain everything already accepted,
+//! connection threads notice within one read-timeout tick, and
+//! [`ServerHandle::wait`] joins every thread before reporting the final
+//! [`DrainReport`].
+
+use crate::batch::{Outcome, Pending, PredictBatcher};
+use crate::cache::PlanCache;
+use crate::metrics::{Metrics, QueueStats};
+use crate::protocol::{
+    alloc_token, mapping_token, parse_machine, response_err_line, response_ok_line, strategy_token,
+    ErrorKind, Line, LineReader, PredictParams, ProtoError, Request, RequestBody, ScenarioParams,
+    MAX_LINE_BYTES,
+};
+use nestwx_core::strategy::AllocPolicy;
+use nestwx_core::{compare_strategies, fit_predictor, fnv1a64, ExecutionPlan, Planner, Scenario};
+use nestwx_grid::DomainFeatures;
+use nestwx_netsim::Machine;
+use nestwx_obs::HistSummary;
+use nestwx_predict::ExecTimePredictor;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Seed of the on-demand predictor fit — must stay identical to the one
+/// `Planner::plan` uses when no predictor is supplied, so a served plan is
+/// byte-identical to one computed directly.
+const PROFILE_SEED: u64 = 0xBEEF;
+
+/// How long a connection thread waits in `read` before polling the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Server tuning knobs. `ServeConfig::new` reads the `NESTWX_SERVE_*`
+/// environment variables for defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:7878"` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads (`NESTWX_SERVE_WORKERS`, default 4).
+    pub workers: usize,
+    /// Bounded job-queue depth (`NESTWX_SERVE_QUEUE`, default 64).
+    pub queue_depth: usize,
+    /// Plan-cache capacity in entries (`NESTWX_SERVE_CACHE`, default 256).
+    pub cache_capacity: usize,
+    /// Maximum concurrent connections (`NESTWX_SERVE_MAX_CONNS`,
+    /// default 64).
+    pub max_conns: usize,
+}
+
+impl ServeConfig {
+    /// A config for `addr` with environment-derived defaults.
+    pub fn new(addr: impl Into<String>) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            workers: nestwx_core::env_usize("NESTWX_SERVE_WORKERS", 4),
+            queue_depth: nestwx_core::env_usize("NESTWX_SERVE_QUEUE", 64),
+            cache_capacity: nestwx_core::env_usize("NESTWX_SERVE_CACHE", 256),
+            max_conns: nestwx_core::env_usize("NESTWX_SERVE_MAX_CONNS", 64),
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new("127.0.0.1:0")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded job queue
+// ---------------------------------------------------------------------------
+
+enum Job {
+    Plan {
+        scenario: Scenario,
+        key: String,
+        digest: u64,
+        reply: mpsc::Sender<Outcome>,
+    },
+    Compare {
+        scenario: Scenario,
+        iterations: u32,
+        key: String,
+        digest: u64,
+        reply: mpsc::Sender<Outcome>,
+    },
+    /// Lightweight marker: "a predict batch for this machine may be
+    /// pending". The worker that pops it drains the whole batch.
+    PredictTick { machine_key: String },
+}
+
+enum PushError {
+    /// Queue at capacity — the `overloaded` signal.
+    Full,
+    /// Queue closed by shutdown.
+    Closed,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    rejected_full: AtomicU64,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+            enqueued: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.jobs.len() >= self.cap {
+            self.rejected_full.fetch_add(1, Ordering::Relaxed);
+            return Err(PushError::Full);
+        }
+        inner.jobs.push_back(job);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed *and* drained — workers
+    /// finish everything already accepted before exiting.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                self.dequeued.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").jobs.len()
+    }
+
+    fn stats(&self) -> QueueStats {
+        QueueStats {
+            capacity: self.cap as u64,
+            depth: self.depth() as u64,
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            dequeued: self.dequeued.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
+struct ServerState {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    queue: JobQueue,
+    cache: PlanCache,
+    batcher: PredictBatcher,
+    metrics: Metrics,
+    /// One fitted predictor per machine identity (canonical machine JSON),
+    /// shared by plan workers and predict batches.
+    predictors: Mutex<HashMap<String, Arc<ExecTimePredictor>>>,
+    shutdown: AtomicBool,
+    live_conns: AtomicUsize,
+}
+
+impl ServerState {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag once: closes the queue (workers drain and
+    /// exit) and pokes the blocking `accept` with a throwaway connection.
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn predictor_for(&self, machine: &Machine) -> Arc<ExecTimePredictor> {
+        let key = serde_json::to_string(machine).expect("machine serializes");
+        let mut map = self.predictors.lock().expect("predictor map poisoned");
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(fit_predictor(machine, PROFILE_SEED))),
+        )
+    }
+
+    /// The scenario's planner, with the predictor pre-resolved from the
+    /// shared per-machine map when the policy needs one. Because the map
+    /// fits with the same fixed seed the planner would use on demand, the
+    /// resulting plans are identical either way.
+    fn planner_for(&self, scenario: &Scenario) -> Planner {
+        let planner = scenario.planner();
+        if scenario.alloc == AllocPolicy::HuffmanSplitTree {
+            planner.with_predictor((*self.predictor_for(&scenario.machine)).clone())
+        } else {
+            planner
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result rendering (the JSON that gets cached and spliced into responses)
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct GridOut {
+    px: u32,
+    py: u32,
+}
+
+#[derive(Serialize)]
+struct PartitionOut {
+    nest: u64,
+    x: u32,
+    y: u32,
+    w: u32,
+    h: u32,
+    ranks: u64,
+}
+
+#[derive(Serialize)]
+struct PlanResult {
+    machine: String,
+    ranks: u32,
+    grid: GridOut,
+    strategy: String,
+    alloc: String,
+    mapping: String,
+    predicted_ratios: Vec<f64>,
+    partitions: Vec<PartitionOut>,
+}
+
+#[derive(Serialize)]
+struct CompareResult {
+    machine: String,
+    iterations: u32,
+    default_s_per_iter: f64,
+    planned_s_per_iter: f64,
+    improvement_pct: f64,
+    mpi_wait_improvement_pct: f64,
+    io_improvement_pct: f64,
+    hops_reduction_pct: f64,
+}
+
+#[derive(Serialize)]
+struct PredictResult {
+    machine: String,
+    relative_times: Vec<f64>,
+}
+
+fn internal(msg: impl Into<String>) -> ProtoError {
+    ProtoError::new(ErrorKind::Internal, msg)
+}
+
+fn shutting_down() -> ProtoError {
+    ProtoError::new(ErrorKind::ShuttingDown, "server is draining")
+}
+
+fn render_plan(scenario: &Scenario, plan: &ExecutionPlan) -> Result<String, ProtoError> {
+    let result = PlanResult {
+        machine: scenario.machine.name.clone(),
+        ranks: plan.machine.ranks(),
+        grid: GridOut {
+            px: plan.grid.px,
+            py: plan.grid.py,
+        },
+        strategy: strategy_token(scenario.strategy).to_string(),
+        alloc: alloc_token(scenario.alloc).to_string(),
+        mapping: mapping_token(scenario.mapping).to_string(),
+        predicted_ratios: plan.predicted_ratios.clone(),
+        partitions: plan
+            .partitions
+            .iter()
+            .map(|p| PartitionOut {
+                nest: p.domain as u64,
+                x: p.rect.x0,
+                y: p.rect.y0,
+                w: p.rect.w,
+                h: p.rect.h,
+                ranks: p.rect.area(),
+            })
+            .collect(),
+    };
+    serde_json::to_string(&result).map_err(|e| internal(format!("render: {e:?}")))
+}
+
+fn render_predict(machine_spec: &str, relative_times: Vec<f64>) -> Result<String, ProtoError> {
+    serde_json::to_string(&PredictResult {
+        machine: machine_spec.to_string(),
+        relative_times,
+    })
+    .map_err(|e| internal(format!("render: {e:?}")))
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(state: Arc<ServerState>) {
+    while let Some(job) = state.queue.pop() {
+        match job {
+            Job::Plan {
+                scenario,
+                key,
+                digest,
+                reply,
+            } => {
+                let _ = reply.send(compute_plan(&state, &scenario, &key, digest));
+            }
+            Job::Compare {
+                scenario,
+                iterations,
+                key,
+                digest,
+                reply,
+            } => {
+                let _ = reply.send(compute_compare(&state, &scenario, iterations, &key, digest));
+            }
+            Job::PredictTick { machine_key } => run_predict_batch(&state, &machine_key),
+        }
+    }
+}
+
+fn compute_plan(state: &ServerState, scenario: &Scenario, key: &str, digest: u64) -> Outcome {
+    // Re-check the cache (uncounted — the connection thread already counted
+    // the miss): an identical request may have been computed while this one
+    // waited in the queue.
+    if let Some(hit) = state.cache.peek(key, digest) {
+        return Ok(hit.to_string());
+    }
+    let plan = state
+        .planner_for(scenario)
+        .plan(&scenario.parent, &scenario.nests)
+        .map_err(|e| ProtoError::new(ErrorKind::Failed, e.to_string()))?;
+    let result = render_plan(scenario, &plan)?;
+    state
+        .cache
+        .insert(key.to_string(), digest, Arc::from(result.as_str()));
+    Ok(result)
+}
+
+fn compute_compare(
+    state: &ServerState,
+    scenario: &Scenario,
+    iterations: u32,
+    key: &str,
+    digest: u64,
+) -> Outcome {
+    if let Some(hit) = state.cache.peek(key, digest) {
+        return Ok(hit.to_string());
+    }
+    let planner = state.planner_for(scenario);
+    let cmp = compare_strategies(&planner, &scenario.parent, &scenario.nests, iterations)
+        .map_err(|e| ProtoError::new(ErrorKind::Failed, e.to_string()))?;
+    let result = serde_json::to_string(&CompareResult {
+        machine: scenario.machine.name.clone(),
+        iterations,
+        default_s_per_iter: cmp.default_run.per_iteration(),
+        planned_s_per_iter: cmp.planned_run.per_iteration(),
+        improvement_pct: cmp.improvement_pct(),
+        mpi_wait_improvement_pct: cmp.mpi_wait_improvement_pct(),
+        io_improvement_pct: cmp.io_improvement_pct(),
+        hops_reduction_pct: cmp.hops_reduction_pct(),
+    })
+    .map_err(|e| internal(format!("render: {e:?}")))?;
+    state
+        .cache
+        .insert(key.to_string(), digest, Arc::from(result.as_str()));
+    Ok(result)
+}
+
+fn run_predict_batch(state: &ServerState, machine_key: &str) {
+    let batch = state.batcher.take(machine_key);
+    if batch.is_empty() {
+        // An earlier tick already drained these requests — the whole point
+        // of batching.
+        return;
+    }
+    state.metrics.record_batch(batch.len());
+    let machine = match parse_machine(&batch[0].machine_spec) {
+        Ok(m) => m,
+        Err(msg) => {
+            // Unreachable (validated at submit time), but a worker must
+            // never panic: answer the batch and move on.
+            let e = ProtoError::bad_request(msg);
+            for p in batch {
+                let _ = p.reply.send(Err(e.clone()));
+            }
+            return;
+        }
+    };
+    let predictor = state.predictor_for(&machine);
+    for p in batch {
+        let outcome = predictor
+            .relative_times(&p.features)
+            .map_err(|e| ProtoError::new(ErrorKind::Failed, format!("prediction: {e}")))
+            .and_then(|times| render_predict(&p.machine_spec, times));
+        let _ = p.reply.send(outcome);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+enum Flow {
+    Continue,
+    CloseConn,
+}
+
+fn serve_conn(state: &Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = LineReader::new(stream, MAX_LINE_BYTES);
+    loop {
+        match reader.next_line() {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.is_shutdown() {
+                    break;
+                }
+            }
+            Err(_) => break,
+            Ok(Line::Eof) => break,
+            Ok(Line::Oversized { discarded }) => {
+                state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let e = ProtoError::new(
+                    ErrorKind::Oversized,
+                    format!("line exceeds {MAX_LINE_BYTES} bytes ({discarded} discarded)"),
+                );
+                if matches!(
+                    write_response(state, &mut writer, &response_err_line(None, &e)),
+                    Flow::CloseConn
+                ) {
+                    break;
+                }
+            }
+            Ok(Line::Data(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if matches!(handle_line(state, &line, &mut writer), Flow::CloseConn) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Writes one response line. `responses_total` counts the attempt, not the
+/// success — a client that vanished mid-request must not skew the drain
+/// accounting.
+fn write_response(state: &ServerState, writer: &mut TcpStream, line: &str) -> Flow {
+    state
+        .metrics
+        .responses_total
+        .fetch_add(1, Ordering::Relaxed);
+    let mut payload = String::with_capacity(line.len() + 1);
+    payload.push_str(line);
+    payload.push('\n');
+    match writer.write_all(payload.as_bytes()) {
+        Ok(()) => Flow::Continue,
+        Err(_) => Flow::CloseConn,
+    }
+}
+
+fn handle_line(state: &Arc<ServerState>, line: &str, writer: &mut TcpStream) -> Flow {
+    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    let req = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            state
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return write_response(state, writer, &response_err_line(None, &e));
+        }
+    };
+    let endpoint = req.endpoint();
+    let started = Instant::now();
+    let (outcome, close_after) = execute(state, &req);
+    state
+        .metrics
+        .endpoint(endpoint)
+        .record(started.elapsed(), outcome.is_ok());
+    let response = match &outcome {
+        Ok(result) => response_ok_line(req.id.as_deref(), result),
+        Err(e) => {
+            if matches!(
+                e.kind,
+                ErrorKind::BadRequest | ErrorKind::UnsupportedVersion
+            ) {
+                state
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            response_err_line(req.id.as_deref(), e)
+        }
+    };
+    match write_response(state, writer, &response) {
+        Flow::CloseConn => Flow::CloseConn,
+        Flow::Continue if close_after => Flow::CloseConn,
+        Flow::Continue => Flow::Continue,
+    }
+}
+
+/// Runs one request, returning the outcome and whether the connection
+/// should close after the response (only after `shutdown`).
+fn execute(state: &Arc<ServerState>, req: &Request) -> (Outcome, bool) {
+    match &req.body {
+        RequestBody::Stats => (render_stats(state), false),
+        RequestBody::Shutdown => {
+            state.trigger_shutdown();
+            (Ok("{\"draining\":true}".to_string()), true)
+        }
+        RequestBody::Plan(p) => (submit_scenario(state, p, None), false),
+        RequestBody::Compare { params, iterations } => {
+            (submit_scenario(state, params, Some(*iterations)), false)
+        }
+        RequestBody::Predict(p) => (submit_predict(state, p), false),
+    }
+}
+
+fn render_stats(state: &ServerState) -> Outcome {
+    let snapshot = state.metrics.snapshot(
+        state.queue.stats(),
+        state.cache.stats(),
+        state.live_conns.load(Ordering::Relaxed) as u64,
+    );
+    serde_json::to_string(&snapshot).map_err(|e| internal(format!("render: {e:?}")))
+}
+
+fn submit_scenario(
+    state: &Arc<ServerState>,
+    params: &ScenarioParams,
+    iterations: Option<u32>,
+) -> Outcome {
+    let scenario = params.to_scenario()?;
+    let key = match iterations {
+        None => scenario.canonical_string(),
+        Some(n) => format!("{}|compare:{n}", scenario.canonical_string()),
+    };
+    let digest = fnv1a64(key.as_bytes());
+    // Hits are answered on the connection thread — they never occupy queue
+    // capacity, which is what keeps a hot working set fast even while the
+    // workers grind cold scenarios.
+    if let Some(hit) = state.cache.get(&key, digest) {
+        return Ok(hit.to_string());
+    }
+    if state.is_shutdown() {
+        return Err(shutting_down());
+    }
+    let (reply, rx) = mpsc::channel();
+    let job = match iterations {
+        None => Job::Plan {
+            scenario,
+            key,
+            digest,
+            reply,
+        },
+        Some(n) => Job::Compare {
+            scenario,
+            iterations: n,
+            key,
+            digest,
+            reply,
+        },
+    };
+    match state.queue.push(job) {
+        Ok(()) => await_reply(rx),
+        Err(PushError::Full) => Err(ProtoError::new(
+            ErrorKind::Overloaded,
+            "request queue full, retry later",
+        )),
+        Err(PushError::Closed) => Err(shutting_down()),
+    }
+}
+
+fn submit_predict(state: &Arc<ServerState>, params: &PredictParams) -> Outcome {
+    let machine = parse_machine(&params.machine).map_err(ProtoError::bad_request)?;
+    let machine_key =
+        serde_json::to_string(&machine).map_err(|e| internal(format!("machine key: {e:?}")))?;
+    if state.is_shutdown() {
+        return Err(shutting_down());
+    }
+    let features: Vec<DomainFeatures> = params.nests.iter().map(DomainFeatures::from).collect();
+    let (reply, rx) = mpsc::channel();
+    let token = state.batcher.token();
+    state.batcher.add(
+        &machine_key,
+        Pending {
+            token,
+            machine_spec: params.machine.clone(),
+            features,
+            reply,
+        },
+    );
+    match state.queue.push(Job::PredictTick {
+        machine_key: machine_key.clone(),
+    }) {
+        Ok(()) => await_reply(rx),
+        Err(push_err) => {
+            if state.batcher.cancel(&machine_key, token) {
+                match push_err {
+                    PushError::Full => Err(ProtoError::new(
+                        ErrorKind::Overloaded,
+                        "request queue full, retry later",
+                    )),
+                    PushError::Closed => Err(shutting_down()),
+                }
+            } else {
+                // A concurrent tick already took our pending request — its
+                // reply is on the way; report that instead of an error.
+                await_reply(rx)
+            }
+        }
+    }
+}
+
+fn await_reply(rx: Receiver<Outcome>) -> Outcome {
+    match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(outcome) => outcome,
+        Err(_) => Err(internal("worker did not reply")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor + lifecycle
+// ---------------------------------------------------------------------------
+
+fn acceptor_loop(state: Arc<ServerState>, listener: TcpListener) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if state.is_shutdown() {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Reap finished connection threads so the handle list stays small.
+        conns = conns
+            .into_iter()
+            .filter_map(|h| {
+                if h.is_finished() {
+                    let _ = h.join();
+                    None
+                } else {
+                    Some(h)
+                }
+            })
+            .collect();
+        if state.live_conns.load(Ordering::Relaxed) >= state.cfg.max_conns {
+            state.metrics.rejected_conns.fetch_add(1, Ordering::Relaxed);
+            let e = ProtoError::new(ErrorKind::Overloaded, "connection limit reached");
+            let mut s = stream;
+            let _ = s.write_all((response_err_line(None, &e) + "\n").as_bytes());
+            continue;
+        }
+        state.metrics.accepted_conns.fetch_add(1, Ordering::Relaxed);
+        state.live_conns.fetch_add(1, Ordering::Relaxed);
+        let st = Arc::clone(&state);
+        conns.push(thread::spawn(move || {
+            serve_conn(&st, stream);
+            st.live_conns.fetch_sub(1, Ordering::Relaxed);
+        }));
+    }
+    drop(listener);
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// What remained when the server finished draining — all zeros (and
+/// balanced request/response totals) on a clean exit.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DrainReport {
+    /// Request lines received over the server's lifetime.
+    pub requests_total: u64,
+    /// Response lines written (attempted) over the server's lifetime.
+    pub responses_total: u64,
+    /// Jobs left in the queue after the workers exited (always 0: workers
+    /// drain the queue before exiting).
+    pub queue_residual: u64,
+    /// Predict requests still parked after the drain (answered with
+    /// `shutting_down` during `wait`).
+    pub batch_residual: u64,
+    /// Connections still open after the acceptor joined (always 0).
+    pub live_conns: u64,
+}
+
+impl DrainReport {
+    /// True when nothing leaked: every thread joined, every accepted
+    /// request was answered, nothing left queued or parked.
+    pub fn clean(&self) -> bool {
+        self.queue_residual == 0
+            && self.batch_residual == 0
+            && self.live_conns == 0
+            && self.requests_total == self.responses_total
+    }
+}
+
+/// A running server: its bound address plus the join handles.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves `:0` port requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers a graceful shutdown (same as a `shutdown` request).
+    pub fn shutdown(&self) {
+        self.state.trigger_shutdown();
+    }
+
+    /// Blocks until the server has fully drained — acceptor, connection
+    /// threads and workers all joined — and reports what was left. Call
+    /// after [`ServerHandle::shutdown`] or once a client sent `shutdown`.
+    pub fn wait(mut self) -> DrainReport {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let leftovers = self.state.batcher.drain_all();
+        let batch_residual = leftovers.len() as u64;
+        for p in leftovers {
+            let _ = p.reply.send(Err(shutting_down()));
+        }
+        DrainReport {
+            requests_total: self.state.metrics.requests_total.load(Ordering::Relaxed),
+            responses_total: self.state.metrics.responses_total.load(Ordering::Relaxed),
+            queue_residual: self.state.queue.depth() as u64,
+            batch_residual,
+            live_conns: self.state.live_conns.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    /// p99 plan latency in seconds (from the live histogram) — convenience
+    /// for embedding tests.
+    pub fn plan_latency(&self) -> HistSummary {
+        self.state
+            .metrics
+            .snapshot(
+                self.state.queue.stats(),
+                self.state.cache.stats(),
+                self.state.live_conns.load(Ordering::Relaxed) as u64,
+            )
+            .endpoints
+            .plan
+            .latency
+    }
+}
+
+/// Binds and spawns the server: acceptor plus worker pool. Returns once
+/// the listener is bound — requests can be sent immediately.
+pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        queue: JobQueue::new(cfg.queue_depth),
+        cache: PlanCache::new(cfg.cache_capacity),
+        batcher: PredictBatcher::new(),
+        metrics: Metrics::default(),
+        predictors: Mutex::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+        live_conns: AtomicUsize::new(0),
+        addr,
+        cfg,
+    });
+    let workers = (0..state.cfg.workers.max(1))
+        .map(|i| {
+            let st = Arc::clone(&state);
+            thread::Builder::new()
+                .name(format!("nestwx-serve-worker-{i}"))
+                .spawn(move || worker_loop(st))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    let st = Arc::clone(&state);
+    let acceptor = thread::Builder::new()
+        .name("nestwx-serve-acceptor".to_string())
+        .spawn(move || acceptor_loop(st, listener))?;
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}

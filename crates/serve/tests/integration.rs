@@ -1,0 +1,332 @@
+//! End-to-end tests against a live in-process server: cache determinism
+//! across every strategy/alloc/mapping combination, micro-batching
+//! correctness, overload backpressure, and graceful drain.
+
+use nestwx_core::{fit_predictor, AllocPolicy, MappingKind, Planner, Strategy};
+use nestwx_grid::{Domain, NestSpec};
+use nestwx_serve::{
+    parse_machine, spawn, Client, PredictParams, Request, RequestBody, ScenarioParams, ServeConfig,
+};
+use serde_json::Value;
+
+const MACHINE: &str = "bgl:64";
+
+fn parent() -> Domain {
+    Domain::parent(286, 307, 24.0)
+}
+
+fn nests() -> Vec<NestSpec> {
+    vec![
+        NestSpec::new(150, 141, 3, (10, 12)),
+        NestSpec::new(96, 90, 3, (180, 170)),
+    ]
+}
+
+fn local_server() -> nestwx_serve::ServerHandle {
+    spawn(ServeConfig::new("127.0.0.1:0")).expect("spawn server")
+}
+
+fn plan_request(id: &str, strategy: Strategy, alloc: AllocPolicy, mapping: MappingKind) -> Request {
+    Request {
+        id: Some(id.into()),
+        body: RequestBody::Plan(ScenarioParams {
+            machine: MACHINE.into(),
+            parent: parent(),
+            nests: nests(),
+            strategy,
+            alloc,
+            mapping,
+            io: None,
+        }),
+    }
+}
+
+fn shutdown_clean(handle: nestwx_serve::ServerHandle, client: &mut Client) {
+    let resp = client
+        .call(&Request {
+            id: Some("bye".into()),
+            body: RequestBody::Shutdown,
+        })
+        .expect("shutdown call");
+    assert!(resp.ok(), "shutdown rejected: {}", resp.raw);
+    let report = handle.wait();
+    assert!(report.clean(), "unclean drain: {report:?}");
+}
+
+fn u64s(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(u64::MAX)
+}
+
+/// The tentpole guarantee: for every strategy × alloc × mapping
+/// combination, the response served from cache is byte-identical to the
+/// first (freshly computed) one, and both match an `ExecutionPlan`
+/// computed directly with `Planner` — same partitions, same predicted
+/// ratios, same grid.
+#[test]
+fn cached_plan_identical_to_fresh_across_all_combinations() {
+    let handle = local_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let machine = parse_machine(MACHINE).expect("machine");
+    // Pre-fit with the server's documented seed so the direct planner and
+    // the service resolve the exact same predictor (and the test does not
+    // re-fit per combination).
+    let predictor = fit_predictor(&machine, 0xBEEF);
+
+    let strategies = [Strategy::Sequential, Strategy::Concurrent];
+    let allocs = [
+        AllocPolicy::Equal,
+        AllocPolicy::NaiveProportional,
+        AllocPolicy::HuffmanSplitTree,
+    ];
+    for (si, &strategy) in strategies.iter().enumerate() {
+        for (ai, &alloc) in allocs.iter().enumerate() {
+            for (mi, &mapping) in MappingKind::ALL.iter().enumerate() {
+                let id = format!("c{si}{ai}{mi}");
+                let req = plan_request(&id, strategy, alloc, mapping);
+                let fresh = client.call(&req).expect("fresh plan");
+                assert!(fresh.ok(), "plan rejected: {}", fresh.raw);
+                let cached = client.call(&req).expect("cached plan");
+                assert_eq!(
+                    fresh.raw, cached.raw,
+                    "cached response not byte-identical ({strategy:?}/{alloc:?}/{mapping:?})"
+                );
+
+                let plan = Planner::new(machine.clone())
+                    .strategy(strategy)
+                    .alloc_policy(alloc)
+                    .mapping(mapping)
+                    .with_predictor(predictor.clone())
+                    .plan(&parent(), &nests())
+                    .expect("direct plan");
+                let result = cached.result().expect("result payload");
+                assert_eq!(u64s(result, "ranks"), u64::from(plan.machine.ranks()));
+                let ratios: Vec<f64> = result
+                    .get("predicted_ratios")
+                    .and_then(Value::as_array)
+                    .expect("predicted_ratios")
+                    .iter()
+                    .map(|v| v.as_f64().unwrap())
+                    .collect();
+                assert_eq!(ratios, plan.predicted_ratios, "ratios diverged");
+                let parts = result
+                    .get("partitions")
+                    .and_then(Value::as_array)
+                    .expect("partitions");
+                assert_eq!(parts.len(), plan.partitions.len());
+                for (got, want) in parts.iter().zip(&plan.partitions) {
+                    assert_eq!(u64s(got, "nest"), want.domain as u64);
+                    assert_eq!(u64s(got, "x"), u64::from(want.rect.x0));
+                    assert_eq!(u64s(got, "y"), u64::from(want.rect.y0));
+                    assert_eq!(u64s(got, "w"), u64::from(want.rect.w));
+                    assert_eq!(u64s(got, "h"), u64::from(want.rect.h));
+                    assert_eq!(u64s(got, "ranks"), want.rect.area());
+                }
+            }
+        }
+    }
+
+    // Every combination was looked up twice: once cold, once hot.
+    let stats = client
+        .call(&Request {
+            id: None,
+            body: RequestBody::Stats,
+        })
+        .expect("stats");
+    let cache = stats
+        .result()
+        .and_then(|r| r.get("cache"))
+        .cloned()
+        .unwrap();
+    let combos = 2 * 3 * MappingKind::ALL.len() as u64;
+    assert_eq!(u64s(&cache, "misses"), combos);
+    assert_eq!(u64s(&cache, "hits"), combos);
+    shutdown_clean(handle, &mut client);
+}
+
+/// Concurrent predicts that share a machine are micro-batched, and every
+/// client still receives exactly the ratios the predictor computes
+/// directly.
+#[test]
+fn batched_predicts_match_direct_predictor() {
+    let handle = local_server();
+    let machine = parse_machine(MACHINE).expect("machine");
+    let features: Vec<nestwx_grid::DomainFeatures> = nests()
+        .iter()
+        .map(nestwx_grid::DomainFeatures::from)
+        .collect();
+    let expected = fit_predictor(&machine, 0xBEEF)
+        .relative_times(&features)
+        .expect("direct relative times");
+
+    let addr = handle.addr().to_string();
+    let clients: Vec<_> = (0..6)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                let req = Request {
+                    id: Some(format!("p{t}")),
+                    body: RequestBody::Predict(PredictParams {
+                        machine: MACHINE.into(),
+                        nests: nests(),
+                    }),
+                };
+                let resp = c.call(&req).expect("predict");
+                assert!(resp.ok(), "predict rejected: {}", resp.raw);
+                resp.result()
+                    .and_then(|r| r.get("relative_times"))
+                    .and_then(Value::as_array)
+                    .expect("relative_times")
+                    .iter()
+                    .map(|v| v.as_f64().unwrap())
+                    .collect::<Vec<f64>>()
+            })
+        })
+        .collect();
+    for c in clients {
+        let got = c.join().expect("client thread");
+        assert_eq!(
+            got, expected,
+            "batched predict diverged from direct predictor"
+        );
+    }
+
+    let mut ctl = Client::connect(handle.addr()).expect("connect");
+    let stats = ctl
+        .call(&Request {
+            id: None,
+            body: RequestBody::Stats,
+        })
+        .expect("stats");
+    let batch = stats
+        .result()
+        .and_then(|r| r.get("batch"))
+        .cloned()
+        .unwrap();
+    assert!(
+        u64s(&batch, "batched_requests") >= 6,
+        "requests not batched: {batch:?}"
+    );
+    assert!(u64s(&batch, "batches") >= 1);
+    shutdown_clean(handle, &mut ctl);
+}
+
+/// With one worker and a one-slot queue, a burst of distinct cold scenarios
+/// must produce typed `overloaded` errors — and the server must keep
+/// serving normally afterwards (backpressure, not collapse).
+#[test]
+fn overload_produces_typed_errors_then_recovers() {
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.workers = 1;
+    cfg.queue_depth = 1;
+    let handle = spawn(cfg).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Distinct cold keys fired from concurrent connections (responses are
+    // serialized per connection, so backpressure only shows under
+    // cross-connection concurrency). The first job pins the single worker
+    // behind a predictor fit, the second fills the one-slot queue, the
+    // rest must bounce with a typed `overloaded` error.
+    let strategies = [Strategy::Sequential, Strategy::Concurrent];
+    let raws: Vec<Request> = (0..8)
+        .map(|i| {
+            plan_request(
+                &format!("b{i}"),
+                strategies[i / MappingKind::ALL.len()],
+                AllocPolicy::HuffmanSplitTree,
+                MappingKind::ALL[i % MappingKind::ALL.len()],
+            )
+        })
+        .collect();
+    let addr = handle.addr().to_string();
+    let burst: Vec<_> = raws
+        .iter()
+        .cloned()
+        .map(|req| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> String {
+                let mut c = Client::connect(&addr).expect("burst connect");
+                let resp = c.call(&req).expect("burst call");
+                if resp.ok() {
+                    "ok".into()
+                } else {
+                    resp.error_kind().unwrap_or("?").to_string()
+                }
+            })
+        })
+        .collect();
+    let outcomes: Vec<String> = burst
+        .into_iter()
+        .map(|h| h.join().expect("burst thread"))
+        .collect();
+    let ok = outcomes.iter().filter(|o| *o == "ok").count();
+    let overloaded = outcomes.iter().filter(|o| *o == "overloaded").count();
+    assert_eq!(
+        ok + overloaded,
+        outcomes.len(),
+        "unexpected outcome in burst: {outcomes:?}"
+    );
+    assert!(ok >= 1, "no request survived the burst: {outcomes:?}");
+    assert!(
+        overloaded >= 1,
+        "bounded queue never pushed back: {outcomes:?}"
+    );
+
+    // Recovery: the same scenarios succeed once the burst is over.
+    for req in &raws {
+        let resp = client.call(req).expect("retry");
+        assert!(resp.ok(), "server did not recover: {}", resp.raw);
+    }
+    let stats = client
+        .call(&Request {
+            id: None,
+            body: RequestBody::Stats,
+        })
+        .expect("stats");
+    let queue = stats
+        .result()
+        .and_then(|r| r.get("queue"))
+        .cloned()
+        .unwrap();
+    assert!(u64s(&queue, "rejected_full") >= overloaded as u64);
+    shutdown_clean(handle, &mut client);
+}
+
+/// Shutdown drains: in-flight work is answered, the drain report balances
+/// requests against responses, and nothing is left in queue or batcher.
+#[test]
+fn graceful_shutdown_drains_inflight_work() {
+    let handle = local_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for i in 0..4 {
+        let req = plan_request(
+            &format!("d{i}"),
+            Strategy::Concurrent,
+            AllocPolicy::NaiveProportional,
+            MappingKind::ALL[i % MappingKind::ALL.len()],
+        );
+        assert!(client.call(&req).expect("plan").ok());
+    }
+    let resp = client
+        .call(&Request {
+            id: Some("bye".into()),
+            body: RequestBody::Shutdown,
+        })
+        .expect("shutdown");
+    assert!(resp.ok());
+    let addr = handle.addr().to_string();
+    let report = handle.wait();
+    assert!(report.clean(), "unclean drain: {report:?}");
+    assert_eq!(report.requests_total, report.responses_total);
+    assert_eq!(report.queue_residual, 0);
+    assert_eq!(report.batch_residual, 0);
+    assert_eq!(report.live_conns, 0);
+
+    // New connections are refused or immediately closed after drain.
+    assert!(Client::connect(addr)
+        .and_then(|mut c| c.call(&Request {
+            id: None,
+            body: RequestBody::Stats
+        }))
+        .is_err());
+}

@@ -1,0 +1,243 @@
+//! Property-based tests of the wire protocol: serialized requests parse
+//! back to exactly the same value, and malformed/oversized input is
+//! rejected with the right typed error instead of crashing or desyncing
+//! the line reader.
+
+use nestwx_core::{AllocPolicy, MappingKind, Strategy as ExecStrategy};
+use nestwx_grid::{Domain, NestSpec};
+use nestwx_netsim::IoMode;
+use nestwx_serve::{
+    ErrorKind, Line, LineReader, PredictParams, Request, RequestBody, ScenarioParams,
+    MAX_LINE_BYTES,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Generators (the vendored proptest has no string/enum strategies, so
+// everything is an index or tuple mapped into shape).
+// ---------------------------------------------------------------------------
+
+/// Identifier characters, deliberately including everything JSON must
+/// escape: quotes, backslashes, control characters, and non-ASCII.
+const ID_CHARS: &[char] = &[
+    'a', 'Z', '0', '9', '_', '-', '.', ' ', '"', '\\', '/', '\n', '\t', '\r', '\u{1}', 'é', '→',
+    '🌀',
+];
+
+fn arb_id() -> impl Strategy<Value = Option<String>> {
+    (
+        any::<bool>(),
+        prop::collection::vec(0usize..ID_CHARS.len(), 1..12),
+    )
+        .prop_map(|(present, idx)| present.then(|| idx.into_iter().map(|i| ID_CHARS[i]).collect()))
+}
+
+fn arb_machine() -> impl Strategy<Value = String> {
+    (any::<bool>(), 4u32..12).prop_map(|(bgp, pow)| {
+        let family = if bgp { "bgp" } else { "bgl" };
+        format!("{family}:{}", 1u32 << pow)
+    })
+}
+
+fn arb_nest(max_parent_idx: usize) -> impl Strategy<Value = NestSpec> {
+    (
+        (1u32..2000, 1u32..2000),
+        1u32..8,
+        (0u32..500, 0u32..500),
+        0usize..=max_parent_idx.max(1),
+    )
+        .prop_map(move |((nx, ny), r, (ox, oy), pi)| NestSpec {
+            nx,
+            ny,
+            refine_ratio: r,
+            offset: (ox, oy),
+            // Index 0 doubles as "no parent nest" so first-level and
+            // second-level nests both appear.
+            parent_nest: (max_parent_idx > 0 && pi > 0).then(|| pi - 1),
+        })
+}
+
+fn arb_nests() -> impl Strategy<Value = Vec<NestSpec>> {
+    prop::collection::vec(arb_nest(2), 1..5)
+}
+
+fn arb_scenario_params() -> impl Strategy<Value = ScenarioParams> {
+    (
+        arb_machine(),
+        (1u32..1000, 1u32..1000, 0.1f64..100.0),
+        arb_nests(),
+        (0usize..2, 0usize..3, 0usize..MappingKind::ALL.len()),
+        (0usize..3, 1u32..500),
+    )
+        .prop_map(
+            |(machine, (px, py, dx), nests, (si, ai, mi), (iom, every))| ScenarioParams {
+                machine,
+                parent: Domain::parent(px, py, dx),
+                nests,
+                strategy: [ExecStrategy::Sequential, ExecStrategy::Concurrent][si],
+                alloc: [
+                    AllocPolicy::Equal,
+                    AllocPolicy::NaiveProportional,
+                    AllocPolicy::HuffmanSplitTree,
+                ][ai],
+                mapping: MappingKind::ALL[mi],
+                io: match iom {
+                    0 => None,
+                    1 => Some((IoMode::PnetCdf, every)),
+                    _ => Some((IoMode::SplitFiles, every)),
+                },
+            },
+        )
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        arb_id(),
+        0usize..5,
+        arb_scenario_params(),
+        arb_machine(),
+        arb_nests(),
+        1u32..50,
+    )
+        .prop_map(|(id, op, params, machine, nests, iterations)| Request {
+            id,
+            body: match op {
+                0 => RequestBody::Predict(PredictParams { machine, nests }),
+                1 => RequestBody::Plan(params),
+                2 => RequestBody::Compare { params, iterations },
+                3 => RequestBody::Stats,
+                _ => RequestBody::Shutdown,
+            },
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip and rejection properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Every request the client can express round-trips exactly through
+    /// the wire encoding — ids with escapes, floats, both nest levels, all
+    /// strategy/alloc/mapping/io combinations.
+    #[test]
+    fn request_round_trips(req in arb_request()) {
+        let line = req.to_json_line();
+        prop_assert!(!line.contains('\n'), "wire line must be newline-free: {line}");
+        prop_assert!(line.len() < MAX_LINE_BYTES, "request unexpectedly oversized");
+        let parsed = Request::parse_line(&line);
+        prop_assert_eq!(parsed.as_ref().ok(), Some(&req), "line was: {}", line);
+    }
+
+    /// Serialization is deterministic: the same request always produces
+    /// byte-identical lines (a prerequisite for cache-key stability).
+    #[test]
+    fn serialization_is_deterministic(req in arb_request()) {
+        prop_assert_eq!(req.to_json_line(), req.clone().to_json_line());
+    }
+
+    /// Arbitrary non-JSON garbage is rejected as `malformed`, never a
+    /// panic. (Lines that happen to *be* valid JSON are filtered out.)
+    #[test]
+    fn garbage_is_malformed(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let line: String = bytes.iter().map(|&b| (b % 127) as char)
+            .filter(|c| *c != '\n').collect();
+        prop_assume!(serde_json::from_str(&line).is_err());
+        let err = Request::parse_line(&line).unwrap_err();
+        prop_assert_eq!(err.kind, ErrorKind::Malformed);
+    }
+
+    /// A wrong or missing protocol version is always `unsupported_version`,
+    /// regardless of the rest of the request.
+    #[test]
+    fn wrong_version_rejected(v in 2u64..1000, req in arb_request()) {
+        let line = req.to_json_line().replacen("{\"v\":1", &format!("{{\"v\":{v}"), 1);
+        let err = Request::parse_line(&line).unwrap_err();
+        prop_assert_eq!(err.kind, ErrorKind::UnsupportedVersion);
+    }
+
+    /// Unknown ops are `bad_request` (the version was fine, the verb is
+    /// not).
+    #[test]
+    fn unknown_op_rejected(tag in 0u32..1_000_000) {
+        let line = format!("{{\"v\":1,\"op\":\"frobnicate{tag}\"}}");
+        let err = Request::parse_line(&line).unwrap_err();
+        prop_assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    /// The line reader flags any over-long line as oversized without
+    /// buffering it, and resynchronizes on the next newline: the following
+    /// request parses normally.
+    #[test]
+    fn oversized_lines_skip_and_resync(extra in 1usize..4096, req in arb_request()) {
+        let next = req.to_json_line();
+        let mut input = "x".repeat(MAX_LINE_BYTES + extra);
+        input.push('\n');
+        input.push_str(&next);
+        input.push('\n');
+        let mut reader = LineReader::new(input.as_bytes(), MAX_LINE_BYTES);
+        match reader.next_line().unwrap() {
+            Line::Oversized { .. } => {}
+            other => prop_assert!(false, "expected Oversized, got {other:?}"),
+        }
+        match reader.next_line().unwrap() {
+            Line::Data(line) => {
+                prop_assert_eq!(Request::parse_line(&line).as_ref().ok(), Some(&req));
+            }
+            other => prop_assert!(false, "expected Data after resync, got {other:?}"),
+        }
+        prop_assert!(matches!(reader.next_line().unwrap(), Line::Eof));
+    }
+
+    /// Unknown fields anywhere in the request are tolerated (forward
+    /// compatibility): injecting one changes nothing about the parse.
+    #[test]
+    fn unknown_fields_tolerated(req in arb_request(), tag in 0u64..1_000_000) {
+        let line = req.to_json_line();
+        let extended = format!(
+            "{{\"future_field\":{tag},{}",
+            line.strip_prefix('{').unwrap()
+        );
+        prop_assert_eq!(Request::parse_line(&extended).as_ref().ok(), Some(&req));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic edge cases that deserve exact assertions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn null_id_is_bad_request() {
+    let err = Request::parse_line("{\"v\":1,\"id\":17,\"op\":\"stats\"}").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::BadRequest);
+}
+
+#[test]
+fn plan_without_params_is_bad_request() {
+    let err = Request::parse_line("{\"v\":1,\"op\":\"plan\"}").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::BadRequest);
+}
+
+#[test]
+fn compare_zero_iterations_rejected() {
+    let ok = "{\"v\":1,\"op\":\"compare\",\"params\":{\"machine\":\"bgl:64\",\
+        \"parent\":{\"nx\":100,\"ny\":100,\"dx_km\":24.0},\
+        \"nests\":[{\"nx\":30,\"ny\":30,\"r\":3,\"ox\":5,\"oy\":5}],\
+        \"iterations\":0}}";
+    let err = Request::parse_line(ok).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::BadRequest);
+}
+
+#[test]
+fn defaults_fill_missing_knobs() {
+    let line = "{\"v\":1,\"op\":\"plan\",\"params\":{\"machine\":\"bgl:64\",\
+        \"parent\":{\"nx\":100,\"ny\":100,\"dx_km\":24.0},\
+        \"nests\":[{\"nx\":30,\"ny\":30,\"r\":3,\"ox\":5,\"oy\":5}]}}";
+    let req = Request::parse_line(line).unwrap();
+    let RequestBody::Plan(p) = req.body else {
+        panic!("expected plan");
+    };
+    assert_eq!(p.strategy, ExecStrategy::Concurrent);
+    assert_eq!(p.alloc, AllocPolicy::HuffmanSplitTree);
+    assert_eq!(p.mapping, MappingKind::Partition);
+    assert_eq!(p.io, None);
+}
