@@ -1,0 +1,259 @@
+//! `nestwx-analyze` — static enforcement of the workspace's headline
+//! invariants.
+//!
+//! The reproduction's guarantees — bitwise-identical `SimReport`s across
+//! engines, obs-on/off equivalence, byte-identical cache hits in
+//! `nestwx-serve` — were until now enforced only by runtime tests, which
+//! cannot see a nondeterminism bug until an input happens to trigger it.
+//! This crate adds the static layer: a token-level pass over the whole
+//! workspace (the offline build vendors no `syn`, so the analyzer lexes
+//! rather than parses — see [`lexer`]) that denies the constructs those
+//! invariants cannot survive:
+//!
+//! * **determinism rules** (`NW-D…`): unordered collections and their
+//!   iteration in planner/canon/replay/cache paths, raw `Instant::now`
+//!   outside the `nestwx-obs` clock shim, wall-clock/entropy sources,
+//!   thread spawns inside replay code;
+//! * **serve robustness rules** (`NW-S…`): `unwrap`/`expect`/`panic!` on
+//!   the request-handling path, raw `.lock()` without a poisoning policy,
+//!   blocking syscalls in lock-holding modules.
+//!
+//! Rules are deny-by-default; the only escape is an [`allowlist`] entry
+//! with a written justification, and every entry must suppress exactly one
+//! diagnostic so the list can never rot. Run it as `nestwx lint`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+pub use allowlist::AllowEntry;
+pub use rules::{Finding, RULE_IDS};
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Where each rule family applies. Paths are relative to [`LintConfig::root`],
+/// `/`-separated; entries ending in `/` are directory prefixes, empty
+/// entries match everything, anything else matches one file exactly.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root the scan is anchored at.
+    pub root: PathBuf,
+    /// Determinism-critical files (NW-D001/D004/D005).
+    pub determinism_paths: Vec<String>,
+    /// Request-handling crates (NW-S001).
+    pub request_paths: Vec<String>,
+    /// The clock shim — the only place allowed to call `Instant::now`.
+    pub clock_files: Vec<String>,
+    /// The sync helper(s) — the only places allowed to call `.lock()`.
+    pub lock_helper_files: Vec<String>,
+    /// Modules that hold cache-shard/queue locks (NW-S003).
+    pub shard_modules: Vec<String>,
+    /// Where NW-S002 (raw lock) applies at all.
+    pub lock_scope: Vec<String>,
+}
+
+impl LintConfig {
+    /// The workspace ruleset: the scopes encoding which paths carry the
+    /// determinism and serving guarantees of this repository.
+    pub fn workspace_default(root: impl Into<PathBuf>) -> LintConfig {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        LintConfig {
+            root: root.into(),
+            determinism_paths: s(&[
+                // Planner + canonical encoding: plan bytes must be a pure
+                // function of the scenario.
+                "crates/core/src/planner.rs",
+                "crates/core/src/canon.rs",
+                "crates/core/src/strategy.rs",
+                // Compiled-schedule replay: SimReports are compared bitwise
+                // across engines.
+                "crates/netsim/src/",
+                // Mapping/embedding: plan output order must be stable.
+                "crates/topo/src/mapping.rs",
+                "crates/topo/src/embed.rs",
+                // Serve render/cache path: cache hits must be byte-identical
+                // to fresh computations.
+                "crates/serve/src/cache.rs",
+                "crates/serve/src/server.rs",
+                "crates/serve/src/batch.rs",
+                "crates/serve/src/queue.rs",
+                "crates/serve/src/keys.rs",
+            ]),
+            request_paths: s(&["crates/serve/src/", "crates/netsim/src/"]),
+            clock_files: s(&["crates/obs/src/clock.rs"]),
+            lock_helper_files: s(&["crates/serve/src/sync.rs"]),
+            shard_modules: s(&[
+                "crates/serve/src/cache.rs",
+                "crates/serve/src/batch.rs",
+                "crates/serve/src/queue.rs",
+            ]),
+            lock_scope: s(&["crates/", "src/"]),
+        }
+    }
+
+    /// A ruleset for the fixture tree: every rule applies everywhere under
+    /// `root`, with no shim exemptions — known-bad snippets must all fire.
+    pub fn fixtures(root: impl Into<PathBuf>) -> LintConfig {
+        LintConfig {
+            root: root.into(),
+            determinism_paths: vec![String::new()],
+            request_paths: vec![String::new()],
+            clock_files: vec![],
+            lock_helper_files: vec![],
+            shard_modules: vec![String::new()],
+            lock_scope: vec![String::new()],
+        }
+    }
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintReport {
+    /// Violations that survived the allowlist, sorted by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by an allowlist entry (each exactly once).
+    pub suppressed: Vec<Finding>,
+    /// Allowlist problems: parse errors, stale entries, ambiguous entries.
+    pub allow_errors: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the run is clean: no surviving findings and a healthy
+    /// allowlist.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty() && self.allow_errors.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                f.file, f.line, f.col, f.rule, f.message
+            );
+        }
+        for e in &self.allow_errors {
+            let _ = writeln!(out, "allowlist: {e}");
+        }
+        let _ = writeln!(
+            out,
+            "{} file(s) scanned, {} violation(s), {} suppressed, {} allowlist error(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed.len(),
+            self.allow_errors.len()
+        );
+        out
+    }
+}
+
+/// Directories never scanned (third-party code, build output, test code —
+/// tests may unwrap and time freely).
+const SKIP_DIRS: [&str; 8] = [
+    "target", "vendor", "tests", "benches", "examples", "fixtures", ".git", ".github",
+];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the lint over every non-test `.rs` file under the config's root,
+/// applying allowlist `allow_text` (pass `""` for none).
+pub fn run_lint(cfg: &LintConfig, allow_text: &str) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(&cfg.root, &mut files)?;
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&cfg.root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path)?;
+        findings.extend(rules::check_file(&rel, &src, cfg));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    let (entries, mut allow_errors) = allowlist::parse(allow_text);
+    let (kept, suppressed, apply_errors) = allowlist::apply(findings, &entries);
+    allow_errors.extend(apply_errors);
+    Ok(LintReport {
+        findings: kept,
+        suppressed,
+        allow_errors,
+        files_scanned: files.len(),
+    })
+}
+
+/// Convenience: [`run_lint`] reading the allowlist from `allow_path` when
+/// the file exists (a missing allowlist means "allow nothing").
+pub fn run_lint_with_allow_file(
+    cfg: &LintConfig,
+    allow_path: &Path,
+) -> std::io::Result<LintReport> {
+    let allow_text = match std::fs::read_to_string(allow_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    run_lint(cfg, &allow_text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_default_scopes_are_relative_and_slashed() {
+        let cfg = LintConfig::workspace_default(".");
+        for p in cfg
+            .determinism_paths
+            .iter()
+            .chain(&cfg.request_paths)
+            .chain(&cfg.clock_files)
+        {
+            assert!(!p.starts_with('/'), "absolute scope {p}");
+            assert!(!p.contains('\\'), "backslash scope {p}");
+        }
+    }
+
+    #[test]
+    fn report_render_lists_counts() {
+        let r = LintReport {
+            findings: vec![],
+            suppressed: vec![],
+            allow_errors: vec![],
+            files_scanned: 3,
+        };
+        assert!(r.ok());
+        assert!(r.render().contains("3 file(s) scanned"));
+    }
+}

@@ -1,0 +1,385 @@
+//! The repo-specific invariant rules.
+//!
+//! Every rule is deny-by-default over the paths its scope names; the only
+//! escape hatch is an allowlist entry (see [`crate::allowlist`]) carrying a
+//! written justification. Rules work on the token stream of
+//! [`crate::lexer`], with `#[cfg(test)] mod … { … }` spans removed — test
+//! code may unwrap and use wall clocks freely.
+//!
+//! # Rule catalog
+//!
+//! | id       | name                          | scope                     |
+//! |----------|-------------------------------|---------------------------|
+//! | NW-D001  | unordered-collection          | determinism paths         |
+//! | NW-D002  | raw-instant-now               | everywhere but clock shim |
+//! | NW-D003  | wall-clock-or-entropy         | everywhere                |
+//! | NW-D004  | unordered-iteration           | determinism paths         |
+//! | NW-D005  | thread-spawn-in-replay        | determinism paths         |
+//! | NW-S001  | panic-on-request-path         | serve + netsim            |
+//! | NW-S002  | raw-mutex-lock                | everywhere but sync shim  |
+//! | NW-S003  | blocking-under-shard-lock     | lock-holding modules      |
+//!
+//! Rationale per rule lives in `DESIGN.md` ("Invariant catalog").
+
+use crate::lexer::{lex, test_module_spans, Tok, TokKind};
+use crate::LintConfig;
+use serde::Serialize;
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Stable rule id (`NW-D001` …).
+    pub rule: &'static str,
+    /// Path relative to the lint root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// All rule ids, in catalog order (fixture tests iterate this).
+pub const RULE_IDS: [&str; 8] = [
+    "NW-D001", "NW-D002", "NW-D003", "NW-D004", "NW-D005", "NW-S001", "NW-S002", "NW-S003",
+];
+
+/// True when `path` (relative, `/`-separated) falls under any of the scope
+/// entries. An entry ending in `/` is a directory prefix; an empty entry
+/// matches everything; anything else must match the path exactly.
+fn in_scope(path: &str, scope: &[String]) -> bool {
+    scope.iter().any(|s| {
+        if s.is_empty() {
+            true
+        } else if let Some(dir) = s.strip_suffix('/') {
+            path.starts_with(dir) && path[dir.len()..].starts_with('/') || path.starts_with(s)
+        } else {
+            path == s
+        }
+    })
+}
+
+/// Runs every rule over one file's source, returning its findings.
+pub fn check_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let toks = lex(src);
+    let test_spans = test_module_spans(&toks);
+    let in_test = |i: usize| test_spans.iter().any(|&(a, b)| i >= a && i < b);
+
+    let deterministic = in_scope(path, &cfg.determinism_paths);
+    let request_path = in_scope(path, &cfg.request_paths);
+    let clock_shim = in_scope(path, &cfg.clock_files);
+    let sync_shim = in_scope(path, &cfg.lock_helper_files);
+    let shard_module = in_scope(path, &cfg.shard_modules);
+    let lock_scope = in_scope(path, &cfg.lock_scope);
+
+    // NW-D004 only applies where an unordered collection is actually in
+    // play: a file that has already banished HashMap/HashSet cannot iterate
+    // one, and flagging `.values()` on a BTreeMap would be noise.
+    let has_unordered = toks.iter().enumerate().any(|(i, t)| {
+        !in_test(i) && t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet")
+    });
+
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Finding>, rule: &'static str, t: &Tok, message: String| {
+        out.push(Finding {
+            rule,
+            file: path.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+        });
+    };
+
+    for i in 0..toks.len() {
+        if in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+
+        // NW-D001 — unordered collections in determinism-critical code.
+        if deterministic && t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet")
+        {
+            push(
+                &mut out,
+                "NW-D001",
+                t,
+                format!(
+                    "{} in a determinism-critical path: iteration order is \
+                     randomized per process; use BTreeMap/BTreeSet or a sorted Vec",
+                    t.text
+                ),
+            );
+        }
+
+        // NW-D002 — Instant::now outside the clock shim.
+        if !clock_shim
+            && t.is_ident("Instant")
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct(":"))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct(":"))
+            && matches!(toks.get(i + 3), Some(n) if n.is_ident("now"))
+        {
+            push(
+                &mut out,
+                "NW-D002",
+                t,
+                "raw Instant::now — route timing through nestwx_obs::clock::now() \
+                 so replay/virtual-time hooks see every read"
+                    .to_string(),
+            );
+        }
+
+        // NW-D003 — wall clock / ambient entropy.
+        if t.kind == TokKind::Ident {
+            let hit = match t.text.as_str() {
+                "SystemTime" => matches!(toks.get(i + 3), Some(n) if n.is_ident("now"))
+                    .then_some("SystemTime::now"),
+                "thread_rng" => Some("thread_rng()"),
+                "from_entropy" => Some("from_entropy()"),
+                _ => None,
+            };
+            if let Some(what) = hit {
+                push(
+                    &mut out,
+                    "NW-D003",
+                    t,
+                    format!(
+                        "{what} injects wall-clock/OS entropy; planning and replay \
+                         must be seeded and deterministic"
+                    ),
+                );
+            }
+        }
+
+        // NW-D004 — iterating an unordered collection.
+        if deterministic
+            && has_unordered
+            && t.is_punct(".")
+            && matches!(
+                toks.get(i + 1),
+                Some(m) if m.kind == TokKind::Ident
+                    && matches!(m.text.as_str(), "keys" | "values" | "values_mut" | "drain" | "into_keys" | "into_values")
+            )
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct("("))
+        {
+            let m = &toks[i + 1];
+            push(
+                &mut out,
+                "NW-D004",
+                m,
+                format!(
+                    ".{}() in a file using HashMap/HashSet: unordered iteration \
+                     makes output order (and float accumulation order) \
+                     schedule-dependent",
+                    m.text
+                ),
+            );
+        }
+
+        // NW-D005 — spawning threads inside deterministic replay code.
+        if deterministic
+            && t.is_ident("thread")
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct(":"))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct(":"))
+            && matches!(toks.get(i + 3), Some(n) if n.is_ident("spawn") || n.is_ident("scope"))
+        {
+            push(
+                &mut out,
+                "NW-D005",
+                t,
+                "thread::spawn/scope in a determinism-critical path: replay \
+                 must be single-threaded; parallelism belongs in the driver"
+                    .to_string(),
+            );
+        }
+
+        // NW-S001 — panicking calls on the request-handling path.
+        if request_path {
+            let method_call = t.is_punct(".")
+                && matches!(
+                    toks.get(i + 1),
+                    Some(m) if m.kind == TokKind::Ident
+                        && matches!(m.text.as_str(), "unwrap" | "expect")
+                )
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct("("));
+            if method_call {
+                let m = &toks[i + 1];
+                push(
+                    &mut out,
+                    "NW-S001",
+                    m,
+                    format!(
+                        ".{}() on the request path can kill a worker/connection \
+                         thread; return a typed error or use a poison-safe helper",
+                        m.text
+                    ),
+                );
+            }
+            let panic_macro = t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && matches!(toks.get(i + 1), Some(p) if p.is_punct("!"));
+            if panic_macro {
+                push(
+                    &mut out,
+                    "NW-S001",
+                    t,
+                    format!("{}! on the request path; return a typed error", t.text),
+                );
+            }
+        }
+
+        // NW-S002 — raw `.lock()` outside the sync helper.
+        if lock_scope
+            && !sync_shim
+            && t.is_punct(".")
+            && matches!(toks.get(i + 1), Some(m) if m.is_ident("lock"))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct("("))
+            && matches!(toks.get(i + 3), Some(p) if p.is_punct(")"))
+        {
+            let m = &toks[i + 1];
+            push(
+                &mut out,
+                "NW-S002",
+                m,
+                "raw .lock() has no poisoning policy; call \
+                 sync::lock_unpoisoned (serve) or map PoisonError explicitly"
+                    .to_string(),
+            );
+        }
+
+        // NW-S003 — blocking syscalls in modules that hold shard locks.
+        if shard_module && t.kind == TokKind::Ident {
+            let blocking =
+                matches!(
+                    t.text.as_str(),
+                    "File"
+                        | "OpenOptions"
+                        | "TcpStream"
+                        | "TcpListener"
+                        | "UdpSocket"
+                        | "sleep"
+                        | "read_to_string"
+                        | "create_dir_all"
+                ) || (matches!(t.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+                    && matches!(toks.get(i + 1), Some(p) if p.is_punct("!")));
+            if blocking {
+                push(
+                    &mut out,
+                    "NW-S003",
+                    t,
+                    format!(
+                        "{} in a lock-holding module: blocking while a cache \
+                         shard or queue lock is held stalls every other thread",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all() -> LintConfig {
+        LintConfig {
+            root: std::path::PathBuf::from("."),
+            determinism_paths: vec![String::new()],
+            request_paths: vec![String::new()],
+            clock_files: vec![],
+            lock_helper_files: vec![],
+            shard_modules: vec![String::new()],
+            lock_scope: vec![String::new()],
+        }
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        check_file("x.rs", src, &cfg_all())
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d001_fires_on_hashmap() {
+        assert_eq!(
+            rules_of("use std::collections::HashMap;\n"),
+            vec!["NW-D001"]
+        );
+    }
+
+    #[test]
+    fn d002_fires_outside_clock_shim_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(rules_of(src), vec!["NW-D002"]);
+        let mut cfg = cfg_all();
+        cfg.clock_files = vec!["x.rs".to_string()];
+        assert!(check_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn d004_needs_an_unordered_collection_in_the_file() {
+        let with = "let m: HashMap<u32,u32> = make(); for v in m.values() {}";
+        let rules = rules_of(with);
+        assert!(rules.contains(&"NW-D004"), "{rules:?}");
+        let without = "let m: BTreeMap<u32,u32> = make(); for v in m.values() {}";
+        assert!(!rules_of(without).contains(&"NW-D004"));
+    }
+
+    #[test]
+    fn s001_flags_unwrap_expect_and_panics_outside_tests() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 { x.unwrap() }
+            fn g(x: Option<u32>) -> u32 { x.expect("boom") }
+            fn h() { panic!("no"); }
+            #[cfg(test)]
+            mod tests {
+                fn t(x: Option<u32>) -> u32 { x.unwrap() }
+            }
+        "#;
+        assert_eq!(rules_of(src), vec!["NW-S001", "NW-S001", "NW-S001"]);
+    }
+
+    #[test]
+    fn s001_does_not_flag_unwrap_or_else() {
+        assert!(rules_of("fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }").is_empty());
+    }
+
+    #[test]
+    fn s002_flags_raw_lock_but_not_helper_file() {
+        let src = "fn f(m: &Mutex<u32>) { let _g = m.lock().unwrap(); }";
+        let rules = rules_of(src);
+        assert!(rules.contains(&"NW-S002"));
+        assert!(rules.contains(&"NW-S001"), "the unwrap also fires");
+        let mut cfg = cfg_all();
+        cfg.lock_helper_files = vec!["x.rs".to_string()];
+        assert!(!check_file("x.rs", src, &cfg)
+            .iter()
+            .any(|f| f.rule == "NW-S002"));
+    }
+
+    #[test]
+    fn s003_flags_blocking_calls() {
+        let src = "fn f() { std::thread::sleep(d); }";
+        let rules = rules_of(src);
+        assert!(rules.contains(&"NW-S003"), "{rules:?}");
+        // thread::sleep also matches D005? No — spawn/scope only.
+        assert!(!rules.contains(&"NW-D005"));
+    }
+
+    #[test]
+    fn d005_flags_spawn_in_deterministic_path() {
+        assert!(rules_of("fn f() { std::thread::spawn(|| {}); }").contains(&"NW-D005"));
+    }
+
+    #[test]
+    fn findings_carry_positions() {
+        let f = &check_file("x.rs", "let t =\n  Instant::now();", &cfg_all())[0];
+        assert_eq!((f.rule, f.line, f.col), ("NW-D002", 2, 3));
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: NW-D001 — unordered collection in a determinism-critical path.
+use std::collections::BTreeMap; // fine
+fn build() -> u32 {
+    let mut m = HashMap::new(); // line 4: fires NW-D001
+    m.insert(1u32, 2u32);
+    m.len() as u32
+}

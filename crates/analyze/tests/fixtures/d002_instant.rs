@@ -1,0 +1,5 @@
+// Fixture: NW-D002 — raw Instant::now outside the clock shim.
+fn time_it() -> f64 {
+    let t0 = Instant::now(); // line 3: fires NW-D002
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,6 @@
+// Fixture: NW-D003 — wall clock and ambient entropy.
+fn stamp() -> u64 {
+    let t = SystemTime::now(); // line 3: fires NW-D003
+    let mut rng = thread_rng(); // line 4: fires NW-D003
+    0
+}

@@ -1,0 +1,6 @@
+// Fixture: NW-D004 — iterating an unordered collection.
+fn sum(m: &HashMap<u32, f64>) -> f64 {
+    // line 2 fires NW-D001 (HashMap in a determinism path); the iteration
+    // below is the float-accumulation-order hazard D004 exists for.
+    m.values().sum() // line 5: fires NW-D004
+}

@@ -1,0 +1,4 @@
+// Fixture: NW-D005 — spawning threads inside deterministic replay code.
+fn replay() {
+    std::thread::spawn(|| {}); // line 3: fires NW-D005
+}

@@ -1,0 +1,18 @@
+// Fixture: NW-S001 — panicking calls on the request path.
+fn handle(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); // line 3: fires NW-S001
+    let b = x.expect("server must not die"); // line 4: fires NW-S001
+    if a + b == 0 {
+        unreachable!("boom"); // line 6: fires NW-S001
+    }
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1); // suppressed: test module
+    }
+}

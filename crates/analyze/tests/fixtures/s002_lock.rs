@@ -1,0 +1,4 @@
+// Fixture: NW-S002 — raw .lock() with no poisoning policy.
+fn peek(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(|e| e.into_inner()) // line 3: fires NW-S002
+}

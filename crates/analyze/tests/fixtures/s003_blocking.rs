@@ -1,0 +1,5 @@
+// Fixture: NW-S003 — blocking syscalls in a lock-holding module.
+fn persist(data: &str) {
+    std::thread::sleep(Duration::from_millis(5)); // line 3: fires NW-S003 (sleep)
+    let f = File::create("/tmp/shard.json"); // line 4: fires NW-S003 (File)
+}

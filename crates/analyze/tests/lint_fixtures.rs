@@ -1,0 +1,99 @@
+//! Fixture coverage for every lint rule: each known-bad snippet under
+//! `tests/fixtures/` must fire its rule at the expected span, and the
+//! allowlist must suppress exactly one diagnostic per entry.
+
+use nestwx_analyze::{run_lint, Finding, LintConfig, RULE_IDS};
+use std::path::PathBuf;
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn fixture_report(allow: &str) -> nestwx_analyze::LintReport {
+    run_lint(&LintConfig::fixtures(fixtures_root()), allow).expect("fixture scan")
+}
+
+fn has(findings: &[Finding], rule: &str, file: &str, line: u32) -> bool {
+    findings
+        .iter()
+        .any(|f| f.rule == rule && f.file == file && f.line == line)
+}
+
+#[test]
+fn every_rule_fires_at_the_expected_span() {
+    let report = fixture_report("");
+    let f = &report.findings;
+    // (rule, fixture file, line) — kept in sync with the `// line N` markers
+    // inside the fixtures.
+    let expected = [
+        ("NW-D001", "d001_hashmap.rs", 4),
+        ("NW-D002", "d002_instant.rs", 3),
+        ("NW-D003", "d003_entropy.rs", 3),
+        ("NW-D003", "d003_entropy.rs", 4),
+        ("NW-D004", "d004_iteration.rs", 5),
+        ("NW-D005", "d005_spawn.rs", 3),
+        ("NW-S001", "s001_unwrap.rs", 3),
+        ("NW-S001", "s001_unwrap.rs", 4),
+        ("NW-S001", "s001_unwrap.rs", 6),
+        ("NW-S002", "s002_lock.rs", 3),
+        ("NW-S003", "s003_blocking.rs", 3),
+        ("NW-S003", "s003_blocking.rs", 4),
+    ];
+    for (rule, file, line) in expected {
+        assert!(
+            has(f, rule, file, line),
+            "{rule} did not fire at {file}:{line}; findings: {f:#?}"
+        );
+    }
+    // Every rule in the catalog is exercised by at least one fixture.
+    for rule in RULE_IDS {
+        assert!(
+            f.iter().any(|x| x.rule == rule),
+            "no fixture fires {rule}; findings: {f:#?}"
+        );
+    }
+}
+
+#[test]
+fn test_modules_inside_fixtures_are_exempt() {
+    let report = fixture_report("");
+    // s001_unwrap.rs has an unwrap inside #[cfg(test)] mod tests — it must
+    // NOT be reported (3 request-path findings only).
+    let s001: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.file == "s001_unwrap.rs" && f.rule == "NW-S001")
+        .collect();
+    assert_eq!(s001.len(), 3, "{s001:#?}");
+}
+
+#[test]
+fn allowlist_suppresses_exactly_one_diagnostic_per_entry() {
+    let baseline = fixture_report("");
+    let total = baseline.findings.len();
+    let allow = "NW-D002 d002_instant.rs:3 -- fixture waiver exercising the allowlist\n\
+                 NW-D005 d005_spawn.rs:3 -- second waiver\n";
+    let report = fixture_report(allow);
+    assert!(report.allow_errors.is_empty(), "{:?}", report.allow_errors);
+    assert_eq!(report.suppressed.len(), 2);
+    assert_eq!(report.findings.len(), total - 2);
+    assert!(!has(&report.findings, "NW-D002", "d002_instant.rs", 3));
+    assert!(has(&report.suppressed, "NW-D002", "d002_instant.rs", 3));
+}
+
+#[test]
+fn stale_allowlist_entry_fails_the_run() {
+    let report = fixture_report("NW-D002 d002_instant.rs:999 -- no longer there\n");
+    assert!(!report.ok());
+    assert_eq!(report.allow_errors.len(), 1);
+    assert!(report.allow_errors[0].contains("stale"));
+}
+
+#[test]
+fn fixture_run_is_nonzero_and_workspace_scan_sees_files() {
+    let report = fixture_report("");
+    assert!(!report.ok(), "fixtures must fail the lint");
+    assert_eq!(report.files_scanned, 8, "one fixture per rule");
+}

@@ -19,9 +19,9 @@
 use nestwx_bench::{banner, env_u32};
 use nestwx_grid::{Domain, NestSpec, NestedConfig, ProcGrid, Rect};
 use nestwx_netsim::{ExecStrategy, HaloEngine, IoMode, Machine, ObsConfig, Simulation};
+use nestwx_obs::clock;
 use nestwx_topo::Mapping;
 use serde::Serialize;
-use std::time::Instant;
 
 #[derive(Serialize)]
 struct EngineResult {
@@ -99,7 +99,7 @@ fn time_runs(sim: &mut Simulation<'_>, iters: u32, reps: u32) -> f64 {
     sim.run_mut(iters);
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let t0 = Instant::now();
+        let t0 = clock::now();
         let rep = sim.run_mut(iters);
         let dt = t0.elapsed().as_secs_f64();
         assert!(rep.total_time > 0.0);

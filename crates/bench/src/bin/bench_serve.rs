@@ -25,6 +25,7 @@
 use nestwx_bench::{banner, env_u32, pacific_parent};
 use nestwx_core::{AllocPolicy, MappingKind, Strategy};
 use nestwx_grid::NestSpec;
+use nestwx_obs::clock;
 use nestwx_obs::LogHistogram;
 use nestwx_serve::{
     spawn, Client, PredictParams, Request, RequestBody, ScenarioParams, ServeConfig,
@@ -33,7 +34,6 @@ use serde::Serialize;
 use serde_json::Value;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// What one run writes to `BENCH_serve.json`. `perf_gate --serve` reads
 /// `throughput_rps`, `cache_hit_rate`, `byte_identical` and
@@ -242,7 +242,7 @@ fn run_bench(args: &Args) -> Result<bool, String> {
 
     // Timed phase: N clients, round-robin over the working set with a
     // per-thread phase offset so threads hit different keys at any instant.
-    let started = Instant::now();
+    let started = clock::now();
     let mut handles = Vec::new();
     for t in 0..args.clients {
         let scenarios = Arc::clone(&scenarios);
@@ -256,7 +256,7 @@ fn run_bench(args: &Args) -> Result<bool, String> {
                 let mut hist = LogHistogram::new();
                 for k in 0..requests {
                     let idx = (t as usize + k as usize) % scenarios.len();
-                    let t0 = Instant::now();
+                    let t0 = clock::now();
                     let resp = client
                         .call(&scenarios[idx])
                         .map_err(|e| format!("client {t} call: {e}"))?;

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 /// Number of simulated parent iterations per measurement. Three is enough:
 /// the simulator is deterministic and steady from the first iteration.
@@ -89,26 +89,30 @@ where
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                *slots[i].lock().unwrap() = Some(r);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .unwrap()
-                .expect("worker filled every claimed slot")
-        })
+    drop(tx);
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every claimed slot"))
         .collect()
 }
 

@@ -43,8 +43,26 @@ pub enum Command {
     Obs(ObsCmd),
     /// Run the planning daemon (`nestwx serve`).
     Serve(ServeArgs),
+    /// Run the repo-specific static analysis (`nestwx lint`).
+    Lint(LintArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `nestwx lint`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintArgs {
+    /// Workspace root to scan (default: current directory).
+    pub root: Option<String>,
+    /// Allowlist file (default: `<root>/lint.allow`; a missing default
+    /// file allows nothing).
+    pub allow: Option<String>,
+    /// Emit the report as JSON instead of human-readable text.
+    pub json: bool,
+    /// Use the fixture rule configuration (everything in scope, no
+    /// exemptions) instead of the workspace one — for testing the rules
+    /// themselves against known-bad snippets.
+    pub fixtures: bool,
 }
 
 /// Arguments of `nestwx serve`. Flags override the `NESTWX_SERVE_*`
@@ -291,6 +309,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "obs" => parse_obs_args(&args[1..]).map(Command::Obs),
         "serve" => parse_serve_args(&args[1..]).map(Command::Serve),
+        "lint" => parse_lint_args(&args[1..]).map(Command::Lint),
         "plan" | "compare" => {
             let mut machine = None;
             let mut parent = None;
@@ -354,7 +373,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         other => Err(err(format!(
-            "unknown command '{other}' (machines|plan|compare|obs|serve|help)"
+            "unknown command '{other}' (machines|plan|compare|obs|serve|lint|help)"
         ))),
     }
 }
@@ -394,6 +413,27 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseError> {
         }
     }
     Ok(serve)
+}
+
+/// Parses `lint [--root DIR] [--allow FILE] [--json] [--fixtures]`.
+fn parse_lint_args(args: &[String]) -> Result<LintArgs, ParseError> {
+    let mut lint = LintArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--root" => lint.root = Some(value("--root")?),
+            "--allow" => lint.allow = Some(value("--allow")?),
+            "--json" => lint.json = true,
+            "--fixtures" => lint.fixtures = true,
+            other => return Err(err(format!("unknown lint flag '{other}'"))),
+        }
+    }
+    Ok(lint)
 }
 
 /// Parses the `obs` subcommand family: `report FILE`, `top FILE [--by
@@ -591,6 +631,32 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
                 return Err(format!("unclean drain: {report:?}").into());
             }
         }
+        Command::Lint(a) => {
+            let root = std::path::PathBuf::from(a.root.as_deref().unwrap_or("."));
+            let cfg = if a.fixtures {
+                nestwx_analyze::LintConfig::fixtures(root.clone())
+            } else {
+                nestwx_analyze::LintConfig::workspace_default(root.clone())
+            };
+            let allow_path = match &a.allow {
+                Some(p) => std::path::PathBuf::from(p),
+                None => root.join("lint.allow"),
+            };
+            let report = nestwx_analyze::run_lint_with_allow_file(&cfg, &allow_path)?;
+            if a.json {
+                writeln!(out, "{}", serde_json::to_string_pretty(&report)?)?;
+            } else {
+                write!(out, "{}", report.render())?;
+            }
+            if !report.ok() {
+                return Err(format!(
+                    "lint failed: {} finding(s), {} allowlist error(s)",
+                    report.findings.len(),
+                    report.allow_errors.len()
+                )
+                .into());
+            }
+        }
         Command::Compare(a) => {
             let planner = planner_for(&a);
             // With --obs-out, run the observed variant (recording is
@@ -693,6 +759,7 @@ USAGE:
   nestwx obs diff A B
   nestwx serve   [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
                  [--max-conns N]
+  nestwx lint    [--root DIR] [--allow FILE] [--json] [--fixtures]
 
 FLAGS:
   --machine FAMILY:CORES   bgl:16..1024 | bgp:64..8192 (power of two)
@@ -716,7 +783,18 @@ SERVE:
   micro-batching and live latency metrics. Unset flags fall back to the
   NESTWX_SERVE_WORKERS / NESTWX_SERVE_QUEUE / NESTWX_SERVE_CACHE /
   NESTWX_SERVE_MAX_CONNS environment knobs. The process exits (code 0)
-  after a clean drain once a client sends 'shutdown'."
+  after a clean drain once a client sends 'shutdown'.
+
+LINT:
+  Repo-specific static analysis: determinism rules (NW-D001..D005 — no
+  unordered iteration, wall-clock reads or entropy on planner/replay
+  paths) and serve robustness rules (NW-S001..S003 — no panicking calls
+  on the request path, a single poisoning policy, no blocking syscalls
+  in lock-holding modules). Deny by default; suppress individual
+  diagnostics via 'RULE FILE:LINE[:COL] -- reason' lines in lint.allow
+  (each entry must match exactly one diagnostic, so stale entries fail
+  the run). Exits non-zero on any finding or allowlist error. See
+  DESIGN.md's invariant catalog for the full rule list."
 }
 
 #[cfg(test)]
@@ -965,6 +1043,62 @@ mod tests {
         assert!(parse_args(&argv(&["serve", "--workers", "0"])).is_err());
         assert!(parse_args(&argv(&["serve", "--queue"])).is_err());
         assert!(parse_args(&argv(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_lint_commands() {
+        assert_eq!(
+            parse_args(&argv(&["lint"])).unwrap(),
+            Command::Lint(LintArgs::default())
+        );
+        assert_eq!(
+            parse_args(&argv(&["lint", "--json"])).unwrap(),
+            Command::Lint(LintArgs {
+                json: true,
+                ..LintArgs::default()
+            })
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "lint",
+                "--root",
+                "sub/dir",
+                "--allow",
+                "my.allow",
+                "--fixtures"
+            ]))
+            .unwrap(),
+            Command::Lint(LintArgs {
+                root: Some("sub/dir".into()),
+                allow: Some("my.allow".into()),
+                json: false,
+                fixtures: true,
+            })
+        );
+        assert!(parse_args(&argv(&["lint", "--root"])).is_err());
+        assert!(parse_args(&argv(&["lint", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn lint_run_reports_fixture_findings() {
+        // Fixture tree: every known-bad snippet must fail the run, and the
+        // JSON report must carry machine-readable rule ids.
+        let fixtures = concat!(env!("CARGO_MANIFEST_DIR"), "/../analyze/tests/fixtures");
+        let mut buf = Vec::new();
+        let res = run(
+            Command::Lint(LintArgs {
+                root: Some(fixtures.into()),
+                allow: None,
+                json: true,
+                fixtures: true,
+            }),
+            &mut buf,
+        );
+        let err = res.expect_err("fixtures must lint non-zero");
+        assert!(err.to_string().contains("lint failed"), "{err}");
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("NW-D001"), "{out}");
+        assert!(out.contains("NW-S003"), "{out}");
     }
 
     #[test]

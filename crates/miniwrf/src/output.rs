@@ -10,10 +10,11 @@
 
 use crate::model::{NestState, NestedModel};
 use crate::solver::ShallowWater;
+use nestwx_obs::clock;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Accumulated output statistics.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -54,7 +55,7 @@ impl HistoryWriter {
         if model.iterations == 0 || !model.iterations.is_multiple_of(self.interval) {
             return Ok(false);
         }
-        let t0 = Instant::now();
+        let t0 = clock::now();
         let it = model.iterations;
         self.write_domain(&model.parent, &format!("parent_{it:05}"))?;
         for (i, nest) in model.nests.iter().enumerate() {

@@ -11,9 +11,10 @@
 use crate::field::Field2D;
 use crate::model::{NestState, NestedModel};
 use crate::solver::{RowBand, ShallowWater};
+use nestwx_obs::clock;
 use nestwx_obs::{Recorder, StepMetrics, StepPhase};
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Sibling-phase execution strategy.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -127,10 +128,10 @@ fn run_iterations_inner(
     let mut sibling_t = Duration::ZERO;
     let mut per_sibling = vec![Duration::ZERO; model.nests.len()];
     let mut step_no = 0u64;
-    let t_start = Instant::now();
+    let t_start = clock::now();
 
     for _ in 0..iterations {
-        let t0 = Instant::now();
+        let t0 = clock::now();
         step_parallel(&mut model.parent, total_threads);
         let parent_dt = t0.elapsed();
         parent_t += parent_dt;
@@ -144,7 +145,7 @@ fn run_iterations_inner(
             }
         }
 
-        let t1 = Instant::now();
+        let t1 = clock::now();
         let bcs = model.boundaries();
         let iter_sibling: Vec<Duration> = match strategy {
             ThreadStrategy::Sequential => model
@@ -152,7 +153,7 @@ fn run_iterations_inner(
                 .iter_mut()
                 .zip(&bcs)
                 .map(|(nest, bc)| {
-                    let ts = Instant::now();
+                    let ts = clock::now();
                     solve_nest_threaded(nest, bc, total_threads);
                     ts.elapsed()
                 })
@@ -165,7 +166,7 @@ fn run_iterations_inner(
                     .zip(allocation)
                     .map(|((nest, bc), &threads)| {
                         scope.spawn(move || {
-                            let ts = Instant::now();
+                            let ts = clock::now();
                             solve_nest_threaded(nest, bc, threads);
                             ts.elapsed()
                         })

@@ -1,0 +1,37 @@
+//! The workspace's single wall-clock source.
+//!
+//! Every timing measurement in the workspace flows through [`now`] — this
+//! file is the only place outside tests allowed to call
+//! `std::time::Instant::now()` (enforced by `nestwx lint` rule NW-D002).
+//! Centralizing the read keeps timing out of determinism-sensitive paths
+//! by construction: planners, canonicalization and replay code cannot
+//! accidentally branch on wall time without importing this module, which
+//! the lint flags in those scopes.
+
+use std::time::{Duration, Instant};
+
+/// Reads the monotonic clock. The returned [`Instant`] behaves exactly
+/// like `Instant::now()` — use `.elapsed()` or subtraction as usual.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// Convenience: elapsed wall time since `start`, as a [`Duration`].
+#[inline]
+pub fn since(start: Instant) -> Duration {
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = super::now();
+        let b = super::now();
+        assert!(b >= a);
+        assert!(super::since(a) >= Duration::ZERO);
+    }
+}

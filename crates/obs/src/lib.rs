@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod clock;
 pub mod hist;
 pub mod ring;
 pub mod span;

@@ -10,11 +10,10 @@
 //! lookup instead of N.
 
 use crate::protocol::ProtoError;
+use crate::sync::{lock_unpoisoned, AtomicU64, Mutex, Ordering};
 use nestwx_grid::DomainFeatures;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
 use std::sync::mpsc::Sender;
-use std::sync::Mutex;
 
 /// The result a worker sends back to a parked connection thread: the
 /// rendered result JSON, or a typed error.
@@ -34,9 +33,13 @@ pub struct Pending {
 }
 
 /// Parking lot of pending predict requests, grouped by machine identity.
+/// The group map is ordered so the shutdown sweep ([`drain_all`]) answers
+/// leftovers in a deterministic machine order.
+///
+/// [`drain_all`]: PredictBatcher::drain_all
 #[derive(Default)]
 pub struct PredictBatcher {
-    groups: Mutex<HashMap<String, Vec<Pending>>>,
+    groups: Mutex<BTreeMap<String, Vec<Pending>>>,
     next_token: AtomicU64,
 }
 
@@ -53,9 +56,7 @@ impl PredictBatcher {
 
     /// Parks a request under the given machine key.
     pub fn add(&self, machine_key: &str, pending: Pending) {
-        self.groups
-            .lock()
-            .expect("batcher poisoned")
+        lock_unpoisoned(&self.groups)
             .entry(machine_key.to_string())
             .or_default()
             .push(pending);
@@ -65,7 +66,7 @@ impl PredictBatcher {
     /// already took it (its reply will arrive; the caller must wait instead
     /// of reporting an error).
     pub fn cancel(&self, machine_key: &str, token: u64) -> bool {
-        let mut groups = self.groups.lock().expect("batcher poisoned");
+        let mut groups = lock_unpoisoned(&self.groups);
         if let Some(list) = groups.get_mut(machine_key) {
             if let Some(i) = list.iter().position(|p| p.token == token) {
                 list.swap_remove(i);
@@ -80,31 +81,22 @@ impl PredictBatcher {
 
     /// Takes every pending request for one machine (the whole batch).
     pub fn take(&self, machine_key: &str) -> Vec<Pending> {
-        self.groups
-            .lock()
-            .expect("batcher poisoned")
+        lock_unpoisoned(&self.groups)
             .remove(machine_key)
             .unwrap_or_default()
     }
 
     /// Takes everything, across all machines — the final shutdown sweep.
     pub fn drain_all(&self) -> Vec<Pending> {
-        self.groups
-            .lock()
-            .expect("batcher poisoned")
-            .drain()
-            .flat_map(|(_, list)| list)
+        std::mem::take(&mut *lock_unpoisoned(&self.groups))
+            .into_values()
+            .flatten()
             .collect()
     }
 
     /// Parked requests right now (all machines).
     pub fn len(&self) -> usize {
-        self.groups
-            .lock()
-            .expect("batcher poisoned")
-            .values()
-            .map(Vec::len)
-            .sum()
+        lock_unpoisoned(&self.groups).values().map(Vec::len).sum()
     }
 
     /// True when nothing is parked.
@@ -113,7 +105,7 @@ impl PredictBatcher {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::mpsc::channel;

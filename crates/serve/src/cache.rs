@@ -14,10 +14,10 @@
 //! shard sizes (≤ a few hundred entries) the scan is cheaper than
 //! maintaining an intrusive list, and it only runs when a shard is full.
 
+use crate::sync::{lock_unpoisoned, AtomicU64, Mutex, Ordering};
 use serde::Serialize;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Shards per cache (fixed power of two; the digest's low bits select one).
 const SHARDS: usize = 8;
@@ -29,7 +29,9 @@ struct Entry {
 
 #[derive(Default)]
 struct Shard {
-    map: HashMap<String, Entry>,
+    // Ordered map: the eviction scan (and any debug dump) visits entries
+    // in key order, so victim selection is deterministic under stamp ties.
+    map: BTreeMap<String, Entry>,
     clock: u64,
 }
 
@@ -67,7 +69,7 @@ impl PlanCache {
     /// Looks up the rendered result for an exact key, refreshing its LRU
     /// stamp and counting the hit or miss.
     pub fn get(&self, key: &str, digest: u64) -> Option<Arc<str>> {
-        let mut shard = self.shard(digest).lock().expect("cache shard poisoned");
+        let mut shard = lock_unpoisoned(self.shard(digest));
         shard.clock += 1;
         let stamp = shard.clock;
         match shard.map.get_mut(key) {
@@ -87,7 +89,7 @@ impl PlanCache {
     /// for the worker's post-dequeue re-check, which would otherwise count
     /// every request twice (once on the connection thread, once here).
     pub fn peek(&self, key: &str, digest: u64) -> Option<Arc<str>> {
-        let mut shard = self.shard(digest).lock().expect("cache shard poisoned");
+        let mut shard = lock_unpoisoned(self.shard(digest));
         shard.clock += 1;
         let stamp = shard.clock;
         shard.map.get_mut(key).map(|e| {
@@ -99,7 +101,7 @@ impl PlanCache {
     /// Inserts (or refreshes) an entry, evicting the shard's least recently
     /// used entry if it is full.
     pub fn insert(&self, key: String, digest: u64, value: Arc<str>) {
-        let mut shard = self.shard(digest).lock().expect("cache shard poisoned");
+        let mut shard = lock_unpoisoned(self.shard(digest));
         shard.clock += 1;
         let stamp = shard.clock;
         if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_cap {
@@ -127,7 +129,7 @@ impl PlanCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .map(|s| lock_unpoisoned(s).map.len())
             .sum()
     }
 
@@ -173,7 +175,7 @@ pub struct CacheStats {
     pub hit_rate: f64,
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -1,0 +1,95 @@
+//! Cache-key construction for the plan cache.
+//!
+//! Every key bakes in [`PLAN_FORMAT_VERSION`] — the version of the
+//! *rendered result JSON*, distinct from the protocol version and the
+//! scenario encoding version. Because the cache stores rendered bytes
+//! (not plan objects), a deploy that changes the result shape would
+//! otherwise keep serving stale-format hits to new clients; versioned
+//! keys make every old entry an automatic miss instead, emptying the
+//! hit-rate without any explicit invalidation step.
+
+use nestwx_core::{fnv1a64, Scenario};
+
+/// Version of the rendered plan/compare result format. Bump whenever the
+/// JSON produced by the server's renderers changes shape or semantics —
+/// all cached entries written under the previous version stop matching.
+pub const PLAN_FORMAT_VERSION: u32 = 1;
+
+/// A cache key under an explicit format version (the versioned core that
+/// [`plan_key`]/[`compare_key`] wrap; public so tests can prove a bump
+/// invalidates).
+pub fn versioned_key(version: u32, scenario: &Scenario, iterations: Option<u32>) -> String {
+    let canonical = scenario.canonical_string();
+    match iterations {
+        None => format!("fmt{version}|{canonical}"),
+        Some(n) => format!("fmt{version}|{canonical}|compare:{n}"),
+    }
+}
+
+/// The cache key for a `plan` request.
+pub fn plan_key(scenario: &Scenario) -> String {
+    versioned_key(PLAN_FORMAT_VERSION, scenario, None)
+}
+
+/// The cache key for a `compare` request over `iterations` iterations.
+pub fn compare_key(scenario: &Scenario, iterations: u32) -> String {
+    versioned_key(PLAN_FORMAT_VERSION, scenario, Some(iterations))
+}
+
+/// The shard-selecting digest for a key (FNV-1a 64 over the key bytes).
+pub fn key_digest(key: &str) -> u64 {
+    fnv1a64(key.as_bytes())
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::cache::PlanCache;
+    use crate::protocol::parse_machine;
+    use nestwx_core::strategy::{AllocPolicy, MappingKind, Strategy};
+    use nestwx_grid::{Domain, NestSpec};
+    use nestwx_netsim::IoMode;
+    use std::sync::Arc;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            machine: parse_machine("bgl:64").unwrap(),
+            parent: Domain::parent(286, 307, 24.0),
+            nests: vec![NestSpec::new(96, 90, 3, (10, 12))],
+            strategy: Strategy::Concurrent,
+            alloc: AllocPolicy::HuffmanSplitTree,
+            mapping: MappingKind::Partition,
+            io_mode: IoMode::None,
+            output_interval: None,
+        }
+    }
+
+    #[test]
+    fn keys_embed_the_format_version() {
+        let s = scenario();
+        assert!(plan_key(&s).starts_with(&format!("fmt{PLAN_FORMAT_VERSION}|")));
+        assert!(compare_key(&s, 5).ends_with("|compare:5"));
+        assert_ne!(plan_key(&s), compare_key(&s, 5));
+    }
+
+    #[test]
+    fn bumping_the_format_version_empties_the_hit_rate() {
+        let s = scenario();
+        let cache = PlanCache::new(64);
+        // Warm the cache under the current version and confirm it is hot.
+        let key = versioned_key(PLAN_FORMAT_VERSION, &s, None);
+        cache.insert(key.clone(), key_digest(&key), Arc::from("{\"v\":1}"));
+        assert!(cache.get(&key, key_digest(&key)).is_some());
+        assert!(cache.stats().hit_rate > 0.0);
+
+        // Every lookup under the bumped version misses — the stale-format
+        // entries are unreachable without any explicit flush.
+        let bumped = versioned_key(PLAN_FORMAT_VERSION + 1, &s, None);
+        let before = cache.stats();
+        assert!(cache.get(&bumped, key_digest(&bumped)).is_none());
+        let after = cache.stats();
+        assert_eq!(after.hits, before.hits, "no hit under the new version");
+        assert_eq!(after.misses, before.misses + 1);
+        assert!(after.hit_rate < before.hit_rate);
+    }
+}

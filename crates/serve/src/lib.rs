@@ -34,16 +34,21 @@
 pub mod batch;
 pub mod cache;
 pub mod client;
+pub mod keys;
 pub mod metrics;
 pub mod protocol;
+pub mod queue;
 pub mod server;
+pub mod sync;
 
 pub use batch::{Outcome, Pending, PredictBatcher};
 pub use cache::{CacheStats, PlanCache};
 pub use client::{Client, Response};
+pub use keys::PLAN_FORMAT_VERSION;
 pub use metrics::{EndpointStats, Metrics, QueueStats, StatsSnapshot};
 pub use protocol::{
     parse_machine, Endpoint, ErrorKind, Line, LineReader, PredictParams, ProtoError, Request,
     RequestBody, ScenarioParams, MAX_LINE_BYTES, PROTOCOL_VERSION,
 };
+pub use queue::{BoundedQueue, PushError};
 pub use server::{spawn, DrainReport, ServeConfig, ServerHandle};

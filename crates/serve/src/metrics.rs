@@ -7,10 +7,9 @@
 
 use crate::cache::CacheStats;
 use crate::protocol::Endpoint;
+use crate::sync::{lock_unpoisoned, AtomicU64, Mutex, Ordering};
 use nestwx_obs::{HistSummary, LogHistogram};
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// Counters plus a latency histogram for one endpoint.
@@ -29,21 +28,14 @@ impl EndpointMetrics {
         if !ok {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        self.latency
-            .lock()
-            .expect("latency histogram poisoned")
-            .record_duration(latency);
+        lock_unpoisoned(&self.latency).record_duration(latency);
     }
 
     fn snapshot(&self) -> EndpointStats {
         EndpointStats {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
-            latency: self
-                .latency
-                .lock()
-                .expect("latency histogram poisoned")
-                .summary(),
+            latency: lock_unpoisoned(&self.latency).summary(),
         }
     }
 }
@@ -210,7 +202,7 @@ pub struct StatsSnapshot {
     pub endpoints: EndpointsStats,
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -1,0 +1,159 @@
+//! The bounded Mutex+Condvar job queue, generic over the job type.
+//!
+//! Extracted from the server so the loom suite (`tests/loom.rs`) can model
+//! check the exact production queue in isolation: no lost jobs under
+//! concurrent push/pop, capacity never exceeded, and close-then-drain
+//! semantics (workers finish everything already accepted before seeing
+//! `None`).
+
+use crate::metrics::QueueStats;
+use crate::sync::{lock_unpoisoned, AtomicU64, Condvar, Mutex, Ordering};
+use std::collections::VecDeque;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at capacity — the `overloaded` signal.
+    Full,
+    /// Queue closed by shutdown.
+    Closed,
+}
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: producers get an immediate [`PushError::Full`]
+/// instead of blocking, consumers block in [`pop`](BoundedQueue::pop)
+/// until a job or close-and-drained.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    rejected_full: AtomicU64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` jobs (minimum 1).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+            enqueued: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a job, refusing immediately when full or closed.
+    pub fn push(&self, job: T) -> Result<(), PushError> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.jobs.len() >= self.cap {
+            self.rejected_full.fetch_add(1, Ordering::Relaxed);
+            return Err(PushError::Full);
+        }
+        inner.jobs.push_back(job);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed *and* drained — workers
+    /// finish everything already accepted before exiting.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                self.dequeued.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: further pushes fail with [`PushError::Closed`],
+    /// and every blocked consumer wakes to drain what remains.
+    pub fn close(&self) {
+        lock_unpoisoned(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs queued right now.
+    pub fn depth(&self) -> usize {
+        lock_unpoisoned(&self.inner).jobs.len()
+    }
+
+    /// Counter snapshot for the `stats` endpoint.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            capacity: self.cap as u64,
+            depth: self.depth() as u64,
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            dequeued: self.dequeued.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        let s = q.stats();
+        assert_eq!((s.enqueued, s.dequeued), (2, 2));
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(1);
+        q.push("a").unwrap();
+        assert_eq!(q.push("b"), Err(PushError::Full));
+        assert_eq!(q.stats().rejected_full, 1);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q = std::sync::Arc::new(BoundedQueue::<u32>::new(2));
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+}

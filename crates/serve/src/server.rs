@@ -23,27 +23,29 @@
 
 use crate::batch::{Outcome, Pending, PredictBatcher};
 use crate::cache::PlanCache;
-use crate::metrics::{Metrics, QueueStats};
+use crate::keys;
+use crate::metrics::Metrics;
 use crate::protocol::{
     alloc_token, mapping_token, parse_machine, response_err_line, response_ok_line, strategy_token,
     ErrorKind, Line, LineReader, PredictParams, ProtoError, Request, RequestBody, ScenarioParams,
     MAX_LINE_BYTES,
 };
+use crate::queue::{BoundedQueue, PushError};
+use crate::sync::{lock_unpoisoned, AtomicBool, AtomicUsize, Mutex, Ordering};
 use nestwx_core::strategy::AllocPolicy;
-use nestwx_core::{compare_strategies, fit_predictor, fnv1a64, ExecutionPlan, Planner, Scenario};
+use nestwx_core::{compare_strategies, fit_predictor, ExecutionPlan, Planner, Scenario};
 use nestwx_grid::DomainFeatures;
 use nestwx_netsim::Machine;
 use nestwx_obs::HistSummary;
 use nestwx_predict::ExecTimePredictor;
 use serde::Serialize;
-use std::collections::{HashMap, VecDeque};
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Seed of the on-demand predictor fit — must stay identical to the one
 /// `Planner::plan` uses when no predictor is supplied, so a served plan is
@@ -91,7 +93,7 @@ impl Default for ServeConfig {
 }
 
 // ---------------------------------------------------------------------------
-// Bounded job queue
+// Jobs (the bounded queue itself lives in `crate::queue`)
 // ---------------------------------------------------------------------------
 
 enum Job {
@@ -113,94 +115,6 @@ enum Job {
     PredictTick { machine_key: String },
 }
 
-enum PushError {
-    /// Queue at capacity — the `overloaded` signal.
-    Full,
-    /// Queue closed by shutdown.
-    Closed,
-}
-
-struct QueueInner {
-    jobs: VecDeque<Job>,
-    closed: bool,
-}
-
-struct JobQueue {
-    inner: Mutex<QueueInner>,
-    ready: Condvar,
-    cap: usize,
-    enqueued: AtomicU64,
-    dequeued: AtomicU64,
-    rejected_full: AtomicU64,
-}
-
-impl JobQueue {
-    fn new(cap: usize) -> JobQueue {
-        JobQueue {
-            inner: Mutex::new(QueueInner {
-                jobs: VecDeque::new(),
-                closed: false,
-            }),
-            ready: Condvar::new(),
-            cap: cap.max(1),
-            enqueued: AtomicU64::new(0),
-            dequeued: AtomicU64::new(0),
-            rejected_full: AtomicU64::new(0),
-        }
-    }
-
-    fn push(&self, job: Job) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
-        if inner.closed {
-            return Err(PushError::Closed);
-        }
-        if inner.jobs.len() >= self.cap {
-            self.rejected_full.fetch_add(1, Ordering::Relaxed);
-            return Err(PushError::Full);
-        }
-        inner.jobs.push_back(job);
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
-        drop(inner);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Blocks for the next job; `None` once closed *and* drained — workers
-    /// finish everything already accepted before exiting.
-    fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
-        loop {
-            if let Some(job) = inner.jobs.pop_front() {
-                self.dequeued.fetch_add(1, Ordering::Relaxed);
-                return Some(job);
-            }
-            if inner.closed {
-                return None;
-            }
-            inner = self.ready.wait(inner).expect("queue poisoned");
-        }
-    }
-
-    fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
-        self.ready.notify_all();
-    }
-
-    fn depth(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").jobs.len()
-    }
-
-    fn stats(&self) -> QueueStats {
-        QueueStats {
-            capacity: self.cap as u64,
-            depth: self.depth() as u64,
-            enqueued: self.enqueued.load(Ordering::Relaxed),
-            dequeued: self.dequeued.load(Ordering::Relaxed),
-            rejected_full: self.rejected_full.load(Ordering::Relaxed),
-        }
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Shared state
 // ---------------------------------------------------------------------------
@@ -208,13 +122,14 @@ impl JobQueue {
 struct ServerState {
     cfg: ServeConfig,
     addr: SocketAddr,
-    queue: JobQueue,
+    queue: BoundedQueue<Job>,
     cache: PlanCache,
     batcher: PredictBatcher,
     metrics: Metrics,
     /// One fitted predictor per machine identity (canonical machine JSON),
-    /// shared by plan workers and predict batches.
-    predictors: Mutex<HashMap<String, Arc<ExecTimePredictor>>>,
+    /// shared by plan workers and predict batches. Ordered map: iteration
+    /// order (debug dumps, future eviction) is deterministic.
+    predictors: Mutex<BTreeMap<String, Arc<ExecTimePredictor>>>,
     shutdown: AtomicBool,
     live_conns: AtomicUsize,
 }
@@ -235,8 +150,11 @@ impl ServerState {
     }
 
     fn predictor_for(&self, machine: &Machine) -> Arc<ExecTimePredictor> {
-        let key = serde_json::to_string(machine).expect("machine serializes");
-        let mut map = self.predictors.lock().expect("predictor map poisoned");
+        // Machines always serialize; if that ever regresses, the Debug
+        // rendering is still a stable identity — degrade instead of
+        // panicking on the request path.
+        let key = serde_json::to_string(machine).unwrap_or_else(|_| format!("{machine:?}"));
+        let mut map = lock_unpoisoned(&self.predictors);
         Arc::clone(
             map.entry(key)
                 .or_insert_with(|| Arc::new(fit_predictor(machine, PROFILE_SEED))),
@@ -548,7 +466,7 @@ fn handle_line(state: &Arc<ServerState>, line: &str, writer: &mut TcpStream) -> 
         }
     };
     let endpoint = req.endpoint();
-    let started = Instant::now();
+    let started = nestwx_obs::clock::now();
     let (outcome, close_after) = execute(state, &req);
     state
         .metrics
@@ -609,10 +527,10 @@ fn submit_scenario(
 ) -> Outcome {
     let scenario = params.to_scenario()?;
     let key = match iterations {
-        None => scenario.canonical_string(),
-        Some(n) => format!("{}|compare:{n}", scenario.canonical_string()),
+        None => keys::plan_key(&scenario),
+        Some(n) => keys::compare_key(&scenario, n),
     };
-    let digest = fnv1a64(key.as_bytes());
+    let digest = keys::key_digest(&key);
     // Hits are answered on the connection thread — they never occupy queue
     // capacity, which is what keeps a hot working set fast even while the
     // workers grind cold scenarios.
@@ -837,11 +755,11 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ServerState {
-        queue: JobQueue::new(cfg.queue_depth),
+        queue: BoundedQueue::new(cfg.queue_depth),
         cache: PlanCache::new(cfg.cache_capacity),
         batcher: PredictBatcher::new(),
         metrics: Metrics::default(),
-        predictors: Mutex::new(HashMap::new()),
+        predictors: Mutex::new(BTreeMap::new()),
         shutdown: AtomicBool::new(false),
         live_conns: AtomicUsize::new(0),
         addr,

@@ -2,6 +2,8 @@
 //! across every strategy/alloc/mapping combination, micro-batching
 //! correctness, overload backpressure, and graceful drain.
 
+#![cfg(not(loom))]
+
 use nestwx_core::{fit_predictor, AllocPolicy, MappingKind, Planner, Strategy};
 use nestwx_grid::{Domain, NestSpec};
 use nestwx_serve::{

@@ -3,6 +3,8 @@
 //! rejected with the right typed error instead of crashing or desyncing
 //! the line reader.
 
+#![cfg(not(loom))]
+
 use nestwx_core::{AllocPolicy, MappingKind, Strategy as ExecStrategy};
 use nestwx_grid::{Domain, NestSpec};
 use nestwx_netsim::IoMode;

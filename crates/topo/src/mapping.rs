@@ -4,7 +4,7 @@ use crate::embed::{placement_offsets, Fold, Orientation, SlotSpace};
 use crate::torus::{Axis, MachineShape, NodeCoord};
 use nestwx_grid::{ProcGrid, Rect};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A rank's placement: which node and which core within the node.
@@ -206,7 +206,10 @@ impl Mapping {
         }
         let (ex, ey, _) = crate::embed::ext_dims(&shape);
         let mut space = SlotSpace::new(shape);
-        let mut placed: HashMap<u32, u32> = HashMap::new(); // rank -> slot id
+        // rank -> slot id. Ordered map: lookups only today, but any future
+        // iteration (debug dumps, tie-breaking scans) is deterministic for
+        // free — this is a planner-output path (lint rule NW-D001).
+        let mut placed: BTreeMap<u32, u32> = BTreeMap::new();
 
         let cross_edges = if orient_aware {
             cross_partition_edges(grid, partitions)
@@ -308,10 +311,10 @@ fn orientation_score(
     offs: &[(u32, u32, u32)],
     anchor: (u32, u32, u32),
     cross_edges: &[(u32, u32)],
-    placed: &HashMap<u32, u32>,
+    placed: &BTreeMap<u32, u32>,
 ) -> u64 {
     let cpn = shape.cores_per_node;
-    let candidate: HashMap<u32, NodeCoord> = ranks
+    let candidate: BTreeMap<u32, NodeCoord> = ranks
         .iter()
         .zip(offs)
         .map(|(&r, &(ox, oy, oz))| {

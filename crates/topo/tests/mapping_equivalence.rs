@@ -1,0 +1,63 @@
+//! Equivalence pin for the `HashMap` → `BTreeMap` conversion inside
+//! `Mapping::folded` (lint rule NW-D001: no unordered maps on planner
+//! paths). The digests below were captured from the *pre-conversion*
+//! HashMap implementation on the same inputs; the ordered-map version must
+//! reproduce them bit for bit, proving the conversion changed the data
+//! structure and nothing else.
+
+use nestwx_grid::{ProcGrid, Rect};
+use nestwx_topo::{MachineShape, Mapping, Torus};
+
+/// FNV-1a over the full rank → (node, core) sequence.
+fn mapping_digest(m: &Mapping) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for r in 0..m.len() {
+        let s = m.slot(r);
+        for field in [s.node, s.core] {
+            for byte in field.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+#[test]
+fn btreemap_folded_matches_hashmap_golden_small() {
+    // Fig. 6 configuration: 8×4 grid, two 4×4 partitions, 4×4×2 torus.
+    let shape = MachineShape::new(Torus::new(4, 4, 2), 1);
+    let grid = ProcGrid::new(8, 4);
+    let parts = [Rect::new(0, 0, 4, 4), Rect::new(4, 0, 4, 4)];
+    let mp = Mapping::partition(shape, &grid, &parts).unwrap();
+    let mm = Mapping::multilevel(shape, &grid, &parts).unwrap();
+    assert_eq!(mapping_digest(&mp), 0x2e6b5c266e0feb25);
+    assert_eq!(mapping_digest(&mm), 0xffdde18cb343dc25);
+}
+
+#[test]
+fn btreemap_folded_matches_hashmap_golden_bgl_scale() {
+    // Table 2's real configuration: 32×32 grid on a BG/L rack.
+    let shape = MachineShape::bgl_rack_vn();
+    let grid = ProcGrid::new(32, 32);
+    let parts = [
+        Rect::new(0, 0, 18, 24),
+        Rect::new(0, 24, 18, 8),
+        Rect::new(18, 0, 14, 12),
+        Rect::new(18, 12, 14, 20),
+    ];
+    let mp = Mapping::partition(shape, &grid, &parts).unwrap();
+    let mm = Mapping::multilevel(shape, &grid, &parts).unwrap();
+    assert_eq!(mapping_digest(&mp), 0xae921171560b00ad);
+    assert_eq!(mapping_digest(&mm), 0x6e72e18236898785);
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let shape = MachineShape::bgl_rack_vn();
+    let grid = ProcGrid::new(32, 32);
+    let parts = [Rect::new(0, 0, 18, 24), Rect::new(18, 0, 14, 32)];
+    let a = Mapping::multilevel(shape, &grid, &parts).unwrap();
+    let b = Mapping::multilevel(shape, &grid, &parts).unwrap();
+    assert_eq!(mapping_digest(&a), mapping_digest(&b));
+}

@@ -1,0 +1,63 @@
+//! The shim "runtime": a per-iteration seed plus a per-thread xorshift
+//! stream deciding where `yield_now` gets injected.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEED: AtomicU64 = AtomicU64::new(0x5EED);
+static THREAD_SALT: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static LOCAL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// SplitMix64 — the seed expander (public so `model` can derive
+/// per-iteration seeds with the same mixer).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Installs the iteration seed (called by `model` before each run).
+pub fn set_seed(seed: u64) {
+    SEED.store(seed, Ordering::SeqCst);
+}
+
+/// Decides — pseudo-randomly, from the iteration seed and a per-thread
+/// stream — whether this synchronization point yields the CPU. Called by
+/// every shim primitive before the underlying std operation.
+pub fn maybe_yield() {
+    let r = LOCAL.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            // First sync op on this thread this process: fold the global
+            // iteration seed with a unique thread salt.
+            let salt = THREAD_SALT.fetch_add(1, Ordering::Relaxed);
+            x = splitmix64(SEED.load(Ordering::Relaxed) ^ salt.wrapping_mul(0xA24B_AED4_963E_E407));
+        }
+        // xorshift64* step
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x
+    });
+    // Yield on ~1 in 4 synchronization points.
+    if r & 0b11 == 0 {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn maybe_yield_never_panics_and_streams_vary() {
+        super::set_seed(42);
+        for _ in 0..1000 {
+            super::maybe_yield();
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Shim synchronization primitives: std types with yield injection at
+//! every operation. Guard types are std's own, so `PoisonError` handling
+//! written against std works unchanged under `--cfg loom`.
+
+pub use std::sync::Arc;
+pub use std::sync::{LockResult, MutexGuard, PoisonError, WaitTimeoutResult};
+
+/// `std::sync::Mutex` with a schedule perturbation before every `lock`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Locks, yielding the scheduler first.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        crate::rt::maybe_yield();
+        let guard = self.0.lock();
+        crate::rt::maybe_yield();
+        guard
+    }
+
+    /// Non-blocking lock attempt.
+    pub fn try_lock(&self) -> std::sync::TryLockResult<MutexGuard<'_, T>> {
+        crate::rt::maybe_yield();
+        self.0.try_lock()
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.0.into_inner()
+    }
+}
+
+/// `std::sync::Condvar` with schedule perturbations around waits and
+/// notifies.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Waits on the condition, releasing the guard's mutex.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        crate::rt::maybe_yield();
+        let res = self.0.wait(guard);
+        crate::rt::maybe_yield();
+        res
+    }
+
+    /// Waits with a timeout (forwarded to std).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        crate::rt::maybe_yield();
+        self.0.wait_timeout(guard, dur)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        crate::rt::maybe_yield();
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        crate::rt::maybe_yield();
+        self.0.notify_all();
+    }
+}
+
+/// Atomics with yield injection on every access.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $val:ty) => {
+            /// Std atomic with a schedule perturbation before every access.
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// A new atomic holding `v`.
+                pub fn new(v: $val) -> $name {
+                    $name(<$std>::new(v))
+                }
+
+                /// Atomic load.
+                pub fn load(&self, order: Ordering) -> $val {
+                    crate::rt::maybe_yield();
+                    self.0.load(order)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, v: $val, order: Ordering) {
+                    crate::rt::maybe_yield();
+                    self.0.store(v, order)
+                }
+
+                /// Atomic swap.
+                pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                    crate::rt::maybe_yield();
+                    self.0.swap(v, order)
+                }
+
+                /// Atomic compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$val, $val> {
+                    crate::rt::maybe_yield();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    macro_rules! shim_atomic_int {
+        ($name:ident, $std:ty, $val:ty) => {
+            shim_atomic!($name, $std, $val);
+
+            impl $name {
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                    crate::rt::maybe_yield();
+                    self.0.fetch_add(v, order)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, v: $val, order: Ordering) -> $val {
+                    crate::rt::maybe_yield();
+                    self.0.fetch_sub(v, order)
+                }
+
+                /// Atomic max, returning the previous value.
+                pub fn fetch_max(&self, v: $val, order: Ordering) -> $val {
+                    crate::rt::maybe_yield();
+                    self.0.fetch_max(v, order)
+                }
+            }
+        };
+    }
+
+    shim_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    shim_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+}

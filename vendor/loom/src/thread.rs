@@ -1,0 +1,17 @@
+//! Thread spawning with a yield injected at the spawn point.
+
+pub use std::thread::{current, yield_now, JoinHandle};
+
+/// Spawns an OS thread (the shim explores schedules by perturbing real
+/// threads rather than simulating them).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    crate::rt::maybe_yield();
+    std::thread::spawn(move || {
+        crate::rt::maybe_yield();
+        f()
+    })
+}
