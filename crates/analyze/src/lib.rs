@@ -16,7 +16,9 @@
 //!   thread spawns inside replay code;
 //! * **serve robustness rules** (`NW-S…`): `unwrap`/`expect`/`panic!` on
 //!   the request-handling path, raw `.lock()` without a poisoning policy,
-//!   blocking syscalls in lock-holding modules.
+//!   blocking syscalls in lock-holding modules, blocking socket I/O
+//!   outside the readiness loop, and deadline arithmetic that bypasses
+//!   the `nestwx_obs::clock` shim.
 //!
 //! Rules are deny-by-default; the only escape is an [`allowlist`] entry
 //! with a written justification, and every entry must suppress exactly one
@@ -54,6 +56,14 @@ pub struct LintConfig {
     pub shard_modules: Vec<String>,
     /// Where NW-S002 (raw lock) applies at all.
     pub lock_scope: Vec<String>,
+    /// Where NW-S004 (blocking socket I/O) applies.
+    pub socket_scope: Vec<String>,
+    /// The readiness loop itself — the only files allowed to touch
+    /// sockets directly (accept/read/write), exempt from NW-S004.
+    pub readiness_files: Vec<String>,
+    /// Where NW-S005 (raw deadline arithmetic) applies: deadline checks
+    /// must go through the `nestwx_obs::clock` shim.
+    pub deadline_scope: Vec<String>,
 }
 
 impl LintConfig {
@@ -92,6 +102,13 @@ impl LintConfig {
                 "crates/serve/src/queue.rs",
             ]),
             lock_scope: s(&["crates/", "src/"]),
+            socket_scope: s(&["crates/serve/src/"]),
+            readiness_files: s(&[
+                "crates/serve/src/event_loop.rs",
+                "crates/serve/src/conn.rs",
+                "crates/serve/src/client.rs",
+            ]),
+            deadline_scope: s(&["crates/serve/src/"]),
         }
     }
 
@@ -106,6 +123,9 @@ impl LintConfig {
             lock_helper_files: vec![],
             shard_modules: vec![String::new()],
             lock_scope: vec![String::new()],
+            socket_scope: vec![String::new()],
+            readiness_files: vec![],
+            deadline_scope: vec![String::new()],
         }
     }
 }

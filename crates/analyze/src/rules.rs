@@ -18,6 +18,8 @@
 //! | NW-S001  | panic-on-request-path         | serve + netsim            |
 //! | NW-S002  | raw-mutex-lock                | everywhere but sync shim  |
 //! | NW-S003  | blocking-under-shard-lock     | lock-holding modules      |
+//! | NW-S004  | blocking-socket-io            | serve, minus readiness    |
+//! | NW-S005  | raw-deadline-arithmetic       | serve deadline scope      |
 //!
 //! Rationale per rule lives in `DESIGN.md` ("Invariant catalog").
 
@@ -41,8 +43,9 @@ pub struct Finding {
 }
 
 /// All rule ids, in catalog order (fixture tests iterate this).
-pub const RULE_IDS: [&str; 8] = [
+pub const RULE_IDS: [&str; 10] = [
     "NW-D001", "NW-D002", "NW-D003", "NW-D004", "NW-D005", "NW-S001", "NW-S002", "NW-S003",
+    "NW-S004", "NW-S005",
 ];
 
 /// True when `path` (relative, `/`-separated) falls under any of the scope
@@ -72,6 +75,9 @@ pub fn check_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     let sync_shim = in_scope(path, &cfg.lock_helper_files);
     let shard_module = in_scope(path, &cfg.shard_modules);
     let lock_scope = in_scope(path, &cfg.lock_scope);
+    let socket_scope = in_scope(path, &cfg.socket_scope);
+    let readiness = in_scope(path, &cfg.readiness_files);
+    let deadline_scope = in_scope(path, &cfg.deadline_scope);
 
     // NW-D004 only applies where an unordered collection is actually in
     // play: a file that has already banished HashMap/HashSet cannot iterate
@@ -278,6 +284,68 @@ pub fn check_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
                 );
             }
         }
+
+        // NW-S004 — blocking socket I/O outside the readiness loop. Every
+        // socket the event-driven server owns is nonblocking; a blocking
+        // accept/read/write anywhere else reintroduces thread-per-connection
+        // stalls behind the reader's back.
+        if socket_scope
+            && !readiness
+            && t.is_punct(".")
+            && matches!(
+                toks.get(i + 1),
+                Some(m) if m.kind == TokKind::Ident
+                    && matches!(
+                        m.text.as_str(),
+                        "accept" | "incoming" | "read_exact" | "write_all" | "read_line"
+                            | "read_to_end"
+                    )
+            )
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct("("))
+        {
+            let m = &toks[i + 1];
+            push(
+                &mut out,
+                "NW-S004",
+                m,
+                format!(
+                    ".{}() is blocking I/O outside the readiness loop: all \
+                     socket traffic must flow through the nonblocking reader \
+                     (event_loop/conn) so one slow peer cannot stall a thread",
+                    m.text
+                ),
+            );
+        }
+
+        // NW-S005 — deadline arithmetic that bypasses the clock shim.
+        // Deadline math must use nestwx_obs::clock (now/since/expired) so
+        // replay and virtual-time hooks see every deadline check; raw
+        // elapsed/duration_since reads the monotonic clock behind them.
+        if deadline_scope
+            && t.is_punct(".")
+            && matches!(
+                toks.get(i + 1),
+                Some(m) if m.kind == TokKind::Ident
+                    && matches!(
+                        m.text.as_str(),
+                        "elapsed" | "duration_since" | "checked_duration_since"
+                    )
+            )
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct("("))
+        {
+            let m = &toks[i + 1];
+            push(
+                &mut out,
+                "NW-S005",
+                m,
+                format!(
+                    ".{}() reads the clock behind the shim: route deadline \
+                     checks through nestwx_obs::clock (since/expired) so \
+                     virtual-time tests and replay control every time read",
+                    m.text
+                ),
+            );
+        }
     }
     out
 }
@@ -295,6 +363,9 @@ mod tests {
             lock_helper_files: vec![],
             shard_modules: vec![String::new()],
             lock_scope: vec![String::new()],
+            socket_scope: vec![String::new()],
+            readiness_files: vec![],
+            deadline_scope: vec![String::new()],
         }
     }
 
@@ -375,6 +446,42 @@ mod tests {
     #[test]
     fn d005_flags_spawn_in_deterministic_path() {
         assert!(rules_of("fn f() { std::thread::spawn(|| {}); }").contains(&"NW-D005"));
+    }
+
+    #[test]
+    fn s004_flags_blocking_socket_io_outside_readiness_files() {
+        let src = "fn f(l: &TcpListener) { let _ = l.accept(); }";
+        let rules = rules_of(src);
+        assert!(rules.contains(&"NW-S004"), "{rules:?}");
+        let mut cfg = cfg_all();
+        cfg.readiness_files = vec!["x.rs".to_string()];
+        assert!(!check_file("x.rs", src, &cfg)
+            .iter()
+            .any(|f| f.rule == "NW-S004"));
+    }
+
+    #[test]
+    fn s004_ignores_non_socket_methods() {
+        assert!(
+            !rules_of("fn f(v: &[u8]) { let _ = v.accepted(); v.write(b); }").contains(&"NW-S004")
+        );
+    }
+
+    #[test]
+    fn s005_flags_raw_deadline_reads() {
+        let src = "fn f(t: Instant) -> bool { t.elapsed() > LIMIT }";
+        let rules = rules_of(src);
+        assert!(rules.contains(&"NW-S005"), "{rules:?}");
+        let mut cfg = cfg_all();
+        cfg.deadline_scope = vec![];
+        assert!(!check_file("x.rs", src, &cfg)
+            .iter()
+            .any(|f| f.rule == "NW-S005"));
+    }
+
+    #[test]
+    fn s005_allows_clock_shim_calls() {
+        assert!(rules_of("fn f(t: Instant) -> bool { clock::expired(t, limit) }").is_empty());
     }
 
     #[test]

@@ -1,0 +1,6 @@
+// Fixture: NW-S004 — blocking socket I/O outside the readiness loop.
+fn pump(listener: &Listener, stream: &mut Stream, buf: &mut [u8]) {
+    let _ = listener.accept(); // line 3: fires NW-S004 (accept)
+    let _ = stream.read_exact(buf); // line 4: fires NW-S004 (read_exact)
+    let _ = stream.write_all(buf); // line 5: fires NW-S004 (write_all)
+}

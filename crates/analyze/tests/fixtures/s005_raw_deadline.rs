@@ -1,0 +1,7 @@
+// Fixture: NW-S005 — deadline checks bypassing the clock shim.
+fn expired(started: Instant, limit: Duration) -> bool {
+    started.elapsed() > limit // line 3: fires NW-S005 (elapsed)
+}
+fn waited(now: Instant, started: Instant) -> Duration {
+    now.duration_since(started) // line 6: fires NW-S005 (duration_since)
+}

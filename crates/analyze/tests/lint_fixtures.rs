@@ -40,6 +40,11 @@ fn every_rule_fires_at_the_expected_span() {
         ("NW-S002", "s002_lock.rs", 3),
         ("NW-S003", "s003_blocking.rs", 3),
         ("NW-S003", "s003_blocking.rs", 4),
+        ("NW-S004", "s004_blocking_socket.rs", 3),
+        ("NW-S004", "s004_blocking_socket.rs", 4),
+        ("NW-S004", "s004_blocking_socket.rs", 5),
+        ("NW-S005", "s005_raw_deadline.rs", 3),
+        ("NW-S005", "s005_raw_deadline.rs", 6),
     ];
     for (rule, file, line) in expected {
         assert!(
@@ -95,5 +100,5 @@ fn stale_allowlist_entry_fails_the_run() {
 fn fixture_run_is_nonzero_and_workspace_scan_sees_files() {
     let report = fixture_report("");
     assert!(!report.ok(), "fixtures must fail the lint");
-    assert_eq!(report.files_scanned, 8, "one fixture per rule");
+    assert_eq!(report.files_scanned, 10, "one fixture per rule");
 }

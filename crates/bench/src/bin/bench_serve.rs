@@ -3,16 +3,25 @@
 //! Usage:
 //!
 //! ```text
-//! bench_serve [--smoke] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]
+//! bench_serve [--smoke] [--churn] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]
 //! ```
 //!
 //! Default (bench) mode spawns an in-process server on an ephemeral port,
 //! warms a 16-scenario working set, then hammers it from N client threads
-//! issuing `plan` requests round-robin. Reports throughput and client-side
+//! issuing **pipelined** batches of `plan` requests round-robin (128
+//! requests per write, responses verified byte-for-byte against the warmup
+//! canon without parsing JSON). Reports throughput and client-side batch
 //! latency percentiles (p50/p90/p99 via `nestwx-obs` log histograms) into
-//! `BENCH_serve.json`, together with the server's cache statistics, and
-//! verifies that every repeated response is **byte-identical** to the first
-//! one for that scenario.
+//! `BENCH_serve.json`, together with the server's cache statistics.
+//!
+//! `--churn` appends a connection/identity churn measurement to the same
+//! output file: waves of short-lived connections carrying a flood of
+//! *distinct* synthetic client identities (bounded rate-limiter table), a
+//! predictor-eviction cycle over more machines than the bounded predictor
+//! map holds, a hammer phase where a handful of clients blow through their
+//! token buckets (rate shedding), and a cold phase under a 1 ms deadline
+//! (deadline expiry). Each phase records throughput and the process RSS,
+//! so `perf_gate --serve` can gate churn throughput and peak memory.
 //!
 //! `--smoke` runs a short mixed predict/plan workload instead — the CI
 //! smoke job points it at an external `nestwx serve` process via `--addr`,
@@ -20,7 +29,10 @@
 //! `shutdown` so CI can check the server drains and exits 0.
 //!
 //! Knobs (flags win over env): `NESTWX_SERVE_CLIENTS` (default 4),
-//! `NESTWX_SERVE_REQS` (requests per client, default 1500).
+//! `NESTWX_SERVE_REQS` (requests per client, default 30000),
+//! `NESTWX_CHURN_CLIENTS` (distinct churn identities, default 1,000,000),
+//! `NESTWX_CHURN_HAMMER` (hammer-phase requests, default 200,000),
+//! `NESTWX_CHURN_COLD` (cold deadline-phase requests, default 32).
 
 use nestwx_bench::{banner, env_u32, pacific_parent};
 use nestwx_core::{AllocPolicy, MappingKind, Strategy};
@@ -35,32 +47,72 @@ use serde_json::Value;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+/// Requests per pipelined write in the hot-set phase. Far below the
+/// server's per-connection outbox cap, so a writing client can defer its
+/// reads for a whole batch without being reaped as a slow consumer.
+const PIPELINE_DEPTH: usize = 128;
+
 /// What one run writes to `BENCH_serve.json`. `perf_gate --serve` reads
-/// `throughput_rps`, `cache_hit_rate`, `byte_identical` and
-/// `protocol_errors` back out of this.
+/// `throughput_rps`, `cache_hit_rate`, `byte_identical`,
+/// `protocol_errors` — and, when present, `churn.throughput_rps` and
+/// `churn.max_rss_mb` — back out of this.
 #[derive(Debug, Serialize)]
 struct ServeBenchOutput {
     benchmark: String,
     mode: String,
     clients: u32,
     requests_per_client: u32,
+    pipeline_depth: u32,
     scenarios: u32,
     warmup_requests: u64,
     requests_total: u64,
     elapsed_seconds: f64,
     throughput_rps: f64,
-    latency: nestwx_obs::HistSummary,
+    /// Round-trip latency of one whole pipelined batch (not one request).
+    batch_latency: nestwx_obs::HistSummary,
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
     cache_hit_rate: f64,
     protocol_errors: u64,
     byte_identical: bool,
+    churn: Option<ChurnOutput>,
+}
+
+/// One churn phase's figures.
+#[derive(Debug, Serialize)]
+struct ChurnPhase {
+    phase: String,
+    requests: u64,
+    ok_responses: u64,
+    error_responses: u64,
+    elapsed_seconds: f64,
+    throughput_rps: f64,
+    /// Process RSS (bench + in-process server) at phase end, MiB.
+    rss_mb: f64,
+}
+
+/// The `--churn` section of the output.
+#[derive(Debug, Serialize)]
+struct ChurnOutput {
+    distinct_clients: u64,
+    phases: Vec<ChurnPhase>,
+    /// Distinct-identity flood throughput — the gated figure.
+    throughput_rps: f64,
+    /// Peak of the per-phase RSS samples, MiB — the gated figure.
+    max_rss_mb: f64,
+    rate_shed: u64,
+    deadline_expired: u64,
+    rate_evictions: u64,
+    predictor_evictions: u64,
+    clients_tracked: u64,
+    drain_clean: bool,
 }
 
 #[derive(Debug)]
 struct Args {
     smoke: bool,
+    churn: bool,
     addr: Option<String>,
     clients: u32,
     requests: u32,
@@ -70,9 +122,10 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
+        churn: false,
         addr: None,
         clients: env_u32("NESTWX_SERVE_CLIENTS", 4).max(1),
-        requests: env_u32("NESTWX_SERVE_REQS", 1500).max(1),
+        requests: env_u32("NESTWX_SERVE_REQS", 30000).max(1),
         out: "BENCH_serve.json".into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -86,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match argv[i].as_str() {
             "--smoke" => args.smoke = true,
+            "--churn" => args.churn = true,
             "--addr" => args.addr = Some(take(&mut i)?),
             "--clients" => {
                 args.clients = take(&mut i)?
@@ -105,6 +159,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
+    }
+    if args.churn && args.addr.is_some() {
+        return Err("--churn needs the in-process server (no --addr): it sets limit knobs".into());
     }
     Ok(args)
 }
@@ -133,29 +190,20 @@ fn working_set(n: usize) -> Vec<Request> {
                 mapping: mappings[i % mappings.len()],
                 io: None,
             };
-            Request {
-                // One id per *scenario*, shared by every repetition, so the
-                // whole response line (not just `result`) must be
-                // byte-identical on a cache hit.
-                id: Some(format!("s{i}")),
-                body: RequestBody::Plan(params),
-            }
+            // One id per *scenario*, shared by every repetition, so the
+            // whole response line (not just `result`) must be
+            // byte-identical on a cache hit.
+            Request::new(Some(format!("s{i}")), RequestBody::Plan(params))
         })
         .collect()
 }
 
 fn stats_request() -> Request {
-    Request {
-        id: Some("stats".into()),
-        body: RequestBody::Stats,
-    }
+    Request::new(Some("stats".into()), RequestBody::Stats)
 }
 
 fn shutdown_request() -> Request {
-    Request {
-        id: Some("bye".into()),
-        body: RequestBody::Shutdown,
-    }
+    Request::new(Some("bye".into()), RequestBody::Shutdown)
 }
 
 fn u64_at(v: &Value, path: &[&str]) -> u64 {
@@ -182,6 +230,25 @@ fn f64_at(v: &Value, path: &[&str]) -> f64 {
     cur.as_f64().unwrap_or(0.0)
 }
 
+/// Resident set size of this process (bench + any in-process server), MiB.
+fn rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
 /// Either an in-process server (we own the handle and verify the drain
 /// report) or an external one reached over `--addr`.
 enum Target {
@@ -202,7 +269,7 @@ fn connect(target: &Target) -> Result<Client, String> {
     Client::connect(target.addr()).map_err(|e| format!("connect {}: {e}", target.addr()))
 }
 
-fn run_bench(args: &Args) -> Result<bool, String> {
+fn run_bench(args: &Args) -> Result<(ServeBenchOutput, bool), String> {
     banner(
         "SERVE",
         "nestwx-serve plan throughput under a hot working set",
@@ -224,6 +291,7 @@ fn run_bench(args: &Args) -> Result<bool, String> {
     );
 
     let scenarios = working_set(16);
+    let lines: Arc<Vec<String>> = Arc::new(scenarios.iter().map(Request::to_json_line).collect());
 
     // Warmup: populate the cache (and fit the predictor once) and record
     // the canonical response line per scenario.
@@ -237,40 +305,48 @@ fn run_bench(args: &Args) -> Result<bool, String> {
         canonical.push(resp.raw);
     }
     let canonical = Arc::new(canonical);
-    let scenarios = Arc::new(scenarios);
     println!("warmup: {} scenarios planned and cached", canonical.len());
 
     // Timed phase: N clients, round-robin over the working set with a
-    // per-thread phase offset so threads hit different keys at any instant.
+    // per-thread phase offset so threads hit different keys at any
+    // instant. Requests go out in pipelined batches and come back in
+    // request order, verified byte-for-byte without parsing.
     let started = clock::now();
     let mut handles = Vec::new();
     for t in 0..args.clients {
-        let scenarios = Arc::clone(&scenarios);
+        let lines = Arc::clone(&lines);
         let canonical = Arc::clone(&canonical);
         let addr = target.addr();
-        let requests = args.requests;
+        let requests = args.requests as usize;
         handles.push(std::thread::spawn(
             move || -> Result<LogHistogram, String> {
                 let mut client =
                     Client::connect(&addr).map_err(|e| format!("client {t} connect: {e}"))?;
                 let mut hist = LogHistogram::new();
-                for k in 0..requests {
-                    let idx = (t as usize + k as usize) % scenarios.len();
+                let mut sent = 0usize;
+                let mut batch: Vec<String> = Vec::with_capacity(PIPELINE_DEPTH);
+                while sent < requests {
+                    let depth = PIPELINE_DEPTH.min(requests - sent);
+                    batch.clear();
+                    for j in 0..depth {
+                        batch.push(lines[(t as usize + sent + j) % lines.len()].clone());
+                    }
                     let t0 = clock::now();
-                    let resp = client
-                        .call(&scenarios[idx])
-                        .map_err(|e| format!("client {t} call: {e}"))?;
-                    hist.record_duration(t0.elapsed());
-                    if !resp.ok() {
-                        return Err(format!("client {t} got error: {}", resp.raw));
+                    let raws = client
+                        .call_pipelined(&batch)
+                        .map_err(|e| format!("client {t} batch: {e}"))?;
+                    hist.record_duration(clock::since(t0));
+                    for (j, raw) in raws.iter().enumerate() {
+                        let idx = (t as usize + sent + j) % canonical.len();
+                        if *raw != canonical[idx] {
+                            return Err(format!(
+                                "client {t}: response for scenario {idx} not byte-identical\n\
+                                 first: {}\n now: {raw}",
+                                canonical[idx]
+                            ));
+                        }
                     }
-                    if resp.raw != canonical[idx] {
-                        return Err(format!(
-                            "client {t}: response for scenario {idx} not byte-identical\n\
-                         first: {}\n now: {}",
-                            canonical[idx], resp.raw
-                        ));
-                    }
+                    sent += depth;
                 }
                 Ok(hist)
             },
@@ -287,9 +363,13 @@ fn run_bench(args: &Args) -> Result<bool, String> {
             }
         }
     }
-    let elapsed = started.elapsed().as_secs_f64();
-    let requests_total = merged.summary().count;
-    let throughput = requests_total as f64 / elapsed.max(1e-9);
+    let elapsed = clock::since(started).as_secs_f64();
+    let requests_total = u64::from(args.clients) * u64::from(args.requests);
+    let throughput = if byte_identical {
+        requests_total as f64 / elapsed.max(1e-9)
+    } else {
+        0.0
+    };
 
     // Final stats + shutdown through the wire protocol.
     let mut ctl = connect(&target)?;
@@ -325,33 +405,33 @@ fn run_bench(args: &Args) -> Result<bool, String> {
         .into(),
         clients: args.clients,
         requests_per_client: args.requests,
+        pipeline_depth: PIPELINE_DEPTH as u32,
         scenarios: canonical.len() as u32,
         warmup_requests: canonical.len() as u64,
         requests_total,
         elapsed_seconds: elapsed,
         throughput_rps: throughput,
-        latency: summary,
+        batch_latency: summary,
         cache_hits: u64_at(&result, &["cache", "hits"]),
         cache_misses: u64_at(&result, &["cache", "misses"]),
         cache_evictions: u64_at(&result, &["cache", "evictions"]),
         cache_hit_rate: f64_at(&result, &["cache", "hit_rate"]),
         protocol_errors: u64_at(&result, &["server", "protocol_errors"]),
         byte_identical,
+        churn: None,
     };
-    let json = serde_json::to_string(&out).map_err(|e| format!("serialize: {e:?}"))?;
-    std::fs::write(&args.out, format!("{json}\n"))
-        .map_err(|e| format!("write {}: {e}", args.out))?;
 
     println!(
-        "throughput: {throughput:.0} plan req/s over {requests_total} requests ({:.2}s, {} clients)",
-        elapsed, args.clients
+        "throughput: {throughput:.0} plan req/s over {requests_total} requests ({:.2}s, {} clients x {}-deep pipeline)",
+        elapsed, args.clients, PIPELINE_DEPTH
     );
     println!(
-        "latency:    p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
-        out.latency.p50 * 1e6,
-        out.latency.p90 * 1e6,
-        out.latency.p99 * 1e6,
-        out.latency.max * 1e6
+        "batch rtt:  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us  ({} requests/batch)",
+        out.batch_latency.p50 * 1e6,
+        out.batch_latency.p90 * 1e6,
+        out.batch_latency.p99 * 1e6,
+        out.batch_latency.max * 1e6,
+        PIPELINE_DEPTH
     );
     println!(
         "cache:      {} hits / {} misses ({:.1}% hit rate), {} evictions",
@@ -360,7 +440,6 @@ fn run_bench(args: &Args) -> Result<bool, String> {
         out.cache_hit_rate * 100.0,
         out.cache_evictions
     );
-    println!("wrote {}", args.out);
 
     let ok = byte_identical && out.protocol_errors == 0 && out.cache_hit_rate >= 0.90;
     if !ok {
@@ -369,7 +448,301 @@ fn run_bench(args: &Args) -> Result<bool, String> {
             out.protocol_errors, out.cache_hit_rate
         );
     }
-    Ok(ok)
+    Ok((out, ok))
+}
+
+// ---------------------------------------------------------------------------
+// Churn mode
+// ---------------------------------------------------------------------------
+
+/// Counts `ok`/error responses without parsing (responses are
+/// server-composed, so the `"ok":` token position is structural).
+fn tally(raws: &[String]) -> (u64, u64) {
+    let ok = raws.iter().filter(|r| r.contains("\"ok\":true")).count() as u64;
+    (ok, raws.len() as u64 - ok)
+}
+
+fn churn_phase(
+    label: &str,
+    requests: u64,
+    ok_responses: u64,
+    error_responses: u64,
+    elapsed: f64,
+) -> ChurnPhase {
+    let p = ChurnPhase {
+        phase: label.into(),
+        requests,
+        ok_responses,
+        error_responses,
+        elapsed_seconds: elapsed,
+        throughput_rps: requests as f64 / elapsed.max(1e-9),
+        rss_mb: rss_mb(),
+    };
+    println!(
+        "churn/{label}: {requests} requests in {elapsed:.2}s ({:.0} rps, {} ok / {} err, rss {:.1} MiB)",
+        p.throughput_rps, ok_responses, error_responses, p.rss_mb
+    );
+    p
+}
+
+/// The churn measurement: bounded tables under identity flood, rate
+/// shedding, predictor eviction and deadline expiry — with per-phase RSS
+/// so unbounded growth shows up as a gated number, not an OOM kill.
+fn run_churn() -> Result<(ChurnOutput, bool), String> {
+    banner(
+        "SERVE-CHURN",
+        "short-lived clients, bounded tables, shedding and deadlines",
+    );
+    let distinct = u64::from(env_u32("NESTWX_CHURN_CLIENTS", 1_000_000).max(1));
+    let hammer_total = u64::from(env_u32("NESTWX_CHURN_HAMMER", 200_000).max(1));
+    let cold_total = u64::from(env_u32("NESTWX_CHURN_COLD", 32).clamp(1, 64));
+
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.workers = 2;
+    cfg.rate = 200;
+    cfg.burst = 8;
+    cfg.client_cap = 1024;
+    cfg.predictors = 4;
+    let handle = spawn(cfg).map_err(|e| format!("spawn churn server: {e}"))?;
+    let addr = handle.addr().to_string();
+    println!("server: {addr} (rate=200/s burst=8 client_cap=1024 predictors=4)");
+
+    // One hot scenario every phase reuses; warming it also fits the
+    // predictor so phase timings measure serving, not fitting.
+    let base = &working_set(1)[0];
+    {
+        let mut warm = Client::connect(&addr).map_err(|e| format!("churn warmup: {e}"))?;
+        let resp = warm.call(base).map_err(|e| format!("churn warmup: {e}"))?;
+        if !resp.ok() {
+            return Err(format!("churn warmup rejected: {}", resp.raw));
+        }
+    }
+
+    let mut phases: Vec<ChurnPhase> = Vec::new();
+    let mut all_answered = true;
+
+    // Phase A — identity flood: every request carries a client id the
+    // server has never seen, on short-lived connections (a fresh one per
+    // wave). The rate-limiter table must stay at its cap while millions of
+    // identities stream past, and each fresh identity's first charge must
+    // pass (new buckets start full).
+    let wave = 1024usize;
+    let mut sent = 0u64;
+    let (mut ok_a, mut err_a) = (0u64, 0u64);
+    let t0 = clock::now();
+    let mut batch: Vec<String> = Vec::with_capacity(wave);
+    while sent < distinct {
+        let n = wave.min((distinct - sent) as usize);
+        batch.clear();
+        for j in 0..n {
+            let mut req = base.clone();
+            req.client = Some(format!("cl-{}", sent + j as u64));
+            batch.push(req.to_json_line());
+        }
+        let mut conn = Client::connect(&addr).map_err(|e| format!("churn wave connect: {e}"))?;
+        let raws = conn
+            .call_pipelined(&batch)
+            .map_err(|e| format!("churn wave: {e}"))?;
+        let (o, e) = tally(&raws);
+        ok_a += o;
+        err_a += e;
+        sent += n as u64;
+    }
+    let flood_elapsed = clock::since(t0).as_secs_f64();
+    if err_a > 0 {
+        eprintln!("churn: FAIL — {err_a} fresh identities were refused (buckets must start full)");
+        all_answered = false;
+    }
+    phases.push(churn_phase("flood", sent, ok_a, err_a, flood_elapsed));
+    let flood_rps = phases[0].throughput_rps;
+
+    // Phase A' — predictor churn: more machines than the bounded predictor
+    // map holds, so resolutions keep evicting and re-fitting instead of
+    // growing the map.
+    let machines = [
+        "bgl:64", "bgl:128", "bgl:256", "bgp:64", "bgp:128", "bgl:512",
+    ];
+    let t0 = clock::now();
+    let (mut ok_p, mut err_p) = (0u64, 0u64);
+    {
+        let mut conn = Client::connect(&addr).map_err(|e| format!("churn predict: {e}"))?;
+        for (i, m) in machines.iter().enumerate() {
+            let req = Request::new(
+                Some(format!("pd{i}")),
+                RequestBody::Predict(PredictParams {
+                    machine: (*m).into(),
+                    nests: vec![
+                        NestSpec::new(130, 121, 3, (10, 12)),
+                        NestSpec::new(96, 90, 3, (180, 170)),
+                    ],
+                }),
+            );
+            let resp = conn.call(&req).map_err(|e| format!("churn predict: {e}"))?;
+            if resp.ok() {
+                ok_p += 1;
+            } else {
+                err_p += 1;
+            }
+        }
+    }
+    phases.push(churn_phase(
+        "predictors",
+        machines.len() as u64,
+        ok_p,
+        err_p,
+        clock::since(t0).as_secs_f64(),
+    ));
+    if err_p > 0 {
+        eprintln!("churn: FAIL — {err_p} predict requests rejected during predictor churn");
+        all_answered = false;
+    }
+
+    // Phase B — hammer: four persistent identities pound the hot scenario
+    // far past their refill rate; almost everything must come back as a
+    // typed `rate_limited` error, at full event-loop speed.
+    let t0 = clock::now();
+    let (mut ok_b, mut err_b) = (0u64, 0u64);
+    {
+        let mut conn = Client::connect(&addr).map_err(|e| format!("churn hammer: {e}"))?;
+        let hammer_lines: Vec<String> = (0..4)
+            .map(|i| {
+                let mut req = base.clone();
+                req.client = Some(format!("hammer-{i}"));
+                req.to_json_line()
+            })
+            .collect();
+        let mut sent = 0u64;
+        while sent < hammer_total {
+            let n = wave.min((hammer_total - sent) as usize);
+            batch.clear();
+            for j in 0..n {
+                batch.push(hammer_lines[(sent as usize + j) % hammer_lines.len()].clone());
+            }
+            let raws = conn
+                .call_pipelined(&batch)
+                .map_err(|e| format!("churn hammer: {e}"))?;
+            let (o, e) = tally(&raws);
+            ok_b += o;
+            err_b += e;
+            sent += n as u64;
+        }
+    }
+    phases.push(churn_phase(
+        "hammer",
+        hammer_total,
+        ok_b,
+        err_b,
+        clock::since(t0).as_secs_f64(),
+    ));
+    if err_b == 0 {
+        eprintln!("churn: FAIL — hammer phase was never rate-limited");
+        all_answered = false;
+    }
+
+    // Phase C — cold work under a 1 ms deadline: distinct (uncached)
+    // compare scenarios that the two workers cannot possibly clear in
+    // time. The deadline sweep must answer the backlog with typed
+    // `deadline_exceeded` errors instead of making clients wait.
+    let t0 = clock::now();
+    let (ok_c, err_c);
+    {
+        let mut conn = Client::connect(&addr).map_err(|e| format!("churn cold: {e}"))?;
+        batch.clear();
+        for i in 0..cold_total {
+            let mut req = Request::new(
+                Some(format!("cold{i}")),
+                RequestBody::Compare {
+                    params: ScenarioParams {
+                        machine: "bgl:64".into(),
+                        parent: pacific_parent(),
+                        nests: vec![
+                            NestSpec::new(100 + i as u32, 90 + i as u32, 3, (10, 12)),
+                            NestSpec::new(96, 90, 3, (180, 170)),
+                        ],
+                        strategy: Strategy::Concurrent,
+                        alloc: AllocPolicy::HuffmanSplitTree,
+                        mapping: MappingKind::Partition,
+                        io: None,
+                    },
+                    iterations: 3,
+                },
+            );
+            req.deadline_ms = Some(1);
+            batch.push(req.to_json_line());
+        }
+        let raws = conn
+            .call_pipelined(&batch)
+            .map_err(|e| format!("churn cold: {e}"))?;
+        (ok_c, err_c) = tally(&raws);
+    }
+    phases.push(churn_phase(
+        "cold-deadline",
+        cold_total,
+        ok_c,
+        err_c,
+        clock::since(t0).as_secs_f64(),
+    ));
+    if err_c == 0 {
+        eprintln!("churn: FAIL — no cold request expired under a 1 ms deadline");
+        all_answered = false;
+    }
+
+    // Bounded-table and shed/expiry accounting, straight from the server.
+    let mut ctl = Client::connect(&addr).map_err(|e| format!("churn stats: {e}"))?;
+    let stats = ctl
+        .call(&stats_request())
+        .map_err(|e| format!("churn stats: {e}"))?;
+    let result = stats.result().cloned().unwrap_or(Value::Null);
+    let clients_tracked = u64_at(&result, &["limits", "clients_tracked"]);
+    let rate_evictions = u64_at(&result, &["limits", "rate_evictions"]);
+    let predictor_evictions = u64_at(&result, &["limits", "predictor_evictions"]);
+    let rate_shed = u64_at(&result, &["limits", "rate_shed"]);
+    let deadline_expired = u64_at(&result, &["limits", "deadline_expired"]);
+    if clients_tracked > 1024 {
+        eprintln!("churn: FAIL — client table exceeded its cap ({clients_tracked} > 1024)");
+        all_answered = false;
+    }
+
+    let shut = ctl
+        .call(&shutdown_request())
+        .map_err(|e| format!("churn shutdown: {e}"))?;
+    if !shut.ok() {
+        return Err(format!("churn shutdown rejected: {}", shut.raw));
+    }
+    let report = handle.wait();
+    let drain_clean = report.clean();
+    if !drain_clean {
+        eprintln!("churn: FAIL — unclean drain under shedding: {report:?}");
+        all_answered = false;
+    } else {
+        println!(
+            "drain: clean ({} requests, {} responses, {} expired, {} shed)",
+            report.requests_total,
+            report.responses_total,
+            report.deadline_expired,
+            report.rate_shed
+        );
+    }
+
+    let max_rss = phases.iter().map(|p| p.rss_mb).fold(0.0f64, f64::max);
+    println!(
+        "limits: {clients_tracked} clients tracked, {rate_evictions} bucket evictions, \
+         {predictor_evictions} predictor evictions, {rate_shed} shed, {deadline_expired} expired"
+    );
+    println!("rss: peak {max_rss:.1} MiB across phases");
+    let out = ChurnOutput {
+        distinct_clients: distinct,
+        phases,
+        throughput_rps: flood_rps,
+        max_rss_mb: max_rss,
+        rate_shed,
+        deadline_expired,
+        rate_evictions,
+        predictor_evictions,
+        clients_tracked,
+        drain_clean,
+    };
+    Ok((out, all_answered))
 }
 
 /// The CI smoke workload: a short mixed predict/plan session that must
@@ -424,16 +797,16 @@ fn run_smoke(args: &Args) -> Result<bool, String> {
             let addr = addr.clone();
             std::thread::spawn(move || -> Result<(), String> {
                 let mut c = Client::connect(&addr).map_err(|e| format!("burst {b}: {e}"))?;
-                let req = Request {
-                    id: Some(format!("p{b}")),
-                    body: RequestBody::Predict(PredictParams {
+                let req = Request::new(
+                    Some(format!("p{b}")),
+                    RequestBody::Predict(PredictParams {
                         machine: "bgl:64".into(),
                         nests: vec![
                             NestSpec::new(130, 121, 3, (10, 12)),
                             NestSpec::new(96, 90, 3, (180, 170)),
                         ],
                     }),
-                };
+                );
                 for _ in 0..8 {
                     let resp = c.call(&req).map_err(|e| format!("burst {b} call: {e}"))?;
                     if !resp.ok() {
@@ -451,16 +824,16 @@ fn run_smoke(args: &Args) -> Result<bool, String> {
     println!("predict: 4-client burst completed");
 
     // A compare round-trip.
-    let compare = Request {
-        id: Some("cmp".into()),
-        body: RequestBody::Compare {
+    let compare = Request::new(
+        Some("cmp".into()),
+        RequestBody::Compare {
             params: match &scenarios[0].body {
                 RequestBody::Plan(p) => p.clone(),
                 _ => unreachable!(),
             },
             iterations: 2,
         },
-    };
+    );
     let resp = client.call(&compare).map_err(|e| format!("compare: {e}"))?;
     if !resp.ok() {
         return Err(format!("compare rejected: {}", resp.raw));
@@ -521,16 +894,33 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("bench_serve: {e}");
             eprintln!(
-                "usage: bench_serve [--smoke] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]"
+                "usage: bench_serve [--smoke] [--churn] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]"
             );
             return ExitCode::FAILURE;
         }
     };
-    let run = if args.smoke {
-        run_smoke(&args)
-    } else {
-        run_bench(&args)
-    };
+    if args.smoke {
+        return match run_smoke(&args) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("bench_serve: error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let run = run_bench(&args).and_then(|(mut out, mut ok)| {
+        if args.churn {
+            let (churn, churn_ok) = run_churn()?;
+            out.churn = Some(churn);
+            ok = ok && churn_ok;
+        }
+        let json = serde_json::to_string(&out).map_err(|e| format!("serialize: {e:?}"))?;
+        std::fs::write(&args.out, format!("{json}\n"))
+            .map_err(|e| format!("write {}: {e}", args.out))?;
+        println!("wrote {}", args.out);
+        Ok(ok)
+    });
     match run {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,

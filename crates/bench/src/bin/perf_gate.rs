@@ -21,9 +21,14 @@
 //! The `--serve` mode gates `throughput_rps` from `bench_serve` the same
 //! way, and unconditionally fails on serving-correctness regressions:
 //! `byte_identical: false`, non-zero `protocol_errors`, or a cache hit
-//! rate under 90 % on the hot working set. A *missing baseline file* is
-//! tolerated in `--serve` mode (PASS with a note) so the gate can ship in
-//! the same change that introduces the benchmark.
+//! rate under 90 % on the hot working set. When the current file carries a
+//! `churn` section (client-churn mode of `bench_serve`), the gate also
+//! requires a clean drain, gates churn flood throughput with the same
+//! tolerance, and bounds peak RSS (vs. the baseline's churn RSS, or the
+//! absolute `NESTWX_PERF_MAX_RSS_MB` cap — default 256 — when the baseline
+//! predates churn). A *missing baseline file* is tolerated in `--serve`
+//! mode (PASS with a note) so the gate can ship in the same change that
+//! introduces the benchmark.
 //!
 //! Faster-than-baseline results pass with a note; refresh the committed
 //! baseline by running `bench_netsim` (or `bench_serve`) on a quiet
@@ -111,12 +116,13 @@ fn run_serve(baseline_path: &str, current_path: &str) -> Result<bool, String> {
         println!("serve gate: cache hit rate {:.1}%  PASS", hit_rate * 100.0);
     }
 
-    match load(baseline_path) {
+    let baseline = match load(baseline_path) {
         Err(_) if !std::path::Path::new(baseline_path).exists() => {
             println!(
                 "serve gate: no baseline at {baseline_path} — current {throughput:.0} req/s \
                  PASS (first run; commit {current_path} as the baseline)"
             );
+            None
         }
         Err(e) => return Err(e),
         Ok(baseline) => {
@@ -137,6 +143,95 @@ fn run_serve(baseline_path: &str, current_path: &str) -> Result<bool, String> {
                     }
                 } else {
                     "FAIL (regression beyond tolerance)"
+                }
+            );
+            ok &= pass;
+            Some(baseline)
+        }
+    };
+
+    ok &= gate_churn(&current, baseline.as_ref(), tol)?;
+    Ok(ok)
+}
+
+/// Gates the churn section of a serve bench file when present: drain must
+/// stay clean, flood throughput may not regress past tolerance, and peak
+/// RSS may not grow past tolerance (or an absolute `NESTWX_PERF_MAX_RSS_MB`
+/// cap when the baseline predates churn). Older baselines without a `churn`
+/// section are tolerated so the gate can ship with the benchmark.
+fn gate_churn(current: &Value, baseline: Option<&Value>, tol: f64) -> Result<bool, String> {
+    let Some(churn) = current.get("churn").filter(|c| !c.is_null()) else {
+        println!("serve gate: no churn section in current — skipping churn gate");
+        return Ok(true);
+    };
+    let mut ok = true;
+    let rps = churn
+        .get("throughput_rps")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| "churn section missing throughput_rps".to_string())?;
+    let rss = churn
+        .get("max_rss_mb")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| "churn section missing max_rss_mb".to_string())?;
+    if churn.get("drain_clean").and_then(|v| v.as_bool()) != Some(true) {
+        println!("serve gate: churn drain_clean is not true  FAIL");
+        ok = false;
+    }
+
+    let base_churn = baseline
+        .and_then(|b| b.get("churn"))
+        .filter(|c| !c.is_null());
+    match base_churn
+        .and_then(|c| c.get("throughput_rps"))
+        .and_then(|v| v.as_f64())
+    {
+        Some(base_rps) => {
+            let delta_pct = (rps / base_rps - 1.0) * 100.0;
+            let pass = delta_pct >= -tol;
+            println!(
+                "serve gate: churn baseline {base_rps:.0} req/s, current {rps:.0} req/s \
+                 ({delta_pct:+.1}%)  {}",
+                if pass {
+                    "PASS"
+                } else {
+                    "FAIL (regression beyond tolerance)"
+                }
+            );
+            ok &= pass;
+        }
+        None => println!(
+            "serve gate: baseline has no churn throughput — current {rps:.0} req/s \
+             PASS (refresh the baseline to start gating)"
+        ),
+    }
+    match base_churn
+        .and_then(|c| c.get("max_rss_mb"))
+        .and_then(|v| v.as_f64())
+    {
+        Some(base_rss) if base_rss > 0.0 => {
+            let delta_pct = (rss / base_rss - 1.0) * 100.0;
+            let pass = delta_pct <= tol;
+            println!(
+                "serve gate: churn baseline RSS {base_rss:.1} MiB, current {rss:.1} MiB \
+                 ({delta_pct:+.1}%)  {}",
+                if pass {
+                    "PASS"
+                } else {
+                    "FAIL (memory growth beyond tolerance)"
+                }
+            );
+            ok &= pass;
+        }
+        _ => {
+            let cap = env_f64("NESTWX_PERF_MAX_RSS_MB", 256.0);
+            let pass = rss <= cap;
+            println!(
+                "serve gate: no baseline churn RSS — current {rss:.1} MiB vs absolute cap \
+                 {cap:.0} MiB  {}",
+                if pass {
+                    "PASS"
+                } else {
+                    "FAIL (over NESTWX_PERF_MAX_RSS_MB)"
                 }
             );
             ok &= pass;

@@ -79,6 +79,28 @@ pub struct ServeArgs {
     pub cache: Option<usize>,
     /// Connection cap (`--max-conns`, else `NESTWX_SERVE_MAX_CONNS`).
     pub max_conns: Option<usize>,
+    /// Event-loop reader threads (`--readers`, else `NESTWX_SERVE_READERS`).
+    pub readers: Option<usize>,
+    /// Default request deadline in ms, 0 = none (`--deadline-ms`, else
+    /// `NESTWX_SERVE_DEADLINE_MS`).
+    pub deadline_ms: Option<u64>,
+    /// Per-client rate in tokens/second, 0 = off (`--rate`, else
+    /// `NESTWX_SERVE_RATE`).
+    pub rate: Option<u64>,
+    /// Token-bucket burst capacity (`--burst`, else `NESTWX_SERVE_BURST`).
+    pub burst: Option<u64>,
+    /// Maximum tracked rate-limit clients (`--client-cap`, else
+    /// `NESTWX_SERVE_CLIENT_CAP`).
+    pub client_cap: Option<usize>,
+    /// Maximum cached predictors (`--predictors`, else
+    /// `NESTWX_SERVE_PREDICTORS`).
+    pub predictors: Option<usize>,
+    /// Idle connection cap in ms, 0 = none (`--idle-ms`, else
+    /// `NESTWX_SERVE_IDLE_MS`).
+    pub idle_ms: Option<u64>,
+    /// Connection lifetime cap in ms, 0 = none (`--lifetime-ms`, else
+    /// `NESTWX_SERVE_LIFETIME_MS`).
+    pub lifetime_ms: Option<u64>,
 }
 
 impl ServeArgs {
@@ -96,6 +118,30 @@ impl ServeArgs {
         }
         if let Some(n) = self.max_conns {
             cfg.max_conns = n;
+        }
+        if let Some(n) = self.readers {
+            cfg.readers = n;
+        }
+        if let Some(n) = self.deadline_ms {
+            cfg.deadline_ms = n;
+        }
+        if let Some(n) = self.rate {
+            cfg.rate = n;
+        }
+        if let Some(n) = self.burst {
+            cfg.burst = n;
+        }
+        if let Some(n) = self.client_cap {
+            cfg.client_cap = n;
+        }
+        if let Some(n) = self.predictors {
+            cfg.predictors = n;
+        }
+        if let Some(n) = self.idle_ms {
+            cfg.idle_ms = n;
+        }
+        if let Some(n) = self.lifetime_ms {
+            cfg.lifetime_ms = n;
         }
         cfg
     }
@@ -387,6 +433,14 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseError> {
         queue: None,
         cache: None,
         max_conns: None,
+        readers: None,
+        deadline_ms: None,
+        rate: None,
+        burst: None,
+        client_cap: None,
+        predictors: None,
+        idle_ms: None,
+        lifetime_ms: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -401,6 +455,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseError> {
                 _ => Err(err(format!("{name} must be a positive integer, got '{v}'"))),
             }
         };
+        // Limits where 0 is meaningful: it disables the knob.
+        let nonneg = |name: &str, v: String| -> Result<u64, ParseError> {
+            v.parse::<u64>()
+                .map_err(|_| err(format!("{name} must be a non-negative integer, got '{v}'")))
+        };
         match flag.as_str() {
             "--addr" => serve.addr = value("--addr")?,
             "--workers" => serve.workers = Some(positive("--workers", value("--workers")?)?),
@@ -408,6 +467,22 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseError> {
             "--cache" => serve.cache = Some(positive("--cache", value("--cache")?)?),
             "--max-conns" => {
                 serve.max_conns = Some(positive("--max-conns", value("--max-conns")?)?)
+            }
+            "--readers" => serve.readers = Some(positive("--readers", value("--readers")?)?),
+            "--deadline-ms" => {
+                serve.deadline_ms = Some(nonneg("--deadline-ms", value("--deadline-ms")?)?)
+            }
+            "--rate" => serve.rate = Some(nonneg("--rate", value("--rate")?)?),
+            "--burst" => serve.burst = Some(positive("--burst", value("--burst")?)? as u64),
+            "--client-cap" => {
+                serve.client_cap = Some(positive("--client-cap", value("--client-cap")?)?)
+            }
+            "--predictors" => {
+                serve.predictors = Some(positive("--predictors", value("--predictors")?)?)
+            }
+            "--idle-ms" => serve.idle_ms = Some(nonneg("--idle-ms", value("--idle-ms")?)?),
+            "--lifetime-ms" => {
+                serve.lifetime_ms = Some(nonneg("--lifetime-ms", value("--lifetime-ms")?)?)
             }
             other => return Err(err(format!("unknown serve flag '{other}'"))),
         }
@@ -758,7 +833,9 @@ USAGE:
   nestwx obs top  FILE [--by duration|compute|halo_wait|bytes|messages|hops|stall] [-n N]
   nestwx obs diff A B
   nestwx serve   [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
-                 [--max-conns N]
+                 [--max-conns N] [--readers N] [--deadline-ms MS] [--rate N]
+                 [--burst N] [--client-cap N] [--predictors N] [--idle-ms MS]
+                 [--lifetime-ms MS]
   nestwx lint    [--root DIR] [--allow FILE] [--json] [--fixtures]
 
 FLAGS:
@@ -779,11 +856,16 @@ FLAGS:
 
 SERVE:
   Runs the planning daemon: newline-delimited JSON requests over TCP
-  (predict|plan|compare|stats|shutdown), with plan caching, predict
-  micro-batching and live latency metrics. Unset flags fall back to the
-  NESTWX_SERVE_WORKERS / NESTWX_SERVE_QUEUE / NESTWX_SERVE_CACHE /
-  NESTWX_SERVE_MAX_CONNS environment knobs. The process exits (code 0)
-  after a clean drain once a client sends 'shutdown'.
+  (predict|plan|compare|stats|shutdown), served by a nonblocking
+  event loop with plan caching, predict micro-batching, per-request
+  deadlines, per-client token-bucket rate limits and live latency
+  metrics. Unset flags fall back to the NESTWX_SERVE_WORKERS /
+  NESTWX_SERVE_READERS / NESTWX_SERVE_QUEUE / NESTWX_SERVE_CACHE /
+  NESTWX_SERVE_MAX_CONNS / NESTWX_SERVE_DEADLINE_MS / NESTWX_SERVE_RATE /
+  NESTWX_SERVE_BURST / NESTWX_SERVE_CLIENT_CAP / NESTWX_SERVE_PREDICTORS /
+  NESTWX_SERVE_IDLE_MS / NESTWX_SERVE_LIFETIME_MS environment knobs
+  (deadline/rate/idle/lifetime default 0 = off). The process exits
+  (code 0) after a clean drain once a client sends 'shutdown'.
 
 LINT:
   Repo-specific static analysis: determinism rules (NW-D001..D005 — no
@@ -1004,16 +1086,18 @@ mod tests {
 
     #[test]
     fn parse_serve_commands() {
-        assert_eq!(
-            parse_args(&argv(&["serve"])).unwrap(),
-            Command::Serve(ServeArgs {
-                addr: "127.0.0.1:7878".into(),
-                workers: None,
-                queue: None,
-                cache: None,
-                max_conns: None,
-            })
-        );
+        let Command::Serve(defaults) = parse_args(&argv(&["serve"])).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(defaults.addr, "127.0.0.1:7878");
+        assert_eq!(defaults.workers, None);
+        assert_eq!(defaults.queue, None);
+        assert_eq!(defaults.cache, None);
+        assert_eq!(defaults.max_conns, None);
+        assert_eq!(defaults.readers, None);
+        assert_eq!(defaults.deadline_ms, None);
+        assert_eq!(defaults.rate, None);
+        assert_eq!(defaults.idle_ms, None);
         let Command::Serve(a) = parse_args(&argv(&[
             "serve",
             "--addr",
@@ -1026,6 +1110,22 @@ mod tests {
             "512",
             "--max-conns",
             "16",
+            "--readers",
+            "2",
+            "--deadline-ms",
+            "250",
+            "--rate",
+            "100",
+            "--burst",
+            "20",
+            "--client-cap",
+            "4096",
+            "--predictors",
+            "32",
+            "--idle-ms",
+            "0",
+            "--lifetime-ms",
+            "60000",
         ]))
         .unwrap() else {
             panic!("wrong command")
@@ -1035,14 +1135,33 @@ mod tests {
         assert_eq!(a.queue, Some(32));
         assert_eq!(a.cache, Some(512));
         assert_eq!(a.max_conns, Some(16));
+        assert_eq!(a.readers, Some(2));
+        assert_eq!(a.deadline_ms, Some(250));
+        assert_eq!(a.rate, Some(100));
+        assert_eq!(a.burst, Some(20));
+        assert_eq!(a.client_cap, Some(4096));
+        assert_eq!(a.predictors, Some(32));
+        assert_eq!(a.idle_ms, Some(0));
+        assert_eq!(a.lifetime_ms, Some(60000));
         let cfg = a.to_config();
         assert_eq!(cfg.workers, 8);
         assert_eq!(cfg.queue_depth, 32);
         assert_eq!(cfg.cache_capacity, 512);
         assert_eq!(cfg.max_conns, 16);
+        assert_eq!(cfg.readers, 2);
+        assert_eq!(cfg.deadline_ms, 250);
+        assert_eq!(cfg.rate, 100);
+        assert_eq!(cfg.burst, 20);
+        assert_eq!(cfg.client_cap, 4096);
+        assert_eq!(cfg.predictors, 32);
+        assert_eq!(cfg.idle_ms, 0);
+        assert_eq!(cfg.lifetime_ms, 60000);
         assert!(parse_args(&argv(&["serve", "--workers", "0"])).is_err());
         assert!(parse_args(&argv(&["serve", "--queue"])).is_err());
         assert!(parse_args(&argv(&["serve", "--bogus"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--readers", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--deadline-ms", "-1"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--rate"])).is_err());
     }
 
     #[test]
@@ -1120,6 +1239,14 @@ mod tests {
                     queue: None,
                     cache: None,
                     max_conns: None,
+                    readers: None,
+                    deadline_ms: None,
+                    rate: None,
+                    burst: None,
+                    client_cap: None,
+                    predictors: None,
+                    idle_ms: None,
+                    lifetime_ms: None,
                 }),
                 &mut buf,
             );

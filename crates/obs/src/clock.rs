@@ -23,6 +23,35 @@ pub fn since(start: Instant) -> Duration {
     start.elapsed()
 }
 
+/// A deadline `timeout` from now. The single construction point for
+/// deadlines: code that holds an `Instant` made here can only test it via
+/// [`expired`]/[`remaining`], so every deadline comparison flows through
+/// this shim (enforced by `nestwx lint` rule NW-S005 on the serve crate).
+#[inline]
+pub fn deadline_after(timeout: Duration) -> Instant {
+    now() + timeout
+}
+
+/// True when `deadline` has passed.
+#[inline]
+pub fn expired(deadline: Instant) -> bool {
+    now() >= deadline
+}
+
+/// Time left until `deadline` (zero when already expired).
+#[inline]
+pub fn remaining(deadline: Instant) -> Duration {
+    deadline.saturating_duration_since(now())
+}
+
+/// Microseconds elapsed since `epoch`, saturating. The rate-limiter's
+/// notion of time: buckets refill against this single monotonic scale, so
+/// a virtual-time hook here would steer every refill at once.
+#[inline]
+pub fn micros_since(epoch: Instant) -> u64 {
+    since(epoch).as_micros().min(u64::MAX as u128) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use std::time::Duration;
@@ -33,5 +62,25 @@ mod tests {
         let b = super::now();
         assert!(b >= a);
         assert!(super::since(a) >= Duration::ZERO);
+    }
+
+    #[test]
+    fn deadlines_expire_and_report_remaining() {
+        let past = super::deadline_after(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(super::expired(past));
+        assert_eq!(super::remaining(past), Duration::ZERO);
+        let future = super::deadline_after(Duration::from_secs(3600));
+        assert!(!super::expired(future));
+        assert!(super::remaining(future) > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn micros_since_advances() {
+        let epoch = super::now();
+        let a = super::micros_since(epoch);
+        std::thread::sleep(Duration::from_millis(2));
+        let b = super::micros_since(epoch);
+        assert!(b > a);
     }
 }

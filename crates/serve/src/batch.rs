@@ -1,35 +1,111 @@
-//! Micro-batching of `predict` requests.
+//! Micro-batching of `predict` requests, the reply plumbing between
+//! workers and the event loop, and the bounded predictor map.
 //!
 //! Concurrent predict queries for the *same machine* share one fitted
 //! predictor (the expensive part: 13 profiling simulations + basis
-//! triangulation). A connection thread parks its request here and enqueues
-//! a lightweight tick job; whichever worker pops a tick drains *every*
+//! triangulation). The event loop parks a request here and enqueues a
+//! lightweight tick job; whichever worker pops a tick drains *every*
 //! pending request for that machine and answers them all against a single
 //! predictor resolution. Later ticks that find the batch already drained
 //! are no-ops, so a burst of N concurrent queries costs one predictor
 //! lookup instead of N.
+//!
+//! Workers answer through a [`Reply`]: either a blocking channel (the
+//! in-process [`crate::server`] API) or a [`Completion`] routed back to
+//! the event-loop reader that owns the connection. A `Completion` carries
+//! only connection/sequence numbers and the finished response line —
+//! never a socket — so this module stays free of I/O handles (lint rule
+//! NW-S003 runs on it).
+//!
+//! [`BoundedMap`] is the LRU-evicting store behind the per-machine
+//! predictor cache: a churn of distinct machine specs evicts the stalest
+//! predictor instead of growing without bound.
 
-use crate::protocol::ProtoError;
+use crate::limits::CancelToken;
+use crate::protocol::{response_err_line, response_ok_line, ProtoError};
 use crate::sync::{lock_unpoisoned, AtomicU64, Mutex, Ordering};
 use nestwx_grid::DomainFeatures;
 use std::collections::BTreeMap;
 use std::sync::mpsc::Sender;
 
-/// The result a worker sends back to a parked connection thread: the
-/// rendered result JSON, or a typed error.
+/// The result a worker sends back to a parked caller: the rendered result
+/// JSON, or a typed error.
 pub type Outcome = Result<String, ProtoError>;
+
+/// A finished response headed back to an event-loop reader. Identifies the
+/// connection and pipeline slot by number only; the reader that owns the
+/// socket splices `line` into the connection's in-order response queue.
+pub struct Completion {
+    /// Connection number within the owning reader.
+    pub conn: u64,
+    /// Pipeline sequence number within the connection.
+    pub seq: u64,
+    /// The full response line (no trailing newline).
+    pub line: String,
+    /// Whether the response is a success (`ok:true`).
+    pub ok: bool,
+}
+
+/// Where a worker's answer goes.
+pub enum Reply {
+    /// A blocking in-process caller parked on a channel (receives the raw
+    /// result JSON / typed error and renders its own response line).
+    Chan(Sender<Outcome>),
+    /// An event-loop connection: the worker renders the response line
+    /// (echoing `id`) and posts a [`Completion`] to the owning reader.
+    Conn {
+        /// The owning reader's completion channel.
+        tx: Sender<Completion>,
+        /// Connection number within that reader.
+        conn: u64,
+        /// Pipeline sequence number within the connection.
+        seq: u64,
+        /// Request correlation id to echo.
+        id: Option<String>,
+    },
+}
+
+impl Reply {
+    /// Delivers the outcome. Send failures are ignored: a vanished caller
+    /// (disconnected client, reader already gone) needs no answer.
+    pub fn send(self, outcome: Outcome) {
+        match self {
+            Reply::Chan(tx) => {
+                let _ = tx.send(outcome);
+            }
+            Reply::Conn { tx, conn, seq, id } => {
+                let ok = outcome.is_ok();
+                let line = match &outcome {
+                    Ok(result) => response_ok_line(id.as_deref(), result),
+                    Err(e) => response_err_line(id.as_deref(), e),
+                };
+                let _ = tx.send(Completion {
+                    conn,
+                    seq,
+                    line,
+                    ok,
+                });
+            }
+        }
+    }
+}
 
 /// One parked predict request.
 pub struct Pending {
     /// Unique token, used to cancel (remove) exactly this entry if its
     /// tick could not be enqueued.
     pub token: u64,
+    /// Claim on the right to answer: the draining worker and the deadline
+    /// sweep race on it, and only the winner replies.
+    pub cancel: CancelToken,
     /// Machine spec string from the request (echoed in the result).
     pub machine_spec: String,
     /// Features of the nests to rank.
     pub features: Vec<DomainFeatures>,
+    /// Arrival instant, for endpoint latency metrics.
+    pub started: std::time::Instant,
     /// Where the worker sends the outcome.
-    pub reply: Sender<Outcome>,
+    pub reply: Reply,
 }
 
 /// Parking lot of pending predict requests, grouped by machine identity.
@@ -105,6 +181,95 @@ impl PredictBatcher {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Bounded LRU map
+// ---------------------------------------------------------------------------
+
+struct BoundedSlot<V> {
+    value: V,
+    last_used: u64,
+}
+
+struct BoundedInner<V> {
+    map: BTreeMap<String, BoundedSlot<V>>,
+    /// Monotonic touch counter backing the LRU stamps (not wall time, so
+    /// eviction order is deterministic and loom-checkable).
+    clock: u64,
+}
+
+/// A capacity-bounded map with least-recently-used eviction, keyed by
+/// string. Backs the per-machine predictor cache: inserting past the cap
+/// evicts the stalest entry (deterministic victim — lowest stamp, then map
+/// order), so memory stays O(cap) under a churn of distinct machine specs.
+pub struct BoundedMap<V> {
+    inner: Mutex<BoundedInner<V>>,
+    cap: usize,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> BoundedMap<V> {
+    /// An empty map holding at most `cap` entries (`cap` is clamped to
+    /// at least 1 — a zero-capacity cache would evict its own insert).
+    pub fn new(cap: usize) -> BoundedMap<V> {
+        BoundedMap {
+            inner: Mutex::new(BoundedInner {
+                map: BTreeMap::new(),
+                clock: 0,
+            }),
+            cap: cap.max(1),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the value under `key`, building and inserting it with
+    /// `build` on a miss. The builder runs under the map lock, so
+    /// concurrent callers for the same key share one construction.
+    pub fn get_or_insert_with(&self, key: &str, build: impl FnOnce() -> V) -> V {
+        let mut inner = lock_unpoisoned(&self.inner);
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(slot) = inner.map.get_mut(key) {
+            slot.last_used = stamp;
+            return slot.value.clone();
+        }
+        if inner.map.len() >= self.cap {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let value = build();
+        inner.map.insert(
+            key.to_string(),
+            BoundedSlot {
+                value: value.clone(),
+                last_used: stamp,
+            },
+        );
+        value
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).map.len()
+    }
+
+    /// True when the map holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries evicted by the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
@@ -115,9 +280,11 @@ mod tests {
         (
             Pending {
                 token: b.token(),
+                cancel: CancelToken::new(),
                 machine_spec: "bgl:64".into(),
                 features: vec![DomainFeatures::from_dims(100, 100)],
-                reply: tx,
+                started: nestwx_obs::clock::now(),
+                reply: Reply::Chan(tx),
             },
             rx,
         )
@@ -163,5 +330,62 @@ mod tests {
         b.add("b", p2);
         assert_eq!(b.drain_all().len(), 2);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn reply_conn_renders_response_lines() {
+        let (tx, rx) = channel();
+        Reply::Conn {
+            tx: tx.clone(),
+            conn: 3,
+            seq: 9,
+            id: Some("q1".into()),
+        }
+        .send(Ok("{\"a\":1}".into()));
+        let c = rx.recv().unwrap();
+        assert_eq!((c.conn, c.seq, c.ok), (3, 9, true));
+        assert_eq!(
+            c.line,
+            "{\"v\":1,\"id\":\"q1\",\"ok\":true,\"result\":{\"a\":1}}"
+        );
+        Reply::Conn {
+            tx,
+            conn: 3,
+            seq: 10,
+            id: None,
+        }
+        .send(Err(ProtoError::new(
+            crate::protocol::ErrorKind::DeadlineExceeded,
+            "too late",
+        )));
+        let c = rx.recv().unwrap();
+        assert!(!c.ok);
+        assert!(
+            c.line.contains("\"kind\":\"deadline_exceeded\""),
+            "{}",
+            c.line
+        );
+    }
+
+    #[test]
+    fn bounded_map_caps_and_evicts_lru() {
+        let m: BoundedMap<u32> = BoundedMap::new(2);
+        assert_eq!(m.get_or_insert_with("a", || 1), 1);
+        assert_eq!(m.get_or_insert_with("b", || 2), 2);
+        // Touch "a" so "b" is the LRU victim.
+        assert_eq!(m.get_or_insert_with("a", || 99), 1, "hit, no rebuild");
+        assert_eq!(m.get_or_insert_with("c", || 3), 3);
+        assert_eq!(m.len(), 2, "capacity bound holds");
+        assert_eq!(m.evictions(), 1);
+        assert_eq!(m.get_or_insert_with("b", || 20), 20, "evicted key rebuilds");
+        assert_eq!(m.evictions(), 2, "reinserting b evicts the next victim");
+    }
+
+    #[test]
+    fn bounded_map_zero_capacity_clamps_to_one() {
+        let m: BoundedMap<u32> = BoundedMap::new(0);
+        assert_eq!(m.get_or_insert_with("a", || 1), 1);
+        assert_eq!(m.get_or_insert_with("a", || 9), 1, "own insert survives");
+        assert_eq!(m.len(), 1);
     }
 }

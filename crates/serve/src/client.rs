@@ -70,6 +70,42 @@ impl Client {
         self.read_response()
     }
 
+    /// Sends a whole batch of raw lines in one write, then reads one
+    /// response per line. Responses come back in request order (the
+    /// server fills pipelined slots in-order), so `raws[i]` answers
+    /// `lines[i]` — this is the high-throughput path the benchmark uses.
+    pub fn call_pipelined(&mut self, lines: &[String]) -> io::Result<Vec<String>> {
+        let total: usize = lines.iter().map(|l| l.len() + 1).sum();
+        let mut payload = String::with_capacity(total);
+        for line in lines {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+        self.writer.write_all(payload.as_bytes())?;
+        let mut raws = Vec::with_capacity(lines.len());
+        for _ in lines {
+            raws.push(self.read_raw_response()?);
+        }
+        Ok(raws)
+    }
+
+    /// Reads the next response line verbatim, skipping JSON parsing — the
+    /// byte-identity fast path for [`Client::call_pipelined`].
+    pub fn read_raw_response(&mut self) -> io::Result<String> {
+        loop {
+            match self.reader.next_line()? {
+                Line::Data(raw) => return Ok(raw),
+                Line::Oversized { .. } => continue,
+                Line::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+            }
+        }
+    }
+
     /// Reads the next response line without sending anything (for
     /// pipelined requests).
     pub fn read_response(&mut self) -> io::Result<Response> {

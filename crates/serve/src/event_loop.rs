@@ -1,0 +1,804 @@
+//! The nonblocking readiness loop.
+//!
+//! Each reader thread multiplexes its connections through repeated
+//! *passes* over a poll registry (the connection map) — std-only, no
+//! `epoll` binding, no external deps:
+//!
+//! 1. **accept** — reader 0 owns the nonblocking listener; new
+//!    connections are adopted locally or handed off round-robin to the
+//!    other readers through a channel;
+//! 2. **completions** — worker answers arrive on the reader's completion
+//!    channel and fill their connection's in-order response slot;
+//! 3. **pump** — every connection's socket is drained without blocking
+//!    and complete request lines are processed: a raw-line **hot cache**
+//!    answers repeated cache-hit lines without even parsing JSON,
+//!    `stats`/`shutdown` and plan-cache hits are answered inline, and
+//!    misses become queued jobs carrying a cancellation token and an
+//!    optional deadline;
+//! 4. **deadline sweep** — expired in-flight requests are claimed away
+//!    from the workers and answered `deadline_exceeded` immediately;
+//! 5. **flush & reap** — in-order responses are written as far as each
+//!    socket accepts, and finished/dead/idle/over-lifetime connections
+//!    are dropped.
+//!
+//! An idle reader first spin-yields (cheap when traffic is bursty), then
+//! parks on its completion channel with a short timeout — the one event
+//! source that cannot be polled — so sweeps still run every millisecond
+//! or so.
+//!
+//! Per-client **rate limiting** happens before any work is done for a
+//! request: each parsed request carrying a `client` field is charged an
+//! endpoint-weighted cost (`compare` > `plan` > `predict`; control-plane
+//! ops are free) against that client's token bucket, and a request the
+//! bucket cannot cover is answered `rate_limited` without touching the
+//! cache or the queue.
+
+use crate::batch::{Completion, Outcome, Pending, Reply};
+use crate::conn::Conn;
+use crate::keys;
+use crate::limits::CancelToken;
+use crate::protocol::{
+    parse_machine, response_err_line, response_ok_line, Endpoint, ErrorKind, Line, ProtoError,
+    Request, RequestBody, MAX_LINE_BYTES,
+};
+use crate::queue::PushError;
+use crate::server::{deadline_exceeded, internal, render_stats, shutting_down, Job, ServerState};
+use crate::sync::Ordering;
+use nestwx_grid::DomainFeatures;
+use nestwx_obs::clock;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Raw-line hot cache entries per reader; the map is cleared (not
+/// LRU-scanned) when full — repopulation from the plan cache is one
+/// request per line.
+const HOT_CACHE_CAP: usize = 8192;
+
+/// Empty passes before an idle reader stops yield-spinning and parks.
+const SPIN_PASSES: u32 = 64;
+
+/// Park timeout — bounds deadline/idle sweep latency while idle.
+const PARK: Duration = Duration::from_millis(1);
+
+/// The channel pair wiring one reader into the server: workers send
+/// [`Completion`]s to `completions_tx`; reader 0 hands accepted sockets
+/// to `handoff_tx`. The receivers are `Option` so `spawn` can move them
+/// into the reader thread while keeping the senders cloneable.
+pub(crate) struct ReaderChannels {
+    pub(crate) completions_tx: Sender<Completion>,
+    pub(crate) completions_rx: Option<Receiver<Completion>>,
+    pub(crate) handoff_tx: Sender<TcpStream>,
+    pub(crate) handoff_rx: Option<Receiver<TcpStream>>,
+}
+
+/// One hot-cache entry: everything needed to answer a previously-seen
+/// request line without parsing it, while still charging the rate
+/// limiter and counting the plan-cache hit.
+struct HotEntry {
+    key: String,
+    digest: u64,
+    response: String,
+    endpoint: Endpoint,
+    client: Option<String>,
+    cost: u64,
+    id: Option<String>,
+}
+
+/// One in-flight request with a deadline, swept each pass.
+struct DeadlineEntry {
+    at: Instant,
+    cancel: CancelToken,
+    id: Option<String>,
+    endpoint: Endpoint,
+    started: Instant,
+}
+
+/// Token-bucket cost of one request, by endpoint — weighted fairness: a
+/// simulation-backed `compare` spends four times what a `predict` does,
+/// and the control plane (`stats`/`shutdown`) is never shed.
+fn endpoint_cost(e: Endpoint) -> u64 {
+    match e {
+        Endpoint::Predict => 1,
+        Endpoint::Plan => 2,
+        Endpoint::Compare => 4,
+        Endpoint::Stats | Endpoint::Shutdown => 0,
+    }
+}
+
+fn overloaded() -> ProtoError {
+    ProtoError::new(ErrorKind::Overloaded, "request queue full, retry later")
+}
+
+fn rate_limited() -> ProtoError {
+    ProtoError::new(
+        ErrorKind::RateLimited,
+        "client token bucket empty, retry later",
+    )
+}
+
+/// Runs one reader until shutdown completes. `listener` is `Some` only
+/// for reader 0; `handoffs` holds every reader's handoff sender (again
+/// only on reader 0), indexed by reader.
+pub(crate) fn run_reader(
+    state: Arc<ServerState>,
+    idx: usize,
+    listener: Option<TcpListener>,
+    handoffs: Vec<Sender<TcpStream>>,
+    handoff_rx: Receiver<TcpStream>,
+    completions_tx: Sender<Completion>,
+    completions_rx: Receiver<Completion>,
+) {
+    let idle = Duration::from_millis(state.cfg.idle_ms);
+    let lifetime = Duration::from_millis(state.cfg.lifetime_ms);
+    let default_deadline =
+        (state.cfg.deadline_ms > 0).then(|| Duration::from_millis(state.cfg.deadline_ms));
+    let rate_on = state.cfg.rate > 0;
+    let mut reader = ReaderLoop {
+        state,
+        idx,
+        listener,
+        handoffs,
+        handoff_rx,
+        completions_tx,
+        completions_rx,
+        conns: BTreeMap::new(),
+        next_conn: 0,
+        rr: 0,
+        hot: BTreeMap::new(),
+        deadlines: BTreeMap::new(),
+        inflight: 0,
+        idle,
+        lifetime,
+        default_deadline,
+        rate_on,
+    };
+    reader.run();
+}
+
+struct ReaderLoop {
+    state: Arc<ServerState>,
+    idx: usize,
+    listener: Option<TcpListener>,
+    handoffs: Vec<Sender<TcpStream>>,
+    handoff_rx: Receiver<TcpStream>,
+    completions_tx: Sender<Completion>,
+    completions_rx: Receiver<Completion>,
+    conns: BTreeMap<u64, Conn<TcpStream>>,
+    next_conn: u64,
+    rr: usize,
+    hot: BTreeMap<String, HotEntry>,
+    deadlines: BTreeMap<(u64, u64), DeadlineEntry>,
+    /// Jobs submitted whose completions have not yet arrived (deadline
+    /// sweeps that win the claim race count as the completion).
+    inflight: u64,
+    idle: Duration,
+    lifetime: Duration,
+    default_deadline: Option<Duration>,
+    rate_on: bool,
+}
+
+impl ReaderLoop {
+    fn run(&mut self) {
+        let mut spin: u32 = 0;
+        loop {
+            let now = clock::now();
+            let mut events = 0usize;
+            events += self.accept(now);
+            events += self.adopt_handoffs(now);
+            events += self.drain_completions();
+            events += self.pump_conns(now);
+            self.sweep_deadlines(now);
+            events += self.flush_and_reap(now);
+            if self.state.is_shutdown() && self.conns.is_empty() && self.inflight == 0 {
+                // Sockets still parked in the handoff channel were counted
+                // live at accept; close them out before exiting.
+                while let Ok(s) = self.handoff_rx.try_recv() {
+                    drop(s);
+                    self.state.live_conns.fetch_sub(1, Ordering::Relaxed);
+                }
+                break;
+            }
+            if events > 0 {
+                spin = 0;
+                continue;
+            }
+            spin = spin.saturating_add(1);
+            if spin < SPIN_PASSES {
+                std::thread::yield_now();
+                continue;
+            }
+            // Park on the completion channel — the only wake source that
+            // polling cannot observe for free — with a timeout short
+            // enough to keep deadline/idle sweeps timely.
+            if let Ok(c) = self.completions_rx.recv_timeout(PARK) {
+                self.apply_completion(c);
+                spin = 0;
+            }
+        }
+    }
+
+    // -- accept & handoff ---------------------------------------------------
+
+    fn accept(&mut self, now: Instant) -> usize {
+        if self.listener.is_none() {
+            return 0;
+        }
+        let mut n = 0;
+        // Not a `while let`: the listener borrow must end before the body
+        // calls `adopt(&mut self)`.
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let accepted = match &self.listener {
+                Some(l) => l.accept(),
+                None => break,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    n += 1;
+                    if self.state.is_shutdown() {
+                        continue;
+                    }
+                    let _ = stream.set_nonblocking(true);
+                    if self.state.live_conns.load(Ordering::Relaxed) >= self.state.cfg.max_conns {
+                        self.state
+                            .metrics
+                            .rejected_conns
+                            .fetch_add(1, Ordering::Relaxed);
+                        // Best effort: one overloaded line, then close.
+                        let e = ProtoError::new(ErrorKind::Overloaded, "connection limit reached");
+                        let mut s = stream;
+                        let _ = s.write((response_err_line(None, &e) + "\n").as_bytes());
+                        continue;
+                    }
+                    self.state
+                        .metrics
+                        .accepted_conns
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.state.live_conns.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_nodelay(true);
+                    let route = if self.handoffs.len() > 1 {
+                        self.rr % self.handoffs.len()
+                    } else {
+                        self.idx
+                    };
+                    self.rr = self.rr.wrapping_add(1);
+                    if route == self.idx {
+                        self.adopt(stream, now);
+                    } else {
+                        match self.handoffs[route].send(stream) {
+                            Ok(()) => {}
+                            // A reader that died can't adopt — keep the
+                            // connection here rather than dropping it.
+                            Err(back) => self.adopt(back.0, now),
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        n
+    }
+
+    fn adopt(&mut self, stream: TcpStream, now: Instant) {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        self.conns.insert(
+            id,
+            Conn::new(stream, id, MAX_LINE_BYTES, now, self.idle, self.lifetime),
+        );
+    }
+
+    fn adopt_handoffs(&mut self, now: Instant) -> usize {
+        let mut n = 0;
+        while let Ok(stream) = self.handoff_rx.try_recv() {
+            self.adopt(stream, now);
+            n += 1;
+        }
+        n
+    }
+
+    // -- completions --------------------------------------------------------
+
+    fn drain_completions(&mut self) -> usize {
+        let mut n = 0;
+        while let Ok(c) = self.completions_rx.try_recv() {
+            self.apply_completion(c);
+            n += 1;
+        }
+        n
+    }
+
+    fn apply_completion(&mut self, c: Completion) {
+        self.inflight = self.inflight.saturating_sub(1);
+        self.deadlines.remove(&(c.conn, c.seq));
+        // Counted whether or not the connection is still here: the
+        // response was generated; delivery to a vanished client is not
+        // owed (matches requests_total for a clean drain).
+        self.state
+            .metrics
+            .responses_total
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(conn) = self.conns.get_mut(&c.conn) {
+            conn.fill_slot(c.seq, c.line);
+        }
+    }
+
+    // -- request processing -------------------------------------------------
+
+    fn pump_conns(&mut self, now: Instant) -> usize {
+        let mut events = 0;
+        let now_us = if self.rate_on {
+            clock::micros_since(self.state.epoch)
+        } else {
+            0
+        };
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let Some(mut conn) = self.conns.remove(&id) else {
+                continue;
+            };
+            if conn.fill(now) {
+                events += 1;
+            }
+            while let Some(line) = conn.next_line() {
+                events += 1;
+                match line {
+                    Line::Eof => break,
+                    Line::Oversized { discarded } => self.answer_oversized(&mut conn, discarded),
+                    Line::Data(text) => {
+                        if text.trim().is_empty() {
+                            continue;
+                        }
+                        self.handle_line(&mut conn, text, now, now_us);
+                    }
+                }
+            }
+            self.conns.insert(id, conn);
+        }
+        events
+    }
+
+    fn answer_oversized(&mut self, conn: &mut Conn<TcpStream>, discarded: usize) {
+        let m = &self.state.metrics;
+        m.requests_total.fetch_add(1, Ordering::Relaxed);
+        m.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let e = ProtoError::new(
+            ErrorKind::Oversized,
+            format!("line exceeds {MAX_LINE_BYTES} bytes ({discarded} discarded)"),
+        );
+        conn.push_done(response_err_line(None, &e));
+        m.responses_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends one inline response in request order and records it.
+    fn respond_inline(
+        &self,
+        conn: &mut Conn<TcpStream>,
+        id: Option<&str>,
+        endpoint: Endpoint,
+        started: Instant,
+        outcome: &Outcome,
+    ) {
+        let line = self.render_response(id, endpoint, started, outcome);
+        conn.push_done(line);
+        self.state
+            .metrics
+            .responses_total
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fills an already-reserved slot with an inline error (queue-push
+    /// failures after the slot was reserved).
+    fn respond_slot(
+        &self,
+        conn: &mut Conn<TcpStream>,
+        seq: u64,
+        id: Option<&str>,
+        endpoint: Endpoint,
+        started: Instant,
+        outcome: &Outcome,
+    ) {
+        let line = self.render_response(id, endpoint, started, outcome);
+        conn.fill_slot(seq, line);
+        self.state
+            .metrics
+            .responses_total
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn render_response(
+        &self,
+        id: Option<&str>,
+        endpoint: Endpoint,
+        started: Instant,
+        outcome: &Outcome,
+    ) -> String {
+        self.state
+            .metrics
+            .endpoint(endpoint)
+            .record(clock::since(started), outcome.is_ok());
+        match outcome {
+            Ok(result) => response_ok_line(id, result),
+            Err(e) => {
+                if matches!(
+                    e.kind,
+                    ErrorKind::BadRequest | ErrorKind::UnsupportedVersion
+                ) {
+                    self.state
+                        .metrics
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                response_err_line(id, e)
+            }
+        }
+    }
+
+    fn handle_line(&mut self, conn: &mut Conn<TcpStream>, line: String, now: Instant, now_us: u64) {
+        self.state
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        // Hot path: a raw line seen before whose answer comes from the
+        // plan cache — charge the limiter, count the cache hit, splice
+        // the precomposed response; no JSON touched.
+        let mut charged = false;
+        if let Some(entry) = self.hot.get(&line) {
+            if self.rate_on {
+                if let Some(client) = &entry.client {
+                    if !self.state.limiter.try_charge(client, entry.cost, now_us) {
+                        self.state.metrics.rate_shed.fetch_add(1, Ordering::Relaxed);
+                        let shed = Err(rate_limited());
+                        let id = entry.id.clone();
+                        self.respond_inline(conn, id.as_deref(), entry.endpoint, now, &shed);
+                        return;
+                    }
+                    charged = true;
+                }
+            }
+            if self.state.cache.get(&entry.key, entry.digest).is_some() {
+                self.state
+                    .metrics
+                    .endpoint(entry.endpoint)
+                    .record(clock::since(now), true);
+                conn.push_done(entry.response.clone());
+                self.state
+                    .metrics
+                    .responses_total
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // The cached plan was evicted since this entry was made: drop
+            // it and take the slow path (already charged above).
+            self.hot.remove(&line);
+        }
+        // Slow path: parse, limit, dispatch.
+        let req = match Request::parse_line(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                let m = &self.state.metrics;
+                m.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.push_done(response_err_line(None, &e));
+                m.responses_total.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let endpoint = req.endpoint();
+        if self.rate_on && !charged {
+            if let Some(client) = &req.client {
+                let cost = endpoint_cost(endpoint);
+                if cost > 0 && !self.state.limiter.try_charge(client, cost, now_us) {
+                    self.state.metrics.rate_shed.fetch_add(1, Ordering::Relaxed);
+                    self.respond_inline(
+                        conn,
+                        req.id.as_deref(),
+                        endpoint,
+                        now,
+                        &Err(rate_limited()),
+                    );
+                    return;
+                }
+            }
+        }
+        match &req.body {
+            RequestBody::Stats => {
+                let outcome = render_stats(&self.state);
+                self.respond_inline(conn, req.id.as_deref(), endpoint, now, &outcome);
+            }
+            RequestBody::Shutdown => {
+                self.state.trigger_shutdown();
+                let outcome = Ok("{\"draining\":true}".to_string());
+                self.respond_inline(conn, req.id.as_deref(), endpoint, now, &outcome);
+            }
+            RequestBody::Plan(p) => self.submit_scenario(conn, &req, p.clone(), None, line, now),
+            RequestBody::Compare { params, iterations } => {
+                self.submit_scenario(conn, &req, params.clone(), Some(*iterations), line, now)
+            }
+            RequestBody::Predict(p) => {
+                let p = p.clone();
+                self.submit_predict(conn, &req, p, now)
+            }
+        }
+    }
+
+    fn deadline_for(&self, req: &Request, now: Instant) -> Option<Instant> {
+        match req.deadline_ms {
+            Some(ms) => Some(now + Duration::from_millis(ms)),
+            None => self.default_deadline.map(|d| now + d),
+        }
+    }
+
+    fn submit_scenario(
+        &mut self,
+        conn: &mut Conn<TcpStream>,
+        req: &Request,
+        params: crate::protocol::ScenarioParams,
+        iterations: Option<u32>,
+        raw_line: String,
+        now: Instant,
+    ) {
+        let endpoint = req.endpoint();
+        let scenario = match params.to_scenario() {
+            Ok(s) => s,
+            Err(e) => {
+                self.respond_inline(conn, req.id.as_deref(), endpoint, now, &Err(e));
+                return;
+            }
+        };
+        let key = match iterations {
+            None => keys::plan_key(&scenario),
+            Some(n) => keys::compare_key(&scenario, n),
+        };
+        let digest = keys::key_digest(&key);
+        // Hits are answered on the reader — they never occupy queue
+        // capacity, which is what keeps a hot working set fast even while
+        // the workers grind cold scenarios.
+        if let Some(hit) = self.state.cache.get(&key, digest) {
+            self.state
+                .metrics
+                .endpoint(endpoint)
+                .record(clock::since(now), true);
+            let response = response_ok_line(req.id.as_deref(), &hit);
+            if self.hot.len() >= HOT_CACHE_CAP {
+                self.hot.clear();
+            }
+            self.hot.insert(
+                raw_line,
+                HotEntry {
+                    key,
+                    digest,
+                    response: response.clone(),
+                    endpoint,
+                    client: req.client.clone(),
+                    cost: endpoint_cost(endpoint),
+                    id: req.id.clone(),
+                },
+            );
+            conn.push_done(response);
+            self.state
+                .metrics
+                .responses_total
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if self.state.is_shutdown() {
+            self.respond_inline(
+                conn,
+                req.id.as_deref(),
+                endpoint,
+                now,
+                &Err(shutting_down()),
+            );
+            return;
+        }
+        let deadline = self.deadline_for(req, now);
+        let cancel = CancelToken::new();
+        let seq = conn.reserve_slot();
+        let reply = Reply::Conn {
+            tx: self.completions_tx.clone(),
+            conn: conn.id,
+            seq,
+            id: req.id.clone(),
+        };
+        let job = match iterations {
+            None => Job::Plan {
+                scenario,
+                key,
+                digest,
+                cancel: cancel.clone(),
+                deadline,
+                started: now,
+                reply,
+            },
+            Some(n) => Job::Compare {
+                scenario,
+                iterations: n,
+                key,
+                digest,
+                cancel: cancel.clone(),
+                deadline,
+                started: now,
+                reply,
+            },
+        };
+        match self.state.queue.push(job) {
+            Ok(()) => self.track(conn.id, seq, cancel, req, endpoint, deadline, now),
+            Err(PushError::Full) => self.respond_slot(
+                conn,
+                seq,
+                req.id.as_deref(),
+                endpoint,
+                now,
+                &Err(overloaded()),
+            ),
+            Err(PushError::Closed) => self.respond_slot(
+                conn,
+                seq,
+                req.id.as_deref(),
+                endpoint,
+                now,
+                &Err(shutting_down()),
+            ),
+        }
+    }
+
+    fn submit_predict(
+        &mut self,
+        conn: &mut Conn<TcpStream>,
+        req: &Request,
+        params: crate::protocol::PredictParams,
+        now: Instant,
+    ) {
+        let endpoint = Endpoint::Predict;
+        let machine = match parse_machine(&params.machine) {
+            Ok(m) => m,
+            Err(msg) => {
+                let e = ProtoError::bad_request(msg);
+                self.respond_inline(conn, req.id.as_deref(), endpoint, now, &Err(e));
+                return;
+            }
+        };
+        let machine_key = match serde_json::to_string(&machine) {
+            Ok(k) => k,
+            Err(e) => {
+                let e = internal(format!("machine key: {e:?}"));
+                self.respond_inline(conn, req.id.as_deref(), endpoint, now, &Err(e));
+                return;
+            }
+        };
+        if self.state.is_shutdown() {
+            self.respond_inline(
+                conn,
+                req.id.as_deref(),
+                endpoint,
+                now,
+                &Err(shutting_down()),
+            );
+            return;
+        }
+        let features: Vec<DomainFeatures> = params.nests.iter().map(DomainFeatures::from).collect();
+        let deadline = self.deadline_for(req, now);
+        let cancel = CancelToken::new();
+        let seq = conn.reserve_slot();
+        let token = self.state.batcher.token();
+        self.state.batcher.add(
+            &machine_key,
+            Pending {
+                token,
+                cancel: cancel.clone(),
+                machine_spec: params.machine.clone(),
+                features,
+                started: now,
+                reply: Reply::Conn {
+                    tx: self.completions_tx.clone(),
+                    conn: conn.id,
+                    seq,
+                    id: req.id.clone(),
+                },
+            },
+        );
+        match self.state.queue.push(Job::PredictTick {
+            machine_key: machine_key.clone(),
+        }) {
+            Ok(()) => self.track(conn.id, seq, cancel, req, endpoint, deadline, now),
+            Err(push_err) => {
+                if self.state.batcher.cancel(&machine_key, token) {
+                    let e = match push_err {
+                        PushError::Full => overloaded(),
+                        PushError::Closed => shutting_down(),
+                    };
+                    self.respond_slot(conn, seq, req.id.as_deref(), endpoint, now, &Err(e));
+                } else {
+                    // A concurrent tick already took our pending request —
+                    // its completion is on the way.
+                    self.track(conn.id, seq, cancel, req, endpoint, deadline, now);
+                }
+            }
+        }
+    }
+
+    /// Books a successfully submitted job: one more in-flight completion,
+    /// plus a deadline registry entry when the request has one.
+    #[allow(clippy::too_many_arguments)]
+    fn track(
+        &mut self,
+        conn_id: u64,
+        seq: u64,
+        cancel: CancelToken,
+        req: &Request,
+        endpoint: Endpoint,
+        deadline: Option<Instant>,
+        started: Instant,
+    ) {
+        self.inflight += 1;
+        if let Some(at) = deadline {
+            self.deadlines.insert(
+                (conn_id, seq),
+                DeadlineEntry {
+                    at,
+                    cancel,
+                    id: req.id.clone(),
+                    endpoint,
+                    started,
+                },
+            );
+        }
+    }
+
+    // -- sweeps -------------------------------------------------------------
+
+    fn sweep_deadlines(&mut self, now: Instant) {
+        if self.deadlines.is_empty() {
+            return;
+        }
+        let expired: Vec<(u64, u64)> = self
+            .deadlines
+            .iter()
+            .filter(|(_, e)| now >= e.at)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in expired {
+            let Some(entry) = self.deadlines.remove(&key) else {
+                continue;
+            };
+            if !entry.cancel.claim() {
+                // A worker won the race — its completion is in flight.
+                continue;
+            }
+            self.inflight = self.inflight.saturating_sub(1);
+            let m = &self.state.metrics;
+            m.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            m.endpoint(entry.endpoint)
+                .record(clock::since(entry.started), false);
+            m.responses_total.fetch_add(1, Ordering::Relaxed);
+            let line = response_err_line(entry.id.as_deref(), &deadline_exceeded());
+            if let Some(conn) = self.conns.get_mut(&key.0) {
+                conn.fill_slot(key.1, line);
+            }
+        }
+    }
+
+    fn flush_and_reap(&mut self, now: Instant) -> usize {
+        let mut events = 0;
+        let shutting = self.state.is_shutdown();
+        let mut gone: Vec<u64> = Vec::new();
+        for (id, conn) in self.conns.iter_mut() {
+            events += conn.flush(now);
+            if conn.gone(now).is_some() || (shutting && conn.output_drained()) {
+                gone.push(*id);
+            }
+        }
+        for id in gone {
+            self.conns.remove(&id);
+            self.state.live_conns.fetch_sub(1, Ordering::Relaxed);
+            events += 1;
+        }
+        events
+    }
+}

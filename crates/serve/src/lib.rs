@@ -1,17 +1,25 @@
 //! `nestwx-serve` — a concurrent planning service.
 //!
-//! Turns the planner into a long-running daemon: a std-only multi-threaded
+//! Turns the planner into a long-running daemon: a std-only event-driven
 //! TCP server speaking a versioned newline-delimited JSON protocol
 //! ([`protocol`]), with
 //!
+//! - a **nonblocking readiness loop** (`event_loop`) multiplexing
+//!   thousands of connections onto a small reader set — no thread per
+//!   connection, no external poll crate ([`conn`]);
 //! - a **bounded job queue** and worker pool — overload produces a typed
 //!   `overloaded` error immediately instead of unbounded buffering
 //!   ([`server`]);
 //! - a **sharded LRU plan cache** keyed by the canonical scenario encoding
 //!   from `nestwx-core`, serving byte-identical results on hits
-//!   ([`cache`]);
+//!   ([`cache`]), fronted per-reader by a raw-line hot cache that answers
+//!   repeated hit lines without parsing JSON;
+//! - **per-request deadlines** with exactly-once cancellation and
+//!   **per-client token-bucket rate limits** with weighted endpoint costs
+//!   ([`limits`]);
 //! - **micro-batching** of concurrent `predict` requests that share a
-//!   machine, so a burst amortizes one predictor resolution ([`batch`]);
+//!   machine, so a burst amortizes one predictor resolution ([`batch`]),
+//!   with the resolved predictors held in a bounded LRU map;
 //! - per-endpoint latency histograms (`nestwx-obs` [`nestwx_obs::LogHistogram`])
 //!   behind a `stats` endpoint, and graceful drain-then-exit shutdown with
 //!   a [`DrainReport`] that proves nothing leaked ([`metrics`], [`server`]).
@@ -22,7 +30,7 @@
 //! let handle = spawn(ServeConfig::default()).unwrap();
 //! let mut client = Client::connect(handle.addr()).unwrap();
 //! let resp = client
-//!     .call(&Request { id: Some("1".into()), body: RequestBody::Stats })
+//!     .call(&Request::new(Some("1".into()), RequestBody::Stats))
 //!     .unwrap();
 //! assert!(resp.ok());
 //! handle.shutdown();
@@ -34,18 +42,23 @@
 pub mod batch;
 pub mod cache;
 pub mod client;
+pub mod conn;
+pub(crate) mod event_loop;
 pub mod keys;
+pub mod limits;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod sync;
 
-pub use batch::{Outcome, Pending, PredictBatcher};
+pub use batch::{BoundedMap, Completion, Outcome, Pending, PredictBatcher, Reply};
 pub use cache::{CacheStats, PlanCache};
 pub use client::{Client, Response};
+pub use conn::{Conn, Gone};
 pub use keys::PLAN_FORMAT_VERSION;
-pub use metrics::{EndpointStats, Metrics, QueueStats, StatsSnapshot};
+pub use limits::{CancelToken, RateLimiter, MICRO};
+pub use metrics::{EndpointStats, LimitGauges, LimitStats, Metrics, QueueStats, StatsSnapshot};
 pub use protocol::{
     parse_machine, Endpoint, ErrorKind, Line, LineReader, PredictParams, ProtoError, Request,
     RequestBody, ScenarioParams, MAX_LINE_BYTES, PROTOCOL_VERSION,

@@ -60,6 +60,10 @@ pub struct Metrics {
     pub batched_requests: AtomicU64,
     /// Largest batch so far.
     pub max_batch: AtomicU64,
+    /// Requests answered `deadline_exceeded` before a worker served them.
+    pub deadline_expired: AtomicU64,
+    /// Requests answered `rate_limited` by the per-client token bucket.
+    pub rate_shed: AtomicU64,
     predict: EndpointMetrics,
     plan: EndpointMetrics,
     compare: EndpointMetrics,
@@ -88,8 +92,14 @@ impl Metrics {
     }
 
     /// Builds the full `stats` result (queue/cache/conn figures are owned
-    /// by other components and passed in).
-    pub fn snapshot(&self, queue: QueueStats, cache: CacheStats, live_conns: u64) -> StatsSnapshot {
+    /// by other components and passed in, as are the limit gauges).
+    pub fn snapshot(
+        &self,
+        queue: QueueStats,
+        cache: CacheStats,
+        live_conns: u64,
+        gauges: LimitGauges,
+    ) -> StatsSnapshot {
         StatsSnapshot {
             server: ServerStats {
                 accepted_conns: self.accepted_conns.load(Ordering::Relaxed),
@@ -106,6 +116,14 @@ impl Metrics {
                 batched_requests: self.batched_requests.load(Ordering::Relaxed),
                 max_batch: self.max_batch.load(Ordering::Relaxed),
             },
+            limits: LimitStats {
+                deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+                rate_shed: self.rate_shed.load(Ordering::Relaxed),
+                clients_tracked: gauges.clients_tracked,
+                rate_evictions: gauges.rate_evictions,
+                predictors_cached: gauges.predictors_cached,
+                predictor_evictions: gauges.predictor_evictions,
+            },
             endpoints: EndpointsStats {
                 predict: self.predict.snapshot(),
                 plan: self.plan.snapshot(),
@@ -115,6 +133,37 @@ impl Metrics {
             },
         }
     }
+}
+
+/// Point-in-time gauges owned by the limiter and the predictor map,
+/// passed into [`Metrics::snapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LimitGauges {
+    /// Clients with a live token bucket.
+    pub clients_tracked: u64,
+    /// Token buckets evicted by the client-table cap.
+    pub rate_evictions: u64,
+    /// Predictors resident in the bounded map.
+    pub predictors_cached: u64,
+    /// Predictors evicted by the map's cap.
+    pub predictor_evictions: u64,
+}
+
+/// Production-limit figures in the `stats` result.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LimitStats {
+    /// Requests answered `deadline_exceeded`.
+    pub deadline_expired: u64,
+    /// Requests answered `rate_limited`.
+    pub rate_shed: u64,
+    /// Clients with a live token bucket.
+    pub clients_tracked: u64,
+    /// Token buckets evicted by the client-table cap.
+    pub rate_evictions: u64,
+    /// Predictors resident in the bounded map.
+    pub predictors_cached: u64,
+    /// Predictors evicted by the map's cap.
+    pub predictor_evictions: u64,
 }
 
 /// One endpoint's row in the `stats` result.
@@ -198,6 +247,8 @@ pub struct StatsSnapshot {
     pub cache: CacheStats,
     /// Predict-batching figures.
     pub batch: BatchStats,
+    /// Deadline/rate-limit/bounded-map figures.
+    pub limits: LimitStats,
     /// Per-endpoint counters and latency.
     pub endpoints: EndpointsStats,
 }
@@ -232,6 +283,7 @@ mod tests {
                 hit_rate: 0.0,
             },
             0,
+            LimitGauges::default(),
         );
         assert_eq!(snap.endpoints.plan.requests, 2);
         assert_eq!(snap.endpoints.plan.errors, 1);
@@ -255,6 +307,8 @@ mod tests {
     #[test]
     fn snapshot_serializes() {
         let m = Metrics::default();
+        m.deadline_expired.fetch_add(3, Ordering::Relaxed);
+        m.rate_shed.fetch_add(4, Ordering::Relaxed);
         let snap = m.snapshot(
             QueueStats {
                 capacity: 4,
@@ -272,6 +326,12 @@ mod tests {
                 hit_rate: 5.0 / 9.0,
             },
             2,
+            LimitGauges {
+                clients_tracked: 7,
+                rate_evictions: 1,
+                predictors_cached: 2,
+                predictor_evictions: 0,
+            },
         );
         let json = serde_json::to_string(&snap).unwrap();
         let v = serde_json::from_str(&json).unwrap();
@@ -279,5 +339,9 @@ mod tests {
         assert_eq!(v["cache"]["hits"].as_u64(), Some(5));
         assert_eq!(v["server"]["live_conns"].as_u64(), Some(2));
         assert_eq!(v["endpoints"]["plan"]["latency"]["count"].as_u64(), Some(0));
+        assert_eq!(v["limits"]["deadline_expired"].as_u64(), Some(3));
+        assert_eq!(v["limits"]["rate_shed"].as_u64(), Some(4));
+        assert_eq!(v["limits"]["clients_tracked"].as_u64(), Some(7));
+        assert_eq!(v["limits"]["predictors_cached"].as_u64(), Some(2));
     }
 }

@@ -19,9 +19,16 @@
 //! the excess (the reader discards until the next newline).
 //!
 //! Error kinds are a closed set ([`ErrorKind`]); `overloaded` (bounded
-//! request queue full) and `shutting_down` (drain in progress) are the
+//! request queue full), `rate_limited` (per-client token bucket empty),
+//! `deadline_exceeded` (the request's deadline passed before a worker
+//! reached it) and `shutting_down` (drain in progress) are the
 //! backpressure signals — clients should retry elsewhere/later, never
 //! queue unboundedly on the server.
+//!
+//! Two optional request fields drive those semantics: `client` (a caller
+//! identity string the per-client rate limiter keys on; requests without
+//! one are exempt) and `deadline_ms` (a per-request deadline in
+//! milliseconds from arrival, overriding the server default).
 
 use nestwx_core::{AllocPolicy, MappingKind, Scenario, Strategy};
 use nestwx_grid::{Domain, NestSpec};
@@ -92,6 +99,10 @@ pub enum ErrorKind {
     BadRequest,
     /// The bounded request queue is full — retry later.
     Overloaded,
+    /// The request's deadline passed before a worker reached it.
+    DeadlineExceeded,
+    /// The per-client token bucket is empty — slow down and retry.
+    RateLimited,
     /// The server is draining after a shutdown request.
     ShuttingDown,
     /// Planning/prediction/simulation failed for this scenario.
@@ -109,6 +120,8 @@ impl ErrorKind {
             ErrorKind::UnsupportedVersion => "unsupported_version",
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::RateLimited => "rate_limited",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Failed => "failed",
             ErrorKind::Internal => "internal",
@@ -220,11 +233,28 @@ pub enum RequestBody {
 pub struct Request {
     /// Optional client correlation id, echoed in the response.
     pub id: Option<String>,
+    /// Optional caller identity the per-client rate limiter keys on
+    /// (requests without one are exempt from rate limiting).
+    pub client: Option<String>,
+    /// Optional per-request deadline in milliseconds from arrival,
+    /// overriding the server's default.
+    pub deadline_ms: Option<u64>,
     /// The operation.
     pub body: RequestBody,
 }
 
 impl Request {
+    /// A request with neither client identity nor deadline — the common
+    /// construction in tests and embedding code.
+    pub fn new(id: Option<String>, body: RequestBody) -> Request {
+        Request {
+            id,
+            client: None,
+            deadline_ms: None,
+            body,
+        }
+    }
+
     /// The endpoint this request targets.
     pub fn endpoint(&self) -> Endpoint {
         match &self.body {
@@ -246,6 +276,13 @@ impl Request {
         if let Some(id) = &self.id {
             s.push_str(",\"id\":");
             serde::write_escaped_str(id, &mut s);
+        }
+        if let Some(client) = &self.client {
+            s.push_str(",\"client\":");
+            serde::write_escaped_str(client, &mut s);
+        }
+        if let Some(deadline_ms) = self.deadline_ms {
+            s.push_str(&format!(",\"deadline_ms\":{deadline_ms}"));
         }
         s.push_str(",\"op\":\"");
         s.push_str(self.endpoint().name());
@@ -302,6 +339,23 @@ impl Request {
             Some(Value::String(s)) => Some(s.clone()),
             Some(_) => return Err(ProtoError::bad_request("'id' must be a string")),
         };
+        let client = match field(&v, "client") {
+            None => None,
+            Some(Value::String(s)) => Some(s.clone()),
+            Some(_) => return Err(ProtoError::bad_request("'client' must be a string")),
+        };
+        let deadline_ms = match field(&v, "deadline_ms") {
+            None => None,
+            Some(v) => {
+                let ms = v.as_u64().ok_or_else(|| {
+                    ProtoError::bad_request("'deadline_ms' must be an unsigned integer")
+                })?;
+                if ms == 0 {
+                    return Err(ProtoError::bad_request("'deadline_ms' must be ≥ 1"));
+                }
+                Some(ms)
+            }
+        };
         let op = field(&v, "op")
             .and_then(Value::as_str)
             .ok_or_else(|| ProtoError::bad_request("missing string field 'op'"))?;
@@ -337,7 +391,12 @@ impl Request {
                 }
             }
         };
-        Ok(Request { id, body })
+        Ok(Request {
+            id,
+            client,
+            deadline_ms,
+            body,
+        })
     }
 }
 
@@ -802,6 +861,32 @@ mod tests {
         let r = Request::parse_line("{\"v\":1,\"id\":\"x\",\"op\":\"shutdown\"}").unwrap();
         assert_eq!(r.body, RequestBody::Shutdown);
         assert_eq!(r.id.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn client_and_deadline_fields_round_trip() {
+        let mut r = Request::new(Some("q".into()), RequestBody::Stats);
+        r.client = Some("tenant-a".into());
+        r.deadline_ms = Some(250);
+        let line = r.to_json_line();
+        assert!(line.contains("\"client\":\"tenant-a\""), "{line}");
+        assert!(line.contains("\"deadline_ms\":250"), "{line}");
+        assert_eq!(Request::parse_line(&line).unwrap(), r);
+        // Absent fields parse back as None.
+        let bare = Request::parse_line("{\"v\":1,\"op\":\"stats\"}").unwrap();
+        assert_eq!(bare.client, None);
+        assert_eq!(bare.deadline_ms, None);
+    }
+
+    #[test]
+    fn bad_client_or_deadline_is_bad_request() {
+        let e = Request::parse_line("{\"v\":1,\"client\":7,\"op\":\"stats\"}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        let e = Request::parse_line("{\"v\":1,\"deadline_ms\":0,\"op\":\"stats\"}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        let e =
+            Request::parse_line("{\"v\":1,\"deadline_ms\":\"soon\",\"op\":\"stats\"}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
     }
 
     #[test]

@@ -2,68 +2,69 @@
 //!
 //! Threading model (all std, no async runtime):
 //!
-//! - one **acceptor** thread owns the listener and spawns a thread per
-//!   connection (capped at [`ServeConfig::max_conns`]; over-cap connections
-//!   get one `overloaded` line and are closed);
-//! - each **connection** thread reads newline-delimited requests, answers
-//!   `stats`/`shutdown` inline (the control plane must stay responsive
-//!   while the compute queue is saturated), resolves `plan`/`compare`
-//!   cache hits inline, and otherwise parks the request on a bounded job
-//!   queue and blocks on its private reply channel;
-//! - a fixed pool of **worker** threads pops jobs: planning, comparison,
-//!   and predict batch ticks.
+//! - a small set of **reader** threads ([`crate::event_loop`]) run a
+//!   nonblocking readiness loop: reader 0 owns the listener and accepts
+//!   (round-robin handoff when more readers are configured), every reader
+//!   multiplexes its connections — draining sockets, splitting pipelined
+//!   request lines, answering `stats`/`shutdown` and cache hits inline,
+//!   enforcing per-client rate limits and per-request deadlines, and
+//!   flushing in-order responses — without ever blocking on one peer;
+//! - a fixed pool of **worker** threads pops jobs from the bounded queue:
+//!   planning, comparison, and predict batch ticks. Each job carries a
+//!   [`CancelToken`]; the worker must *claim* it before computing, so a
+//!   job already answered by the deadline sweep is skipped, never
+//!   double-executed.
 //!
-//! Backpressure is explicit: the job queue rejects pushes beyond its
-//! capacity and the client receives a typed `overloaded` error immediately
-//! — the server never buffers unboundedly. Shutdown is graceful: the flag
-//! flips, the queue closes, workers drain everything already accepted,
-//! connection threads notice within one read-timeout tick, and
-//! [`ServerHandle::wait`] joins every thread before reporting the final
-//! [`DrainReport`].
+//! Backpressure is explicit and typed: `overloaded` when the bounded queue
+//! is full, `rate_limited` when a client's token bucket is empty,
+//! `deadline_exceeded` when a request expired before a worker reached it,
+//! `shutting_down` during drain — the server never buffers unboundedly.
+//! Shutdown is graceful: the flag flips, the queue closes, workers drain
+//! everything already accepted (the last worker to exit answers any
+//! still-parked predict requests), readers flush every owed response and
+//! exit once nothing is in flight, and [`ServerHandle::wait`] joins every
+//! thread before reporting the final [`DrainReport`].
 
-use crate::batch::{Outcome, Pending, PredictBatcher};
+use crate::batch::{BoundedMap, Outcome, Pending, PredictBatcher, Reply};
 use crate::cache::PlanCache;
-use crate::keys;
-use crate::metrics::Metrics;
+use crate::event_loop::{self, ReaderChannels};
+use crate::limits::{CancelToken, RateLimiter};
+use crate::metrics::{LimitGauges, Metrics};
 use crate::protocol::{
-    alloc_token, mapping_token, parse_machine, response_err_line, response_ok_line, strategy_token,
-    ErrorKind, Line, LineReader, PredictParams, ProtoError, Request, RequestBody, ScenarioParams,
-    MAX_LINE_BYTES,
+    alloc_token, mapping_token, parse_machine, strategy_token, Endpoint, ErrorKind, ProtoError,
 };
-use crate::queue::{BoundedQueue, PushError};
-use crate::sync::{lock_unpoisoned, AtomicBool, AtomicUsize, Mutex, Ordering};
+use crate::queue::BoundedQueue;
+use crate::sync::{AtomicBool, AtomicUsize, Ordering};
 use nestwx_core::strategy::AllocPolicy;
 use nestwx_core::{compare_strategies, fit_predictor, ExecutionPlan, Planner, Scenario};
-use nestwx_grid::DomainFeatures;
-use nestwx_netsim::Machine;
+use nestwx_obs::clock;
 use nestwx_obs::HistSummary;
 use nestwx_predict::ExecTimePredictor;
 use serde::Serialize;
-use std::collections::BTreeMap;
-use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{self, Receiver};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::Instant;
 
 /// Seed of the on-demand predictor fit — must stay identical to the one
 /// `Planner::plan` uses when no predictor is supplied, so a served plan is
 /// byte-identical to one computed directly.
 const PROFILE_SEED: u64 = 0xBEEF;
 
-/// How long a connection thread waits in `read` before polling the
-/// shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(100);
-
 /// Server tuning knobs. `ServeConfig::new` reads the `NESTWX_SERVE_*`
-/// environment variables for defaults.
+/// environment variables for defaults. All limit knobs (deadline, rate,
+/// idle, lifetime) default to 0 = off, so an unconfigured server behaves
+/// permissively.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `"127.0.0.1:7878"` (`:0` picks a free port).
     pub addr: String,
     /// Worker threads (`NESTWX_SERVE_WORKERS`, default 4).
     pub workers: usize,
+    /// Event-loop reader threads (`NESTWX_SERVE_READERS`, default 1).
+    pub readers: usize,
     /// Bounded job-queue depth (`NESTWX_SERVE_QUEUE`, default 64).
     pub queue_depth: usize,
     /// Plan-cache capacity in entries (`NESTWX_SERVE_CACHE`, default 256).
@@ -71,6 +72,26 @@ pub struct ServeConfig {
     /// Maximum concurrent connections (`NESTWX_SERVE_MAX_CONNS`,
     /// default 64).
     pub max_conns: usize,
+    /// Default per-request deadline in ms, 0 = none
+    /// (`NESTWX_SERVE_DEADLINE_MS`); requests may override with their own
+    /// `deadline_ms` field.
+    pub deadline_ms: u64,
+    /// Per-client token-bucket refill rate in tokens/second, 0 = rate
+    /// limiting off (`NESTWX_SERVE_RATE`).
+    pub rate: u64,
+    /// Token-bucket capacity in tokens (`NESTWX_SERVE_BURST`, default 8).
+    pub burst: u64,
+    /// Maximum tracked rate-limit clients, LRU-evicted beyond this
+    /// (`NESTWX_SERVE_CLIENT_CAP`, default 1024).
+    pub client_cap: usize,
+    /// Maximum cached per-machine predictors, LRU-evicted beyond this
+    /// (`NESTWX_SERVE_PREDICTORS`, default 64).
+    pub predictors: usize,
+    /// Idle connection cap in ms, 0 = none (`NESTWX_SERVE_IDLE_MS`).
+    pub idle_ms: u64,
+    /// Connection lifetime cap in ms, 0 = none
+    /// (`NESTWX_SERVE_LIFETIME_MS`).
+    pub lifetime_ms: u64,
 }
 
 impl ServeConfig {
@@ -79,9 +100,17 @@ impl ServeConfig {
         ServeConfig {
             addr: addr.into(),
             workers: nestwx_core::env_usize("NESTWX_SERVE_WORKERS", 4),
+            readers: nestwx_core::env_usize("NESTWX_SERVE_READERS", 1),
             queue_depth: nestwx_core::env_usize("NESTWX_SERVE_QUEUE", 64),
             cache_capacity: nestwx_core::env_usize("NESTWX_SERVE_CACHE", 256),
             max_conns: nestwx_core::env_usize("NESTWX_SERVE_MAX_CONNS", 64),
+            deadline_ms: nestwx_core::env_usize("NESTWX_SERVE_DEADLINE_MS", 0) as u64,
+            rate: nestwx_core::env_usize("NESTWX_SERVE_RATE", 0) as u64,
+            burst: nestwx_core::env_usize("NESTWX_SERVE_BURST", 8) as u64,
+            client_cap: nestwx_core::env_usize("NESTWX_SERVE_CLIENT_CAP", 1024),
+            predictors: nestwx_core::env_usize("NESTWX_SERVE_PREDICTORS", 64),
+            idle_ms: nestwx_core::env_usize("NESTWX_SERVE_IDLE_MS", 0) as u64,
+            lifetime_ms: nestwx_core::env_usize("NESTWX_SERVE_LIFETIME_MS", 0) as u64,
         }
     }
 }
@@ -96,19 +125,25 @@ impl Default for ServeConfig {
 // Jobs (the bounded queue itself lives in `crate::queue`)
 // ---------------------------------------------------------------------------
 
-enum Job {
+pub(crate) enum Job {
     Plan {
         scenario: Scenario,
         key: String,
         digest: u64,
-        reply: mpsc::Sender<Outcome>,
+        cancel: CancelToken,
+        deadline: Option<Instant>,
+        started: Instant,
+        reply: Reply,
     },
     Compare {
         scenario: Scenario,
         iterations: u32,
         key: String,
         digest: u64,
-        reply: mpsc::Sender<Outcome>,
+        cancel: CancelToken,
+        deadline: Option<Instant>,
+        started: Instant,
+        reply: Reply,
     },
     /// Lightweight marker: "a predict batch for this machine may be
     /// pending". The worker that pops it drains the whole batch.
@@ -119,46 +154,48 @@ enum Job {
 // Shared state
 // ---------------------------------------------------------------------------
 
-struct ServerState {
-    cfg: ServeConfig,
-    addr: SocketAddr,
-    queue: BoundedQueue<Job>,
-    cache: PlanCache,
-    batcher: PredictBatcher,
-    metrics: Metrics,
+pub(crate) struct ServerState {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) cache: PlanCache,
+    pub(crate) batcher: PredictBatcher,
+    pub(crate) metrics: Metrics,
     /// One fitted predictor per machine identity (canonical machine JSON),
-    /// shared by plan workers and predict batches. Ordered map: iteration
-    /// order (debug dumps, future eviction) is deterministic.
-    predictors: Mutex<BTreeMap<String, Arc<ExecTimePredictor>>>,
-    shutdown: AtomicBool,
-    live_conns: AtomicUsize,
+    /// shared by plan workers and predict batches; LRU-bounded at
+    /// [`ServeConfig::predictors`] entries.
+    pub(crate) predictors: BoundedMap<Arc<ExecTimePredictor>>,
+    /// Per-client token buckets (engaged only when `cfg.rate > 0`).
+    pub(crate) limiter: RateLimiter,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) live_conns: AtomicUsize,
+    /// Workers still running — the last one out drains the predict
+    /// batcher so parked requests are answered before readers can exit.
+    pub(crate) workers_left: AtomicUsize,
+    /// Server start instant: the rate limiter's time origin.
+    pub(crate) epoch: Instant,
 }
 
 impl ServerState {
-    fn is_shutdown(&self) -> bool {
+    pub(crate) fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Flips the shutdown flag once: closes the queue (workers drain and
-    /// exit) and pokes the blocking `accept` with a throwaway connection.
-    fn trigger_shutdown(&self) {
+    /// Flips the shutdown flag once and closes the queue (workers drain
+    /// and exit; readers notice within one park timeout).
+    pub(crate) fn trigger_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         self.queue.close();
-        let _ = TcpStream::connect(self.addr);
     }
 
-    fn predictor_for(&self, machine: &Machine) -> Arc<ExecTimePredictor> {
+    pub(crate) fn predictor_for(&self, machine: &nestwx_netsim::Machine) -> Arc<ExecTimePredictor> {
         // Machines always serialize; if that ever regresses, the Debug
         // rendering is still a stable identity — degrade instead of
         // panicking on the request path.
         let key = serde_json::to_string(machine).unwrap_or_else(|_| format!("{machine:?}"));
-        let mut map = lock_unpoisoned(&self.predictors);
-        Arc::clone(
-            map.entry(key)
-                .or_insert_with(|| Arc::new(fit_predictor(machine, PROFILE_SEED))),
-        )
+        self.predictors
+            .get_or_insert_with(&key, || Arc::new(fit_predictor(machine, PROFILE_SEED)))
     }
 
     /// The scenario's planner, with the predictor pre-resolved from the
@@ -171,6 +208,16 @@ impl ServerState {
             planner.with_predictor((*self.predictor_for(&scenario.machine)).clone())
         } else {
             planner
+        }
+    }
+
+    /// The live limit gauges for `stats` snapshots.
+    pub(crate) fn limit_gauges(&self) -> LimitGauges {
+        LimitGauges {
+            clients_tracked: self.limiter.clients_tracked() as u64,
+            rate_evictions: self.limiter.evictions(),
+            predictors_cached: self.predictors.len() as u64,
+            predictor_evictions: self.predictors.evictions(),
         }
     }
 }
@@ -225,12 +272,19 @@ struct PredictResult {
     relative_times: Vec<f64>,
 }
 
-fn internal(msg: impl Into<String>) -> ProtoError {
+pub(crate) fn internal(msg: impl Into<String>) -> ProtoError {
     ProtoError::new(ErrorKind::Internal, msg)
 }
 
-fn shutting_down() -> ProtoError {
+pub(crate) fn shutting_down() -> ProtoError {
     ProtoError::new(ErrorKind::ShuttingDown, "server is draining")
+}
+
+pub(crate) fn deadline_exceeded() -> ProtoError {
+    ProtoError::new(
+        ErrorKind::DeadlineExceeded,
+        "deadline expired before the request was served",
+    )
 }
 
 fn render_plan(scenario: &Scenario, plan: &ExecutionPlan) -> Result<String, ProtoError> {
@@ -261,12 +315,25 @@ fn render_plan(scenario: &Scenario, plan: &ExecutionPlan) -> Result<String, Prot
     serde_json::to_string(&result).map_err(|e| internal(format!("render: {e:?}")))
 }
 
-fn render_predict(machine_spec: &str, relative_times: Vec<f64>) -> Result<String, ProtoError> {
+pub(crate) fn render_predict(
+    machine_spec: &str,
+    relative_times: Vec<f64>,
+) -> Result<String, ProtoError> {
     serde_json::to_string(&PredictResult {
         machine: machine_spec.to_string(),
         relative_times,
     })
     .map_err(|e| internal(format!("render: {e:?}")))
+}
+
+pub(crate) fn render_stats(state: &ServerState) -> Outcome {
+    let snapshot = state.metrics.snapshot(
+        state.queue.stats(),
+        state.cache.stats(),
+        state.live_conns.load(Ordering::Relaxed) as u64,
+        state.limit_gauges(),
+    );
+    serde_json::to_string(&snapshot).map_err(|e| internal(format!("render: {e:?}")))
 }
 
 // ---------------------------------------------------------------------------
@@ -280,27 +347,80 @@ fn worker_loop(state: Arc<ServerState>) {
                 scenario,
                 key,
                 digest,
+                cancel,
+                deadline,
+                started,
                 reply,
             } => {
-                let _ = reply.send(compute_plan(&state, &scenario, &key, digest));
+                if !cancel.claim() {
+                    // The deadline sweep already answered this request.
+                    continue;
+                }
+                let outcome = if deadline.is_some_and(clock::expired) {
+                    state
+                        .metrics
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    Err(deadline_exceeded())
+                } else {
+                    compute_plan(&state, &scenario, &key, digest)
+                };
+                state
+                    .metrics
+                    .endpoint(Endpoint::Plan)
+                    .record(clock::since(started), outcome.is_ok());
+                reply.send(outcome);
             }
             Job::Compare {
                 scenario,
                 iterations,
                 key,
                 digest,
+                cancel,
+                deadline,
+                started,
                 reply,
             } => {
-                let _ = reply.send(compute_compare(&state, &scenario, iterations, &key, digest));
+                if !cancel.claim() {
+                    continue;
+                }
+                let outcome = if deadline.is_some_and(clock::expired) {
+                    state
+                        .metrics
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    Err(deadline_exceeded())
+                } else {
+                    compute_compare(&state, &scenario, iterations, &key, digest)
+                };
+                state
+                    .metrics
+                    .endpoint(Endpoint::Compare)
+                    .record(clock::since(started), outcome.is_ok());
+                reply.send(outcome);
             }
             Job::PredictTick { machine_key } => run_predict_batch(&state, &machine_key),
+        }
+    }
+    // Queue closed and drained. The last worker out answers anything still
+    // parked in the predict batcher, so readers waiting on in-flight
+    // completions always get them.
+    if state.workers_left.fetch_sub(1, Ordering::SeqCst) == 1 {
+        for p in state.batcher.drain_all() {
+            if p.cancel.claim() {
+                state
+                    .metrics
+                    .endpoint(Endpoint::Predict)
+                    .record(clock::since(p.started), false);
+                p.reply.send(Err(shutting_down()));
+            }
         }
     }
 }
 
 fn compute_plan(state: &ServerState, scenario: &Scenario, key: &str, digest: u64) -> Outcome {
-    // Re-check the cache (uncounted — the connection thread already counted
-    // the miss): an identical request may have been computed while this one
+    // Re-check the cache (uncounted — the reader already counted the
+    // miss): an identical request may have been computed while this one
     // waited in the queue.
     if let Some(hit) = state.cache.peek(key, digest) {
         return Ok(hit.to_string());
@@ -347,341 +467,83 @@ fn compute_compare(
 }
 
 fn run_predict_batch(state: &ServerState, machine_key: &str) {
-    let batch = state.batcher.take(machine_key);
-    if batch.is_empty() {
+    // Claim each pending request: ones already answered by a deadline
+    // sweep are dropped here, never computed or double-answered.
+    let claimed: Vec<Pending> = state
+        .batcher
+        .take(machine_key)
+        .into_iter()
+        .filter(|p| p.cancel.claim())
+        .collect();
+    if claimed.is_empty() {
         // An earlier tick already drained these requests — the whole point
         // of batching.
         return;
     }
-    state.metrics.record_batch(batch.len());
-    let machine = match parse_machine(&batch[0].machine_spec) {
+    state.metrics.record_batch(claimed.len());
+    let machine = match parse_machine(&claimed[0].machine_spec) {
         Ok(m) => m,
         Err(msg) => {
             // Unreachable (validated at submit time), but a worker must
             // never panic: answer the batch and move on.
             let e = ProtoError::bad_request(msg);
-            for p in batch {
-                let _ = p.reply.send(Err(e.clone()));
+            for p in claimed {
+                state
+                    .metrics
+                    .endpoint(Endpoint::Predict)
+                    .record(clock::since(p.started), false);
+                p.reply.send(Err(e.clone()));
             }
             return;
         }
     };
     let predictor = state.predictor_for(&machine);
-    for p in batch {
+    for p in claimed {
         let outcome = predictor
             .relative_times(&p.features)
             .map_err(|e| ProtoError::new(ErrorKind::Failed, format!("prediction: {e}")))
             .and_then(|times| render_predict(&p.machine_spec, times));
-        let _ = p.reply.send(outcome);
+        state
+            .metrics
+            .endpoint(Endpoint::Predict)
+            .record(clock::since(p.started), outcome.is_ok());
+        p.reply.send(outcome);
     }
 }
 
 // ---------------------------------------------------------------------------
-// Connection handling
+// Lifecycle
 // ---------------------------------------------------------------------------
-
-enum Flow {
-    Continue,
-    CloseConn,
-}
-
-fn serve_conn(state: &Arc<ServerState>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = LineReader::new(stream, MAX_LINE_BYTES);
-    loop {
-        match reader.next_line() {
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if state.is_shutdown() {
-                    break;
-                }
-            }
-            Err(_) => break,
-            Ok(Line::Eof) => break,
-            Ok(Line::Oversized { discarded }) => {
-                state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-                state
-                    .metrics
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                let e = ProtoError::new(
-                    ErrorKind::Oversized,
-                    format!("line exceeds {MAX_LINE_BYTES} bytes ({discarded} discarded)"),
-                );
-                if matches!(
-                    write_response(state, &mut writer, &response_err_line(None, &e)),
-                    Flow::CloseConn
-                ) {
-                    break;
-                }
-            }
-            Ok(Line::Data(line)) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                if matches!(handle_line(state, &line, &mut writer), Flow::CloseConn) {
-                    break;
-                }
-            }
-        }
-    }
-}
-
-/// Writes one response line. `responses_total` counts the attempt, not the
-/// success — a client that vanished mid-request must not skew the drain
-/// accounting.
-fn write_response(state: &ServerState, writer: &mut TcpStream, line: &str) -> Flow {
-    state
-        .metrics
-        .responses_total
-        .fetch_add(1, Ordering::Relaxed);
-    let mut payload = String::with_capacity(line.len() + 1);
-    payload.push_str(line);
-    payload.push('\n');
-    match writer.write_all(payload.as_bytes()) {
-        Ok(()) => Flow::Continue,
-        Err(_) => Flow::CloseConn,
-    }
-}
-
-fn handle_line(state: &Arc<ServerState>, line: &str, writer: &mut TcpStream) -> Flow {
-    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-    let req = match Request::parse_line(line) {
-        Ok(r) => r,
-        Err(e) => {
-            state
-                .metrics
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
-            return write_response(state, writer, &response_err_line(None, &e));
-        }
-    };
-    let endpoint = req.endpoint();
-    let started = nestwx_obs::clock::now();
-    let (outcome, close_after) = execute(state, &req);
-    state
-        .metrics
-        .endpoint(endpoint)
-        .record(started.elapsed(), outcome.is_ok());
-    let response = match &outcome {
-        Ok(result) => response_ok_line(req.id.as_deref(), result),
-        Err(e) => {
-            if matches!(
-                e.kind,
-                ErrorKind::BadRequest | ErrorKind::UnsupportedVersion
-            ) {
-                state
-                    .metrics
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            response_err_line(req.id.as_deref(), e)
-        }
-    };
-    match write_response(state, writer, &response) {
-        Flow::CloseConn => Flow::CloseConn,
-        Flow::Continue if close_after => Flow::CloseConn,
-        Flow::Continue => Flow::Continue,
-    }
-}
-
-/// Runs one request, returning the outcome and whether the connection
-/// should close after the response (only after `shutdown`).
-fn execute(state: &Arc<ServerState>, req: &Request) -> (Outcome, bool) {
-    match &req.body {
-        RequestBody::Stats => (render_stats(state), false),
-        RequestBody::Shutdown => {
-            state.trigger_shutdown();
-            (Ok("{\"draining\":true}".to_string()), true)
-        }
-        RequestBody::Plan(p) => (submit_scenario(state, p, None), false),
-        RequestBody::Compare { params, iterations } => {
-            (submit_scenario(state, params, Some(*iterations)), false)
-        }
-        RequestBody::Predict(p) => (submit_predict(state, p), false),
-    }
-}
-
-fn render_stats(state: &ServerState) -> Outcome {
-    let snapshot = state.metrics.snapshot(
-        state.queue.stats(),
-        state.cache.stats(),
-        state.live_conns.load(Ordering::Relaxed) as u64,
-    );
-    serde_json::to_string(&snapshot).map_err(|e| internal(format!("render: {e:?}")))
-}
-
-fn submit_scenario(
-    state: &Arc<ServerState>,
-    params: &ScenarioParams,
-    iterations: Option<u32>,
-) -> Outcome {
-    let scenario = params.to_scenario()?;
-    let key = match iterations {
-        None => keys::plan_key(&scenario),
-        Some(n) => keys::compare_key(&scenario, n),
-    };
-    let digest = keys::key_digest(&key);
-    // Hits are answered on the connection thread — they never occupy queue
-    // capacity, which is what keeps a hot working set fast even while the
-    // workers grind cold scenarios.
-    if let Some(hit) = state.cache.get(&key, digest) {
-        return Ok(hit.to_string());
-    }
-    if state.is_shutdown() {
-        return Err(shutting_down());
-    }
-    let (reply, rx) = mpsc::channel();
-    let job = match iterations {
-        None => Job::Plan {
-            scenario,
-            key,
-            digest,
-            reply,
-        },
-        Some(n) => Job::Compare {
-            scenario,
-            iterations: n,
-            key,
-            digest,
-            reply,
-        },
-    };
-    match state.queue.push(job) {
-        Ok(()) => await_reply(rx),
-        Err(PushError::Full) => Err(ProtoError::new(
-            ErrorKind::Overloaded,
-            "request queue full, retry later",
-        )),
-        Err(PushError::Closed) => Err(shutting_down()),
-    }
-}
-
-fn submit_predict(state: &Arc<ServerState>, params: &PredictParams) -> Outcome {
-    let machine = parse_machine(&params.machine).map_err(ProtoError::bad_request)?;
-    let machine_key =
-        serde_json::to_string(&machine).map_err(|e| internal(format!("machine key: {e:?}")))?;
-    if state.is_shutdown() {
-        return Err(shutting_down());
-    }
-    let features: Vec<DomainFeatures> = params.nests.iter().map(DomainFeatures::from).collect();
-    let (reply, rx) = mpsc::channel();
-    let token = state.batcher.token();
-    state.batcher.add(
-        &machine_key,
-        Pending {
-            token,
-            machine_spec: params.machine.clone(),
-            features,
-            reply,
-        },
-    );
-    match state.queue.push(Job::PredictTick {
-        machine_key: machine_key.clone(),
-    }) {
-        Ok(()) => await_reply(rx),
-        Err(push_err) => {
-            if state.batcher.cancel(&machine_key, token) {
-                match push_err {
-                    PushError::Full => Err(ProtoError::new(
-                        ErrorKind::Overloaded,
-                        "request queue full, retry later",
-                    )),
-                    PushError::Closed => Err(shutting_down()),
-                }
-            } else {
-                // A concurrent tick already took our pending request — its
-                // reply is on the way; report that instead of an error.
-                await_reply(rx)
-            }
-        }
-    }
-}
-
-fn await_reply(rx: Receiver<Outcome>) -> Outcome {
-    match rx.recv_timeout(Duration::from_secs(120)) {
-        Ok(outcome) => outcome,
-        Err(_) => Err(internal("worker did not reply")),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Acceptor + lifecycle
-// ---------------------------------------------------------------------------
-
-fn acceptor_loop(state: Arc<ServerState>, listener: TcpListener) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if state.is_shutdown() {
-            break;
-        }
-        let stream = match stream {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        // Reap finished connection threads so the handle list stays small.
-        conns = conns
-            .into_iter()
-            .filter_map(|h| {
-                if h.is_finished() {
-                    let _ = h.join();
-                    None
-                } else {
-                    Some(h)
-                }
-            })
-            .collect();
-        if state.live_conns.load(Ordering::Relaxed) >= state.cfg.max_conns {
-            state.metrics.rejected_conns.fetch_add(1, Ordering::Relaxed);
-            let e = ProtoError::new(ErrorKind::Overloaded, "connection limit reached");
-            let mut s = stream;
-            let _ = s.write_all((response_err_line(None, &e) + "\n").as_bytes());
-            continue;
-        }
-        state.metrics.accepted_conns.fetch_add(1, Ordering::Relaxed);
-        state.live_conns.fetch_add(1, Ordering::Relaxed);
-        let st = Arc::clone(&state);
-        conns.push(thread::spawn(move || {
-            serve_conn(&st, stream);
-            st.live_conns.fetch_sub(1, Ordering::Relaxed);
-        }));
-    }
-    drop(listener);
-    for h in conns {
-        let _ = h.join();
-    }
-}
 
 /// What remained when the server finished draining — all zeros (and
-/// balanced request/response totals) on a clean exit.
+/// balanced request/response totals) on a clean exit. Deadline-expired and
+/// rate-shed requests are *answered* (typed errors), so they appear in the
+/// informational counters here, never as residuals.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct DrainReport {
     /// Request lines received over the server's lifetime.
     pub requests_total: u64,
-    /// Response lines written (attempted) over the server's lifetime.
+    /// Response lines generated over the server's lifetime (delivery is
+    /// attempted; a vanished client does not skew the balance).
     pub responses_total: u64,
     /// Jobs left in the queue after the workers exited (always 0: workers
     /// drain the queue before exiting).
     pub queue_residual: u64,
-    /// Predict requests still parked after the drain (answered with
-    /// `shutting_down` during `wait`).
+    /// Predict requests still parked after the drain (always 0: the last
+    /// worker answers them with `shutting_down` before exiting).
     pub batch_residual: u64,
-    /// Connections still open after the acceptor joined (always 0).
+    /// Connections still open after the readers joined (always 0).
     pub live_conns: u64,
+    /// Requests answered with `deadline_exceeded` (informational).
+    pub deadline_expired: u64,
+    /// Requests answered with `rate_limited` (informational).
+    pub rate_shed: u64,
 }
 
 impl DrainReport {
     /// True when nothing leaked: every thread joined, every accepted
-    /// request was answered, nothing left queued or parked.
+    /// request was answered (typed errors included), nothing left queued
+    /// or parked.
     pub fn clean(&self) -> bool {
         self.queue_residual == 0
             && self.batch_residual == 0
@@ -694,7 +556,7 @@ impl DrainReport {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    acceptor: Option<JoinHandle<()>>,
+    readers: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -709,20 +571,24 @@ impl ServerHandle {
         self.state.trigger_shutdown();
     }
 
-    /// Blocks until the server has fully drained — acceptor, connection
-    /// threads and workers all joined — and reports what was left. Call
-    /// after [`ServerHandle::shutdown`] or once a client sent `shutdown`.
+    /// Blocks until the server has fully drained — readers and workers all
+    /// joined — and reports what was left. Call after
+    /// [`ServerHandle::shutdown`] or once a client sent `shutdown`.
     pub fn wait(mut self) -> DrainReport {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        for r in self.readers.drain(..) {
+            let _ = r.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // The last worker already swept the batcher; this catches nothing
+        // unless a worker died abnormally.
         let leftovers = self.state.batcher.drain_all();
         let batch_residual = leftovers.len() as u64;
         for p in leftovers {
-            let _ = p.reply.send(Err(shutting_down()));
+            if p.cancel.claim() {
+                p.reply.send(Err(shutting_down()));
+            }
         }
         DrainReport {
             requests_total: self.state.metrics.requests_total.load(Ordering::Relaxed),
@@ -730,6 +596,8 @@ impl ServerHandle {
             queue_residual: self.state.queue.depth() as u64,
             batch_residual,
             live_conns: self.state.live_conns.load(Ordering::Relaxed) as u64,
+            deadline_expired: self.state.metrics.deadline_expired.load(Ordering::Relaxed),
+            rate_shed: self.state.metrics.rate_shed.load(Ordering::Relaxed),
         }
     }
 
@@ -742,6 +610,7 @@ impl ServerHandle {
                 self.state.queue.stats(),
                 self.state.cache.stats(),
                 self.state.live_conns.load(Ordering::Relaxed) as u64,
+                self.state.limit_gauges(),
             )
             .endpoints
             .plan
@@ -749,23 +618,28 @@ impl ServerHandle {
     }
 }
 
-/// Binds and spawns the server: acceptor plus worker pool. Returns once
+/// Binds and spawns the server: reader set plus worker pool. Returns once
 /// the listener is bound — requests can be sent immediately.
 pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let n_workers = cfg.workers.max(1);
+    let n_readers = cfg.readers.max(1);
     let state = Arc::new(ServerState {
         queue: BoundedQueue::new(cfg.queue_depth),
         cache: PlanCache::new(cfg.cache_capacity),
         batcher: PredictBatcher::new(),
         metrics: Metrics::default(),
-        predictors: Mutex::new(BTreeMap::new()),
+        predictors: BoundedMap::new(cfg.predictors),
+        limiter: RateLimiter::new(cfg.rate, cfg.burst, cfg.client_cap),
         shutdown: AtomicBool::new(false),
         live_conns: AtomicUsize::new(0),
-        addr,
+        workers_left: AtomicUsize::new(n_workers),
+        epoch: clock::now(),
         cfg,
     });
-    let workers = (0..state.cfg.workers.max(1))
+    let workers = (0..n_workers)
         .map(|i| {
             let st = Arc::clone(&state);
             thread::Builder::new()
@@ -773,14 +647,49 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
                 .spawn(move || worker_loop(st))
         })
         .collect::<io::Result<Vec<_>>>()?;
-    let st = Arc::clone(&state);
-    let acceptor = thread::Builder::new()
-        .name("nestwx-serve-acceptor".to_string())
-        .spawn(move || acceptor_loop(st, listener))?;
+    // Per-reader channel pairs: completions (workers → reader) and
+    // connection handoffs (reader 0 → reader i).
+    let mut channels: Vec<ReaderChannels> = (0..n_readers)
+        .map(|_| {
+            let (completions_tx, completions_rx) = mpsc::channel();
+            let (handoff_tx, handoff_rx) = mpsc::channel();
+            ReaderChannels {
+                completions_tx,
+                completions_rx: Some(completions_rx),
+                handoff_tx,
+                handoff_rx: Some(handoff_rx),
+            }
+        })
+        .collect();
+    let handoff_txs: Vec<_> = channels.iter().map(|c| c.handoff_tx.clone()).collect();
+    let mut listener = Some(listener);
+    let readers = channels
+        .iter_mut()
+        .enumerate()
+        .map(|(i, ch)| {
+            let st = Arc::clone(&state);
+            let listener = listener.take();
+            let handoffs = if i == 0 {
+                handoff_txs.clone()
+            } else {
+                Vec::new()
+            };
+            let completions_tx = ch.completions_tx.clone();
+            let completions_rx = ch.completions_rx.take();
+            let handoff_rx = ch.handoff_rx.take();
+            thread::Builder::new()
+                .name(format!("nestwx-serve-reader-{i}"))
+                .spawn(move || {
+                    if let (Some(crx), Some(hrx)) = (completions_rx, handoff_rx) {
+                        event_loop::run_reader(st, i, listener, handoffs, hrx, completions_tx, crx);
+                    }
+                })
+        })
+        .collect::<io::Result<Vec<_>>>()?;
     Ok(ServerHandle {
         addr,
         state,
-        acceptor: Some(acceptor),
+        readers,
         workers,
     })
 }

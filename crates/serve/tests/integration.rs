@@ -29,9 +29,9 @@ fn local_server() -> nestwx_serve::ServerHandle {
 }
 
 fn plan_request(id: &str, strategy: Strategy, alloc: AllocPolicy, mapping: MappingKind) -> Request {
-    Request {
-        id: Some(id.into()),
-        body: RequestBody::Plan(ScenarioParams {
+    Request::new(
+        Some(id.into()),
+        RequestBody::Plan(ScenarioParams {
             machine: MACHINE.into(),
             parent: parent(),
             nests: nests(),
@@ -40,15 +40,12 @@ fn plan_request(id: &str, strategy: Strategy, alloc: AllocPolicy, mapping: Mappi
             mapping,
             io: None,
         }),
-    }
+    )
 }
 
 fn shutdown_clean(handle: nestwx_serve::ServerHandle, client: &mut Client) {
     let resp = client
-        .call(&Request {
-            id: Some("bye".into()),
-            body: RequestBody::Shutdown,
-        })
+        .call(&Request::new(Some("bye".into()), RequestBody::Shutdown))
         .expect("shutdown call");
     assert!(resp.ok(), "shutdown rejected: {}", resp.raw);
     let report = handle.wait();
@@ -129,10 +126,7 @@ fn cached_plan_identical_to_fresh_across_all_combinations() {
 
     // Every combination was looked up twice: once cold, once hot.
     let stats = client
-        .call(&Request {
-            id: None,
-            body: RequestBody::Stats,
-        })
+        .call(&Request::new(None, RequestBody::Stats))
         .expect("stats");
     let cache = stats
         .result()
@@ -166,13 +160,13 @@ fn batched_predicts_match_direct_predictor() {
             let addr = addr.clone();
             std::thread::spawn(move || {
                 let mut c = Client::connect(&addr).expect("connect");
-                let req = Request {
-                    id: Some(format!("p{t}")),
-                    body: RequestBody::Predict(PredictParams {
+                let req = Request::new(
+                    Some(format!("p{t}")),
+                    RequestBody::Predict(PredictParams {
                         machine: MACHINE.into(),
                         nests: nests(),
                     }),
-                };
+                );
                 let resp = c.call(&req).expect("predict");
                 assert!(resp.ok(), "predict rejected: {}", resp.raw);
                 resp.result()
@@ -195,10 +189,7 @@ fn batched_predicts_match_direct_predictor() {
 
     let mut ctl = Client::connect(handle.addr()).expect("connect");
     let stats = ctl
-        .call(&Request {
-            id: None,
-            body: RequestBody::Stats,
-        })
+        .call(&Request::new(None, RequestBody::Stats))
         .expect("stats");
     let batch = stats
         .result()
@@ -280,10 +271,7 @@ fn overload_produces_typed_errors_then_recovers() {
         assert!(resp.ok(), "server did not recover: {}", resp.raw);
     }
     let stats = client
-        .call(&Request {
-            id: None,
-            body: RequestBody::Stats,
-        })
+        .call(&Request::new(None, RequestBody::Stats))
         .expect("stats");
     let queue = stats
         .result()
@@ -310,10 +298,7 @@ fn graceful_shutdown_drains_inflight_work() {
         assert!(client.call(&req).expect("plan").ok());
     }
     let resp = client
-        .call(&Request {
-            id: Some("bye".into()),
-            body: RequestBody::Shutdown,
-        })
+        .call(&Request::new(Some("bye".into()), RequestBody::Shutdown))
         .expect("shutdown");
     assert!(resp.ok());
     let addr = handle.addr().to_string();
@@ -326,9 +311,230 @@ fn graceful_shutdown_drains_inflight_work() {
 
     // New connections are refused or immediately closed after drain.
     assert!(Client::connect(addr)
-        .and_then(|mut c| c.call(&Request {
-            id: None,
-            body: RequestBody::Stats
-        }))
+        .and_then(|mut c| c.call(&Request::new(None, RequestBody::Stats)))
         .is_err());
+}
+
+/// Pipelined requests on one connection are answered in request order —
+/// the in-order response slots guarantee `raws[i]` answers `lines[i]` even
+/// when some are cache hits and some need a worker.
+#[test]
+fn pipelined_responses_arrive_in_request_order() {
+    let handle = local_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    // Warm two scenarios so the pipeline mixes hot hits with cold misses.
+    for (i, mapping) in MappingKind::ALL.iter().take(2).enumerate() {
+        let req = plan_request(
+            &format!("warm{i}"),
+            Strategy::Concurrent,
+            AllocPolicy::HuffmanSplitTree,
+            *mapping,
+        );
+        assert!(client.call(&req).expect("warm").ok());
+    }
+    let lines: Vec<String> = (0..12)
+        .map(|i| {
+            plan_request(
+                &format!("p{i}"),
+                Strategy::Concurrent,
+                AllocPolicy::HuffmanSplitTree,
+                MappingKind::ALL[i % 2],
+            )
+            .to_json_line()
+        })
+        .collect();
+    let raws = client.call_pipelined(&lines).expect("pipelined batch");
+    assert_eq!(raws.len(), lines.len());
+    for (i, raw) in raws.iter().enumerate() {
+        let v: Value = serde_json::from_str(raw).expect("response json");
+        assert_eq!(
+            v.get("id").and_then(Value::as_str),
+            Some(format!("p{i}").as_str()),
+            "response {i} out of order: {raw}"
+        );
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    }
+    shutdown_clean(handle, &mut client);
+}
+
+/// A request whose deadline passes while it is queued behind a busy worker
+/// is answered with a typed `deadline_exceeded` by the sweep — and the
+/// drain still balances because the sweep's answer counts as the response.
+#[test]
+fn queued_request_past_deadline_gets_typed_error() {
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.workers = 1;
+    let handle = spawn(cfg).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // First line pins the single worker behind a predictor fit; the second
+    // (1 ms deadline) expires in the queue before the worker reaches it.
+    let pin = plan_request(
+        "pin",
+        Strategy::Concurrent,
+        AllocPolicy::HuffmanSplitTree,
+        MappingKind::Partition,
+    );
+    let mut doomed = plan_request(
+        "doomed",
+        Strategy::Sequential,
+        AllocPolicy::Equal,
+        MappingKind::ALL[1],
+    );
+    doomed.deadline_ms = Some(1);
+    let raws = client
+        .call_pipelined(&[pin.to_json_line(), doomed.to_json_line()])
+        .expect("pipelined pair");
+    let pinned: Value = serde_json::from_str(&raws[0]).expect("pin json");
+    assert_eq!(pinned.get("ok").and_then(Value::as_bool), Some(true));
+    let expired: Value = serde_json::from_str(&raws[1]).expect("doomed json");
+    assert_eq!(
+        expired
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str),
+        Some("deadline_exceeded"),
+        "expected deadline_exceeded: {}",
+        raws[1]
+    );
+
+    let stats = client
+        .call(&Request::new(None, RequestBody::Stats))
+        .expect("stats");
+    let limits = stats
+        .result()
+        .and_then(|r| r.get("limits"))
+        .cloned()
+        .unwrap();
+    assert!(u64s(&limits, "deadline_expired") >= 1, "{limits:?}");
+
+    let resp = client
+        .call(&Request::new(Some("bye".into()), RequestBody::Shutdown))
+        .expect("shutdown");
+    assert!(resp.ok());
+    let report = handle.wait();
+    assert!(report.clean(), "unclean drain: {report:?}");
+    assert!(report.deadline_expired >= 1, "{report:?}");
+}
+
+/// The per-client token bucket sheds requests beyond the burst with a
+/// typed `rate_limited` error; requests carrying no client identity are
+/// exempt, and control requests cost nothing.
+#[test]
+fn rate_limited_clients_shed_while_anonymous_pass() {
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.rate = 1; // 1 token/s — no meaningful refill within the test
+    cfg.burst = 4; // covers exactly two plan calls (cost 2 each)
+    let handle = spawn(cfg).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let charged = |i: usize| {
+        let mut req = plan_request(
+            &format!("r{i}"),
+            Strategy::Concurrent,
+            AllocPolicy::HuffmanSplitTree,
+            MappingKind::Partition,
+        );
+        req.client = Some("tenant-a".into());
+        req
+    };
+    let first = client.call(&charged(0)).expect("first plan");
+    assert!(first.ok(), "burst must cover the first call: {}", first.raw);
+    let second = client.call(&charged(1)).expect("second plan");
+    assert!(second.ok(), "burst must cover a cached hit too");
+    let third = client.call(&charged(2)).expect("third plan");
+    assert_eq!(
+        third.error_kind(),
+        Some("rate_limited"),
+        "empty bucket must shed: {}",
+        third.raw
+    );
+
+    // No client field → exempt from rate limiting entirely.
+    let anon = client
+        .call(&plan_request(
+            "anon",
+            Strategy::Concurrent,
+            AllocPolicy::HuffmanSplitTree,
+            MappingKind::Partition,
+        ))
+        .expect("anonymous plan");
+    assert!(anon.ok(), "anonymous requests are exempt: {}", anon.raw);
+
+    // Stats is a zero-cost control endpoint even for the shed client.
+    let mut stats_req = Request::new(None, RequestBody::Stats);
+    stats_req.client = Some("tenant-a".into());
+    let stats = client.call(&stats_req).expect("stats");
+    assert!(stats.ok(), "control endpoints cost nothing: {}", stats.raw);
+    let limits = stats
+        .result()
+        .and_then(|r| r.get("limits"))
+        .cloned()
+        .unwrap();
+    assert!(u64s(&limits, "rate_shed") >= 1, "{limits:?}");
+    assert!(u64s(&limits, "clients_tracked") >= 1, "{limits:?}");
+
+    let resp = client
+        .call(&Request::new(Some("bye".into()), RequestBody::Shutdown))
+        .expect("shutdown");
+    assert!(resp.ok());
+    let report = handle.wait();
+    assert!(report.clean(), "unclean drain: {report:?}");
+    assert!(report.rate_shed >= 1, "shed must appear in the report");
+}
+
+/// An idle connection past the keep-alive cap is reaped by the reader —
+/// and the reap still leaves the drain clean.
+#[test]
+fn idle_connections_are_reaped() {
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.idle_ms = 50;
+    let handle = spawn(cfg).expect("spawn server");
+    let mut idler = Client::connect(handle.addr()).expect("connect");
+    let resp = idler
+        .call(&Request::new(Some("hi".into()), RequestBody::Stats))
+        .expect("stats before idling");
+    assert!(resp.ok());
+
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    // The server closed the idle connection; the next round-trip fails
+    // (EOF on read, or a send error once the kernel notices).
+    let outcome = idler.call(&Request::new(Some("late".into()), RequestBody::Stats));
+    assert!(outcome.is_err(), "idle connection survived the reaper");
+
+    let mut ctl = Client::connect(handle.addr()).expect("fresh connect");
+    shutdown_clean(handle, &mut ctl);
+}
+
+/// The predictor map is LRU-bounded: fitting more machines than the cap
+/// evicts the stalest predictor instead of growing without bound.
+#[test]
+fn predictor_map_is_bounded_and_evicts() {
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.predictors = 1;
+    let handle = spawn(cfg).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for (i, machine) in ["bgl:64", "bgl:128"].iter().enumerate() {
+        let req = Request::new(
+            Some(format!("m{i}")),
+            RequestBody::Predict(PredictParams {
+                machine: (*machine).into(),
+                nests: nests(),
+            }),
+        );
+        let resp = client.call(&req).expect("predict");
+        assert!(resp.ok(), "predict rejected: {}", resp.raw);
+    }
+    let stats = client
+        .call(&Request::new(None, RequestBody::Stats))
+        .expect("stats");
+    let limits = stats
+        .result()
+        .and_then(|r| r.get("limits"))
+        .cloned()
+        .unwrap();
+    assert_eq!(u64s(&limits, "predictors_cached"), 1, "{limits:?}");
+    assert!(u64s(&limits, "predictor_evictions") >= 1, "{limits:?}");
+    shutdown_clean(handle, &mut client);
 }

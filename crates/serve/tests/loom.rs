@@ -15,13 +15,19 @@
 //! 3. **Drain-then-exit**: after `close`, workers drain everything already
 //!    accepted before seeing `None` — the "no lost responses" half of the
 //!    graceful-shutdown contract.
+//! 4. **Exactly-once cancellation**: a [`CancelToken`] racing between the
+//!    worker and the deadline sweep is claimed by exactly one side.
+//! 5. **Race-free refill**: concurrent charges against one rate-limit
+//!    bucket never overgrant tokens (no lost-update on refill).
+//! 6. **Bounded predictor map**: racing inserts into a [`BoundedMap`]
+//!    never exceed its capacity; the loser is evicted, not leaked.
 
 #![cfg(loom)]
 
 use loom::sync::atomic::{AtomicU64, Ordering};
 use loom::sync::Arc;
 use loom::thread;
-use nestwx_serve::{BoundedQueue, PlanCache, PushError};
+use nestwx_serve::{BoundedMap, BoundedQueue, CancelToken, PlanCache, PushError, RateLimiter};
 
 #[test]
 fn queue_loses_no_jobs_under_concurrent_push_pop() {
@@ -140,5 +146,87 @@ fn close_drains_accepted_jobs_before_workers_exit() {
         );
         assert_eq!(q.push(9), Err(PushError::Closed), "closed stays closed");
         assert_eq!(q.pop(), None, "drained queue reports end-of-work");
+    });
+}
+
+#[test]
+fn cancel_token_claim_is_exactly_once() {
+    loom::model(|| {
+        // The worker/deadline-sweep race: both sides try to claim the same
+        // token; exactly one may answer the request.
+        let token = CancelToken::new();
+        let wins = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let token = token.clone();
+                let wins = Arc::clone(&wins);
+                thread::spawn(move || {
+                    if token.claim() {
+                        wins.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::SeqCst), 1, "exactly one claimant");
+        assert!(token.is_claimed(), "claimed token stays claimed");
+        assert!(!token.claim(), "late claim after the race always loses");
+    });
+}
+
+#[test]
+fn rate_limiter_refill_is_race_free() {
+    loom::model(|| {
+        // Two readers charge the same bucket at the same (fixed) clock
+        // stamps. Burst 1 token, rate 1 token/s: at most one extra charge
+        // can be covered by the 0.5 s refill, never two — a lost-update
+        // race on the refill arithmetic would overgrant.
+        let rl = Arc::new(RateLimiter::new(1, 1, 4));
+        assert!(rl.try_charge("c", 1, 0), "burst covers the first charge");
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let rl = Arc::clone(&rl);
+                thread::spawn(move || u64::from(rl.try_charge("c", 1, 500_000)))
+            })
+            .collect();
+        let granted: u64 = hs.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(granted, 0, "half a token never covers a whole charge");
+        assert_eq!(rl.shed_total(), 2, "both racing charges counted as shed");
+        // A full second of refill serves exactly one of two racers.
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let rl = Arc::clone(&rl);
+                thread::spawn(move || u64::from(rl.try_charge("c", 1, 1_500_000)))
+            })
+            .collect();
+        let granted: u64 = hs.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(
+            granted, 1,
+            "refill grants exactly one token, not one per racer"
+        );
+    });
+}
+
+#[test]
+fn bounded_map_respects_capacity_under_concurrent_inserts() {
+    loom::model(|| {
+        let m = Arc::new(BoundedMap::new(1));
+        let hs: Vec<_> = (0..2)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    let key = format!("k{t}");
+                    let got = m.get_or_insert_with(&key, || t);
+                    assert_eq!(got, t, "each inserter reads back its own value");
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 1, "capacity bound holds under racing inserts");
+        assert_eq!(m.evictions(), 1, "the loser was evicted, not leaked");
     });
 }

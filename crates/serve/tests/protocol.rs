@@ -92,25 +92,44 @@ fn arb_scenario_params() -> impl Strategy<Value = ScenarioParams> {
         )
 }
 
+fn arb_client() -> impl Strategy<Value = Option<String>> {
+    (
+        any::<bool>(),
+        prop::collection::vec(0usize..ID_CHARS.len(), 1..8),
+    )
+        .prop_map(|(present, idx)| present.then(|| idx.into_iter().map(|i| ID_CHARS[i]).collect()))
+}
+
+fn arb_deadline() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), 1u64..600_000).prop_map(|(present, ms)| present.then_some(ms))
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        arb_id(),
+        (arb_id(), arb_client(), arb_deadline()),
         0usize..5,
         arb_scenario_params(),
         arb_machine(),
         arb_nests(),
         1u32..50,
     )
-        .prop_map(|(id, op, params, machine, nests, iterations)| Request {
-            id,
-            body: match op {
-                0 => RequestBody::Predict(PredictParams { machine, nests }),
-                1 => RequestBody::Plan(params),
-                2 => RequestBody::Compare { params, iterations },
-                3 => RequestBody::Stats,
-                _ => RequestBody::Shutdown,
+        .prop_map(
+            |((id, client, deadline_ms), op, params, machine, nests, iterations)| {
+                let mut req = Request::new(
+                    id,
+                    match op {
+                        0 => RequestBody::Predict(PredictParams { machine, nests }),
+                        1 => RequestBody::Plan(params),
+                        2 => RequestBody::Compare { params, iterations },
+                        3 => RequestBody::Stats,
+                        _ => RequestBody::Shutdown,
+                    },
+                );
+                req.client = client;
+                req.deadline_ms = deadline_ms;
+                req
             },
-        })
+        )
 }
 
 // ---------------------------------------------------------------------------
@@ -206,6 +225,18 @@ proptest! {
 // ---------------------------------------------------------------------------
 // Deterministic edge cases that deserve exact assertions
 // ---------------------------------------------------------------------------
+
+#[test]
+fn zero_deadline_is_bad_request() {
+    let err = Request::parse_line("{\"v\":1,\"op\":\"stats\",\"deadline_ms\":0}").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::BadRequest);
+}
+
+#[test]
+fn non_string_client_is_bad_request() {
+    let err = Request::parse_line("{\"v\":1,\"op\":\"stats\",\"client\":42}").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::BadRequest);
+}
 
 #[test]
 fn null_id_is_bad_request() {
