@@ -13,7 +13,9 @@
 //! * **determinism rules** (`NW-D…`): unordered collections and their
 //!   iteration in planner/canon/replay/cache paths, raw `Instant::now`
 //!   outside the `nestwx-obs` clock shim, wall-clock/entropy sources,
-//!   thread spawns inside replay code;
+//!   thread spawns inside replay code, and ambient filesystem paths
+//!   (temp dir/cwd/home) where cache locations must flow through
+//!   configuration;
 //! * **serve robustness rules** (`NW-S…`): `unwrap`/`expect`/`panic!` on
 //!   the request-handling path, raw `.lock()` without a poisoning policy,
 //!   blocking syscalls in lock-holding modules, blocking socket I/O
@@ -92,6 +94,11 @@ impl LintConfig {
                 "crates/serve/src/batch.rs",
                 "crates/serve/src/queue.rs",
                 "crates/serve/src/keys.rs",
+                // Disk-persisted plan cache + sweep engine: cache locations
+                // and swept plan bytes must be pure functions of config
+                // (NW-D006 — no ambient temp dir / cwd).
+                "crates/serve/src/disk.rs",
+                "crates/sweep/src/",
             ]),
             request_paths: s(&["crates/serve/src/", "crates/netsim/src/"]),
             clock_files: s(&["crates/obs/src/clock.rs"]),

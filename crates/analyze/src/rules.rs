@@ -15,6 +15,7 @@
 //! | NW-D003  | wall-clock-or-entropy         | everywhere                |
 //! | NW-D004  | unordered-iteration           | determinism paths         |
 //! | NW-D005  | thread-spawn-in-replay        | determinism paths         |
+//! | NW-D006  | ambient-filesystem-path       | determinism paths         |
 //! | NW-S001  | panic-on-request-path         | serve + netsim            |
 //! | NW-S002  | raw-mutex-lock                | everywhere but sync shim  |
 //! | NW-S003  | blocking-under-shard-lock     | lock-holding modules      |
@@ -43,9 +44,9 @@ pub struct Finding {
 }
 
 /// All rule ids, in catalog order (fixture tests iterate this).
-pub const RULE_IDS: [&str; 10] = [
-    "NW-D001", "NW-D002", "NW-D003", "NW-D004", "NW-D005", "NW-S001", "NW-S002", "NW-S003",
-    "NW-S004", "NW-S005",
+pub const RULE_IDS: [&str; 11] = [
+    "NW-D001", "NW-D002", "NW-D003", "NW-D004", "NW-D005", "NW-D006", "NW-S001", "NW-S002",
+    "NW-S003", "NW-S004", "NW-S005",
 ];
 
 /// True when `path` (relative, `/`-separated) falls under any of the scope
@@ -196,6 +197,29 @@ pub fn check_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
                 "thread::spawn/scope in a determinism-critical path: replay \
                  must be single-threaded; parallelism belongs in the driver"
                     .to_string(),
+            );
+        }
+
+        // NW-D006 — ambient filesystem locations in deterministic code.
+        // Disk-cache contents must be a pure function of configuration:
+        // a path picked up from the environment (temp dir, cwd, home)
+        // makes two "identical" runs read different caches.
+        if deterministic
+            && t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "temp_dir" | "current_dir" | "home_dir")
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct("("))
+        {
+            push(
+                &mut out,
+                "NW-D006",
+                t,
+                format!(
+                    "{}() reads an ambient filesystem location; \
+                     determinism-critical code must take directories through \
+                     explicit configuration (e.g. a cache_dir field), not \
+                     the process environment",
+                    t.text
+                ),
             );
         }
 
@@ -400,6 +424,21 @@ mod tests {
         assert!(rules.contains(&"NW-D004"), "{rules:?}");
         let without = "let m: BTreeMap<u32,u32> = make(); for v in m.values() {}";
         assert!(!rules_of(without).contains(&"NW-D004"));
+    }
+
+    #[test]
+    fn d006_flags_ambient_paths_in_deterministic_scope_only() {
+        let src = "fn f() -> PathBuf { std::env::temp_dir() }";
+        assert_eq!(rules_of(src), vec!["NW-D006"]);
+        assert_eq!(
+            rules_of("fn g() { let _ = std::env::current_dir(); }"),
+            vec!["NW-D006"]
+        );
+        let mut cfg = cfg_all();
+        cfg.determinism_paths = vec![];
+        assert!(check_file("x.rs", src, &cfg).is_empty());
+        // A field or variable named temp_dir is not a call.
+        assert!(rules_of("fn h(c: &Cfg) -> &Path { &c.temp_dir }").is_empty());
     }
 
     #[test]

@@ -1,0 +1,7 @@
+// Fixture: NW-D006 — ambient filesystem paths in determinism-critical code.
+fn cache_root() -> std::path::PathBuf {
+    std::env::temp_dir().join("nestwx-cache") // line 3: fires NW-D006
+}
+fn spec_dir() -> std::io::Result<std::path::PathBuf> {
+    std::env::current_dir() // line 6: fires NW-D006
+}

@@ -34,6 +34,8 @@ fn every_rule_fires_at_the_expected_span() {
         ("NW-D003", "d003_entropy.rs", 4),
         ("NW-D004", "d004_iteration.rs", 5),
         ("NW-D005", "d005_spawn.rs", 3),
+        ("NW-D006", "d006_ambient_path.rs", 3),
+        ("NW-D006", "d006_ambient_path.rs", 6),
         ("NW-S001", "s001_unwrap.rs", 3),
         ("NW-S001", "s001_unwrap.rs", 4),
         ("NW-S001", "s001_unwrap.rs", 6),
@@ -100,5 +102,5 @@ fn stale_allowlist_entry_fails_the_run() {
 fn fixture_run_is_nonzero_and_workspace_scan_sees_files() {
     let report = fixture_report("");
     assert!(!report.ok(), "fixtures must fail the lint");
-    assert_eq!(report.files_scanned, 10, "one fixture per rule");
+    assert_eq!(report.files_scanned, 11, "one fixture per rule");
 }

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_serve [--smoke] [--churn] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]
+//! bench_serve [--smoke] [--churn] [--sweep] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]
 //! ```
 //!
 //! Default (bench) mode spawns an in-process server on an ephemeral port,
@@ -28,6 +28,17 @@
 //! asserts zero protocol errors and a non-zero cache hit rate, then issues
 //! `shutdown` so CI can check the server drains and exits 0.
 //!
+//! `--sweep` measures the scenario-sweep engine instead of the wire
+//! protocol: a fixed in-code 96-combination spec (64 unique scenarios
+//! after canonical-digest dedup) is swept cold into a throwaway disk
+//! cache, then re-swept warm under a different job count — the warm run
+//! must be a pure disk replay with the same `plans_digest` — and finally
+//! a server pointed at the swept cache must answer `plan` requests
+//! byte-identically to one planning from scratch. Both timing loops are
+//! short, so each phase runs five rounds and reports the best wall
+//! time. Writes `BENCH_sweep.json` (scenarios/s, dedup ratio,
+//! cold-vs-warm speedup, warm hit rate) for `perf_gate --sweep`.
+//!
 //! Knobs (flags win over env): `NESTWX_SERVE_CLIENTS` (default 4),
 //! `NESTWX_SERVE_REQS` (requests per client, default 30000),
 //! `NESTWX_CHURN_CLIENTS` (distinct churn identities, default 1,000,000),
@@ -35,13 +46,14 @@
 //! `NESTWX_CHURN_COLD` (cold deadline-phase requests, default 32).
 
 use nestwx_bench::{banner, env_u32, pacific_parent};
-use nestwx_core::{AllocPolicy, MappingKind, Strategy};
+use nestwx_core::{AllocPolicy, MappingKind, Strategy, TempDir};
 use nestwx_grid::NestSpec;
 use nestwx_obs::clock;
 use nestwx_obs::LogHistogram;
 use nestwx_serve::{
     spawn, Client, PredictParams, Request, RequestBody, ScenarioParams, ServeConfig,
 };
+use nestwx_sweep::{run_sweep, SweepOptions, SweepSpec};
 use serde::Serialize;
 use serde_json::Value;
 use std::process::ExitCode;
@@ -113,20 +125,37 @@ struct ChurnOutput {
 struct Args {
     smoke: bool,
     churn: bool,
+    sweep: bool,
     addr: Option<String>,
     clients: u32,
     requests: u32,
-    out: String,
+    /// Explicit `--out`; defaults per mode (`BENCH_serve.json` /
+    /// `BENCH_sweep.json`) when absent.
+    out: Option<String>,
+}
+
+impl Args {
+    fn out_path(&self) -> String {
+        self.out.clone().unwrap_or_else(|| {
+            if self.sweep {
+                "BENCH_sweep.json"
+            } else {
+                "BENCH_serve.json"
+            }
+            .into()
+        })
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         churn: false,
+        sweep: false,
         addr: None,
         clients: env_u32("NESTWX_SERVE_CLIENTS", 4).max(1),
         requests: env_u32("NESTWX_SERVE_REQS", 30000).max(1),
-        out: "BENCH_serve.json".into(),
+        out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -140,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--smoke" => args.smoke = true,
             "--churn" => args.churn = true,
+            "--sweep" => args.sweep = true,
             "--addr" => args.addr = Some(take(&mut i)?),
             "--clients" => {
                 args.clients = take(&mut i)?
@@ -155,13 +185,16 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&n| n > 0)
                     .ok_or("--requests expects a positive integer")?
             }
-            "--out" => args.out = take(&mut i)?,
+            "--out" => args.out = Some(take(&mut i)?),
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
     }
     if args.churn && args.addr.is_some() {
         return Err("--churn needs the in-process server (no --addr): it sets limit knobs".into());
+    }
+    if args.sweep && (args.smoke || args.churn || args.addr.is_some()) {
+        return Err("--sweep is standalone: it spawns its own servers and takes no --addr".into());
     }
     Ok(args)
 }
@@ -745,6 +778,283 @@ fn run_churn() -> Result<(ChurnOutput, bool), String> {
     Ok((out, all_answered))
 }
 
+// ---------------------------------------------------------------------------
+// Sweep mode
+// ---------------------------------------------------------------------------
+
+/// What `--sweep` writes to `BENCH_sweep.json`. `perf_gate --sweep` reads
+/// `scenarios_per_sec`, `dedup_ratio`, `warm_speedup`, `warm_hit_rate`,
+/// `byte_identical` and `errors` back out of this.
+#[derive(Debug, Serialize)]
+struct SweepBenchOutput {
+    benchmark: String,
+    expanded: u64,
+    unique: u64,
+    dedup_ratio: f64,
+    iterations: u32,
+    cold_jobs: u64,
+    warm_jobs: u64,
+    cold_elapsed_seconds: f64,
+    warm_elapsed_seconds: f64,
+    /// Cold-sweep planning throughput — the gated figure.
+    scenarios_per_sec: f64,
+    /// Cold elapsed over warm elapsed; a warm sweep skips planning and
+    /// simulation entirely, so this must stay above 1.
+    warm_speedup: f64,
+    /// Disk hits over unique scenarios on the warm run (must be 1.0).
+    warm_hit_rate: f64,
+    warm_recomputed: u64,
+    errors: u64,
+    /// Digests equal across runs and job counts, and serve `plan`
+    /// responses from the swept cache byte-identical to fresh planning.
+    byte_identical: bool,
+    plans_digest: String,
+}
+
+/// The fixed sweep-bench spec: 96 cartesian combinations collapsing to 64
+/// unique scenarios (the repeated `partition` mapping dedups away), cheap
+/// enough to plan cold in CI. Mirrors the `examples/sweep_smoke.json`
+/// shape so the smoke job and the perf gate exercise the same spec
+/// grammar.
+const SWEEP_SPEC: &str = r#"{
+    "machines": ["bgl:64", "bgl:128"],
+    "parents": ["286x307@24"],
+    "nests": {
+        "counts": [1, 2],
+        "size": {"start": 96, "step": 12, "n": 2},
+        "refine": 3,
+        "positions": [[10, 12], [120, 120]]
+    },
+    "strategies": ["sequential", "concurrent"],
+    "allocs": ["huffman", "naive"],
+    "mappings": ["partition", "multilevel", "partition"],
+    "iterations": 2
+}"#;
+
+/// A `plan` request for one scenario the sweep is known to cover: the
+/// two-nest 96² set on bgl:64 from `SWEEP_SPEC`'s generator block. The
+/// warmed server must answer it straight from the swept disk cache.
+fn sweep_plan_request(id: &str, strategy: Strategy, alloc: AllocPolicy) -> Request {
+    Request::new(
+        Some(id.into()),
+        RequestBody::Plan(ScenarioParams {
+            machine: "bgl:64".into(),
+            parent: pacific_parent(),
+            nests: vec![
+                NestSpec::new(96, 96, 3, (10, 12)),
+                NestSpec::new(96, 96, 3, (120, 120)),
+            ],
+            strategy,
+            alloc,
+            mapping: MappingKind::Partition,
+            io: None,
+        }),
+    )
+}
+
+/// The sweep measurement: cold sweep into a throwaway disk cache, warm
+/// replay under a different job count, and a serve pre-heat byte-identity
+/// check against a cache-less server.
+fn run_sweep_bench() -> Result<(SweepBenchOutput, bool), String> {
+    banner(
+        "SWEEP",
+        "scenario-space sweep: cold planning, warm disk replay, serve pre-heat",
+    );
+    let spec = SweepSpec::parse(SWEEP_SPEC).map_err(|e| format!("built-in spec: {e}"))?;
+    // The cold sweep is a ~100 ms timing loop — far too short for a single
+    // sample on a shared machine. Both phases report best-of-ROUNDS wall
+    // time; every round still has its invariants checked, and the cold
+    // rounds double as a digest-invariance check across fresh caches.
+    const ROUNDS: usize = 5;
+    let mut ok = true;
+
+    let mut cold: Option<nestwx_sweep::SweepReport> = None;
+    let mut cold_elapsed = f64::INFINITY;
+    let mut cache = TempDir::new("bench-sweep").map_err(|e| format!("tempdir: {e}"))?;
+    for round in 0..ROUNDS {
+        if round > 0 {
+            cache = TempDir::new("bench-sweep").map_err(|e| format!("tempdir: {e}"))?;
+        }
+        let opts = SweepOptions {
+            cache_dir: Some(cache.path().to_path_buf()),
+            iterations: None,
+            jobs: Some(4),
+        };
+        let report = run_sweep(&spec, &opts).map_err(|e| format!("cold sweep: {e}"))?;
+        println!(
+            "cold[{round}]: {} unique of {} expanded in {:.3}s ({:.0} scenarios/s, {} jobs)",
+            report.unique,
+            report.expanded,
+            report.elapsed_seconds,
+            report.unique as f64 / report.elapsed_seconds.max(1e-9),
+            report.jobs
+        );
+        if report.errors != 0 {
+            eprintln!(
+                "sweep: FAIL — {} scenarios errored on the cold run",
+                report.errors
+            );
+            ok = false;
+        }
+        if report.disk_hits != 0 {
+            eprintln!(
+                "sweep: FAIL — cold run hit disk {} times in a fresh cache",
+                report.disk_hits
+            );
+            ok = false;
+        }
+        if let Some(prev) = &cold {
+            if prev.plans_digest != report.plans_digest {
+                eprintln!(
+                    "sweep: FAIL — plans digest drifted across fresh cold runs ({} vs {})",
+                    prev.plans_digest, report.plans_digest
+                );
+                ok = false;
+            }
+        }
+        cold_elapsed = cold_elapsed.min(report.elapsed_seconds);
+        cold = Some(report);
+    }
+    let cold = cold.expect("ROUNDS >= 1");
+
+    // `cache` now holds the last cold round's fully-populated cache (all
+    // rounds produced identical bytes); every warm round must replay it
+    // without planning anything.
+    let warm_opts = SweepOptions {
+        cache_dir: Some(cache.path().to_path_buf()),
+        iterations: None,
+        jobs: Some(2),
+    };
+    let mut warm: Option<nestwx_sweep::SweepReport> = None;
+    let mut warm_elapsed = f64::INFINITY;
+    let mut byte_identical = true;
+    for round in 0..ROUNDS {
+        let report = run_sweep(&spec, &warm_opts).map_err(|e| format!("warm sweep: {e}"))?;
+        println!(
+            "warm[{round}]: {} disk hits, {} recomputed in {:.3}s ({} jobs)",
+            report.disk_hits, report.computed, report.elapsed_seconds, report.jobs
+        );
+        if report.plans_digest != cold.plans_digest {
+            eprintln!(
+                "sweep: FAIL — plans digest changed across runs/job counts ({} vs {})",
+                cold.plans_digest, report.plans_digest
+            );
+            byte_identical = false;
+        }
+        if report.computed != 0 {
+            eprintln!(
+                "sweep: FAIL — warm run recomputed {} scenarios",
+                report.computed
+            );
+            ok = false;
+        }
+        warm_elapsed = warm_elapsed.min(report.elapsed_seconds);
+        warm = Some(report);
+    }
+    let warm = warm.expect("ROUNDS >= 1");
+
+    // Serve pre-heat: a server on the swept cache dir vs. one planning
+    // from scratch must produce byte-identical plan responses.
+    let mut warm_cfg = ServeConfig::new("127.0.0.1:0");
+    warm_cfg.cache_dir = Some(cache.path().to_path_buf());
+    let warm_handle = spawn(warm_cfg).map_err(|e| format!("spawn warmed server: {e}"))?;
+    let fresh_handle =
+        spawn(ServeConfig::new("127.0.0.1:0")).map_err(|e| format!("spawn fresh server: {e}"))?;
+    let mut warm_client =
+        Client::connect(warm_handle.addr()).map_err(|e| format!("connect warmed: {e}"))?;
+    let mut fresh_client =
+        Client::connect(fresh_handle.addr()).map_err(|e| format!("connect fresh: {e}"))?;
+    let combos = [
+        (Strategy::Concurrent, AllocPolicy::HuffmanSplitTree),
+        (Strategy::Sequential, AllocPolicy::NaiveProportional),
+        (Strategy::Concurrent, AllocPolicy::NaiveProportional),
+    ];
+    for (i, &(strategy, alloc)) in combos.iter().enumerate() {
+        let req = sweep_plan_request(&format!("sw{i}"), strategy, alloc);
+        let from_disk = warm_client
+            .call(&req)
+            .map_err(|e| format!("warmed plan: {e}"))?;
+        let from_scratch = fresh_client
+            .call(&req)
+            .map_err(|e| format!("fresh plan: {e}"))?;
+        if !from_disk.ok() {
+            return Err(format!("warmed server rejected plan: {}", from_disk.raw));
+        }
+        if from_disk.raw != from_scratch.raw {
+            eprintln!("sweep: FAIL — pre-heated plan response {i} differs from fresh bytes");
+            byte_identical = false;
+        }
+    }
+    let stats = warm_client
+        .call(&stats_request())
+        .map_err(|e| format!("warmed stats: {e}"))?;
+    let result = stats.result().cloned().unwrap_or(Value::Null);
+    let disk_hits = u64_at(&result, &["disk", "hits"]);
+    let disk_writes = u64_at(&result, &["disk", "writes"]);
+    if disk_hits != combos.len() as u64 || disk_writes != 0 {
+        eprintln!(
+            "sweep: FAIL — warmed server should serve purely from disk \
+             (hits={disk_hits}, writes={disk_writes})"
+        );
+        ok = false;
+    }
+    println!(
+        "pre-heat: {} plan requests answered from disk, byte-identical: {byte_identical}",
+        combos.len()
+    );
+    for (label, handle, client) in [
+        ("warmed", warm_handle, &mut warm_client),
+        ("fresh", fresh_handle, &mut fresh_client),
+    ] {
+        let shut = client
+            .call(&shutdown_request())
+            .map_err(|e| format!("{label} shutdown: {e}"))?;
+        if !shut.ok() {
+            return Err(format!("{label} shutdown rejected: {}", shut.raw));
+        }
+        let report = handle.wait();
+        if !report.clean() {
+            return Err(format!("{label} server unclean drain: {report:?}"));
+        }
+    }
+
+    let warm_hit_rate = if warm.unique == 0 {
+        0.0
+    } else {
+        warm.disk_hits as f64 / warm.unique as f64
+    };
+    if warm_hit_rate < 1.0 {
+        eprintln!(
+            "sweep: FAIL — warm hit rate {:.3} (every deduped scenario must hit disk)",
+            warm_hit_rate
+        );
+        ok = false;
+    }
+    let out = SweepBenchOutput {
+        benchmark: "sweep".into(),
+        expanded: cold.expanded as u64,
+        unique: cold.unique as u64,
+        dedup_ratio: cold.expanded as f64 / cold.unique.max(1) as f64,
+        iterations: spec.iterations,
+        cold_jobs: cold.jobs as u64,
+        warm_jobs: warm.jobs as u64,
+        cold_elapsed_seconds: cold_elapsed,
+        warm_elapsed_seconds: warm_elapsed,
+        scenarios_per_sec: cold.unique as f64 / cold_elapsed.max(1e-9),
+        warm_speedup: cold_elapsed / warm_elapsed.max(1e-9),
+        warm_hit_rate,
+        warm_recomputed: warm.computed as u64,
+        errors: (cold.errors + warm.errors) as u64,
+        byte_identical,
+        plans_digest: cold.plans_digest.clone(),
+    };
+    println!(
+        "sweep: {:.0} scenarios/s cold, {:.1}x warm speedup, dedup {:.2}, digest {}",
+        out.scenarios_per_sec, out.warm_speedup, out.dedup_ratio, out.plans_digest
+    );
+    Ok((out, ok && byte_identical))
+}
+
 /// The CI smoke workload: a short mixed predict/plan session that must
 /// produce zero protocol errors, a non-zero cache hit rate, byte-identical
 /// repeats, working predict micro-batching, and a clean shutdown.
@@ -894,13 +1204,31 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("bench_serve: {e}");
             eprintln!(
-                "usage: bench_serve [--smoke] [--churn] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]"
+                "usage: bench_serve [--smoke] [--churn] [--sweep] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]"
             );
             return ExitCode::FAILURE;
         }
     };
     if args.smoke {
         return match run_smoke(&args) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("bench_serve: error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let out_path = args.out_path();
+    if args.sweep {
+        let run = run_sweep_bench().and_then(|(out, ok)| {
+            let json = serde_json::to_string(&out).map_err(|e| format!("serialize: {e:?}"))?;
+            std::fs::write(&out_path, format!("{json}\n"))
+                .map_err(|e| format!("write {out_path}: {e}"))?;
+            println!("wrote {out_path}");
+            Ok(ok)
+        });
+        return match run {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {
@@ -916,9 +1244,9 @@ fn main() -> ExitCode {
             ok = ok && churn_ok;
         }
         let json = serde_json::to_string(&out).map_err(|e| format!("serialize: {e:?}"))?;
-        std::fs::write(&args.out, format!("{json}\n"))
-            .map_err(|e| format!("write {}: {e}", args.out))?;
-        println!("wrote {}", args.out);
+        std::fs::write(&out_path, format!("{json}\n"))
+            .map_err(|e| format!("write {out_path}: {e}"))?;
+        println!("wrote {out_path}");
         Ok(ok)
     });
     match run {

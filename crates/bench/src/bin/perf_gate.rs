@@ -1,11 +1,12 @@
-//! CI performance-regression gate over `BENCH_netsim.json` and
-//! `BENCH_serve.json`.
+//! CI performance-regression gate over `BENCH_netsim.json`,
+//! `BENCH_serve.json` and `BENCH_sweep.json`.
 //!
 //! Usage:
 //!
 //! ```text
 //! perf_gate <baseline.json> <current.json>           # netsim steps/s gate
 //! perf_gate --serve <baseline.json> <current.json>   # serve throughput gate
+//! perf_gate --sweep <baseline.json> <current.json>   # sweep engine gate
 //! ```
 //!
 //! Compares the compiled engine's steps/second in `current` against the
@@ -29,6 +30,13 @@
 //! predates churn). A *missing baseline file* is tolerated in `--serve`
 //! mode (PASS with a note) so the gate can ship in the same change that
 //! introduces the benchmark.
+//!
+//! The `--sweep` mode gates `bench_serve --sweep` output: cold-sweep
+//! `scenarios_per_sec` and cold-vs-warm `warm_speedup` with the same
+//! tolerance, `dedup_ratio` exactly (the spec is compiled in, so any
+//! drift is a determinism bug, not noise), and — unconditionally —
+//! `byte_identical: true`, a 100 % warm disk-hit rate and zero scenario
+//! errors. A missing baseline is tolerated like `--serve`.
 //!
 //! Faster-than-baseline results pass with a note; refresh the committed
 //! baseline by running `bench_netsim` (or `bench_serve`) on a quiet
@@ -240,6 +248,105 @@ fn gate_churn(current: &Value, baseline: Option<&Value>, tol: f64) -> Result<boo
     Ok(ok)
 }
 
+/// A required f64 field of a bench file.
+fn f64_field(v: &Value, path: &str, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .ok_or_else(|| format!("{path}: missing {key}"))
+}
+
+/// The `--sweep` gate: scenario throughput and warm speedup with
+/// tolerance, dedup ratio exactly, correctness flags unconditionally,
+/// missing baseline tolerated.
+fn run_sweep(baseline_path: &str, current_path: &str) -> Result<bool, String> {
+    let tol = tolerance_pct();
+    let current = load(current_path)?;
+    let mut ok = true;
+
+    let sps = f64_field(&current, current_path, "scenarios_per_sec")?;
+    let speedup = f64_field(&current, current_path, "warm_speedup")?;
+    let dedup = f64_field(&current, current_path, "dedup_ratio")?;
+    let hit_rate = f64_field(&current, current_path, "warm_hit_rate")?;
+    let errors = current.get("errors").and_then(|v| v.as_u64()).unwrap_or(0);
+    let byte_identical = bool_flag(&current, "byte_identical").unwrap_or(false);
+
+    println!("sweep gate: tolerance {tol:.0}% (NESTWX_PERF_TOLERANCE_PCT)");
+    if !byte_identical {
+        println!("sweep gate: byte_identical is false  FAIL");
+        ok = false;
+    }
+    if errors != 0 {
+        println!("sweep gate: {errors} scenario errors  FAIL");
+        ok = false;
+    }
+    if hit_rate < 1.0 {
+        println!(
+            "sweep gate: warm hit rate {:.1}% < 100%  FAIL (warm sweep must replay from disk)",
+            hit_rate * 100.0
+        );
+        ok = false;
+    } else {
+        println!("sweep gate: warm hit rate 100%  PASS");
+    }
+
+    match load(baseline_path) {
+        Err(_) if !std::path::Path::new(baseline_path).exists() => {
+            println!(
+                "sweep gate: no baseline at {baseline_path} — current {sps:.0} scenarios/s \
+                 PASS (first run; commit {current_path} as the baseline)"
+            );
+        }
+        Err(e) => return Err(e),
+        Ok(baseline) => {
+            let base_sps = f64_field(&baseline, baseline_path, "scenarios_per_sec")?;
+            let delta_pct = (sps / base_sps - 1.0) * 100.0;
+            let pass = delta_pct >= -tol;
+            println!(
+                "sweep gate: baseline {base_sps:.0} scenarios/s, current {sps:.0} scenarios/s \
+                 ({delta_pct:+.1}%)  {}",
+                if pass {
+                    if delta_pct > tol {
+                        "PASS (faster — consider refreshing baseline)"
+                    } else {
+                        "PASS"
+                    }
+                } else {
+                    "FAIL (regression beyond tolerance)"
+                }
+            );
+            ok &= pass;
+
+            let base_speedup = f64_field(&baseline, baseline_path, "warm_speedup")?;
+            let delta_pct = (speedup / base_speedup - 1.0) * 100.0;
+            let pass = delta_pct >= -tol;
+            println!(
+                "sweep gate: baseline warm speedup {base_speedup:.1}x, current {speedup:.1}x \
+                 ({delta_pct:+.1}%)  {}",
+                if pass {
+                    "PASS"
+                } else {
+                    "FAIL (warm replay slowed beyond tolerance)"
+                }
+            );
+            ok &= pass;
+
+            // The spec is compiled into the benchmark: the dedup ratio is
+            // a determinism invariant, not a measurement.
+            let base_dedup = f64_field(&baseline, baseline_path, "dedup_ratio")?;
+            if (dedup - base_dedup).abs() > 1e-9 {
+                println!(
+                    "sweep gate: dedup ratio {dedup:.4} != baseline {base_dedup:.4}  FAIL \
+                     (expansion or canonical-digest drift)"
+                );
+                ok = false;
+            } else {
+                println!("sweep gate: dedup ratio {dedup:.2}  PASS");
+            }
+        }
+    }
+    Ok(ok)
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let ["--serve", baseline_path, current_path] = args
@@ -250,8 +357,16 @@ fn run() -> Result<bool, String> {
     {
         return run_serve(baseline_path, current_path);
     }
+    if let ["--sweep", baseline_path, current_path] = args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        return run_sweep(baseline_path, current_path);
+    }
     let [baseline_path, current_path] = args.as_slice() else {
-        return Err("usage: perf_gate [--serve] <baseline.json> <current.json>".into());
+        return Err("usage: perf_gate [--serve|--sweep] <baseline.json> <current.json>".into());
     };
     let tol = tolerance_pct();
     let baseline = load(baseline_path)?;

@@ -9,8 +9,6 @@ use nestwx_grid::NestSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// Number of simulated parent iterations per measurement. Three is enough:
 /// the simulator is deterministic and steady from the first iteration.
@@ -60,61 +58,10 @@ pub fn rng_for(experiment: &str) -> StdRng {
 // imports unchanged.
 pub use nestwx_core::env::{env_f64, env_u32, env_usize};
 
-/// Worker count for [`run_parallel`]: the `NESTWX_JOBS` environment
-/// variable when set to a positive integer, else the machine's available
-/// parallelism (1 if that cannot be determined).
-pub fn parallel_jobs() -> usize {
-    let fallback = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    env_usize("NESTWX_JOBS", fallback)
-}
-
-/// Maps `f` over `items` on [`parallel_jobs`] scoped threads, preserving
-/// input order in the returned vector.
-///
-/// Each experiment point is an independent simulation, so the driver
-/// parallelises across points (work-stealing via an atomic index — run
-/// times vary widely with rank count, so static chunking would straggle).
-/// Falls back to a plain serial map when only one job is configured or
-/// there is at most one item.
-pub fn run_parallel<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let jobs = parallel_jobs().min(items.len());
-    if jobs <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let (next, f) = (&next, &f);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                if tx.send((i, r)).is_err() {
-                    break;
-                }
-            });
-        }
-    });
-    drop(tx);
-    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    for (i, r) in rx {
-        out[i] = Some(r);
-    }
-    out.into_iter()
-        .map(|slot| slot.expect("worker filled every claimed slot"))
-        .collect()
-}
+// The work-stealing driver moved to `nestwx_core::parallel` so the sweep
+// engine can share it; re-exported here to keep the experiment binaries'
+// imports unchanged.
+pub use nestwx_core::parallel::{parallel_jobs, run_parallel, run_parallel_with};
 
 /// Chrome-trace output destination for an experiment binary: the
 /// `--trace-out <path>` (or `--trace-out=<path>`) CLI argument when
@@ -221,16 +168,6 @@ mod tests {
         let c: u64 = rng_for("y").gen();
         assert_eq!(a, b);
         assert_ne!(a, c);
-    }
-
-    #[test]
-    fn run_parallel_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = run_parallel(&items, |&x| x * x);
-        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
-        // Degenerate inputs.
-        assert_eq!(run_parallel(&[] as &[u64], |&x| x), Vec::<u64>::new());
-        assert_eq!(run_parallel(&[7u64], |&x| x + 1), vec![8]);
     }
 
     #[test]

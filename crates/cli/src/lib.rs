@@ -43,6 +43,8 @@ pub enum Command {
     Obs(ObsCmd),
     /// Run the planning daemon (`nestwx serve`).
     Serve(ServeArgs),
+    /// Sweep a declarative scenario space (`nestwx sweep`).
+    Sweep(SweepArgs),
     /// Run the repo-specific static analysis (`nestwx lint`).
     Lint(LintArgs),
     /// Print usage.
@@ -63,6 +65,48 @@ pub struct LintArgs {
     /// exemptions) instead of the workspace one — for testing the rules
     /// themselves against known-bad snippets.
     pub fixtures: bool,
+}
+
+/// Arguments of `nestwx sweep`. Flags override the `NESTWX_SWEEP_*`
+/// environment knobs, which override the spec/built-in defaults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SweepArgs {
+    /// Scenario-space spec file (JSON; `--spec`, required).
+    pub spec: String,
+    /// Disk-cache directory shared with `nestwx serve` (`--cache-dir`,
+    /// else `NESTWX_SWEEP_CACHE_DIR`; unset = no persistence).
+    pub cache_dir: Option<String>,
+    /// Override of the spec's simulated iterations (`--iterations`).
+    pub iterations: Option<u32>,
+    /// Worker threads (`--jobs`, else `NESTWX_SWEEP_JOBS`, else
+    /// `NESTWX_JOBS` / available parallelism).
+    pub jobs: Option<usize>,
+    /// Also write the summary envelope JSON to this file (`--out`).
+    pub out: Option<String>,
+    /// Print the summary envelope as JSON instead of tables.
+    pub json: bool,
+}
+
+impl SweepArgs {
+    /// Resolves flags and environment into engine options. The cache dir
+    /// always flows in explicitly from here (flag or `NESTWX_SWEEP_*`
+    /// env) — the engine itself never reads ambient paths (NW-D006).
+    pub fn to_options(&self) -> nestwx_sweep::SweepOptions {
+        let env_nonempty = |key: &str| std::env::var(key).ok().filter(|v| !v.is_empty());
+        let cache_dir = self
+            .cache_dir
+            .clone()
+            .or_else(|| env_nonempty("NESTWX_SWEEP_CACHE_DIR"))
+            .map(std::path::PathBuf::from);
+        let jobs = self
+            .jobs
+            .or_else(|| env_nonempty("NESTWX_SWEEP_JOBS").and_then(|v| v.parse().ok()));
+        nestwx_sweep::SweepOptions {
+            cache_dir,
+            iterations: self.iterations,
+            jobs,
+        }
+    }
 }
 
 /// Arguments of `nestwx serve`. Flags override the `NESTWX_SERVE_*`
@@ -101,6 +145,9 @@ pub struct ServeArgs {
     /// Connection lifetime cap in ms, 0 = none (`--lifetime-ms`, else
     /// `NESTWX_SERVE_LIFETIME_MS`).
     pub lifetime_ms: Option<u64>,
+    /// Disk plan-cache directory (`--cache-dir`, else
+    /// `NESTWX_SERVE_CACHE_DIR`; unset = in-memory cache only).
+    pub cache_dir: Option<String>,
 }
 
 impl ServeArgs {
@@ -142,6 +189,9 @@ impl ServeArgs {
         }
         if let Some(n) = self.lifetime_ms {
             cfg.lifetime_ms = n;
+        }
+        if let Some(dir) = &self.cache_dir {
+            cfg.cache_dir = Some(std::path::PathBuf::from(dir));
         }
         cfg
     }
@@ -355,6 +405,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "obs" => parse_obs_args(&args[1..]).map(Command::Obs),
         "serve" => parse_serve_args(&args[1..]).map(Command::Serve),
+        "sweep" => parse_sweep_args(&args[1..]).map(Command::Sweep),
         "lint" => parse_lint_args(&args[1..]).map(Command::Lint),
         "plan" | "compare" => {
             let mut machine = None;
@@ -419,7 +470,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         other => Err(err(format!(
-            "unknown command '{other}' (machines|plan|compare|obs|serve|lint|help)"
+            "unknown command '{other}' (machines|plan|compare|sweep|obs|serve|lint|help)"
         ))),
     }
 }
@@ -441,6 +492,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseError> {
         predictors: None,
         idle_ms: None,
         lifetime_ms: None,
+        cache_dir: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -484,10 +536,51 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseError> {
             "--lifetime-ms" => {
                 serve.lifetime_ms = Some(nonneg("--lifetime-ms", value("--lifetime-ms")?)?)
             }
+            "--cache-dir" => serve.cache_dir = Some(value("--cache-dir")?),
             other => return Err(err(format!("unknown serve flag '{other}'"))),
         }
     }
     Ok(serve)
+}
+
+/// Parses `sweep --spec FILE [--cache-dir DIR] [--iterations N]
+/// [--jobs N] [--out FILE] [--json]`.
+fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ParseError> {
+    let mut sweep = SweepArgs::default();
+    let mut spec = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--spec" => spec = Some(value("--spec")?),
+            "--cache-dir" => sweep.cache_dir = Some(value("--cache-dir")?),
+            "--iterations" => {
+                let n: u32 = value("--iterations")?
+                    .parse()
+                    .map_err(|_| err("bad --iterations"))?;
+                if n == 0 {
+                    return Err(err("--iterations must be ≥ 1"));
+                }
+                sweep.iterations = Some(n);
+            }
+            "--jobs" => {
+                let n: usize = value("--jobs")?.parse().map_err(|_| err("bad --jobs"))?;
+                if n == 0 {
+                    return Err(err("--jobs must be ≥ 1"));
+                }
+                sweep.jobs = Some(n);
+            }
+            "--out" => sweep.out = Some(value("--out")?),
+            "--json" => sweep.json = true,
+            other => return Err(err(format!("unknown sweep flag '{other}'"))),
+        }
+    }
+    sweep.spec = spec.ok_or_else(|| err("--spec is required"))?;
+    Ok(sweep)
 }
 
 /// Parses `lint [--root DIR] [--allow FILE] [--json] [--fixtures]`.
@@ -706,6 +799,85 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
                 return Err(format!("unclean drain: {report:?}").into());
             }
         }
+        Command::Sweep(a) => {
+            let text = std::fs::read_to_string(&a.spec)
+                .map_err(|e| format!("cannot read spec '{}': {e}", a.spec))?;
+            let spec = nestwx_sweep::SweepSpec::parse(&text)?;
+            let report = nestwx_sweep::run_sweep(&spec, &a.to_options())?;
+            let envelope = nestwx_sweep::to_json(&report);
+            if let Some(path) = &a.out {
+                std::fs::write(path, &envelope)
+                    .map_err(|e| format!("cannot write '{path}': {e}"))?;
+            }
+            if a.json {
+                writeln!(out, "{envelope}")?;
+            } else {
+                writeln!(
+                    out,
+                    "swept {} scenarios ({} expanded, {} duplicate) in {:.2}s with {} jobs",
+                    report.unique,
+                    report.expanded,
+                    report.duplicates,
+                    report.elapsed_seconds,
+                    report.jobs
+                )?;
+                writeln!(
+                    out,
+                    "  computed {}  disk hits {}  errors {}  plans digest {}",
+                    report.computed, report.disk_hits, report.errors, report.plans_digest
+                )?;
+                if let Some(d) = &report.disk {
+                    writeln!(
+                        out,
+                        "  disk cache: {} hits, {} misses, {} writes, {} corrupt",
+                        d.hits, d.misses, d.writes, d.corrupt
+                    )?;
+                }
+                writeln!(out)?;
+                writeln!(out, "pareto front (ranks vs s/iter):")?;
+                for p in &report.pareto {
+                    writeln!(
+                        out,
+                        "  {:>7} ranks  {:>9.4} s/iter  {} {}/{}/{}  {}",
+                        p.ranks,
+                        p.planned_s_per_iter,
+                        p.machine,
+                        p.strategy,
+                        p.alloc,
+                        p.mapping,
+                        p.region
+                    )?;
+                }
+                writeln!(out)?;
+                writeln!(out, "winner per region:")?;
+                for w in &report.winners {
+                    writeln!(
+                        out,
+                        "  {}  ->  {}:{} {}/{}/{}  {:.4} s/iter  ({} scenarios, worst +{:.1}%)",
+                        w.region,
+                        w.machine,
+                        w.ranks,
+                        w.strategy,
+                        w.alloc,
+                        w.mapping,
+                        w.planned_s_per_iter,
+                        w.scenarios,
+                        w.spread_pct
+                    )?;
+                }
+                for row in report.scenarios.iter().filter(|r| r.error.is_some()) {
+                    writeln!(
+                        out,
+                        "  error: {} ({})",
+                        row.error.as_deref().unwrap_or(""),
+                        row.key
+                    )?;
+                }
+            }
+            if report.errors > 0 {
+                return Err(format!("{} scenario(s) failed to plan", report.errors).into());
+            }
+        }
         Command::Lint(a) => {
             let root = std::path::PathBuf::from(a.root.as_deref().unwrap_or("."));
             let cfg = if a.fixtures {
@@ -829,13 +1001,15 @@ USAGE:
   nestwx machines
   nestwx plan    --machine bgl:1024 --parent 286x307@24 --nest 259x229r3@10,12 [...]
   nestwx compare --machine bgp:4096 --parent 286x307@24 --nest 394x418r3@10,10 [...]
+  nestwx sweep   --spec FILE [--cache-dir DIR] [--iterations N] [--jobs N]
+                 [--out FILE] [--json]
   nestwx obs report FILE
   nestwx obs top  FILE [--by duration|compute|halo_wait|bytes|messages|hops|stall] [-n N]
   nestwx obs diff A B
   nestwx serve   [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
                  [--max-conns N] [--readers N] [--deadline-ms MS] [--rate N]
                  [--burst N] [--client-cap N] [--predictors N] [--idle-ms MS]
-                 [--lifetime-ms MS]
+                 [--lifetime-ms MS] [--cache-dir DIR]
   nestwx lint    [--root DIR] [--allow FILE] [--json] [--fixtures]
 
 FLAGS:
@@ -854,6 +1028,18 @@ FLAGS:
                            PREFIX.default.json / PREFIX.planned.json run
                            summaries for 'nestwx obs'
 
+SWEEP:
+  Expands a declarative JSON scenario-space spec (lists/ranges over
+  machines, parents, nest sets, strategies, allocs, mappings, io),
+  dedups by canonical scenario, and plans+simulates every unique
+  scenario on a work-stealing thread pool. With --cache-dir (or
+  NESTWX_SWEEP_CACHE_DIR) results persist to a disk cache shared with
+  'nestwx serve --cache-dir' — a warm sweep pre-heats the service, and
+  re-running a sweep replays from disk. --jobs falls back to
+  NESTWX_SWEEP_JOBS, then NESTWX_JOBS. Output: Pareto front (ranks vs
+  s/iter), winner-per-region table, and a versioned summary envelope
+  ('nestwx obs report' understands it; --out writes it to a file).
+
 SERVE:
   Runs the planning daemon: newline-delimited JSON requests over TCP
   (predict|plan|compare|stats|shutdown), served by a nonblocking
@@ -863,9 +1049,12 @@ SERVE:
   NESTWX_SERVE_READERS / NESTWX_SERVE_QUEUE / NESTWX_SERVE_CACHE /
   NESTWX_SERVE_MAX_CONNS / NESTWX_SERVE_DEADLINE_MS / NESTWX_SERVE_RATE /
   NESTWX_SERVE_BURST / NESTWX_SERVE_CLIENT_CAP / NESTWX_SERVE_PREDICTORS /
-  NESTWX_SERVE_IDLE_MS / NESTWX_SERVE_LIFETIME_MS environment knobs
-  (deadline/rate/idle/lifetime default 0 = off). The process exits
-  (code 0) after a clean drain once a client sends 'shutdown'.
+  NESTWX_SERVE_IDLE_MS / NESTWX_SERVE_LIFETIME_MS /
+  NESTWX_SERVE_CACHE_DIR environment knobs (deadline/rate/idle/lifetime
+  default 0 = off; cache-dir unset = memory-only plan cache). With a
+  cache dir, plans persist across restarts and are shared with
+  'nestwx sweep'. The process exits (code 0) after a clean drain once
+  a client sends 'shutdown'.
 
 LINT:
   Repo-specific static analysis: determinism rules (NW-D001..D005 — no
@@ -1165,6 +1354,100 @@ mod tests {
     }
 
     #[test]
+    fn parse_sweep_commands() {
+        let Command::Sweep(a) = parse_args(&argv(&[
+            "sweep",
+            "--spec",
+            "space.json",
+            "--cache-dir",
+            "/tmp/cache",
+            "--iterations",
+            "4",
+            "--jobs",
+            "3",
+            "--out",
+            "summary.json",
+            "--json",
+        ]))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.spec, "space.json");
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/cache"));
+        assert_eq!(a.iterations, Some(4));
+        assert_eq!(a.jobs, Some(3));
+        assert_eq!(a.out.as_deref(), Some("summary.json"));
+        assert!(a.json);
+        let opts = a.to_options();
+        assert_eq!(
+            opts.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/cache"))
+        );
+        assert_eq!(opts.iterations, Some(4));
+        assert_eq!(opts.jobs, Some(3));
+        assert!(parse_args(&argv(&["sweep"])).is_err()); // --spec required
+        assert!(parse_args(&argv(&["sweep", "--spec"])).is_err());
+        assert!(parse_args(&argv(&["sweep", "--spec", "s.json", "--jobs", "0"])).is_err());
+        assert!(parse_args(&argv(&["sweep", "--spec", "s.json", "--iterations", "0"])).is_err());
+        assert!(parse_args(&argv(&["sweep", "--spec", "s.json", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn run_sweep_end_to_end_with_cache_and_obs_report() {
+        let dir = nestwx_core::TempDir::new("cli-sweep").unwrap();
+        let spec_path = dir.path().join("space.json");
+        let out_path = dir.path().join("summary.json");
+        let cache_dir = dir.path().join("cache");
+        std::fs::write(
+            &spec_path,
+            r#"{
+                "machines": ["bgl:64"],
+                "parents": ["286x307@24"],
+                "nest_sets": [["150x150r3@10,12"]],
+                "allocs": ["equal", "huffman"],
+                "mappings": ["partition", "txyz"],
+                "iterations": 1
+            }"#,
+        )
+        .unwrap();
+        let args = SweepArgs {
+            spec: spec_path.to_str().unwrap().into(),
+            cache_dir: Some(cache_dir.to_str().unwrap().into()),
+            iterations: None,
+            jobs: Some(2),
+            out: Some(out_path.to_str().unwrap().into()),
+            json: false,
+        };
+        let mut buf = Vec::new();
+        run(Command::Sweep(args.clone()), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("swept 4 scenarios"), "{text}");
+        assert!(text.contains("pareto front"), "{text}");
+        assert!(text.contains("winner per region"), "{text}");
+
+        // The --out envelope loads through `nestwx obs report`.
+        let v = obs::load_summary(out_path.to_str().unwrap()).unwrap();
+        assert_eq!(v["schema"].as_str(), Some(nestwx_obs::SWEEP_SCHEMA));
+        let mut buf = Vec::new();
+        run(
+            Command::Obs(ObsCmd::Report {
+                path: out_path.to_str().unwrap().into(),
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("sweep summary"), "{text}");
+        assert!(text.contains("winner per region"), "{text}");
+
+        // Second run replays entirely from the disk cache.
+        let mut buf = Vec::new();
+        run(Command::Sweep(args), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("computed 0  disk hits 4"), "{text}");
+    }
+
+    #[test]
     fn parse_lint_commands() {
         assert_eq!(
             parse_args(&argv(&["lint"])).unwrap(),
@@ -1247,6 +1530,7 @@ mod tests {
                     predictors: None,
                     idle_ms: None,
                     lifetime_ms: None,
+                    cache_dir: None,
                 }),
                 &mut buf,
             );
@@ -1304,8 +1588,8 @@ mod tests {
         // The ISSUE acceptance check: record a compare run, then verify the
         // written summary's per-nest time ratios match the ratios the
         // allocator planned with, to within rounding/model noise.
-        let dir = std::env::temp_dir();
-        let prefix = dir.join("nestwx_cli_obs_acceptance");
+        let dir = nestwx_core::TempDir::new("cli-obs").unwrap();
+        let prefix = dir.path().join("acceptance");
         let prefix = prefix.to_str().unwrap();
         let args = argv(&[
             "compare",
@@ -1391,8 +1675,5 @@ mod tests {
         )
         .unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("top 5 steps"));
-
-        let _ = std::fs::remove_file(default_path);
-        let _ = std::fs::remove_file(planned_path);
     }
 }

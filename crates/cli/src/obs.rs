@@ -4,10 +4,12 @@
 //! runs (`diff`).
 //!
 //! All three consume the `nestwx-obs-run-summary` envelope (see DESIGN.md
-//! "Summary JSON schema"); an unknown schema tag or a parse failure is an
-//! error, so CI can gate on it.
+//! "Summary JSON schema"); `report` additionally understands the
+//! `nestwx-obs-sweep-summary` envelope `nestwx sweep` writes. An unknown
+//! schema tag or a parse failure is an error, so CI can gate on it.
 
 use nestwx_netsim::SUMMARY_SCHEMA;
+use nestwx_obs::SWEEP_SCHEMA;
 use serde_json::Value;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -47,8 +49,11 @@ pub fn load_summary(path: &str) -> Result<Value, Box<dyn Error>> {
         .get("schema")
         .and_then(|s| s.as_str())
         .ok_or_else(|| format!("'{path}' has no 'schema' tag (not a run summary?)"))?;
-    if schema != SUMMARY_SCHEMA {
-        return Err(format!("'{path}' has schema '{schema}', expected '{SUMMARY_SCHEMA}'").into());
+    if schema != SUMMARY_SCHEMA && schema != SWEEP_SCHEMA {
+        return Err(format!(
+            "'{path}' has schema '{schema}', expected '{SUMMARY_SCHEMA}' or '{SWEEP_SCHEMA}'"
+        )
+        .into());
     }
     v.get("version")
         .and_then(|x| x.as_u64())
@@ -101,8 +106,12 @@ fn hist_row(name: &str, h: &Value) -> String {
 }
 
 /// `nestwx obs report FILE` — renders the run's summary, histogram,
-/// per-nest and link tables.
+/// per-nest and link tables; sweep summaries get counts, the Pareto
+/// front and the winner table instead.
 pub fn report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    if v.get("schema").and_then(Value::as_str) == Some(SWEEP_SCHEMA) {
+        return sweep_report(v, out);
+    }
     let s = v.get("summary").ok_or("missing 'summary' block")?;
     writeln!(out, "run summary (schema v{})", f(v, &["version"]) as u64)?;
     writeln!(
@@ -231,6 +240,95 @@ pub fn report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
                     f(l, &["util"]),
                 )?;
             }
+        }
+    }
+    Ok(())
+}
+
+/// Renders a `nestwx sweep` summary: run counts, disk-cache counters,
+/// the Pareto front and the winner-per-region table.
+fn sweep_report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    writeln!(out, "sweep summary (schema v{})", f(v, &["version"]) as u64)?;
+    writeln!(
+        out,
+        "  scenarios: {} unique of {} expanded ({} duplicate), {} iterations each",
+        f(v, &["unique"]) as u64,
+        f(v, &["expanded"]) as u64,
+        f(v, &["duplicates"]) as u64,
+        f(v, &["iterations"]) as u64,
+    )?;
+    writeln!(
+        out,
+        "  computed {}  disk hits {}  errors {}  ({} jobs, {}s)",
+        f(v, &["computed"]) as u64,
+        f(v, &["disk_hits"]) as u64,
+        f(v, &["errors"]) as u64,
+        f(v, &["jobs"]) as u64,
+        fmt_si(f(v, &["elapsed_seconds"])),
+    )?;
+    writeln!(
+        out,
+        "  plans digest: {}",
+        v.get("plans_digest").and_then(Value::as_str).unwrap_or("?")
+    )?;
+    if let Some(d) = v.get("disk") {
+        writeln!(
+            out,
+            "  disk cache: {} hits, {} misses, {} writes, {} corrupt",
+            f(d, &["hits"]) as u64,
+            f(d, &["misses"]) as u64,
+            f(d, &["writes"]) as u64,
+            f(d, &["corrupt"]) as u64,
+        )?;
+    }
+    let token = |p: &Value, key: &str| -> String {
+        p.get(key)
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    if let Some(front) = v.get("pareto").and_then(Value::as_array) {
+        writeln!(out)?;
+        writeln!(
+            out,
+            "  pareto front  {:>7} {:>10} {:<24} region",
+            "ranks", "s/iter", "machine strat/alloc/map"
+        )?;
+        for p in front {
+            writeln!(
+                out,
+                "  {:13} {:>7} {:>10.4} {:<24} {}",
+                "",
+                f(p, &["ranks"]) as u64,
+                f(p, &["planned_s_per_iter"]),
+                format!(
+                    "{} {}/{}/{}",
+                    token(p, "machine"),
+                    token(p, "strategy"),
+                    token(p, "alloc"),
+                    token(p, "mapping")
+                ),
+                token(p, "region"),
+            )?;
+        }
+    }
+    if let Some(winners) = v.get("winners").and_then(Value::as_array) {
+        writeln!(out)?;
+        writeln!(out, "  winner per region:")?;
+        for w in winners {
+            writeln!(
+                out,
+                "    {}  ->  {}:{} {}/{}/{}  {:.4} s/iter  ({} scenarios, worst +{:.1}%)",
+                token(w, "region"),
+                token(w, "machine"),
+                f(w, &["ranks"]) as u64,
+                token(w, "strategy"),
+                token(w, "alloc"),
+                token(w, "mapping"),
+                f(w, &["planned_s_per_iter"]),
+                f(w, &["scenarios"]) as u64,
+                f(w, &["spread_pct"]),
+            )?;
         }
     }
     Ok(())
@@ -493,17 +591,22 @@ mod tests {
 
     #[test]
     fn load_summary_rejects_wrong_schema() {
-        let dir = std::env::temp_dir();
-        let good = dir.join("nestwx_obs_test_good.json");
-        let bad = dir.join("nestwx_obs_test_bad.json");
+        let dir = nestwx_core::TempDir::new("cli-obs-schema").unwrap();
+        let good = dir.path().join("good.json");
+        let bad = dir.path().join("bad.json");
+        let sweep = dir.path().join("sweep.json");
         let rec = Recorder::new(ObsConfig::counters());
         std::fs::write(&good, rec.summary_json()).unwrap();
         std::fs::write(&bad, "{\"schema\": \"other\", \"version\": 1}").unwrap();
+        std::fs::write(
+            &sweep,
+            format!("{{\"schema\": \"{SWEEP_SCHEMA}\", \"version\": 1}}"),
+        )
+        .unwrap();
         assert!(load_summary(good.to_str().unwrap()).is_ok());
+        assert!(load_summary(sweep.to_str().unwrap()).is_ok());
         let e = load_summary(bad.to_str().unwrap()).unwrap_err().to_string();
         assert!(e.contains("schema"), "{e}");
         assert!(load_summary("/nonexistent/nestwx.json").is_err());
-        let _ = std::fs::remove_file(good);
-        let _ = std::fs::remove_file(bad);
     }
 }

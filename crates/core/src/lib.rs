@@ -24,9 +24,11 @@ pub mod adaptive;
 pub mod canon;
 pub mod compare;
 pub mod env;
+pub mod parallel;
 pub mod planner;
 pub mod profile;
 pub mod strategy;
+pub mod tempdir;
 pub mod threads;
 
 pub use adaptive::{run_adaptive, AdaptiveReport};
@@ -35,6 +37,8 @@ pub use compare::{
     compare_strategies, compare_strategies_observed, ObservedComparison, StrategyComparison,
 };
 pub use env::{env_f64, env_u32, env_usize};
+pub use parallel::{parallel_jobs, run_parallel, run_parallel_with};
 pub use planner::{ExecutionPlan, PlanError, Planner};
 pub use profile::{fit_predictor, measure_domain_time, profile_basis};
 pub use strategy::{AllocPolicy, MappingKind, Strategy};
+pub use tempdir::TempDir;

@@ -1,0 +1,80 @@
+//! A scoped temporary directory for tests and benches.
+//!
+//! `cargo test -q` must stay clean on re-runs (no stray state in the
+//! system temp dir), so anything that needs an on-disk scratch area —
+//! disk-cache tests, sweep benches — routes it through this guard: the
+//! directory is freshly created (never reused, so stale cache entries
+//! from a dead run cannot leak into a "cold" measurement) and removed on
+//! drop, including the unwind path when a test fails.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely named directory under the system temp dir, removed
+/// (recursively) when the guard drops.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh `<tmp>/<prefix>-<pid>-<seq>` directory. The create
+    /// is exclusive — a leftover directory from a crashed run is skipped,
+    /// never adopted.
+    pub fn new(prefix: &str) -> io::Result<TempDir> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let base = std::env::temp_dir();
+        let pid = std::process::id();
+        for _ in 0..4096 {
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = base.join(format!("{prefix}-{pid}-{seq}"));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "could not find an unused temp directory name",
+        ))
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort: a failed removal must not turn a passing test into
+        // a panic-in-drop abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let kept;
+        {
+            let dir = TempDir::new("nestwx-tempdir-test").unwrap();
+            kept = dir.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(kept.join("f"), b"x").unwrap();
+        }
+        assert!(!kept.exists(), "dropped guard removes the tree");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = TempDir::new("nestwx-tempdir-test").unwrap();
+        let b = TempDir::new("nestwx-tempdir-test").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

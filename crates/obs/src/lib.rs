@@ -464,6 +464,12 @@ pub const SUMMARY_SCHEMA: &str = "nestwx-obs-run-summary";
 /// [`ObsSummary`] object (PR 2); version 2 wraps it in the envelope.
 pub const SUMMARY_VERSION: u64 = 2;
 
+/// `schema` tag of the `nestwx sweep` summary envelope (emitted by
+/// `nestwx-sweep`, consumed by `nestwx obs report`).
+pub const SWEEP_SCHEMA: &str = "nestwx-obs-sweep-summary";
+/// Current version of the sweep summary envelope.
+pub const SWEEP_VERSION: u64 = 1;
+
 /// The summary-JSON envelope (what [`Recorder::summary_json`] emits).
 #[derive(Debug, Clone, Serialize)]
 pub struct RunSummary {

@@ -36,6 +36,17 @@ pub fn compare_key(scenario: &Scenario, iterations: u32) -> String {
     versioned_key(PLAN_FORMAT_VERSION, scenario, Some(iterations))
 }
 
+/// The disk-cache key for a sweep result envelope (plan digest + simulated
+/// metrics over `iterations` iterations). Distinct from [`plan_key`] and
+/// [`compare_key`] by suffix so the three result shapes never collide in
+/// the shared store, while all riding the same format version.
+pub fn sweep_key(scenario: &Scenario, iterations: u32) -> String {
+    format!(
+        "{}|sweep:{iterations}",
+        versioned_key(PLAN_FORMAT_VERSION, scenario, None)
+    )
+}
+
 /// The shard-selecting digest for a key (FNV-1a 64 over the key bytes).
 pub fn key_digest(key: &str) -> u64 {
     fnv1a64(key.as_bytes())
@@ -70,6 +81,17 @@ mod tests {
         assert!(plan_key(&s).starts_with(&format!("fmt{PLAN_FORMAT_VERSION}|")));
         assert!(compare_key(&s, 5).ends_with("|compare:5"));
         assert_ne!(plan_key(&s), compare_key(&s, 5));
+    }
+
+    #[test]
+    fn sweep_keys_are_distinct_and_versioned() {
+        let s = scenario();
+        let k = sweep_key(&s, 3);
+        assert!(k.starts_with(&format!("fmt{PLAN_FORMAT_VERSION}|")));
+        assert!(k.ends_with("|sweep:3"));
+        assert_ne!(k, plan_key(&s));
+        assert_ne!(k, compare_key(&s, 3));
+        assert_ne!(sweep_key(&s, 3), sweep_key(&s, 5));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod conn;
+pub mod disk;
 pub(crate) mod event_loop;
 pub mod keys;
 pub mod limits;
@@ -56,6 +57,7 @@ pub use batch::{BoundedMap, Completion, Outcome, Pending, PredictBatcher, Reply}
 pub use cache::{CacheStats, PlanCache};
 pub use client::{Client, Response};
 pub use conn::{Conn, Gone};
+pub use disk::{DiskCache, DiskStats};
 pub use keys::PLAN_FORMAT_VERSION;
 pub use limits::{CancelToken, RateLimiter, MICRO};
 pub use metrics::{EndpointStats, LimitGauges, LimitStats, Metrics, QueueStats, StatsSnapshot};
@@ -64,4 +66,4 @@ pub use protocol::{
     RequestBody, ScenarioParams, MAX_LINE_BYTES, PROTOCOL_VERSION,
 };
 pub use queue::{BoundedQueue, PushError};
-pub use server::{spawn, DrainReport, ServeConfig, ServerHandle};
+pub use server::{render_plan, spawn, DrainReport, ServeConfig, ServerHandle};

@@ -91,14 +91,15 @@ impl Metrics {
         self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
     }
 
-    /// Builds the full `stats` result (queue/cache/conn figures are owned
-    /// by other components and passed in, as are the limit gauges).
+    /// Builds the full `stats` result (queue/cache/conn/disk figures are
+    /// owned by other components and passed in, as are the limit gauges).
     pub fn snapshot(
         &self,
         queue: QueueStats,
         cache: CacheStats,
         live_conns: u64,
         gauges: LimitGauges,
+        disk: crate::disk::DiskStats,
     ) -> StatsSnapshot {
         StatsSnapshot {
             server: ServerStats {
@@ -111,6 +112,7 @@ impl Metrics {
             },
             queue,
             cache,
+            disk,
             batch: BatchStats {
                 batches: self.batches.load(Ordering::Relaxed),
                 batched_requests: self.batched_requests.load(Ordering::Relaxed),
@@ -245,6 +247,8 @@ pub struct StatsSnapshot {
     pub queue: QueueStats,
     /// Plan-cache figures.
     pub cache: CacheStats,
+    /// Disk-cache figures (all zero when no `cache_dir` is configured).
+    pub disk: crate::disk::DiskStats,
     /// Predict-batching figures.
     pub batch: BatchStats,
     /// Deadline/rate-limit/bounded-map figures.
@@ -284,6 +288,7 @@ mod tests {
             },
             0,
             LimitGauges::default(),
+            crate::disk::DiskStats::default(),
         );
         assert_eq!(snap.endpoints.plan.requests, 2);
         assert_eq!(snap.endpoints.plan.errors, 1);
@@ -332,11 +337,19 @@ mod tests {
                 predictors_cached: 2,
                 predictor_evictions: 0,
             },
+            crate::disk::DiskStats {
+                hits: 6,
+                misses: 2,
+                writes: 2,
+                corrupt: 0,
+            },
         );
         let json = serde_json::to_string(&snap).unwrap();
         let v = serde_json::from_str(&json).unwrap();
         assert_eq!(v["queue"]["rejected_full"].as_u64(), Some(2));
         assert_eq!(v["cache"]["hits"].as_u64(), Some(5));
+        assert_eq!(v["disk"]["hits"].as_u64(), Some(6));
+        assert_eq!(v["disk"]["writes"].as_u64(), Some(2));
         assert_eq!(v["server"]["live_conns"].as_u64(), Some(2));
         assert_eq!(v["endpoints"]["plan"]["latency"]["count"].as_u64(), Some(0));
         assert_eq!(v["limits"]["deadline_expired"].as_u64(), Some(3));

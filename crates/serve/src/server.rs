@@ -2,7 +2,7 @@
 //!
 //! Threading model (all std, no async runtime):
 //!
-//! - a small set of **reader** threads ([`crate::event_loop`]) run a
+//! - a small set of **reader** threads (`event_loop`) run a
 //!   nonblocking readiness loop: reader 0 owns the listener and accepts
 //!   (round-robin handoff when more readers are configured), every reader
 //!   multiplexes its connections — draining sockets, splitting pipelined
@@ -27,9 +27,10 @@
 
 use crate::batch::{BoundedMap, Outcome, Pending, PredictBatcher, Reply};
 use crate::cache::PlanCache;
+use crate::disk::{DiskCache, DiskStats};
 use crate::event_loop::{self, ReaderChannels};
 use crate::limits::{CancelToken, RateLimiter};
-use crate::metrics::{LimitGauges, Metrics};
+use crate::metrics::{LimitGauges, Metrics, StatsSnapshot};
 use crate::protocol::{
     alloc_token, mapping_token, parse_machine, strategy_token, Endpoint, ErrorKind, ProtoError,
 };
@@ -92,6 +93,13 @@ pub struct ServeConfig {
     /// Connection lifetime cap in ms, 0 = none
     /// (`NESTWX_SERVE_LIFETIME_MS`).
     pub lifetime_ms: u64,
+    /// Disk plan-cache directory, `None` = memory-only
+    /// (`NESTWX_SERVE_CACHE_DIR`, empty = unset). When set, cache misses
+    /// consult the disk store shared with `nestwx sweep` before planning,
+    /// so a warm sweep pre-heats the in-memory shards, and fresh results
+    /// are persisted for the next process. The directory always flows
+    /// through this config — never an ambient path (lint NW-D006).
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl ServeConfig {
@@ -111,6 +119,10 @@ impl ServeConfig {
             predictors: nestwx_core::env_usize("NESTWX_SERVE_PREDICTORS", 64),
             idle_ms: nestwx_core::env_usize("NESTWX_SERVE_IDLE_MS", 0) as u64,
             lifetime_ms: nestwx_core::env_usize("NESTWX_SERVE_LIFETIME_MS", 0) as u64,
+            cache_dir: std::env::var("NESTWX_SERVE_CACHE_DIR")
+                .ok()
+                .filter(|v| !v.is_empty())
+                .map(std::path::PathBuf::from),
         }
     }
 }
@@ -158,6 +170,8 @@ pub(crate) struct ServerState {
     pub(crate) cfg: ServeConfig,
     pub(crate) queue: BoundedQueue<Job>,
     pub(crate) cache: PlanCache,
+    /// Disk-persisted plan store, engaged when `cfg.cache_dir` is set.
+    pub(crate) disk: Option<DiskCache>,
     pub(crate) batcher: PredictBatcher,
     pub(crate) metrics: Metrics,
     /// One fitted predictor per machine identity (canonical machine JSON),
@@ -209,6 +223,11 @@ impl ServerState {
         } else {
             planner
         }
+    }
+
+    /// Disk-cache counters for `stats` snapshots (zeros when disabled).
+    pub(crate) fn disk_stats(&self) -> DiskStats {
+        self.disk.as_ref().map(DiskCache::stats).unwrap_or_default()
     }
 
     /// The live limit gauges for `stats` snapshots.
@@ -287,7 +306,12 @@ pub(crate) fn deadline_exceeded() -> ProtoError {
     )
 }
 
-fn render_plan(scenario: &Scenario, plan: &ExecutionPlan) -> Result<String, ProtoError> {
+/// Renders a plan into the exact result JSON the server caches and
+/// splices into responses. Public so the sweep engine produces plan bytes
+/// structurally identical to served ones — byte-identity between a
+/// sweep-warmed disk entry and fresh planning is enforced by construction,
+/// not by parallel implementations drifting apart.
+pub fn render_plan(scenario: &Scenario, plan: &ExecutionPlan) -> Result<String, ProtoError> {
     let result = PlanResult {
         machine: scenario.machine.name.clone(),
         ranks: plan.machine.ranks(),
@@ -332,6 +356,7 @@ pub(crate) fn render_stats(state: &ServerState) -> Outcome {
         state.cache.stats(),
         state.live_conns.load(Ordering::Relaxed) as u64,
         state.limit_gauges(),
+        state.disk_stats(),
     );
     serde_json::to_string(&snapshot).map_err(|e| internal(format!("render: {e:?}")))
 }
@@ -425,6 +450,15 @@ fn compute_plan(state: &ServerState, scenario: &Scenario, key: &str, digest: u64
     if let Some(hit) = state.cache.peek(key, digest) {
         return Ok(hit.to_string());
     }
+    // Memory missed: a sweep (or an earlier process) may have persisted
+    // this exact rendering. A disk hit pre-heats the in-memory shard so
+    // subsequent identical requests are answered without touching disk.
+    if let Some(hit) = state.disk.as_ref().and_then(|d| d.get(key)) {
+        state
+            .cache
+            .insert(key.to_string(), digest, Arc::clone(&hit));
+        return Ok(hit.to_string());
+    }
     let plan = state
         .planner_for(scenario)
         .plan(&scenario.parent, &scenario.nests)
@@ -433,6 +467,11 @@ fn compute_plan(state: &ServerState, scenario: &Scenario, key: &str, digest: u64
     state
         .cache
         .insert(key.to_string(), digest, Arc::from(result.as_str()));
+    if let Some(disk) = &state.disk {
+        // Persistence is best-effort: a full disk must not fail a request
+        // the server just computed an answer for.
+        let _ = disk.put(key, &result);
+    }
     Ok(result)
 }
 
@@ -444,6 +483,12 @@ fn compute_compare(
     digest: u64,
 ) -> Outcome {
     if let Some(hit) = state.cache.peek(key, digest) {
+        return Ok(hit.to_string());
+    }
+    if let Some(hit) = state.disk.as_ref().and_then(|d| d.get(key)) {
+        state
+            .cache
+            .insert(key.to_string(), digest, Arc::clone(&hit));
         return Ok(hit.to_string());
     }
     let planner = state.planner_for(scenario);
@@ -463,6 +508,9 @@ fn compute_compare(
     state
         .cache
         .insert(key.to_string(), digest, Arc::from(result.as_str()));
+    if let Some(disk) = &state.disk {
+        let _ = disk.put(key, &result);
+    }
     Ok(result)
 }
 
@@ -601,20 +649,22 @@ impl ServerHandle {
         }
     }
 
+    /// A point-in-time stats snapshot — the same content the `stats`
+    /// endpoint renders, for embedding tests and benches.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.state.metrics.snapshot(
+            self.state.queue.stats(),
+            self.state.cache.stats(),
+            self.state.live_conns.load(Ordering::Relaxed) as u64,
+            self.state.limit_gauges(),
+            self.state.disk_stats(),
+        )
+    }
+
     /// p99 plan latency in seconds (from the live histogram) — convenience
     /// for embedding tests.
     pub fn plan_latency(&self) -> HistSummary {
-        self.state
-            .metrics
-            .snapshot(
-                self.state.queue.stats(),
-                self.state.cache.stats(),
-                self.state.live_conns.load(Ordering::Relaxed) as u64,
-                self.state.limit_gauges(),
-            )
-            .endpoints
-            .plan
-            .latency
+        self.stats_snapshot().endpoints.plan.latency
     }
 }
 
@@ -626,9 +676,14 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let n_workers = cfg.workers.max(1);
     let n_readers = cfg.readers.max(1);
+    let disk = match &cfg.cache_dir {
+        Some(dir) => Some(DiskCache::open(dir)?),
+        None => None,
+    };
     let state = Arc::new(ServerState {
         queue: BoundedQueue::new(cfg.queue_depth),
         cache: PlanCache::new(cfg.cache_capacity),
+        disk,
         batcher: PredictBatcher::new(),
         metrics: Metrics::default(),
         predictors: BoundedMap::new(cfg.predictors),

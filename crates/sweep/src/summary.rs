@@ -1,0 +1,86 @@
+//! Rendering and validation of the sweep summary envelope.
+//!
+//! [`SweepReport`] already *is* the envelope (its first two fields are
+//! `schema` = [`nestwx_obs::SWEEP_SCHEMA`] and `version` =
+//! [`nestwx_obs::SWEEP_VERSION`]); this module renders it to JSON and
+//! checks foreign envelopes before tooling trusts them.
+
+use crate::engine::SweepReport;
+use nestwx_obs::{SWEEP_SCHEMA, SWEEP_VERSION};
+use serde_json::Value;
+
+/// The envelope as pretty JSON (what `nestwx sweep --out` writes).
+pub fn to_json(report: &SweepReport) -> String {
+    serde_json::to_string_pretty(report).expect("sweep summary serializes")
+}
+
+/// Checks a parsed envelope's `schema`/`version` header. Returns a
+/// human-readable rejection reason for anything this build cannot read.
+pub fn validate(v: &Value) -> Result<(), String> {
+    match v.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SWEEP_SCHEMA => {}
+        Some(s) => return Err(format!("not a sweep summary (schema {s:?})")),
+        None => return Err("missing schema field".to_string()),
+    }
+    match v.get("version").and_then(Value::as_u64) {
+        Some(n) if n == SWEEP_VERSION => Ok(()),
+        Some(n) => Err(format!(
+            "sweep summary version {n} (this build reads {SWEEP_VERSION})"
+        )),
+        None => Err("missing version field".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> SweepReport {
+        SweepReport {
+            schema: SWEEP_SCHEMA.to_string(),
+            version: SWEEP_VERSION,
+            expanded: 4,
+            unique: 3,
+            duplicates: 1,
+            iterations: 3,
+            jobs: 2,
+            computed: 3,
+            disk_hits: 0,
+            errors: 0,
+            elapsed_seconds: 0.5,
+            plans_digest: "0".repeat(16),
+            disk: None,
+            pareto: Vec::new(),
+            winners: Vec::new(),
+            scenarios: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn envelope_carries_schema_and_version() {
+        let v: Value = serde_json::from_str(&to_json(&empty_report())).unwrap();
+        assert_eq!(v["schema"].as_str(), Some(SWEEP_SCHEMA));
+        assert_eq!(v["version"].as_u64(), Some(SWEEP_VERSION));
+        assert_eq!(v["expanded"].as_u64(), Some(4));
+        assert_eq!(v["unique"].as_u64(), Some(3));
+        assert!(validate(&v).is_ok());
+    }
+
+    #[test]
+    fn disk_stats_are_omitted_without_a_cache_dir() {
+        let v: Value = serde_json::from_str(&to_json(&empty_report())).unwrap();
+        assert!(v.get("disk").is_none());
+    }
+
+    #[test]
+    fn foreign_envelopes_are_rejected_with_reasons() {
+        let wrong_schema: Value =
+            serde_json::from_str(r#"{"schema":"nestwx-obs-summary","version":1}"#).unwrap();
+        assert!(validate(&wrong_schema).unwrap_err().contains("schema"));
+        let wrong_version: Value =
+            serde_json::from_str(r#"{"schema":"nestwx-obs-sweep-summary","version":99}"#).unwrap();
+        assert!(validate(&wrong_version).unwrap_err().contains("99"));
+        let empty: Value = serde_json::from_str("{}").unwrap();
+        assert!(validate(&empty).unwrap_err().contains("missing"));
+    }
+}

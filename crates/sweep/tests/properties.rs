@@ -1,0 +1,93 @@
+//! Property tests for spec expansion: order stability and dedup.
+
+use nestwx_sweep::SweepSpec;
+use proptest::prelude::*;
+
+/// Builds a spec JSON from generated axis choices. Axes draw from small
+/// pools so the product stays cheap while still varying shape.
+fn spec_json(
+    machines: &[usize],
+    sizes: (u64, u64, u64),
+    allocs: &[usize],
+    mappings: &[usize],
+) -> String {
+    let machine_pool = ["\"bgl:64\"", "\"bgl:128\"", "\"bgp:256\""];
+    let alloc_pool = ["\"equal\"", "\"naive\"", "\"huffman\""];
+    let mapping_pool = [
+        "\"oblivious\"",
+        "\"txyz\"",
+        "\"partition\"",
+        "\"multilevel\"",
+    ];
+    let pick = |pool: &[&str], idx: &[usize]| -> String {
+        idx.iter()
+            .map(|&i| pool[i % pool.len()].to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        r#"{{
+            "machines": [{}],
+            "parents": ["286x307@24"],
+            "nests": {{
+                "counts": [1, 2],
+                "size": {{"start": {}, "step": {}, "n": {}}},
+                "positions": [[10, 12], [120, 120]]
+            }},
+            "allocs": [{}],
+            "mappings": [{}]
+        }}"#,
+        pick(&machine_pool, machines),
+        sizes.0,
+        sizes.1,
+        sizes.2,
+        pick(&alloc_pool, allocs),
+        pick(&mapping_pool, mappings),
+    )
+}
+
+proptest! {
+    /// Expanding the same spec twice yields the same scenario sequence —
+    /// byte-for-byte equal canonical strings, in the same order.
+    #[test]
+    fn expansion_is_order_stable(
+        machines in proptest::collection::vec(0usize..3, 1..3),
+        start in 8u64..64,
+        step in 0u64..16,
+        n in 1u64..3,
+        allocs in proptest::collection::vec(0usize..3, 1..3),
+        mappings in proptest::collection::vec(0usize..4, 1..3),
+    ) {
+        let text = spec_json(&machines, (start, step, n), &allocs, &mappings);
+        let spec = SweepSpec::parse(&text).unwrap();
+        let a: Vec<String> = spec.expand().scenarios.iter()
+            .map(|s| s.canonical_string()).collect();
+        let b: Vec<String> = spec.expand().scenarios.iter()
+            .map(|s| s.canonical_string()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Expansion never emits two scenarios with the same canonical
+    /// encoding, and never emits more scenarios than the product size.
+    #[test]
+    fn expansion_is_duplicate_free(
+        machines in proptest::collection::vec(0usize..3, 1..4),
+        start in 8u64..64,
+        step in 0u64..16,
+        n in 1u64..3,
+        allocs in proptest::collection::vec(0usize..3, 1..4),
+        mappings in proptest::collection::vec(0usize..4, 1..4),
+    ) {
+        let text = spec_json(&machines, (start, step, n), &allocs, &mappings);
+        let spec = SweepSpec::parse(&text).unwrap();
+        let ex = spec.expand();
+        prop_assert_eq!(ex.expanded, spec.product_size());
+        let mut canon: Vec<String> = ex.scenarios.iter()
+            .map(|s| s.canonical_string()).collect();
+        let emitted = canon.len();
+        prop_assert!(emitted <= ex.expanded);
+        canon.sort();
+        canon.dedup();
+        prop_assert_eq!(canon.len(), emitted, "duplicate scenarios escaped dedup");
+    }
+}
