@@ -66,6 +66,11 @@ pub struct LintConfig {
     /// Where NW-S005 (raw deadline arithmetic) applies: deadline checks
     /// must go through the `nestwx_obs::clock` shim.
     pub deadline_scope: Vec<String>,
+    /// Where NW-S006 (raw span timestamps) applies: the serve request
+    /// path that stamps flight-recorder spans — every timestamp there
+    /// must come from `nestwx_obs::clock` so recorded traces replay
+    /// under virtual time.
+    pub span_scope: Vec<String>,
 }
 
 impl LintConfig {
@@ -116,6 +121,13 @@ impl LintConfig {
                 "crates/serve/src/client.rs",
             ]),
             deadline_scope: s(&["crates/serve/src/"]),
+            span_scope: s(&[
+                "crates/serve/src/flight.rs",
+                "crates/serve/src/event_loop.rs",
+                "crates/serve/src/conn.rs",
+                "crates/serve/src/batch.rs",
+                "crates/serve/src/server.rs",
+            ]),
         }
     }
 
@@ -133,6 +145,7 @@ impl LintConfig {
             socket_scope: vec![String::new()],
             readiness_files: vec![],
             deadline_scope: vec![String::new()],
+            span_scope: vec![String::new()],
         }
     }
 }

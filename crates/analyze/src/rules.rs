@@ -21,6 +21,7 @@
 //! | NW-S003  | blocking-under-shard-lock     | lock-holding modules      |
 //! | NW-S004  | blocking-socket-io            | serve, minus readiness    |
 //! | NW-S005  | raw-deadline-arithmetic       | serve deadline scope      |
+//! | NW-S006  | raw-span-timestamp            | serve span scope          |
 //!
 //! Rationale per rule lives in `DESIGN.md` ("Invariant catalog").
 
@@ -44,9 +45,9 @@ pub struct Finding {
 }
 
 /// All rule ids, in catalog order (fixture tests iterate this).
-pub const RULE_IDS: [&str; 11] = [
+pub const RULE_IDS: [&str; 12] = [
     "NW-D001", "NW-D002", "NW-D003", "NW-D004", "NW-D005", "NW-D006", "NW-S001", "NW-S002",
-    "NW-S003", "NW-S004", "NW-S005",
+    "NW-S003", "NW-S004", "NW-S005", "NW-S006",
 ];
 
 /// True when `path` (relative, `/`-separated) falls under any of the scope
@@ -79,6 +80,7 @@ pub fn check_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     let socket_scope = in_scope(path, &cfg.socket_scope);
     let readiness = in_scope(path, &cfg.readiness_files);
     let deadline_scope = in_scope(path, &cfg.deadline_scope);
+    let span_scope = in_scope(path, &cfg.span_scope);
 
     // NW-D004 only applies where an unordered collection is actually in
     // play: a file that has already banished HashMap/HashSet cannot iterate
@@ -370,6 +372,32 @@ pub fn check_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
                 ),
             );
         }
+
+        // NW-S006 — raw timestamp sources on the flight-recorder span
+        // path. A span stamped from `Instant::now`/`SystemTime::now`
+        // instead of the clock shim silently diverges from every other
+        // timestamp in the trace under replay or virtual time.
+        if span_scope
+            && !clock_shim
+            && t.kind == TokKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct(":"))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct(":"))
+            && matches!(toks.get(i + 3), Some(n) if n.is_ident("now"))
+        {
+            push(
+                &mut out,
+                "NW-S006",
+                t,
+                format!(
+                    "raw {}::now on the span-recording path: flight-recorder \
+                     timestamps must come from nestwx_obs::clock \
+                     (now/since/micros_since) so recorded traces line up \
+                     under virtual time and replay",
+                    t.text
+                ),
+            );
+        }
     }
     out
 }
@@ -390,6 +418,9 @@ mod tests {
             socket_scope: vec![String::new()],
             readiness_files: vec![],
             deadline_scope: vec![String::new()],
+            // Kept empty so the exact-match assertions above stay
+            // S006-free; the S006 test opts in explicitly.
+            span_scope: vec![],
         }
     }
 
@@ -521,6 +552,33 @@ mod tests {
     #[test]
     fn s005_allows_clock_shim_calls() {
         assert!(rules_of("fn f(t: Instant) -> bool { clock::expired(t, limit) }").is_empty());
+    }
+
+    #[test]
+    fn s006_flags_raw_span_timestamps_in_scope_only() {
+        let src = "fn f() { let t = Instant::now(); let w = SystemTime::now(); }";
+        let mut cfg = cfg_all();
+        cfg.span_scope = vec!["x.rs".to_string()];
+        let rules: Vec<_> = check_file("x.rs", src, &cfg)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(
+            rules.iter().filter(|r| **r == "NW-S006").count(),
+            2,
+            "{rules:?}"
+        );
+        // The clock shim itself is the one place allowed to read time.
+        cfg.clock_files = vec!["x.rs".to_string()];
+        assert!(!check_file("x.rs", src, &cfg)
+            .iter()
+            .any(|f| f.rule == "NW-S006"));
+        // Out of scope, only the general D002/D003 rules apply.
+        let base: Vec<_> = check_file("x.rs", src, &cfg_all())
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert!(!base.contains(&"NW-S006"), "{base:?}");
     }
 
     #[test]

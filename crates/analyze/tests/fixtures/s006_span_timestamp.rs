@@ -1,0 +1,8 @@
+// Fixture: NW-S006 — flight-recorder span timestamps off the clock shim.
+fn stamp_span(flight: &FlightRecorder) {
+    let started = Instant::now(); // line 3: fires NW-S006 (and NW-D002)
+    let mut span = RequestSpan::probe(0);
+    span.ts_us = SystemTime::now().elapsed().as_micros() as u64; // line 5: fires NW-S006 (and NW-D003)
+    flight.record(0, span);
+    let _ = started;
+}

@@ -47,6 +47,8 @@ fn every_rule_fires_at_the_expected_span() {
         ("NW-S004", "s004_blocking_socket.rs", 5),
         ("NW-S005", "s005_raw_deadline.rs", 3),
         ("NW-S005", "s005_raw_deadline.rs", 6),
+        ("NW-S006", "s006_span_timestamp.rs", 3),
+        ("NW-S006", "s006_span_timestamp.rs", 5),
     ];
     for (rule, file, line) in expected {
         assert!(
@@ -81,13 +83,28 @@ fn allowlist_suppresses_exactly_one_diagnostic_per_entry() {
     let baseline = fixture_report("");
     let total = baseline.findings.len();
     let allow = "NW-D002 d002_instant.rs:3 -- fixture waiver exercising the allowlist\n\
-                 NW-D005 d005_spawn.rs:3 -- second waiver\n";
+                 NW-D005 d005_spawn.rs:3 -- second waiver\n\
+                 NW-S006 s006_span_timestamp.rs:3 -- span-rule waiver (leaves the D002 twin)\n";
     let report = fixture_report(allow);
     assert!(report.allow_errors.is_empty(), "{:?}", report.allow_errors);
-    assert_eq!(report.suppressed.len(), 2);
-    assert_eq!(report.findings.len(), total - 2);
+    assert_eq!(report.suppressed.len(), 3);
+    assert_eq!(report.findings.len(), total - 3);
     assert!(!has(&report.findings, "NW-D002", "d002_instant.rs", 3));
     assert!(has(&report.suppressed, "NW-D002", "d002_instant.rs", 3));
+    // The S006 waiver suppresses only the span rule: the D002 finding at
+    // the same position survives.
+    assert!(!has(
+        &report.findings,
+        "NW-S006",
+        "s006_span_timestamp.rs",
+        3
+    ));
+    assert!(has(
+        &report.findings,
+        "NW-D002",
+        "s006_span_timestamp.rs",
+        3
+    ));
 }
 
 #[test]
@@ -102,5 +119,5 @@ fn stale_allowlist_entry_fails_the_run() {
 fn fixture_run_is_nonzero_and_workspace_scan_sees_files() {
     let report = fixture_report("");
     assert!(!report.ok(), "fixtures must fail the lint");
-    assert_eq!(report.files_scanned, 11, "one fixture per rule");
+    assert_eq!(report.files_scanned, 12, "one fixture per rule");
 }

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_serve [--smoke] [--churn] [--sweep] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]
+//! bench_serve [--smoke] [--churn] [--sweep] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH] [--trace-out PATH]
 //! ```
 //!
 //! Default (bench) mode spawns an in-process server on an ephemeral port,
@@ -39,8 +39,23 @@
 //! time. Writes `BENCH_sweep.json` (scenarios/s, dedup ratio,
 //! cold-vs-warm speedup, warm hit rate) for `perf_gate --sweep`.
 //!
+//! The default bench mode also measures **flight-recorder overhead**: it
+//! repeats a shorter hot-set phase against paired in-process servers —
+//! one recording request spans (`trace: true`, the default), one with the
+//! recorder disabled — alternating three rounds each and keeping the best
+//! req/s per side. `hot_rps_recording_on/off` and `recorder_overhead_pct`
+//! land in `BENCH_serve.json` for `perf_gate --serve`, which caps the
+//! overhead at `NESTWX_PERF_TRACE_OVERHEAD_PCT` (default 5 %).
+//!
+//! `--trace-out PATH` additionally drains the server's span rings through
+//! the `trace` endpoint after the timed phase and writes the validated
+//! `nestwx-obs-serve-summary` envelope to PATH (renderable by
+//! `nestwx obs report|top|diff`) plus its Chrome `trace_event` conversion
+//! next to it (`*.chrome.json`, for chrome://tracing / Perfetto).
+//!
 //! Knobs (flags win over env): `NESTWX_SERVE_CLIENTS` (default 4),
 //! `NESTWX_SERVE_REQS` (requests per client, default 30000),
+//! `NESTWX_TRACE_REQS` (overhead-phase requests per client, default 15000),
 //! `NESTWX_CHURN_CLIENTS` (distinct churn identities, default 1,000,000),
 //! `NESTWX_CHURN_HAMMER` (hammer-phase requests, default 200,000),
 //! `NESTWX_CHURN_COLD` (cold deadline-phase requests, default 32).
@@ -66,8 +81,8 @@ const PIPELINE_DEPTH: usize = 128;
 
 /// What one run writes to `BENCH_serve.json`. `perf_gate --serve` reads
 /// `throughput_rps`, `cache_hit_rate`, `byte_identical`,
-/// `protocol_errors` — and, when present, `churn.throughput_rps` and
-/// `churn.max_rss_mb` — back out of this.
+/// `protocol_errors` — and, when present, `recorder_overhead_pct`,
+/// `churn.throughput_rps` and `churn.max_rss_mb` — back out of this.
 #[derive(Debug, Serialize)]
 struct ServeBenchOutput {
     benchmark: String,
@@ -88,6 +103,16 @@ struct ServeBenchOutput {
     cache_hit_rate: f64,
     protocol_errors: u64,
     byte_identical: bool,
+    /// Hot-set req/s with the flight recorder enabled — best of three
+    /// paired rounds (absent when benching an external `--addr` server,
+    /// whose recorder config we cannot control).
+    hot_rps_recording_on: Option<f64>,
+    /// Hot-set req/s with the flight recorder disabled, same pairing.
+    hot_rps_recording_off: Option<f64>,
+    /// Throughput lost to span recording, percent of the recording-off
+    /// figure (clamped at 0 when the recording run measured faster).
+    /// `perf_gate --serve` caps this at `NESTWX_PERF_TRACE_OVERHEAD_PCT`.
+    recorder_overhead_pct: Option<f64>,
     churn: Option<ChurnOutput>,
 }
 
@@ -132,6 +157,9 @@ struct Args {
     /// Explicit `--out`; defaults per mode (`BENCH_serve.json` /
     /// `BENCH_sweep.json`) when absent.
     out: Option<String>,
+    /// `--trace-out PATH`: drain the flight recorder after the timed
+    /// phase and write the serve-summary envelope (+ Chrome trace) here.
+    trace_out: Option<String>,
 }
 
 impl Args {
@@ -156,6 +184,7 @@ fn parse_args() -> Result<Args, String> {
         clients: env_u32("NESTWX_SERVE_CLIENTS", 4).max(1),
         requests: env_u32("NESTWX_SERVE_REQS", 30000).max(1),
         out: None,
+        trace_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -186,6 +215,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--requests expects a positive integer")?
             }
             "--out" => args.out = Some(take(&mut i)?),
+            "--trace-out" => args.trace_out = Some(take(&mut i)?),
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
@@ -195,6 +225,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.sweep && (args.smoke || args.churn || args.addr.is_some()) {
         return Err("--sweep is standalone: it spawns its own servers and takes no --addr".into());
+    }
+    if args.trace_out.is_some() && (args.smoke || args.sweep) {
+        return Err("--trace-out only applies to the default bench mode".into());
     }
     Ok(args)
 }
@@ -302,55 +335,44 @@ fn connect(target: &Target) -> Result<Client, String> {
     Client::connect(target.addr()).map_err(|e| format!("connect {}: {e}", target.addr()))
 }
 
-fn run_bench(args: &Args) -> Result<(ServeBenchOutput, bool), String> {
-    banner(
-        "SERVE",
-        "nestwx-serve plan throughput under a hot working set",
-    );
-    let target = match &args.addr {
-        Some(a) => Target::External(a.clone()),
-        None => Target::InProcess(
-            spawn(ServeConfig::new("127.0.0.1:0")).map_err(|e| format!("spawn server: {e}"))?,
-        ),
-    };
-    println!(
-        "server: {} ({})",
-        target.addr(),
-        if args.addr.is_some() {
-            "external"
-        } else {
-            "in-process"
-        }
-    );
+/// Request lines and canonical responses shared across client threads.
+type WarmSet = (Arc<Vec<String>>, Arc<Vec<String>>);
 
-    let scenarios = working_set(16);
+/// Warms the working set into the server's cache and returns the wire
+/// lines plus the canonical response per scenario (the byte-identity
+/// oracle for every later repetition).
+fn warm_canon(addr: &str, scenarios: &[Request]) -> Result<WarmSet, String> {
     let lines: Arc<Vec<String>> = Arc::new(scenarios.iter().map(Request::to_json_line).collect());
-
-    // Warmup: populate the cache (and fit the predictor once) and record
-    // the canonical response line per scenario.
-    let mut warm = connect(&target)?;
+    let mut warm = Client::connect(addr).map_err(|e| format!("warmup connect {addr}: {e}"))?;
     let mut canonical: Vec<String> = Vec::with_capacity(scenarios.len());
-    for req in &scenarios {
+    for req in scenarios {
         let resp = warm.call(req).map_err(|e| format!("warmup call: {e}"))?;
         if !resp.ok() {
             return Err(format!("warmup request rejected: {}", resp.raw));
         }
         canonical.push(resp.raw);
     }
-    let canonical = Arc::new(canonical);
-    println!("warmup: {} scenarios planned and cached", canonical.len());
+    Ok((lines, Arc::new(canonical)))
+}
 
-    // Timed phase: N clients, round-robin over the working set with a
-    // per-thread phase offset so threads hit different keys at any
-    // instant. Requests go out in pipelined batches and come back in
-    // request order, verified byte-for-byte without parsing.
+/// One timed hot-set pass: `clients` threads round-robin over the warmed
+/// working set in pipelined batches, every response verified byte-for-byte
+/// against the warmup canon. Returns elapsed wall time, the merged batch
+/// latency histogram, and whether every response stayed byte-identical.
+fn hot_pass(
+    addr: &str,
+    lines: &Arc<Vec<String>>,
+    canonical: &Arc<Vec<String>>,
+    clients: u32,
+    requests: u32,
+) -> Result<(f64, LogHistogram, bool), String> {
     let started = clock::now();
     let mut handles = Vec::new();
-    for t in 0..args.clients {
-        let lines = Arc::clone(&lines);
-        let canonical = Arc::clone(&canonical);
-        let addr = target.addr();
-        let requests = args.requests as usize;
+    for t in 0..clients {
+        let lines = Arc::clone(lines);
+        let canonical = Arc::clone(canonical);
+        let addr = addr.to_string();
+        let requests = requests as usize;
         handles.push(std::thread::spawn(
             move || -> Result<LogHistogram, String> {
                 let mut client =
@@ -396,7 +418,122 @@ fn run_bench(args: &Args) -> Result<(ServeBenchOutput, bool), String> {
             }
         }
     }
-    let elapsed = clock::since(started).as_secs_f64();
+    Ok((clock::since(started).as_secs_f64(), merged, byte_identical))
+}
+
+/// Measures flight-recorder overhead: paired in-process servers (recorder
+/// on vs off), three alternating rounds of a shorter hot-set pass each,
+/// best req/s per side. Alternating sides per round keeps machine drift
+/// out of the comparison; best-of keeps scheduler noise out.
+fn measure_recorder_overhead(clients: u32) -> Result<(f64, f64, f64), String> {
+    const ROUNDS: usize = 3;
+    let requests = env_u32("NESTWX_TRACE_REQS", 15000).max(1);
+    let scenarios = working_set(16);
+    let mut best = [0.0f64; 2]; // [on, off]
+    for _round in 0..ROUNDS {
+        for (slot, recording) in [(0usize, true), (1usize, false)] {
+            let mut cfg = ServeConfig::new("127.0.0.1:0");
+            cfg.trace = recording;
+            let handle = spawn(cfg).map_err(|e| format!("spawn overhead server: {e}"))?;
+            let addr = handle.addr().to_string();
+            let (lines, canonical) = warm_canon(&addr, &scenarios)?;
+            let (elapsed, _, ok) = hot_pass(&addr, &lines, &canonical, clients, requests)?;
+            if !ok {
+                return Err(format!(
+                    "overhead pass (recording={recording}) lost byte identity"
+                ));
+            }
+            let rps = (u64::from(clients) * u64::from(requests)) as f64 / elapsed.max(1e-9);
+            best[slot] = best[slot].max(rps);
+            let mut ctl = Client::connect(&addr).map_err(|e| format!("overhead ctl: {e}"))?;
+            let shut = ctl
+                .call(&shutdown_request())
+                .map_err(|e| format!("overhead shutdown: {e}"))?;
+            if !shut.ok() {
+                return Err(format!("overhead shutdown rejected: {}", shut.raw));
+            }
+            let report = handle.wait();
+            if !report.clean() {
+                return Err(format!("overhead server unclean drain: {report:?}"));
+            }
+        }
+    }
+    let (on, off) = (best[0], best[1]);
+    let overhead_pct = ((off - on) / off.max(1e-9) * 100.0).max(0.0);
+    println!(
+        "recorder:   {on:.0} req/s recording on, {off:.0} req/s off \
+         ({overhead_pct:.2}% overhead, best of {ROUNDS} paired rounds x {requests} reqs/client)"
+    );
+    Ok((on, off, overhead_pct))
+}
+
+/// Drains the server's span rings through the `trace` endpoint, validates
+/// the envelope, and writes it (plus its Chrome `trace_event` conversion)
+/// to `path` / `*.chrome.json`.
+fn drain_trace_to(ctl: &mut Client, path: &str) -> Result<(), String> {
+    let resp = ctl
+        .call(&Request::new(Some("trace".into()), RequestBody::Trace))
+        .map_err(|e| format!("trace: {e}"))?;
+    if !resp.ok() {
+        return Err(format!("trace rejected: {}", resp.raw));
+    }
+    let envelope = resp
+        .result()
+        .cloned()
+        .ok_or_else(|| "trace response has no result".to_string())?;
+    nestwx_obs::serve::check_serve_schema(&envelope)
+        .map_err(|e| format!("trace envelope invalid: {e}"))?;
+    let json =
+        serde_json::to_string(&envelope).map_err(|e| format!("serialize envelope: {e:?}"))?;
+    std::fs::write(path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+    let chrome = nestwx_obs::serve::serve_chrome_trace(&envelope)
+        .map_err(|e| format!("chrome trace: {e}"))?;
+    let chrome_path = format!("{}.chrome.json", path.strip_suffix(".json").unwrap_or(path));
+    std::fs::write(&chrome_path, format!("{chrome}\n"))
+        .map_err(|e| format!("write {chrome_path}: {e}"))?;
+    let drained = u64_at(&envelope, &["summary", "drained"]);
+    println!("trace:      {drained} spans drained to {path} (+ {chrome_path})");
+    Ok(())
+}
+
+fn run_bench(args: &Args) -> Result<(ServeBenchOutput, bool), String> {
+    banner(
+        "SERVE",
+        "nestwx-serve plan throughput under a hot working set",
+    );
+    let target = match &args.addr {
+        Some(a) => Target::External(a.clone()),
+        None => Target::InProcess(
+            spawn(ServeConfig::new("127.0.0.1:0")).map_err(|e| format!("spawn server: {e}"))?,
+        ),
+    };
+    println!(
+        "server: {} ({})",
+        target.addr(),
+        if args.addr.is_some() {
+            "external"
+        } else {
+            "in-process"
+        }
+    );
+
+    // Warmup: populate the cache (and fit the predictor once) and record
+    // the canonical response line per scenario.
+    let scenarios = working_set(16);
+    let (lines, canonical) = warm_canon(&target.addr(), &scenarios)?;
+    println!("warmup: {} scenarios planned and cached", canonical.len());
+
+    // Timed phase: N clients, round-robin over the working set with a
+    // per-thread phase offset so threads hit different keys at any
+    // instant. Requests go out in pipelined batches and come back in
+    // request order, verified byte-for-byte without parsing.
+    let (elapsed, merged, byte_identical) = hot_pass(
+        &target.addr(),
+        &lines,
+        &canonical,
+        args.clients,
+        args.requests,
+    )?;
     let requests_total = u64::from(args.clients) * u64::from(args.requests);
     let throughput = if byte_identical {
         requests_total as f64 / elapsed.max(1e-9)
@@ -404,12 +541,16 @@ fn run_bench(args: &Args) -> Result<(ServeBenchOutput, bool), String> {
         0.0
     };
 
-    // Final stats + shutdown through the wire protocol.
+    // Final stats (+ optional trace drain) + shutdown through the wire
+    // protocol.
     let mut ctl = connect(&target)?;
     let stats = ctl
         .call(&stats_request())
         .map_err(|e| format!("stats: {e}"))?;
     let result = stats.result().cloned().unwrap_or(Value::Null);
+    if let Some(path) = &args.trace_out {
+        drain_trace_to(&mut ctl, path)?;
+    }
     let shut = ctl
         .call(&shutdown_request())
         .map_err(|e| format!("shutdown: {e}"))?;
@@ -426,6 +567,15 @@ fn run_bench(args: &Args) -> Result<(ServeBenchOutput, bool), String> {
             report.requests_total, report.responses_total
         );
     }
+
+    // Recorder overhead: paired hot-set passes with the flight recorder
+    // on vs off. Only measurable in-process — we cannot flip the recorder
+    // on an external server.
+    let recorder = if args.addr.is_none() {
+        Some(measure_recorder_overhead(args.clients)?)
+    } else {
+        None
+    };
 
     let summary = merged.summary();
     let out = ServeBenchOutput {
@@ -451,6 +601,9 @@ fn run_bench(args: &Args) -> Result<(ServeBenchOutput, bool), String> {
         cache_hit_rate: f64_at(&result, &["cache", "hit_rate"]),
         protocol_errors: u64_at(&result, &["server", "protocol_errors"]),
         byte_identical,
+        hot_rps_recording_on: recorder.map(|(on, _, _)| on),
+        hot_rps_recording_off: recorder.map(|(_, off, _)| off),
+        recorder_overhead_pct: recorder.map(|(_, _, pct)| pct),
         churn: None,
     };
 
@@ -1204,7 +1357,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("bench_serve: {e}");
             eprintln!(
-                "usage: bench_serve [--smoke] [--churn] [--sweep] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH]"
+                "usage: bench_serve [--smoke] [--churn] [--sweep] [--addr HOST:PORT] [--clients N] [--requests N] [--out PATH] [--trace-out PATH]"
             );
             return ExitCode::FAILURE;
         }

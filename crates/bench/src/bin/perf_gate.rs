@@ -22,8 +22,12 @@
 //! The `--serve` mode gates `throughput_rps` from `bench_serve` the same
 //! way, and unconditionally fails on serving-correctness regressions:
 //! `byte_identical: false`, non-zero `protocol_errors`, or a cache hit
-//! rate under 90 % on the hot working set. When the current file carries a
-//! `churn` section (client-churn mode of `bench_serve`), the gate also
+//! rate under 90 % on the hot working set. When the current file carries
+//! the flight-recorder overhead figures (`recorder_overhead_pct` from the
+//! paired recording-on/off hot-set passes), the gate caps the overhead at
+//! `NESTWX_PERF_TRACE_OVERHEAD_PCT` percent (default 5) — an absolute
+//! bound, so span recording must stay cheap in every run. When the file
+//! carries a `churn` section (client-churn mode of `bench_serve`), the gate also
 //! requires a clean drain, gates churn flood throughput with the same
 //! tolerance, and bounds peak RSS (vs. the baseline's churn RSS, or the
 //! absolute `NESTWX_PERF_MAX_RSS_MB` cap — default 256 — when the baseline
@@ -158,8 +162,45 @@ fn run_serve(baseline_path: &str, current_path: &str) -> Result<bool, String> {
         }
     };
 
+    ok &= gate_recorder(&current);
     ok &= gate_churn(&current, baseline.as_ref(), tol)?;
     Ok(ok)
+}
+
+/// Gates flight-recorder overhead when the bench measured it: the hot-set
+/// throughput with span recording on may trail the recording-off run by
+/// at most `NESTWX_PERF_TRACE_OVERHEAD_PCT` percent (default 5). This is
+/// an absolute cap, not a baseline comparison — recording must stay cheap
+/// in every run, not merely no worse than last time. Files from external
+/// (`--addr`) benches carry no recorder section and skip the gate.
+fn gate_recorder(current: &Value) -> bool {
+    let Some(pct) = current
+        .get("recorder_overhead_pct")
+        .and_then(|v| v.as_f64())
+    else {
+        println!("serve gate: no recorder_overhead_pct in current — skipping recorder gate");
+        return true;
+    };
+    let cap = env_f64("NESTWX_PERF_TRACE_OVERHEAD_PCT", 5.0);
+    let on = current
+        .get("hot_rps_recording_on")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let off = current
+        .get("hot_rps_recording_off")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let pass = pct <= cap;
+    println!(
+        "serve gate: recorder overhead {pct:.2}% ({on:.0} req/s on / {off:.0} req/s off) \
+         vs cap {cap:.0}% (NESTWX_PERF_TRACE_OVERHEAD_PCT)  {}",
+        if pass {
+            "PASS"
+        } else {
+            "FAIL (span recording too expensive)"
+        }
+    );
+    pass
 }
 
 /// Gates the churn section of a serve bench file when present: drain must

@@ -640,10 +640,15 @@ fn parse_obs_args(args: &[String]) -> Result<ObsCmd, ParseError> {
                     extra => return Err(err(format!("unexpected argument '{extra}'"))),
                 }
             }
-            if !obs::TOP_METRICS.contains(&by.as_str()) {
+            // Step metrics for run summaries, span stages for serve trace
+            // envelopes — which applies is decided when the file loads.
+            if !obs::TOP_METRICS.contains(&by.as_str())
+                && !obs::SERVE_TOP_METRICS.contains(&by.as_str())
+            {
                 return Err(err(format!(
-                    "unknown metric '{by}' (one of {})",
-                    obs::TOP_METRICS.join("|")
+                    "unknown metric '{by}' (one of {} for runs, {} for serve traces)",
+                    obs::TOP_METRICS.join("|"),
+                    obs::SERVE_TOP_METRICS.join("|")
                 )));
             }
             if n == 0 {
@@ -1005,6 +1010,7 @@ USAGE:
                  [--out FILE] [--json]
   nestwx obs report FILE
   nestwx obs top  FILE [--by duration|compute|halo_wait|bytes|messages|hops|stall] [-n N]
+                       (serve traces: --by total|parse|wait|work|write)
   nestwx obs diff A B
   nestwx serve   [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
                  [--max-conns N] [--readers N] [--deadline-ms MS] [--rate N]
@@ -1042,7 +1048,7 @@ SWEEP:
 
 SERVE:
   Runs the planning daemon: newline-delimited JSON requests over TCP
-  (predict|plan|compare|stats|shutdown), served by a nonblocking
+  (predict|plan|compare|stats|trace|shutdown), served by a nonblocking
   event loop with plan caching, predict micro-batching, per-request
   deadlines, per-client token-bucket rate limits and live latency
   metrics. Unset flags fall back to the NESTWX_SERVE_WORKERS /
@@ -1055,6 +1061,17 @@ SERVE:
   cache dir, plans persist across restarts and are shared with
   'nestwx sweep'. The process exits (code 0) after a clean drain once
   a client sends 'shutdown'.
+
+  A flight recorder (NESTWX_SERVE_TRACE, default on) stamps every
+  request's lifecycle (parse/queue/work/write) into bounded per-reader
+  span rings (NESTWX_SERVE_TRACE_RING per reader) with a slow-request
+  log above NESTWX_SERVE_TRACE_SLOW_US (0 = off). The 'trace' endpoint
+  drains the rings as a versioned 'nestwx-obs-serve-summary' envelope
+  that 'nestwx obs report|top|diff' renders; 'stats' returns the
+  unified 'nestwx-serve-stats' v2 envelope. 'plan'/'compare' requests
+  with \"explain\":true append per-nest rank shares, predicted s/iter
+  and a hop histogram; responses without it stay byte-identical to
+  the cached plan bytes whether recording is on or off.
 
 LINT:
   Repo-specific static analysis: determinism rules (NW-D001..D005 — no

@@ -4,12 +4,16 @@
 //! runs (`diff`).
 //!
 //! All three consume the `nestwx-obs-run-summary` envelope (see DESIGN.md
-//! "Summary JSON schema"); `report` additionally understands the
-//! `nestwx-obs-sweep-summary` envelope `nestwx sweep` writes. An unknown
-//! schema tag or a parse failure is an error, so CI can gate on it.
+//! "Summary JSON schema"); they additionally understand the
+//! `nestwx-obs-sweep-summary` envelope `nestwx sweep` writes and the
+//! `nestwx-obs-serve-summary` envelope the serve flight recorder's
+//! `trace` endpoint returns. An unknown schema tag, a serve-schema
+//! version mismatch, or a parse failure is an error, so CI can gate
+//! on it.
 
 use nestwx_netsim::SUMMARY_SCHEMA;
-use nestwx_obs::SWEEP_SCHEMA;
+use nestwx_obs::serve::check_serve_schema;
+use nestwx_obs::{SERVE_SCHEMA, SWEEP_SCHEMA};
 use serde_json::Value;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -49,9 +53,16 @@ pub fn load_summary(path: &str) -> Result<Value, Box<dyn Error>> {
         .get("schema")
         .and_then(|s| s.as_str())
         .ok_or_else(|| format!("'{path}' has no 'schema' tag (not a run summary?)"))?;
+    if schema == SERVE_SCHEMA {
+        // Serve envelopes carry an exact-version contract: a reader that
+        // tolerated future versions would silently misread renamed
+        // counters, so a mismatch is a hard error.
+        check_serve_schema(&v).map_err(|e| format!("'{path}': {e}"))?;
+        return Ok(v);
+    }
     if schema != SUMMARY_SCHEMA && schema != SWEEP_SCHEMA {
         return Err(format!(
-            "'{path}' has schema '{schema}', expected '{SUMMARY_SCHEMA}' or '{SWEEP_SCHEMA}'"
+            "'{path}' has schema '{schema}', expected '{SUMMARY_SCHEMA}', '{SWEEP_SCHEMA}' or '{SERVE_SCHEMA}'"
         )
         .into());
     }
@@ -111,6 +122,9 @@ fn hist_row(name: &str, h: &Value) -> String {
 pub fn report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
     if v.get("schema").and_then(Value::as_str) == Some(SWEEP_SCHEMA) {
         return sweep_report(v, out);
+    }
+    if v.get("schema").and_then(Value::as_str) == Some(SERVE_SCHEMA) {
+        return serve_report(v, out);
     }
     let s = v.get("summary").ok_or("missing 'summary' block")?;
     writeln!(out, "run summary (schema v{})", f(v, &["version"]) as u64)?;
@@ -334,6 +348,113 @@ fn sweep_report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn E
     Ok(())
 }
 
+/// Renders a serve flight-recorder trace envelope: recorder state, drain
+/// and drop counters, path/op breakdowns and the slow-request log.
+fn serve_report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let s = v.get("summary").ok_or("missing 'summary' block")?;
+    writeln!(
+        out,
+        "serve trace summary (schema v{})",
+        f(v, &["version"]) as u64
+    )?;
+    writeln!(
+        out,
+        "  recording {}  readers {}  ring capacity {}",
+        if s.get("recording").and_then(Value::as_bool).unwrap_or(false) {
+            "on"
+        } else {
+            "off"
+        },
+        f(s, &["readers"]) as u64,
+        f(s, &["ring_capacity"]) as u64,
+    )?;
+    let drained_dropped = f(s, &["dropped"]) as u64;
+    writeln!(
+        out,
+        "  drained {} spans, {} dropped this drain{}",
+        f(s, &["drained"]) as u64,
+        drained_dropped,
+        if drained_dropped > 0 {
+            "  (trace truncated!)"
+        } else {
+            ""
+        },
+    )?;
+    let spans_cut = f(s, &["spans_truncated"]) as u64;
+    let slow_cut = f(s, &["slow_truncated"]) as u64;
+    if spans_cut + slow_cut > 0 {
+        writeln!(
+            out,
+            "  envelope capped: {spans_cut} span(s) + {slow_cut} slow entr(ies) \
+             omitted to fit one protocol line (aggregates still cover them)",
+        )?;
+    }
+    writeln!(
+        out,
+        "  lifetime: {} recorded, {} dropped, {} slow (threshold {}us)",
+        f(s, &["recorded_total"]) as u64,
+        f(s, &["dropped_total"]) as u64,
+        f(s, &["slow_total"]) as u64,
+        f(s, &["slow_threshold_us"]) as u64,
+    )?;
+    if let Some(bp) = s.get("by_path") {
+        writeln!(
+            out,
+            "  by path: hot {}  inline {}  worker {}  deadline {}",
+            f(bp, &["hot"]) as u64,
+            f(bp, &["inline"]) as u64,
+            f(bp, &["worker"]) as u64,
+            f(bp, &["deadline"]) as u64,
+        )?;
+    }
+    if let Some(Value::Object(ops)) = s.get("by_op") {
+        let mut line = String::from("  by op:");
+        for (op, n) in ops {
+            let _ = write!(line, "  {op} {}", n.as_u64().unwrap_or(0));
+        }
+        writeln!(out, "{line}")?;
+    }
+    let span_row = |sp: &Value| -> String {
+        format!(
+            "    {:<8} {:<8} {:<4} {:>9} {:>8} {:>8} {:>8} {:>8}",
+            sp.get("op").and_then(Value::as_str).unwrap_or("?"),
+            sp.get("path").and_then(Value::as_str).unwrap_or("?"),
+            if sp.get("ok").and_then(Value::as_bool).unwrap_or(false) {
+                "ok"
+            } else {
+                "err"
+            },
+            fmt_si(f(sp, &["total_us"]) * 1e-6),
+            fmt_si(f(sp, &["parse_us"]) * 1e-6),
+            fmt_si(f(sp, &["wait_us"]) * 1e-6),
+            fmt_si(f(sp, &["work_us"]) * 1e-6),
+            fmt_si(f(sp, &["write_us"]) * 1e-6),
+        )
+    };
+    if let Some(slow) = v.get("slow").and_then(Value::as_array) {
+        if !slow.is_empty() {
+            writeln!(out)?;
+            writeln!(
+                out,
+                "  slow requests ({}):\n    {:<8} {:<8} {:<4} {:>9} {:>8} {:>8} {:>8} {:>8}",
+                slow.len(),
+                "op",
+                "path",
+                "ok",
+                "total",
+                "parse",
+                "wait",
+                "work",
+                "write"
+            )?;
+            for sp in slow {
+                writeln!(out, "{}", span_row(sp))?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Step metrics `top` can rank by.
 pub const TOP_METRICS: &[&str] = &[
     "duration",
@@ -345,6 +466,66 @@ pub const TOP_METRICS: &[&str] = &[
     "stall",
 ];
 
+/// Span metrics `top` can rank serve trace envelopes by.
+pub const SERVE_TOP_METRICS: &[&str] = &["total", "parse", "wait", "work", "write"];
+
+/// `nestwx obs top` on a serve trace envelope: the N most expensive
+/// drained spans by the given lifecycle stage.
+fn serve_top(
+    v: &Value,
+    by: &str,
+    n: usize,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    if !SERVE_TOP_METRICS.contains(&by) {
+        return Err(format!(
+            "unknown span metric '{by}' (one of {})",
+            SERVE_TOP_METRICS.join("|")
+        )
+        .into());
+    }
+    let spans = v
+        .get("spans")
+        .and_then(Value::as_array)
+        .ok_or("missing 'spans' array")?;
+    let field = format!("{by}_us");
+    let mut order: Vec<&Value> = spans.iter().collect();
+    order.sort_by(|a, b| {
+        f(b, &[field.as_str()])
+            .partial_cmp(&f(a, &[field.as_str()]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    writeln!(
+        out,
+        "top {} spans by {by} ({} drained):",
+        n.min(order.len()),
+        order.len()
+    )?;
+    writeln!(
+        out,
+        "  {:<8} {:<8} {:<4} {:>10} {:>9} {:>9} {:>9}",
+        "op", "path", "ok", by, "total", "wait", "work"
+    )?;
+    for s in order.iter().take(n) {
+        writeln!(
+            out,
+            "  {:<8} {:<8} {:<4} {:>10} {:>9} {:>9} {:>9}",
+            s.get("op").and_then(Value::as_str).unwrap_or("?"),
+            s.get("path").and_then(Value::as_str).unwrap_or("?"),
+            if s.get("ok").and_then(Value::as_bool).unwrap_or(false) {
+                "ok"
+            } else {
+                "err"
+            },
+            fmt_si(f(s, &[field.as_str()]) * 1e-6),
+            fmt_si(f(s, &["total_us"]) * 1e-6),
+            fmt_si(f(s, &["wait_us"]) * 1e-6),
+            fmt_si(f(s, &["work_us"]) * 1e-6),
+        )?;
+    }
+    Ok(())
+}
+
 /// `nestwx obs top FILE --by METRIC -n N` — the N most expensive retained
 /// steps by the given metric.
 pub fn top(
@@ -353,6 +534,9 @@ pub fn top(
     n: usize,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
+    if v.get("schema").and_then(Value::as_str) == Some(SERVE_SCHEMA) {
+        return serve_top(v, by, n, out);
+    }
     if !TOP_METRICS.contains(&by) {
         return Err(format!("unknown metric '{by}' (one of {})", TOP_METRICS.join("|")).into());
     }
@@ -403,7 +587,9 @@ pub fn top(
 
 /// Flattens every numeric leaf into `prefix.key` → value. Arrays of
 /// objects are indexed; the (potentially huge) `ring.steps` array is
-/// skipped — `diff` compares aggregates, not individual steps.
+/// skipped — `diff` compares aggregates, not individual steps — and the
+/// serve envelope's `spans`/`slow` arrays collapse to their lengths for
+/// the same reason.
 fn flatten(v: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
     match v {
         Value::Number(x) => out.push((prefix.to_string(), *x)),
@@ -417,6 +603,12 @@ fn flatten(v: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
                         }
                     }
                     continue;
+                }
+                if prefix.is_empty() && (k == "spans" || k == "slow") {
+                    if let Some(items) = val.as_array() {
+                        out.push((format!("{k}.count"), items.len() as f64));
+                        continue;
+                    }
                 }
                 let p = if prefix.is_empty() {
                     k.clone()
@@ -587,6 +779,89 @@ mod tests {
         let mut buf = Vec::new();
         diff(&a, &a, &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("0 metrics differ"));
+    }
+
+    fn serve_envelope(version: u64) -> String {
+        format!(
+            r#"{{"schema":"{SERVE_SCHEMA}","version":{version},
+            "summary":{{"recording":true,"readers":2,"ring_capacity":64,
+              "drained":3,"dropped":1,"recorded_total":9,"dropped_total":1,
+              "slow_total":1,"slow_threshold_us":1000,
+              "by_path":{{"hot":1,"inline":1,"worker":1,"deadline":0}},
+              "by_op":{{"predict":0,"plan":2,"compare":0,"stats":1,"trace":0,"shutdown":0}}}},
+            "spans":[
+              {{"ts_us":10,"op":"plan","path":"worker","ok":true,"parse_us":5,"wait_us":40,"work_us":200,"total_us":260,"write_us":3,"written":true}},
+              {{"ts_us":20,"op":"stats","path":"inline","ok":true,"parse_us":2,"wait_us":0,"work_us":8,"total_us":10,"write_us":1,"written":true}},
+              {{"ts_us":30,"op":"plan","path":"hot","ok":true,"parse_us":0,"wait_us":0,"work_us":4,"total_us":4,"write_us":0,"written":false}}],
+            "slow":[
+              {{"ts_us":10,"op":"plan","path":"worker","ok":false,"parse_us":5,"wait_us":40,"work_us":2000,"total_us":2100,"write_us":3,"written":true}}]}}"#
+        )
+    }
+
+    #[test]
+    fn serve_report_renders_trace_envelope() {
+        let v: Value = serde_json::from_str(&serve_envelope(1)).unwrap();
+        let mut buf = Vec::new();
+        report(&v, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("serve trace summary (schema v1)"), "{text}");
+        assert!(text.contains("recording on"), "{text}");
+        assert!(text.contains("trace truncated"), "{text}");
+        assert!(text.contains("by path: hot 1  inline 1  worker 1  deadline 0"));
+        assert!(text.contains("plan 2"), "{text}");
+        assert!(text.contains("slow requests (1)"), "{text}");
+    }
+
+    #[test]
+    fn serve_top_ranks_spans_by_stage() {
+        let v: Value = serde_json::from_str(&serve_envelope(1)).unwrap();
+        let mut buf = Vec::new();
+        top(&v, "work", 2, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // The worker plan (200us work) outranks the inline stats (8us).
+        let worker = text.find("worker").expect("worker span listed");
+        let inline = text.find("inline").expect("inline span listed");
+        assert!(worker < inline, "spans not sorted by work:\n{text}");
+        // Step metrics don't apply to serve envelopes.
+        assert!(top(&v, "halo_wait", 2, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn diff_collapses_span_arrays_to_counts() {
+        let a: Value = serde_json::from_str(&serve_envelope(1)).unwrap();
+        let b: Value = serde_json::from_str(
+            &serve_envelope(1).replace("\"recorded_total\":9", "\"recorded_total\":42"),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        diff(&a, &b, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("summary.recorded_total"), "{text}");
+        // Per-span leaves never appear — arrays collapse to counts.
+        assert!(!text.contains("spans[0]"), "{text}");
+        let mut buf = Vec::new();
+        diff(&a, &a, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("0 metrics differ"));
+    }
+
+    #[test]
+    fn serve_schema_version_mismatch_is_an_error() {
+        let dir = nestwx_core::TempDir::new("cli-obs-serve-ver").unwrap();
+        let ok = dir.path().join("ok.json");
+        let stale = dir.path().join("stale.json");
+        std::fs::write(&ok, serve_envelope(nestwx_obs::SERVE_VERSION)).unwrap();
+        std::fs::write(&stale, serve_envelope(nestwx_obs::SERVE_VERSION + 1)).unwrap();
+        assert!(load_summary(ok.to_str().unwrap()).is_ok());
+        let e = load_summary(stale.to_str().unwrap())
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("version"), "{e}");
+        // The same failure surfaces through the command entry point, so
+        // `nestwx obs report` exits non-zero on a stale envelope.
+        let cmd = crate::Command::Obs(ObsCmd::Report {
+            path: stale.to_str().unwrap().to_string(),
+        });
+        assert!(crate::run(cmd, &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod analyze;
 pub mod clock;
 pub mod hist;
 pub mod ring;
+pub mod serve;
 pub mod span;
 pub mod timeline;
 pub mod trace;
@@ -36,6 +37,7 @@ pub mod trace;
 pub use analyze::{AnalysisReport, LinkLoad, LinkUtil, NestAnalysis, NetDetail, RankShare};
 pub use hist::{HistSummary, LogHistogram};
 pub use ring::StepRing;
+pub use serve::{SERVE_SCHEMA, SERVE_VERSION};
 pub use span::{SpanEvent, SPANS_ENABLED};
 pub use timeline::{FrameMeta, Timeline, TimelineConfig};
 

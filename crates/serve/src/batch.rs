@@ -44,6 +44,10 @@ pub struct Completion {
     pub line: String,
     /// Whether the response is a success (`ok:true`).
     pub ok: bool,
+    /// Flight-recorder stage: queue wait in µs (0 when not recorded).
+    pub wait_us: u32,
+    /// Flight-recorder stage: worker compute in µs (0 when not recorded).
+    pub work_us: u32,
 }
 
 /// Where a worker's answer goes.
@@ -69,6 +73,14 @@ impl Reply {
     /// Delivers the outcome. Send failures are ignored: a vanished caller
     /// (disconnected client, reader already gone) needs no answer.
     pub fn send(self, outcome: Outcome) {
+        self.send_with_stages(outcome, 0, 0);
+    }
+
+    /// Delivers the outcome, carrying the worker-measured flight-recorder
+    /// stages (queue wait / compute, µs) back to the owning reader. The
+    /// stages ride the [`Completion`] only — they never touch the response
+    /// line, so recorded and unrecorded responses stay byte-identical.
+    pub fn send_with_stages(self, outcome: Outcome, wait_us: u32, work_us: u32) {
         match self {
             Reply::Chan(tx) => {
                 let _ = tx.send(outcome);
@@ -84,6 +96,8 @@ impl Reply {
                     seq,
                     line,
                     ok,
+                    wait_us,
+                    work_us,
                 });
             }
         }

@@ -22,10 +22,17 @@
 //! tested against in-memory scripted streams; the event loop instantiates
 //! it with `TcpStream`.
 
+use crate::flight::RequestSpan;
 use crate::protocol::Line;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
+
+/// Cap on buffered finished-but-unwritten flight spans per connection; a
+/// connection that never drains its output cannot grow the span queue
+/// without bound (the oldest span is handed back for immediate recording
+/// with `written: false`).
+const MAX_PENDING_SPANS: usize = 8 * 1024;
 
 /// Outbox bytes beyond which a non-draining peer is declared dead. Large
 /// enough for thousands of queued responses, small enough that one stuck
@@ -75,6 +82,9 @@ pub struct Conn<S> {
     /// Absolute connection-lifetime deadline (fixed at accept).
     pub life_deadline: Option<Instant>,
     idle_cap: Option<Duration>,
+    /// Finished flight spans waiting for their write-complete edge (the
+    /// next moment the outbox fully drains). Empty when recording is off.
+    pending_spans: VecDeque<RequestSpan>,
 }
 
 impl<S: Read + Write> Conn<S> {
@@ -105,7 +115,32 @@ impl<S: Read + Write> Conn<S> {
             idle_deadline: idle_cap.map(|d| now + d),
             life_deadline: (lifetime > Duration::ZERO).then_some(now + lifetime),
             idle_cap,
+            pending_spans: VecDeque::new(),
         }
+    }
+
+    /// Queues a finished span until this connection's output next drains
+    /// (its write-complete edge). Returns the evicted oldest span if the
+    /// bounded queue was full — the caller records it immediately,
+    /// unwritten.
+    pub fn push_span(&mut self, span: RequestSpan) -> Option<RequestSpan> {
+        let evicted = if self.pending_spans.len() >= MAX_PENDING_SPANS {
+            self.pending_spans.pop_front()
+        } else {
+            None
+        };
+        self.pending_spans.push_back(span);
+        evicted
+    }
+
+    /// Whether any spans await their write-complete edge.
+    pub fn has_pending_spans(&self) -> bool {
+        !self.pending_spans.is_empty()
+    }
+
+    /// Takes every span awaiting write-complete (oldest first).
+    pub fn take_pending_spans(&mut self) -> std::collections::vec_deque::Drain<'_, RequestSpan> {
+        self.pending_spans.drain(..)
     }
 
     /// Pulls whatever the socket has ready into the input buffer without

@@ -35,6 +35,7 @@
 
 use crate::batch::{Completion, Outcome, Pending, Reply};
 use crate::conn::Conn;
+use crate::flight::{dur_us, RequestSpan, SpanPath};
 use crate::keys;
 use crate::limits::CancelToken;
 use crate::protocol::{
@@ -42,7 +43,9 @@ use crate::protocol::{
     Request, RequestBody, MAX_LINE_BYTES,
 };
 use crate::queue::PushError;
-use crate::server::{deadline_exceeded, internal, render_stats, shutting_down, Job, ServerState};
+use crate::server::{
+    deadline_exceeded, internal, render_stats, render_trace, shutting_down, Job, ServerState,
+};
 use crate::sync::Ordering;
 use nestwx_grid::DomainFeatures;
 use nestwx_obs::clock;
@@ -97,6 +100,22 @@ struct DeadlineEntry {
     started: Instant,
 }
 
+/// Reader-side half of a worker-path flight span, registered when a job
+/// is submitted and finished when its completion (or deadline expiry)
+/// arrives. Only populated while recording is on.
+struct SpanSeed {
+    /// Arrival time (µs since server epoch).
+    ts_us: u64,
+    /// Arrival → parse done (µs).
+    parse_us: u32,
+    endpoint: Endpoint,
+}
+
+/// Saturating µs delta on the epoch timeline.
+fn delta_us(start_us: u64, end_us: u64) -> u32 {
+    end_us.saturating_sub(start_us).min(u32::MAX as u64) as u32
+}
+
 /// Token-bucket cost of one request, by endpoint — weighted fairness: a
 /// simulation-backed `compare` spends four times what a `predict` does,
 /// and the control plane (`stats`/`shutdown`) is never shed.
@@ -105,7 +124,7 @@ fn endpoint_cost(e: Endpoint) -> u64 {
         Endpoint::Predict => 1,
         Endpoint::Plan => 2,
         Endpoint::Compare => 4,
-        Endpoint::Stats | Endpoint::Shutdown => 0,
+        Endpoint::Stats | Endpoint::Trace | Endpoint::Shutdown => 0,
     }
 }
 
@@ -137,6 +156,7 @@ pub(crate) fn run_reader(
     let default_deadline =
         (state.cfg.deadline_ms > 0).then(|| Duration::from_millis(state.cfg.deadline_ms));
     let rate_on = state.cfg.rate > 0;
+    let flight_on = state.flight.enabled();
     let mut reader = ReaderLoop {
         state,
         idx,
@@ -150,11 +170,13 @@ pub(crate) fn run_reader(
         rr: 0,
         hot: BTreeMap::new(),
         deadlines: BTreeMap::new(),
+        seeds: BTreeMap::new(),
         inflight: 0,
         idle,
         lifetime,
         default_deadline,
         rate_on,
+        flight_on,
     };
     reader.run();
 }
@@ -172,6 +194,9 @@ struct ReaderLoop {
     rr: usize,
     hot: BTreeMap<String, HotEntry>,
     deadlines: BTreeMap<(u64, u64), DeadlineEntry>,
+    /// Flight-span halves of submitted worker jobs, finished when the
+    /// completion (or a winning deadline sweep) arrives.
+    seeds: BTreeMap<(u64, u64), SpanSeed>,
     /// Jobs submitted whose completions have not yet arrived (deadline
     /// sweeps that win the claim race count as the completion).
     inflight: u64,
@@ -179,6 +204,9 @@ struct ReaderLoop {
     lifetime: Duration,
     default_deadline: Option<Duration>,
     rate_on: bool,
+    /// Cached `state.flight.enabled()` — checked before every clock read
+    /// the recorder would need.
+    flight_on: bool,
 }
 
 impl ReaderLoop {
@@ -324,8 +352,32 @@ impl ReaderLoop {
             .metrics
             .responses_total
             .fetch_add(1, Ordering::Relaxed);
+        let span = self.seeds.remove(&(c.conn, c.seq)).map(|seed| {
+            let done_us = clock::micros_since(self.state.epoch);
+            RequestSpan {
+                ts_us: seed.ts_us,
+                endpoint: seed.endpoint,
+                path: SpanPath::Worker,
+                ok: c.ok,
+                parse_us: seed.parse_us,
+                wait_us: c.wait_us,
+                work_us: c.work_us,
+                total_us: delta_us(seed.ts_us, done_us),
+                write_us: 0,
+                written: false,
+            }
+        });
         if let Some(conn) = self.conns.get_mut(&c.conn) {
             conn.fill_slot(c.seq, c.line);
+            if let Some(span) = span {
+                if let Some(evicted) = conn.push_span(span) {
+                    self.state.flight.record(self.idx, evicted);
+                }
+            }
+        } else if let Some(span) = span {
+            // The connection vanished before delivery — the span still
+            // counts, with the write edge left unrecorded.
+            self.state.flight.record(self.idx, span);
         }
     }
 
@@ -333,7 +385,7 @@ impl ReaderLoop {
 
     fn pump_conns(&mut self, now: Instant) -> usize {
         let mut events = 0;
-        let now_us = if self.rate_on {
+        let now_us = if self.rate_on || self.flight_on {
             clock::micros_since(self.state.epoch)
         } else {
             0
@@ -440,6 +492,40 @@ impl ReaderLoop {
         }
     }
 
+    /// Queues an inline-path flight span on the connection so its write
+    /// edge can be stamped once the outbox drains; spans evicted by the
+    /// per-connection cap are recorded immediately (unwritten). No-op
+    /// when recording is off.
+    fn push_inline_span(
+        &self,
+        conn: &mut Conn<TcpStream>,
+        endpoint: Endpoint,
+        ok: bool,
+        parse_us: u32,
+        now: Instant,
+        now_us: u64,
+    ) {
+        if !self.flight_on {
+            return;
+        }
+        let total_us = dur_us(clock::since(now));
+        let span = RequestSpan {
+            ts_us: now_us,
+            endpoint,
+            path: SpanPath::Inline,
+            ok,
+            parse_us,
+            wait_us: 0,
+            work_us: total_us.saturating_sub(parse_us),
+            total_us,
+            write_us: 0,
+            written: false,
+        };
+        if let Some(evicted) = conn.push_span(span) {
+            self.state.flight.record(self.idx, evicted);
+        }
+    }
+
     fn handle_line(&mut self, conn: &mut Conn<TcpStream>, line: String, now: Instant, now_us: u64) {
         self.state
             .metrics
@@ -456,22 +542,45 @@ impl ReaderLoop {
                         self.state.metrics.rate_shed.fetch_add(1, Ordering::Relaxed);
                         let shed = Err(rate_limited());
                         let id = entry.id.clone();
-                        self.respond_inline(conn, id.as_deref(), entry.endpoint, now, &shed);
+                        let endpoint = entry.endpoint;
+                        self.respond_inline(conn, id.as_deref(), endpoint, now, &shed);
+                        self.push_inline_span(conn, endpoint, false, 0, now, now_us);
                         return;
                     }
                     charged = true;
                 }
             }
             if self.state.cache.get(&entry.key, entry.digest).is_some() {
+                let latency = clock::since(now);
                 self.state
                     .metrics
                     .endpoint(entry.endpoint)
-                    .record(clock::since(now), true);
+                    .record(latency, true);
                 conn.push_done(entry.response.clone());
                 self.state
                     .metrics
                     .responses_total
                     .fetch_add(1, Ordering::Relaxed);
+                // Cheap fast-path variant: recorded straight to the ring
+                // (no JSON was parsed, no write edge is tracked).
+                if self.flight_on {
+                    let total_us = dur_us(latency);
+                    self.state.flight.record(
+                        self.idx,
+                        RequestSpan {
+                            ts_us: now_us,
+                            endpoint: entry.endpoint,
+                            path: SpanPath::Hot,
+                            ok: true,
+                            parse_us: 0,
+                            wait_us: 0,
+                            work_us: total_us,
+                            total_us,
+                            write_us: 0,
+                            written: false,
+                        },
+                    );
+                }
                 return;
             }
             // The cached plan was evicted since this entry was made: drop
@@ -490,6 +599,12 @@ impl ReaderLoop {
             }
         };
         let endpoint = req.endpoint();
+        // Arrival → parse done, charged to the span's parse stage.
+        let parse_us = if self.flight_on {
+            dur_us(clock::since(now))
+        } else {
+            0
+        };
         if self.rate_on && !charged {
             if let Some(client) = &req.client {
                 let cost = endpoint_cost(endpoint);
@@ -502,6 +617,7 @@ impl ReaderLoop {
                         now,
                         &Err(rate_limited()),
                     );
+                    self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
                     return;
                 }
             }
@@ -510,19 +626,31 @@ impl ReaderLoop {
             RequestBody::Stats => {
                 let outcome = render_stats(&self.state);
                 self.respond_inline(conn, req.id.as_deref(), endpoint, now, &outcome);
+                self.push_inline_span(conn, endpoint, outcome.is_ok(), parse_us, now, now_us);
+            }
+            RequestBody::Trace => {
+                let outcome = render_trace(&self.state);
+                self.respond_inline(conn, req.id.as_deref(), endpoint, now, &outcome);
+                // This span lands after the drain it answered, so it shows
+                // up in the *next* trace — by design, not a leak.
+                self.push_inline_span(conn, endpoint, outcome.is_ok(), parse_us, now, now_us);
             }
             RequestBody::Shutdown => {
                 self.state.trigger_shutdown();
                 let outcome = Ok("{\"draining\":true}".to_string());
                 self.respond_inline(conn, req.id.as_deref(), endpoint, now, &outcome);
+                self.push_inline_span(conn, endpoint, true, parse_us, now, now_us);
             }
-            RequestBody::Plan(p) => self.submit_scenario(conn, &req, p.clone(), None, line, now),
+            RequestBody::Plan(p) => {
+                self.submit_scenario(conn, &req, p.clone(), None, line, now, now_us, parse_us)
+            }
             RequestBody::Compare { params, iterations } => {
-                self.submit_scenario(conn, &req, params.clone(), Some(*iterations), line, now)
+                let n = Some(*iterations);
+                self.submit_scenario(conn, &req, params.clone(), n, line, now, now_us, parse_us)
             }
             RequestBody::Predict(p) => {
                 let p = p.clone();
-                self.submit_predict(conn, &req, p, now)
+                self.submit_predict(conn, &req, p, now, now_us, parse_us)
             }
         }
     }
@@ -534,6 +662,7 @@ impl ReaderLoop {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn submit_scenario(
         &mut self,
         conn: &mut Conn<TcpStream>,
@@ -542,12 +671,15 @@ impl ReaderLoop {
         iterations: Option<u32>,
         raw_line: String,
         now: Instant,
+        now_us: u64,
+        parse_us: u32,
     ) {
         let endpoint = req.endpoint();
         let scenario = match params.to_scenario() {
             Ok(s) => s,
             Err(e) => {
                 self.respond_inline(conn, req.id.as_deref(), endpoint, now, &Err(e));
+                self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
                 return;
             }
         };
@@ -558,34 +690,40 @@ impl ReaderLoop {
         let digest = keys::key_digest(&key);
         // Hits are answered on the reader — they never occupy queue
         // capacity, which is what keeps a hot working set fast even while
-        // the workers grind cold scenarios.
-        if let Some(hit) = self.state.cache.get(&key, digest) {
-            self.state
-                .metrics
-                .endpoint(endpoint)
-                .record(clock::since(now), true);
-            let response = response_ok_line(req.id.as_deref(), &hit);
-            if self.hot.len() >= HOT_CACHE_CAP {
-                self.hot.clear();
+        // the workers grind cold scenarios. Explain requests skip this
+        // fast path (and the hot cache): their responses carry a block
+        // the cached bytes don't, and the worker's *counted* cache read
+        // keeps the hit/miss counters truthful.
+        if !req.explain {
+            if let Some(hit) = self.state.cache.get(&key, digest) {
+                self.state
+                    .metrics
+                    .endpoint(endpoint)
+                    .record(clock::since(now), true);
+                let response = response_ok_line(req.id.as_deref(), &hit);
+                if self.hot.len() >= HOT_CACHE_CAP {
+                    self.hot.clear();
+                }
+                self.hot.insert(
+                    raw_line,
+                    HotEntry {
+                        key,
+                        digest,
+                        response: response.clone(),
+                        endpoint,
+                        client: req.client.clone(),
+                        cost: endpoint_cost(endpoint),
+                        id: req.id.clone(),
+                    },
+                );
+                conn.push_done(response);
+                self.state
+                    .metrics
+                    .responses_total
+                    .fetch_add(1, Ordering::Relaxed);
+                self.push_inline_span(conn, endpoint, true, parse_us, now, now_us);
+                return;
             }
-            self.hot.insert(
-                raw_line,
-                HotEntry {
-                    key,
-                    digest,
-                    response: response.clone(),
-                    endpoint,
-                    client: req.client.clone(),
-                    cost: endpoint_cost(endpoint),
-                    id: req.id.clone(),
-                },
-            );
-            conn.push_done(response);
-            self.state
-                .metrics
-                .responses_total
-                .fetch_add(1, Ordering::Relaxed);
-            return;
         }
         if self.state.is_shutdown() {
             self.respond_inline(
@@ -595,6 +733,7 @@ impl ReaderLoop {
                 now,
                 &Err(shutting_down()),
             );
+            self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
             return;
         }
         let deadline = self.deadline_for(req, now);
@@ -611,6 +750,7 @@ impl ReaderLoop {
                 scenario,
                 key,
                 digest,
+                explain: req.explain,
                 cancel: cancel.clone(),
                 deadline,
                 started: now,
@@ -621,6 +761,7 @@ impl ReaderLoop {
                 iterations: n,
                 key,
                 digest,
+                explain: req.explain,
                 cancel: cancel.clone(),
                 deadline,
                 started: now,
@@ -628,23 +769,31 @@ impl ReaderLoop {
             },
         };
         match self.state.queue.push(job) {
-            Ok(()) => self.track(conn.id, seq, cancel, req, endpoint, deadline, now),
-            Err(PushError::Full) => self.respond_slot(
-                conn,
-                seq,
-                req.id.as_deref(),
-                endpoint,
-                now,
-                &Err(overloaded()),
+            Ok(()) => self.track(
+                conn.id, seq, cancel, req, endpoint, deadline, now, now_us, parse_us,
             ),
-            Err(PushError::Closed) => self.respond_slot(
-                conn,
-                seq,
-                req.id.as_deref(),
-                endpoint,
-                now,
-                &Err(shutting_down()),
-            ),
+            Err(PushError::Full) => {
+                self.respond_slot(
+                    conn,
+                    seq,
+                    req.id.as_deref(),
+                    endpoint,
+                    now,
+                    &Err(overloaded()),
+                );
+                self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
+            }
+            Err(PushError::Closed) => {
+                self.respond_slot(
+                    conn,
+                    seq,
+                    req.id.as_deref(),
+                    endpoint,
+                    now,
+                    &Err(shutting_down()),
+                );
+                self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
+            }
         }
     }
 
@@ -654,6 +803,8 @@ impl ReaderLoop {
         req: &Request,
         params: crate::protocol::PredictParams,
         now: Instant,
+        now_us: u64,
+        parse_us: u32,
     ) {
         let endpoint = Endpoint::Predict;
         let machine = match parse_machine(&params.machine) {
@@ -661,6 +812,7 @@ impl ReaderLoop {
             Err(msg) => {
                 let e = ProtoError::bad_request(msg);
                 self.respond_inline(conn, req.id.as_deref(), endpoint, now, &Err(e));
+                self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
                 return;
             }
         };
@@ -669,6 +821,7 @@ impl ReaderLoop {
             Err(e) => {
                 let e = internal(format!("machine key: {e:?}"));
                 self.respond_inline(conn, req.id.as_deref(), endpoint, now, &Err(e));
+                self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
                 return;
             }
         };
@@ -680,6 +833,7 @@ impl ReaderLoop {
                 now,
                 &Err(shutting_down()),
             );
+            self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
             return;
         }
         let features: Vec<DomainFeatures> = params.nests.iter().map(DomainFeatures::from).collect();
@@ -706,7 +860,9 @@ impl ReaderLoop {
         match self.state.queue.push(Job::PredictTick {
             machine_key: machine_key.clone(),
         }) {
-            Ok(()) => self.track(conn.id, seq, cancel, req, endpoint, deadline, now),
+            Ok(()) => self.track(
+                conn.id, seq, cancel, req, endpoint, deadline, now, now_us, parse_us,
+            ),
             Err(push_err) => {
                 if self.state.batcher.cancel(&machine_key, token) {
                     let e = match push_err {
@@ -714,17 +870,21 @@ impl ReaderLoop {
                         PushError::Closed => shutting_down(),
                     };
                     self.respond_slot(conn, seq, req.id.as_deref(), endpoint, now, &Err(e));
+                    self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
                 } else {
                     // A concurrent tick already took our pending request —
                     // its completion is on the way.
-                    self.track(conn.id, seq, cancel, req, endpoint, deadline, now);
+                    self.track(
+                        conn.id, seq, cancel, req, endpoint, deadline, now, now_us, parse_us,
+                    );
                 }
             }
         }
     }
 
     /// Books a successfully submitted job: one more in-flight completion,
-    /// plus a deadline registry entry when the request has one.
+    /// a flight-span seed for the eventual completion, plus a deadline
+    /// registry entry when the request has one.
     #[allow(clippy::too_many_arguments)]
     fn track(
         &mut self,
@@ -735,8 +895,20 @@ impl ReaderLoop {
         endpoint: Endpoint,
         deadline: Option<Instant>,
         started: Instant,
+        ts_us: u64,
+        parse_us: u32,
     ) {
         self.inflight += 1;
+        if self.flight_on {
+            self.seeds.insert(
+                (conn_id, seq),
+                SpanSeed {
+                    ts_us,
+                    parse_us,
+                    endpoint,
+                },
+            );
+        }
         if let Some(at) = deadline {
             self.deadlines.insert(
                 (conn_id, seq),
@@ -768,7 +940,8 @@ impl ReaderLoop {
                 continue;
             };
             if !entry.cancel.claim() {
-                // A worker won the race — its completion is in flight.
+                // A worker won the race — its completion is in flight and
+                // will finish the span seed.
                 continue;
             }
             self.inflight = self.inflight.saturating_sub(1);
@@ -778,8 +951,31 @@ impl ReaderLoop {
                 .record(clock::since(entry.started), false);
             m.responses_total.fetch_add(1, Ordering::Relaxed);
             let line = response_err_line(entry.id.as_deref(), &deadline_exceeded());
+            let span = self.seeds.remove(&key).map(|seed| {
+                let done_us = clock::micros_since(self.state.epoch);
+                let total_us = delta_us(seed.ts_us, done_us);
+                RequestSpan {
+                    ts_us: seed.ts_us,
+                    endpoint: seed.endpoint,
+                    path: SpanPath::Deadline,
+                    ok: false,
+                    parse_us: seed.parse_us,
+                    wait_us: total_us.saturating_sub(seed.parse_us),
+                    work_us: 0,
+                    total_us,
+                    write_us: 0,
+                    written: false,
+                }
+            });
             if let Some(conn) = self.conns.get_mut(&key.0) {
                 conn.fill_slot(key.1, line);
+                if let Some(span) = span {
+                    if let Some(evicted) = conn.push_span(span) {
+                        self.state.flight.record(self.idx, evicted);
+                    }
+                }
+            } else if let Some(span) = span {
+                self.state.flight.record(self.idx, span);
             }
         }
     }
@@ -790,12 +986,29 @@ impl ReaderLoop {
         let mut gone: Vec<u64> = Vec::new();
         for (id, conn) in self.conns.iter_mut() {
             events += conn.flush(now);
+            // Write-complete edge: once the outbox is empty, every
+            // response whose span is still pending has reached the
+            // socket — stamp and record them.
+            if self.flight_on && conn.has_pending_spans() && conn.output_drained() {
+                let done_us = clock::micros_since(self.state.epoch);
+                for mut s in conn.take_pending_spans() {
+                    s.write_us = delta_us(s.ts_us.saturating_add(s.total_us as u64), done_us);
+                    s.written = true;
+                    self.state.flight.record(self.idx, s);
+                }
+            }
             if conn.gone(now).is_some() || (shutting && conn.output_drained()) {
                 gone.push(*id);
             }
         }
         for id in gone {
-            self.conns.remove(&id);
+            if let Some(mut conn) = self.conns.remove(&id) {
+                // Spans still pending at reap never reached the client —
+                // record them with the write edge unset.
+                for s in conn.take_pending_spans() {
+                    self.state.flight.record(self.idx, s);
+                }
+            }
             self.state.live_conns.fetch_sub(1, Ordering::Relaxed);
             events += 1;
         }

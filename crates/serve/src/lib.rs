@@ -45,6 +45,7 @@ pub mod client;
 pub mod conn;
 pub mod disk;
 pub(crate) mod event_loop;
+pub mod flight;
 pub mod keys;
 pub mod limits;
 pub mod metrics;
@@ -58,6 +59,7 @@ pub use cache::{CacheStats, PlanCache};
 pub use client::{Client, Response};
 pub use conn::{Conn, Gone};
 pub use disk::{DiskCache, DiskStats};
+pub use flight::{FlightRecorder, FlightStats, RequestSpan, SpanPath, SpanRing, TraceEnvelope};
 pub use keys::PLAN_FORMAT_VERSION;
 pub use limits::{CancelToken, RateLimiter, MICRO};
 pub use metrics::{EndpointStats, LimitGauges, LimitStats, Metrics, QueueStats, StatsSnapshot};

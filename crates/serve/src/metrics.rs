@@ -6,11 +6,19 @@
 //! monitoring snapshot, not a transaction.
 
 use crate::cache::CacheStats;
+use crate::flight::FlightStats;
 use crate::protocol::Endpoint;
 use crate::sync::{lock_unpoisoned, AtomicU64, Mutex, Ordering};
 use nestwx_obs::{HistSummary, LogHistogram};
 use serde::Serialize;
 use std::time::Duration;
+
+/// `schema` tag of the unified `stats` result envelope.
+pub const STATS_SCHEMA: &str = "nestwx-serve-stats";
+/// Current version of the `stats` envelope. Version 1 was the untagged
+/// PR 4–7 document; version 2 adds the schema/version tags and the
+/// flight-recorder block (all pre-v2 paths are unchanged).
+pub const STATS_VERSION: u64 = 2;
 
 /// Counters plus a latency histogram for one endpoint.
 #[derive(Default)]
@@ -68,6 +76,7 @@ pub struct Metrics {
     plan: EndpointMetrics,
     compare: EndpointMetrics,
     stats: EndpointMetrics,
+    trace: EndpointMetrics,
     shutdown: EndpointMetrics,
 }
 
@@ -79,6 +88,7 @@ impl Metrics {
             Endpoint::Plan => &self.plan,
             Endpoint::Compare => &self.compare,
             Endpoint::Stats => &self.stats,
+            Endpoint::Trace => &self.trace,
             Endpoint::Shutdown => &self.shutdown,
         }
     }
@@ -100,8 +110,11 @@ impl Metrics {
         live_conns: u64,
         gauges: LimitGauges,
         disk: crate::disk::DiskStats,
+        flight: FlightStats,
     ) -> StatsSnapshot {
         StatsSnapshot {
+            schema: STATS_SCHEMA,
+            version: STATS_VERSION,
             server: ServerStats {
                 accepted_conns: self.accepted_conns.load(Ordering::Relaxed),
                 rejected_conns: self.rejected_conns.load(Ordering::Relaxed),
@@ -126,11 +139,13 @@ impl Metrics {
                 predictors_cached: gauges.predictors_cached,
                 predictor_evictions: gauges.predictor_evictions,
             },
+            flight,
             endpoints: EndpointsStats {
                 predict: self.predict.snapshot(),
                 plan: self.plan.snapshot(),
                 compare: self.compare.snapshot(),
                 stats: self.stats.snapshot(),
+                trace: self.trace.snapshot(),
                 shutdown: self.shutdown.snapshot(),
             },
         }
@@ -234,13 +249,19 @@ pub struct EndpointsStats {
     pub compare: EndpointStats,
     /// `stats` row.
     pub stats: EndpointStats,
+    /// `trace` row.
+    pub trace: EndpointStats,
     /// `shutdown` row.
     pub shutdown: EndpointStats,
 }
 
-/// The complete `stats` result.
+/// The complete `stats` result (schema `nestwx-serve-stats` v2).
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct StatsSnapshot {
+    /// Always [`STATS_SCHEMA`].
+    pub schema: &'static str,
+    /// Always [`STATS_VERSION`].
+    pub version: u64,
     /// Connection/request totals.
     pub server: ServerStats,
     /// Request-queue figures.
@@ -253,6 +274,8 @@ pub struct StatsSnapshot {
     pub batch: BatchStats,
     /// Deadline/rate-limit/bounded-map figures.
     pub limits: LimitStats,
+    /// Flight-recorder figures (ring drops, slow-log crossings).
+    pub flight: FlightStats,
     /// Per-endpoint counters and latency.
     pub endpoints: EndpointsStats,
 }
@@ -260,6 +283,10 @@ pub struct StatsSnapshot {
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
+
+    fn flight_stats() -> FlightStats {
+        crate::flight::FlightRecorder::new(true, 2, 64, 1000).stats()
+    }
 
     #[test]
     fn endpoint_rows_accumulate() {
@@ -289,6 +316,7 @@ mod tests {
             0,
             LimitGauges::default(),
             crate::disk::DiskStats::default(),
+            flight_stats(),
         );
         assert_eq!(snap.endpoints.plan.requests, 2);
         assert_eq!(snap.endpoints.plan.errors, 1);
@@ -343,9 +371,16 @@ mod tests {
                 writes: 2,
                 corrupt: 0,
             },
+            flight_stats(),
         );
         let json = serde_json::to_string(&snap).unwrap();
         let v = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["schema"].as_str(), Some(STATS_SCHEMA));
+        assert_eq!(v["version"].as_u64(), Some(STATS_VERSION));
+        assert_eq!(v["flight"]["recording"].as_bool(), Some(true));
+        assert_eq!(v["flight"]["rings"].as_u64(), Some(2));
+        assert_eq!(v["flight"]["slow_threshold_us"].as_u64(), Some(1000));
+        assert_eq!(v["endpoints"]["trace"]["requests"].as_u64(), Some(0));
         assert_eq!(v["queue"]["rejected_full"].as_u64(), Some(2));
         assert_eq!(v["cache"]["hits"].as_u64(), Some(5));
         assert_eq!(v["disk"]["hits"].as_u64(), Some(6));

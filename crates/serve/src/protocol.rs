@@ -44,7 +44,7 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// Longer lines are answered with an `oversized` error and skipped.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
-/// The five server endpoints.
+/// The six server endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
     /// Relative execution-time prediction for a nest set (micro-batched).
@@ -55,17 +55,20 @@ pub enum Endpoint {
     Compare,
     /// Live server metrics snapshot.
     Stats,
+    /// Drain of the flight recorder's recent request spans.
+    Trace,
     /// Graceful drain-then-exit.
     Shutdown,
 }
 
 impl Endpoint {
     /// All endpoints, in protocol documentation order.
-    pub const ALL: [Endpoint; 5] = [
+    pub const ALL: [Endpoint; 6] = [
         Endpoint::Predict,
         Endpoint::Plan,
         Endpoint::Compare,
         Endpoint::Stats,
+        Endpoint::Trace,
         Endpoint::Shutdown,
     ];
 
@@ -76,6 +79,7 @@ impl Endpoint {
             Endpoint::Plan => "plan",
             Endpoint::Compare => "compare",
             Endpoint::Stats => "stats",
+            Endpoint::Trace => "trace",
             Endpoint::Shutdown => "shutdown",
         }
     }
@@ -224,6 +228,8 @@ pub enum RequestBody {
     },
     /// Metrics snapshot.
     Stats,
+    /// Flight-recorder span drain.
+    Trace,
     /// Graceful shutdown.
     Shutdown,
 }
@@ -239,6 +245,10 @@ pub struct Request {
     /// Optional per-request deadline in milliseconds from arrival,
     /// overriding the server's default.
     pub deadline_ms: Option<u64>,
+    /// Opt-in `explain` block on `plan`/`compare` responses (per-nest
+    /// predicted vs allocated share, hop histogram). Off by default so
+    /// cached plan bytes stay byte-identical for plain requests.
+    pub explain: bool,
     /// The operation.
     pub body: RequestBody,
 }
@@ -251,6 +261,7 @@ impl Request {
             id,
             client: None,
             deadline_ms: None,
+            explain: false,
             body,
         }
     }
@@ -262,6 +273,7 @@ impl Request {
             RequestBody::Plan(_) => Endpoint::Plan,
             RequestBody::Compare { .. } => Endpoint::Compare,
             RequestBody::Stats => Endpoint::Stats,
+            RequestBody::Trace => Endpoint::Trace,
             RequestBody::Shutdown => Endpoint::Shutdown,
         }
     }
@@ -284,6 +296,9 @@ impl Request {
         if let Some(deadline_ms) = self.deadline_ms {
             s.push_str(&format!(",\"deadline_ms\":{deadline_ms}"));
         }
+        if self.explain {
+            s.push_str(",\"explain\":true");
+        }
         s.push_str(",\"op\":\"");
         s.push_str(self.endpoint().name());
         s.push('"');
@@ -303,7 +318,7 @@ impl Request {
                 s.push_str(",\"params\":");
                 write_scenario_params(params, Some(*iterations), &mut s);
             }
-            RequestBody::Stats | RequestBody::Shutdown => {}
+            RequestBody::Stats | RequestBody::Trace | RequestBody::Shutdown => {}
         }
         s.push('}');
         s
@@ -356,17 +371,24 @@ impl Request {
                 Some(ms)
             }
         };
+        let explain = match field(&v, "explain") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| ProtoError::bad_request("'explain' must be a boolean"))?,
+        };
         let op = field(&v, "op")
             .and_then(Value::as_str)
             .ok_or_else(|| ProtoError::bad_request("missing string field 'op'"))?;
         let endpoint = Endpoint::from_name(op).ok_or_else(|| {
             ProtoError::bad_request(format!(
-                "unknown op '{op}' (predict|plan|compare|stats|shutdown)"
+                "unknown op '{op}' (predict|plan|compare|stats|trace|shutdown)"
             ))
         })?;
         let params = field(&v, "params");
         let body = match endpoint {
             Endpoint::Stats => RequestBody::Stats,
+            Endpoint::Trace => RequestBody::Trace,
             Endpoint::Shutdown => RequestBody::Shutdown,
             Endpoint::Predict => {
                 let p = params_object(params)?;
@@ -395,6 +417,7 @@ impl Request {
             id,
             client,
             deadline_ms,
+            explain,
             body,
         })
     }
@@ -887,6 +910,51 @@ mod tests {
         let e =
             Request::parse_line("{\"v\":1,\"deadline_ms\":\"soon\",\"op\":\"stats\"}").unwrap_err();
         assert_eq!(e.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn trace_needs_no_params_and_round_trips() {
+        let r = Request::parse_line("{\"v\":1,\"op\":\"trace\"}").unwrap();
+        assert_eq!(r.body, RequestBody::Trace);
+        assert_eq!(r.endpoint(), Endpoint::Trace);
+        let r = Request::new(Some("t1".into()), RequestBody::Trace);
+        assert_eq!(r.to_json_line(), "{\"v\":1,\"id\":\"t1\",\"op\":\"trace\"}");
+        assert_eq!(Request::parse_line(&r.to_json_line()).unwrap(), r);
+        assert_eq!(Endpoint::from_name("trace"), Some(Endpoint::Trace));
+    }
+
+    #[test]
+    fn explain_field_round_trips_and_defaults_off() {
+        // Absent → false, and serialization omits it, so pre-explain
+        // request lines are byte-identical.
+        let bare = Request::new(None, RequestBody::Stats);
+        assert!(!bare.explain);
+        assert_eq!(bare.to_json_line(), "{\"v\":1,\"op\":\"stats\"}");
+        let parsed = Request::parse_line("{\"v\":1,\"op\":\"stats\"}").unwrap();
+        assert!(!parsed.explain);
+        // explain:false parses but re-serializes without the field.
+        let parsed = Request::parse_line("{\"v\":1,\"explain\":false,\"op\":\"stats\"}").unwrap();
+        assert!(!parsed.explain);
+        // explain:true round-trips exactly.
+        let mut r = Request::new(Some("p".into()), RequestBody::Stats);
+        r.explain = true;
+        let line = r.to_json_line();
+        assert!(line.contains("\"explain\":true"), "{line}");
+        assert_eq!(Request::parse_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn non_boolean_explain_is_bad_request() {
+        for line in [
+            "{\"v\":1,\"explain\":1,\"op\":\"stats\"}",
+            "{\"v\":1,\"explain\":\"yes\",\"op\":\"plan\"}",
+        ] {
+            let e = Request::parse_line(line).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{line}");
+        }
+        // null is treated as absent, like every other optional knob.
+        let r = Request::parse_line("{\"v\":1,\"explain\":null,\"op\":\"stats\"}").unwrap();
+        assert!(!r.explain);
     }
 
     #[test]

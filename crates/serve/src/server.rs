@@ -29,6 +29,7 @@ use crate::batch::{BoundedMap, Outcome, Pending, PredictBatcher, Reply};
 use crate::cache::PlanCache;
 use crate::disk::{DiskCache, DiskStats};
 use crate::event_loop::{self, ReaderChannels};
+use crate::flight::{dur_us, FlightRecorder};
 use crate::limits::{CancelToken, RateLimiter};
 use crate::metrics::{LimitGauges, Metrics, StatsSnapshot};
 use crate::protocol::{
@@ -100,6 +101,15 @@ pub struct ServeConfig {
     /// are persisted for the next process. The directory always flows
     /// through this config — never an ambient path (lint NW-D006).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Flight recorder on/off (`NESTWX_SERVE_TRACE`, default on).
+    /// Recording is passive — response bytes are identical either way.
+    pub trace: bool,
+    /// Per-reader span-ring capacity in spans
+    /// (`NESTWX_SERVE_TRACE_RING`, default 4096).
+    pub trace_ring: usize,
+    /// Slow-request log threshold in µs, 0 = slow log off
+    /// (`NESTWX_SERVE_TRACE_SLOW_US`).
+    pub trace_slow_us: u64,
 }
 
 impl ServeConfig {
@@ -123,6 +133,9 @@ impl ServeConfig {
                 .ok()
                 .filter(|v| !v.is_empty())
                 .map(std::path::PathBuf::from),
+            trace: nestwx_core::env_usize("NESTWX_SERVE_TRACE", 1) != 0,
+            trace_ring: nestwx_core::env_usize("NESTWX_SERVE_TRACE_RING", 4096),
+            trace_slow_us: nestwx_core::env_usize("NESTWX_SERVE_TRACE_SLOW_US", 0) as u64,
         }
     }
 }
@@ -145,6 +158,7 @@ pub(crate) enum Job {
         cancel: CancelToken,
         deadline: Option<Instant>,
         started: Instant,
+        explain: bool,
         reply: Reply,
     },
     Compare {
@@ -155,6 +169,7 @@ pub(crate) enum Job {
         cancel: CancelToken,
         deadline: Option<Instant>,
         started: Instant,
+        explain: bool,
         reply: Reply,
     },
     /// Lightweight marker: "a predict batch for this machine may be
@@ -180,6 +195,8 @@ pub(crate) struct ServerState {
     pub(crate) predictors: BoundedMap<Arc<ExecTimePredictor>>,
     /// Per-client token buckets (engaged only when `cfg.rate > 0`).
     pub(crate) limiter: RateLimiter,
+    /// The request flight recorder (per-reader span rings + slow log).
+    pub(crate) flight: FlightRecorder,
     pub(crate) shutdown: AtomicBool,
     pub(crate) live_conns: AtomicUsize,
     /// Workers still running — the last one out drains the predict
@@ -357,8 +374,93 @@ pub(crate) fn render_stats(state: &ServerState) -> Outcome {
         state.live_conns.load(Ordering::Relaxed) as u64,
         state.limit_gauges(),
         state.disk_stats(),
+        state.flight.stats(),
     );
     serde_json::to_string(&snapshot).map_err(|e| internal(format!("render: {e:?}")))
+}
+
+/// Renders the `trace` response: drains the flight recorder into the
+/// versioned `nestwx-obs-serve-summary` envelope. Draining is destructive
+/// — each span is reported exactly once across concurrent drains.
+pub(crate) fn render_trace(state: &ServerState) -> Outcome {
+    serde_json::to_string(&state.flight.envelope()).map_err(|e| internal(format!("render: {e:?}")))
+}
+
+// ---------------------------------------------------------------------------
+// The opt-in `explain` block
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct ExplainNest {
+    nest: u64,
+    ranks: u64,
+    predicted_share: f64,
+    alloc_share: f64,
+}
+
+#[derive(Serialize)]
+struct HopHist {
+    edges: u64,
+    max_hops: u64,
+    counts: Vec<u64>,
+}
+
+#[derive(Serialize)]
+struct ExplainOut {
+    predicted_s_per_iter: f64,
+    nests: Vec<ExplainNest>,
+    hops: HopHist,
+}
+
+/// Renders the `explain` block for a plan: per-nest predicted vs
+/// allocated rank share, the predicted seconds/iteration, and the hop
+/// histogram of every cross-partition neighbor edge under the plan's
+/// mapping (empty for sequential plans, which have no partitions).
+pub(crate) fn render_explain(plan: &ExecutionPlan) -> Result<String, ProtoError> {
+    let report = plan
+        .simulate(1)
+        .map_err(|e| ProtoError::new(ErrorKind::Failed, e.to_string()))?;
+    let total_ranks = (plan.grid.px as f64) * (plan.grid.py as f64);
+    let nests: Vec<ExplainNest> = plan
+        .partitions
+        .iter()
+        .map(|p| ExplainNest {
+            nest: p.domain as u64,
+            ranks: p.rect.area(),
+            predicted_share: plan.predicted_ratios.get(p.domain).copied().unwrap_or(0.0),
+            alloc_share: p.rect.area() as f64 / total_ranks,
+        })
+        .collect();
+    let rects: Vec<nestwx_grid::Rect> = plan.partitions.iter().map(|p| p.rect).collect();
+    let edges = nestwx_topo::mapping::cross_partition_edges(&plan.grid, &rects);
+    let mut counts: Vec<u64> = Vec::new();
+    for (a, b) in &edges {
+        let h = plan.mapping.hops(*a, *b) as usize;
+        if counts.len() <= h {
+            counts.resize(h + 1, 0);
+        }
+        counts[h] += 1;
+    }
+    let out = ExplainOut {
+        predicted_s_per_iter: report.total_time,
+        nests,
+        hops: HopHist {
+            edges: edges.len() as u64,
+            max_hops: counts.len().saturating_sub(1) as u64,
+            counts,
+        },
+    };
+    serde_json::to_string(&out).map_err(|e| internal(format!("render: {e:?}")))
+}
+
+/// Splices an `explain` block into an already-rendered result object.
+/// The cached bytes stay pure — the block is appended per-response, so
+/// explain-off responses are byte-identical to pre-explain behavior.
+fn with_explain(result: &str, explain_json: &str) -> String {
+    match result.strip_suffix('}') {
+        Some(head) => format!("{head},\"explain\":{explain_json}}}"),
+        None => result.to_string(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -375,12 +477,23 @@ fn worker_loop(state: Arc<ServerState>) {
                 cancel,
                 deadline,
                 started,
+                explain,
                 reply,
             } => {
                 if !cancel.claim() {
                     // The deadline sweep already answered this request.
                     continue;
                 }
+                // Flight-recorder stages: queue wait is measured at claim,
+                // compute around the work. Gated so an unrecorded server
+                // takes no extra clock reads.
+                let flight_on = state.flight.enabled();
+                let wait_us = if flight_on {
+                    dur_us(clock::since(started))
+                } else {
+                    0
+                };
+                let t0 = flight_on.then(clock::now);
                 let outcome = if deadline.is_some_and(clock::expired) {
                     state
                         .metrics
@@ -388,13 +501,14 @@ fn worker_loop(state: Arc<ServerState>) {
                         .fetch_add(1, Ordering::Relaxed);
                     Err(deadline_exceeded())
                 } else {
-                    compute_plan(&state, &scenario, &key, digest)
+                    compute_plan(&state, &scenario, &key, digest, explain)
                 };
                 state
                     .metrics
                     .endpoint(Endpoint::Plan)
                     .record(clock::since(started), outcome.is_ok());
-                reply.send(outcome);
+                let work_us = t0.map(|t| dur_us(clock::since(t))).unwrap_or(0);
+                reply.send_with_stages(outcome, wait_us, work_us);
             }
             Job::Compare {
                 scenario,
@@ -404,11 +518,19 @@ fn worker_loop(state: Arc<ServerState>) {
                 cancel,
                 deadline,
                 started,
+                explain,
                 reply,
             } => {
                 if !cancel.claim() {
                     continue;
                 }
+                let flight_on = state.flight.enabled();
+                let wait_us = if flight_on {
+                    dur_us(clock::since(started))
+                } else {
+                    0
+                };
+                let t0 = flight_on.then(clock::now);
                 let outcome = if deadline.is_some_and(clock::expired) {
                     state
                         .metrics
@@ -416,13 +538,14 @@ fn worker_loop(state: Arc<ServerState>) {
                         .fetch_add(1, Ordering::Relaxed);
                     Err(deadline_exceeded())
                 } else {
-                    compute_compare(&state, &scenario, iterations, &key, digest)
+                    compute_compare(&state, &scenario, iterations, &key, digest, explain)
                 };
                 state
                     .metrics
                     .endpoint(Endpoint::Compare)
                     .record(clock::since(started), outcome.is_ok());
-                reply.send(outcome);
+                let work_us = t0.map(|t| dur_us(clock::since(t))).unwrap_or(0);
+                reply.send_with_stages(outcome, wait_us, work_us);
             }
             Job::PredictTick { machine_key } => run_predict_batch(&state, &machine_key),
         }
@@ -443,7 +566,48 @@ fn worker_loop(state: Arc<ServerState>) {
     }
 }
 
-fn compute_plan(state: &ServerState, scenario: &Scenario, key: &str, digest: u64) -> Outcome {
+fn compute_plan(
+    state: &ServerState,
+    scenario: &Scenario,
+    key: &str,
+    digest: u64,
+    explain: bool,
+) -> Outcome {
+    if explain {
+        // Explained requests bypass the reader's cache fast path entirely
+        // (the reader never counted a lookup), so this `get` is counted —
+        // cache hit/miss figures stay truthful. The cache stores *pure*
+        // result bytes; the explain block is spliced per-response from a
+        // freshly computed plan (deterministic, so it describes the cached
+        // bytes exactly).
+        let plan = state
+            .planner_for(scenario)
+            .plan(&scenario.parent, &scenario.nests)
+            .map_err(|e| ProtoError::new(ErrorKind::Failed, e.to_string()))?;
+        let result = match state.cache.get(key, digest) {
+            Some(hit) => hit.to_string(),
+            None => match state.disk.as_ref().and_then(|d| d.get(key)) {
+                Some(hit) => {
+                    state
+                        .cache
+                        .insert(key.to_string(), digest, Arc::clone(&hit));
+                    hit.to_string()
+                }
+                None => {
+                    let result = render_plan(scenario, &plan)?;
+                    state
+                        .cache
+                        .insert(key.to_string(), digest, Arc::from(result.as_str()));
+                    if let Some(disk) = &state.disk {
+                        let _ = disk.put(key, &result);
+                    }
+                    result
+                }
+            },
+        };
+        let explain_json = render_explain(&plan)?;
+        return Ok(with_explain(&result, &explain_json));
+    }
     // Re-check the cache (uncounted — the reader already counted the
     // miss): an identical request may have been computed while this one
     // waited in the queue.
@@ -481,7 +645,31 @@ fn compute_compare(
     iterations: u32,
     key: &str,
     digest: u64,
+    explain: bool,
 ) -> Outcome {
+    if explain {
+        // Same contract as `compute_plan`: counted lookup (the reader
+        // skipped its fast path), pure bytes in the cache, explain block
+        // spliced per-response from the deterministic planned plan.
+        let planner = state.planner_for(scenario);
+        let plan = planner
+            .plan(&scenario.parent, &scenario.nests)
+            .map_err(|e| ProtoError::new(ErrorKind::Failed, e.to_string()))?;
+        let result = match state.cache.get(key, digest) {
+            Some(hit) => hit.to_string(),
+            None => match state.disk.as_ref().and_then(|d| d.get(key)) {
+                Some(hit) => {
+                    state
+                        .cache
+                        .insert(key.to_string(), digest, Arc::clone(&hit));
+                    hit.to_string()
+                }
+                None => render_compare_fresh(state, scenario, iterations, key, digest)?,
+            },
+        };
+        let explain_json = render_explain(&plan)?;
+        return Ok(with_explain(&result, &explain_json));
+    }
     if let Some(hit) = state.cache.peek(key, digest) {
         return Ok(hit.to_string());
     }
@@ -491,6 +679,17 @@ fn compute_compare(
             .insert(key.to_string(), digest, Arc::clone(&hit));
         return Ok(hit.to_string());
     }
+    render_compare_fresh(state, scenario, iterations, key, digest)
+}
+
+/// Computes, renders, caches and persists a fresh compare result.
+fn render_compare_fresh(
+    state: &ServerState,
+    scenario: &Scenario,
+    iterations: u32,
+    key: &str,
+    digest: u64,
+) -> Outcome {
     let planner = state.planner_for(scenario);
     let cmp = compare_strategies(&planner, &scenario.parent, &scenario.nests, iterations)
         .map_err(|e| ProtoError::new(ErrorKind::Failed, e.to_string()))?;
@@ -545,8 +744,16 @@ fn run_predict_batch(state: &ServerState, machine_key: &str) {
             return;
         }
     };
+    let flight_on = state.flight.enabled();
+    let t0 = flight_on.then(clock::now);
     let predictor = state.predictor_for(&machine);
     for p in claimed {
+        // Queue wait for a batched predict = arrival → batch execution
+        // start; the predictor resolution plus per-request rendering is
+        // the work stage.
+        let wait_us = t0
+            .map(|t| dur_us(clock::since(p.started)).saturating_sub(dur_us(clock::since(t))))
+            .unwrap_or(0);
         let outcome = predictor
             .relative_times(&p.features)
             .map_err(|e| ProtoError::new(ErrorKind::Failed, format!("prediction: {e}")))
@@ -555,7 +762,8 @@ fn run_predict_batch(state: &ServerState, machine_key: &str) {
             .metrics
             .endpoint(Endpoint::Predict)
             .record(clock::since(p.started), outcome.is_ok());
-        p.reply.send(outcome);
+        let work_us = t0.map(|t| dur_us(clock::since(t))).unwrap_or(0);
+        p.reply.send_with_stages(outcome, wait_us, work_us);
     }
 }
 
@@ -658,7 +866,14 @@ impl ServerHandle {
             self.state.live_conns.load(Ordering::Relaxed) as u64,
             self.state.limit_gauges(),
             self.state.disk_stats(),
+            self.state.flight.stats(),
         )
+    }
+
+    /// Drains the flight recorder into its envelope — the same content the
+    /// `trace` endpoint renders, for embedding tests and benches.
+    pub fn trace_envelope(&self) -> crate::flight::TraceEnvelope {
+        self.state.flight.envelope()
     }
 
     /// p99 plan latency in seconds (from the live histogram) — convenience
@@ -688,6 +903,7 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
         metrics: Metrics::default(),
         predictors: BoundedMap::new(cfg.predictors),
         limiter: RateLimiter::new(cfg.rate, cfg.burst, cfg.client_cap),
+        flight: FlightRecorder::new(cfg.trace, n_readers, cfg.trace_ring, cfg.trace_slow_us),
         shutdown: AtomicBool::new(false),
         live_conns: AtomicUsize::new(0),
         workers_left: AtomicUsize::new(n_workers),

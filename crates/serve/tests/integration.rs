@@ -538,3 +538,257 @@ fn predictor_map_is_bounded_and_evicts() {
     assert!(u64s(&limits, "predictor_evictions") >= 1, "{limits:?}");
     shutdown_clean(handle, &mut client);
 }
+
+/// The flight recorder's core contract: with recording on and off, the
+/// same request sequence produces byte-identical response lines on every
+/// endpoint — spans ride the completion channel and the per-connection
+/// span queue, never the wire.
+#[test]
+fn responses_byte_identical_recording_on_and_off() {
+    let mut on_cfg = ServeConfig::new("127.0.0.1:0");
+    on_cfg.trace = true;
+    on_cfg.trace_slow_us = 1; // everything is "slow" — stress the slow log too
+    let mut off_cfg = ServeConfig::new("127.0.0.1:0");
+    off_cfg.trace = false;
+    let on = spawn(on_cfg).expect("spawn recording server");
+    let off = spawn(off_cfg).expect("spawn silent server");
+    let mut c_on = Client::connect(on.addr()).expect("connect on");
+    let mut c_off = Client::connect(off.addr()).expect("connect off");
+
+    let mut script: Vec<Request> = Vec::new();
+    // Plan: cold, cached, then hot (third identical raw line).
+    for i in 0..3 {
+        script.push(plan_request(
+            &format!("p{i}"),
+            Strategy::Concurrent,
+            AllocPolicy::HuffmanSplitTree,
+            MappingKind::Partition,
+        ));
+    }
+    script.push(Request::new(
+        Some("cmp".into()),
+        RequestBody::Compare {
+            params: ScenarioParams {
+                machine: MACHINE.into(),
+                parent: parent(),
+                nests: nests(),
+                strategy: Strategy::Concurrent,
+                alloc: AllocPolicy::HuffmanSplitTree,
+                mapping: MappingKind::Partition,
+                io: None,
+            },
+            iterations: 2,
+        },
+    ));
+    script.push(Request::new(
+        Some("pr".into()),
+        RequestBody::Predict(PredictParams {
+            machine: MACHINE.into(),
+            nests: nests(),
+        }),
+    ));
+    // A protocol error must render identically too.
+    for req in &script {
+        let a = c_on.call(req).expect("recording server");
+        let b = c_off.call(req).expect("silent server");
+        assert_eq!(a.raw, b.raw, "response diverged for {:?}", req.id);
+    }
+
+    // The recording server actually recorded something.
+    let trace = c_on
+        .call(&Request::new(Some("t".into()), RequestBody::Trace))
+        .expect("trace");
+    assert!(trace.ok(), "trace rejected: {}", trace.raw);
+    let result = trace.result().expect("trace result").clone();
+    let summary = result.get("summary").expect("summary");
+    assert!(
+        u64s(summary, "drained") >= script.len() as u64,
+        "{summary:?}"
+    );
+    shutdown_clean(on, &mut c_on);
+    shutdown_clean(off, &mut c_off);
+}
+
+/// The `trace` endpoint drains a versioned envelope whose spans cover the
+/// hot/inline/worker paths, and a second drain starts empty (clean drain,
+/// no double counting).
+#[test]
+fn trace_endpoint_drains_versioned_envelope_once() {
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.trace = true;
+    let handle = spawn(cfg).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let req = plan_request(
+        "e0",
+        Strategy::Sequential,
+        AllocPolicy::Equal,
+        MappingKind::Oblivious,
+    );
+    for _ in 0..3 {
+        assert!(client.call(&req).expect("plan").ok());
+    }
+    let trace = client
+        .call(&Request::new(Some("t1".into()), RequestBody::Trace))
+        .expect("trace");
+    let v = trace.result().expect("result").clone();
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("nestwx-obs-serve-summary")
+    );
+    assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+    let summary = v.get("summary").expect("summary");
+    assert_eq!(u64s(summary, "dropped"), 0);
+    assert!(u64s(summary, "drained") >= 3);
+    let by_path = summary.get("by_path").expect("by_path");
+    // Cold plan → worker; repeats → reader cache / raw-line hot cache.
+    assert!(u64s(by_path, "worker") >= 1, "{by_path:?}");
+    assert!(
+        u64s(by_path, "inline") + u64s(by_path, "hot") >= 2,
+        "{by_path:?}"
+    );
+    let spans = v.get("spans").and_then(Value::as_array).expect("spans");
+    // Every drained span is accounted for: serialized in the array, or
+    // counted as truncated (the envelope caps the array to keep the
+    // response under the protocol line limit).
+    assert_eq!(
+        spans.len() as u64 + u64s(summary, "spans_truncated"),
+        u64s(summary, "drained")
+    );
+    // Spans come out in arrival order.
+    let ts: Vec<u64> = spans.iter().map(|s| u64s(s, "ts_us")).collect();
+    let mut sorted = ts.clone();
+    sorted.sort_unstable();
+    assert_eq!(ts, sorted, "spans not time-ordered");
+
+    // Second drain: only the spans recorded since (the trace request
+    // itself, at most a couple) — the plans do not reappear.
+    let again = client
+        .call(&Request::new(Some("t2".into()), RequestBody::Trace))
+        .expect("second trace");
+    let v2 = again.result().expect("result").clone();
+    let plan_spans = v2
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("spans")
+        .iter()
+        .filter(|s| s.get("op").and_then(Value::as_str) == Some("plan"))
+        .count();
+    assert_eq!(plan_spans, 0, "drained plan spans reappeared");
+    shutdown_clean(handle, &mut client);
+}
+
+/// `explain: true` appends the explain block (per-nest shares, predicted
+/// s/iter, hop histogram) while the explain-off response — and the cached
+/// bytes behind it — stay untouched.
+#[test]
+fn explain_adds_block_without_disturbing_cached_bytes() {
+    let handle = local_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let plain = plan_request(
+        "x0",
+        Strategy::Concurrent,
+        AllocPolicy::HuffmanSplitTree,
+        MappingKind::Partition,
+    );
+    let mut explained = plain.clone();
+    explained.explain = true;
+
+    let before = client.call(&plain).expect("plain plan");
+    assert!(before.ok());
+    assert!(
+        before.result().unwrap().get("explain").is_none(),
+        "explain leaked into a plain response"
+    );
+
+    let with = client.call(&explained).expect("explained plan");
+    assert!(with.ok(), "explain plan rejected: {}", with.raw);
+    let result = with.result().expect("result").clone();
+    let explain = result.get("explain").expect("explain block");
+    assert!(
+        explain
+            .get("predicted_s_per_iter")
+            .and_then(Value::as_f64)
+            .expect("predicted_s_per_iter")
+            > 0.0
+    );
+    let nests_out = explain
+        .get("nests")
+        .and_then(Value::as_array)
+        .expect("nests");
+    // One explain row per plan partition (the same granularity the
+    // response's own `partitions` array reports).
+    let n_partitions = result
+        .get("partitions")
+        .and_then(Value::as_array)
+        .expect("partitions")
+        .len();
+    assert_eq!(
+        nests_out.len(),
+        n_partitions,
+        "one explain row per partition"
+    );
+    assert!(
+        nests_out.len() >= nests().len(),
+        "explain must cover every nest"
+    );
+    let share: f64 = nests_out
+        .iter()
+        .map(|n| n.get("alloc_share").and_then(Value::as_f64).unwrap())
+        .sum();
+    assert!(
+        (share - 1.0).abs() < 1e-9,
+        "alloc shares must sum to 1, got {share}"
+    );
+    let hops = explain.get("hops").expect("hops histogram");
+    let counts = hops
+        .get("counts")
+        .and_then(Value::as_array)
+        .expect("counts");
+    let edges: u64 = counts.iter().map(|c| c.as_u64().unwrap()).sum();
+    assert_eq!(
+        edges,
+        u64s(hops, "edges"),
+        "histogram counts must sum to edges"
+    );
+    // Everything outside the explain block matches the plain response.
+    let plain_result = before.result().unwrap();
+    for key in ["ranks", "strategy", "predicted_ratios", "partitions"] {
+        assert_eq!(
+            plain_result.get(key),
+            result.get(key),
+            "'{key}' diverged under explain"
+        );
+    }
+
+    // The cached plan bytes are untouched: the plain request still
+    // returns the exact same line as before the explain call.
+    let after = client.call(&plain).expect("plain plan again");
+    assert_eq!(before.raw, after.raw, "explain disturbed the cached bytes");
+
+    // Compare carries the same block.
+    let mut cmp = Request::new(
+        Some("xc".into()),
+        RequestBody::Compare {
+            params: ScenarioParams {
+                machine: MACHINE.into(),
+                parent: parent(),
+                nests: nests(),
+                strategy: Strategy::Concurrent,
+                alloc: AllocPolicy::HuffmanSplitTree,
+                mapping: MappingKind::Partition,
+                io: None,
+            },
+            iterations: 2,
+        },
+    );
+    cmp.explain = true;
+    let cmp_resp = client.call(&cmp).expect("explained compare");
+    assert!(cmp_resp.ok(), "explain compare rejected: {}", cmp_resp.raw);
+    assert!(
+        cmp_resp.result().unwrap().get("explain").is_some(),
+        "compare lost its explain block"
+    );
+    shutdown_clean(handle, &mut client);
+}

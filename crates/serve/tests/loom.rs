@@ -21,13 +21,19 @@
 //!    bucket never overgrant tokens (no lost-update on refill).
 //! 6. **Bounded predictor map**: racing inserts into a [`BoundedMap`]
 //!    never exceed its capacity; the loser is evicted, not leaked.
+//! 7. **Race-free span ring**: a reader pushing flight-recorder spans
+//!    racing two concurrent `trace` drains — every span is observed at
+//!    most once and spans-drained + drops-reported equals pushes, so
+//!    drops are never lost or double-counted.
 
 #![cfg(loom)]
 
 use loom::sync::atomic::{AtomicU64, Ordering};
 use loom::sync::Arc;
 use loom::thread;
-use nestwx_serve::{BoundedMap, BoundedQueue, CancelToken, PlanCache, PushError, RateLimiter};
+use nestwx_serve::{
+    BoundedMap, BoundedQueue, CancelToken, PlanCache, PushError, RateLimiter, RequestSpan, SpanRing,
+};
 
 #[test]
 fn queue_loses_no_jobs_under_concurrent_push_pop() {
@@ -228,5 +234,50 @@ fn bounded_map_respects_capacity_under_concurrent_inserts() {
         }
         assert_eq!(m.len(), 1, "capacity bound holds under racing inserts");
         assert_eq!(m.evictions(), 1, "the loser was evicted, not leaked");
+    });
+}
+
+#[test]
+fn span_ring_drains_race_free_without_double_counted_drops() {
+    const PUSHES: u64 = 3;
+    loom::model(|| {
+        // Capacity below the push count so some schedules are forced to
+        // overwrite (drop) — the interesting interleavings.
+        let ring = Arc::new(SpanRing::new(2));
+        let pusher = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for ts in 0..PUSHES {
+                    ring.push(RequestSpan::probe(ts));
+                }
+            })
+        };
+        let drainers: Vec<_> = (0..2)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.drain())
+            })
+            .collect();
+        pusher.join().unwrap();
+        let mut results: Vec<(Vec<RequestSpan>, u64)> =
+            drainers.into_iter().map(|d| d.join().unwrap()).collect();
+        // Final drain collects whatever the racers left behind.
+        results.push(ring.drain());
+
+        let mut seen = std::collections::BTreeSet::new();
+        let mut drained = 0u64;
+        let mut drops = 0u64;
+        for (spans, dropped) in &results {
+            for s in spans {
+                assert!(seen.insert(s.ts_us), "span {} drained twice", s.ts_us);
+            }
+            drained += spans.len() as u64;
+            drops += dropped;
+        }
+        assert_eq!(
+            drained + drops,
+            PUSHES,
+            "every push is either drained exactly once or counted dropped exactly once"
+        );
     });
 }

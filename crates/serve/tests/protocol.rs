@@ -106,15 +106,15 @@ fn arb_deadline() -> impl Strategy<Value = Option<u64>> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        (arb_id(), arb_client(), arb_deadline()),
-        0usize..5,
+        (arb_id(), arb_client(), arb_deadline(), any::<bool>()),
+        0usize..6,
         arb_scenario_params(),
         arb_machine(),
         arb_nests(),
         1u32..50,
     )
         .prop_map(
-            |((id, client, deadline_ms), op, params, machine, nests, iterations)| {
+            |((id, client, deadline_ms, explain), op, params, machine, nests, iterations)| {
                 let mut req = Request::new(
                     id,
                     match op {
@@ -122,11 +122,15 @@ fn arb_request() -> impl Strategy<Value = Request> {
                         1 => RequestBody::Plan(params),
                         2 => RequestBody::Compare { params, iterations },
                         3 => RequestBody::Stats,
+                        4 => RequestBody::Trace,
                         _ => RequestBody::Shutdown,
                     },
                 );
                 req.client = client;
                 req.deadline_ms = deadline_ms;
+                // `explain` only changes plan/compare responses, but the
+                // field itself round-trips on every op.
+                req.explain = explain;
                 req
             },
         )
@@ -225,6 +229,12 @@ proptest! {
 // ---------------------------------------------------------------------------
 // Deterministic edge cases that deserve exact assertions
 // ---------------------------------------------------------------------------
+
+#[test]
+fn non_boolean_explain_is_bad_request_on_the_wire() {
+    let err = Request::parse_line("{\"v\":1,\"op\":\"plan\",\"explain\":\"yes\"}").unwrap_err();
+    assert_eq!(err.kind, ErrorKind::BadRequest);
+}
 
 #[test]
 fn zero_deadline_is_bad_request() {
