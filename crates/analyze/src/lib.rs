@@ -19,8 +19,9 @@
 //! * **serve robustness rules** (`NW-S…`): `unwrap`/`expect`/`panic!` on
 //!   the request-handling path, raw `.lock()` without a poisoning policy,
 //!   blocking syscalls in lock-holding modules, blocking socket I/O
-//!   outside the readiness loop, and deadline arithmetic that bypasses
-//!   the `nestwx_obs::clock` shim.
+//!   outside the readiness loop, deadline arithmetic that bypasses
+//!   the `nestwx_obs::clock` shim, and socket I/O on the fleet data
+//!   path outside its designated transport module.
 //!
 //! Rules are deny-by-default; the only escape is an [`allowlist`] entry
 //! with a written justification, and every entry must suppress exactly one
@@ -71,6 +72,13 @@ pub struct LintConfig {
     /// must come from `nestwx_obs::clock` so recorded traces replay
     /// under virtual time.
     pub span_scope: Vec<String>,
+    /// Where NW-S007 (fleet socket confinement) applies: the fleet crate,
+    /// whose no-hang guarantees depend on every socket syscall flowing
+    /// through one transport module.
+    pub fleet_scope: Vec<String>,
+    /// The fleet's designated transport module — the only file in
+    /// `fleet_scope` allowed to touch sockets, exempt from NW-S007.
+    pub transport_files: Vec<String>,
 }
 
 impl LintConfig {
@@ -128,6 +136,8 @@ impl LintConfig {
                 "crates/serve/src/batch.rs",
                 "crates/serve/src/server.rs",
             ]),
+            fleet_scope: s(&["crates/fleet/src/"]),
+            transport_files: s(&["crates/fleet/src/net.rs"]),
         }
     }
 
@@ -146,6 +156,8 @@ impl LintConfig {
             readiness_files: vec![],
             deadline_scope: vec![String::new()],
             span_scope: vec![String::new()],
+            fleet_scope: vec![String::new()],
+            transport_files: vec![],
         }
     }
 }

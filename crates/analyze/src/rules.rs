@@ -22,6 +22,7 @@
 //! | NW-S004  | blocking-socket-io            | serve, minus readiness    |
 //! | NW-S005  | raw-deadline-arithmetic       | serve deadline scope      |
 //! | NW-S006  | raw-span-timestamp            | serve span scope          |
+//! | NW-S007  | fleet-socket-confinement      | fleet, minus transport    |
 //!
 //! Rationale per rule lives in `DESIGN.md` ("Invariant catalog").
 
@@ -45,9 +46,9 @@ pub struct Finding {
 }
 
 /// All rule ids, in catalog order (fixture tests iterate this).
-pub const RULE_IDS: [&str; 12] = [
+pub const RULE_IDS: [&str; 13] = [
     "NW-D001", "NW-D002", "NW-D003", "NW-D004", "NW-D005", "NW-D006", "NW-S001", "NW-S002",
-    "NW-S003", "NW-S004", "NW-S005", "NW-S006",
+    "NW-S003", "NW-S004", "NW-S005", "NW-S006", "NW-S007",
 ];
 
 /// True when `path` (relative, `/`-separated) falls under any of the scope
@@ -81,6 +82,8 @@ pub fn check_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     let readiness = in_scope(path, &cfg.readiness_files);
     let deadline_scope = in_scope(path, &cfg.deadline_scope);
     let span_scope = in_scope(path, &cfg.span_scope);
+    let fleet_scope = in_scope(path, &cfg.fleet_scope);
+    let transport = in_scope(path, &cfg.transport_files);
 
     // NW-D004 only applies where an unordered collection is actually in
     // play: a file that has already banished HashMap/HashSet cannot iterate
@@ -398,6 +401,56 @@ pub fn check_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
                 ),
             );
         }
+
+        // NW-S007 — socket I/O on the fleet data path outside the
+        // designated transport module. The fleet's no-hang guarantees
+        // (nonblocking pumps, per-frame deadlines, EOF-as-state) are
+        // enforced by the transport module's FrameConn; a socket touched
+        // anywhere else in the crate bypasses that discipline and can
+        // wedge a worker or the coordinator on a dead peer.
+        if fleet_scope && !transport {
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "TcpStream" | "TcpListener" | "UdpSocket")
+            {
+                push(
+                    &mut out,
+                    "NW-S007",
+                    t,
+                    format!(
+                        "{} on the fleet data path: sockets are confined to \
+                         the designated transport module, which owns the \
+                         nonblocking/deadline discipline",
+                        t.text
+                    ),
+                );
+            }
+            if t.is_punct(".")
+                && matches!(
+                    toks.get(i + 1),
+                    Some(m) if m.kind == TokKind::Ident
+                        && matches!(
+                            m.text.as_str(),
+                            "accept" | "set_nonblocking" | "peek" | "read_exact" | "write_all"
+                                | "read_to_end"
+                        )
+                )
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct("("))
+            {
+                let m = &toks[i + 1];
+                push(
+                    &mut out,
+                    "NW-S007",
+                    m,
+                    format!(
+                        ".{}() is raw socket I/O on the fleet data path: \
+                         route all frame traffic through the transport \
+                         module's FrameConn so deadlines and EOF handling \
+                         stay in one place",
+                        m.text
+                    ),
+                );
+            }
+        }
     }
     out
 }
@@ -419,8 +472,10 @@ mod tests {
             readiness_files: vec![],
             deadline_scope: vec![String::new()],
             // Kept empty so the exact-match assertions above stay
-            // S006-free; the S006 test opts in explicitly.
+            // S006/S007-free; those rules' tests opt in explicitly.
             span_scope: vec![],
+            fleet_scope: vec![],
+            transport_files: vec![],
         }
     }
 
@@ -579,6 +634,32 @@ mod tests {
             .map(|f| f.rule)
             .collect();
         assert!(!base.contains(&"NW-S006"), "{base:?}");
+    }
+
+    #[test]
+    fn s007_confines_fleet_sockets_to_the_transport_module() {
+        let src = "fn f(addr: &str) { let s = TcpStream::connect(addr); s.set_nonblocking(true); }";
+        let mut cfg = cfg_all();
+        cfg.fleet_scope = vec!["x.rs".to_string()];
+        let rules: Vec<_> = check_file("x.rs", src, &cfg)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(
+            rules.iter().filter(|r| **r == "NW-S007").count(),
+            2,
+            "{rules:?}"
+        );
+        // The designated transport module is the one place allowed to
+        // touch sockets.
+        cfg.transport_files = vec!["x.rs".to_string()];
+        assert!(!check_file("x.rs", src, &cfg)
+            .iter()
+            .any(|f| f.rule == "NW-S007"));
+        // Out of fleet scope the rule stays silent entirely.
+        assert!(!check_file("x.rs", src, &cfg_all())
+            .iter()
+            .any(|f| f.rule == "NW-S007"));
     }
 
     #[test]

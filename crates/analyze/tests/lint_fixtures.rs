@@ -49,6 +49,9 @@ fn every_rule_fires_at_the_expected_span() {
         ("NW-S005", "s005_raw_deadline.rs", 6),
         ("NW-S006", "s006_span_timestamp.rs", 3),
         ("NW-S006", "s006_span_timestamp.rs", 5),
+        ("NW-S007", "s007_fleet_socket.rs", 4),
+        ("NW-S007", "s007_fleet_socket.rs", 5),
+        ("NW-S007", "s007_fleet_socket.rs", 6),
     ];
     for (rule, file, line) in expected {
         assert!(
@@ -119,5 +122,5 @@ fn stale_allowlist_entry_fails_the_run() {
 fn fixture_run_is_nonzero_and_workspace_scan_sees_files() {
     let report = fixture_report("");
     assert!(!report.ok(), "fixtures must fail the lint");
-    assert_eq!(report.files_scanned, 12, "one fixture per rule");
+    assert_eq!(report.files_scanned, 13, "one fixture per rule");
 }

@@ -1,0 +1,167 @@
+//! Socket-halo overhead of the fleet vs the in-process baseline.
+//!
+//! Runs a fixed two-nest scenario through the in-process threaded
+//! runtime (`run_iterations` — no sockets, the baseline), then through
+//! complete socket fleets at 1, 2 and 4 workers (`execute_in_process`:
+//! loopback TCP, the full frame protocol, worker threads standing in for
+//! worker processes — the wire path is identical). For every fleet size
+//! it asserts the merged `SimReport` is byte-identical to the baseline
+//! and records the wall-clock overhead the sockets add, plus the
+//! measured socket traffic. Writes `BENCH_fleet.json` in the current
+//! directory; `perf_gate --fleet` gates it.
+//!
+//! Knobs: `NESTWX_BENCH_FLEET_ITERS` (parent iterations per timed run,
+//! default 200) and `NESTWX_BENCH_REPS` (timed repetitions, best-of,
+//! default 3).
+
+use nestwx_bench::{banner, env_u32};
+use nestwx_fleet::{build_model, execute_in_process, FleetConfig};
+use nestwx_grid::{Domain, NestSpec};
+use nestwx_miniwrf::runtime::{run_iterations, ThreadStrategy};
+use nestwx_miniwrf::SimReport;
+use nestwx_obs::clock;
+use serde::Serialize;
+use std::time::Duration;
+
+const RANKS: u64 = 64;
+
+fn scenario() -> (Domain, Vec<NestSpec>) {
+    let parent = Domain::parent(96, 84, 24.0);
+    let nests = vec![
+        NestSpec::new(40, 40, 3, (6, 6)),
+        NestSpec::new(32, 32, 2, (52, 40)),
+    ];
+    (parent, nests)
+}
+
+fn config(workers: usize) -> FleetConfig {
+    FleetConfig {
+        workers,
+        threads: 1,
+        connect_timeout: Duration::from_secs(10),
+        frame_timeout: Duration::from_secs(30),
+    }
+}
+
+/// Best-of-`reps` wall seconds for the in-process baseline (one warm-up
+/// run first), plus the baseline report for identity checks.
+fn time_baseline(iters: u32, reps: u32) -> (f64, SimReport) {
+    let (parent, nests) = scenario();
+    let run = || {
+        let mut model = build_model(&parent, &nests);
+        run_iterations(&mut model, iters, 1, &ThreadStrategy::Sequential);
+        SimReport::from_model(&model, RANKS)
+    };
+    let report = run(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = clock::now();
+        let rep = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(rep.digest, report.digest, "baseline not deterministic");
+    }
+    (best, report)
+}
+
+#[derive(Serialize)]
+struct WorkerResult {
+    workers: usize,
+    seconds_per_run: f64,
+    iters_per_sec: f64,
+    /// (fleet − baseline) / baseline wall time, percent — the cost of
+    /// moving every halo over a socket instead of a function call.
+    overhead_pct: f64,
+    /// Merged report byte-identical to the in-process baseline.
+    digests_match: bool,
+    /// Geometry-derived halo bytes (deterministic, equal across sizes).
+    logical_halo_bytes: u64,
+    /// Bytes the coordinator actually pushed onto sockets (best run).
+    socket_bytes_out: u64,
+    socket_bytes_in: u64,
+    frames_in: u64,
+    /// Coordinator seconds blocked on worker frames (best run).
+    coordinator_wait_s: f64,
+}
+
+#[derive(Serialize)]
+struct BenchOutput {
+    benchmark: String,
+    iterations_per_run: u32,
+    repetitions: u32,
+    baseline_seconds_per_run: f64,
+    baseline_iters_per_sec: f64,
+    digests_match: bool,
+    results: Vec<WorkerResult>,
+}
+
+fn main() {
+    banner("bench_fleet", "socket-halo fleet vs in-process baseline");
+    let iters = env_u32("NESTWX_BENCH_FLEET_ITERS", 200);
+    let reps = env_u32("NESTWX_BENCH_REPS", 3);
+
+    let (t_base, baseline) = time_baseline(iters, reps);
+    println!(
+        "baseline: {:.4}s per run ({:.1} iters/s), digest {}",
+        t_base,
+        iters as f64 / t_base,
+        baseline.digest
+    );
+
+    let (parent, nests) = scenario();
+    let mut results = Vec::new();
+    let mut all_match = true;
+    for workers in [1usize, 2, 4] {
+        let cfg = config(workers);
+        let fleet = |cfg: &FleetConfig| {
+            execute_in_process(&parent, &nests, iters as u64, RANKS, &[], cfg)
+                .unwrap_or_else(|e| panic!("{workers}-worker fleet failed: {e}"))
+        };
+        let warm = fleet(&cfg);
+        let mut best = f64::INFINITY;
+        let mut best_run = warm;
+        for _ in 0..reps {
+            let t0 = clock::now();
+            let run = fleet(&cfg);
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < best {
+                best = dt;
+                best_run = run;
+            }
+        }
+        let digests_match = best_run.report.to_json() == baseline.to_json();
+        all_match &= digests_match;
+        let overhead_pct = (best / t_base - 1.0) * 100.0;
+        let co = &best_run.summary.coordinator;
+        println!(
+            "{workers} worker(s): {best:.4}s per run ({overhead_pct:+.1}% vs baseline), \
+             {} socket bytes out, identical: {digests_match}",
+            co.bytes_out
+        );
+        results.push(WorkerResult {
+            workers,
+            seconds_per_run: best,
+            iters_per_sec: iters as f64 / best,
+            overhead_pct,
+            digests_match,
+            logical_halo_bytes: best_run.summary.logical_halo_bytes,
+            socket_bytes_out: co.bytes_out,
+            socket_bytes_in: co.bytes_in,
+            frames_in: co.frames_in,
+            coordinator_wait_s: co.wait_s,
+        });
+    }
+
+    let out = BenchOutput {
+        benchmark: "fleet socket-halo overhead, 96x84 parent + two nests, loopback TCP".into(),
+        iterations_per_run: iters,
+        repetitions: reps,
+        baseline_seconds_per_run: t_base,
+        baseline_iters_per_sec: iters as f64 / t_base,
+        digests_match: all_match,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&out).unwrap();
+    std::fs::write("BENCH_fleet.json", &json).unwrap();
+    println!("\nwrote BENCH_fleet.json");
+    assert!(all_match, "fleet diverged from the in-process baseline");
+}

@@ -1,5 +1,5 @@
 //! CI performance-regression gate over `BENCH_netsim.json`,
-//! `BENCH_serve.json` and `BENCH_sweep.json`.
+//! `BENCH_serve.json`, `BENCH_sweep.json` and `BENCH_fleet.json`.
 //!
 //! Usage:
 //!
@@ -7,6 +7,7 @@
 //! perf_gate <baseline.json> <current.json>           # netsim steps/s gate
 //! perf_gate --serve <baseline.json> <current.json>   # serve throughput gate
 //! perf_gate --sweep <baseline.json> <current.json>   # sweep engine gate
+//! perf_gate --fleet <baseline.json> <current.json>   # fleet socket-halo gate
 //! ```
 //!
 //! Compares the compiled engine's steps/second in `current` against the
@@ -41,6 +42,12 @@
 //! drift is a determinism bug, not noise), and — unconditionally —
 //! `byte_identical: true`, a 100 % warm disk-hit rate and zero scenario
 //! errors. A missing baseline is tolerated like `--serve`.
+//!
+//! The `--fleet` mode gates `bench_fleet` output: per-worker-count
+//! `iters_per_sec` with the same tolerance, and — unconditionally —
+//! `digests_match: true` at the top level and per size (a socket fleet
+//! that diverges from the in-process run is a correctness bug, never
+//! noise). A missing baseline is tolerated like `--serve`.
 //!
 //! Faster-than-baseline results pass with a note; refresh the committed
 //! baseline by running `bench_netsim` (or `bench_serve`) on a quiet
@@ -388,6 +395,83 @@ fn run_sweep(baseline_path: &str, current_path: &str) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// The `--fleet` gate: bitwise identity unconditionally, per-size socket
+/// throughput with tolerance, missing baseline tolerated.
+fn run_fleet(baseline_path: &str, current_path: &str) -> Result<bool, String> {
+    let tol = tolerance_pct();
+    let current = load(current_path)?;
+    let mut ok = true;
+
+    println!("fleet gate: tolerance {tol:.0}% (NESTWX_PERF_TOLERANCE_PCT)");
+    if bool_flag(&current, "digests_match") != Some(true) {
+        println!("fleet gate: digests_match is not true  FAIL (socket fleet diverged)");
+        ok = false;
+    }
+    let entries = |v: &Value, path: &str| -> Result<Vec<(u64, f64, bool)>, String> {
+        let arr = v
+            .get("results")
+            .and_then(|r| r.as_array())
+            .ok_or_else(|| format!("{path}: missing results array"))?;
+        arr.iter()
+            .map(|e| {
+                let workers = e
+                    .get("workers")
+                    .and_then(|w| w.as_u64())
+                    .ok_or_else(|| format!("{path}: result entry missing workers"))?;
+                let ips = e
+                    .get("iters_per_sec")
+                    .and_then(|s| s.as_f64())
+                    .ok_or_else(|| format!("{path}: workers={workers} missing iters_per_sec"))?;
+                let matched = bool_flag(e, "digests_match").unwrap_or(false);
+                Ok((workers, ips, matched))
+            })
+            .collect()
+    };
+    let cur = entries(&current, current_path)?;
+    for (workers, _, matched) in &cur {
+        if !matched {
+            println!("fleet gate: {workers}-worker digests_match is false  FAIL");
+            ok = false;
+        }
+    }
+
+    match load(baseline_path) {
+        Err(_) if !std::path::Path::new(baseline_path).exists() => {
+            println!(
+                "fleet gate: no baseline at {baseline_path} — PASS (first run; commit \
+                 {current_path} as the baseline)"
+            );
+        }
+        Err(e) => return Err(e),
+        Ok(baseline) => {
+            for (workers, base_ips, _) in entries(&baseline, baseline_path)? {
+                let Some((_, cur_ips, _)) = cur.iter().find(|(w, _, _)| *w == workers) else {
+                    println!("fleet gate: {workers}-worker entry missing in current  FAIL");
+                    ok = false;
+                    continue;
+                };
+                let delta_pct = (cur_ips / base_ips - 1.0) * 100.0;
+                let pass = delta_pct >= -tol;
+                println!(
+                    "fleet gate: {workers} worker(s) baseline {base_ips:.1} iters/s, current \
+                     {cur_ips:.1} iters/s ({delta_pct:+.1}%)  {}",
+                    if pass {
+                        if delta_pct > tol {
+                            "PASS (faster — consider refreshing baseline)"
+                        } else {
+                            "PASS"
+                        }
+                    } else {
+                        "FAIL (regression beyond tolerance)"
+                    }
+                );
+                ok &= pass;
+            }
+        }
+    }
+    Ok(ok)
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let ["--serve", baseline_path, current_path] = args
@@ -406,8 +490,18 @@ fn run() -> Result<bool, String> {
     {
         return run_sweep(baseline_path, current_path);
     }
+    if let ["--fleet", baseline_path, current_path] = args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        return run_fleet(baseline_path, current_path);
+    }
     let [baseline_path, current_path] = args.as_slice() else {
-        return Err("usage: perf_gate [--serve|--sweep] <baseline.json> <current.json>".into());
+        return Err(
+            "usage: perf_gate [--serve|--sweep|--fleet] <baseline.json> <current.json>".into(),
+        );
     };
     let tol = tolerance_pct();
     let baseline = load(baseline_path)?;

@@ -45,6 +45,10 @@ pub enum Command {
     Serve(ServeArgs),
     /// Sweep a declarative scenario space (`nestwx sweep`).
     Sweep(SweepArgs),
+    /// Run a multi-process worker fleet locally (`nestwx fleet`).
+    Fleet(FleetArgs),
+    /// Run one fleet worker process (`nestwx fleet-worker`).
+    FleetWorker(FleetWorkerArgs),
     /// Run the repo-specific static analysis (`nestwx lint`).
     Lint(LintArgs),
     /// Print usage.
@@ -107,6 +111,41 @@ impl SweepArgs {
             jobs,
         }
     }
+}
+
+/// Arguments of `nestwx fleet`: spawn real worker processes that split a
+/// scenario's nests and exchange halos with the coordinator over TCP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetArgs {
+    /// Target machine; its compiled plan's partitions weight the
+    /// nest-to-worker split.
+    pub machine: MachineSpec,
+    /// Parent domain.
+    pub parent: Domain,
+    /// Nest list.
+    pub nests: Vec<NestSpec>,
+    /// Coupled parent iterations.
+    pub iterations: u32,
+    /// Worker processes (`--workers`, else `NESTWX_FLEET_WORKERS`).
+    pub workers: Option<u32>,
+    /// Mapping kind (feeds the plan).
+    pub mapping: MappingKind,
+    /// Allocation policy (feeds the plan).
+    pub alloc: AllocPolicy,
+    /// Print the fleet summary envelope as JSON.
+    pub json: bool,
+    /// Also write the envelope to this file (for `nestwx obs report`).
+    pub obs_out: Option<String>,
+    /// Re-run in-process and require a bitwise-identical report.
+    pub check: bool,
+}
+
+/// Arguments of `nestwx fleet-worker` — the child process `nestwx fleet`
+/// spawns; not normally invoked by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetWorkerArgs {
+    /// Coordinator address to connect back to.
+    pub connect: String,
 }
 
 /// Arguments of `nestwx serve`. Flags override the `NESTWX_SERVE_*`
@@ -406,6 +445,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "obs" => parse_obs_args(&args[1..]).map(Command::Obs),
         "serve" => parse_serve_args(&args[1..]).map(Command::Serve),
         "sweep" => parse_sweep_args(&args[1..]).map(Command::Sweep),
+        "fleet" => parse_fleet_args(&args[1..]).map(Command::Fleet),
+        "fleet-worker" => parse_fleet_worker_args(&args[1..]).map(Command::FleetWorker),
         "lint" => parse_lint_args(&args[1..]).map(Command::Lint),
         "plan" | "compare" => {
             let mut machine = None;
@@ -470,9 +511,98 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         other => Err(err(format!(
-            "unknown command '{other}' (machines|plan|compare|sweep|obs|serve|lint|help)"
+            "unknown command '{other}' (machines|plan|compare|sweep|fleet|obs|serve|lint|help)"
         ))),
     }
+}
+
+/// Parses `fleet --machine M --parent P --nest N [--workers W]
+/// [--iterations N] [--mapping M] [--alloc A] [--json] [--obs-out FILE]
+/// [--check]`.
+fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, ParseError> {
+    let mut machine = None;
+    let mut parent = None;
+    let mut nests = Vec::new();
+    let mut iterations = 5u32;
+    let mut workers = None;
+    let mut mapping = MappingKind::Partition;
+    let mut alloc = AllocPolicy::HuffmanSplitTree;
+    let mut json = false;
+    let mut obs_out = None;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--machine" => machine = Some(parse_machine(&value("--machine")?)?),
+            "--parent" => parent = Some(parse_parent(&value("--parent")?)?),
+            "--nest" => nests.push(parse_nest(&value("--nest")?)?),
+            "--iterations" => {
+                iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|_| err("bad --iterations"))?;
+            }
+            "--workers" => {
+                let w: u32 = value("--workers")?
+                    .parse()
+                    .map_err(|_| err("bad --workers"))?;
+                if !(1..=16).contains(&w) {
+                    return Err(err("--workers must be 1..=16"));
+                }
+                workers = Some(w);
+            }
+            "--mapping" => mapping = parse_mapping(&value("--mapping")?)?,
+            "--alloc" => alloc = parse_alloc(&value("--alloc")?)?,
+            "--json" => json = true,
+            "--obs-out" => obs_out = Some(value("--obs-out")?),
+            "--check" => check = true,
+            other => return Err(err(format!("unknown fleet flag '{other}'"))),
+        }
+    }
+    let fleet = FleetArgs {
+        machine: machine.ok_or_else(|| err("--machine is required"))?,
+        parent: parent.ok_or_else(|| err("--parent is required"))?,
+        nests,
+        iterations,
+        workers,
+        mapping,
+        alloc,
+        json,
+        obs_out,
+        check,
+    };
+    if fleet.nests.is_empty() {
+        return Err(err("at least one --nest is required"));
+    }
+    if fleet.iterations == 0 {
+        return Err(err("--iterations must be ≥ 1"));
+    }
+    Ok(fleet)
+}
+
+/// Parses `fleet-worker --connect HOST:PORT`.
+fn parse_fleet_worker_args(args: &[String]) -> Result<FleetWorkerArgs, ParseError> {
+    let mut connect = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connect" => {
+                connect = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err("--connect needs a value"))?,
+                )
+            }
+            other => return Err(err(format!("unknown fleet-worker flag '{other}'"))),
+        }
+    }
+    Ok(FleetWorkerArgs {
+        connect: connect.ok_or_else(|| err("--connect is required"))?,
+    })
 }
 
 /// Parses `serve [--addr A] [--workers N] [--queue N] [--cache N]
@@ -883,6 +1013,133 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
                 return Err(format!("{} scenario(s) failed to plan", report.errors).into());
             }
         }
+        Command::Fleet(a) => {
+            let planner = Planner::new(a.machine.build())
+                .strategy(Strategy::Concurrent)
+                .alloc_policy(a.alloc)
+                .mapping(a.mapping);
+            let plan = planner.plan(&a.parent, &a.nests)?;
+            let partitions: Vec<(usize, u64)> = plan
+                .partitions
+                .iter()
+                .map(|p| (p.domain, p.rect.area()))
+                .collect();
+            let ranks = plan.machine.ranks() as u64;
+            let mut cfg = nestwx_fleet::FleetConfig::from_env();
+            if let Some(w) = a.workers {
+                cfg.workers = w as usize;
+            }
+            let (listener, addr) = nestwx_fleet::bind_listener("127.0.0.1:0")
+                .map_err(|e| format!("fleet: cannot bind a loopback listener: {e}"))?;
+            // Real worker processes: each child is this same binary
+            // re-invoked as `nestwx fleet-worker`, connecting back over
+            // loopback.
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("fleet: cannot locate own executable: {e}"))?;
+            let mut children = Vec::with_capacity(cfg.workers);
+            for _ in 0..cfg.workers {
+                let child = std::process::Command::new(&exe)
+                    .args(["fleet-worker", "--connect", &addr])
+                    .stdin(std::process::Stdio::null())
+                    .spawn()
+                    .map_err(|e| format!("fleet: cannot spawn worker: {e}"))?;
+                children.push(child);
+            }
+            let result = nestwx_fleet::accept_n(
+                &listener,
+                cfg.workers,
+                nestwx_obs::clock::deadline_after(cfg.connect_timeout),
+            )
+            .map_err(|e| nestwx_fleet::FleetError::Handshake(e.to_string()))
+            .and_then(|conns| {
+                nestwx_fleet::run_coordinator(
+                    &a.parent,
+                    &a.nests,
+                    a.iterations as u64,
+                    ranks,
+                    &partitions,
+                    conns,
+                    &cfg,
+                )
+            });
+            // Reap every child: on success each worker exits after its
+            // Done; on failure the coordinator has already aborted the
+            // fleet, so the kill is only a backstop for a wedged child.
+            for mut child in children {
+                if result.is_err() {
+                    let _ = child.kill();
+                }
+                let _ = child.wait();
+            }
+            let fleet = result?;
+            if a.check {
+                let reference = nestwx_fleet::execute_in_process(
+                    &a.parent,
+                    &a.nests,
+                    a.iterations as u64,
+                    ranks,
+                    &partitions,
+                    &nestwx_fleet::FleetConfig { workers: 1, ..cfg },
+                )?;
+                if reference.report != fleet.report {
+                    return Err(format!(
+                        "fleet check FAILED: {}-worker digest {} != in-process digest {}",
+                        fleet.summary.workers, fleet.report.digest, reference.report.digest
+                    )
+                    .into());
+                }
+            }
+            if let Some(path) = &a.obs_out {
+                std::fs::write(path, fleet.summary.to_json())
+                    .map_err(|e| format!("cannot write '{path}': {e}"))?;
+            }
+            if a.json {
+                writeln!(out, "{}", fleet.summary.to_json())?;
+            } else {
+                let s = &fleet.summary;
+                writeln!(
+                    out,
+                    "fleet: {} workers x {} iterations on {} ({} ranks)",
+                    s.workers, s.iterations, plan.machine.name, ranks
+                )?;
+                writeln!(out, "  digest {}  parent {}", s.digest, s.parent_digest)?;
+                writeln!(
+                    out,
+                    "  logical halo bytes {}  socket bytes {} in / {} out  elapsed {:.3}s",
+                    s.logical_halo_bytes,
+                    s.coordinator.bytes_in,
+                    s.coordinator.bytes_out,
+                    s.elapsed_s
+                )?;
+                for w in &s.worker_rows {
+                    writeln!(
+                        out,
+                        "  worker {}: nests {:?}  compute {:.3}s  wait {:.3}s  frames {} in / {} out",
+                        w.slot, w.nests, w.obs.compute_s, w.obs.wait_s, w.obs.frames_in, w.obs.frames_out
+                    )?;
+                }
+                if a.check {
+                    writeln!(
+                        out,
+                        "  check: report bitwise-identical to the in-process run"
+                    )?;
+                }
+            }
+        }
+        Command::FleetWorker(a) => {
+            let cfg = nestwx_fleet::FleetConfig::from_env();
+            let mut conn = nestwx_fleet::connect(
+                &a.connect,
+                nestwx_obs::clock::deadline_after(cfg.connect_timeout),
+            )
+            .map_err(|e| {
+                format!(
+                    "fleet-worker: cannot reach coordinator at {}: {e}",
+                    a.connect
+                )
+            })?;
+            nestwx_fleet::run_worker(&mut conn, cfg.frame_timeout)?;
+        }
         Command::Lint(a) => {
             let root = std::path::PathBuf::from(a.root.as_deref().unwrap_or("."));
             let cfg = if a.fixtures {
@@ -1008,6 +1265,10 @@ USAGE:
   nestwx compare --machine bgp:4096 --parent 286x307@24 --nest 394x418r3@10,10 [...]
   nestwx sweep   --spec FILE [--cache-dir DIR] [--iterations N] [--jobs N]
                  [--out FILE] [--json]
+  nestwx fleet   --machine bgl:64 --parent 96x84@24 --nest 40x40r3@6,6 [...]
+                 [--workers N] [--iterations N] [--json] [--obs-out FILE]
+                 [--check]
+  nestwx fleet-worker --connect HOST:PORT
   nestwx obs report FILE
   nestwx obs top  FILE [--by duration|compute|halo_wait|bytes|messages|hops|stall] [-n N]
                        (serve traces: --by total|parse|wait|work|write)
@@ -1046,9 +1307,27 @@ SWEEP:
   s/iter), winner-per-region table, and a versioned summary envelope
   ('nestwx obs report' understands it; --out writes it to a file).
 
+FLEET:
+  Runs the scenario as a real multi-process fleet: the coordinator plans
+  the scenario, partitions the level-1 nests across N worker processes
+  rank-proportionally, spawns each worker as 'nestwx fleet-worker
+  --connect HOST:PORT', and drives the coupled parent<->nest iteration
+  with boundary rings and feedback cells crossing process boundaries as
+  length-prefixed binary frames. Every f64 crosses as its exact bit
+  pattern, so the merged report is bitwise identical to the in-process
+  run at any worker count; --check re-runs in-process and fails loudly
+  on any divergence. --obs-out writes the 'nestwx-obs-fleet-summary'
+  envelope (socket traffic, per-worker stall attribution) that
+  'nestwx obs report' renders. Unset --workers falls back to
+  NESTWX_FLEET_WORKERS (default 2); handshake and mid-run silence
+  budgets come from NESTWX_FLEET_CONNECT_TIMEOUT_MS /
+  NESTWX_FLEET_FRAME_TIMEOUT_MS, and frame size is capped by
+  NESTWX_FLEET_MAX_FRAME_BYTES. A lost or silent worker aborts the
+  whole fleet with a typed worker_lost error — no partial reports.
+
 SERVE:
   Runs the planning daemon: newline-delimited JSON requests over TCP
-  (predict|plan|compare|stats|trace|shutdown), served by a nonblocking
+  (predict|plan|compare|execute|stats|trace|shutdown), served by a nonblocking
   event loop with plan caching, predict micro-batching, per-request
   deadlines, per-client token-bucket rate limits and live latency
   metrics. Unset flags fall back to the NESTWX_SERVE_WORKERS /
@@ -1059,8 +1338,10 @@ SERVE:
   NESTWX_SERVE_CACHE_DIR environment knobs (deadline/rate/idle/lifetime
   default 0 = off; cache-dir unset = memory-only plan cache). With a
   cache dir, plans persist across restarts and are shared with
-  'nestwx sweep'. The process exits (code 0) after a clean drain once
-  a client sends 'shutdown'.
+  'nestwx sweep'. An 'execute' request runs the planned scenario as an
+  in-process socket fleet (see FLEET) and returns the merged report plus
+  the fleet envelope; execute responses are never cached. The process
+  exits (code 0) after a clean drain once a client sends 'shutdown'.
 
   A flight recorder (NESTWX_SERVE_TRACE, default on) stamps every
   request's lifecycle (parse/queue/work/write) into bounded per-reader
@@ -1074,11 +1355,13 @@ SERVE:
   the cached plan bytes whether recording is on or off.
 
 LINT:
-  Repo-specific static analysis: determinism rules (NW-D001..D005 — no
-  unordered iteration, wall-clock reads or entropy on planner/replay
-  paths) and serve robustness rules (NW-S001..S003 — no panicking calls
-  on the request path, a single poisoning policy, no blocking syscalls
-  in lock-holding modules). Deny by default; suppress individual
+  Repo-specific static analysis: determinism rules (NW-D001..D006 — no
+  unordered iteration, wall-clock reads, entropy or ambient filesystem
+  paths on planner/replay paths) and robustness rules (NW-S001..S007 —
+  no panicking calls on the request path, a single poisoning policy, no
+  blocking syscalls in lock-holding modules, socket I/O confined to the
+  serve readiness loop and the fleet transport module, deadlines and
+  span timestamps through the clock shim). Deny by default; suppress
   diagnostics via 'RULE FILE:LINE[:COL] -- reason' lines in lint.allow
   (each entry must match exactly one diagnostic, so stale entries fail
   the run). Exits non-zero on any finding or allowlist error. See
@@ -1462,6 +1745,74 @@ mod tests {
         run(Command::Sweep(args), &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("computed 0  disk hits 4"), "{text}");
+    }
+
+    #[test]
+    fn parse_fleet_commands() {
+        let Command::Fleet(a) = parse_args(&argv(&[
+            "fleet",
+            "--machine",
+            "bgl:64",
+            "--parent",
+            "96x84@24",
+            "--nest",
+            "40x40r3@6,6",
+            "--workers",
+            "4",
+            "--iterations",
+            "3",
+            "--check",
+            "--json",
+            "--obs-out",
+            "fleet.json",
+        ]))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.workers, Some(4));
+        assert_eq!(a.iterations, 3);
+        assert!(a.check);
+        assert!(a.json);
+        assert_eq!(a.obs_out.as_deref(), Some("fleet.json"));
+        // Defaults: workers fall back to NESTWX_FLEET_WORKERS at run time.
+        let Command::Fleet(d) = parse_args(&argv(&[
+            "fleet",
+            "--machine",
+            "bgl:64",
+            "--parent",
+            "96x84@24",
+            "--nest",
+            "40x40r3@6,6",
+        ]))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(d.workers, None);
+        assert_eq!(d.iterations, 5);
+        assert!(!d.check);
+        // Bounds and required flags.
+        let base = ["fleet", "--machine", "bgl:64", "--parent", "96x84@24"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            parse_args(&argv(&v))
+        };
+        assert!(with(&["--nest", "40x40r3@6,6", "--workers", "0"]).is_err());
+        assert!(with(&["--nest", "40x40r3@6,6", "--workers", "17"]).is_err());
+        assert!(with(&["--nest", "40x40r3@6,6", "--iterations", "0"]).is_err());
+        assert!(with(&["--nest", "40x40r3@6,6", "--bogus"]).is_err());
+        assert!(with(&[]).is_err()); // no nests
+        assert!(parse_args(&argv(&["fleet", "--nest", "40x40r3@6,6"])).is_err());
+        // fleet-worker needs a coordinator address.
+        assert_eq!(
+            parse_args(&argv(&["fleet-worker", "--connect", "127.0.0.1:9"])).unwrap(),
+            Command::FleetWorker(FleetWorkerArgs {
+                connect: "127.0.0.1:9".into()
+            })
+        );
+        assert!(parse_args(&argv(&["fleet-worker"])).is_err());
+        assert!(parse_args(&argv(&["fleet-worker", "--connect"])).is_err());
+        assert!(parse_args(&argv(&["fleet-worker", "--bogus"])).is_err());
     }
 
     #[test]

@@ -5,15 +5,16 @@
 //!
 //! All three consume the `nestwx-obs-run-summary` envelope (see DESIGN.md
 //! "Summary JSON schema"); they additionally understand the
-//! `nestwx-obs-sweep-summary` envelope `nestwx sweep` writes and the
+//! `nestwx-obs-sweep-summary` envelope `nestwx sweep` writes, the
 //! `nestwx-obs-serve-summary` envelope the serve flight recorder's
-//! `trace` endpoint returns. An unknown schema tag, a serve-schema
-//! version mismatch, or a parse failure is an error, so CI can gate
-//! on it.
+//! `trace` endpoint returns, and the `nestwx-obs-fleet-summary` envelope
+//! `nestwx fleet` / the serve `execute` endpoint produce. An unknown
+//! schema tag, a serve-schema version mismatch, or a parse failure is an
+//! error, so CI can gate on it.
 
 use nestwx_netsim::SUMMARY_SCHEMA;
 use nestwx_obs::serve::check_serve_schema;
-use nestwx_obs::{SERVE_SCHEMA, SWEEP_SCHEMA};
+use nestwx_obs::{FLEET_SCHEMA, SERVE_SCHEMA, SWEEP_SCHEMA};
 use serde_json::Value;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -60,9 +61,10 @@ pub fn load_summary(path: &str) -> Result<Value, Box<dyn Error>> {
         check_serve_schema(&v).map_err(|e| format!("'{path}': {e}"))?;
         return Ok(v);
     }
-    if schema != SUMMARY_SCHEMA && schema != SWEEP_SCHEMA {
+    if schema != SUMMARY_SCHEMA && schema != SWEEP_SCHEMA && schema != FLEET_SCHEMA {
         return Err(format!(
-            "'{path}' has schema '{schema}', expected '{SUMMARY_SCHEMA}', '{SWEEP_SCHEMA}' or '{SERVE_SCHEMA}'"
+            "'{path}' has schema '{schema}', expected '{SUMMARY_SCHEMA}', '{SWEEP_SCHEMA}', \
+             '{FLEET_SCHEMA}' or '{SERVE_SCHEMA}'"
         )
         .into());
     }
@@ -125,6 +127,9 @@ pub fn report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
     }
     if v.get("schema").and_then(Value::as_str) == Some(SERVE_SCHEMA) {
         return serve_report(v, out);
+    }
+    if v.get("schema").and_then(Value::as_str) == Some(FLEET_SCHEMA) {
+        return fleet_report(v, out);
     }
     let s = v.get("summary").ok_or("missing 'summary' block")?;
     writeln!(out, "run summary (schema v{})", f(v, &["version"]) as u64)?;
@@ -343,6 +348,72 @@ fn sweep_report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn E
                 f(w, &["scenarios"]) as u64,
                 f(w, &["spread_pct"]),
             )?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders a fleet envelope: worker count, deterministic digests, and
+/// per-side socket traffic with stall attribution.
+fn fleet_report(v: &Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    writeln!(out, "fleet summary (schema v{})", f(v, &["version"]) as u64)?;
+    writeln!(
+        out,
+        "  {} workers x {} iterations, elapsed {}s",
+        f(v, &["workers"]) as u64,
+        f(v, &["iterations"]) as u64,
+        fmt_si(f(v, &["elapsed_s"])),
+    )?;
+    writeln!(
+        out,
+        "  digest {}  parent {}",
+        v.get("digest").and_then(Value::as_str).unwrap_or("?"),
+        v.get("parent_digest")
+            .and_then(Value::as_str)
+            .unwrap_or("?"),
+    )?;
+    writeln!(
+        out,
+        "  logical halo bytes {}",
+        fmt_si(f(v, &["logical_halo_bytes"])),
+    )?;
+    writeln!(out)?;
+    writeln!(
+        out,
+        "  {:<18} {:>9} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "side", "bytes_in", "bytes_out", "fr_in", "fr_out", "compute", "wait", "p99wait"
+    )?;
+    let side_row = |name: &str, s: &Value| -> String {
+        format!(
+            "  {name:<18} {:>9} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9}",
+            fmt_si(f(s, &["bytes_in"])),
+            fmt_si(f(s, &["bytes_out"])),
+            f(s, &["frames_in"]) as u64,
+            f(s, &["frames_out"]) as u64,
+            fmt_si(f(s, &["compute_s"])),
+            fmt_si(f(s, &["wait_s"])),
+            fmt_si(f(s, &["recv_wait", "p99"])),
+        )
+    };
+    if let Some(c) = v.get("coordinator") {
+        writeln!(out, "{}", side_row("coordinator", c))?;
+    }
+    if let Some(rows) = v.get("worker_rows").and_then(Value::as_array) {
+        for w in rows {
+            let nests: Vec<String> = w
+                .get("nests")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|n| n.as_u64())
+                        .map(|n| n.to_string())
+                        .collect()
+                })
+                .unwrap_or_default();
+            let name = format!("worker {} [{}]", f(w, &["slot"]) as u64, nests.join(","));
+            if let Some(obs) = w.get("obs") {
+                writeln!(out, "{}", side_row(&name, obs))?;
+            }
         }
     }
     Ok(())
@@ -862,6 +933,54 @@ mod tests {
             path: stale.to_str().unwrap().to_string(),
         });
         assert!(crate::run(cmd, &mut Vec::new()).is_err());
+    }
+
+    fn fleet_envelope() -> String {
+        let side = r#"{"bytes_in":1024,"bytes_out":2048,"frames_in":12,"frames_out":24,
+            "recv_wait":{"count":8,"mean":0.001,"p50":0.001,"p90":0.002,"p99":0.004,"max":0.01},
+            "compute_s":0.5,"wait_s":0.1}"#;
+        format!(
+            r#"{{"schema":"{FLEET_SCHEMA}","version":1,"workers":2,"iterations":4,
+            "digest":"abcd1234","parent_digest":"ef567890","logical_halo_bytes":40960,
+            "coordinator":{side},
+            "worker_rows":[
+              {{"slot":0,"nests":[0,2],"obs":{side}}},
+              {{"slot":1,"nests":[1],"obs":{side}}}],
+            "elapsed_s":1.25}}"#
+        )
+    }
+
+    #[test]
+    fn fleet_report_renders_envelope() {
+        let v: Value = serde_json::from_str(&fleet_envelope()).unwrap();
+        let mut buf = Vec::new();
+        report(&v, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("fleet summary (schema v1)"), "{text}");
+        assert!(text.contains("2 workers x 4 iterations"), "{text}");
+        assert!(text.contains("digest abcd1234"), "{text}");
+        assert!(text.contains("coordinator"), "{text}");
+        assert!(text.contains("worker 0 [0,2]"), "{text}");
+        assert!(text.contains("worker 1 [1]"), "{text}");
+    }
+
+    #[test]
+    fn load_summary_accepts_fleet_schema() {
+        let dir = nestwx_core::TempDir::new("cli-obs-fleet").unwrap();
+        let path = dir.path().join("fleet.json");
+        std::fs::write(&path, fleet_envelope()).unwrap();
+        let v = load_summary(path.to_str().unwrap()).unwrap();
+        assert_eq!(v["schema"].as_str(), Some(FLEET_SCHEMA));
+        // And through the command entry point.
+        let mut buf = Vec::new();
+        crate::run(
+            crate::Command::Obs(ObsCmd::Report {
+                path: path.to_str().unwrap().into(),
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("fleet summary"));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! End-to-end `nestwx fleet` over real worker OS processes.
+//!
+//! Spawns the built `nestwx` binary, which in turn spawns its own
+//! `fleet-worker` children via `current_exe`, and checks the merged
+//! report against a directly-driven in-process fleet: the core ISSUE
+//! invariant (socket halos are bitwise-transparent) holds across real
+//! process boundaries, not just threads.
+
+use std::process::Command;
+
+const PARENT: &str = "96x84@24";
+const NEST_A: &str = "40x40r3@6,6";
+const NEST_B: &str = "32x32r2@52,40";
+
+fn reference_run() -> nestwx_fleet::FleetRun {
+    let parent = nestwx_grid::Domain::parent(96, 84, 24.0);
+    let nests = vec![
+        nestwx_grid::NestSpec::new(40, 40, 3, (6, 6)),
+        nestwx_grid::NestSpec::new(32, 32, 2, (52, 40)),
+    ];
+    let plan = nestwx_core::Planner::new(nestwx_netsim::Machine::bgl(64))
+        .strategy(nestwx_core::Strategy::Concurrent)
+        .alloc_policy(nestwx_core::AllocPolicy::HuffmanSplitTree)
+        .mapping(nestwx_core::MappingKind::Partition)
+        .plan(&parent, &nests)
+        .unwrap();
+    let partitions: Vec<(usize, u64)> = plan
+        .partitions
+        .iter()
+        .map(|p| (p.domain, p.rect.area()))
+        .collect();
+    nestwx_fleet::execute_in_process(
+        &parent,
+        &nests,
+        3,
+        plan.machine.ranks() as u64,
+        &partitions,
+        &nestwx_fleet::FleetConfig {
+            workers: 1,
+            ..nestwx_fleet::FleetConfig::from_env()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn fleet_command_spawns_real_workers_and_matches_in_process_run() {
+    let exe = env!("CARGO_BIN_EXE_nestwx");
+    let dir = nestwx_core::TempDir::new("cli-fleet").unwrap();
+    let obs_path = dir.path().join("fleet.json");
+    let out = Command::new(exe)
+        .args([
+            "fleet",
+            "--machine",
+            "bgl:64",
+            "--parent",
+            PARENT,
+            "--nest",
+            NEST_A,
+            "--nest",
+            NEST_B,
+            "--iterations",
+            "3",
+            "--workers",
+            "2",
+            "--check",
+            "--json",
+            "--obs-out",
+            obs_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "fleet exited nonzero\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["schema"].as_str().unwrap(), "nestwx-obs-fleet-summary");
+    assert_eq!(v["workers"].as_u64().unwrap(), 2);
+    assert_eq!(v["iterations"].as_u64().unwrap(), 3);
+    assert_eq!(v["worker_rows"].as_array().unwrap().len(), 2);
+
+    // Bitwise identity against the in-process reference.
+    let reference = reference_run();
+    assert_eq!(v["digest"].as_str().unwrap(), reference.report.digest);
+    assert_eq!(
+        v["parent_digest"].as_str().unwrap(),
+        reference.report.parent_digest
+    );
+
+    // The written envelope loads and renders through `nestwx obs report`.
+    let report = Command::new(exe)
+        .args(["obs", "report", obs_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        report.status.success(),
+        "obs report failed: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let text = String::from_utf8(report.stdout).unwrap();
+    assert!(text.contains("fleet summary"), "{text}");
+    assert!(text.contains("coordinator"), "{text}");
+    assert!(text.contains("worker 1"), "{text}");
+}
+
+#[test]
+fn fleet_human_output_reports_check_and_digest() {
+    let exe = env!("CARGO_BIN_EXE_nestwx");
+    let out = Command::new(exe)
+        .args([
+            "fleet",
+            "--machine",
+            "bgl:64",
+            "--parent",
+            PARENT,
+            "--nest",
+            NEST_A,
+            "--iterations",
+            "2",
+            "--workers",
+            "1",
+            "--check",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("fleet: 1 workers x 2 iterations"), "{text}");
+    assert!(text.contains("digest "), "{text}");
+    assert!(
+        text.contains("check: report bitwise-identical to the in-process run"),
+        "{text}"
+    );
+}
+
+#[test]
+fn fleet_worker_without_coordinator_fails_fast() {
+    // A worker pointed at a dead port must exit nonzero with a clear
+    // error, not hang.
+    let exe = env!("CARGO_BIN_EXE_nestwx");
+    let out = Command::new(exe)
+        .args(["fleet-worker", "--connect", "127.0.0.1:1"])
+        .env("NESTWX_FLEET_CONNECT_TIMEOUT_MS", "500")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot reach coordinator"), "{err}");
+}

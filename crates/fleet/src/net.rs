@@ -1,0 +1,292 @@
+//! The fleet's socket layer: nonblocking length-prefixed frame I/O.
+//!
+//! This is the **designated transport module** of the fleet data path —
+//! the only fleet file allowed to touch sockets (lint rule NW-S007
+//! enforces this). The connection state machine follows the serve
+//! `conn.rs` idioms: a nonblocking stream drained into a growable input
+//! buffer, an outbox with a partial-write offset (`sent`) compacted once
+//! the consumed prefix grows large, and `WouldBlock`/`Interrupted`
+//! handled as "no progress" rather than errors. Framing is binary
+//! (length-prefixed, see [`crate::frame`]) instead of serve's
+//! newline-JSON, so the machinery is reimplemented here rather than
+//! imported — `nestwx-serve` depends on this crate, not the reverse.
+//!
+//! Waiting is a poll loop ([`FrameConn::wait_frame`]): pump every readable
+//! byte, sleep briefly when nothing progressed, give up at the deadline.
+//! All deadline checks go through the `nestwx_obs::clock` shim.
+
+use crate::frame::{decode_frame, encode_frame, max_frame_bytes, Tag};
+use nestwx_miniwrf::TransportError;
+use nestwx_obs::clock;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Compact the outbox once this many sent bytes accumulate at its front.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Sleep between poll rounds when a pump made no progress. Short enough
+/// that halo latency stays dominated by the solver, long enough not to
+/// spin a core while the peer computes.
+const POLL_SLEEP: Duration = Duration::from_micros(200);
+
+/// One nonblocking framed connection with transfer counters.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    consumed: usize,
+    outbuf: Vec<u8>,
+    sent: usize,
+    max_frame: usize,
+    eof: bool,
+    /// Peer address, for error messages.
+    pub peer: String,
+    /// Wire bytes received.
+    pub bytes_in: u64,
+    /// Wire bytes sent.
+    pub bytes_out: u64,
+    /// Frames decoded.
+    pub frames_in: u64,
+    /// Frames queued.
+    pub frames_out: u64,
+}
+
+impl FrameConn {
+    /// Wraps a connected stream: switches it to nonblocking and disables
+    /// Nagle (halo frames are latency-critical and already batched).
+    pub fn new(stream: TcpStream) -> Result<FrameConn, TransportError> {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| TransportError::Closed(format!("set_nonblocking: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Ok(FrameConn {
+            stream,
+            inbuf: Vec::new(),
+            consumed: 0,
+            outbuf: Vec::new(),
+            sent: 0,
+            max_frame: max_frame_bytes(),
+            eof: false,
+            peer,
+            bytes_in: 0,
+            bytes_out: 0,
+            frames_in: 0,
+            frames_out: 0,
+        })
+    }
+
+    /// Queues one frame for sending (no I/O; call [`FrameConn::flush`]).
+    pub fn queue(&mut self, tag: Tag, payload: &[u8]) {
+        encode_frame(tag, payload, &mut self.outbuf);
+        self.frames_out += 1;
+    }
+
+    /// Writes as much queued output as the socket accepts right now.
+    /// Returns `true` once the outbox is fully flushed.
+    pub fn flush(&mut self) -> Result<bool, TransportError> {
+        while self.sent < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.sent..]) {
+                Ok(0) => {
+                    return Err(TransportError::Closed(format!(
+                        "{}: write returned 0",
+                        self.peer
+                    )))
+                }
+                Ok(n) => {
+                    self.sent += n;
+                    self.bytes_out += n as u64;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TransportError::Closed(format!("{}: write: {e}", self.peer))),
+            }
+        }
+        if self.sent == self.outbuf.len() {
+            self.outbuf.clear();
+            self.sent = 0;
+        } else if self.sent >= COMPACT_THRESHOLD {
+            self.outbuf.drain(..self.sent);
+            self.sent = 0;
+        }
+        Ok(self.sent == self.outbuf.len() || self.outbuf.is_empty())
+    }
+
+    /// Whether the peer has closed its sending side. Frames already
+    /// buffered stay decodable; only *waiting* on an EOF'd connection with
+    /// nothing decodable left is an error.
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Reads every currently-available byte into the input buffer.
+    /// Returns `true` when new bytes arrived. EOF is recorded, not raised:
+    /// a peer may legitimately close right after its final frame, and that
+    /// frame must still decode.
+    pub fn fill(&mut self) -> Result<bool, TransportError> {
+        if self.eof {
+            return Ok(false);
+        }
+        let mut progressed = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    self.bytes_in += n as u64;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TransportError::Closed(format!("{}: read: {e}", self.peer))),
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Decodes the next buffered frame, if a complete one is available.
+    pub fn next_frame(&mut self) -> Result<Option<(Tag, Vec<u8>)>, TransportError> {
+        match decode_frame(&self.inbuf[self.consumed..], self.max_frame) {
+            Ok(None) => {
+                // Compact the consumed prefix while idle so a long run's
+                // buffer doesn't grow monotonically.
+                if self.consumed >= COMPACT_THRESHOLD {
+                    self.inbuf.drain(..self.consumed);
+                    self.consumed = 0;
+                }
+                Ok(None)
+            }
+            Ok(Some((tag, payload, used))) => {
+                let owned = payload.to_vec();
+                self.consumed += used;
+                self.frames_in += 1;
+                Ok(Some((tag, owned)))
+            }
+            Err(e) => Err(TransportError::Protocol(format!("{}: {e}", self.peer))),
+        }
+    }
+
+    /// One nonblocking duty cycle: flush pending output, read pending
+    /// input. Returns `true` when either direction progressed.
+    pub fn pump(&mut self) -> Result<bool, TransportError> {
+        let had_out = !self.outbuf.is_empty();
+        self.flush()?;
+        let wrote = had_out && self.outbuf.is_empty();
+        let read = self.fill()?;
+        Ok(wrote || read)
+    }
+
+    /// Pumps until a complete frame arrives or `deadline` passes.
+    pub fn wait_frame(&mut self, deadline: Instant) -> Result<(Tag, Vec<u8>), TransportError> {
+        loop {
+            if let Some(frame) = self.next_frame()? {
+                return Ok(frame);
+            }
+            let progressed = self.pump()?;
+            if let Some(frame) = self.next_frame()? {
+                return Ok(frame);
+            }
+            if self.eof {
+                return Err(TransportError::Closed(format!(
+                    "{}: peer disconnected",
+                    self.peer
+                )));
+            }
+            if clock::expired(deadline) {
+                return Err(TransportError::Timeout(format!(
+                    "{}: no frame before deadline",
+                    self.peer
+                )));
+            }
+            if !progressed {
+                std::thread::sleep(POLL_SLEEP);
+            }
+        }
+    }
+
+    /// Pumps until the outbox is empty or `deadline` passes — used to push
+    /// out `Done`/`Abort` before closing.
+    pub fn flush_fully(&mut self, deadline: Instant) -> Result<(), TransportError> {
+        loop {
+            if self.flush()? {
+                return Ok(());
+            }
+            if clock::expired(deadline) {
+                return Err(TransportError::Timeout(format!(
+                    "{}: outbox not drained before deadline",
+                    self.peer
+                )));
+            }
+            std::thread::sleep(POLL_SLEEP);
+        }
+    }
+}
+
+/// Binds the coordinator's listener (nonblocking, for deadline-bounded
+/// accepts) and returns it with the bound address.
+pub fn bind_listener(addr: &str) -> Result<(TcpListener, String), TransportError> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| TransportError::Closed(format!("bind {addr}: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::Closed(format!("listener nonblocking: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| TransportError::Closed(format!("local_addr: {e}")))?;
+    Ok((listener, local.to_string()))
+}
+
+/// Accepts up to `n` connections before `deadline`.
+pub fn accept_n(
+    listener: &TcpListener,
+    n: usize,
+    deadline: Instant,
+) -> Result<Vec<FrameConn>, TransportError> {
+    let mut conns = Vec::with_capacity(n);
+    while conns.len() < n {
+        match listener.accept() {
+            Ok((stream, _)) => conns.push(FrameConn::new(stream)?),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if clock::expired(deadline) {
+                    return Err(TransportError::Timeout(format!(
+                        "only {}/{n} workers connected before deadline",
+                        conns.len()
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TransportError::Closed(format!("accept: {e}"))),
+        }
+    }
+    Ok(conns)
+}
+
+/// Connects a worker to the coordinator, retrying until `deadline` (the
+/// coordinator may still be binding when a spawned worker starts).
+pub fn connect(addr: &str, deadline: Instant) -> Result<FrameConn, TransportError> {
+    let sockaddr = addr
+        .to_socket_addrs()
+        .map_err(|e| TransportError::Closed(format!("resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| TransportError::Closed(format!("resolve {addr}: no address")))?;
+    loop {
+        match TcpStream::connect_timeout(&sockaddr, Duration::from_millis(250)) {
+            Ok(stream) => return FrameConn::new(stream),
+            Err(e) => {
+                if clock::expired(deadline) {
+                    return Err(TransportError::Timeout(format!("connect {addr}: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}

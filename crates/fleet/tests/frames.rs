@@ -1,0 +1,151 @@
+//! Property-based tests of the fleet frame codec: every encoded frame and
+//! halo-cell payload decodes back to exactly what went in (f64s as bit
+//! patterns), truncation is always "incomplete" rather than an error, and
+//! malformed input — oversized lengths, unknown tags, cell-count lies — is
+//! rejected with the right typed error instead of desyncing the stream.
+
+use nestwx_fleet::frame::{
+    decode_cells, decode_frame, encode_cells, encode_frame, FrameError, Tag, CELLS_PREFIX_BYTES,
+    CELL_BYTES, DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_BYTES,
+};
+use proptest::prelude::*;
+
+const TAGS: &[Tag] = &[
+    Tag::Hello,
+    Tag::Assign,
+    Tag::Boundary,
+    Tag::Feedback,
+    Tag::Done,
+    Tag::Abort,
+    Tag::Error,
+];
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    (0usize..TAGS.len()).prop_map(|i| TAGS[i])
+}
+
+/// Cells with adversarial floats: the codec must carry bit patterns, not
+/// values, so signed zeros, subnormals and huge magnitudes all appear.
+fn arb_field() -> impl Strategy<Value = f64> {
+    (any::<bool>(), any::<u8>(), -1.0e300f64..1.0e300).prop_map(|(special, pick, x)| {
+        if special {
+            match pick % 5 {
+                0 => -0.0,
+                1 => f64::MIN_POSITIVE,
+                2 => f64::MIN_POSITIVE / 8.0,
+                3 => 1.0 / 3.0,
+                _ => f64::MAX,
+            }
+        } else {
+            x
+        }
+    })
+}
+
+fn arb_cells() -> impl Strategy<Value = Vec<(isize, isize, f64, f64, f64)>> {
+    prop::collection::vec(
+        (
+            -1000isize..1000,
+            -1000isize..1000,
+            arb_field(),
+            arb_field(),
+            arb_field(),
+        ),
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn frame_round_trips(tag in arb_tag(), payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = Vec::new();
+        encode_frame(tag, &payload, &mut buf);
+        let (t, p, used) = decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        prop_assert_eq!(t, tag);
+        prop_assert_eq!(p, &payload[..]);
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(used, FRAME_HEADER_BYTES + 1 + payload.len());
+    }
+
+    #[test]
+    fn truncation_is_incomplete_never_error(
+        tag in arb_tag(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        encode_frame(tag, &payload, &mut buf);
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < buf.len());
+        prop_assert_eq!(decode_frame(&buf[..cut], DEFAULT_MAX_FRAME_BYTES).unwrap(), None);
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_order(
+        frames in prop::collection::vec(
+            (arb_tag(), prop::collection::vec(any::<u8>(), 0..64)), 1..8),
+    ) {
+        let mut buf = Vec::new();
+        for (tag, payload) in &frames {
+            encode_frame(*tag, payload, &mut buf);
+        }
+        let mut at = 0;
+        for (tag, payload) in &frames {
+            let (t, p, used) = decode_frame(&buf[at..], DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+            prop_assert_eq!(t, *tag);
+            prop_assert_eq!(p, &payload[..]);
+            at += used;
+        }
+        prop_assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected(excess in 1u32..1000) {
+        let len = DEFAULT_MAX_FRAME_BYTES as u32 + excess;
+        let buf = len.to_le_bytes();
+        prop_assert!(matches!(
+            decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_rejected(raw in 8u8..=255) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(raw);
+        prop_assert_eq!(
+            decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::UnknownTag(raw))
+        );
+    }
+
+    #[test]
+    fn cells_round_trip_bitwise(nest in 0u32..64, iteration in 0u64..10_000, cells in arb_cells()) {
+        let payload = encode_cells(nest, iteration, &cells);
+        prop_assert_eq!(payload.len(), CELLS_PREFIX_BYTES + cells.len() * CELL_BYTES);
+        let (n, it, back) = decode_cells(&payload).unwrap();
+        prop_assert_eq!((n, it), (nest, iteration));
+        prop_assert_eq!(back.len(), cells.len());
+        for (a, b) in cells.iter().zip(&back) {
+            prop_assert_eq!((a.0, a.1), (b.0, b.1));
+            prop_assert_eq!(a.2.to_bits(), b.2.to_bits());
+            prop_assert_eq!(a.3.to_bits(), b.3.to_bits());
+            prop_assert_eq!(a.4.to_bits(), b.4.to_bits());
+        }
+    }
+
+    #[test]
+    fn cell_payload_length_lies_rejected(cells in arb_cells(), delta in 1usize..CELL_BYTES) {
+        let payload = encode_cells(1, 1, &cells);
+        // Longer than declared.
+        let mut long = payload.clone();
+        long.extend(std::iter::repeat_n(0u8, delta));
+        prop_assert!(matches!(decode_cells(&long), Err(FrameError::Malformed(_))));
+        // Shorter than declared (when there is a body to shorten).
+        if !cells.is_empty() {
+            let short = &payload[..payload.len() - delta];
+            prop_assert!(matches!(decode_cells(short), Err(FrameError::Malformed(_))));
+        }
+    }
+}

@@ -50,6 +50,12 @@ impl Field2D {
         self.data[k] = v;
     }
 
+    /// Interior values in row-major order (`j` outer, `i` inner) — the
+    /// deterministic traversal field digests use.
+    pub fn interior_values(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.ny).flat_map(move |j| (0..self.nx).map(move |i| self.get(i as isize, j as isize)))
+    }
+
     /// Sum over the interior (for conservation checks).
     pub fn interior_sum(&self) -> f64 {
         let mut s = 0.0;

@@ -69,6 +69,44 @@ pub struct BoundaryData {
     ring: Vec<(isize, isize, f64, f64, f64)>,
 }
 
+impl BoundaryData {
+    /// The halo-ring cells as `(i, j, h, hu, hv)`, in the deterministic
+    /// order [`interpolate_boundary`] produced them. Transports serialize
+    /// this slice verbatim (f64 bit patterns included) so a remote
+    /// [`apply_boundary`] writes exactly the bytes a local one would.
+    pub fn cells(&self) -> &[(isize, isize, f64, f64, f64)] {
+        &self.ring
+    }
+
+    /// Rebuilds boundary data from transported cells (inverse of
+    /// [`BoundaryData::cells`]).
+    pub fn from_cells(ring: Vec<(isize, isize, f64, f64, f64)>) -> BoundaryData {
+        BoundaryData { ring }
+    }
+}
+
+/// Two-way feedback data for one nest iteration: the parent-cell writes
+/// (`r × r` fine-cell means) that [`feedback_to_parent`] would perform,
+/// captured so they can cross a process boundary bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackData {
+    /// Parent-cell writes as `(i, j, h, hu, hv)`, in footprint row-major
+    /// order.
+    cells: Vec<(isize, isize, f64, f64, f64)>,
+}
+
+impl FeedbackData {
+    /// The parent-cell writes as `(i, j, h, hu, hv)`.
+    pub fn cells(&self) -> &[(isize, isize, f64, f64, f64)] {
+        &self.cells
+    }
+
+    /// Rebuilds feedback data from transported cells.
+    pub fn from_cells(cells: Vec<(isize, isize, f64, f64, f64)>) -> FeedbackData {
+        FeedbackData { cells }
+    }
+}
+
 /// Interpolates the nest's halo-ring boundary conditions from the parent
 /// state (call after the parent's step, before the nest's sub-steps).
 pub fn interpolate_boundary(parent: &ShallowWater, geo: &NestGeometry) -> BoundaryData {
@@ -119,11 +157,15 @@ pub fn initialize_from_parent(parent: &ShallowWater, nest: &mut ShallowWater, ge
     }
 }
 
-/// Two-way feedback: each parent cell covered by the nest receives the mean
-/// of its `r × r` fine cells.
-pub fn feedback_to_parent(nest: &ShallowWater, parent: &mut ShallowWater, geo: &NestGeometry) {
+/// Computes the feedback writes for one nest: each parent cell covered by
+/// the nest receives the mean of its `r × r` fine cells. Pure function of
+/// the nest state, so a remote worker can compute it and ship the cells;
+/// [`apply_feedback`] on the parent side then reproduces exactly what
+/// [`feedback_to_parent`] would have written in-process.
+pub fn collect_feedback(nest: &ShallowWater, geo: &NestGeometry) -> FeedbackData {
     let r = geo.ratio;
     let (pi0, pj0, pw, ph) = geo.parent_footprint();
+    let mut cells = Vec::with_capacity(pw * ph);
     for pj in 0..ph {
         for pi in 0..pw {
             let mut sums = [0.0f64; 3];
@@ -142,12 +184,32 @@ pub fn feedback_to_parent(nest: &ShallowWater, parent: &mut ShallowWater, geo: &
             }
             if n > 0 {
                 let (gi, gj) = ((pi0 + pi) as isize, (pj0 + pj) as isize);
-                parent.h.set(gi, gj, sums[0] / n as f64);
-                parent.hu.set(gi, gj, sums[1] / n as f64);
-                parent.hv.set(gi, gj, sums[2] / n as f64);
+                cells.push((
+                    gi,
+                    gj,
+                    sums[0] / n as f64,
+                    sums[1] / n as f64,
+                    sums[2] / n as f64,
+                ));
             }
         }
     }
+    FeedbackData { cells }
+}
+
+/// Writes precomputed feedback cells into the parent.
+pub fn apply_feedback(parent: &mut ShallowWater, fb: &FeedbackData) {
+    for &(i, j, h, hu, hv) in &fb.cells {
+        parent.h.set(i, j, h);
+        parent.hu.set(i, j, hu);
+        parent.hv.set(i, j, hv);
+    }
+}
+
+/// Two-way feedback: each parent cell covered by the nest receives the mean
+/// of its `r × r` fine cells ([`collect_feedback`] + [`apply_feedback`]).
+pub fn feedback_to_parent(nest: &ShallowWater, parent: &mut ShallowWater, geo: &NestGeometry) {
+    apply_feedback(parent, &collect_feedback(nest, geo));
 }
 
 #[cfg(test)]

@@ -472,6 +472,12 @@ pub const SWEEP_SCHEMA: &str = "nestwx-obs-sweep-summary";
 /// Current version of the sweep summary envelope.
 pub const SWEEP_VERSION: u64 = 1;
 
+/// `schema` tag of the fleet summary envelope (emitted by `nestwx-fleet`
+/// coordinators, consumed by `nestwx obs report`).
+pub const FLEET_SCHEMA: &str = "nestwx-obs-fleet-summary";
+/// Current version of the fleet summary envelope.
+pub const FLEET_VERSION: u64 = 1;
+
 /// The summary-JSON envelope (what [`Recorder::summary_json`] emits).
 #[derive(Debug, Clone, Serialize)]
 pub struct RunSummary {

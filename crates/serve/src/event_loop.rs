@@ -124,6 +124,9 @@ fn endpoint_cost(e: Endpoint) -> u64 {
         Endpoint::Predict => 1,
         Endpoint::Plan => 2,
         Endpoint::Compare => 4,
+        // A fleet execution spins up worker threads and sockets and runs
+        // the real model — by far the most expensive request.
+        Endpoint::Execute => 8,
         Endpoint::Stats | Endpoint::Trace | Endpoint::Shutdown => 0,
     }
 }
@@ -648,6 +651,14 @@ impl ReaderLoop {
                 let n = Some(*iterations);
                 self.submit_scenario(conn, &req, params.clone(), n, line, now, now_us, parse_us)
             }
+            RequestBody::Execute {
+                params,
+                iterations,
+                workers,
+            } => {
+                let (n, w) = (*iterations, *workers);
+                self.submit_execute(conn, &req, params.clone(), n, w, now, now_us, parse_us)
+            }
             RequestBody::Predict(p) => {
                 let p = p.clone();
                 self.submit_predict(conn, &req, p, now, now_us, parse_us)
@@ -767,6 +778,88 @@ impl ReaderLoop {
                 started: now,
                 reply,
             },
+        };
+        match self.state.queue.push(job) {
+            Ok(()) => self.track(
+                conn.id, seq, cancel, req, endpoint, deadline, now, now_us, parse_us,
+            ),
+            Err(PushError::Full) => {
+                self.respond_slot(
+                    conn,
+                    seq,
+                    req.id.as_deref(),
+                    endpoint,
+                    now,
+                    &Err(overloaded()),
+                );
+                self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
+            }
+            Err(PushError::Closed) => {
+                self.respond_slot(
+                    conn,
+                    seq,
+                    req.id.as_deref(),
+                    endpoint,
+                    now,
+                    &Err(shutting_down()),
+                );
+                self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
+            }
+        }
+    }
+
+    /// Submits a fleet execution. Unlike `submit_scenario` there is no
+    /// cache fast path: every `execute` is real work whose obs envelope
+    /// must describe *this* run, so caching would be a lie.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_execute(
+        &mut self,
+        conn: &mut Conn<TcpStream>,
+        req: &Request,
+        params: crate::protocol::ScenarioParams,
+        iterations: u32,
+        workers: u32,
+        now: Instant,
+        now_us: u64,
+        parse_us: u32,
+    ) {
+        let endpoint = Endpoint::Execute;
+        let scenario = match params.to_scenario() {
+            Ok(s) => s,
+            Err(e) => {
+                self.respond_inline(conn, req.id.as_deref(), endpoint, now, &Err(e));
+                self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
+                return;
+            }
+        };
+        if self.state.is_shutdown() {
+            self.respond_inline(
+                conn,
+                req.id.as_deref(),
+                endpoint,
+                now,
+                &Err(shutting_down()),
+            );
+            self.push_inline_span(conn, endpoint, false, parse_us, now, now_us);
+            return;
+        }
+        let deadline = self.deadline_for(req, now);
+        let cancel = CancelToken::new();
+        let seq = conn.reserve_slot();
+        let reply = Reply::Conn {
+            tx: self.completions_tx.clone(),
+            conn: conn.id,
+            seq,
+            id: req.id.clone(),
+        };
+        let job = Job::Execute {
+            scenario,
+            iterations,
+            workers,
+            cancel: cancel.clone(),
+            deadline,
+            started: now,
+            reply,
         };
         match self.state.queue.push(job) {
             Ok(()) => self.track(

@@ -65,7 +65,8 @@ pub use limits::{CancelToken, RateLimiter, MICRO};
 pub use metrics::{EndpointStats, LimitGauges, LimitStats, Metrics, QueueStats, StatsSnapshot};
 pub use protocol::{
     parse_machine, Endpoint, ErrorKind, Line, LineReader, PredictParams, ProtoError, Request,
-    RequestBody, ScenarioParams, MAX_LINE_BYTES, PROTOCOL_VERSION,
+    RequestBody, ScenarioParams, MAX_EXECUTE_ITERATIONS, MAX_EXECUTE_WORKERS, MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{render_plan, spawn, DrainReport, ServeConfig, ServerHandle};

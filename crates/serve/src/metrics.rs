@@ -75,6 +75,7 @@ pub struct Metrics {
     predict: EndpointMetrics,
     plan: EndpointMetrics,
     compare: EndpointMetrics,
+    execute: EndpointMetrics,
     stats: EndpointMetrics,
     trace: EndpointMetrics,
     shutdown: EndpointMetrics,
@@ -87,6 +88,7 @@ impl Metrics {
             Endpoint::Predict => &self.predict,
             Endpoint::Plan => &self.plan,
             Endpoint::Compare => &self.compare,
+            Endpoint::Execute => &self.execute,
             Endpoint::Stats => &self.stats,
             Endpoint::Trace => &self.trace,
             Endpoint::Shutdown => &self.shutdown,
@@ -144,6 +146,7 @@ impl Metrics {
                 predict: self.predict.snapshot(),
                 plan: self.plan.snapshot(),
                 compare: self.compare.snapshot(),
+                execute: self.execute.snapshot(),
                 stats: self.stats.snapshot(),
                 trace: self.trace.snapshot(),
                 shutdown: self.shutdown.snapshot(),
@@ -247,6 +250,8 @@ pub struct EndpointsStats {
     pub plan: EndpointStats,
     /// `compare` row.
     pub compare: EndpointStats,
+    /// `execute` row.
+    pub execute: EndpointStats,
     /// `stats` row.
     pub stats: EndpointStats,
     /// `trace` row.

@@ -11,7 +11,8 @@
 //! ← {"v":1,"ok":false,"error":{"kind":"overloaded","message":"..."}}
 //! ```
 //!
-//! Ops: `predict`, `plan`, `compare`, `stats`, `shutdown`. The version
+//! Ops: `predict`, `plan`, `compare`, `execute`, `stats`, `trace`,
+//! `shutdown`. The version
 //! field `v` is mandatory and must equal [`PROTOCOL_VERSION`]; unknown
 //! *fields* are tolerated (forward compatibility), unknown *ops* and
 //! malformed values are rejected with a typed error. Lines longer than
@@ -44,7 +45,14 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// Longer lines are answered with an `oversized` error and skipped.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
-/// The six server endpoints.
+/// Cap on `execute` parent iterations — a fleet run is real simulation
+/// work on the server; unbounded iteration counts would be a trivial DoS.
+pub const MAX_EXECUTE_ITERATIONS: u32 = 1000;
+
+/// Cap on `execute` fleet workers (each is a thread pair plus a socket).
+pub const MAX_EXECUTE_WORKERS: u32 = 8;
+
+/// The seven server endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
     /// Relative execution-time prediction for a nest set (micro-batched).
@@ -53,6 +61,8 @@ pub enum Endpoint {
     Plan,
     /// Sequential-vs-planned simulation comparison (cached).
     Compare,
+    /// Multi-process fleet execution of the scenario (uncached).
+    Execute,
     /// Live server metrics snapshot.
     Stats,
     /// Drain of the flight recorder's recent request spans.
@@ -63,10 +73,11 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in protocol documentation order.
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Predict,
         Endpoint::Plan,
         Endpoint::Compare,
+        Endpoint::Execute,
         Endpoint::Stats,
         Endpoint::Trace,
         Endpoint::Shutdown,
@@ -78,6 +89,7 @@ impl Endpoint {
             Endpoint::Predict => "predict",
             Endpoint::Plan => "plan",
             Endpoint::Compare => "compare",
+            Endpoint::Execute => "execute",
             Endpoint::Stats => "stats",
             Endpoint::Trace => "trace",
             Endpoint::Shutdown => "shutdown",
@@ -111,6 +123,9 @@ pub enum ErrorKind {
     ShuttingDown,
     /// Planning/prediction/simulation failed for this scenario.
     Failed,
+    /// A fleet worker process was lost mid-execution (disconnect or
+    /// frame timeout); the run was aborted with no partial result.
+    WorkerLost,
     /// Unexpected server-side failure (worker died, channel closed).
     Internal,
 }
@@ -128,6 +143,7 @@ impl ErrorKind {
             ErrorKind::RateLimited => "rate_limited",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Failed => "failed",
+            ErrorKind::WorkerLost => "worker_lost",
             ErrorKind::Internal => "internal",
         }
     }
@@ -226,6 +242,16 @@ pub enum RequestBody {
         /// Parent iterations to simulate.
         iterations: u32,
     },
+    /// Fleet execution: run the scenario's model across socket-connected
+    /// worker processes and return the merged simulation report.
+    Execute {
+        /// Scenario to execute.
+        params: ScenarioParams,
+        /// Parent iterations to run.
+        iterations: u32,
+        /// Fleet worker count.
+        workers: u32,
+    },
     /// Metrics snapshot.
     Stats,
     /// Flight-recorder span drain.
@@ -272,6 +298,7 @@ impl Request {
             RequestBody::Predict(_) => Endpoint::Predict,
             RequestBody::Plan(_) => Endpoint::Plan,
             RequestBody::Compare { .. } => Endpoint::Compare,
+            RequestBody::Execute { .. } => Endpoint::Execute,
             RequestBody::Stats => Endpoint::Stats,
             RequestBody::Trace => Endpoint::Trace,
             RequestBody::Shutdown => Endpoint::Shutdown,
@@ -312,11 +339,19 @@ impl Request {
             }
             RequestBody::Plan(p) => {
                 s.push_str(",\"params\":");
-                write_scenario_params(p, None, &mut s);
+                write_scenario_params(p, None, None, &mut s);
             }
             RequestBody::Compare { params, iterations } => {
                 s.push_str(",\"params\":");
-                write_scenario_params(params, Some(*iterations), &mut s);
+                write_scenario_params(params, Some(*iterations), None, &mut s);
+            }
+            RequestBody::Execute {
+                params,
+                iterations,
+                workers,
+            } => {
+                s.push_str(",\"params\":");
+                write_scenario_params(params, Some(*iterations), Some(*workers), &mut s);
             }
             RequestBody::Stats | RequestBody::Trace | RequestBody::Shutdown => {}
         }
@@ -382,7 +417,7 @@ impl Request {
             .ok_or_else(|| ProtoError::bad_request("missing string field 'op'"))?;
         let endpoint = Endpoint::from_name(op).ok_or_else(|| {
             ProtoError::bad_request(format!(
-                "unknown op '{op}' (predict|plan|compare|stats|trace|shutdown)"
+                "unknown op '{op}' (predict|plan|compare|execute|stats|trace|shutdown)"
             ))
         })?;
         let params = field(&v, "params");
@@ -410,6 +445,32 @@ impl Request {
                 RequestBody::Compare {
                     params: parse_scenario_params(p)?,
                     iterations,
+                }
+            }
+            Endpoint::Execute => {
+                let p = params_object(params)?;
+                let iterations = match field(p, "iterations") {
+                    None => 5,
+                    Some(v) => u32_value(v, "iterations")?,
+                };
+                if iterations == 0 || iterations > MAX_EXECUTE_ITERATIONS {
+                    return Err(ProtoError::bad_request(format!(
+                        "'iterations' must be in 1..={MAX_EXECUTE_ITERATIONS}"
+                    )));
+                }
+                let workers = match field(p, "workers") {
+                    None => 2,
+                    Some(v) => u32_value(v, "workers")?,
+                };
+                if workers == 0 || workers > MAX_EXECUTE_WORKERS {
+                    return Err(ProtoError::bad_request(format!(
+                        "'workers' must be in 1..={MAX_EXECUTE_WORKERS}"
+                    )));
+                }
+                RequestBody::Execute {
+                    params: parse_scenario_params(p)?,
+                    iterations,
+                    workers,
                 }
             }
         };
@@ -446,7 +507,12 @@ fn write_nests(nests: &[NestSpec], s: &mut String) {
     s.push(']');
 }
 
-fn write_scenario_params(p: &ScenarioParams, iterations: Option<u32>, s: &mut String) {
+fn write_scenario_params(
+    p: &ScenarioParams,
+    iterations: Option<u32>,
+    workers: Option<u32>,
+    s: &mut String,
+) {
     s.push_str("{\"machine\":");
     serde::write_escaped_str(&p.machine, s);
     s.push_str(&format!(
@@ -471,6 +537,9 @@ fn write_scenario_params(p: &ScenarioParams, iterations: Option<u32>, s: &mut St
     }
     if let Some(iters) = iterations {
         s.push_str(&format!(",\"iterations\":{iters}"));
+    }
+    if let Some(w) = workers {
+        s.push_str(&format!(",\"workers\":{w}"));
     }
     s.push('}');
 }

@@ -175,6 +175,17 @@ pub(crate) enum Job {
     /// Lightweight marker: "a predict batch for this machine may be
     /// pending". The worker that pops it drains the whole batch.
     PredictTick { machine_key: String },
+    /// Fleet execution: uncached, always computed (the result is a real
+    /// simulation run whose obs envelope describes *this* execution).
+    Execute {
+        scenario: Scenario,
+        iterations: u32,
+        workers: u32,
+        cancel: CancelToken,
+        deadline: Option<Instant>,
+        started: Instant,
+        reply: Reply,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -548,6 +559,41 @@ fn worker_loop(state: Arc<ServerState>) {
                 reply.send_with_stages(outcome, wait_us, work_us);
             }
             Job::PredictTick { machine_key } => run_predict_batch(&state, &machine_key),
+            Job::Execute {
+                scenario,
+                iterations,
+                workers,
+                cancel,
+                deadline,
+                started,
+                reply,
+            } => {
+                if !cancel.claim() {
+                    continue;
+                }
+                let flight_on = state.flight.enabled();
+                let wait_us = if flight_on {
+                    dur_us(clock::since(started))
+                } else {
+                    0
+                };
+                let t0 = flight_on.then(clock::now);
+                let outcome = if deadline.is_some_and(clock::expired) {
+                    state
+                        .metrics
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    Err(deadline_exceeded())
+                } else {
+                    compute_execute(&state, &scenario, iterations, workers)
+                };
+                state
+                    .metrics
+                    .endpoint(Endpoint::Execute)
+                    .record(clock::since(started), outcome.is_ok());
+                let work_us = t0.map(|t| dur_us(clock::since(t))).unwrap_or(0);
+                reply.send_with_stages(outcome, wait_us, work_us);
+            }
         }
     }
     // Queue closed and drained. The last worker out answers anything still
@@ -711,6 +757,75 @@ fn render_compare_fresh(
         let _ = disk.put(key, &result);
     }
     Ok(result)
+}
+
+/// Total-cell ceiling for `execute` scenarios: the parent plus every
+/// nest's fine grid. A fleet run holds real field state and steps it, so
+/// the endpoint refuses scenarios that would monopolize a worker thread.
+const MAX_EXECUTE_CELLS: u64 = 1_000_000;
+
+/// Runs the scenario across an in-process socket fleet and renders the
+/// merged report plus its obs envelope. The plan is computed first (same
+/// planner path as `plan`) both to validate the scenario and to derive
+/// the rank weights that drive nest → worker ownership.
+fn compute_execute(
+    state: &ServerState,
+    scenario: &Scenario,
+    iterations: u32,
+    workers: u32,
+) -> Outcome {
+    let cells = scenario.parent.nx as u64 * scenario.parent.ny as u64
+        + scenario
+            .nests
+            .iter()
+            .map(|n| n.nx as u64 * n.ny as u64)
+            .sum::<u64>();
+    if cells > MAX_EXECUTE_CELLS {
+        return Err(ProtoError::new(
+            ErrorKind::Failed,
+            format!("scenario too large to execute ({cells} cells > {MAX_EXECUTE_CELLS})"),
+        ));
+    }
+    let plan = state
+        .planner_for(scenario)
+        .plan(&scenario.parent, &scenario.nests)
+        .map_err(|e| ProtoError::new(ErrorKind::Failed, e.to_string()))?;
+    let partitions: Vec<(usize, u64)> = plan
+        .partitions
+        .iter()
+        .map(|p| (p.domain, p.rect.area()))
+        .collect();
+    let ranks = plan.machine.ranks() as u64;
+    let cfg = nestwx_fleet::FleetConfig {
+        workers: workers as usize,
+        ..nestwx_fleet::FleetConfig::from_env()
+    };
+    let run = nestwx_fleet::execute_in_process(
+        &scenario.parent,
+        &scenario.nests,
+        iterations as u64,
+        ranks,
+        &partitions,
+        &cfg,
+    )
+    .map_err(|e| match e {
+        nestwx_fleet::FleetError::WorkerLost { .. } => {
+            ProtoError::new(ErrorKind::WorkerLost, e.to_string())
+        }
+        other => ProtoError::new(ErrorKind::Failed, other.to_string()),
+    })?;
+    let fleet_json =
+        serde_json::to_string(&run.summary).map_err(|e| internal(format!("render: {e:?}")))?;
+    let mut s = String::with_capacity(256 + fleet_json.len());
+    s.push_str("{\"machine\":");
+    serde::write_escaped_str(&scenario.machine.name, &mut s);
+    s.push_str(&format!(",\"workers\":{workers}"));
+    s.push_str(",\"report\":");
+    s.push_str(&run.report.to_json());
+    s.push_str(",\"fleet\":");
+    s.push_str(&fleet_json);
+    s.push('}');
+    Ok(s)
 }
 
 fn run_predict_batch(state: &ServerState, machine_key: &str) {

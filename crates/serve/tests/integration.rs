@@ -56,6 +56,119 @@ fn u64s(v: &Value, key: &str) -> u64 {
     v.get(key).and_then(Value::as_u64).unwrap_or(u64::MAX)
 }
 
+/// The `execute` endpoint end to end: a served fleet run reports the same
+/// digests as a fleet driven directly with the same plan, worker counts
+/// 1 and 2 agree bitwise, and the fleet obs envelope rides along.
+#[test]
+fn execute_fleet_matches_direct_run_across_worker_counts() {
+    let handle = local_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let exec_parent = Domain::parent(48, 42, 24.0);
+    let exec_nests = vec![
+        NestSpec::new(24, 24, 3, (3, 3)),
+        NestSpec::new(16, 16, 2, (26, 22)),
+    ];
+    let params = ScenarioParams {
+        machine: MACHINE.into(),
+        parent: exec_parent.clone(),
+        nests: exec_nests.clone(),
+        strategy: Strategy::Concurrent,
+        alloc: AllocPolicy::HuffmanSplitTree,
+        mapping: MappingKind::Partition,
+        io: None,
+    };
+    let iterations = 4u32;
+
+    // The direct reference: same planner path the server uses (same
+    // predictor seed), fleet driven in this process at one worker.
+    let machine = parse_machine(MACHINE).expect("machine");
+    let plan = Planner::new(machine.clone())
+        .strategy(Strategy::Concurrent)
+        .alloc_policy(AllocPolicy::HuffmanSplitTree)
+        .mapping(MappingKind::Partition)
+        .with_predictor(fit_predictor(&machine, 0xBEEF))
+        .plan(&exec_parent, &exec_nests)
+        .expect("direct plan");
+    let partitions: Vec<(usize, u64)> = plan
+        .partitions
+        .iter()
+        .map(|p| (p.domain, p.rect.area()))
+        .collect();
+    let reference = nestwx_fleet::execute_in_process(
+        &exec_parent,
+        &exec_nests,
+        iterations as u64,
+        plan.machine.ranks() as u64,
+        &partitions,
+        &nestwx_fleet::FleetConfig {
+            workers: 1,
+            ..nestwx_fleet::FleetConfig::from_env()
+        },
+    )
+    .expect("direct fleet run");
+
+    let mut digests = Vec::new();
+    for workers in [1u32, 2] {
+        let req = Request::new(
+            Some(format!("x{workers}")),
+            RequestBody::Execute {
+                params: params.clone(),
+                iterations,
+                workers,
+            },
+        );
+        let resp = client.call(&req).expect("execute call");
+        assert!(resp.ok(), "execute rejected: {}", resp.raw);
+        let result = resp.result().expect("result payload");
+        assert_eq!(u64s(result, "workers"), u64::from(workers));
+        let report = result.get("report").expect("report block");
+        assert_eq!(u64s(report, "iterations"), u64::from(iterations));
+        assert_eq!(
+            report.get("digest").and_then(Value::as_str),
+            Some(reference.report.digest.as_str()),
+            "served digest diverged from the direct fleet run ({workers} workers)"
+        );
+        assert_eq!(
+            report.get("parent_digest").and_then(Value::as_str),
+            Some(reference.report.parent_digest.as_str())
+        );
+        let fleet = result.get("fleet").expect("fleet obs envelope");
+        assert_eq!(
+            fleet.get("schema").and_then(Value::as_str),
+            Some("nestwx-obs-fleet-summary")
+        );
+        assert_eq!(u64s(fleet, "workers"), u64::from(workers));
+        assert_eq!(
+            fleet
+                .get("worker_rows")
+                .and_then(Value::as_array)
+                .map(Vec::len),
+            Some(workers as usize)
+        );
+        digests.push(
+            report
+                .get("digest")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string(),
+        );
+    }
+    assert_eq!(digests[0], digests[1], "worker counts disagreed");
+
+    // The run shows up in the stats table as its own endpoint row.
+    let stats = client
+        .call(&Request::new(Some("s".into()), RequestBody::Stats))
+        .expect("stats call");
+    let snapshot = stats.result().expect("stats payload");
+    let execute_row = snapshot
+        .get("endpoints")
+        .and_then(|e| e.get("execute"))
+        .expect("execute endpoint row");
+    assert_eq!(u64s(execute_row, "requests"), 2);
+    assert_eq!(u64s(execute_row, "errors"), 0);
+    shutdown_clean(handle, &mut client);
+}
+
 /// The tentpole guarantee: for every strategy × alloc × mapping
 /// combination, the response served from cache is byte-identical to the
 /// first (freshly computed) one, and both match an `ExecutionPlan`
@@ -367,13 +480,24 @@ fn queued_request_past_deadline_gets_typed_error() {
     let handle = spawn(cfg).expect("spawn server");
     let mut client = Client::connect(handle.addr()).expect("connect");
 
-    // First line pins the single worker behind a predictor fit; the second
-    // (1 ms deadline) expires in the queue before the worker reaches it.
-    let pin = plan_request(
-        "pin",
-        Strategy::Concurrent,
-        AllocPolicy::HuffmanSplitTree,
-        MappingKind::Partition,
+    // First line pins the single worker behind a full strategy comparison
+    // (two simulated runs — reliably longer than 1 ms, where a bare
+    // predictor fit is not on a fast machine); the second (1 ms deadline)
+    // expires in the queue before the worker reaches it.
+    let pin = Request::new(
+        Some("pin".into()),
+        RequestBody::Compare {
+            params: ScenarioParams {
+                machine: MACHINE.into(),
+                parent: parent(),
+                nests: nests(),
+                strategy: Strategy::Concurrent,
+                alloc: AllocPolicy::HuffmanSplitTree,
+                mapping: MappingKind::Partition,
+                io: None,
+            },
+            iterations: 5,
+        },
     );
     let mut doomed = plan_request(
         "doomed",

@@ -107,22 +107,34 @@ fn arb_deadline() -> impl Strategy<Value = Option<u64>> {
 fn arb_request() -> impl Strategy<Value = Request> {
     (
         (arb_id(), arb_client(), arb_deadline(), any::<bool>()),
-        0usize..6,
+        0usize..7,
         arb_scenario_params(),
         arb_machine(),
         arb_nests(),
-        1u32..50,
+        (1u32..50, 1u32..=8),
     )
         .prop_map(
-            |((id, client, deadline_ms, explain), op, params, machine, nests, iterations)| {
+            |(
+                (id, client, deadline_ms, explain),
+                op,
+                params,
+                machine,
+                nests,
+                (iterations, workers),
+            )| {
                 let mut req = Request::new(
                     id,
                     match op {
                         0 => RequestBody::Predict(PredictParams { machine, nests }),
                         1 => RequestBody::Plan(params),
                         2 => RequestBody::Compare { params, iterations },
-                        3 => RequestBody::Stats,
-                        4 => RequestBody::Trace,
+                        3 => RequestBody::Execute {
+                            params,
+                            iterations,
+                            workers,
+                        },
+                        4 => RequestBody::Stats,
+                        5 => RequestBody::Trace,
                         _ => RequestBody::Shutdown,
                     },
                 );
@@ -268,6 +280,41 @@ fn compare_zero_iterations_rejected() {
         \"iterations\":0}}";
     let err = Request::parse_line(ok).unwrap_err();
     assert_eq!(err.kind, ErrorKind::BadRequest);
+}
+
+#[test]
+fn execute_worker_and_iteration_caps_are_bad_request() {
+    const PARAMS: &str = "\"machine\":\"bgl:64\",\
+        \"parent\":{\"nx\":100,\"ny\":100,\"dx_km\":24.0},\
+        \"nests\":[{\"nx\":30,\"ny\":30,\"r\":3,\"ox\":5,\"oy\":5}]";
+    for bad in [
+        "\"workers\":0",
+        "\"workers\":9",
+        "\"iterations\":0",
+        "\"iterations\":1001",
+    ] {
+        let line = format!("{{\"v\":1,\"op\":\"execute\",\"params\":{{{PARAMS},{bad}}}}}");
+        let err = Request::parse_line(&line).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest, "accepted {bad}");
+    }
+}
+
+#[test]
+fn execute_defaults_fill_workers_and_iterations() {
+    let line = "{\"v\":1,\"op\":\"execute\",\"params\":{\"machine\":\"bgl:64\",\
+        \"parent\":{\"nx\":100,\"ny\":100,\"dx_km\":24.0},\
+        \"nests\":[{\"nx\":30,\"ny\":30,\"r\":3,\"ox\":5,\"oy\":5}]}}";
+    let req = Request::parse_line(line).unwrap();
+    let RequestBody::Execute {
+        iterations,
+        workers,
+        ..
+    } = req.body
+    else {
+        panic!("expected execute");
+    };
+    assert_eq!(iterations, 5);
+    assert_eq!(workers, 2);
 }
 
 #[test]
