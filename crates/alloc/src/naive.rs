@@ -29,7 +29,7 @@ pub fn proportional_strips(grid: &ProcGrid, shares: &[f64]) -> Result<Vec<Partit
     order.sort_by(|&a, &b| {
         let fa = ideal[a] - ideal[a].floor();
         let fb = ideal[b] - ideal[b].floor();
-        fb.partial_cmp(&fa).unwrap()
+        fb.total_cmp(&fa)
     });
     let mut i = 0;
     while rem > 0 {
@@ -38,7 +38,9 @@ pub fn proportional_strips(grid: &ProcGrid, shares: &[f64]) -> Result<Vec<Partit
         i += 1;
     }
     while rem < 0 {
-        let widest = (0..k).max_by_key(|&j| widths[j]).unwrap();
+        let Some(widest) = (0..k).max_by_key(|&j| widths[j]) else {
+            break; // k == 0: nothing left to shrink
+        };
         if widths[widest] > 1 {
             widths[widest] -= 1;
             rem += 1;

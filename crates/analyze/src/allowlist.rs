@@ -164,13 +164,7 @@ mod tests {
     use super::*;
 
     fn finding(rule: &'static str, file: &str, line: u32, col: u32) -> Finding {
-        Finding {
-            rule,
-            file: file.to_string(),
-            line,
-            col,
-            message: String::new(),
-        }
+        Finding::at(rule, file, line, col, String::new())
     }
 
     #[test]

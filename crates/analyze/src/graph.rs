@@ -1,0 +1,1058 @@
+//! Per-file item and call-site extraction — the front half of the
+//! workspace call-graph analyzer.
+//!
+//! The build environment vendors no `syn`, so like [`crate::rules`] this
+//! works on the token stream of [`crate::lexer`]. A lightweight item
+//! parser walks one file's tokens tracking module/impl/fn nesting and
+//! records, per function:
+//!
+//! * **call sites** — bare calls (`helper(…)`), path calls
+//!   (`crate::x::f(…)`, `Planner::plan(…)`), and method calls
+//!   (`.plan(…)`), each with its source span;
+//! * **lock acquisitions** through the workspace's poisoning-policy
+//!   helper (`lock_unpoisoned`), with the lock's field identity, whether
+//!   the guard is bound (`let g = …` — held past the statement) and the
+//!   enclosing block, for lock-order analysis;
+//! * **panic sites** (`.unwrap()`, `.expect()`, `panic!` family) and
+//!   **index sites** (`xs[i]`) for panic-reachability;
+//! * **determinism-taint sites** — the forbidden APIs of the NW-D rules
+//!   (`HashMap`/`HashSet`, raw `Instant::now`/`SystemTime::now`,
+//!   `thread_rng`/`from_entropy`, `thread::spawn`, ambient paths).
+//!
+//! `#[cfg(test)] mod` spans are skipped entirely: test helpers neither
+//! define graph nodes nor pollute method-name resolution.
+//!
+//! The back half — resolving call sites into a workspace graph — lives in
+//! [`crate::resolve`]; the interprocedural rules in [`crate::reach`].
+
+use crate::lexer::{lex, test_module_spans, Tok, TokKind};
+
+/// One `use` import binding a local name to a full path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// The name the import binds in this file (`Planner`, or the alias
+    /// after `as`).
+    pub name: String,
+    /// The full path segments the name expands to.
+    pub path: Vec<String>,
+}
+
+/// How a call site is written at the call position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `a::b::f(…)` — multi-segment path call.
+    Path,
+    /// `.f(…)` — method-call syntax.
+    Method,
+    /// `f(…)` — single bare name.
+    Bare,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path segments as written (one element for bare/method calls).
+    pub segs: Vec<String>,
+    /// Syntactic form of the call.
+    pub kind: CallKind,
+    /// True for `.m(…)` where the receiver is literally `self`.
+    pub recv_self: bool,
+    /// True when the path is a qualified tail (`<T as Trait>::f`) whose
+    /// head the token parser cannot see.
+    pub qualified_tail: bool,
+    /// 1-based line of the called name.
+    pub line: u32,
+    /// 1-based byte column of the called name.
+    pub col: u32,
+    /// Token index of the called name (orders calls against lock sites).
+    pub tok: usize,
+}
+
+/// One `lock_unpoisoned(…)` acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// The lock's field/variable identity: the last identifier of the
+    /// argument expression outside any index brackets (`&self.shards[i]`
+    /// → `shards`).
+    pub name: String,
+    /// True when the argument starts with `self.` — lets the resolver
+    /// qualify the identity with the impl type.
+    pub self_qualified: bool,
+    /// True when the acquisition statement begins with `let` — the guard
+    /// is bound and held to the end of the enclosing block, so later
+    /// acquisitions order after this one.
+    pub held: bool,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// 1-based byte column of the call.
+    pub col: u32,
+    /// Token index of the call (orders locks against other events).
+    pub tok: usize,
+    /// Token index of the `}` closing the enclosing block — the horizon
+    /// a bound guard is (conservatively) held to.
+    pub block_end: usize,
+}
+
+/// One panicking construct inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicSite {
+    /// What panics: `unwrap`, `expect`, `panic!`, `unreachable!`, ….
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+/// One slice/array index expression (`xs[i]`) — panics on out-of-bounds,
+/// reported only in explicitly flagged modules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSite {
+    /// 1-based line of the `[`.
+    pub line: u32,
+    /// 1-based byte column of the `[`.
+    pub col: u32,
+}
+
+/// One use of a determinism-forbidden API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintSite {
+    /// The API, as the diagnostic names it (`HashMap`, `Instant::now`,
+    /// `thread::spawn`, `env::temp_dir()`, …).
+    pub api: &'static str,
+    /// True for the time APIs the clock shim is allowed to call
+    /// (`Instant::now`, `SystemTime::now`) — exempted in clock files.
+    pub is_time: bool,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+/// One function (free or method) with everything the graph rules need.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, when the fn is a method.
+    pub type_ctx: Option<String>,
+    /// Inline `mod` path inside the file (the file's own module path is
+    /// added by the resolver).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based byte column of the `fn` keyword.
+    pub col: u32,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Lock acquisitions in the body, in source order.
+    pub locks: Vec<LockSite>,
+    /// Panic sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Index expressions in the body.
+    pub indexes: Vec<IndexSite>,
+    /// Determinism-forbidden API uses in the signature or body.
+    pub taints: Vec<TaintSite>,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileGraph {
+    /// Path relative to the lint root, `/`-separated.
+    pub rel_path: String,
+    /// Owning crate's name (underscored).
+    pub crate_name: String,
+    /// Module path derived from the file's location under `src/`.
+    pub base_module: Vec<String>,
+    /// `use` imports (name → path).
+    pub uses: Vec<UseImport>,
+    /// `use …::*` glob imports (module paths).
+    pub globs: Vec<Vec<String>>,
+    /// Functions defined in the file (outside test modules).
+    pub fns: Vec<FnDecl>,
+    /// Type names defined here (`struct`/`enum`/`trait`).
+    pub types: Vec<String>,
+    /// Names callable as data constructors, not functions: tuple-struct
+    /// names and tuple enum variants.
+    pub ctors: Vec<String>,
+}
+
+/// Rust keywords that must never be mistaken for call or index receivers.
+const KEYWORDS: [&str; 28] = [
+    "if", "else", "while", "match", "for", "return", "loop", "let", "in", "as", "move", "ref",
+    "mut", "break", "continue", "await", "fn", "pub", "use", "impl", "struct", "enum", "trait",
+    "mod", "where", "unsafe", "async", "const",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Parses one file into its [`FileGraph`]. `rel_path`, `crate_name` and
+/// `base_module` are supplied by the workspace walker.
+pub fn parse_file(
+    rel_path: &str,
+    crate_name: &str,
+    base_module: &[String],
+    src: &str,
+) -> FileGraph {
+    let toks = lex(src);
+    let test_spans = test_module_spans(&toks);
+    let close_of = match_braces(&toks);
+
+    let mut fg = FileGraph {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        base_module: base_module.to_vec(),
+        ..FileGraph::default()
+    };
+
+    #[derive(Debug)]
+    enum Scope {
+        Mod(String),
+        Impl(String),
+        Fn(usize),
+        Block,
+    }
+    let mut scopes: Vec<(Scope, usize)> = Vec::new(); // (kind, close token idx)
+                                                      // Per-fn names bound to closures (`let f = |…|` / `let f = move |…|`):
+                                                      // calls through them are local control flow, not call-graph edges.
+    let mut closure_names: Vec<std::collections::HashSet<String>> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Skip whole #[cfg(test)] mod … { … } regions.
+        if let Some(&(_, b)) = test_spans.iter().find(|&&(a, _)| a == i) {
+            i = b;
+            continue;
+        }
+        // Pop the scope whose closing brace we reached; the outer loop
+        // re-checks bounds and any further scope closing at the next token.
+        if scopes.last().map(|&(_, c)| c == i).unwrap_or(false) {
+            scopes.pop();
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+
+        // Attributes: skip `#[…]` / `#![…]` without scanning their bodies.
+        if t.is_punct("#") {
+            let open = if toks.get(i + 1).map(|n| n.is_punct("[")).unwrap_or(false) {
+                i + 1
+            } else if toks.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false)
+                && toks.get(i + 2).map(|n| n.is_punct("[")).unwrap_or(false)
+            {
+                i + 2
+            } else {
+                i += 1;
+                continue;
+            };
+            i = skip_brackets(&toks, open, "[", "]");
+            continue;
+        }
+
+        let in_fn = scopes.iter().rev().find_map(|(s, _)| match s {
+            Scope::Fn(fx) => Some(*fx),
+            _ => None,
+        });
+
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "use" if in_fn.is_none() => {
+                    i = parse_use(&toks, i + 1, &mut fg);
+                    continue;
+                }
+                "mod" => {
+                    // `mod name {` opens an inline module; `mod name;` is a
+                    // file module handled by the path-derived base module.
+                    if let (Some(name), Some(brace)) = (toks.get(i + 1), toks.get(i + 2)) {
+                        if name.kind == TokKind::Ident && brace.is_punct("{") {
+                            scopes.push((Scope::Mod(name.text.clone()), close_of[i + 2]));
+                            i += 3;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                "impl" if in_fn.is_none() => {
+                    if let Some((ty, brace)) = parse_impl_head(&toks, i + 1) {
+                        scopes.push((Scope::Impl(ty), close_of[brace]));
+                        i = brace + 1;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                "trait" if in_fn.is_none() => {
+                    if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        fg.types.push(name.text.clone());
+                        if let Some(brace) = find_body_open(&toks, i + 2) {
+                            scopes.push((Scope::Impl(name.text.clone()), close_of[brace]));
+                            i = brace + 1;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                "struct" if in_fn.is_none() => {
+                    i = parse_struct(&toks, i, &close_of, &mut fg);
+                    continue;
+                }
+                "enum" if in_fn.is_none() => {
+                    i = parse_enum(&toks, i, &close_of, &mut fg);
+                    continue;
+                }
+                "fn" => {
+                    if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        let module: Vec<String> = scopes
+                            .iter()
+                            .filter_map(|(s, _)| match s {
+                                Scope::Mod(m) => Some(m.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        let type_ctx = scopes.iter().rev().find_map(|(s, _)| match s {
+                            Scope::Impl(ty) => Some(ty.clone()),
+                            _ => None,
+                        });
+                        let mut decl = FnDecl {
+                            name: name.text.clone(),
+                            type_ctx,
+                            module,
+                            line: t.line,
+                            col: t.col,
+                            calls: Vec::new(),
+                            locks: Vec::new(),
+                            panics: Vec::new(),
+                            indexes: Vec::new(),
+                            taints: Vec::new(),
+                        };
+                        // Scan the signature (name → body `{` or `;`) for
+                        // taint idents only — a HashMap parameter taints
+                        // the fn as surely as a HashMap local.
+                        let mut j = i + 2;
+                        let mut body = None;
+                        while j < toks.len() {
+                            if toks[j].is_punct("{") {
+                                body = Some(j);
+                                break;
+                            }
+                            if toks[j].is_punct(";") {
+                                break;
+                            }
+                            if let Some(site) = taint_at(&toks, j) {
+                                decl.taints.push(site);
+                            }
+                            j += 1;
+                        }
+                        match body {
+                            Some(b) => {
+                                let fx = fg.fns.len();
+                                fg.fns.push(decl);
+                                closure_names.push(Default::default());
+                                scopes.push((Scope::Fn(fx), close_of[b]));
+                                i = b + 1;
+                            }
+                            None => {
+                                // Trait method declaration without a body.
+                                i = j + 1;
+                            }
+                        }
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Inside a function body: record calls, locks, panics, indexes,
+        // taints.
+        if let Some(fx) = in_fn {
+            if t.is_punct("{") {
+                scopes.push((Scope::Block, close_of[i]));
+                i += 1;
+                continue;
+            }
+            if let Some(site) = taint_at(&toks, i) {
+                fg.fns[fx].taints.push(site);
+            }
+            // Index expressions: `recv[` where recv is an expression tail.
+            if t.is_punct("[") && i > 0 {
+                let p = &toks[i - 1];
+                let is_recv = (p.kind == TokKind::Ident && !is_keyword(&p.text))
+                    || p.is_punct(")")
+                    || p.is_punct("]");
+                if is_recv {
+                    fg.fns[fx].indexes.push(IndexSite {
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+            if t.kind == TokKind::Ident {
+                // Closure bindings: `let [mut] name = [move] |…|`.
+                if t.is_ident("let") {
+                    let mut j = i + 1;
+                    if toks.get(j).map(|n| n.is_ident("mut")).unwrap_or(false) {
+                        j += 1;
+                    }
+                    if let Some(nm) = toks
+                        .get(j)
+                        .filter(|n| n.kind == TokKind::Ident && !is_keyword(&n.text))
+                    {
+                        let mut k = j + 1;
+                        if toks.get(k).map(|n| n.is_punct("=")).unwrap_or(false) {
+                            k += 1;
+                            if toks.get(k).map(|n| n.is_ident("move")).unwrap_or(false) {
+                                k += 1;
+                            }
+                            if toks.get(k).map(|n| n.is_punct("|")).unwrap_or(false) {
+                                closure_names[fx].insert(nm.text.clone());
+                            }
+                        }
+                    }
+                }
+                // Panic macros.
+                if matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && toks.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false)
+                {
+                    fg.fns[fx].panics.push(PanicSite {
+                        what: format!("{}!", t.text),
+                        line: t.line,
+                        col: t.col,
+                    });
+                    i += 1;
+                    continue;
+                }
+                // Calls: ident followed by `(` or turbofish `::<…>(`.
+                if let Some(after) = call_paren(&toks, i) {
+                    let is_macro = toks.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false);
+                    if !is_macro && !is_keyword(&t.text) {
+                        let (segs, head, qualified_tail) = walk_path_back(&toks, i);
+                        let method = head > 0 && toks[head - 1].is_punct(".");
+                        if method && matches!(t.text.as_str(), "unwrap" | "expect") {
+                            fg.fns[fx].panics.push(PanicSite {
+                                what: format!(".{}()", t.text),
+                                line: t.line,
+                                col: t.col,
+                            });
+                        } else if !method && segs.len() == 1 && closure_names[fx].contains(&t.text)
+                        {
+                            // A call through a local closure: not an edge.
+                        } else {
+                            let recv_self = method && head >= 2 && toks[head - 2].is_ident("self");
+                            let kind = if method {
+                                CallKind::Method
+                            } else if segs.len() > 1 {
+                                CallKind::Path
+                            } else {
+                                CallKind::Bare
+                            };
+                            // Method-syntax calls resolve on the last
+                            // segment only.
+                            let segs = if method { vec![t.text.clone()] } else { segs };
+                            if t.text == "lock_unpoisoned" {
+                                let lock =
+                                    parse_lock_site(&toks, i, after, head, &scopes, &close_of);
+                                fg.fns[fx].locks.push(lock);
+                            }
+                            fg.fns[fx].calls.push(CallSite {
+                                segs,
+                                kind,
+                                recv_self,
+                                qualified_tail,
+                                line: t.line,
+                                col: t.col,
+                                tok: i,
+                            });
+                        }
+                    }
+                    let _ = after;
+                }
+            }
+        }
+        i += 1;
+    }
+    fg
+}
+
+/// Matches every `{` to its `}`: `close_of[open_idx]` is the close index
+/// (or `usize::MAX` at EOF for unbalanced input).
+fn match_braces(toks: &[Tok]) -> Vec<usize> {
+    let mut close_of = vec![usize::MAX; toks.len()];
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("{") {
+            stack.push(i);
+        } else if t.is_punct("}") {
+            if let Some(o) = stack.pop() {
+                close_of[o] = i;
+            }
+        }
+    }
+    close_of
+}
+
+/// Skips a bracketed group starting at `open` (which holds `open_s`);
+/// returns the index just past the matching `close_s`.
+fn skip_brackets(toks: &[Tok], open: usize, open_s: &str, close_s: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct(open_s) {
+            depth += 1;
+        } else if toks[i].is_punct(close_s) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// True when `toks[i]` (an ident) is directly followed by `(` — possibly
+/// through a turbofish `::<…>`. Returns the index of the `(`.
+fn call_paren(toks: &[Tok], i: usize) -> Option<usize> {
+    let n = toks.get(i + 1)?;
+    if n.is_punct("(") {
+        return Some(i + 1);
+    }
+    // Turbofish: `name::<…>(`.
+    if n.is_punct(":")
+        && toks.get(i + 2).map(|t| t.is_punct(":")).unwrap_or(false)
+        && toks.get(i + 3).map(|t| t.is_punct("<")).unwrap_or(false)
+    {
+        let mut depth = 0usize;
+        let mut j = i + 3;
+        while j < toks.len() {
+            if toks[j].is_punct("<") {
+                depth += 1;
+            } else if toks[j].is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if toks.get(j + 1).map(|t| t.is_punct("(")).unwrap_or(false) {
+            return Some(j + 1);
+        }
+    }
+    None
+}
+
+/// Collects the `::`-joined path ending at ident `i`. Returns the path
+/// segments, the token index of the first segment, and whether the path
+/// continues left into something the lexer cannot name (`<T as X>::f`).
+fn walk_path_back(toks: &[Tok], i: usize) -> (Vec<String>, usize, bool) {
+    let mut segs = vec![toks[i].text.clone()];
+    let mut head = i;
+    while head >= 3
+        && toks[head - 1].is_punct(":")
+        && toks[head - 2].is_punct(":")
+        && toks[head - 3].kind == TokKind::Ident
+    {
+        head -= 3;
+        segs.insert(0, toks[head].text.clone());
+    }
+    let qualified_tail = head >= 2 && toks[head - 1].is_punct(":") && toks[head - 2].is_punct(":");
+    (segs, head, qualified_tail)
+}
+
+/// Parses the argument of a `lock_unpoisoned(…)` call into a [`LockSite`].
+fn parse_lock_site(
+    toks: &[Tok],
+    name_idx: usize,
+    paren: usize,
+    head: usize,
+    scopes: &[(impl std::fmt::Debug, usize)],
+    _close_of: &[usize],
+) -> LockSite {
+    // Lock identity: last ident of the argument at bracket depth 0.
+    let mut depth_sq = 0i32;
+    let mut depth_par = 0i32;
+    let mut name = String::new();
+    let mut first_ident: Option<&str> = None;
+    let mut j = paren;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") {
+            depth_par += 1;
+        } else if t.is_punct(")") {
+            depth_par -= 1;
+            if depth_par == 0 {
+                break;
+            }
+        } else if t.is_punct("[") {
+            depth_sq += 1;
+        } else if t.is_punct("]") {
+            depth_sq -= 1;
+        } else if t.kind == TokKind::Ident && depth_sq == 0 && depth_par == 1 {
+            if first_ident.is_none() {
+                first_ident = Some(&t.text);
+            }
+            name = t.text.clone();
+        }
+        j += 1;
+    }
+    let self_qualified = first_ident == Some("self");
+    // Held guards: the acquisition statement begins with `let`.
+    let mut k = head;
+    let held = loop {
+        if k == 0 {
+            break false;
+        }
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break toks.get(k + 1).map(|n| n.is_ident("let")).unwrap_or(false);
+        }
+    };
+    let block_end = scopes.last().map(|&(_, c)| c).unwrap_or(usize::MAX);
+    LockSite {
+        name,
+        self_qualified,
+        held,
+        line: toks[name_idx].line,
+        col: toks[name_idx].col,
+        tok: name_idx,
+        block_end,
+    }
+}
+
+/// Parses an `impl` head starting after the `impl` keyword: returns the
+/// implemented type's name and the index of the body `{`.
+fn parse_impl_head(toks: &[Tok], mut i: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct("{") && angle <= 0 {
+            return last_ident.map(|n| (n, i));
+        } else if t.is_punct(";") {
+            return None;
+        } else if angle == 0 && t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                // `impl Trait for Type` — the type is what methods hang off.
+                "for" => last_ident = None,
+                "where" => {} // keep the type found so far
+                _ => {
+                    if !matches!(t.text.as_str(), "dyn" | "mut" | "const") {
+                        last_ident = Some(t.text.clone());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds the next `{` at angle depth 0 from `i` (trait bodies after
+/// bounds/where clauses); `None` before any `;`.
+fn find_body_open(toks: &[Tok], mut i: usize) -> Option<usize> {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct("{") && angle <= 0 {
+            return Some(i);
+        } else if t.is_punct(";") {
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses `struct Name …`, recording the type (and tuple-struct ctor).
+/// Returns the index past the item.
+fn parse_struct(toks: &[Tok], i: usize, close_of: &[usize], fg: &mut FileGraph) -> usize {
+    let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+        return i + 1;
+    };
+    fg.types.push(name.text.clone());
+    // Skip generics, then classify by the next structural token.
+    let mut j = i + 2;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if angle <= 0 {
+            if t.is_punct("(") {
+                fg.ctors.push(name.text.clone());
+                return skip_to_semicolon(toks, j);
+            }
+            if t.is_punct("{") {
+                return close_of[j].saturating_add(1);
+            }
+            if t.is_punct(";") {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parses `enum Name { … }`, recording tuple-variant constructors.
+/// Returns the index past the body.
+fn parse_enum(toks: &[Tok], i: usize, close_of: &[usize], fg: &mut FileGraph) -> usize {
+    let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+        return i + 1;
+    };
+    fg.types.push(name.text.clone());
+    let Some(open) = find_body_open(toks, i + 2) else {
+        return i + 2;
+    };
+    let close = close_of[open];
+    // Variants sit at brace depth 1 inside the body; a variant name
+    // followed by `(` is a tuple constructor (callable as data).
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() && j <= close {
+        let t = &toks[j];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && toks.get(j + 1).map(|n| n.is_punct("(")).unwrap_or(false)
+        {
+            fg.ctors.push(t.text.clone());
+        }
+        j += 1;
+    }
+    close.saturating_add(1)
+}
+
+/// Skips to just past the next `;` at paren/bracket depth 0.
+fn skip_to_semicolon(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if t.is_punct(";") && depth <= 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses a `use` tree starting after the `use` keyword; returns the
+/// index past the terminating `;`.
+fn parse_use(toks: &[Tok], mut i: usize, fg: &mut FileGraph) -> usize {
+    // Collect the prefix up to `{`, `*`, `;` or an `as` alias.
+    fn collect(toks: &[Tok], i: &mut usize, prefix: &mut Vec<String>, fg: &mut FileGraph) {
+        let mut last: Option<String> = None;
+        while *i < toks.len() {
+            let t = &toks[*i];
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "as" => {
+                        // `path as alias`
+                        *i += 1;
+                        if let Some(alias) = toks.get(*i) {
+                            if alias.kind == TokKind::Ident {
+                                let mut path = prefix.clone();
+                                if let Some(l) = last.take() {
+                                    path.push(l);
+                                }
+                                fg.uses.push(UseImport {
+                                    name: alias.text.clone(),
+                                    path,
+                                });
+                                *i += 1;
+                            }
+                        }
+                    }
+                    "self" if last.is_none() && !prefix.is_empty() => {
+                        // `use a::b::{self, …}` — binds the module name.
+                        if let Some(tail) = prefix.last().cloned() {
+                            fg.uses.push(UseImport {
+                                name: tail,
+                                path: prefix.clone(),
+                            });
+                        }
+                        *i += 1;
+                    }
+                    _ => {
+                        last = Some(t.text.clone());
+                        *i += 1;
+                    }
+                }
+            } else if t.is_punct(":") {
+                // `::` — the pending name becomes a prefix segment.
+                if let Some(l) = last.take() {
+                    prefix.push(l);
+                }
+                *i += 1;
+                if toks.get(*i).map(|n| n.is_punct(":")).unwrap_or(false) {
+                    *i += 1;
+                }
+            } else if t.is_punct("{") {
+                *i += 1;
+                loop {
+                    let mut sub = prefix.clone();
+                    collect(toks, i, &mut sub, fg);
+                    match toks.get(*i) {
+                        Some(t) if t.is_punct(",") => {
+                            *i += 1;
+                        }
+                        Some(t) if t.is_punct("}") => {
+                            *i += 1;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                return;
+            } else if t.is_punct("*") {
+                fg.globs.push(prefix.clone());
+                *i += 1;
+                return;
+            } else {
+                // `,`, `}`, `;` — finish this leaf.
+                break;
+            }
+        }
+        if let Some(l) = last {
+            let mut path = prefix.clone();
+            path.push(l.clone());
+            fg.uses.push(UseImport { name: l, path });
+        }
+    }
+    let mut prefix = Vec::new();
+    collect(toks, &mut i, &mut prefix, fg);
+    // Consume to the `;`.
+    while i < toks.len() && !toks[i].is_punct(";") {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Recognizes a determinism-forbidden API at token `i`.
+fn taint_at(toks: &[Tok], i: usize) -> Option<TaintSite> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let path_next = |k: usize, name: &str| {
+        toks.get(k).map(|p| p.is_punct(":")).unwrap_or(false)
+            && toks.get(k + 1).map(|p| p.is_punct(":")).unwrap_or(false)
+            && toks.get(k + 2).map(|n| n.is_ident(name)).unwrap_or(false)
+    };
+    let called = |k: usize| toks.get(k).map(|p| p.is_punct("(")).unwrap_or(false);
+    let site = |api: &'static str, is_time: bool| {
+        Some(TaintSite {
+            api,
+            is_time,
+            line: t.line,
+            col: t.col,
+        })
+    };
+    match t.text.as_str() {
+        "HashMap" => site("HashMap", false),
+        "HashSet" => site("HashSet", false),
+        "Instant" if path_next(i + 1, "now") => site("Instant::now", true),
+        "SystemTime" if path_next(i + 1, "now") => site("SystemTime::now", true),
+        "thread_rng" if called(i + 1) => site("thread_rng()", false),
+        "from_entropy" if called(i + 1) => site("from_entropy()", false),
+        "thread" if path_next(i + 1, "spawn") => site("thread::spawn", false),
+        "thread" if path_next(i + 1, "scope") => site("thread::scope", false),
+        "temp_dir" if called(i + 1) => site("env::temp_dir()", false),
+        "current_dir" if called(i + 1) => site("env::current_dir()", false),
+        "home_dir" if called(i + 1) => site("env::home_dir()", false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileGraph {
+        parse_file("x.rs", "app", &[], src)
+    }
+
+    #[test]
+    fn extracts_free_fns_and_bare_calls() {
+        let fg = parse("fn a() { helper(1); other::thing(); }\nfn helper(x: u32) {}");
+        assert_eq!(fg.fns.len(), 2);
+        let a = &fg.fns[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.calls.len(), 2);
+        assert_eq!(a.calls[0].segs, vec!["helper"]);
+        assert_eq!(a.calls[0].kind, CallKind::Bare);
+        assert_eq!(a.calls[1].segs, vec!["other", "thing"]);
+        assert_eq!(a.calls[1].kind, CallKind::Path);
+    }
+
+    #[test]
+    fn extracts_methods_with_impl_context() {
+        let src = r#"
+            pub struct Planner { x: u32 }
+            impl Planner {
+                pub fn plan(&self) -> u32 { self.helper() }
+                fn helper(&self) -> u32 { self.x }
+            }
+        "#;
+        let fg = parse(src);
+        assert_eq!(fg.types, vec!["Planner"]);
+        assert_eq!(fg.fns.len(), 2);
+        assert_eq!(fg.fns[0].type_ctx.as_deref(), Some("Planner"));
+        let call = &fg.fns[0].calls[0];
+        assert_eq!(call.kind, CallKind::Method);
+        assert!(call.recv_self);
+        assert_eq!(call.segs, vec!["helper"]);
+    }
+
+    #[test]
+    fn trait_impls_attach_methods_to_the_type() {
+        let src = "impl fmt::Display for Err { fn fmt(&self) { inner(); } }";
+        let fg = parse(src);
+        assert_eq!(fg.fns[0].type_ctx.as_deref(), Some("Err"));
+        assert_eq!(fg.fns[0].calls[0].segs, vec!["inner"]);
+    }
+
+    #[test]
+    fn inline_mods_nest_into_the_module_path() {
+        let fg = parse("mod inner { pub fn f() { g(); } }");
+        assert_eq!(fg.fns[0].module, vec!["inner"]);
+    }
+
+    #[test]
+    fn use_imports_and_globs() {
+        let src = "use a::b::C;\nuse x::{y, z::W as V, self};\nuse q::*;\nfn f() {}";
+        let fg = parse(src);
+        let names: Vec<(&str, Vec<&str>)> = fg
+            .uses
+            .iter()
+            .map(|u| (u.name.as_str(), u.path.iter().map(|s| s.as_str()).collect()))
+            .collect();
+        assert!(names.contains(&("C", vec!["a", "b", "C"])));
+        assert!(names.contains(&("y", vec!["x", "y"])));
+        assert!(names.contains(&("V", vec!["x", "z", "W"])));
+        assert!(names.contains(&("x", vec!["x"])));
+        assert_eq!(fg.globs, vec![vec!["q".to_string()]]);
+    }
+
+    #[test]
+    fn panic_sites_and_index_sites() {
+        let src = r#"
+            fn f(x: Option<u32>, v: &[u32]) -> u32 {
+                let a = x.unwrap();
+                let b = v[0];
+                if a == 0 { panic!("zero"); }
+                b
+            }
+        "#;
+        let fg = parse(src);
+        let f = &fg.fns[0];
+        assert_eq!(f.panics.len(), 2, "{:?}", f.panics);
+        assert_eq!(f.panics[0].what, ".unwrap()");
+        assert_eq!(f.panics[1].what, "panic!");
+        assert_eq!(f.indexes.len(), 1);
+    }
+
+    #[test]
+    fn taint_sites_in_body_and_signature() {
+        let src = r#"
+            fn f(m: &HashMap<u32, u32>) {
+                let t = Instant::now();
+                let r = thread_rng();
+            }
+        "#;
+        let fg = parse(src);
+        let apis: Vec<&str> = fg.fns[0].taints.iter().map(|t| t.api).collect();
+        assert_eq!(apis, vec!["HashMap", "Instant::now", "thread_rng()"]);
+    }
+
+    #[test]
+    fn lock_sites_identity_and_held() {
+        let src = r#"
+            impl Q {
+                fn f(&self) {
+                    let g = lock_unpoisoned(&self.inner);
+                    lock_unpoisoned(&self.shards[i]).push(1);
+                }
+            }
+        "#;
+        let fg = parse(src);
+        let locks = &fg.fns[0].locks;
+        assert_eq!(locks.len(), 2, "{locks:?}");
+        assert_eq!(locks[0].name, "inner");
+        assert!(locks[0].self_qualified);
+        assert!(locks[0].held);
+        assert_eq!(locks[1].name, "shards");
+        assert!(!locks[1].held);
+    }
+
+    #[test]
+    fn enum_variants_and_tuple_structs_are_ctors() {
+        let src = "pub struct Wrap(u32);\npub enum E { A(u32), B { x: u32 }, C }\nfn f() { let a = Wrap(1); let b = E::A(2); }";
+        let fg = parse(src);
+        assert!(fg.ctors.contains(&"Wrap".to_string()));
+        assert!(fg.ctors.contains(&"A".to_string()));
+        assert!(!fg.ctors.contains(&"B".to_string()));
+    }
+
+    #[test]
+    fn test_modules_are_invisible_to_the_graph() {
+        let src = r#"
+            fn real() { helper(); }
+            #[cfg(test)]
+            mod tests {
+                fn fake_helper() { HashMap::new(); }
+            }
+        "#;
+        let fg = parse(src);
+        assert_eq!(fg.fns.len(), 1);
+        assert_eq!(fg.fns[0].name, "real");
+    }
+
+    #[test]
+    fn macros_are_not_calls_but_args_are_scanned() {
+        let fg = parse("fn f() { writeln!(out, \"{}\", compute(x)).ok(); }");
+        let segs: Vec<&str> = fg.fns[0].calls.iter().map(|c| c.segs[0].as_str()).collect();
+        assert!(segs.contains(&"compute"), "{segs:?}");
+        assert!(!segs.contains(&"writeln"), "{segs:?}");
+    }
+
+    #[test]
+    fn turbofish_calls_are_detected() {
+        let fg =
+            parse("fn f(v: Vec<u32>) { let s = v.iter().collect::<Vec<_>>(); parse::<u32>(x); }");
+        let segs: Vec<&str> = fg.fns[0]
+            .calls
+            .iter()
+            .map(|c| c.segs.last().unwrap().as_str())
+            .collect();
+        assert!(segs.contains(&"collect"));
+        assert!(segs.contains(&"parse"));
+    }
+}

@@ -171,8 +171,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     if !(nb.is_ascii_alphanumeric() || nb == b'_' || nb == b'.') {
                         break;
                     }
-                    // Leave `1..2` range dots alone.
-                    if nb == b'.' && c.peek2() == Some(b'.') {
+                    // A dot only continues the number when a digit follows:
+                    // `1..2` keeps its range dots, and `x.0.lock()` /
+                    // `1.0.max(y)` keep `lock`/`max` as real method tokens
+                    // instead of swallowing them into the numeric literal
+                    // (which would hide them from every rule).
+                    if nb == b'.' && !matches!(c.peek2(), Some(b'0'..=b'9')) {
                         break;
                     }
                     c.bump();
@@ -377,9 +381,51 @@ fn match_cfg_test_mod(toks: &[Tok], i: usize) -> Option<usize> {
     if !saw_test || j >= toks.len() {
         return None;
     }
-    // Expect `mod <ident> {` after the attribute (possibly after further
-    // attributes — keep it simple and only skip doc-less code).
-    let m = j + 1;
+    // Expect `mod <ident> {` after the attribute. Doc comments between the
+    // attribute and the `mod` are already stripped by the lexer, but
+    // further attributes (`#[allow(dead_code)]`, `#[rustfmt::skip]`,
+    // `#[doc = "…"]`) and a `pub`/`pub(crate)` qualifier are real tokens —
+    // skip them so the test module is still recognized.
+    let mut m = j + 1;
+    while toks.get(m).map(|t| t.is_punct("#")).unwrap_or(false)
+        && toks.get(m + 1).map(|t| t.is_punct("[")).unwrap_or(false)
+    {
+        let mut depth = 0usize;
+        let mut k = m + 1;
+        while k < toks.len() {
+            if toks[k].is_punct("[") {
+                depth += 1;
+            } else if toks[k].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        if k >= toks.len() {
+            return None;
+        }
+        m = k + 1;
+    }
+    if toks.get(m).map(|t| t.is_ident("pub")).unwrap_or(false) {
+        m += 1;
+        if toks.get(m).map(|t| t.is_punct("(")).unwrap_or(false) {
+            let mut depth = 0usize;
+            while m < toks.len() {
+                if toks[m].is_punct("(") {
+                    depth += 1;
+                } else if toks[m].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            m += 1;
+        }
+    }
     if toks.get(m)?.is_ident("mod")
         && toks.get(m + 1)?.kind == TokKind::Ident
         && toks.get(m + 2)?.is_punct("{")
@@ -474,5 +520,99 @@ mod tests {
     fn escaped_char_literals() {
         let toks = lex(r"let nl = '\n'; let q = '\''; done");
         assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn nested_block_comments_keep_spans_honest() {
+        // The closer of the inner comment must not close the outer one, and
+        // the token after the comment must land on the right line/column.
+        let src = "/* outer /* inner\n  still /* deeper */ inner */ outer */\nafter";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 1, "{toks:?}");
+        assert_eq!(
+            (toks[0].text.as_str(), toks[0].line, toks[0].col),
+            ("after", 3, 1)
+        );
+        // Overlapping opener `/*/` is an opener plus content, as in rustc.
+        let toks = lex("/* /*/ x */ */ tail");
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].is_ident("tail"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_keep_spans_honest() {
+        // `"#`-lookalikes inside an `r##` string must not close it early,
+        // and multi-line raw strings must advance the line counter.
+        let src = "let a = r##\"body \"# not the end\nsecond \"line\"##;\nnext";
+        let toks = lex(src);
+        let next = toks
+            .iter()
+            .find(|t| t.is_ident("next"))
+            .expect("next token");
+        assert_eq!((next.line, next.col), (3, 1));
+        // No tokens were minted from inside the raw string.
+        assert!(!toks.iter().any(|t| t.is_ident("not")), "{toks:?}");
+        // Raw byte strings with fences behave the same.
+        let toks = lex("br#\"HashMap \"quoted\"\"# tail");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Ident).count(), 1);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime_disambiguation() {
+        // 'a' is a char literal; <'a> and &'a are lifetimes; '_ and labels
+        // are lifetimes; none of them may eat following code.
+        let src =
+            "fn f<'a>(x: &'a str) { let c = 'a'; let u = '_'; 'outer: loop { break 'outer; } }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let literals = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(
+            lifetimes, 4,
+            "<'a>, &'a, 'outer: and break 'outer — {toks:?}"
+        );
+        assert_eq!(literals, 2, "'a' and '_'");
+        assert!(toks.iter().any(|t| t.is_ident("break")));
+    }
+
+    #[test]
+    fn float_method_calls_are_not_swallowed_by_numbers() {
+        // Regression: the number lexer used to consume `.lock` / `.max`
+        // after a numeric token, hiding method idents from every rule.
+        let toks = lex("let a = pair.0.lock(); let b = 1.0.max(2.0); let r = 1..2;");
+        assert!(toks.iter().any(|t| t.is_ident("lock")), "{toks:?}");
+        assert!(toks.iter().any(|t| t.is_ident("max")), "{toks:?}");
+        // Range dots survive as punctuation.
+        assert!(toks.iter().filter(|t| t.is_punct(".")).count() >= 4);
+    }
+
+    #[test]
+    fn cfg_test_mod_with_interleaved_attributes_and_docs() {
+        // Regression: attributes or doc comments between #[cfg(test)] and
+        // its `mod` used to defeat the test-module scan entirely.
+        let src = r#"
+            fn real() {}
+            #[cfg(test)]
+            #[allow(dead_code)]
+            /// doc comment between attribute and mod
+            #[rustfmt::skip]
+            mod tests {
+                fn t() { x.unwrap(); }
+            }
+            fn after() {}
+        "#;
+        let toks = lex(src);
+        let spans = test_module_spans(&toks);
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        let (a, b) = spans[0];
+        let inside: Vec<&str> = toks[a..b]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(inside.contains(&"unwrap"));
+        assert!(!inside.contains(&"after"));
+        // pub(crate) test modules are recognized too.
+        let toks = lex("#[cfg(test)] pub(crate) mod tests { fn f() {} }");
+        assert_eq!(test_module_spans(&toks).len(), 1);
     }
 }

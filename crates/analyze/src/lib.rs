@@ -31,13 +31,20 @@
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod graph;
 pub mod lexer;
+pub mod reach;
+pub mod resolve;
 pub mod rules;
+pub mod sarif;
 
 pub use allowlist::AllowEntry;
-pub use rules::{Finding, RULE_IDS};
+pub use resolve::GraphStats;
+pub use rules::{rule_desc, ChainStep, Finding, GRAPH_RULE_IDS, RULE_IDS};
+pub use sarif::to_sarif;
 
 use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Where each rule family applies. Paths are relative to [`LintConfig::root`],
@@ -160,6 +167,111 @@ impl LintConfig {
             transport_files: vec![],
         }
     }
+
+    /// A ruleset for the *graph* fixture trees: every per-file scope is
+    /// empty so only the interprocedural rules fire and expected chains
+    /// can be asserted without per-file noise.
+    pub fn graph_fixtures(root: impl Into<PathBuf>) -> LintConfig {
+        LintConfig {
+            root: root.into(),
+            determinism_paths: vec![],
+            request_paths: vec![],
+            clock_files: vec![],
+            lock_helper_files: vec![],
+            shard_modules: vec![],
+            lock_scope: vec![],
+            socket_scope: vec![],
+            readiness_files: vec![],
+            deadline_scope: vec![],
+            span_scope: vec![],
+            fleet_scope: vec![],
+            transport_files: vec![],
+        }
+    }
+}
+
+/// Configuration of the workspace-graph pass: the reachability roots the
+/// interprocedural rules seed from, plus the honesty budget on name
+/// resolution.
+#[derive(Debug, Clone)]
+pub struct GraphConfig {
+    /// Qname suffixes of NW-G001 determinism roots (planner, predictor,
+    /// sweep expansion, fleet partitioning).
+    pub taint_roots: Vec<String>,
+    /// Qname suffixes of NW-G003 availability roots (serve request loop,
+    /// fleet coordinator).
+    pub panic_roots: Vec<String>,
+    /// File scopes where slice indexing counts as a panic site for
+    /// NW-G003 (indexing is ubiquitous and mostly checked; flag it only
+    /// where it has bitten before).
+    pub index_modules: Vec<String>,
+    /// Committed ceiling on unresolved call sites: the lint fails when
+    /// resolution quality regresses past it, so graph coverage can only
+    /// ratchet tighter.
+    pub max_unresolved: usize,
+}
+
+impl GraphConfig {
+    /// The workspace graph ruleset: roots are the determinism-critical
+    /// entrypoints named in DESIGN.md plus the serve/fleet availability
+    /// loops.
+    pub fn workspace_default() -> GraphConfig {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        GraphConfig {
+            taint_roots: s(&[
+                // Plan bytes are a pure function of the scenario.
+                "Planner::plan",
+                // Closed-loop prediction feeds planning (ROADMAP): its
+                // outputs must be as deterministic as the plans they steer.
+                "ExecTimePredictor::predict",
+                // Sweep expansion derives scenario grids; cache keys hang
+                // off its output bytes.
+                "SweepSpec::expand",
+                // Fleet partitioning assigns nests to workers from the
+                // same scenario bytes on every process.
+                "build_model",
+                "nest_weights",
+                "partition_nests",
+            ]),
+            panic_roots: s(&[
+                // The serve worker thread and reader loop: a panic kills
+                // the worker or wedges the connection.
+                "worker_loop",
+                "ReaderLoop::handle_line",
+                // The fleet coordinator: a panic strands every worker.
+                "run_coordinator",
+            ]),
+            index_modules: vec![],
+            // Committed threshold — see `workspace_graph_quality` in
+            // tests/lint_fixtures.rs; lower it as resolution improves,
+            // never raise it without a written reason. Measured 282 at
+            // commit time (97% of ~9.1k call sites classified); the rest
+            // are cross-crate method calls on field receivers, which a
+            // token-level resolver cannot type.
+            max_unresolved: 290,
+        }
+    }
+
+    /// Graph config for the fixture trees: roots match the fixtures'
+    /// entry functions, and everything must resolve.
+    pub fn fixtures() -> GraphConfig {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        GraphConfig {
+            taint_roots: s(&["plan_entry"]),
+            panic_roots: s(&["handle_request"]),
+            index_modules: vec![],
+            max_unresolved: 0,
+        }
+    }
+}
+
+/// Call-graph section of a lint report (present only under `--graph`).
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphSummary {
+    /// Aggregate resolution statistics.
+    pub stats: GraphStats,
+    /// Unresolved call sites per file — reported, never silently dropped.
+    pub unresolved_by_file: BTreeMap<String, usize>,
 }
 
 /// The outcome of one lint run.
@@ -173,16 +285,23 @@ pub struct LintReport {
     pub allow_errors: Vec<String>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Call-graph statistics when the graph pass ran.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub graph: Option<GraphSummary>,
+    /// Graph-pass problems (unresolved-call budget exceeded).
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub graph_errors: Vec<String>,
 }
 
 impl LintReport {
-    /// True when the run is clean: no surviving findings and a healthy
-    /// allowlist.
+    /// True when the run is clean: no surviving findings, a healthy
+    /// allowlist, and (when the graph ran) resolution within budget.
     pub fn ok(&self) -> bool {
-        self.findings.is_empty() && self.allow_errors.is_empty()
+        self.findings.is_empty() && self.allow_errors.is_empty() && self.graph_errors.is_empty()
     }
 
-    /// Renders the human-readable report.
+    /// Renders the human-readable report. Graph findings print their full
+    /// call chain indented under the diagnostic line.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -192,9 +311,15 @@ impl LintReport {
                 "{}:{}:{}: [{}] {}",
                 f.file, f.line, f.col, f.rule, f.message
             );
+            for s in &f.chain {
+                let _ = writeln!(out, "    via {} at {}:{}:{}", s.func, s.file, s.line, s.col);
+            }
         }
         for e in &self.allow_errors {
             let _ = writeln!(out, "allowlist: {e}");
+        }
+        for e in &self.graph_errors {
+            let _ = writeln!(out, "graph: {e}");
         }
         let _ = writeln!(
             out,
@@ -204,6 +329,17 @@ impl LintReport {
             self.suppressed.len(),
             self.allow_errors.len()
         );
+        if let Some(g) = &self.graph {
+            let _ = writeln!(
+                out,
+                "graph: {} function(s), {} call(s): {} resolved, {} external, {} unresolved",
+                g.stats.functions,
+                g.stats.calls,
+                g.stats.resolved,
+                g.stats.external,
+                g.stats.unresolved
+            );
+        }
         out
     }
 }
@@ -236,12 +372,101 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Derives the (crate name, module path) identity of a workspace file from
+/// its relative path. Crate names come from `crate_names` (dir → package
+/// name, possibly empty for fixture trees, falling back to the dir name).
+fn file_identity(rel: &str, crate_names: &BTreeMap<String, String>) -> (String, Vec<String>) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_key, under_src): (&str, &[&str]) = match parts.as_slice() {
+        ["crates", dir, "src", rest @ ..] => (dir, rest),
+        ["src", rest @ ..] => ("", rest),
+        _ => ("", &[]),
+    };
+    let crate_name = crate_names.get(crate_key).cloned().unwrap_or_else(|| {
+        if crate_key.is_empty() {
+            "nestwx".into()
+        } else {
+            crate_key.into()
+        }
+    });
+    let mut module: Vec<String> = Vec::new();
+    for (i, seg) in under_src.iter().enumerate() {
+        if i + 1 == under_src.len() {
+            // File segment: lib/main/mod add nothing; others add the stem.
+            let stem = seg.strip_suffix(".rs").unwrap_or(seg);
+            if !matches!(stem, "lib" | "main" | "mod") {
+                module.push(stem.to_string());
+            }
+        } else {
+            module.push(seg.to_string());
+        }
+    }
+    (crate_name, module)
+}
+
+/// Reads `name = "…"` out of a Cargo.toml (line scan — the workspace's
+/// manifests are trivial and the offline build has no toml parser).
+fn manifest_name(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                return Some(rest.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Maps each `crates/<dir>` (and `""` for the root package) to its package
+/// name, falling back to the directory name for fixture trees without
+/// manifests.
+fn workspace_crate_names(root: &Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    if let Some(n) = manifest_name(&root.join("Cargo.toml")) {
+        out.insert(String::new(), n);
+    }
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for d in dirs {
+            if !d.is_dir() {
+                continue;
+            }
+            let dir = d
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if let Some(n) = manifest_name(&d.join("Cargo.toml")) {
+                out.insert(dir, n);
+            }
+        }
+    }
+    out
+}
+
 /// Runs the lint over every non-test `.rs` file under the config's root,
 /// applying allowlist `allow_text` (pass `""` for none).
 pub fn run_lint(cfg: &LintConfig, allow_text: &str) -> std::io::Result<LintReport> {
+    run_lint_ex(cfg, None, allow_text)
+}
+
+/// [`run_lint`] plus, when `graph_cfg` is set, the workspace call-graph
+/// pass: item parsing, name resolution, and the NW-G rules. Graph findings
+/// merge into the same finding list (and allowlist namespace) as the
+/// per-file rules.
+pub fn run_lint_ex(
+    cfg: &LintConfig,
+    graph_cfg: Option<&GraphConfig>,
+    allow_text: &str,
+) -> std::io::Result<LintReport> {
     let mut files = Vec::new();
     collect_rs_files(&cfg.root, &mut files)?;
+    let crate_names = workspace_crate_names(&cfg.root);
     let mut findings = Vec::new();
+    let mut parsed: Vec<graph::FileGraph> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(&cfg.root)
@@ -250,6 +475,27 @@ pub fn run_lint(cfg: &LintConfig, allow_text: &str) -> std::io::Result<LintRepor
             .replace('\\', "/");
         let src = std::fs::read_to_string(path)?;
         findings.extend(rules::check_file(&rel, &src, cfg));
+        if graph_cfg.is_some() {
+            let (krate, module) = file_identity(&rel, &crate_names);
+            parsed.push(graph::parse_file(&rel, &krate, &module, &src));
+        }
+    }
+    let mut graph_summary = None;
+    let mut graph_errors = Vec::new();
+    if let Some(gcfg) = graph_cfg {
+        let ws = resolve::Workspace::build(parsed);
+        findings.extend(reach::check_graph(&ws, cfg, gcfg));
+        if ws.stats.unresolved > gcfg.max_unresolved {
+            graph_errors.push(format!(
+                "{} unresolved call site(s) exceed the committed budget of {} — \
+                 improve resolution (or, with a written reason, raise the budget)",
+                ws.stats.unresolved, gcfg.max_unresolved
+            ));
+        }
+        graph_summary = Some(GraphSummary {
+            stats: ws.stats,
+            unresolved_by_file: ws.unresolved_by_file,
+        });
     }
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
@@ -262,7 +508,78 @@ pub fn run_lint(cfg: &LintConfig, allow_text: &str) -> std::io::Result<LintRepor
         suppressed,
         allow_errors,
         files_scanned: files.len(),
+        graph: graph_summary,
+        graph_errors,
     })
+}
+
+/// Serializes findings into the committed-baseline format: a sorted list
+/// of (rule, file, line, col) keys, byte-stable across runs.
+pub fn write_baseline(findings: &[Finding]) -> String {
+    use serde_json::Value;
+    let mut keys: Vec<&Finding> = findings.iter().collect();
+    keys.sort_by(|a, b| {
+        (a.rule, a.file.as_str(), a.line, a.col).cmp(&(b.rule, b.file.as_str(), b.line, b.col))
+    });
+    let items: Vec<Value> = keys
+        .iter()
+        .map(|f| {
+            Value::Object(vec![
+                ("rule".to_string(), Value::String(f.rule.to_string())),
+                ("file".to_string(), Value::String(f.file.clone())),
+                ("line".to_string(), Value::Number(f.line as f64)),
+                ("col".to_string(), Value::Number(f.col as f64)),
+            ])
+        })
+        .collect();
+    let root = Value::Object(vec![("findings".to_string(), Value::Array(items))]);
+    let mut out = serde_json::to_string_pretty(&root).unwrap_or_else(|_| "{}".to_string());
+    out.push('\n');
+    out
+}
+
+/// Parses a committed baseline into suppression keys.
+pub fn parse_baseline(text: &str) -> Result<BTreeSet<(String, String, u32, u32)>, String> {
+    let v = serde_json::from_str(text).map_err(|e| format!("baseline: {e}"))?;
+    let Some(items) = v.get("findings").and_then(|f| f.as_array()) else {
+        return Err("baseline: missing `findings` array".to_string());
+    };
+    let mut keys = BTreeSet::new();
+    for (i, item) in items.iter().enumerate() {
+        let rule = item.get("rule").and_then(|x| x.as_str());
+        let file = item.get("file").and_then(|x| x.as_str());
+        let line = item.get("line").and_then(|x| x.as_u64());
+        let col = item.get("col").and_then(|x| x.as_u64());
+        match (rule, file, line, col) {
+            (Some(r), Some(f), Some(l), Some(c)) => {
+                keys.insert((r.to_string(), f.to_string(), l as u32, c as u32));
+            }
+            _ => return Err(format!("baseline: entry {i} missing rule/file/line/col")),
+        }
+    }
+    Ok(keys)
+}
+
+/// Moves findings present in the baseline out of the failing set (into
+/// `suppressed`), so only *new* findings fail the run. Returns how many
+/// were baseline-suppressed.
+pub fn apply_baseline(
+    report: &mut LintReport,
+    keys: &BTreeSet<(String, String, u32, u32)>,
+) -> usize {
+    let findings = std::mem::take(&mut report.findings);
+    let mut kept = Vec::new();
+    let mut n = 0;
+    for f in findings {
+        if keys.contains(&(f.rule.to_string(), f.file.clone(), f.line, f.col)) {
+            n += 1;
+            report.suppressed.push(f);
+        } else {
+            kept.push(f);
+        }
+    }
+    report.findings = kept;
+    n
 }
 
 /// Convenience: [`run_lint`] reading the allowlist from `allow_path` when
@@ -271,12 +588,21 @@ pub fn run_lint_with_allow_file(
     cfg: &LintConfig,
     allow_path: &Path,
 ) -> std::io::Result<LintReport> {
+    run_lint_with_allow_file_ex(cfg, None, allow_path)
+}
+
+/// [`run_lint_with_allow_file`] with an optional graph pass.
+pub fn run_lint_with_allow_file_ex(
+    cfg: &LintConfig,
+    graph_cfg: Option<&GraphConfig>,
+    allow_path: &Path,
+) -> std::io::Result<LintReport> {
     let allow_text = match std::fs::read_to_string(allow_path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
         Err(e) => return Err(e),
     };
-    run_lint(cfg, &allow_text)
+    run_lint_ex(cfg, graph_cfg, &allow_text)
 }
 
 #[cfg(test)]
@@ -304,6 +630,8 @@ mod tests {
             suppressed: vec![],
             allow_errors: vec![],
             files_scanned: 3,
+            graph: None,
+            graph_errors: vec![],
         };
         assert!(r.ok());
         assert!(r.render().contains("3 file(s) scanned"));

@@ -1,0 +1,576 @@
+//! The interprocedural rules over the workspace call graph.
+//!
+//! | id       | name                   | roots                               |
+//! |----------|------------------------|-------------------------------------|
+//! | NW-G001  | determinism-taint      | planner / predictor / sweep / fleet |
+//! | NW-G002  | lock-order-cycle       | every function (no roots)           |
+//! | NW-G003  | panic-reachability     | serve request loop, fleet coordinator |
+//!
+//! Every diagnostic carries the full call chain from the root to the
+//! offending site ([`Finding::chain`]), so a taint hidden two helpers deep
+//! prints the exact path a reviewer must audit. The per-file rules stay
+//! authoritative inside their scopes: NW-G001 skips files already under
+//! the determinism scope (NW-D001..D006 deny the same constructs there)
+//! and NW-G003 skips files under the request-path scope (NW-S001), so the
+//! graph rules are purely additive and never double-report a span.
+//!
+//! Known resolution limits (documented in DESIGN.md): trait-object and
+//! closure calls don't resolve (counted as unresolved, reported in the
+//! summary); lock identities are field names, so two sharded locks behind
+//! one field alias to one identity — self-edges in the lock-order graph
+//! are therefore skipped; only `let`-bound lock guards extend ordering to
+//! the rest of their block.
+
+use crate::graph::LockSite;
+use crate::resolve::Workspace;
+use crate::rules::{in_scope, rule_desc, ChainStep, Finding};
+use crate::{GraphConfig, LintConfig};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Runs NW-G001/G002/G003 over a resolved workspace graph.
+pub fn check_graph(ws: &Workspace, cfg: &LintConfig, gcfg: &GraphConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    taint_rule(ws, cfg, gcfg, &mut out);
+    lock_order_rule(ws, &mut out);
+    panic_rule(ws, cfg, gcfg, &mut out);
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    out
+}
+
+/// Root fn indices for a list of qname suffixes, sorted by qname so BFS
+/// order — and with it every chain — is deterministic.
+fn roots_of(ws: &Workspace, suffixes: &[String]) -> Vec<usize> {
+    let mut roots: Vec<usize> = suffixes.iter().flat_map(|s| ws.find_by_suffix(s)).collect();
+    roots.sort_by(|&a, &b| ws.fns[a].qname.cmp(&ws.fns[b].qname).then(a.cmp(&b)));
+    roots.dedup();
+    roots
+}
+
+/// Multi-source BFS. Returns per-fn: visited flag and the parent pointer
+/// (caller idx, call-site line, call-site col) used for chain printing.
+/// Roots have no parent.
+#[allow(clippy::type_complexity)]
+fn reach(ws: &Workspace, roots: &[usize]) -> (Vec<bool>, Vec<Option<(usize, u32, u32)>>) {
+    let mut vis = vec![false; ws.fns.len()];
+    let mut par: Vec<Option<(usize, u32, u32)>> = vec![None; ws.fns.len()];
+    let mut q = VecDeque::new();
+    for &r in roots {
+        if !vis[r] {
+            vis[r] = true;
+            q.push_back(r);
+        }
+    }
+    while let Some(n) = q.pop_front() {
+        for e in &ws.fns[n].edges {
+            if !vis[e.callee] {
+                vis[e.callee] = true;
+                par[e.callee] = Some((n, e.line, e.col));
+                q.push_back(e.callee);
+            }
+        }
+    }
+    (vis, par)
+}
+
+/// Reconstructs the root→`idx` call chain. Each step names a function and
+/// the span of its call to the next function; the caller appends the final
+/// step pointing at the offending construct.
+fn chain_to(ws: &Workspace, par: &[Option<(usize, u32, u32)>], idx: usize) -> Vec<ChainStep> {
+    let mut rev: Vec<ChainStep> = Vec::new();
+    let mut cur = idx;
+    while let Some((caller, line, col)) = par[cur] {
+        rev.push(ChainStep {
+            func: ws.fns[caller].qname.clone(),
+            file: ws.file_of(caller).to_string(),
+            line,
+            col,
+        });
+        cur = caller;
+    }
+    rev.reverse();
+    rev
+}
+
+/// The root a chain starts from (the fn itself when it is a root).
+fn chain_root<'a>(ws: &'a Workspace, chain: &'a [ChainStep], idx: usize) -> &'a str {
+    chain
+        .first()
+        .map(|s| s.func.as_str())
+        .unwrap_or(&ws.fns[idx].qname)
+}
+
+// ---------------------------------------------------------------------------
+// NW-G001 — determinism taint
+// ---------------------------------------------------------------------------
+
+fn taint_rule(ws: &Workspace, cfg: &LintConfig, gcfg: &GraphConfig, out: &mut Vec<Finding>) {
+    let roots = roots_of(ws, &gcfg.taint_roots);
+    if roots.is_empty() {
+        return;
+    }
+    let (vis, par) = reach(ws, &roots);
+    let mut seen: BTreeSet<(String, u32, u32)> = BTreeSet::new();
+    for (idx, &visited) in vis.iter().enumerate() {
+        if !visited {
+            continue;
+        }
+        let file = ws.file_of(idx).to_string();
+        // The per-file NW-D rules already deny every taint inside the
+        // determinism scope; the graph rule covers what they can't see.
+        if in_scope(&file, &cfg.determinism_paths) {
+            continue;
+        }
+        let d = ws.decl(idx);
+        for t in &d.taints {
+            // The clock shim is the one legitimate holder of raw time.
+            if t.is_time && in_scope(&file, &cfg.clock_files) {
+                continue;
+            }
+            if !seen.insert((file.clone(), t.line, t.col)) {
+                continue;
+            }
+            let mut chain = chain_to(ws, &par, idx);
+            let root = chain_root(ws, &chain, idx).to_string();
+            chain.push(ChainStep {
+                func: ws.fns[idx].qname.clone(),
+                file: file.clone(),
+                line: t.line,
+                col: t.col,
+            });
+            out.push(Finding {
+                rule: "NW-G001",
+                desc: rule_desc("NW-G001"),
+                file: file.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{} in {} is reachable from planning root {}: plan bytes \
+                     must be a pure function of the scenario, and this call \
+                     path taints them with {}",
+                    t.api,
+                    ws.fns[idx].qname,
+                    root,
+                    if t.is_time {
+                        "wall-clock time"
+                    } else {
+                        "nondeterminism"
+                    },
+                ),
+                chain,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NW-G002 — lock-order cycles
+// ---------------------------------------------------------------------------
+
+/// Where a lock-order edge was established: the span of the second
+/// acquisition (or of the call that transitively acquires it).
+#[derive(Debug, Clone)]
+struct EdgeProv {
+    fn_q: String,
+    file: String,
+    line: u32,
+    col: u32,
+    via: Option<String>,
+}
+
+/// Lock identity: the field name, qualified by the impl type for
+/// `self.field` locks so `Cache::shards` and `Queue::shards` stay distinct.
+fn lock_id(ws: &Workspace, idx: usize, site: &LockSite) -> String {
+    if site.self_qualified {
+        if let Some(ty) = &ws.decl(idx).type_ctx {
+            return format!("{}::{}", ty, site.name);
+        }
+    }
+    site.name.clone()
+}
+
+fn lock_order_rule(ws: &Workspace, out: &mut Vec<Finding>) {
+    // Transitive lock closure per fn: every lock identity acquired by the
+    // fn or anything it calls. Fixpoint — sets only grow.
+    let mut tl: Vec<BTreeSet<String>> = (0..ws.fns.len())
+        .map(|i| ws.decl(i).locks.iter().map(|l| lock_id(ws, i, l)).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..ws.fns.len() {
+            for e in ws.fns[i].edges.clone() {
+                let callee_locks: Vec<String> = tl[e.callee].iter().cloned().collect();
+                for l in callee_locks {
+                    if tl[i].insert(l) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Order edges: a held (`let`-bound) guard orders before every lock
+    // acquired later in its block, directly or through a call.
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut prov: BTreeMap<(String, String), EdgeProv> = BTreeMap::new();
+    let mut record = |a: String, b: String, p: EdgeProv| {
+        if a == b {
+            // One identity can cover several sharded mutexes behind the
+            // same field; a self-edge would flag every ordered shard walk.
+            return;
+        }
+        adj.entry(a.clone()).or_default().insert(b.clone());
+        prov.entry((a, b)).or_insert(p);
+    };
+    for i in 0..ws.fns.len() {
+        let d = ws.decl(i);
+        let file = ws.file_of(i).to_string();
+        let fn_q = ws.fns[i].qname.clone();
+        for held in d.locks.iter().filter(|l| l.held) {
+            let a = lock_id(ws, i, held);
+            for later in d
+                .locks
+                .iter()
+                .filter(|m| m.tok > held.tok && m.tok < held.block_end)
+            {
+                record(
+                    a.clone(),
+                    lock_id(ws, i, later),
+                    EdgeProv {
+                        fn_q: fn_q.clone(),
+                        file: file.clone(),
+                        line: later.line,
+                        col: later.col,
+                        via: None,
+                    },
+                );
+            }
+            for e in ws.fns[i]
+                .edges
+                .iter()
+                .filter(|e| e.tok > held.tok && e.tok < held.block_end)
+            {
+                for b in tl[e.callee].iter() {
+                    record(
+                        a.clone(),
+                        b.clone(),
+                        EdgeProv {
+                            fn_q: fn_q.clone(),
+                            file: file.clone(),
+                            line: e.line,
+                            col: e.col,
+                            via: Some(ws.fns[e.callee].qname.clone()),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // Cycle detection: for each node in sorted order, BFS for the shortest
+    // path back to itself; one finding per discovered cycle, every node on
+    // it marked covered so overlapping rotations don't repeat.
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    let nodes: Vec<String> = adj.keys().cloned().collect();
+    for n in nodes {
+        if covered.contains(&n) {
+            continue;
+        }
+        let Some(cycle) = shortest_cycle(&adj, &n) else {
+            continue;
+        };
+        for x in &cycle {
+            covered.insert(x.clone());
+        }
+        // cycle = [n, a, b, …]; edges close back to n.
+        let mut chain = Vec::new();
+        let mut label = Vec::new();
+        for k in 0..cycle.len() {
+            let a = &cycle[k];
+            let b = &cycle[(k + 1) % cycle.len()];
+            let p = &prov[&(a.clone(), b.clone())];
+            let via = p
+                .via
+                .as_ref()
+                .map(|v| format!(" via {v}"))
+                .unwrap_or_default();
+            chain.push(ChainStep {
+                func: format!("{a} -> {b} in {}{via}", p.fn_q),
+                file: p.file.clone(),
+                line: p.line,
+                col: p.col,
+            });
+            label.push(a.clone());
+        }
+        label.push(n.clone());
+        let anchor = &prov[&(cycle[0].clone(), cycle[1 % cycle.len()].clone())];
+        out.push(Finding {
+            rule: "NW-G002",
+            desc: rule_desc("NW-G002"),
+            file: anchor.file.clone(),
+            line: anchor.line,
+            col: anchor.col,
+            message: format!(
+                "lock-order cycle {}: two threads taking these locks in \
+                 opposite orders deadlock; pick one global order",
+                label.join(" -> ")
+            ),
+            chain,
+        });
+    }
+}
+
+/// Shortest cycle through `start` (BFS over successors), as the node list
+/// `[start, …]` without repeating the start at the end.
+fn shortest_cycle(adj: &BTreeMap<String, BTreeSet<String>>, start: &str) -> Option<Vec<String>> {
+    let mut par: BTreeMap<String, String> = BTreeMap::new();
+    let mut q = VecDeque::new();
+    q.push_back(start.to_string());
+    while let Some(n) = q.pop_front() {
+        for m in adj.get(&n).into_iter().flatten() {
+            if m == start {
+                // Reconstruct start → … → n by walking parents; the BFS
+                // root `start` has no parent entry, so the walk ends there.
+                let mut rev = vec![n.clone()];
+                let mut cur = n.clone();
+                while let Some(p) = par.get(&cur) {
+                    rev.push(p.clone());
+                    cur = p.clone();
+                }
+                if cur != start {
+                    rev.push(start.to_string());
+                }
+                rev.reverse();
+                return Some(rev);
+            }
+            if !par.contains_key(m) && m != start {
+                par.insert(m.clone(), n.clone());
+                q.push_back(m.clone());
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// NW-G003 — panic reachability
+// ---------------------------------------------------------------------------
+
+fn panic_rule(ws: &Workspace, cfg: &LintConfig, gcfg: &GraphConfig, out: &mut Vec<Finding>) {
+    let roots = roots_of(ws, &gcfg.panic_roots);
+    if roots.is_empty() {
+        return;
+    }
+    let (vis, par) = reach(ws, &roots);
+    let mut seen: BTreeSet<(String, u32, u32)> = BTreeSet::new();
+    for (idx, &visited) in vis.iter().enumerate() {
+        if !visited {
+            continue;
+        }
+        let file = ws.file_of(idx).to_string();
+        // NW-S001 already denies panics per-file across the request-path
+        // scope; the graph rule extends the guarantee to helpers outside
+        // it (core, miniwrf, fleet) that a request can still reach.
+        if in_scope(&file, &cfg.request_paths) {
+            continue;
+        }
+        let d = ws.decl(idx);
+        let mut sites: Vec<(String, u32, u32)> = d
+            .panics
+            .iter()
+            .map(|p| (p.what.clone(), p.line, p.col))
+            .collect();
+        if in_scope(&file, &gcfg.index_modules) {
+            sites.extend(
+                d.indexes
+                    .iter()
+                    .map(|x| ("slice/array index".to_string(), x.line, x.col)),
+            );
+        }
+        sites.sort_by_key(|s| (s.1, s.2));
+        for (what, line, col) in sites {
+            if !seen.insert((file.clone(), line, col)) {
+                continue;
+            }
+            let mut chain = chain_to(ws, &par, idx);
+            let root = chain_root(ws, &chain, idx).to_string();
+            chain.push(ChainStep {
+                func: ws.fns[idx].qname.clone(),
+                file: file.clone(),
+                line,
+                col,
+            });
+            out.push(Finding {
+                rule: "NW-G003",
+                desc: rule_desc("NW-G003"),
+                file: file.clone(),
+                line,
+                col,
+                message: format!(
+                    "{what} in {} is reachable from availability root {}: a \
+                     panic on this path kills a worker or wedges the \
+                     coordinator; return a typed error",
+                    ws.fns[idx].qname, root
+                ),
+                chain,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::parse_file;
+
+    fn ws(files: &[(&str, &str, &[&str], &str)]) -> Workspace {
+        let parsed = files
+            .iter()
+            .map(|(path, krate, module, src)| {
+                let m: Vec<String> = module.iter().map(|s| s.to_string()).collect();
+                parse_file(path, krate, &m, src)
+            })
+            .collect();
+        Workspace::build(parsed)
+    }
+
+    fn gcfg() -> GraphConfig {
+        GraphConfig {
+            taint_roots: vec!["entry".to_string()],
+            panic_roots: vec!["handle".to_string()],
+            index_modules: vec![],
+            max_unresolved: 0,
+        }
+    }
+
+    fn lcfg() -> LintConfig {
+        let mut c = LintConfig::fixtures(".");
+        // Graph-rule tests want the per-file scopes out of the way.
+        c.determinism_paths = vec![];
+        c.request_paths = vec![];
+        c
+    }
+
+    #[test]
+    fn taint_two_calls_deep_prints_the_chain() {
+        let w = ws(&[(
+            "crates/app/src/lib.rs",
+            "app",
+            &[],
+            "fn entry() {\n    helper();\n}\nfn helper() {\n    deep();\n}\nfn deep() {\n    let m: HashMap<u32, u32> = make();\n}",
+        )]);
+        let f = check_graph(&w, &lcfg(), &gcfg());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "NW-G001");
+        assert_eq!((f[0].line, f[0].col), (8, 12));
+        let funcs: Vec<&str> = f[0].chain.iter().map(|s| s.func.as_str()).collect();
+        assert_eq!(funcs, vec!["app::entry", "app::helper", "app::deep"]);
+        assert_eq!((f[0].chain[0].line, f[0].chain[0].col), (2, 5));
+        assert_eq!((f[0].chain[1].line, f[0].chain[1].col), (5, 5));
+    }
+
+    #[test]
+    fn unreachable_taint_is_silent() {
+        let w = ws(&[(
+            "crates/app/src/lib.rs",
+            "app",
+            &[],
+            "fn entry() {}\nfn island() { let m: HashMap<u32,u32> = make(); }",
+        )]);
+        assert!(check_graph(&w, &lcfg(), &gcfg()).is_empty());
+    }
+
+    #[test]
+    fn ab_ba_lock_cycle_detected() {
+        let w = ws(&[(
+            "crates/app/src/lib.rs",
+            "app",
+            &[],
+            "fn ab(a: &M, b: &M) {\n    let g = lock_unpoisoned(&a_lock);\n    let h = lock_unpoisoned(&b_lock);\n}\nfn ba(a: &M, b: &M) {\n    let g = lock_unpoisoned(&b_lock);\n    let h = lock_unpoisoned(&a_lock);\n}",
+        )]);
+        let f = check_graph(&w, &lcfg(), &gcfg());
+        let cycles: Vec<&Finding> = f.iter().filter(|f| f.rule == "NW-G002").collect();
+        assert_eq!(cycles.len(), 1, "{f:?}");
+        assert!(cycles[0].message.contains("a_lock -> b_lock -> a_lock"));
+        assert_eq!(cycles[0].chain.len(), 2);
+    }
+
+    #[test]
+    fn transitive_lock_cycle_through_a_call() {
+        let w = ws(&[(
+            "crates/app/src/lib.rs",
+            "app",
+            &[],
+            "fn ab() {\n    let g = lock_unpoisoned(&a_lock);\n    takes_b();\n}\nfn takes_b() {\n    let g = lock_unpoisoned(&b_lock);\n    takes_a_last();\n}\nfn takes_a_last() {\n    let g = lock_unpoisoned(&b_lock);\n    let h = lock_unpoisoned(&a_lock);\n}",
+        )]);
+        let f = check_graph(&w, &lcfg(), &gcfg());
+        let cycles: Vec<&Finding> = f.iter().filter(|f| f.rule == "NW-G002").collect();
+        assert_eq!(cycles.len(), 1, "{f:?}");
+        // The a→b edge is established transitively via the call.
+        assert!(cycles[0].chain.iter().any(|s| s.func.contains("via")));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let w = ws(&[(
+            "crates/app/src/lib.rs",
+            "app",
+            &[],
+            "fn one() {\n    let g = lock_unpoisoned(&a_lock);\n    let h = lock_unpoisoned(&b_lock);\n}\nfn two() {\n    let g = lock_unpoisoned(&a_lock);\n    let h = lock_unpoisoned(&b_lock);\n}",
+        )]);
+        assert!(check_graph(&w, &lcfg(), &gcfg())
+            .iter()
+            .all(|f| f.rule != "NW-G002"));
+    }
+
+    #[test]
+    fn unwrap_behind_helper_reachable_from_handle() {
+        let w = ws(&[(
+            "crates/app/src/lib.rs",
+            "app",
+            &[],
+            "fn handle(req: R) {\n    decode(req);\n}\nfn decode(req: R) -> V {\n    req.field.unwrap()\n}",
+        )]);
+        let f = check_graph(&w, &lcfg(), &gcfg());
+        let panics: Vec<&Finding> = f.iter().filter(|f| f.rule == "NW-G003").collect();
+        assert_eq!(panics.len(), 1, "{f:?}");
+        assert_eq!((panics[0].line, panics[0].col), (5, 15));
+        let funcs: Vec<&str> = panics[0].chain.iter().map(|s| s.func.as_str()).collect();
+        assert_eq!(funcs, vec!["app::handle", "app::decode"]);
+    }
+
+    #[test]
+    fn g003_skips_files_already_under_request_path_scope() {
+        let w = ws(&[(
+            "crates/app/src/lib.rs",
+            "app",
+            &[],
+            "fn handle(req: R) { decode(req); }\nfn decode(req: R) -> V { req.field.unwrap() }",
+        )]);
+        let mut lc = lcfg();
+        lc.request_paths = vec!["crates/app/src/".to_string()];
+        assert!(check_graph(&w, &lc, &gcfg())
+            .iter()
+            .all(|f| f.rule != "NW-G003"));
+    }
+
+    #[test]
+    fn indexing_counts_only_in_flagged_modules() {
+        let w = ws(&[(
+            "crates/app/src/lib.rs",
+            "app",
+            &[],
+            "fn handle(v: &[u32]) -> u32 { pick(v) }\nfn pick(v: &[u32]) -> u32 { v[0] }",
+        )]);
+        let mut gc = gcfg();
+        assert!(check_graph(&w, &lcfg(), &gc).is_empty());
+        gc.index_modules = vec!["crates/app/src/".to_string()];
+        let f = check_graph(&w, &lcfg(), &gc);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("slice/array index"));
+    }
+}

@@ -30,11 +30,28 @@ use crate::lexer::{lex, test_module_spans, Tok, TokKind};
 use crate::LintConfig;
 use serde::Serialize;
 
+/// One step of an interprocedural call chain, root first. The last step
+/// points at the offending construct itself.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ChainStep {
+    /// Fully qualified function name (`crate::module::Type::fn`), or the
+    /// offending construct's label for the final step.
+    pub func: String,
+    /// Path relative to the lint root, `/`-separated.
+    pub file: String,
+    /// 1-based line of the call site (or offending construct).
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
 /// One rule violation at a source position.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Finding {
     /// Stable rule id (`NW-D001` …).
     pub rule: &'static str,
+    /// The rule's one-line description (same for every finding of a rule).
+    pub desc: &'static str,
     /// Path relative to the lint root, `/`-separated.
     pub file: String,
     /// 1-based line.
@@ -43,18 +60,64 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Interprocedural call chain from a root to the offending site
+    /// (graph rules only; empty for per-file token rules).
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub chain: Vec<ChainStep>,
 }
 
-/// All rule ids, in catalog order (fixture tests iterate this).
+impl Finding {
+    /// Builds a chain-less finding, deriving `desc` from the rule id.
+    pub fn at(rule: &'static str, file: &str, line: u32, col: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            desc: rule_desc(rule),
+            file: file.to_string(),
+            line,
+            col,
+            message,
+            chain: Vec::new(),
+        }
+    }
+}
+
+/// All per-file rule ids, in catalog order (fixture tests iterate this).
 pub const RULE_IDS: [&str; 13] = [
     "NW-D001", "NW-D002", "NW-D003", "NW-D004", "NW-D005", "NW-D006", "NW-S001", "NW-S002",
     "NW-S003", "NW-S004", "NW-S005", "NW-S006", "NW-S007",
 ];
 
+/// The interprocedural (workspace call-graph) rule ids, in catalog order.
+pub const GRAPH_RULE_IDS: [&str; 3] = ["NW-G001", "NW-G002", "NW-G003"];
+
+/// One-line description of each rule, embedded in `--json` records and
+/// SARIF rule metadata.
+pub fn rule_desc(rule: &str) -> &'static str {
+    match rule {
+        "NW-D001" => "unordered collection in a determinism-critical path",
+        "NW-D002" => "raw Instant::now outside the clock shim",
+        "NW-D003" => "wall-clock or OS-entropy source",
+        "NW-D004" => "unordered-collection iteration in a determinism-critical path",
+        "NW-D005" => "thread spawn inside deterministic replay code",
+        "NW-D006" => "ambient filesystem path in determinism-critical code",
+        "NW-S001" => "panicking call on the request-handling path",
+        "NW-S002" => "raw .lock() without a poisoning policy",
+        "NW-S003" => "blocking syscall in a lock-holding module",
+        "NW-S004" => "blocking socket I/O outside the readiness loop",
+        "NW-S005" => "deadline arithmetic bypassing the clock shim",
+        "NW-S006" => "raw timestamp source on the span-recording path",
+        "NW-S007" => "socket I/O outside the fleet transport module",
+        "NW-G001" => "determinism-forbidden API reachable from a planning root",
+        "NW-G002" => "lock-order cycle across lock_unpoisoned call paths",
+        "NW-G003" => "panic site reachable from a serve/fleet availability root",
+        _ => "unknown rule",
+    }
+}
+
 /// True when `path` (relative, `/`-separated) falls under any of the scope
 /// entries. An entry ending in `/` is a directory prefix; an empty entry
 /// matches everything; anything else must match the path exactly.
-fn in_scope(path: &str, scope: &[String]) -> bool {
+pub(crate) fn in_scope(path: &str, scope: &[String]) -> bool {
     scope.iter().any(|s| {
         if s.is_empty() {
             true
@@ -94,13 +157,7 @@ pub fn check_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
 
     let mut out = Vec::new();
     let push = |out: &mut Vec<Finding>, rule: &'static str, t: &Tok, message: String| {
-        out.push(Finding {
-            rule,
-            file: path.to_string(),
-            line: t.line,
-            col: t.col,
-            message,
-        });
+        out.push(Finding::at(rule, path, t.line, t.col, message));
     };
 
     for i in 0..toks.len() {

@@ -1,0 +1,177 @@
+//! SARIF 2.1.0 output for `nestwx lint`, so CI systems and code-review
+//! UIs can ingest findings without parsing the human report.
+//!
+//! Built directly as a [`serde_json::Value`] tree (object keys keep
+//! insertion order, and SARIF needs keys like `$schema` that the vendored
+//! derive cannot rename). Output is byte-stable for a given report:
+//! findings arrive sorted, rule metadata is emitted in catalog order.
+
+use crate::rules::{rule_desc, Finding, GRAPH_RULE_IDS, RULE_IDS};
+use crate::LintReport;
+use serde_json::Value;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: &str) -> Value {
+    Value::String(text.to_string())
+}
+
+fn location(file: &str, line: u32, col: u32) -> Value {
+    obj(vec![(
+        "physicalLocation",
+        obj(vec![
+            ("artifactLocation", obj(vec![("uri", s(file))])),
+            (
+                "region",
+                obj(vec![
+                    ("startLine", Value::Number(line as f64)),
+                    ("startColumn", Value::Number(col as f64)),
+                ]),
+            ),
+        ]),
+    )])
+}
+
+fn result(f: &Finding) -> Value {
+    let mut fields = vec![
+        ("ruleId", s(f.rule)),
+        ("level", s("error")),
+        ("message", obj(vec![("text", s(&f.message))])),
+        (
+            "locations",
+            Value::Array(vec![location(&f.file, f.line, f.col)]),
+        ),
+    ];
+    // Call chains map to a SARIF code flow: one thread flow, root first.
+    if !f.chain.is_empty() {
+        let steps: Vec<Value> = f
+            .chain
+            .iter()
+            .map(|step| {
+                obj(vec![(
+                    "location",
+                    obj(vec![
+                        ("message", obj(vec![("text", s(&step.func))])),
+                        (
+                            "physicalLocation",
+                            obj(vec![
+                                ("artifactLocation", obj(vec![("uri", s(&step.file))])),
+                                (
+                                    "region",
+                                    obj(vec![
+                                        ("startLine", Value::Number(step.line as f64)),
+                                        ("startColumn", Value::Number(step.col as f64)),
+                                    ]),
+                                ),
+                            ]),
+                        ),
+                    ]),
+                )])
+            })
+            .collect();
+        fields.push((
+            "codeFlows",
+            Value::Array(vec![obj(vec![(
+                "threadFlows",
+                Value::Array(vec![obj(vec![("locations", Value::Array(steps))])]),
+            )])]),
+        ));
+    }
+    obj(fields)
+}
+
+/// Serializes a lint report as a SARIF 2.1.0 log (pretty-printed, with a
+/// trailing newline).
+pub fn to_sarif(report: &LintReport) -> String {
+    let rules: Vec<Value> = RULE_IDS
+        .iter()
+        .chain(GRAPH_RULE_IDS.iter())
+        .map(|id| {
+            obj(vec![
+                ("id", s(id)),
+                ("shortDescription", obj(vec![("text", s(rule_desc(id)))])),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = report.findings.iter().map(result).collect();
+    let root = obj(vec![
+        (
+            "$schema",
+            s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("nestwx-lint")),
+                            ("rules", Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ]);
+    let mut out = serde_json::to_string_pretty(&root).unwrap_or_else(|_| "{}".to_string());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ChainStep;
+
+    fn report_with(findings: Vec<Finding>) -> LintReport {
+        LintReport {
+            findings,
+            suppressed: vec![],
+            allow_errors: vec![],
+            files_scanned: 1,
+            graph: None,
+            graph_errors: vec![],
+        }
+    }
+
+    #[test]
+    fn sarif_is_valid_json_with_schema_and_rules() {
+        let sarif = to_sarif(&report_with(vec![]));
+        let v = serde_json::from_str(&sarif).expect("valid JSON");
+        assert_eq!(v["version"].as_str(), Some("2.1.0"));
+        assert!(v["$schema"].as_str().unwrap().contains("sarif-2.1.0"));
+        let rules = v["runs"][0]["tool"]["driver"]["rules"].as_array().unwrap();
+        assert_eq!(rules.len(), RULE_IDS.len() + GRAPH_RULE_IDS.len());
+    }
+
+    #[test]
+    fn findings_map_to_results_with_locations_and_code_flows() {
+        let mut f = Finding::at("NW-G001", "crates/a/src/b.rs", 7, 3, "bad".to_string());
+        f.chain = vec![ChainStep {
+            func: "app::entry".to_string(),
+            file: "crates/a/src/main.rs".to_string(),
+            line: 2,
+            col: 5,
+        }];
+        let sarif = to_sarif(&report_with(vec![f]));
+        let v = serde_json::from_str(&sarif).unwrap();
+        let r = &v["runs"][0]["results"][0];
+        assert_eq!(r["ruleId"].as_str(), Some("NW-G001"));
+        let region = &r["locations"][0]["physicalLocation"]["region"];
+        assert_eq!(region["startLine"].as_u64(), Some(7));
+        assert_eq!(region["startColumn"].as_u64(), Some(3));
+        let flow = &r["codeFlows"][0]["threadFlows"][0]["locations"][0]["location"];
+        assert_eq!(flow["message"]["text"].as_str(), Some("app::entry"));
+    }
+}

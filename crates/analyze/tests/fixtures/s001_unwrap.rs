@@ -16,3 +16,15 @@ mod tests {
         assert_eq!(v.unwrap(), 1); // suppressed: test module
     }
 }
+
+// A test module whose `mod` is separated from #[cfg(test)] by further
+// attributes and doc comments must still be exempt.
+#[cfg(test)]
+#[allow(dead_code)]
+/// Doc comment between the cfg gate and the module keyword.
+mod attr_separated_tests {
+    fn helper() {
+        let v: Option<u32> = Some(2);
+        let _ = v.unwrap(); // suppressed: test module despite the attrs
+    }
+}

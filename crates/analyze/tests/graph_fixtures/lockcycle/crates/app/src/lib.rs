@@ -1,0 +1,26 @@
+//! Known-bad graph fixture: AB/BA lock order across two methods —
+//! NW-G002 must report the `Pair::a_lock -> Pair::b_lock ->
+//! Pair::a_lock` cycle.
+
+pub struct Guard;
+
+pub struct Pair {
+    pub a_lock: u32,
+    pub b_lock: u32,
+}
+
+fn lock_unpoisoned(_lock: &u32) -> Guard {
+    Guard
+}
+
+impl Pair {
+    pub fn ab(&self) -> Guard {
+        let _a = lock_unpoisoned(&self.a_lock);
+        lock_unpoisoned(&self.b_lock)
+    }
+
+    pub fn ba(&self) -> Guard {
+        let _b = lock_unpoisoned(&self.b_lock);
+        lock_unpoisoned(&self.a_lock)
+    }
+}

@@ -1,0 +1,12 @@
+//! Known-bad graph fixture: an `.unwrap()` hidden behind a helper,
+//! reachable from the request-handling entrypoint — NW-G003 with the
+//! `handle_request -> decode` chain.
+
+pub fn handle_request(input: &str) -> u32 {
+    decode(input)
+}
+
+fn decode(input: &str) -> u32 {
+    let n = input.find(':').unwrap();
+    n as u32
+}

@@ -1,0 +1,16 @@
+//! Known-bad graph fixture: a `HashMap` two calls below the planning
+//! entrypoint. `nestwx lint --fixtures --graph` must flag NW-G001 with
+//! the full `plan_entry -> helper -> deep` chain.
+
+pub fn plan_entry() {
+    helper();
+}
+
+fn helper() {
+    deep();
+}
+
+fn deep() {
+    let mut counts = std::collections::HashMap::new();
+    counts.insert(0u32, 1u32);
+}

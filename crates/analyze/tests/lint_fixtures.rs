@@ -124,3 +124,74 @@ fn fixture_run_is_nonzero_and_workspace_scan_sees_files() {
     assert!(!report.ok(), "fixtures must fail the lint");
     assert_eq!(report.files_scanned, 13, "one fixture per rule");
 }
+
+fn workspace_graph_report() -> nestwx_analyze::LintReport {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allow = std::fs::read_to_string(root.join("lint.allow")).unwrap_or_default();
+    nestwx_analyze::run_lint_ex(
+        &LintConfig::workspace_default(&root),
+        Some(&nestwx_analyze::GraphConfig::workspace_default()),
+        &allow,
+    )
+    .expect("workspace scan")
+}
+
+/// The committed graph-quality ratchet: the workspace must lint clean
+/// under `--graph` (fixed or justified in lint.allow), and resolution
+/// coverage must not regress past the committed unresolved budget.
+#[test]
+fn workspace_graph_quality() {
+    let report = workspace_graph_report();
+    assert!(
+        report.findings.is_empty(),
+        "workspace graph findings must be fixed or justified in lint.allow: {:#?}",
+        report.findings
+    );
+    assert!(report.allow_errors.is_empty(), "{:#?}", report.allow_errors);
+    assert!(report.graph_errors.is_empty(), "{:#?}", report.graph_errors);
+    let g = report.graph.as_ref().expect("graph ran");
+    assert!(g.stats.functions > 500, "graph too small: {:?}", g.stats);
+    let budget = nestwx_analyze::GraphConfig::workspace_default().max_unresolved;
+    assert!(
+        g.stats.unresolved <= budget,
+        "{} unresolved > committed budget {budget}",
+        g.stats.unresolved
+    );
+    // Resolution coverage itself is ratcheted too: ≥95% of call sites
+    // must be classified (resolved or external), not unresolved.
+    let classified = g.stats.resolved + g.stats.external;
+    assert!(
+        classified * 100 >= g.stats.calls * 95,
+        "classification regressed: {:?}",
+        g.stats
+    );
+}
+
+/// Two identical runs must serialize byte-identically — the `--json`
+/// report (findings order, descriptions, chains, graph stats) is part of
+/// the deterministic surface.
+#[test]
+fn workspace_json_report_is_byte_deterministic() {
+    let a = serde_json::to_string_pretty(&workspace_graph_report()).expect("serializes");
+    let b = serde_json::to_string_pretty(&workspace_graph_report()).expect("serializes");
+    assert_eq!(a, b);
+}
+
+/// Every finding record carries its rule description, so downstream
+/// consumers of `--json` never need the rule table.
+#[test]
+fn json_findings_carry_rule_descriptions() {
+    let report = fixture_report("");
+    assert!(!report.findings.is_empty());
+    let json = serde_json::to_string_pretty(&report).expect("serializes");
+    let v: serde_json::Value = serde_json::from_str(&json).expect("round-trips");
+    let findings = v["findings"].as_array().expect("findings array");
+    for f in findings {
+        let desc = f["desc"].as_str().expect("desc present");
+        assert!(!desc.is_empty());
+        assert_eq!(
+            desc,
+            nestwx_analyze::rule_desc(f["rule"].as_str().expect("rule present"))
+        );
+    }
+}

@@ -69,6 +69,15 @@ pub struct LintArgs {
     /// exemptions) instead of the workspace one — for testing the rules
     /// themselves against known-bad snippets.
     pub fixtures: bool,
+    /// Also run the workspace call-graph pass (NW-G001..G003).
+    pub graph: bool,
+    /// Write the report as a SARIF 2.1.0 log to this file.
+    pub sarif: Option<String>,
+    /// Suppress findings recorded in this baseline file; only new
+    /// findings (and allowlist/graph errors) fail the run.
+    pub baseline: Option<String>,
+    /// Write the current findings as a baseline file and exit 0.
+    pub write_baseline: Option<String>,
 }
 
 /// Arguments of `nestwx sweep`. Flags override the `NESTWX_SWEEP_*`
@@ -713,7 +722,8 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ParseError> {
     Ok(sweep)
 }
 
-/// Parses `lint [--root DIR] [--allow FILE] [--json] [--fixtures]`.
+/// Parses `lint [--root DIR] [--allow FILE] [--json] [--fixtures]
+/// [--graph] [--sarif FILE] [--baseline FILE] [--write-baseline FILE]`.
 fn parse_lint_args(args: &[String]) -> Result<LintArgs, ParseError> {
     let mut lint = LintArgs::default();
     let mut it = args.iter();
@@ -728,8 +738,17 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, ParseError> {
             "--allow" => lint.allow = Some(value("--allow")?),
             "--json" => lint.json = true,
             "--fixtures" => lint.fixtures = true,
+            "--graph" => lint.graph = true,
+            "--sarif" => lint.sarif = Some(value("--sarif")?),
+            "--baseline" => lint.baseline = Some(value("--baseline")?),
+            "--write-baseline" => lint.write_baseline = Some(value("--write-baseline")?),
             other => return Err(err(format!("unknown lint flag '{other}'"))),
         }
+    }
+    if lint.baseline.is_some() && lint.write_baseline.is_some() {
+        return Err(err(
+            "--baseline and --write-baseline are mutually exclusive",
+        ));
     }
     Ok(lint)
 }
@@ -1142,26 +1161,61 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
         }
         Command::Lint(a) => {
             let root = std::path::PathBuf::from(a.root.as_deref().unwrap_or("."));
-            let cfg = if a.fixtures {
-                nestwx_analyze::LintConfig::fixtures(root.clone())
-            } else {
-                nestwx_analyze::LintConfig::workspace_default(root.clone())
+            // --fixtures --graph pairs the empty per-file scopes with the
+            // fixture graph roots, so known-bad graph fixture trees exercise
+            // only NW-G001..G003.
+            let cfg = match (a.fixtures, a.graph) {
+                (true, true) => nestwx_analyze::LintConfig::graph_fixtures(root.clone()),
+                (true, false) => nestwx_analyze::LintConfig::fixtures(root.clone()),
+                (false, _) => nestwx_analyze::LintConfig::workspace_default(root.clone()),
             };
+            let graph_cfg = a.graph.then(|| {
+                if a.fixtures {
+                    nestwx_analyze::GraphConfig::fixtures()
+                } else {
+                    nestwx_analyze::GraphConfig::workspace_default()
+                }
+            });
             let allow_path = match &a.allow {
                 Some(p) => std::path::PathBuf::from(p),
                 None => root.join("lint.allow"),
             };
-            let report = nestwx_analyze::run_lint_with_allow_file(&cfg, &allow_path)?;
+            let mut report =
+                nestwx_analyze::run_lint_with_allow_file_ex(&cfg, graph_cfg.as_ref(), &allow_path)?;
+            if let Some(path) = &a.write_baseline {
+                std::fs::write(path, nestwx_analyze::write_baseline(&report.findings))?;
+                writeln!(
+                    out,
+                    "wrote baseline with {} finding(s) to {path}",
+                    report.findings.len()
+                )?;
+                return Ok(());
+            }
+            let mut baselined = 0usize;
+            if let Some(path) = &a.baseline {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+                let keys = nestwx_analyze::parse_baseline(&text)
+                    .map_err(|e| format!("bad baseline {path}: {e}"))?;
+                baselined = nestwx_analyze::apply_baseline(&mut report, &keys);
+            }
+            if let Some(path) = &a.sarif {
+                std::fs::write(path, nestwx_analyze::to_sarif(&report))?;
+            }
             if a.json {
                 writeln!(out, "{}", serde_json::to_string_pretty(&report)?)?;
             } else {
                 write!(out, "{}", report.render())?;
+                if baselined > 0 {
+                    writeln!(out, "baseline: {baselined} finding(s) suppressed")?;
+                }
             }
             if !report.ok() {
                 return Err(format!(
-                    "lint failed: {} finding(s), {} allowlist error(s)",
+                    "lint failed: {} finding(s), {} allowlist error(s), {} graph error(s)",
                     report.findings.len(),
-                    report.allow_errors.len()
+                    report.allow_errors.len(),
+                    report.graph_errors.len()
                 )
                 .into());
             }
@@ -1277,7 +1331,8 @@ USAGE:
                  [--max-conns N] [--readers N] [--deadline-ms MS] [--rate N]
                  [--burst N] [--client-cap N] [--predictors N] [--idle-ms MS]
                  [--lifetime-ms MS] [--cache-dir DIR]
-  nestwx lint    [--root DIR] [--allow FILE] [--json] [--fixtures]
+  nestwx lint    [--root DIR] [--allow FILE] [--json] [--fixtures] [--graph]
+                 [--sarif FILE] [--baseline FILE] [--write-baseline FILE]
 
 FLAGS:
   --machine FAMILY:CORES   bgl:16..1024 | bgp:64..8192 (power of two)
@@ -1843,9 +1898,43 @@ mod tests {
                 allow: Some("my.allow".into()),
                 json: false,
                 fixtures: true,
+                ..LintArgs::default()
+            })
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "lint",
+                "--graph",
+                "--sarif",
+                "out.sarif",
+                "--baseline",
+                "base.json"
+            ]))
+            .unwrap(),
+            Command::Lint(LintArgs {
+                graph: true,
+                sarif: Some("out.sarif".into()),
+                baseline: Some("base.json".into()),
+                ..LintArgs::default()
+            })
+        );
+        assert_eq!(
+            parse_args(&argv(&["lint", "--write-baseline", "base.json"])).unwrap(),
+            Command::Lint(LintArgs {
+                write_baseline: Some("base.json".into()),
+                ..LintArgs::default()
             })
         );
         assert!(parse_args(&argv(&["lint", "--root"])).is_err());
+        assert!(parse_args(&argv(&["lint", "--sarif"])).is_err());
+        assert!(parse_args(&argv(&[
+            "lint",
+            "--baseline",
+            "a.json",
+            "--write-baseline",
+            "b.json"
+        ]))
+        .is_err());
         assert!(parse_args(&argv(&["lint", "--bogus"])).is_err());
     }
 
@@ -1861,6 +1950,7 @@ mod tests {
                 allow: None,
                 json: true,
                 fixtures: true,
+                ..LintArgs::default()
             }),
             &mut buf,
         );

@@ -117,12 +117,7 @@ pub fn select_basis(candidates: &[BasisDomain], k: usize) -> Vec<BasisDomain> {
     ] {
         let best = (0..norm.len())
             .filter(|i| !selected.contains(i))
-            .min_by(|&a, &b| {
-                norm[a]
-                    .dist(&corner)
-                    .partial_cmp(&norm[b].dist(&corner))
-                    .unwrap()
-            })
+            .min_by(|&a, &b| norm[a].dist(&corner).total_cmp(&norm[b].dist(&corner)))
             .expect("candidates available");
         selected.push(best);
         if selected.len() == k {
@@ -142,7 +137,7 @@ pub fn select_basis(candidates: &[BasisDomain], k: usize) -> Vec<BasisDomain> {
                     .iter()
                     .map(|&s| norm[b].dist(&norm[s]))
                     .fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .expect("candidates available");
         selected.push(best);

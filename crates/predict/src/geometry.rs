@@ -82,11 +82,7 @@ pub fn circumcircle(a: Point, b: Point, c: Point) -> Option<(Point, f64)> {
 /// boundary points are dropped.
 pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .unwrap()
-            .then(a.y.partial_cmp(&b.y).unwrap())
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
     let n = pts.len();
     if n < 3 {
